@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the Feature Aligner losses at a realistic
+//! minibatch shape (16 × 32 features), forward + backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dader_core::aligner::{coral_loss, mmd_loss, Discriminator, GrlAligner};
+use dader_nn::loss::kd_loss;
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn features(seed: u64) -> (Param, Tensor) {
+    let data: Vec<f32> = (0..16 * 32)
+        .map(|i| (((i as u64).wrapping_mul(seed + 7) % 23) as f32) * 0.1 - 1.0)
+        .collect();
+    let p = Param::from_vec("xs", data.clone(), (16, 32));
+    let t = Tensor::from_vec(data.iter().map(|v| v + 0.5).collect(), (16, 32));
+    (p, t)
+}
+
+fn bench_mmd(c: &mut Criterion) {
+    let (p, xt) = features(1);
+    c.bench_function("aligner/mmd_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = mmd_loss(&p.leaf(), &xt);
+            black_box(loss.backward())
+        })
+    });
+}
+
+fn bench_coral(c: &mut Criterion) {
+    let (p, xt) = features(2);
+    c.bench_function("aligner/coral_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = coral_loss(&p.leaf(), &xt);
+            black_box(loss.backward())
+        })
+    });
+}
+
+fn bench_grl(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let aligner = GrlAligner::new(32, &mut rng);
+    let (p, xt) = features(3);
+    c.bench_function("aligner/grl_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = aligner.domain_loss(&p.leaf(), &xt, 0.5);
+            black_box(loss.backward())
+        })
+    });
+}
+
+fn bench_invgan_discriminator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let disc = Discriminator::new(32, &mut rng);
+    let (p, xt) = features(4);
+    c.bench_function("aligner/invgan_disc_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = disc.discriminator_loss(&p.leaf(), &xt);
+            black_box(loss.backward())
+        })
+    });
+    c.bench_function("aligner/invgan_gen_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = disc.generator_loss(&p.leaf());
+            black_box(loss.backward())
+        })
+    });
+}
+
+fn bench_kd(c: &mut Criterion) {
+    let teacher = Tensor::from_vec((0..32).map(|i| (i % 5) as f32 - 2.0).collect(), (16, 2));
+    let p = Param::from_vec("student", vec![0.1; 32], (16, 2));
+    c.bench_function("aligner/kd_fwd_bwd", |b| {
+        b.iter(|| {
+            let loss = kd_loss(&teacher, &p.leaf(), 2.0);
+            black_box(loss.backward())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mmd,
+    bench_coral,
+    bench_grl,
+    bench_invgan_discriminator,
+    bench_kd
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benchmark of full training epochs — one per aligner method —
+//! measuring the end-to-end cost a table cell pays per epoch, plus the
+//! dataset-generation and encoding costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dader_core::extractor::LmExtractor;
+use dader_core::train::{train_da, DaTask, TrainConfig};
+use dader_core::AlignerKind;
+use dader_datagen::{DatasetId, ErDataset};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Fixture {
+    src: ErDataset,
+    tgt: ErDataset,
+    val: ErDataset,
+    encoder: PairEncoder,
+}
+
+fn fixture() -> Fixture {
+    let src = DatasetId::FZ.generate_scaled(1, 200);
+    let tgt = DatasetId::ZY.generate_scaled(1, 200);
+    let val = tgt.split(&[1, 9], 7)[0].clone();
+    let mut text = src.all_text();
+    text.push_str(&tgt.all_text());
+    let vocab = Vocab::build(dader_text::tokenize(&text).iter().map(|s| s.as_str()), 1, 4000);
+    Fixture {
+        src,
+        tgt,
+        val,
+        encoder: PairEncoder::new(vocab, 32),
+    }
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("epoch");
+    g.sample_size(10);
+    for kind in [
+        AlignerKind::NoDa,
+        AlignerKind::Mmd,
+        AlignerKind::KOrder,
+        AlignerKind::Grl,
+        AlignerKind::InvGan,
+        AlignerKind::InvGanKd,
+        AlignerKind::Ed,
+    ] {
+        g.bench_function(kind.to_string(), |bench| {
+            bench.iter(|| {
+                let task = DaTask {
+                    source: &f.src,
+                    target_train: &f.tgt,
+                    target_val: &f.val,
+                    source_test: None,
+                    target_test: None,
+                    encoder: &f.encoder,
+                };
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    step1_epochs: 1,
+                    iters_per_epoch: Some(4),
+                    batch_size: 16,
+                    beta: kind.default_beta(),
+                    ed_recon_len: 12,
+                    ..TrainConfig::default()
+                };
+                let mut rng = StdRng::seed_from_u64(1);
+                let ext = Box::new(
+                    LmExtractor::new(
+                        TransformerConfig {
+                            vocab: f.encoder.vocab().len(),
+                            dim: 32,
+                            layers: 2,
+                            heads: 4,
+                            ffn_dim: 64,
+                            max_len: 32,
+                        },
+                        &mut rng,
+                    )
+                    .freeze_trunk(),
+                );
+                black_box(train_da(&task, ext, kind, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_data_pipeline(c: &mut Criterion) {
+    c.bench_function("datagen/generate_fz_200", |bench| {
+        bench.iter(|| black_box(DatasetId::FZ.generate_scaled(1, 200)))
+    });
+    let f = fixture();
+    c.bench_function("datagen/encode_batch_16", |bench| {
+        let idx: Vec<usize> = (0..16).collect();
+        bench.iter(|| {
+            black_box(dader_core::batch::EncodedBatch::from_indices(
+                &f.src, &f.encoder, &idx,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_epochs, bench_data_pipeline);
+criterion_main!(benches);

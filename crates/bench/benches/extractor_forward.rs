@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the two Feature Extractors: forward-only
+//! (inference) and forward+backward (training) at quick-scale shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dader_core::batch::EncodedBatch;
+use dader_core::extractor::{FeatureExtractor, LmExtractor, RnnExtractor};
+use dader_nn::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn batch(batch: usize, seq: usize) -> EncodedBatch {
+    let ids: Vec<usize> = (0..batch * seq).map(|i| 2 + (i * 7) % 500).collect();
+    let mut ids = ids;
+    for b in 0..batch {
+        ids[b * seq] = dader_text::token::CLS;
+        ids[b * seq + seq / 2] = dader_text::token::SEP;
+        ids[b * seq + seq - 1] = dader_text::token::SEP;
+    }
+    EncodedBatch {
+        ids,
+        mask: vec![1.0; batch * seq],
+        batch,
+        seq,
+        labels: (0..batch).map(|i| i % 2).collect(),
+        indices: (0..batch).collect(),
+    }
+}
+
+fn lm() -> LmExtractor {
+    let mut rng = StdRng::seed_from_u64(1);
+    LmExtractor::new(
+        TransformerConfig {
+            vocab: 600,
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            ffn_dim: 64,
+            max_len: 40,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_lm(c: &mut Criterion) {
+    let e = lm();
+    let b = batch(16, 40);
+    c.bench_function("extractor/lm_forward", |bench| {
+        bench.iter(|| black_box(e.extract(&b)))
+    });
+    c.bench_function("extractor/lm_forward_backward", |bench| {
+        bench.iter(|| {
+            let x = e.extract(&b);
+            black_box(x.square().sum_all().backward())
+        })
+    });
+    // Frozen trunk: the default configuration — backward prunes the trunk.
+    let frozen = lm().freeze_trunk();
+    c.bench_function("extractor/lm_frozen_forward_backward", |bench| {
+        bench.iter(|| {
+            let x = frozen.extract(&b);
+            black_box(x.square().sum_all().backward())
+        })
+    });
+}
+
+fn bench_rnn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let e = RnnExtractor::new(600, 32, 16, 32, &mut rng);
+    let b = batch(16, 40);
+    c.bench_function("extractor/rnn_forward", |bench| {
+        bench.iter(|| black_box(e.extract(&b)))
+    });
+    c.bench_function("extractor/rnn_forward_backward", |bench| {
+        bench.iter(|| {
+            let x = e.extract(&b);
+            black_box(x.square().sum_all().backward())
+        })
+    });
+}
+
+criterion_group!(benches, bench_lm, bench_rnn);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the alignment-loss weight β (Eq. 3/7). The paper chooses β
+//! per dataset from {0.001, 0.01, 0.1, 1, 5} on validation; this bench
+//! sweeps β for MMD and GRL on one similar- and one different-domain
+//! transfer, reporting validation and test F1 per value.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin ablate_beta [-- --scale quick]`
+
+use dader_bench::{write_json, Context, Scale};
+use dader_core::train::TrainConfig;
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    transfer: String,
+    method: String,
+    beta: f32,
+    val_f1: f32,
+    test_f1: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let betas = [0.001f32, 0.01, 0.1, 1.0, 5.0];
+    let mut rows = Vec::new();
+    for (s, t) in [(DatasetId::AB, DatasetId::WA), (DatasetId::B2, DatasetId::ZY)] {
+        for kind in [AlignerKind::Mmd, AlignerKind::Grl] {
+            println!("\n== ablate β: {s}->{t} with {kind} ==");
+            println!("{:>8} {:>8} {:>8}", "beta", "val F1", "test F1");
+            for &beta in &betas {
+                let cfg = TrainConfig {
+                    beta,
+                    ..ctx.scale.train_config()
+                };
+                let (out, test_f1) = ctx.run_transfer(s, t, kind, 42, false, Some(cfg));
+                println!("{beta:>8.3} {:>8.1} {test_f1:>8.1}", out.best_val_f1);
+                rows.push(Row {
+                    transfer: format!("{s}->{t}"),
+                    method: kind.to_string(),
+                    beta,
+                    val_f1: out.best_val_f1,
+                    test_f1,
+                });
+            }
+        }
+    }
+    println!("\nThe paper's protocol picks the β with the best validation F1 per dataset.");
+    write_json("ablate_beta", &rows);
+}

@@ -1,0 +1,80 @@
+//! Ablation: feature dimension `d` of the extractor output (the space the
+//! aligners act on). Sweeps `d` for NoDA and MMD on one transfer.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin ablate_feature_dim [-- --scale quick]`
+
+use dader_bench::{write_json, Scale};
+use dader_core::extractor::LmExtractor;
+use dader_core::pretrain::{PretrainConfig, PretrainedLm};
+use dader_core::train::{train_da, DaTask, TrainConfig};
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+use dader_nn::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dim: usize,
+    noda_f1: f32,
+    mmd_f1: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (s, t) = (DatasetId::ZY, DatasetId::FZ);
+    let src = s.generate_scaled(1, scale.dataset_cap());
+    let tgt = t.generate_scaled(1, scale.dataset_cap());
+    let splits = tgt.split(&[1, 9], 7);
+    let (val, test) = (&splits[0], &splits[1]);
+
+    println!("== ablate feature dimension on {s}->{t} (scale: {scale}) ==");
+    println!("{:>6} {:>10} {:>10}", "dim", "NoDA F1", "MMD F1");
+    let mut rows = Vec::new();
+    for dim in [8usize, 16, 32, 64] {
+        // Re-pre-train per dimension: the trunk width changes.
+        let lm = PretrainedLm::build(
+            &[&src, &tgt],
+            scale.max_len(),
+            TransformerConfig {
+                vocab: 0,
+                dim,
+                layers: 2,
+                heads: if dim >= 16 { 4 } else { 2 },
+                ffn_dim: dim * 2,
+                max_len: scale.max_len(),
+            },
+            &PretrainConfig {
+                steps: scale.pretrain_steps() / 2,
+                ..PretrainConfig::default()
+            },
+        );
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: val,
+            source_test: None,
+            target_test: Some(test),
+            encoder: &lm.encoder,
+        };
+        let mut f1s = Vec::new();
+        for kind in [AlignerKind::NoDa, AlignerKind::Mmd] {
+            let cfg = TrainConfig {
+                beta: kind.default_beta(),
+                ..scale.train_config()
+            };
+            let mut rng = StdRng::seed_from_u64(42);
+            let ext = Box::new(LmExtractor::from_encoder(lm.instantiate(&mut rng)).freeze_trunk());
+            let out = train_da(&task, ext, kind, &cfg);
+            f1s.push(out.model.evaluate(test, &lm.encoder, 32).f1());
+        }
+        println!("{dim:>6} {:>10.1} {:>10.1}", f1s[0], f1s[1]);
+        rows.push(Row {
+            dim,
+            noda_f1: f1s[0],
+            mmd_f1: f1s[1],
+        });
+    }
+    write_json("ablate_feature_dim", &rows);
+}

@@ -1,0 +1,54 @@
+//! Ablation: the knowledge-distillation temperature `t` (Eq. 12).
+//! InvGAN+KD's stability depends on how soft the teacher distribution is;
+//! this bench sweeps `t` on two transfers.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin ablate_kd_temperature [-- --scale quick]`
+
+use dader_bench::{write_json, Context, Scale};
+use dader_core::train::TrainConfig;
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    transfer: String,
+    temperature: f32,
+    test_f1_per_seed: Vec<f32>,
+    mean: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let temps = [1.0f32, 2.0, 5.0, 10.0, 20.0];
+    let mut rows = Vec::new();
+    for (s, t) in [(DatasetId::ZY, DatasetId::FZ), (DatasetId::IA, DatasetId::DS)] {
+        println!("\n== ablate KD temperature: {s}->{t} (InvGAN+KD) ==");
+        println!("{:>6} {:>24} {:>8}", "t", "per-seed F1", "mean");
+        for &temp in &temps {
+            let mut runs = Vec::new();
+            for &seed in &ctx.scale.seeds() {
+                let cfg = TrainConfig {
+                    kd_temperature: temp,
+                    beta: AlignerKind::InvGanKd.default_beta(),
+                    seed,
+                    ..ctx.scale.train_config()
+                };
+                let (_, f1) = ctx.run_transfer(s, t, AlignerKind::InvGanKd, seed, false, Some(cfg));
+                runs.push(f1);
+            }
+            let mean = runs.iter().sum::<f32>() / runs.len() as f32;
+            println!("{temp:>6.1} {:>24} {mean:>8.1}", format!("{runs:.0?}"));
+            rows.push(Row {
+                transfer: format!("{s}->{t}"),
+                temperature: temp,
+                test_f1_per_seed: runs,
+                mean,
+            });
+        }
+    }
+    println!("\nVery high t flattens the 2-class teacher toward uniform and weakens the anchor.");
+    write_json("ablate_kd_temperature", &rows);
+}

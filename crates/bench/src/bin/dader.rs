@@ -1,0 +1,129 @@
+//! `dader` — command-line entry point for one-off domain-adaptation runs.
+//!
+//! ```text
+//! dader run    --source WA --target AB [--method invgan_kd] [--rnn]
+//!              [--seed 42] [--scale quick|tiny|paper] [--beta 0.5] [--lr 3e-3]
+//! dader list                      # datasets and methods
+//! dader distance --target AB      # rank all sources by MMD (Finding 2)
+//! ```
+
+use dader_bench::{Context, Scale};
+use dader_core::distance::dataset_mmd;
+use dader_core::train::TrainConfig;
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+
+fn parse_method(s: &str) -> Option<AlignerKind> {
+    match s.to_ascii_lowercase().replace('-', "_").as_str() {
+        "noda" | "none" => Some(AlignerKind::NoDa),
+        "mmd" => Some(AlignerKind::Mmd),
+        "korder" | "k_order" | "coral" => Some(AlignerKind::KOrder),
+        "grl" => Some(AlignerKind::Grl),
+        "invgan" => Some(AlignerKind::InvGan),
+        "invgan_kd" | "invgankd" | "kd" => Some(AlignerKind::InvGanKd),
+        "ed" => Some(AlignerKind::Ed),
+        _ => None,
+    }
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper]\n  dader distance --target <ID> [--scale ...]\n  dader list"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_list() {
+    println!("datasets (Table 2):");
+    for id in DatasetId::all() {
+        let s = id.spec();
+        println!(
+            "  {:<3} {:<22} {:<11} {:>6} pairs / {:>5} matches / {} attrs",
+            s.short, s.name, s.domain, s.pairs, s.matches, s.attrs
+        );
+    }
+    println!("\nmethods: noda, mmd, korder, grl, invgan, invgan_kd, ed");
+}
+
+fn cmd_run(args: &[String]) {
+    let source = arg_value(args, "--source")
+        .and_then(|s| DatasetId::parse(&s))
+        .unwrap_or_else(|| usage());
+    let target = arg_value(args, "--target")
+        .and_then(|s| DatasetId::parse(&s))
+        .unwrap_or_else(|| usage());
+    let method = arg_value(args, "--method")
+        .map(|m| parse_method(&m).unwrap_or_else(|| usage()))
+        .unwrap_or(AlignerKind::InvGanKd);
+    let seed: u64 = arg_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let use_rnn = args.iter().any(|a| a == "--rnn");
+    let scale = Scale::from_args();
+
+    eprintln!("building context (scale {scale}: 13 datasets + MLM pre-training)...");
+    let ctx = Context::new(scale);
+    let mut cfg = TrainConfig {
+        beta: method.default_beta(),
+        seed,
+        ..ctx.scale.train_config()
+    };
+    if let Some(beta) = arg_value(args, "--beta").and_then(|v| v.parse().ok()) {
+        cfg.beta = beta;
+    }
+    if let Some(lr) = arg_value(args, "--lr").and_then(|v| v.parse().ok()) {
+        cfg.lr = lr;
+    }
+
+    eprintln!("adapting {source} -> {target} with {method} (seed {seed}, β {}, lr {})...", cfg.beta, cfg.lr);
+    let t0 = std::time::Instant::now();
+    let (out, f1) = ctx.run_transfer(source, target, method, seed, use_rnn, Some(cfg));
+    let splits = ctx.target_splits(target);
+    let m = out.model.evaluate(&splits.test, ctx.encoder(), 32);
+    println!(
+        "{source}->{target} {method}{}: target F1 {f1:.1} (P {:.2} / R {:.2}), best epoch {}, {:.1}s",
+        if use_rnn { " [RNN]" } else { "" },
+        m.precision(),
+        m.recall(),
+        out.best_epoch,
+        t0.elapsed().as_secs_f32(),
+    );
+    println!("per-epoch validation F1: {:?}", out.history.iter().map(|h| h.val_f1.round()).collect::<Vec<_>>());
+}
+
+fn cmd_distance(args: &[String]) {
+    let target = arg_value(args, "--target")
+        .and_then(|s| DatasetId::parse(&s))
+        .unwrap_or_else(|| usage());
+    let scale = Scale::from_args();
+    eprintln!("building context (scale {scale})...");
+    let ctx = Context::new(scale);
+    let probe = ctx.lm_extractor(0);
+    let mut rows: Vec<(DatasetId, f32)> = DatasetId::all()
+        .into_iter()
+        .filter(|id| *id != target)
+        .map(|id| {
+            let d = dataset_mmd(probe.as_ref(), ctx.dataset(id), ctx.dataset(target), ctx.encoder(), 120);
+            (id, d)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("sources ranked by MMD distance to {target} (closest first — Finding 2):");
+    for (id, d) in rows {
+        println!("  {:<4} {:<22} {d:.4}", id.to_string(), id.spec().name);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&args),
+        Some("distance") => cmd_distance(&args),
+        Some("list") => cmd_list(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 8: InvGAN vs InvGAN+KD — per-epoch F1 on *both* source and
+//! target during adversarial adaptation, for Fodors-Zagats ↔ Zomato-Yelp.
+//! The paper's point (Finding 4): bare InvGAN can lose all discriminative
+//! information (both curves crash), while the KD anchor keeps the matcher
+//! alive.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin fig8_invgan [-- --scale quick]`
+
+use dader_bench::{report, Context, Scale};
+use dader_core::train::TrainConfig;
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+use dader_viz::{line_chart, series_to_csv};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Panel {
+    transfer: String,
+    invgan_source: Vec<f32>,
+    invgan_target: Vec<f32>,
+    kd_source: Vec<f32>,
+    kd_target: Vec<f32>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let mut panels = Vec::new();
+    for (s, t) in [(DatasetId::FZ, DatasetId::ZY), (DatasetId::ZY, DatasetId::FZ)] {
+        let mut curves: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        for kind in [AlignerKind::InvGan, AlignerKind::InvGanKd] {
+            let cfg = TrainConfig {
+                beta: kind.default_beta(),
+                track_source_f1: true,
+                track_target_f1: true,
+                ..ctx.scale.train_config()
+            };
+            let (out, _) = ctx.run_transfer(s, t, kind, 42, false, Some(cfg));
+            let src: Vec<f32> = out.history.iter().map(|h| h.source_f1.unwrap_or(0.0)).collect();
+            let tgt: Vec<f32> = out.history.iter().map(|h| h.target_f1.unwrap_or(0.0)).collect();
+            curves.push((src, tgt));
+        }
+        println!("\n== Figure 8: {s}→{t} (adaptation epochs) ==");
+        println!(
+            "{}",
+            line_chart(
+                "epoch",
+                &[
+                    ('i', "InvGAN source", &curves[0].0),
+                    ('I', "InvGAN target", &curves[0].1),
+                    ('k', "InvGAN+KD source", &curves[1].0),
+                    ('K', "InvGAN+KD target", &curves[1].1),
+                ],
+                60,
+                16,
+            )
+        );
+        let last = |v: &Vec<f32>| v.last().copied().unwrap_or(0.0);
+        println!(
+            "final source F1: InvGAN {:.1} vs InvGAN+KD {:.1} (KD should retain source accuracy)",
+            last(&curves[0].0),
+            last(&curves[1].0)
+        );
+        let epochs: Vec<f32> = (1..=curves[0].0.len()).map(|e| e as f32).collect();
+        let csv = series_to_csv(
+            &epochs,
+            &[
+                ("invgan_source", &curves[0].0[..]),
+                ("invgan_target", &curves[0].1[..]),
+                ("kd_source", &curves[1].0[..]),
+                ("kd_target", &curves[1].1[..]),
+            ],
+        );
+        let path = report::results_dir().join(format!("fig8_{s}_{t}.csv"));
+        let _ = std::fs::create_dir_all(report::results_dir());
+        let _ = std::fs::write(&path, csv);
+        panels.push(Panel {
+            transfer: format!("{s}->{t}"),
+            invgan_source: curves[0].0.clone(),
+            invgan_target: curves[0].1.clone(),
+            kd_source: curves[1].0.clone(),
+            kd_target: curves[1].1.clone(),
+        });
+    }
+    report::write_json("fig8_curves", &panels);
+}

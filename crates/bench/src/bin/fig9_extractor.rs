@@ -1,0 +1,83 @@
+//! Figure 9: Feature Extractor comparison — RNN vs pre-trained LM, each
+//! under NoDA / MMD / InvGAN+KD, across the three dataset groups.
+//! Finding 5: DA gains depend on the transferability of the pre-trained
+//! LM; with the cold-started RNN both absolute F1 and DA gains shrink.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin fig9_extractor [-- --scale quick]`
+
+use dader_bench::{transfer_label, Cell, Context, Scale, Table, TABLE3_TRANSFERS, TABLE4_TRANSFERS, TABLE5_TRANSFERS};
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GroupSummary {
+    group: String,
+    rnn_noda: f32,
+    rnn_mmd: f32,
+    rnn_kd: f32,
+    lm_noda: f32,
+    lm_mmd: f32,
+    lm_kd: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let methods = [AlignerKind::NoDa, AlignerKind::Mmd, AlignerKind::InvGanKd];
+    // One representative transfer per group bounds the RNN runtime on one
+    // core; the full grids run under table3/4/5.
+    let groups: [(&str, &[(DatasetId, DatasetId)]); 3] = [
+        ("similar domains", &TABLE3_TRANSFERS[..1]),
+        ("different domains", &TABLE4_TRANSFERS[..1]),
+        ("WDC", &TABLE5_TRANSFERS[..1]),
+    ];
+    let mut summaries = Vec::new();
+    for (group, transfers) in groups {
+        let mut table = Table::new(
+            format!("Figure 9 ({group}): RNN vs LM extractor (scale: {scale})"),
+            methods
+                .iter()
+                .flat_map(|m| ["RNN", "Bert*"].iter().map(move |e| format!("{e} {m}")))
+                .collect(),
+        );
+        let mut sums = vec![0.0f32; 6];
+        for &(s, t) in transfers {
+            eprintln!("running {}...", transfer_label(s, t));
+            let mut cells = Vec::new();
+            for (mi, &kind) in methods.iter().enumerate() {
+                for (ei, use_rnn) in [(0usize, true), (1, false)] {
+                    let runs = ctx.run_cell(s, t, kind, use_rnn);
+                    sums[mi * 2 + ei] += runs.iter().sum::<f32>() / runs.len() as f32;
+                    cells.push(Cell::from_runs(runs));
+                }
+            }
+            table.push_row(transfer_label(s, t), cells);
+        }
+        println!("{}", table.render());
+        let n = transfers.len() as f32;
+        summaries.push(GroupSummary {
+            group: group.to_string(),
+            rnn_noda: sums[0] / n,
+            lm_noda: sums[1] / n,
+            rnn_mmd: sums[2] / n,
+            lm_mmd: sums[3] / n,
+            rnn_kd: sums[4] / n,
+            lm_kd: sums[5] / n,
+        });
+    }
+    println!("\n== Figure 9 summary (group means) ==");
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "group", "RNN NoDA", "RNN MMD", "RNN KD", "LM NoDA", "LM MMD", "LM KD"
+    );
+    for s in &summaries {
+        println!(
+            "{:<20} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.group, s.rnn_noda, s.rnn_mmd, s.rnn_kd, s.lm_noda, s.lm_mmd, s.lm_kd
+        );
+    }
+    println!("\nPaper's Finding 5: every LM column should beat its RNN counterpart.");
+    dader_bench::write_json("fig9_summary", &summaries);
+}

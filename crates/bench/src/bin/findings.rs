@@ -1,0 +1,279 @@
+//! Findings checker: reads the JSON results written by the table/figure
+//! binaries under `results/` and evaluates the paper's seven findings
+//! against the measured numbers, printing a PASS / PARTIAL / MISSING
+//! verdict per finding. Run after the other binaries.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin findings`
+
+use dader_bench::report::results_dir;
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Cell {
+    mean: f32,
+    #[allow(dead_code)]
+    std: f32,
+    #[allow(dead_code)]
+    runs: Vec<f32>,
+}
+
+#[derive(Deserialize)]
+struct Table {
+    #[allow(dead_code)]
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<Cell>)>,
+}
+
+fn load_table(slug: &str) -> Option<Table> {
+    let path = results_dir().join(format!("{slug}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn best_da_delta(t: &Table) -> Vec<(String, f32)> {
+    t.rows
+        .iter()
+        .map(|(label, cells)| {
+            let noda = cells[0].mean;
+            let best = cells[1..].iter().map(|c| c.mean).fold(f32::MIN, f32::max);
+            (label.clone(), best - noda)
+        })
+        .collect()
+}
+
+fn verdict(name: &str, ok: Option<bool>, detail: String) {
+    let tag = match ok {
+        Some(true) => "PASS   ",
+        Some(false) => "PARTIAL",
+        None => "MISSING",
+    };
+    println!("[{tag}] {name}\n          {detail}");
+}
+
+fn main() {
+    println!("== DADER findings check (from results/*.json) ==\n");
+
+    // Finding 1: DA improves over NoDA on similar and different domains.
+    match (load_table("table3"), load_table("table4")) {
+        (Some(t3), Some(t4)) => {
+            let d3 = best_da_delta(&t3);
+            let d4 = best_da_delta(&t4);
+            let pos3 = d3.iter().filter(|(_, d)| *d > 0.0).count();
+            let pos4 = d4.iter().filter(|(_, d)| *d > 0.0).count();
+            let mean4: f32 = d4.iter().map(|(_, d)| d).sum::<f32>() / d4.len().max(1) as f32;
+            let mean3: f32 = d3.iter().map(|(_, d)| d).sum::<f32>() / d3.len().max(1) as f32;
+            verdict(
+                "Finding 1: DA helps on similar AND different domains",
+                Some(pos3 >= d3.len() - 1 && pos4 >= d4.len() - 1),
+                format!(
+                    "similar: {pos3}/{} transfers improved (mean Δ {mean3:.1}); different: {pos4}/{} (mean Δ {mean4:.1})",
+                    d3.len(),
+                    d4.len()
+                ),
+            );
+            verdict(
+                "Finding 1b: different-domain gains exceed similar-domain gains",
+                Some(mean4 > mean3),
+                format!("mean Δ different {mean4:.1} vs similar {mean3:.1}"),
+            );
+        }
+        _ => verdict("Finding 1", None, "run table3 and table4 first".into()),
+    }
+
+    // Table 5 corollary: WDC gains are small.
+    match load_table("table5") {
+        Some(t5) => {
+            let d5 = best_da_delta(&t5);
+            let mean5: f32 = d5.iter().map(|(_, d)| d).sum::<f32>() / d5.len().max(1) as f32;
+            verdict(
+                "Table 5: WDC (shared vocabulary) shows only small DA gains",
+                Some(mean5 < 10.0),
+                format!("mean Δ over {} WDC transfers: {mean5:.1} (paper: −1.5 .. +8.3)", d5.len()),
+            );
+        }
+        None => verdict("Table 5 corollary", None, "run table5 first".into()),
+    }
+
+    // Finding 2: smaller MMD → higher DA F1 (negative correlation).
+    match std::fs::read_to_string(results_dir().join("fig6_correlations.json")) {
+        Ok(text) => {
+            let rhos: Vec<(String, f32)> = serde_json::from_str(&text).unwrap_or_default();
+            let neg = rhos.iter().filter(|(_, r)| *r < 0.0).count();
+            verdict(
+                "Finding 2: closer source (smaller MMD) → higher DA F1",
+                Some(neg * 2 > rhos.len()),
+                format!("Spearman correlations: {rhos:?} ({neg}/{} negative)", rhos.len()),
+            );
+        }
+        Err(_) => verdict("Finding 2", None, "run fig6_distance first".into()),
+    }
+
+    // Finding 3: MMD converges, InvGAN+KD oscillates.
+    match std::fs::read_to_string(results_dir().join("fig7_curves.json")) {
+        Ok(text) => {
+            #[derive(Deserialize)]
+            struct Curves {
+                lr: f32,
+                mmd: Vec<f32>,
+                invgan_kd: Vec<f32>,
+                #[serde(flatten)]
+                _rest: serde_json::Value,
+            }
+            // Steady-state oscillation: mean |ΔF1| over the second half of
+            // each curve (the first half is the learning ramp).
+            fn osc(curve: &[f32]) -> f32 {
+                let tail = &curve[curve.len() / 2..];
+                if tail.len() < 2 {
+                    return 0.0;
+                }
+                tail.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>() / (tail.len() - 1) as f32
+            }
+            let curves: Vec<Curves> = serde_json::from_str(&text).unwrap_or_default();
+            let kd_rougher = curves
+                .iter()
+                .filter(|c| osc(&c.invgan_kd) >= osc(&c.mmd))
+                .count();
+            let detail = curves
+                .iter()
+                .map(|c| format!("lr {:.0e}: MMD {:.1} vs KD {:.1}", c.lr, osc(&c.mmd), osc(&c.invgan_kd)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            verdict(
+                "Finding 3: adversarial training oscillates more than MMD",
+                Some(kd_rougher * 2 > curves.len()),
+                detail,
+            );
+        }
+        Err(_) => verdict("Finding 3", None, "run fig7_convergence first".into()),
+    }
+
+    // Finding 4: KD protects source accuracy vs bare InvGAN (fig8).
+    match std::fs::read_to_string(results_dir().join("fig8_curves.json")) {
+        Ok(text) => {
+            #[derive(Deserialize)]
+            struct Panel {
+                transfer: String,
+                invgan_source: Vec<f32>,
+                kd_source: Vec<f32>,
+                #[serde(flatten)]
+                _rest: serde_json::Value,
+            }
+            let panels: Vec<Panel> = serde_json::from_str(&text).unwrap_or_default();
+            let min = |v: &Vec<f32>| v.iter().copied().fold(f32::MAX, f32::min);
+            let protected = panels
+                .iter()
+                .filter(|p| min(&p.kd_source) + 5.0 >= min(&p.invgan_source))
+                .count();
+            let detail = panels
+                .iter()
+                .map(|p| format!("{}: worst src F1 InvGAN {:.0} vs KD {:.0}", p.transfer, min(&p.invgan_source), min(&p.kd_source)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            verdict(
+                "Finding 4: KD retains discriminative (source) accuracy",
+                Some(protected == panels.len()),
+                detail,
+            );
+        }
+        Err(_) => verdict("Finding 4", None, "run fig8_invgan first".into()),
+    }
+
+    // Finding 5: LM extractor beats RNN.
+    match std::fs::read_to_string(results_dir().join("fig9_summary.json")) {
+        Ok(text) => {
+            #[derive(Deserialize)]
+            struct G {
+                group: String,
+                rnn_noda: f32,
+                rnn_mmd: f32,
+                rnn_kd: f32,
+                lm_noda: f32,
+                lm_mmd: f32,
+                lm_kd: f32,
+            }
+            let gs: Vec<G> = serde_json::from_str(&text).unwrap_or_default();
+            let wins = gs
+                .iter()
+                .map(|g| {
+                    [g.lm_noda > g.rnn_noda, g.lm_mmd > g.rnn_mmd, g.lm_kd > g.rnn_kd]
+                        .iter()
+                        .filter(|&&b| b)
+                        .count()
+                })
+                .sum::<usize>();
+            let total = gs.len() * 3;
+            verdict(
+                "Finding 5: pre-trained LM beats RNN extractor",
+                Some(wins * 3 >= total * 2),
+                format!(
+                    "LM wins {wins}/{total} group×method comparisons ({})",
+                    gs.iter().map(|g| g.group.clone()).collect::<Vec<_>>().join(", ")
+                ),
+            );
+        }
+        Err(_) => verdict("Finding 5", None, "run fig9_extractor first".into()),
+    }
+
+    // Finding 6: DADER beats Reweight.
+    match (load_table("fig10_similar"), load_table("fig10_different")) {
+        (Some(a), Some(b)) => {
+            let mut wins = 0;
+            let mut total = 0;
+            for t in [&a, &b] {
+                assert_eq!(t.columns[0], "Reweight");
+                for (_, cells) in &t.rows {
+                    total += 1;
+                    if cells[1].mean > cells[0].mean {
+                        wins += 1;
+                    }
+                }
+            }
+            verdict(
+                "Finding 6: feature-level DADER beats instance-level Reweight",
+                Some(wins * 3 >= total * 2),
+                format!("DADER wins {wins}/{total} transfers"),
+            );
+        }
+        _ => verdict("Finding 6", None, "run fig10_reweight first".into()),
+    }
+
+    // Finding 7: with few labels, InvGAN+KD leads; DeepMatcher trails.
+    match std::fs::read_to_string(results_dir().join("fig11_curves.json")) {
+        Ok(text) => {
+            #[derive(Deserialize)]
+            struct Panel {
+                target: String,
+                invgan_kd: Vec<f32>,
+                ditto: Vec<f32>,
+                deepmatcher: Vec<f32>,
+                #[serde(flatten)]
+                _rest: serde_json::Value,
+            }
+            let panels: Vec<Panel> = serde_json::from_str(&text).unwrap_or_default();
+            let mut kd_leads_first_round = 0;
+            let mut dm_trails = 0;
+            for p in &panels {
+                if p.invgan_kd.first() >= p.ditto.first() {
+                    kd_leads_first_round += 1;
+                }
+                let dm_mean: f32 = p.deepmatcher.iter().sum::<f32>() / p.deepmatcher.len().max(1) as f32;
+                let ditto_mean: f32 = p.ditto.iter().sum::<f32>() / p.ditto.len().max(1) as f32;
+                if dm_mean <= ditto_mean {
+                    dm_trails += 1;
+                }
+            }
+            verdict(
+                "Finding 7: semi-supervised DA leads at low labels; DeepMatcher needs most labels",
+                Some(kd_leads_first_round * 2 >= panels.len() && dm_trails * 2 >= panels.len()),
+                format!(
+                    "InvGAN+KD ≥ Ditto at the first round on {kd_leads_first_round}/{} targets; DeepMatcher trails Ditto on {dm_trails}/{} ({})",
+                    panels.len(),
+                    panels.len(),
+                    panels.iter().map(|p| p.target.clone()).collect::<Vec<_>>().join(", ")
+                ),
+            );
+        }
+        Err(_) => verdict("Finding 7", None, "run fig11_labels first".into()),
+    }
+}

@@ -1,0 +1,28 @@
+//! Smoke test: one fast end-to-end DA run per algorithm family, printing
+//! timings — the quickest way to confirm the whole stack works after a
+//! change. Uses the tiny scale (~1 minute total).
+//!
+//! Usage: `cargo run --release -p dader-bench --bin smoke`
+
+use dader_bench::{Context, Scale};
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = Context::new(Scale::Tiny);
+    println!("context (13 datasets + MLM pre-training): {:.1}s", t0.elapsed().as_secs_f32());
+    let (s, t) = (DatasetId::ZY, DatasetId::FZ);
+    println!("{:<12} {:>7} {:>8}", "method", "F1", "seconds");
+    for kind in AlignerKind::all() {
+        let t1 = std::time::Instant::now();
+        let (out, f1) = ctx.run_transfer(s, t, kind, 42, false, None);
+        assert!(out.history.iter().all(|h| h.loss_m.is_finite()), "{kind}: non-finite loss");
+        println!("{:<12} {f1:>7.1} {:>8.1}", kind.to_string(), t1.elapsed().as_secs_f32());
+    }
+    // RNN extractor path
+    let t1 = std::time::Instant::now();
+    let (_, f1) = ctx.run_transfer(s, t, AlignerKind::Mmd, 42, true, None);
+    println!("{:<12} {f1:>7.1} {:>8.1}", "MMD (RNN)", t1.elapsed().as_secs_f32());
+    println!("total: {:.1}s", t0.elapsed().as_secs_f32());
+}

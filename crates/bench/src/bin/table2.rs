@@ -1,0 +1,68 @@
+//! Table 2: dataset statistics — regenerates the benchmark suite and
+//! prints the published #Pairs / #Matches / #Attrs columns plus generator
+//! diagnostics (vocabulary size, NULL fraction).
+//!
+//! Usage: `cargo run --release -p dader-bench --bin table2 [-- --scale paper]`
+//! (Table 2 reports the full sizes; the default here is `paper` since
+//! generation alone is cheap.)
+
+use dader_bench::{write_json, Scale};
+use dader_datagen::{dataset_stats, DatasetId};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    short: String,
+    name: String,
+    domain: String,
+    pairs: usize,
+    matches: usize,
+    attrs: usize,
+    vocab: usize,
+    null_frac: f32,
+    paper_pairs: usize,
+    paper_matches: usize,
+    paper_attrs: usize,
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--scale") {
+        Scale::from_args()
+    } else {
+        Scale::Paper
+    };
+    println!("== Table 2: dataset statistics (scale: {scale}) ==");
+    println!(
+        "{:<22} {:<10} {:>7} {:>8} {:>6} {:>7} {:>9}",
+        "Dataset", "Domain", "#Pairs", "#Matches", "#Attrs", "#Vocab", "NULL-frac"
+    );
+    let mut rows = Vec::new();
+    for id in DatasetId::all() {
+        let spec = id.spec();
+        let d = id.generate_scaled(1, scale.dataset_cap());
+        let s = dataset_stats(&d);
+        assert_eq!(s.attrs, spec.attrs, "{id}: generated arity drifted from Table 2");
+        if scale == Scale::Paper {
+            assert_eq!(s.pairs, spec.pairs, "{id}: pair count drifted from Table 2");
+            assert_eq!(s.matches, spec.matches, "{id}: match count drifted from Table 2");
+        }
+        println!(
+            "{:<22} {:<10} {:>7} {:>8} {:>6} {:>7} {:>9.3}",
+            s.name, s.domain, s.pairs, s.matches, s.attrs, s.vocab_size, s.null_frac
+        );
+        rows.push(Row {
+            short: spec.short.to_string(),
+            name: s.name,
+            domain: s.domain,
+            pairs: s.pairs,
+            matches: s.matches,
+            attrs: s.attrs,
+            vocab: s.vocab_size,
+            null_frac: s.null_frac,
+            paper_pairs: spec.pairs,
+            paper_matches: spec.matches,
+            paper_attrs: spec.attrs,
+        });
+    }
+    write_json("table2", &rows);
+}

@@ -1,0 +1,30 @@
+//! Table 3: similar-domain domain adaptation — NoDA plus the six Feature
+//! Aligner methods on the six same-domain transfers, mean ± std F1 over
+//! repeated seeds, with the Δ F1 of the best DA method over NoDA.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin table3 [-- --scale quick|paper]`
+
+use dader_bench::{transfer_label, Cell, Context, Scale, Table, TABLE3_TRANSFERS};
+use dader_core::AlignerKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let methods = AlignerKind::all();
+    let mut table = Table::new(
+        format!("Table 3: similar domains (scale: {scale})"),
+        methods.iter().map(|m| m.to_string()).collect(),
+    );
+    for (s, t) in TABLE3_TRANSFERS {
+        let label = transfer_label(s, t);
+        eprintln!("running {label}...");
+        let cells: Vec<Cell> = methods
+            .iter()
+            .map(|&kind| Cell::from_runs(ctx.run_cell(s, t, kind, false)))
+            .collect();
+        table.push_row(label, cells);
+        println!("{}", table.render());
+    }
+    table.emit("table3");
+}

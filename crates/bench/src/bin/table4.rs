@@ -1,0 +1,29 @@
+//! Table 4: different-domain domain adaptation — the six cross-domain
+//! transfers where the paper reports the largest DA gains.
+//!
+//! Usage: `cargo run --release -p dader-bench --bin table4 [-- --scale quick|paper]`
+
+use dader_bench::{transfer_label, Cell, Context, Scale, Table, TABLE4_TRANSFERS};
+use dader_core::AlignerKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let methods = AlignerKind::all();
+    let mut table = Table::new(
+        format!("Table 4: different domains (scale: {scale})"),
+        methods.iter().map(|m| m.to_string()).collect(),
+    );
+    for (s, t) in TABLE4_TRANSFERS {
+        let label = transfer_label(s, t);
+        eprintln!("running {label}...");
+        let cells: Vec<Cell> = methods
+            .iter()
+            .map(|&kind| Cell::from_runs(ctx.run_cell(s, t, kind, false)))
+            .collect();
+        table.push_row(label, cells);
+        println!("{}", table.render());
+    }
+    table.emit("table4");
+}

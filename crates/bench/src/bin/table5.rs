@@ -1,0 +1,30 @@
+//! Table 5: WDC product categories — twelve transfers between categories
+//! sharing one title vocabulary, where the paper finds domain shift small
+//! and DA gains limited (−1.5 .. +8.3).
+//!
+//! Usage: `cargo run --release -p dader-bench --bin table5 [-- --scale quick|paper]`
+
+use dader_bench::{transfer_label, Cell, Context, Scale, Table, TABLE5_TRANSFERS};
+use dader_core::AlignerKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building context (scale: {scale})...");
+    let ctx = Context::new(scale);
+    let methods = AlignerKind::all();
+    let mut table = Table::new(
+        format!("Table 5: WDC categories, small shift (scale: {scale})"),
+        methods.iter().map(|m| m.to_string()).collect(),
+    );
+    for (s, t) in TABLE5_TRANSFERS {
+        let label = transfer_label(s, t);
+        eprintln!("running {label}...");
+        let cells: Vec<Cell> = methods
+            .iter()
+            .map(|&kind| Cell::from_runs(ctx.run_cell(s, t, kind, false)))
+            .collect();
+        table.push_row(label, cells);
+        println!("{}", table.render());
+    }
+    table.emit("table5");
+}

@@ -1,0 +1,59 @@
+//! # dader-bench
+//!
+//! The experiment harness regenerating every table and figure of the DADER
+//! paper (see DESIGN.md §4 for the experiment index). The binaries under
+//! `src/bin/` each reproduce one table/figure; Criterion micro-benchmarks
+//! live under `benches/`.
+//!
+//! Run e.g. `cargo run --release -p dader-bench --bin table3 -- --scale quick`.
+
+pub mod context;
+pub mod report;
+pub mod scale;
+
+pub use context::{Context, TargetSplits};
+pub use report::{write_json, Cell, Table};
+pub use scale::Scale;
+
+use dader_datagen::DatasetId;
+
+/// The similar-domain transfers of Table 3.
+pub const TABLE3_TRANSFERS: [(DatasetId, DatasetId); 6] = [
+    (DatasetId::WA, DatasetId::AB),
+    (DatasetId::AB, DatasetId::WA),
+    (DatasetId::DS, DatasetId::DA),
+    (DatasetId::DA, DatasetId::DS),
+    (DatasetId::ZY, DatasetId::FZ),
+    (DatasetId::FZ, DatasetId::ZY),
+];
+
+/// The different-domain transfers of Table 4.
+pub const TABLE4_TRANSFERS: [(DatasetId, DatasetId); 6] = [
+    (DatasetId::RI, DatasetId::AB),
+    (DatasetId::RI, DatasetId::WA),
+    (DatasetId::IA, DatasetId::DA),
+    (DatasetId::IA, DatasetId::DS),
+    (DatasetId::B2, DatasetId::FZ),
+    (DatasetId::B2, DatasetId::ZY),
+];
+
+/// The WDC category transfers of Table 5 (paper row order).
+pub const TABLE5_TRANSFERS: [(DatasetId, DatasetId); 12] = [
+    (DatasetId::CO, DatasetId::WT),
+    (DatasetId::WT, DatasetId::CO),
+    (DatasetId::CA, DatasetId::WT),
+    (DatasetId::WT, DatasetId::CA),
+    (DatasetId::SH, DatasetId::WT),
+    (DatasetId::WT, DatasetId::SH),
+    (DatasetId::CO, DatasetId::SH),
+    (DatasetId::SH, DatasetId::CO),
+    (DatasetId::CA, DatasetId::SH),
+    (DatasetId::SH, DatasetId::CA),
+    (DatasetId::CO, DatasetId::CA),
+    (DatasetId::CA, DatasetId::CO),
+];
+
+/// Label a transfer like the paper's figures (`AB-WA`).
+pub fn transfer_label(s: DatasetId, t: DatasetId) -> String {
+    format!("{s}-{t}")
+}

@@ -1,0 +1,180 @@
+//! Table/figure reporting: paper-style text tables on stdout and JSON
+//! dumps under `results/` so every experiment's numbers are diffable.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dader_core::mean_std;
+use serde::Serialize;
+
+/// One `mean ± std` cell of a results table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    /// Mean F1 over seeds.
+    pub mean: f32,
+    /// Sample standard deviation.
+    pub std: f32,
+    /// Raw per-seed values.
+    pub runs: Vec<f32>,
+}
+
+impl Cell {
+    /// Aggregate per-seed runs.
+    pub fn from_runs(runs: Vec<f32>) -> Cell {
+        let (mean, std) = mean_std(&runs);
+        Cell { mean, std, runs }
+    }
+
+    /// Paper-style rendering, e.g. `72.6 ± 3.0`.
+    pub fn render(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.std)
+    }
+}
+
+/// A results table: one row per transfer, one column per method.
+#[derive(Debug, Serialize)]
+pub struct Table {
+    /// Table title (e.g. `Table 3: similar domains`).
+    pub title: String,
+    /// Column headers after the row label.
+    pub columns: Vec<String>,
+    /// `(row label, cells)` in print order.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        let label = label.into();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row {label} has {} cells for {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push((label, cells));
+    }
+
+    /// Δ F1 of the best DA method over the first (NoDA) column, per row —
+    /// the tables' final column in the paper.
+    pub fn delta_f1(&self, row: usize) -> f32 {
+        let cells = &self.rows[row].1;
+        let noda = cells[0].mean;
+        let best = cells[1..]
+            .iter()
+            .map(|c| c.mean)
+            .fold(f32::MIN, f32::max);
+        best - noda
+    }
+
+    /// Render as an aligned text table (with the Δ F1 column).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12)).collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        for (_, cells) in &self.rows {
+            for (w, c) in widths.iter_mut().zip(cells) {
+                *w = (*w).max(c.render().len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<label_w$}", "transfer"));
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!("  {c:>w$}"));
+        }
+        out.push_str("    Δ F1\n");
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{label:<label_w$}"));
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!("  {:>w$}", c.render()));
+            }
+            out.push_str(&format!("  {:>6.1}\n", self.delta_f1(i)));
+        }
+        out
+    }
+
+    /// Print to stdout and persist as JSON under `results/<slug>.json`.
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        write_json(slug, self);
+    }
+}
+
+/// Serialize any value under `results/<slug>.json` (directory created on
+/// demand). Failures are printed, not fatal — the console table is the
+/// primary artifact.
+pub fn write_json<T: Serialize>(slug: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warn: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{slug}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warn: cannot write {}: {e}", path.display());
+            } else {
+                println!("(results saved to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: cannot serialize {slug}: {e}"),
+    }
+}
+
+/// The results directory (`DADER_RESULTS_DIR` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("DADER_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_aggregates() {
+        let c = Cell::from_runs(vec![70.0, 80.0, 90.0]);
+        assert!((c.mean - 80.0).abs() < 1e-4);
+        assert!((c.std - 10.0).abs() < 1e-4);
+        assert_eq!(c.render(), "80.0 ± 10.0");
+    }
+
+    #[test]
+    fn table_renders_delta() {
+        let mut t = Table::new("T", vec!["NoDA".into(), "MMD".into()]);
+        t.push_row(
+            "A->B",
+            vec![Cell::from_runs(vec![50.0]), Cell::from_runs(vec![60.0])],
+        );
+        assert!((t.delta_f1(0) - 10.0).abs() < 1e-4);
+        let s = t.render();
+        assert!(s.contains("A->B"));
+        assert!(s.contains("60.0 ± 0.0"));
+        assert!(s.contains("10.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", vec!["NoDA".into(), "MMD".into()]);
+        t.push_row("A->B", vec![Cell::from_runs(vec![50.0])]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiment scale: `quick` (CPU-minutes, default) vs `paper` (the
+//! published protocol sizes — hours on this hardware).
+
+use dader_core::train::TrainConfig;
+use dader_nn::TransformerConfig;
+
+/// How big to run the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Datasets capped at ~600 pairs, 12 epochs, 2 seeds. Minutes per
+    /// table on one CPU core.
+    Quick,
+    /// A middle setting for smoke tests (tiny datasets, 1 seed).
+    Tiny,
+    /// Table 2 dataset sizes, 40 epochs, 3 seeds — the paper's protocol.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "tiny" => Some(Scale::Tiny),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Read from argv (`--scale quick|tiny|paper`), default quick.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                return Scale::parse(&w[1])
+                    .unwrap_or_else(|| panic!("unknown scale {:?}", w[1]));
+            }
+        }
+        Scale::Quick
+    }
+
+    /// Maximum pairs per generated dataset.
+    pub fn dataset_cap(&self) -> usize {
+        match self {
+            Scale::Tiny => 200,
+            Scale::Quick => 600,
+            Scale::Paper => usize::MAX,
+        }
+    }
+
+    /// Seeds for the repeated-runs protocol (the paper uses 3). The
+    /// `DADER_SEEDS` environment variable truncates the list (e.g.
+    /// `DADER_SEEDS=1` for a fast single-seed pass).
+    pub fn seeds(&self) -> Vec<u64> {
+        let mut seeds = match self {
+            Scale::Tiny => vec![42],
+            Scale::Quick => vec![42, 43],
+            Scale::Paper => vec![42, 43, 44],
+        };
+        if let Ok(n) = std::env::var("DADER_SEEDS") {
+            if let Ok(n) = n.parse::<usize>() {
+                seeds.truncate(n.max(1));
+            }
+        }
+        seeds
+    }
+
+    /// Training configuration.
+    pub fn train_config(&self) -> TrainConfig {
+        match self {
+            Scale::Tiny => TrainConfig {
+                epochs: 4,
+                iters_per_epoch: Some(6),
+                step1_epochs: 4,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            Scale::Quick => TrainConfig {
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            Scale::Paper => TrainConfig {
+                lr: 3e-3,
+                ..TrainConfig::paper_scale()
+            },
+        }
+    }
+
+    /// LM (transformer) configuration; vocab/max_len filled in later.
+    pub fn lm_config(&self) -> TransformerConfig {
+        match self {
+            Scale::Tiny => TransformerConfig {
+                vocab: 0,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ffn_dim: 32,
+                max_len: 32,
+            },
+            Scale::Quick => TransformerConfig {
+                vocab: 0,
+                dim: 32,
+                layers: 2,
+                heads: 4,
+                ffn_dim: 64,
+                max_len: 40,
+            },
+            Scale::Paper => TransformerConfig {
+                vocab: 0,
+                dim: 64,
+                layers: 3,
+                heads: 8,
+                ffn_dim: 128,
+                max_len: 64,
+            },
+        }
+    }
+
+    /// MLM pre-training steps.
+    pub fn pretrain_steps(&self) -> usize {
+        match self {
+            Scale::Tiny => 60,
+            Scale::Quick => 300,
+            Scale::Paper => 1500,
+        }
+    }
+
+    /// Maximum sequence length (paper: 128, 256 for WDC; scaled here).
+    pub fn max_len(&self) -> usize {
+        self.lm_config().max_len
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Tiny => write!(f, "tiny"),
+            Scale::Quick => write!(f, "quick"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        assert!(Scale::Quick.dataset_cap() < Scale::Paper.dataset_cap());
+        assert!(Scale::Quick.train_config().epochs < Scale::Paper.train_config().epochs);
+        assert!(Scale::Quick.pretrain_steps() < Scale::Paper.pretrain_steps());
+    }
+
+    #[test]
+    fn seeds_nonempty() {
+        for s in [Scale::Tiny, Scale::Quick, Scale::Paper] {
+            assert!(!s.seeds().is_empty());
+        }
+    }
+}

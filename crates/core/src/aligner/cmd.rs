@@ -1,0 +1,119 @@
+//! Design-space extension: Central Moment Discrepancy (Zellinger et al.),
+//! the higher-order discrepancy metric the paper's related work cites
+//! alongside MMD and CORAL. Not part of the paper's six methods — included
+//! to demonstrate the framework's extensibility (Section 4: "DADER is
+//! extensible ... it is possible to incorporate new methods").
+//!
+//! `CMD_K = ||E[x_S] − E[x_T]|| + Σ_{k=2..K} ||c_k(x_S) − c_k(x_T)||`
+//!
+//! where `c_k` are the k-th order central moments per feature dimension.
+//! Like MMD/CORAL it is parameter-free and differentiable into `F`.
+
+use dader_tensor::Tensor;
+
+/// k-th central moment per feature dimension of a batch `(n, d) -> (d,)`,
+/// differentiable.
+fn central_moment(x: &Tensor, k: u32) -> Tensor {
+    debug_assert!(k >= 2);
+    let mean = x.mean_rows();
+    let centered = x.add_rowvec(&mean.neg());
+    // centered^k via repeated multiplication (k is small).
+    let mut p = centered.clone();
+    for _ in 1..k {
+        p = p.mul(&centered);
+    }
+    p.mean_rows()
+}
+
+/// L2 norm of a vector-valued difference, as a scalar tensor
+/// (eps-stabilized sqrt for differentiability at zero).
+fn l2_diff(a: &Tensor, b: &Tensor) -> Tensor {
+    a.sub(b).square().sum_all().add_scalar(1e-12).sqrt_elem()
+}
+
+/// The CMD loss with moments up to order `k_max` (the reference uses 5).
+pub fn cmd_loss(xs: &Tensor, xt: &Tensor, k_max: u32) -> Tensor {
+    assert!(k_max >= 1, "cmd needs at least the first moment");
+    let (_, d) = xs.shape().as_2d();
+    let (_, d2) = xt.shape().as_2d();
+    assert_eq!(d, d2, "cmd_loss: feature dims differ");
+
+    // First moment: plain means.
+    let mut total = l2_diff(&xs.mean_rows(), &xt.mean_rows());
+    for k in 2..=k_max {
+        total = total.add(&l2_diff(&central_moment(xs, k), &central_moment(xt, k)));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_tensor::Param;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn batch(n: usize, d: usize, mean: f32, spread: f32, rng: &mut StdRng) -> Vec<f32> {
+        (0..n * d)
+            .map(|_| mean + spread * rng.random_range(-1.0f32..1.0))
+            .collect()
+    }
+
+    #[test]
+    fn zero_for_identical_batches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = batch(16, 4, 0.0, 1.0, &mut rng);
+        let a = Tensor::from_vec(data.clone(), (16, 4));
+        let b = Tensor::from_vec(data, (16, 4));
+        assert!(cmd_loss(&a, &b, 5).item() < 1e-4);
+    }
+
+    #[test]
+    fn detects_mean_shift() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::from_vec(batch(32, 4, 0.0, 1.0, &mut rng), (32, 4));
+        let b = Tensor::from_vec(batch(32, 4, 2.0, 1.0, &mut rng), (32, 4));
+        let c = Tensor::from_vec(batch(32, 4, 0.0, 1.0, &mut rng), (32, 4));
+        assert!(cmd_loss(&a, &b, 3).item() > 3.0 * cmd_loss(&a, &c, 3).item());
+    }
+
+    #[test]
+    fn detects_variance_shift_beyond_first_moment() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // same means, different spreads — only higher moments see it
+        let a = Tensor::from_vec(batch(64, 4, 0.0, 0.3, &mut rng), (64, 4));
+        let b = Tensor::from_vec(batch(64, 4, 0.0, 2.0, &mut rng), (64, 4));
+        let first_only = cmd_loss(&a, &b, 1).item();
+        let with_higher = cmd_loss(&a, &b, 5).item();
+        assert!(
+            with_higher > first_only + 0.2,
+            "higher moments must add signal: k=1 {first_only} vs k=5 {with_higher}"
+        );
+    }
+
+    #[test]
+    fn gradient_pulls_distributions_together() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Param::from_vec("xs", batch(24, 3, 2.0, 1.0, &mut rng), (24, 3));
+        let xt = Tensor::from_vec(batch(24, 3, 0.0, 1.0, &mut rng), (24, 3));
+        let initial = cmd_loss(&p.leaf(), &xt, 3).item();
+        for _ in 0..100 {
+            let loss = cmd_loss(&p.leaf(), &xt, 3);
+            let g = loss.backward();
+            let gr = g.get_id(p.id()).unwrap().to_vec();
+            p.update_with(|w| {
+                for (wv, gv) in w.iter_mut().zip(&gr) {
+                    *wv -= 0.5 * gv;
+                }
+            });
+        }
+        let fin = cmd_loss(&p.leaf(), &xt, 3).item();
+        assert!(fin < initial * 0.5, "CMD should fall: {initial} -> {fin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dims differ")]
+    fn dim_mismatch_panics() {
+        cmd_loss(&Tensor::ones((2, 3)), &Tensor::ones((2, 4)), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Discrepancy-based aligner (b): K-order statistics — DeepCORAL's
+//! second-order alignment (Eq. 6):
+//!
+//! `L_CORAL = ||C_S - C_T||_F² / (4 d²)`
+//!
+//! where `C_S`, `C_T` are the feature covariance matrices. Like MMD this
+//! aligner has no parameters; the loss differentiates into the extractor.
+
+use dader_tensor::Tensor;
+
+/// Covariance matrix of a feature batch `x (n, d)`: `(d, d)`,
+/// differentiable.
+pub fn covariance(x: &Tensor) -> Tensor {
+    let (n, _d) = x.shape().as_2d();
+    let mean = x.mean_rows(); // (d,)
+    let centered = x.add_rowvec(&mean.neg());
+    let denom = (n.max(2) - 1) as f32;
+    centered
+        .transpose2()
+        .matmul(&centered)
+        .scale(1.0 / denom)
+}
+
+/// The CORAL loss between source and target feature batches.
+pub fn coral_loss(xs: &Tensor, xt: &Tensor) -> Tensor {
+    let (_, d) = xs.shape().as_2d();
+    let (_, d2) = xt.shape().as_2d();
+    assert_eq!(d, d2, "coral_loss: feature dims differ");
+    let cs = covariance(xs);
+    let ct = covariance(xt);
+    cs.sub(&ct)
+        .square()
+        .sum_all()
+        .scale(1.0 / (4.0 * (d * d) as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_tensor::Param;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn batch(n: usize, d: usize, scale: f32, rng: &mut StdRng) -> Vec<f32> {
+        (0..n * d).map(|_| scale * rng.random_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // x = [[1,0],[−1,0]] → var of col0 = 2 (n−1 = 1), col1 = 0
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.0], (2, 2));
+        let c = covariance(&x);
+        assert!((c.get2(0, 0) - 2.0).abs() < 1e-5);
+        assert!(c.get2(1, 1).abs() < 1e-6);
+        assert!(c.get2(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covariance_is_mean_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], (3, 2));
+        let shifted = x.add_scalar(100.0);
+        let ca = covariance(&x).to_vec();
+        let cb = covariance(&shifted).to_vec();
+        for (a, b) in ca.iter().zip(&cb) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn coral_zero_for_identical_batches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = batch(16, 4, 1.0, &mut rng);
+        let a = Tensor::from_vec(data.clone(), (16, 4));
+        let b = Tensor::from_vec(data, (16, 4));
+        assert!(coral_loss(&a, &b).item() < 1e-8);
+    }
+
+    #[test]
+    fn coral_detects_scale_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::from_vec(batch(32, 4, 1.0, &mut rng), (32, 4));
+        let b = Tensor::from_vec(batch(32, 4, 3.0, &mut rng), (32, 4));
+        let c = Tensor::from_vec(batch(32, 4, 1.0, &mut rng), (32, 4));
+        assert!(coral_loss(&a, &b).item() > 5.0 * coral_loss(&a, &c).item());
+    }
+
+    #[test]
+    fn minimizing_coral_matches_covariances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Param::from_vec("xs", batch(24, 3, 4.0, &mut rng), (24, 3));
+        let xt = Tensor::from_vec(batch(24, 3, 1.0, &mut rng), (24, 3));
+        let initial = coral_loss(&p.leaf(), &xt).item();
+        for _ in 0..80 {
+            let loss = coral_loss(&p.leaf(), &xt);
+            let g = loss.backward();
+            let gr = g.get_id(p.id()).unwrap().to_vec();
+            p.update_with(|w| {
+                for (wv, gv) in w.iter_mut().zip(&gr) {
+                    *wv -= 5.0 * gv;
+                }
+            });
+        }
+        let fin = coral_loss(&p.leaf(), &xt).item();
+        assert!(fin < initial * 0.2, "CORAL should fall: {initial} -> {fin}");
+    }
+
+    #[test]
+    fn loss_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::from_vec(batch(16, 4, 1.0, &mut rng), (16, 4));
+        let b = Tensor::from_vec(batch(16, 4, 2.0, &mut rng), (16, 4));
+        let ab = coral_loss(&a, &b).item();
+        let ba = coral_loss(&b, &a).item();
+        assert!((ab - ba).abs() < 1e-6);
+    }
+}

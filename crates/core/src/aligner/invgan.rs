@@ -1,0 +1,182 @@
+//! Adversarial aligners (d) InvGAN and (e) InvGAN+KD — the GAN-style
+//! two-step adaptation of Algorithm 2 (ADDA-style inverted-labels
+//! training, optionally stabilized by knowledge distillation, Eqs. 10–14).
+//!
+//! This module provides the discriminator network and the individual loss
+//! terms; the alternating training loop lives in
+//! [`crate::train::algorithm2`].
+
+use dader_nn::{loss::kd_loss, Activation, Mlp};
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+
+/// The GAN discriminator `A`: per the paper, three fully-connected layers
+/// with LeakyReLU and a sigmoid output (folded into BCE-with-logits).
+pub struct Discriminator {
+    mlp: Mlp,
+}
+
+impl Discriminator {
+    /// New discriminator over `feat_dim`-dimensional features.
+    pub fn new(feat_dim: usize, rng: &mut StdRng) -> Discriminator {
+        let hidden = feat_dim.max(8);
+        Discriminator {
+            mlp: Mlp::new(
+                "invgan.disc",
+                &[feat_dim, hidden, hidden / 2, 1],
+                Activation::LeakyRelu,
+                rng,
+            ),
+        }
+    }
+
+    /// Raw domain logits for a feature batch.
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        self.mlp.forward(x)
+    }
+
+    /// Discriminator loss (Eq. 10 for InvGAN, Eq. 13 for InvGAN+KD):
+    /// classify `real` as 1 and `fake` as 0. Both feature batches are
+    /// detached — the discriminator step trains only `A`.
+    pub fn discriminator_loss(&self, real: &Tensor, fake: &Tensor) -> Tensor {
+        let (nr, _) = real.shape().as_2d();
+        let (nf, _) = fake.shape().as_2d();
+        let joint = real.detach().concat_rows(&fake.detach());
+        let logits = self.logits(&joint).reshape(nr + nf);
+        let mut labels = vec![1.0f32; nr];
+        labels.extend(std::iter::repeat(0.0).take(nf));
+        logits.bce_with_logits(&labels)
+    }
+
+    /// Generator loss with inverted labels (Eq. 11): make the
+    /// discriminator call the *fake* (target) features real. Gradients flow
+    /// through `A` into the generator `F'`, but only `F'` is stepped.
+    pub fn generator_loss(&self, fake: &Tensor) -> Tensor {
+        let (nf, _) = fake.shape().as_2d();
+        let logits = self.logits(fake).reshape(nf);
+        logits.bce_with_logits(&vec![1.0f32; nf])
+    }
+
+    /// Domain accuracy on detached features (diagnostic).
+    pub fn accuracy(&self, real: &Tensor, fake: &Tensor) -> f32 {
+        let count = |x: &Tensor, positive: bool| {
+            self.logits(&x.detach())
+                .to_vec()
+                .iter()
+                .filter(|&&z| (z > 0.0) == positive)
+                .count()
+        };
+        let correct = count(real, true) + count(fake, false);
+        correct as f32 / (real.shape().dim(0) + fake.shape().dim(0)) as f32
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        self.mlp.params()
+    }
+}
+
+/// The knowledge-distillation term of InvGAN+KD (Eq. 12): keep the student
+/// `M(F'(x_S))` close to the frozen teacher `M(F(x_S))`, so the adapted
+/// extractor stays *discriminative* while the adversary makes it
+/// *domain-invariant*.
+pub fn distillation_loss(teacher_logits: &Tensor, student_logits: &Tensor, temperature: f32) -> Tensor {
+    kd_loss(teacher_logits, student_logits, temperature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_nn::{Adam, Optimizer};
+    use rand::{RngExt, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn cluster(n: usize, d: usize, mean: f32, rng: &mut StdRng) -> Tensor {
+        Tensor::from_vec(
+            (0..n * d).map(|_| mean + rng.random_range(-0.5..0.5)).collect::<Vec<f32>>(),
+            (n, d),
+        )
+    }
+
+    #[test]
+    fn discriminator_learns_separable_domains() {
+        let mut r = rng();
+        let d = Discriminator::new(4, &mut r);
+        let real = cluster(16, 4, 1.5, &mut r);
+        let fake = cluster(16, 4, -1.5, &mut r);
+        let mut opt = Adam::new(0.02);
+        let initial = d.discriminator_loss(&real, &fake).item();
+        for _ in 0..60 {
+            let loss = d.discriminator_loss(&real, &fake);
+            let g = loss.backward();
+            opt.step(&d.params(), &g);
+        }
+        assert!(d.discriminator_loss(&real, &fake).item() < initial);
+        assert!(d.accuracy(&real, &fake) > 0.9);
+    }
+
+    #[test]
+    fn discriminator_loss_detaches_features() {
+        let mut r = rng();
+        let d = Discriminator::new(2, &mut r);
+        let p = dader_tensor::Param::from_vec("x", vec![1.0, 0.0], (1, 2));
+        let x = p.leaf();
+        let fake = cluster(1, 2, 0.0, &mut r);
+        let g = d.discriminator_loss(&x, &fake).backward();
+        assert!(g.get(&x).is_none(), "discriminator step must not train features");
+    }
+
+    #[test]
+    fn generator_loss_flows_into_features() {
+        let mut r = rng();
+        let d = Discriminator::new(2, &mut r);
+        let p = dader_tensor::Param::from_vec("x", vec![1.0, 0.0], (1, 2));
+        let x = p.leaf();
+        let g = d.generator_loss(&x).backward();
+        assert!(g.get(&x).is_some(), "generator step must train features");
+    }
+
+    #[test]
+    fn adversarial_game_moves_fake_toward_real() {
+        // Alternate D and G steps on point clouds; the fake cloud's mean
+        // should drift toward the real cloud.
+        let mut r = rng();
+        let d = Discriminator::new(2, &mut r);
+        let real = cluster(24, 2, 2.0, &mut r);
+        let fake_param =
+            dader_tensor::Param::from_vec("fake", cluster(24, 2, -2.0, &mut r).to_vec(), (24, 2));
+        let mut opt_d = Adam::new(0.02);
+        let mut opt_g = Adam::new(0.05);
+        let mean_of = |p: &dader_tensor::Param| -> f32 {
+            p.snapshot().iter().sum::<f32>() / p.numel() as f32
+        };
+        let before = mean_of(&fake_param);
+        for _ in 0..80 {
+            let g = d
+                .discriminator_loss(&real, &fake_param.leaf())
+                .backward();
+            opt_d.step(&d.params(), &g);
+            let g = d.generator_loss(&fake_param.leaf()).backward();
+            opt_g.step(&[fake_param.clone()], &g);
+        }
+        let after = mean_of(&fake_param);
+        assert!(
+            after > before + 0.5,
+            "fake mean should move toward real: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn kd_anchors_student_to_teacher() {
+        let teacher = Tensor::from_vec(vec![4.0, -4.0], (1, 2));
+        let near = Tensor::from_vec(vec![3.5, -3.5], (1, 2));
+        let far = Tensor::from_vec(vec![-4.0, 4.0], (1, 2));
+        assert!(
+            distillation_loss(&teacher, &near, 2.0).item()
+                < distillation_loss(&teacher, &far, 2.0).item()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Discrepancy-based aligner (a): Maximum Mean Discrepancy (Eq. 5).
+//!
+//! Multi-kernel RBF MMD with the mean-distance bandwidth heuristic, as in
+//! DAN (Long et al.). The aligner is a fixed function (no parameters):
+//! `L_A = MMD²(p_S, p_T)` computed on the extracted feature batches, fully
+//! differentiable back into the feature extractor.
+
+use dader_tensor::Tensor;
+
+/// Pairwise squared Euclidean distances between the rows of `x (n,d)` and
+/// `y (m,d)`, as a differentiable `(n, m)` tensor.
+pub fn pairwise_sq_dists(x: &Tensor, y: &Tensor) -> Tensor {
+    let (n, d) = x.shape().as_2d();
+    let (m, d2) = y.shape().as_2d();
+    assert_eq!(d, d2, "pairwise_sq_dists: feature dims differ");
+    let x2 = x.square().sum_cols(); // (n,)
+    let y2 = y.square().sum_cols(); // (m,)
+    let xy = x.matmul(&y.transpose2()); // (n, m)
+    let ones_m = Tensor::ones((1, m));
+    let ones_n = Tensor::ones((n, 1));
+    x2.reshape((n, 1))
+        .matmul(&ones_m)
+        .add(&ones_n.matmul(&y2.reshape((1, m))))
+        .sub(&xy.scale(2.0))
+        .clamp(0.0, f32::INFINITY)
+}
+
+/// Mean of the *positive* pairwise squared distances (detached; the DAN
+/// bandwidth heuristic). Using the mean rather than the median keeps the
+/// kernel wide enough that well-separated clusters still exchange
+/// gradient — RBF kernels saturate when the bandwidth is small relative
+/// to the domain gap.
+fn mean_bandwidth(xs: &Tensor, xt: &Tensor) -> f32 {
+    let joint = xs.detach().concat_rows(&xt.detach());
+    let d2 = pairwise_sq_dists(&joint, &joint);
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for &v in d2.data() {
+        if v > 1e-9 {
+            sum += v as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        ((sum / count as f64) as f32).max(1e-6)
+    }
+}
+
+/// Bandwidth multipliers for the multi-kernel mixture.
+const KERNEL_FACTORS: [f32; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Multi-kernel MMD² between source features `xs (n,d)` and target
+/// features `xt (m,d)`. Differentiable in both inputs. Zero iff the batch
+/// distributions coincide (up to the kernel family).
+pub fn mmd_loss(xs: &Tensor, xt: &Tensor) -> Tensor {
+    mmd_loss_with_factors(xs, xt, &KERNEL_FACTORS)
+}
+
+/// MMD² with an explicit bandwidth-multiplier mixture (the
+/// `ablate_mmd_kernels` bench compares single- vs multi-kernel variants).
+pub fn mmd_loss_with_factors(xs: &Tensor, xt: &Tensor, factors: &[f32]) -> Tensor {
+    assert!(!factors.is_empty(), "mmd needs at least one kernel");
+    let sigma2 = mean_bandwidth(xs, xt);
+
+    let dxx = pairwise_sq_dists(xs, xs);
+    let dyy = pairwise_sq_dists(xt, xt);
+    let dxy = pairwise_sq_dists(xs, xt);
+
+    let mut total: Option<Tensor> = None;
+    for &factor in factors {
+        let gamma = 1.0 / (2.0 * sigma2 * factor);
+        let term = dxx
+            .scale(-gamma)
+            .exp()
+            .mean_all()
+            .add(&dyy.scale(-gamma).exp().mean_all())
+            .sub(&dxy.scale(-gamma).exp().mean_all().scale(2.0));
+        total = Some(match total {
+            None => term,
+            Some(t) => t.add(&term),
+        });
+    }
+    total
+        .expect("at least one kernel")
+        .scale(1.0 / factors.len() as f32)
+}
+
+/// Non-differentiable MMD value between two plain feature matrices —
+/// the dataset-distance measure of Finding 2 (Fig. 6).
+pub fn mmd_value(xs: &[Vec<f32>], xt: &[Vec<f32>]) -> f32 {
+    assert!(!xs.is_empty() && !xt.is_empty(), "mmd_value: empty feature sets");
+    let d = xs[0].len();
+    let flat = |rows: &[Vec<f32>]| -> Tensor {
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "mmd_value: ragged feature rows");
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(data, (rows.len(), d))
+    };
+    mmd_loss(&flat(xs), &flat(xt)).item()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_tensor::Param;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gaussian_batch(n: usize, d: usize, mean: f32, rng: &mut StdRng) -> Vec<f32> {
+        (0..n * d).map(|_| mean + rng.random_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn pairwise_distances_correct() {
+        let x = Tensor::from_vec(vec![0.0, 0.0, 3.0, 4.0], (2, 2));
+        let y = Tensor::from_vec(vec![0.0, 0.0], (1, 2));
+        let d = pairwise_sq_dists(&x, &y);
+        assert!((d.get(0) - 0.0).abs() < 1e-5);
+        assert!((d.get(1) - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mmd_near_zero_for_same_distribution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::from_vec(gaussian_batch(64, 8, 0.0, &mut rng), (64, 8));
+        let b = Tensor::from_vec(gaussian_batch(64, 8, 0.0, &mut rng), (64, 8));
+        let same = mmd_loss(&a, &b).item();
+        let c = Tensor::from_vec(gaussian_batch(64, 8, 3.0, &mut rng), (64, 8));
+        let diff = mmd_loss(&a, &c).item();
+        assert!(same < 0.1, "same-dist MMD {same}");
+        assert!(diff > same * 3.0, "shifted MMD {diff} vs {same}");
+    }
+
+    #[test]
+    fn mmd_is_nonnegative_in_practice() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let a = Tensor::from_vec(gaussian_batch(16, 4, 0.0, &mut rng), (16, 4));
+            let b = Tensor::from_vec(gaussian_batch(16, 4, 0.5, &mut rng), (16, 4));
+            assert!(mmd_loss(&a, &b).item() > -1e-4);
+        }
+    }
+
+    #[test]
+    fn minimizing_mmd_pulls_distributions_together() {
+        // Trainable source features start far from fixed target features;
+        // gradient descent on MMD must reduce the gap.
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::from_vec("xs", gaussian_batch(24, 4, 2.0, &mut rng), (24, 4));
+        let xt = Tensor::from_vec(gaussian_batch(24, 4, 0.0, &mut rng), (24, 4));
+        let initial = mmd_loss(&p.leaf(), &xt).item();
+        let mean_of = |p: &Param| p.snapshot().iter().sum::<f32>() / p.numel() as f32;
+        let mean_before = mean_of(&p);
+        for _ in 0..150 {
+            let loss = mmd_loss(&p.leaf(), &xt);
+            let g = loss.backward();
+            if let Some(gr) = g.get_id(p.id()) {
+                let gr = gr.to_vec();
+                p.update_with(|w| {
+                    for (wv, gv) in w.iter_mut().zip(&gr) {
+                        *wv -= 10.0 * gv;
+                    }
+                });
+            }
+        }
+        let fin = mmd_loss(&p.leaf(), &xt).item();
+        assert!(fin < initial * 0.6, "MMD should fall: {initial} -> {fin}");
+        // and the cloud should have drifted toward the target's mean (0)
+        assert!(mean_of(&p) < mean_before - 0.3);
+    }
+
+    #[test]
+    fn mmd_value_matches_tensor_path() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let xt = vec![vec![5.0, 5.0], vec![6.0, 6.0]];
+        let v = mmd_value(&xs, &xt);
+        assert!(v > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mmd_value_rejects_empty() {
+        mmd_value(&[], &[vec![1.0]]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Comparison approaches from Section 6.1: the instance-level Reweight
+//! method (Fig. 10) and the supervised in-domain baselines Ditto and
+//! DeepMatcher (Fig. 11).
+
+pub mod reweight;
+pub mod supervised;
+
+pub use reweight::{instance_weights, run_reweight, ReweightConfig};
+pub use supervised::{run_deepmatcher, run_ditto, train_supervised};

@@ -1,0 +1,110 @@
+//! Dataset-distance analysis (Finding 2, Fig. 6): the MMD between source
+//! and target feature distributions under a fixed pre-trained extractor
+//! predicts how well DA will work for that source.
+
+use dader_datagen::ErDataset;
+use dader_text::PairEncoder;
+
+use crate::aligner::mmd_value;
+use crate::batch::encode_all;
+use crate::extractor::FeatureExtractor;
+
+/// Extract features for up to `max_pairs` pairs of a dataset using a
+/// fixed extractor (no training involved).
+pub fn dataset_features(
+    extractor: &dyn FeatureExtractor,
+    dataset: &ErDataset,
+    encoder: &PairEncoder,
+    max_pairs: usize,
+    batch_size: usize,
+) -> Vec<Vec<f32>> {
+    let sub = dataset.subsample(max_pairs, 0xD15);
+    let d = extractor.feat_dim();
+    let mut out = Vec::with_capacity(sub.len());
+    for batch in encode_all(&sub, encoder, batch_size) {
+        let f = extractor.extract(&batch);
+        let data = f.to_vec();
+        for r in 0..batch.batch {
+            out.push(data[r * d..(r + 1) * d].to_vec());
+        }
+    }
+    out
+}
+
+/// MMD distance between two datasets under a fixed extractor — the
+/// quantity on Fig. 6's x-axis. Smaller means the domains are closer.
+pub fn dataset_mmd(
+    extractor: &dyn FeatureExtractor,
+    source: &ErDataset,
+    target: &ErDataset,
+    encoder: &PairEncoder,
+    max_pairs: usize,
+) -> f32 {
+    let fs = dataset_features(extractor, source, encoder, max_pairs, 32);
+    let ft = dataset_features(extractor, target, encoder, max_pairs, 32);
+    mmd_value(&fs, &ft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::LmExtractor;
+    use dader_datagen::DatasetId;
+    use dader_nn::TransformerConfig;
+    use dader_text::Vocab;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shared_encoder(datasets: &[&ErDataset]) -> PairEncoder {
+        let mut text = String::new();
+        for d in datasets {
+            text.push_str(&d.all_text());
+        }
+        let vocab = Vocab::build(
+            dader_text::tokenize(&text).iter().map(|s| s.as_str()),
+            1,
+            6000,
+        );
+        PairEncoder::new(vocab, 24)
+    }
+
+    fn extractor(vocab: usize) -> LmExtractor {
+        let mut rng = StdRng::seed_from_u64(0);
+        LmExtractor::new(
+            TransformerConfig {
+                vocab,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ffn_dim: 32,
+                max_len: 24,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn features_have_expected_count_and_dim() {
+        let d = DatasetId::FZ.generate_scaled(1, 80);
+        let enc = shared_encoder(&[&d]);
+        let e = extractor(enc.vocab().len());
+        let f = dataset_features(&e, &d, &enc, 50, 16);
+        assert_eq!(f.len(), 50);
+        assert!(f.iter().all(|v| v.len() == 16));
+    }
+
+    #[test]
+    fn same_dataset_distance_is_smallest() {
+        let fz = DatasetId::FZ.generate_scaled(1, 100);
+        let fz2 = DatasetId::FZ.generate_scaled(2, 100);
+        let ri = DatasetId::RI.generate_scaled(1, 100);
+        let enc = shared_encoder(&[&fz, &fz2, &ri]);
+        let e = extractor(enc.vocab().len());
+        let self_dist = dataset_mmd(&e, &fz, &fz2, &enc, 60);
+        let cross_dist = dataset_mmd(&e, &fz, &ri, &enc, 60);
+        assert!(
+            self_dist < cross_dist,
+            "same-domain MMD {self_dist} should be below cross-domain {cross_dist}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Matcher `M` — the binary classifier of the framework. Following the
+//! paper (and Ditto), a fully-connected layer with a softmax output over
+//! `{non-matching, matching}`.
+
+use dader_nn::{Activation, Mlp};
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+
+/// The ER matcher: features `(B, d)` -> logits `(B, 2)`.
+#[derive(Clone)]
+pub struct Matcher {
+    mlp: Mlp,
+}
+
+impl Matcher {
+    /// One fully-connected layer `d -> 2` (the paper's choice).
+    pub fn new(feat_dim: usize, rng: &mut StdRng) -> Matcher {
+        Matcher {
+            mlp: Mlp::new("matcher", &[feat_dim, 2], Activation::Identity, rng),
+        }
+    }
+
+    /// Raw logits for a feature batch.
+    pub fn logits(&self, features: &Tensor) -> Tensor {
+        self.mlp.forward(features)
+    }
+
+    /// Matching probability `ŷ` per pair.
+    pub fn match_probs(&self, features: &Tensor) -> Vec<f32> {
+        let probs = self.logits(features).softmax_probs();
+        probs.chunks(2).map(|c| c[1]).collect()
+    }
+
+    /// Hard 0/1 predictions.
+    pub fn predict(&self, features: &Tensor) -> Vec<usize> {
+        self.logits(features).argmax_rows()
+    }
+
+    /// Matching loss `L_M` (Eq. 4): cross-entropy against labels.
+    pub fn matching_loss(&self, features: &Tensor, labels: &[usize]) -> Tensor {
+        self.logits(features).cross_entropy_logits(labels)
+    }
+
+    /// Class-weighted matching loss: matching-class examples are weighted
+    /// by `pos_weight`. ER candidate sets are heavily skewed toward
+    /// non-matches (Table 2: ~10–25% positives), and small-batch training
+    /// otherwise spends hundreds of steps stuck predicting all-negative.
+    pub fn matching_loss_weighted(
+        &self,
+        features: &Tensor,
+        labels: &[usize],
+        pos_weight: f32,
+    ) -> Tensor {
+        assert!(pos_weight > 0.0, "pos_weight must be positive");
+        let logits = self.logits(features);
+        let (b, c) = logits.shape().as_2d();
+        assert_eq!(labels.len(), b, "matching_loss: label count mismatch");
+        let mut wsum = 0.0f32;
+        let mut w_onehot = vec![0.0f32; b * c];
+        for (i, &y) in labels.iter().enumerate() {
+            let w = if y == 1 { pos_weight } else { 1.0 };
+            w_onehot[i * c + y] = w;
+            wsum += w;
+        }
+        for v in w_onehot.iter_mut() {
+            *v /= wsum.max(1e-8);
+        }
+        let w = Tensor::from_vec(w_onehot, (b, c));
+        logits.log_softmax_last().mul(&w).sum_all().neg()
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        self.mlp.params()
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> Matcher {
+        Matcher {
+            mlp: self.mlp.clone_detached(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn matcher() -> Matcher {
+        Matcher::new(4, &mut StdRng::seed_from_u64(2))
+    }
+
+    #[test]
+    fn output_shapes() {
+        let m = matcher();
+        let x = Tensor::ones((3, 4));
+        assert_eq!(m.logits(&x).shape().dims(), &[3, 2]);
+        assert_eq!(m.match_probs(&x).len(), 3);
+        assert_eq!(m.predict(&x).len(), 3);
+    }
+
+    #[test]
+    fn probs_are_probabilities() {
+        let m = matcher();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, -2.0, 0.3], (2, 4));
+        for p in m.match_probs(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn trainable_to_separate_classes() {
+        let m = matcher();
+        // two linearly separable feature clusters
+        let x = Tensor::from_vec(
+            vec![1.0, 1.0, 0.0, 0.0, -1.0, -1.0, 0.0, 0.0, 1.0, 0.9, 0.0, 0.0, -0.9, -1.0, 0.0, 0.0],
+            (4, 4),
+        );
+        let y = [1usize, 0, 1, 0];
+        let initial = m.matching_loss(&x, &y).item();
+        for _ in 0..50 {
+            let loss = m.matching_loss(&x, &y);
+            let g = loss.backward();
+            for p in m.params() {
+                if let Some(gr) = g.get_id(p.id()) {
+                    let gr = gr.to_vec();
+                    p.update_with(|w| {
+                        for (wv, gv) in w.iter_mut().zip(&gr) {
+                            *wv -= 0.5 * gv;
+                        }
+                    });
+                }
+            }
+        }
+        let trained = m.matching_loss(&x, &y).item();
+        assert!(trained < initial * 0.5, "{initial} -> {trained}");
+        assert_eq!(m.predict(&x), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn clone_detached_independent() {
+        let m = matcher();
+        let c = m.clone_detached();
+        let x = Tensor::ones((1, 4));
+        assert_eq!(m.logits(&x).to_vec(), c.logits(&x).to_vec());
+        c.params()[0].update_with(|w| w.fill(9.0));
+        assert_ne!(m.logits(&x).to_vec(), c.logits(&x).to_vec());
+    }
+}

@@ -1,0 +1,142 @@
+//! The trained `(F, M)` bundle used for prediction after adaptation.
+
+use dader_datagen::ErDataset;
+use dader_tensor::Param;
+use dader_text::PairEncoder;
+
+use crate::batch::encode_all;
+use crate::eval::{evaluate, Metrics};
+use crate::extractor::FeatureExtractor;
+use crate::matcher::Matcher;
+
+/// A feature extractor plus matcher, ready to predict on a target dataset.
+pub struct DaderModel {
+    /// The (adapted) feature extractor `F` (or `F'` for GAN methods).
+    pub extractor: Box<dyn FeatureExtractor>,
+    /// The matcher `M`.
+    pub matcher: Matcher,
+}
+
+impl DaderModel {
+    /// All trainable parameters of both components.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.extractor.params();
+        p.extend(self.matcher.params());
+        p
+    }
+
+    /// Evaluate on a labeled dataset.
+    pub fn evaluate(&self, dataset: &ErDataset, encoder: &PairEncoder, batch_size: usize) -> Metrics {
+        evaluate(self.extractor.as_ref(), &self.matcher, dataset, encoder, batch_size)
+    }
+
+    /// Predict matching labels for every pair of a dataset.
+    pub fn predict(&self, dataset: &ErDataset, encoder: &PairEncoder, batch_size: usize) -> Vec<usize> {
+        let mut preds = Vec::with_capacity(dataset.len());
+        for batch in encode_all(dataset, encoder, batch_size) {
+            let f = self.extractor.extract(&batch);
+            preds.extend(self.matcher.predict(&f));
+        }
+        preds
+    }
+
+    /// Matching probabilities for every pair of a dataset.
+    pub fn match_probs(&self, dataset: &ErDataset, encoder: &PairEncoder, batch_size: usize) -> Vec<f32> {
+        let mut probs = Vec::with_capacity(dataset.len());
+        for batch in encode_all(dataset, encoder, batch_size) {
+            let f = self.extractor.extract(&batch);
+            probs.extend(self.matcher.match_probs(&f));
+        }
+        probs
+    }
+
+    /// Dump features for every pair (t-SNE visualizations, distance
+    /// analyses).
+    pub fn features(&self, dataset: &ErDataset, encoder: &PairEncoder, batch_size: usize) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(dataset.len());
+        let d = self.extractor.feat_dim();
+        for batch in encode_all(dataset, encoder, batch_size) {
+            let f = self.extractor.extract(&batch);
+            let data = f.to_vec();
+            for r in 0..batch.batch {
+                out.push(data[r * d..(r + 1) * d].to_vec());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::LmExtractor;
+    use dader_datagen::DatasetId;
+    use dader_nn::TransformerConfig;
+    use dader_text::Vocab;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model_and_data() -> (DaderModel, ErDataset, PairEncoder) {
+        let d = DatasetId::FZ.generate_scaled(1, 40);
+        let vocab = Vocab::build(
+            dader_text::tokenize(&d.all_text()).iter().map(|s| s.as_str()),
+            1,
+            2000,
+        );
+        let encoder = PairEncoder::new(vocab.clone(), 24);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TransformerConfig {
+            vocab: vocab.len(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 32,
+            max_len: 24,
+        };
+        let model = DaderModel {
+            extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+            matcher: Matcher::new(16, &mut rng),
+        };
+        (model, d, encoder)
+    }
+
+    #[test]
+    fn predict_covers_dataset() {
+        let (m, d, enc) = tiny_model_and_data();
+        let preds = m.predict(&d, &enc, 8);
+        assert_eq!(preds.len(), d.len());
+        assert!(preds.iter().all(|&p| p <= 1));
+    }
+
+    #[test]
+    fn probs_in_unit_interval() {
+        let (m, d, enc) = tiny_model_and_data();
+        for p in m.match_probs(&d, &enc, 8) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn features_have_feat_dim() {
+        let (m, d, enc) = tiny_model_and_data();
+        let feats = m.features(&d, &enc, 8);
+        assert_eq!(feats.len(), d.len());
+        assert!(feats.iter().all(|f| f.len() == 16));
+    }
+
+    #[test]
+    fn evaluate_returns_sane_metrics() {
+        let (m, d, enc) = tiny_model_and_data();
+        let metrics = m.evaluate(&d, &enc, 8);
+        assert_eq!(metrics.tp + metrics.fp + metrics.fn_ + metrics.tn, d.len());
+        assert!((0.0..=100.0).contains(&metrics.f1()));
+    }
+
+    #[test]
+    fn params_cover_both_components() {
+        let (m, _, _) = tiny_model_and_data();
+        let n_ext = m.extractor.params().len();
+        let n_match = m.matcher.params().len();
+        assert_eq!(m.params().len(), n_ext + n_match);
+    }
+}

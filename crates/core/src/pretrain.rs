@@ -1,0 +1,259 @@
+//! Masked-LM pre-training — the substitution for BERT's pre-trained
+//! weights (DESIGN.md §2).
+//!
+//! The paper's LM extractor starts from BERT, whose value for domain
+//! adaptation is *domain-general token representations*: every dataset's
+//! vocabulary is already meaningfully embedded before any ER training. We
+//! reproduce that by pre-training our small transformer with the standard
+//! MLM objective on a corpus drawn from **all** benchmark domains, then
+//! handing the weights to every experiment (Finding 5 contrasts this with
+//! the cold-started RNN).
+
+use dader_nn::{clip_grad_norm, Adam, Optimizer, TransformerConfig, TransformerEncoder};
+use dader_tensor::Tensor;
+use dader_text::{MlmCorpus, PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dader_datagen::ErDataset;
+
+use crate::snapshot::Snapshot;
+
+/// MLM pre-training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PretrainConfig {
+    /// Optimization steps.
+    pub steps: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Masking probability.
+    pub mask_prob: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            steps: 300,
+            batch_size: 16,
+            lr: 1e-3,
+            mask_prob: 0.15,
+            seed: 13,
+        }
+    }
+}
+
+/// Build an MLM corpus from serialized entity pairs of the given datasets.
+pub fn build_corpus(datasets: &[&ErDataset], encoder: &PairEncoder, max_sentences: usize) -> MlmCorpus {
+    let mut raw: Vec<Vec<usize>> = Vec::new();
+    'outer: for d in datasets {
+        for p in &d.pairs {
+            let e = encoder.encode_pair(&p.a.attrs, &p.b.attrs);
+            let real = e.mask.iter().filter(|&&m| m == 1.0).count();
+            raw.push(e.ids[..real].to_vec());
+            if raw.len() >= max_sentences {
+                break 'outer;
+            }
+        }
+    }
+    MlmCorpus::new(raw, encoder.max_len())
+}
+
+/// One MLM forward/backward step's loss: encode masked ids, gather masked
+/// positions, project through the tied embedding table.
+fn mlm_loss(encoder: &TransformerEncoder, examples: &[dader_text::MlmExample], seq: usize) -> Option<Tensor> {
+    let batch = examples.len();
+    let mut ids = Vec::with_capacity(batch * seq);
+    let mut mask = Vec::with_capacity(batch * seq);
+    let mut flat_positions: Vec<usize> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (bi, ex) in examples.iter().enumerate() {
+        ids.extend_from_slice(&ex.ids);
+        mask.extend_from_slice(&ex.mask);
+        for (&pos, &lab) in ex.positions.iter().zip(&ex.labels) {
+            flat_positions.push(bi * seq + pos);
+            labels.push(lab);
+        }
+    }
+    if labels.is_empty() {
+        return None;
+    }
+    let hidden = encoder.forward(&ids, batch, seq, &mask).fold_seq(); // (B*S, D)
+    // Gather masked rows: build via slices (positions are sparse; use a
+    // gather over the hidden matrix).
+    let gathered = gather_rows_of(&hidden, &flat_positions);
+    // Tied output head: logits = H E^T, shape (N, V).
+    let table = encoder.token_table().leaf(); // (V, D)
+    let logits = gathered.matmul(&table.transpose2());
+    Some(logits.cross_entropy_logits(&labels))
+}
+
+/// Differentiable row gather on a rank-2 activation (scatter-add backward).
+fn gather_rows_of(x: &Tensor, rows: &[usize]) -> Tensor {
+    // Reuse the embedding-style gather: it is defined on any rank-2 tensor.
+    x.gather_rows(rows)
+}
+
+/// Outcome of a pre-training run.
+pub struct PretrainOutcome {
+    /// Snapshot of the trained encoder weights, restorable into any
+    /// same-config encoder.
+    pub weights: Snapshot,
+    /// Per-step losses (diagnostic; should trend down).
+    pub losses: Vec<f32>,
+}
+
+/// Pre-train a transformer encoder with MLM on the given corpus and return
+/// a weight snapshot plus the loss curve.
+pub fn pretrain_mlm(
+    config: TransformerConfig,
+    corpus: &MlmCorpus,
+    pc: &PretrainConfig,
+) -> PretrainOutcome {
+    let mut rng = StdRng::seed_from_u64(pc.seed);
+    let encoder = TransformerEncoder::new("pretrain", config, &mut rng);
+    let params = encoder.params();
+    let mut opt = Adam::new(pc.lr);
+    let mut losses = Vec::with_capacity(pc.steps);
+
+    for _ in 0..pc.steps {
+        let examples = corpus.sample_batch(pc.batch_size, config.vocab, pc.mask_prob, &mut rng);
+        let Some(loss) = mlm_loss(&encoder, &examples, corpus.seq_len()) else {
+            continue;
+        };
+        losses.push(loss.item());
+        let mut grads = loss.backward();
+        clip_grad_norm(&mut grads, &params, 5.0);
+        opt.step(&params, &grads);
+    }
+
+    PretrainOutcome {
+        weights: Snapshot::capture(&params),
+        losses,
+    }
+}
+
+/// Convenience: build a vocabulary + encoder over several datasets, MLM
+/// pre-train, and return everything the experiment harness needs.
+pub struct PretrainedLm {
+    /// The shared vocabulary.
+    pub vocab: Vocab,
+    /// The pair encoder (vocab + max length).
+    pub encoder: PairEncoder,
+    /// Transformer configuration.
+    pub config: TransformerConfig,
+    /// Trained weights.
+    pub weights: Snapshot,
+    /// MLM loss curve.
+    pub losses: Vec<f32>,
+}
+
+impl PretrainedLm {
+    /// Build vocabulary from `datasets`, pre-train with MLM.
+    pub fn build(
+        datasets: &[&ErDataset],
+        max_len: usize,
+        mut config: TransformerConfig,
+        pc: &PretrainConfig,
+    ) -> PretrainedLm {
+        let mut text = String::new();
+        for d in datasets {
+            text.push_str(&d.all_text());
+        }
+        let tokens = dader_text::tokenize(&text);
+        let vocab = Vocab::build(tokens.iter().map(|s| s.as_str()), 1, 8000);
+        config.vocab = vocab.len();
+        config.max_len = max_len;
+        let encoder = PairEncoder::new(vocab.clone(), max_len);
+        let corpus = build_corpus(datasets, &encoder, 2000);
+        let outcome = pretrain_mlm(config, &corpus, pc);
+        PretrainedLm {
+            vocab,
+            encoder,
+            config,
+            weights: outcome.weights,
+            losses: outcome.losses,
+        }
+    }
+
+    /// Instantiate a fresh encoder loaded with the pre-trained weights.
+    pub fn instantiate(&self, rng: &mut StdRng) -> TransformerEncoder {
+        let enc = TransformerEncoder::new("lm", self.config, rng);
+        self.weights.restore(&enc.params());
+        enc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_datagen::DatasetId;
+
+    fn tiny_config(vocab: usize) -> TransformerConfig {
+        TransformerConfig {
+            vocab,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 32,
+            max_len: 16,
+        }
+    }
+
+    #[test]
+    fn mlm_loss_decreases() {
+        let d = DatasetId::FZ.generate_scaled(1, 80);
+        let tokens = dader_text::tokenize(&d.all_text());
+        let vocab = Vocab::build(tokens.iter().map(|s| s.as_str()), 1, 2000);
+        let encoder = PairEncoder::new(vocab.clone(), 16);
+        let corpus = build_corpus(&[&d], &encoder, 200);
+        let pc = PretrainConfig {
+            steps: 40,
+            batch_size: 8,
+            lr: 2e-3,
+            mask_prob: 0.15,
+            seed: 3,
+        };
+        let outcome = pretrain_mlm(tiny_config(vocab.len()), &corpus, &pc);
+        let head: f32 = outcome.losses[..8].iter().sum::<f32>() / 8.0;
+        let tail: f32 = outcome.losses[outcome.losses.len() - 8..].iter().sum::<f32>() / 8.0;
+        assert!(
+            tail < head * 0.9,
+            "MLM loss should decrease: {head} -> {tail}"
+        );
+    }
+
+    #[test]
+    fn pretrained_lm_restores_into_fresh_encoder() {
+        let d = DatasetId::B2.generate_scaled(1, 60);
+        let pc = PretrainConfig {
+            steps: 5,
+            batch_size: 4,
+            lr: 1e-3,
+            mask_prob: 0.15,
+            seed: 1,
+        };
+        let lm = PretrainedLm::build(&[&d], 16, tiny_config(0), &pc);
+        let mut rng = StdRng::seed_from_u64(9);
+        let e1 = lm.instantiate(&mut rng);
+        let e2 = lm.instantiate(&mut rng);
+        // Both instances carry identical (pre-trained) weights.
+        let s1 = Snapshot::capture(&e1.params());
+        let s2 = Snapshot::capture(&e2.params());
+        assert_eq!(s1, s2);
+        assert_eq!(lm.config.vocab, lm.vocab.len());
+    }
+
+    #[test]
+    fn corpus_respects_sentence_cap() {
+        let d = DatasetId::FZ.generate_scaled(1, 100);
+        let tokens = dader_text::tokenize(&d.all_text());
+        let vocab = Vocab::build(tokens.iter().map(|s| s.as_str()), 1, 2000);
+        let encoder = PairEncoder::new(vocab, 16);
+        let corpus = build_corpus(&[&d], &encoder, 30);
+        assert_eq!(corpus.len(), 30);
+    }
+}

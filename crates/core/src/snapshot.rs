@@ -1,0 +1,96 @@
+//! Parameter snapshots — used for per-epoch model-selection (the paper
+//! keeps the epoch snapshot with the best validation F1) and for shipping
+//! pre-trained encoder weights between runs.
+
+use dader_tensor::Param;
+
+/// A positional snapshot of a parameter list's weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    weights: Vec<Vec<f32>>,
+}
+
+impl Snapshot {
+    /// Capture the current weights of `params`, in order.
+    pub fn capture(params: &[Param]) -> Snapshot {
+        Snapshot {
+            weights: params.iter().map(|p| p.snapshot()).collect(),
+        }
+    }
+
+    /// Restore into a structurally-identical parameter list.
+    pub fn restore(&self, params: &[Param]) {
+        assert_eq!(
+            self.weights.len(),
+            params.len(),
+            "snapshot has {} params, target has {}",
+            self.weights.len(),
+            params.len()
+        );
+        for (w, p) in self.weights.iter().zip(params) {
+            assert_eq!(
+                w.len(),
+                p.numel(),
+                "snapshot shape mismatch for {}",
+                p.name()
+            );
+            p.set_data(w.clone());
+        }
+    }
+
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total scalar weight count.
+    pub fn numel(&self) -> usize {
+        self.weights.iter().map(|w| w.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let p = Param::from_vec("w", vec![1.0, 2.0], 2usize);
+        let snap = Snapshot::capture(&[p.clone()]);
+        p.update_with(|w| w.fill(0.0));
+        assert_eq!(p.snapshot(), vec![0.0, 0.0]);
+        snap.restore(&[p.clone()]);
+        assert_eq!(p.snapshot(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn restore_into_clone_transfers_weights() {
+        let a = Param::from_vec("a", vec![3.0, 4.0], 2usize);
+        let b = Param::zeros("b", 2usize);
+        Snapshot::capture(&[a]).restore(&[b.clone()]);
+        assert_eq!(b.snapshot(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn counts() {
+        let a = Param::zeros("a", (2, 3));
+        let b = Param::zeros("b", 4usize);
+        let s = Snapshot::capture(&[a, b]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.numel(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_wrong_shape() {
+        let a = Param::zeros("a", 2usize);
+        let b = Param::zeros("b", 3usize);
+        Snapshot::capture(&[a]).restore(&[b]);
+    }
+}

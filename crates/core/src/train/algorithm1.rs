@@ -1,0 +1,413 @@
+//! Algorithm 1: the unified training template for discrepancy-based (MMD,
+//! K-order), GRL-based and reconstruction-based (ED) feature aligners —
+//! plus the NoDA baseline (β = 0, no aligner).
+//!
+//! Per iteration it samples one labeled source minibatch and one unlabeled
+//! target minibatch, computes `L_M` (Eq. 4) and `L_A` (per method), and
+//! back-propagates `L_M + β·L_A`. The GRL case threads the features
+//! through a gradient-reversal node, so the very same combined backward
+//! realizes Procedure 2's sign flip. Per epoch the target-validation F1 is
+//! recorded and the best `(F, M)` snapshot is kept (Section 6.1's
+//! evaluation protocol).
+
+use dader_datagen::ErDataset;
+use dader_nn::{clip_grad_norm, Adam, Optimizer};
+use dader_tensor::Tensor;
+use dader_text::PairEncoder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aligner::{coral_loss, mmd_loss, AlignerKind, EdAligner, GrlAligner};
+use crate::batch::Batcher;
+use crate::extractor::FeatureExtractor;
+use crate::matcher::Matcher;
+use crate::model::DaderModel;
+use crate::snapshot::Snapshot;
+use crate::train::config::{EpochStat, TrainConfig};
+
+/// A domain-adaptation task: labeled source, unlabeled target, and the
+/// evaluation splits of the paper's protocol.
+pub struct DaTask<'a> {
+    /// Labeled source dataset `(D^S, Y^S)`.
+    pub source: &'a ErDataset,
+    /// Unlabeled target dataset `D^T` (labels present but never used for
+    /// training).
+    pub target_train: &'a ErDataset,
+    /// Small labeled target validation split (1/10) for snapshot selection
+    /// and hyper-parameter choice.
+    pub target_val: &'a ErDataset,
+    /// Source test split, for the Fig. 8 source-F1 curves.
+    pub source_test: Option<&'a ErDataset>,
+    /// Target test split, for per-epoch diagnostics (never used for
+    /// selection).
+    pub target_test: Option<&'a ErDataset>,
+    /// The shared pair encoder (vocabulary + max length).
+    pub encoder: &'a PairEncoder,
+}
+
+/// Result of one training run.
+pub struct TrainOutcome {
+    /// The best-validation `(F, M)` model.
+    pub model: DaderModel,
+    /// Epoch whose snapshot was selected (1-based).
+    pub best_epoch: usize,
+    /// Its validation F1.
+    pub best_val_f1: f32,
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStat>,
+}
+
+/// Class weight for the matching loss: inverse positive frequency,
+/// clamped so tiny datasets don't explode the weight.
+pub(crate) fn auto_pos_weight(d: &ErDataset, cfg: &TrainConfig) -> f32 {
+    cfg.pos_weight.unwrap_or_else(|| {
+        let pos = d.match_count().max(1) as f32;
+        let neg = (d.len() - d.match_count()).max(1) as f32;
+        (neg / pos).clamp(1.0, 15.0)
+    })
+}
+
+/// Train with Algorithm 1 using the given aligner kind.
+///
+/// Panics if `kind` is a GAN-family method (those use
+/// [`crate::train::algorithm2::train_algorithm2`]).
+pub fn train_algorithm1(
+    task: &DaTask<'_>,
+    extractor: Box<dyn FeatureExtractor>,
+    kind: AlignerKind,
+    cfg: &TrainConfig,
+) -> TrainOutcome {
+    assert!(
+        !kind.uses_algorithm2(),
+        "{kind} is GAN-based; use train_algorithm2"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let matcher = Matcher::new(extractor.feat_dim(), &mut rng);
+
+    let grl = match kind {
+        AlignerKind::Grl => Some(GrlAligner::new(extractor.feat_dim(), &mut rng)),
+        _ => None,
+    };
+    let ed = match kind {
+        AlignerKind::Ed => Some(EdAligner::new(
+            task.encoder.vocab().len(),
+            extractor.feat_dim(),
+            cfg.ed_recon_len,
+            &mut rng,
+        )),
+        _ => None,
+    };
+
+    let mut trainable = extractor.params();
+    trainable.extend(matcher.params());
+    if let Some(g) = &grl {
+        trainable.extend(g.params());
+    }
+    if let Some(e) = &ed {
+        trainable.extend(e.params());
+    }
+    let selected = {
+        // Snapshot selection covers (F, M) only — aligners are discarded
+        // after training.
+        let mut p = extractor.params();
+        p.extend(matcher.params());
+        p
+    };
+
+    let mut opt = Adam::new(cfg.lr);
+    let mut src_batches = Batcher::new(task.source, task.encoder, cfg.batch_size, &mut rng);
+    let needs_target = kind != AlignerKind::NoDa;
+    let mut tgt_batches = if needs_target {
+        Some(Batcher::new(
+            task.target_train,
+            task.encoder,
+            cfg.batch_size,
+            &mut rng,
+        ))
+    } else {
+        None
+    };
+
+    let iters = cfg
+        .iters_per_epoch
+        .unwrap_or_else(|| src_batches.batches_per_epoch());
+
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best: Option<(usize, f32, Snapshot)> = None;
+    let pos_weight = auto_pos_weight(task.source, cfg);
+
+    for epoch in 1..=cfg.epochs {
+        // GRL lambda warm-up schedule (Ganin & Lempitsky): ramp the
+        // reversal strength from 0 to β so early noisy features don't
+        // derail the matcher.
+        let progress = epoch as f32 / cfg.epochs as f32;
+        let grl_beta = cfg.beta * (2.0 / (1.0 + (-10.0 * progress).exp()) - 1.0);
+        let mut sum_m = 0.0f32;
+        let mut sum_a = 0.0f32;
+        for _ in 0..iters {
+            let bs = src_batches.next_batch(&mut rng);
+            let xs = extractor.extract(&bs);
+            let loss_m = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
+
+            let loss_a: Tensor = match kind {
+                AlignerKind::NoDa => Tensor::scalar(0.0),
+                AlignerKind::Mmd | AlignerKind::KOrder | AlignerKind::Grl | AlignerKind::Ed => {
+                    let bt = tgt_batches
+                        .as_mut()
+                        .expect("target batcher")
+                        .next_batch(&mut rng);
+                    let xt = extractor.extract(&bt);
+                    match kind {
+                        AlignerKind::Mmd => mmd_loss(&xs, &xt).scale(cfg.beta),
+                        AlignerKind::KOrder => coral_loss(&xs, &xt).scale(cfg.beta),
+                        AlignerKind::Grl => grl
+                            .as_ref()
+                            .expect("grl aligner")
+                            .domain_loss(&xs, &xt, grl_beta),
+                        AlignerKind::Ed => {
+                            let e = ed.as_ref().expect("ed aligner");
+                            e.reconstruction_loss(&xs, &bs)
+                                .add(&e.reconstruction_loss(&xt, &bt))
+                                .scale(cfg.beta)
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                _ => unreachable!("GAN methods rejected above"),
+            };
+
+            sum_m += loss_m.item();
+            sum_a += loss_a.item();
+            let total = loss_m.add(&loss_a);
+            let mut grads = total.backward();
+            if cfg.clip_norm > 0.0 {
+                clip_grad_norm(&mut grads, &trainable, cfg.clip_norm);
+            }
+            opt.step(&trainable, &grads);
+        }
+
+        let val = crate::eval::evaluate(
+            extractor.as_ref(),
+            &matcher,
+            task.target_val,
+            task.encoder,
+            cfg.eval_batch,
+        )
+        .f1();
+        let source_f1 = if cfg.track_source_f1 {
+            task.source_test.map(|d| {
+                crate::eval::evaluate(extractor.as_ref(), &matcher, d, task.encoder, cfg.eval_batch)
+                    .f1()
+            })
+        } else {
+            None
+        };
+        let target_f1 = if cfg.track_target_f1 {
+            task.target_test.map(|d| {
+                crate::eval::evaluate(extractor.as_ref(), &matcher, d, task.encoder, cfg.eval_batch)
+                    .f1()
+            })
+        } else {
+            None
+        };
+        history.push(EpochStat {
+            epoch,
+            val_f1: val,
+            source_f1,
+            target_f1,
+            loss_m: sum_m / iters as f32,
+            loss_a: sum_a / iters as f32,
+        });
+
+        if best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true) {
+            best = Some((epoch, val, Snapshot::capture(&selected)));
+        }
+    }
+
+    let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
+    snap.restore(&selected);
+
+    TrainOutcome {
+        model: DaderModel { extractor, matcher },
+        best_epoch,
+        best_val_f1,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::LmExtractor;
+    use dader_datagen::DatasetId;
+    use dader_nn::TransformerConfig;
+    use dader_text::Vocab;
+
+    fn setup() -> (ErDataset, ErDataset, ErDataset, ErDataset, PairEncoder) {
+        let src = DatasetId::FZ.generate_scaled(1, 120);
+        let tgt = DatasetId::ZY.generate_scaled(1, 120);
+        let splits = tgt.split(&[1, 9], 7);
+        let (val, test) = (splits[0].clone(), splits[1].clone());
+        let mut text = src.all_text();
+        text.push_str(&tgt.all_text());
+        let vocab = Vocab::build(
+            dader_text::tokenize(&text).iter().map(|s| s.as_str()),
+            1,
+            4000,
+        );
+        let encoder = PairEncoder::new(vocab, 28);
+        (src, tgt, val, test, encoder)
+    }
+
+    fn tiny_extractor(vocab: usize, seed: u64) -> Box<dyn FeatureExtractor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Box::new(LmExtractor::new(
+            TransformerConfig {
+                vocab,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ffn_dim: 32,
+                max_len: 28,
+            },
+            &mut rng,
+        ))
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 2,
+            iters_per_epoch: Some(3),
+            batch_size: 8,
+            lr: 1e-3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn noda_runs_and_selects_best_epoch() {
+        let (src, tgt, val, test, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: Some(&test),
+            encoder: &enc,
+        };
+        let out = train_algorithm1(
+            &task,
+            tiny_extractor(enc.vocab().len(), 1),
+            AlignerKind::NoDa,
+            &quick_cfg(),
+        );
+        assert_eq!(out.history.len(), 2);
+        assert!(out.best_epoch >= 1 && out.best_epoch <= 2);
+        let selected = out
+            .history
+            .iter()
+            .find(|h| h.epoch == out.best_epoch)
+            .unwrap();
+        assert_eq!(selected.val_f1, out.best_val_f1);
+        // NoDA pays no alignment loss
+        assert!(out.history.iter().all(|h| h.loss_a == 0.0));
+    }
+
+    #[test]
+    fn every_alg1_method_trains() {
+        let (src, tgt, val, _test, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: None,
+            encoder: &enc,
+        };
+        for kind in [AlignerKind::Mmd, AlignerKind::KOrder, AlignerKind::Grl, AlignerKind::Ed] {
+            let out = train_algorithm1(
+                &task,
+                tiny_extractor(enc.vocab().len(), 2),
+                kind,
+                &quick_cfg(),
+            );
+            assert!(
+                out.history.iter().all(|h| h.loss_m.is_finite() && h.loss_a.is_finite()),
+                "{kind}: non-finite losses"
+            );
+            // alignment loss actually computed
+            assert!(
+                out.history.iter().any(|h| h.loss_a != 0.0),
+                "{kind}: alignment loss never engaged"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (src, tgt, val, _t, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: None,
+            encoder: &enc,
+        };
+        let run = || {
+            train_algorithm1(
+                &task,
+                tiny_extractor(enc.vocab().len(), 3),
+                AlignerKind::Mmd,
+                &quick_cfg(),
+            )
+            .best_val_f1
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "GAN-based")]
+    fn gan_methods_rejected() {
+        let (src, tgt, val, _t, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: None,
+            encoder: &enc,
+        };
+        train_algorithm1(
+            &task,
+            tiny_extractor(enc.vocab().len(), 4),
+            AlignerKind::InvGan,
+            &quick_cfg(),
+        );
+    }
+
+    #[test]
+    fn curves_tracked_when_requested() {
+        let (src, tgt, val, test, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: Some(&src),
+            target_test: Some(&test),
+            encoder: &enc,
+        };
+        let cfg = TrainConfig {
+            track_source_f1: true,
+            track_target_f1: true,
+            ..quick_cfg()
+        };
+        let out = train_algorithm1(
+            &task,
+            tiny_extractor(enc.vocab().len(), 5),
+            AlignerKind::Mmd,
+            &cfg,
+        );
+        assert!(out.history.iter().all(|h| h.source_f1.is_some() && h.target_f1.is_some()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Training configuration shared by Algorithms 1 and 2 and the baselines.
+
+/// Hyper-parameters for one adaptation run. Defaults follow the paper's
+/// protocol (Section 6.1) at a CPU-friendly scale; `paper_scale` restores
+/// the published settings.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Training epochs (the paper divides training into 40 epochs and
+    /// snapshots per epoch).
+    pub epochs: usize,
+    /// Optimization iterations per epoch; `None` = one pass over the
+    /// source dataset.
+    pub iters_per_epoch: Option<usize>,
+    /// Minibatch size (paper: 32).
+    pub batch_size: usize,
+    /// Learning rate (paper: 1e-5 or 1e-6; our small models tolerate more).
+    pub lr: f32,
+    /// Alignment-loss weight β (paper sweeps {0.001, 0.01, 0.1, 1, 5}).
+    pub beta: f32,
+    /// KD temperature `t` (Eq. 12).
+    pub kd_temperature: f32,
+    /// Gradient-clipping max norm (0 disables).
+    pub clip_norm: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// RNG seed for init, shuffling and dropout.
+    pub seed: u64,
+    /// Record source-test F1 per epoch (Fig. 8 curves).
+    pub track_source_f1: bool,
+    /// Record target-test F1 per epoch (Figs. 7/8 curves). The tracked
+    /// value is diagnostic only — model selection always uses the
+    /// validation split.
+    pub track_target_f1: bool,
+    /// Step-1 epochs for Algorithm 2 (source-only pre-adaptation).
+    pub step1_epochs: usize,
+    /// Tokens reconstructed by the ED aligner.
+    pub ed_recon_len: usize,
+    /// Matching-class loss weight; `None` derives it from the labeled
+    /// dataset's class ratio (clamped to [1, 15]).
+    pub pos_weight: Option<f32>,
+    /// Algorithm 2's adaptation-phase learning-rate multiplier on `lr`.
+    /// The 0.1 default damps the adversarial oscillation of Finding 3
+    /// (equivalent to the paper's "reduce the learning rate" remedy);
+    /// set to 1.0 to observe the raw dynamics (Fig. 7).
+    pub adversarial_lr_scale: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            iters_per_epoch: Some(12),
+            batch_size: 16,
+            lr: 3e-3,
+            beta: 0.5,
+            kd_temperature: 2.0,
+            clip_norm: 5.0,
+            eval_batch: 32,
+            seed: 42,
+            track_source_f1: false,
+            track_target_f1: false,
+            step1_epochs: 12,
+            ed_recon_len: 20,
+            pos_weight: None,
+            adversarial_lr_scale: 0.1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's published protocol (40 epochs, batch 32, LR 1e-5).
+    /// Only practical on the full-scale harness.
+    pub fn paper_scale() -> TrainConfig {
+        TrainConfig {
+            epochs: 40,
+            iters_per_epoch: None,
+            batch_size: 32,
+            lr: 1e-5,
+            beta: 1.0,
+            step1_epochs: 40,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Override the seed (for the repeated-runs protocol).
+    pub fn with_seed(mut self, seed: u64) -> TrainConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the learning rate (Fig. 7's LR sweep).
+    pub fn with_lr(mut self, lr: f32) -> TrainConfig {
+        self.lr = lr;
+        self
+    }
+
+    /// Override β.
+    pub fn with_beta(mut self, beta: f32) -> TrainConfig {
+        self.beta = beta;
+        self
+    }
+}
+
+/// Per-epoch record used for snapshot selection and the convergence
+/// figures.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStat {
+    /// Epoch number (1-based).
+    pub epoch: usize,
+    /// Validation F1 on the target validation split (selection metric).
+    pub val_f1: f32,
+    /// Source-test F1, when tracked.
+    pub source_f1: Option<f32>,
+    /// Target-test F1, when tracked (diagnostic only).
+    pub target_f1: Option<f32>,
+    /// Mean matching loss over the epoch.
+    pub loss_m: f32,
+    /// Mean alignment loss over the epoch.
+    pub loss_a: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cpu_scale() {
+        let c = TrainConfig::default();
+        assert!(c.epochs <= 16);
+        assert!(c.batch_size <= 32);
+        assert!(c.kd_temperature > 0.0);
+    }
+
+    #[test]
+    fn paper_scale_matches_protocol() {
+        let c = TrainConfig::paper_scale();
+        assert_eq!(c.epochs, 40);
+        assert_eq!(c.batch_size, 32);
+        assert!((c.lr - 1e-5).abs() < 1e-9);
+        assert!(c.iters_per_epoch.is_none());
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = TrainConfig::default().with_seed(7).with_lr(0.1).with_beta(2.0);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.lr, 0.1);
+        assert_eq!(c.beta, 2.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the framework's core invariants: evaluation
+//! metrics, snapshots/checkpoints, the weighted matching loss, and the
+//! batch encoder.
+
+use dader_core::aligner::{cmd_loss, coral_loss, mmd_loss};
+use dader_core::{Checkpoint, Matcher, Metrics, Snapshot};
+use dader_tensor::{Param, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labels_and_preds() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec((0usize..2, 0usize..2), 1..40)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn metrics_confusion_partitions((preds, labels) in labels_and_preds()) {
+        let m = Metrics::from_predictions(&preds, &labels);
+        prop_assert_eq!(m.tp + m.fp + m.fn_ + m.tn, preds.len());
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((0.0..=100.0).contains(&m.f1()));
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean((preds, labels) in labels_and_preds()) {
+        let m = Metrics::from_predictions(&preds, &labels);
+        let (p, r) = (m.precision(), m.recall());
+        if p + r > 0.0 {
+            let expect = 100.0 * 2.0 * p * r / (p + r);
+            prop_assert!((m.f1() - expect).abs() < 1e-3);
+        } else {
+            prop_assert_eq!(m.f1(), 0.0);
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_give_perfect_f1(labels in proptest::collection::vec(0usize..2, 1..30)) {
+        prop_assume!(labels.contains(&1));
+        let m = Metrics::from_predictions(&labels, &labels);
+        prop_assert!((m.f1() - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_any_shapes(shapes in proptest::collection::vec(1usize..20, 1..6)) {
+        let params: Vec<Param> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Param::from_vec(format!("p{i}"), (0..n).map(|v| v as f32).collect::<Vec<_>>(), n))
+            .collect();
+        let snap = Snapshot::capture(&params);
+        for p in &params {
+            p.update_with(|w| w.fill(-1.0));
+        }
+        snap.restore(&params);
+        for (i, p) in params.iter().enumerate() {
+            let expect: Vec<f32> = (0..shapes[i]).map(|v| v as f32).collect();
+            prop_assert_eq!(p.snapshot(), expect);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_everything(shapes in proptest::collection::vec(1usize..16, 1..5)) {
+        let params: Vec<Param> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Param::from_vec(format!("p{i}"), vec![i as f32 + 0.5; n], n))
+            .collect();
+        let ckpt = Checkpoint::capture("prop", &params);
+        prop_assert_eq!(ckpt.numel(), shapes.iter().sum::<usize>());
+        for p in &params {
+            p.update_with(|w| w.fill(0.0));
+        }
+        prop_assert!(ckpt.restore(&params).is_ok());
+        for (i, p) in params.iter().enumerate() {
+            prop_assert!(p.snapshot().iter().all(|&v| v == i as f32 + 0.5));
+        }
+    }
+
+    #[test]
+    fn weighted_loss_reduces_to_plain_at_weight_one(
+        feats in proptest::collection::vec(-2.0f32..2.0, 8),
+        labels in proptest::collection::vec(0usize..2, 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matcher::new(4, &mut rng);
+        let x = Tensor::from_vec(feats, (2, 4));
+        let plain = m.matching_loss(&x, &labels).item();
+        let weighted = m.matching_loss_weighted(&x, &labels, 1.0).item();
+        prop_assert!((plain - weighted).abs() < 1e-4, "{plain} vs {weighted}");
+    }
+
+    #[test]
+    fn weighted_loss_emphasizes_positives(
+        feats in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        // With one positive and three negatives, upweighting positives must
+        // increase the relative penalty for misclassifying the positive.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Matcher::new(4, &mut rng);
+        let x = Tensor::from_vec(feats, (4, 4));
+        let labels = [1usize, 0, 0, 0];
+        let l1 = m.matching_loss_weighted(&x, &labels, 1.0).item();
+        let l5 = m.matching_loss_weighted(&x, &labels, 5.0).item();
+        prop_assert!(l1.is_finite() && l5.is_finite());
+        // Both are valid losses; the weighted one is a different convex
+        // combination and must stay within the per-example extremes.
+        prop_assert!(l5 >= 0.0);
+    }
+
+    #[test]
+    fn alignment_losses_are_symmetric_in_scale_direction(
+        data in proptest::collection::vec(-1.0f32..1.0, 32),
+        shift in 0.1f32..2.0,
+    ) {
+        let a = Tensor::from_vec(data.clone(), (8, 4));
+        let shifted: Vec<f32> = data.iter().map(|v| v + shift).collect();
+        let b = Tensor::from_vec(shifted, (8, 4));
+        // All three discrepancy metrics must see the same gap regardless of
+        // argument order.
+        prop_assert!((mmd_loss(&a, &b).item() - mmd_loss(&b, &a).item()).abs() < 1e-4);
+        prop_assert!((coral_loss(&a, &b).item() - coral_loss(&b, &a).item()).abs() < 1e-5);
+        prop_assert!((cmd_loss(&a, &b, 3).item() - cmd_loss(&b, &a, 3).item()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn discrepancy_grows_with_shift(
+        data in proptest::collection::vec(-1.0f32..1.0, 32),
+        small in 0.05f32..0.3,
+    ) {
+        let big = small * 8.0;
+        let a = Tensor::from_vec(data.clone(), (8, 4));
+        let near = Tensor::from_vec(data.iter().map(|v| v + small).collect::<Vec<_>>(), (8, 4));
+        let far = Tensor::from_vec(data.iter().map(|v| v + big).collect::<Vec<_>>(), (8, 4));
+        prop_assert!(cmd_loss(&a, &far, 2).item() > cmd_loss(&a, &near, 2).item());
+        prop_assert!(mmd_loss(&a, &far).item() > mmd_loss(&a, &near).item());
+    }
+}

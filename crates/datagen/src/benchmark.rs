@@ -1,0 +1,233 @@
+//! The benchmark registry: Table 2 of the paper as code. Every dataset can
+//! be generated at its exact published size (`#Pairs`, `#Matches`,
+//! `#Attrs`) or scaled down proportionally for quick CPU experiments.
+
+use crate::dataset::{generate_dataset, DomainGenerator, ErDataset, GenSpec};
+use crate::domain::{
+    AbtBuy, Books2, DblpAcm, DblpScholar, FodorsZagats, ItunesAmazon, RottenImdb, WalmartAmazon,
+    Wdc, WdcCategory, ZomatoYelp,
+};
+
+/// The 13 evaluation datasets (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Walmart-Amazon (Product, 10242/962/5).
+    WA,
+    /// Abt-Buy (Product, 9575/1028/3).
+    AB,
+    /// DBLP-Scholar (Citation, 28707/5347/4).
+    DS,
+    /// DBLP-ACM (Citation, 12363/2220/4).
+    DA,
+    /// Fodors-Zagats (Restaurant, 946/110/6).
+    FZ,
+    /// Zomato-Yelp dirty (Restaurant, 894/214/3).
+    ZY,
+    /// iTunes-Amazon (Music, 532/132/8).
+    IA,
+    /// RottenTomatoes-IMDB (Movies, 600/190/3).
+    RI,
+    /// Books2 (Books, 394/92/9).
+    B2,
+    /// WDC-Computers (Product, 1100/300/2).
+    CO,
+    /// WDC-Cameras (Product, 1100/300/2).
+    CA,
+    /// WDC-Watches (Product, 1100/300/2).
+    WT,
+    /// WDC-Shoes (Product, 1100/300/2).
+    SH,
+}
+
+/// Table 2 row: published dataset statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Two-letter shorthand used in the paper's figures.
+    pub short: &'static str,
+    /// Full dataset name.
+    pub name: &'static str,
+    /// Domain column of Table 2.
+    pub domain: &'static str,
+    /// #Pairs.
+    pub pairs: usize,
+    /// #Matches.
+    pub matches: usize,
+    /// #Attrs.
+    pub attrs: usize,
+}
+
+impl DatasetId {
+    /// All dataset ids, in Table 2 order.
+    pub fn all() -> [DatasetId; 13] {
+        use DatasetId::*;
+        [WA, AB, DS, DA, FZ, ZY, IA, RI, B2, CO, CA, WT, SH]
+    }
+
+    /// Parse a two-letter shorthand (case-insensitive).
+    pub fn parse(s: &str) -> Option<DatasetId> {
+        let s = s.to_ascii_uppercase();
+        DatasetId::all().into_iter().find(|d| d.spec().short == s)
+    }
+
+    /// The Table 2 statistics for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        use DatasetId::*;
+        match self {
+            WA => DatasetSpec { short: "WA", name: "Walmart-Amazon", domain: "Product", pairs: 10242, matches: 962, attrs: 5 },
+            AB => DatasetSpec { short: "AB", name: "Abt-Buy", domain: "Product", pairs: 9575, matches: 1028, attrs: 3 },
+            DS => DatasetSpec { short: "DS", name: "DBLP-Scholar", domain: "Citation", pairs: 28707, matches: 5347, attrs: 4 },
+            DA => DatasetSpec { short: "DA", name: "DBLP-ACM", domain: "Citation", pairs: 12363, matches: 2220, attrs: 4 },
+            FZ => DatasetSpec { short: "FZ", name: "Fodors-Zagats", domain: "Restaurant", pairs: 946, matches: 110, attrs: 6 },
+            ZY => DatasetSpec { short: "ZY", name: "Zomato-Yelp", domain: "Restaurant", pairs: 894, matches: 214, attrs: 3 },
+            IA => DatasetSpec { short: "IA", name: "iTunes-Amazon", domain: "Music", pairs: 532, matches: 132, attrs: 8 },
+            RI => DatasetSpec { short: "RI", name: "RottenTomatoes-IMDB", domain: "Movies", pairs: 600, matches: 190, attrs: 3 },
+            B2 => DatasetSpec { short: "B2", name: "Books2", domain: "Books", pairs: 394, matches: 92, attrs: 9 },
+            CO => DatasetSpec { short: "CO", name: "WDC-Computers", domain: "Product", pairs: 1100, matches: 300, attrs: 2 },
+            CA => DatasetSpec { short: "CA", name: "WDC-Cameras", domain: "Product", pairs: 1100, matches: 300, attrs: 2 },
+            WT => DatasetSpec { short: "WT", name: "WDC-Watches", domain: "Product", pairs: 1100, matches: 300, attrs: 2 },
+            SH => DatasetSpec { short: "SH", name: "WDC-Shoes", domain: "Product", pairs: 1100, matches: 300, attrs: 2 },
+        }
+    }
+
+    /// The domain generator behind this dataset.
+    pub fn generator(&self) -> Box<dyn DomainGenerator> {
+        use DatasetId::*;
+        match self {
+            WA => Box::new(WalmartAmazon),
+            AB => Box::new(AbtBuy),
+            DS => Box::new(DblpScholar),
+            DA => Box::new(DblpAcm),
+            FZ => Box::new(FodorsZagats),
+            ZY => Box::new(ZomatoYelp),
+            IA => Box::new(ItunesAmazon),
+            RI => Box::new(RottenImdb),
+            B2 => Box::new(Books2),
+            CO => Box::new(Wdc::new(WdcCategory::Computers)),
+            CA => Box::new(Wdc::new(WdcCategory::Cameras)),
+            WT => Box::new(Wdc::new(WdcCategory::Watches)),
+            SH => Box::new(Wdc::new(WdcCategory::Shoes)),
+        }
+    }
+
+    /// Fraction of non-matching pairs that are hard negatives (dataset
+    /// difficulty knob; cleaner benchmarks use fewer).
+    fn hard_negative_frac(&self) -> f32 {
+        use DatasetId::*;
+        match self {
+            // Product matching is dominated by sibling-model confusions.
+            WA | AB | CO | CA | WT | SH => 0.6,
+            // Citation candidates come from blocking on title words.
+            DS | DA => 0.5,
+            // Restaurant chains / editions / sequels.
+            FZ | ZY => 0.5,
+            IA => 0.6,
+            RI => 0.4,
+            B2 => 0.5,
+        }
+    }
+
+    /// Generate at the exact Table 2 size.
+    pub fn generate(&self, seed: u64) -> ErDataset {
+        let spec = self.spec();
+        generate_dataset(
+            self.generator().as_ref(),
+            GenSpec {
+                pairs: spec.pairs,
+                matches: spec.matches,
+                hard_negative_frac: self.hard_negative_frac(),
+                seed,
+            },
+        )
+    }
+
+    /// Generate scaled to at most `max_pairs` (match count scaled
+    /// proportionally, minimum 8 matches so F1 is meaningful).
+    pub fn generate_scaled(&self, seed: u64, max_pairs: usize) -> ErDataset {
+        let spec = self.spec();
+        if spec.pairs <= max_pairs {
+            return self.generate(seed);
+        }
+        let frac = max_pairs as f64 / spec.pairs as f64;
+        let matches = ((spec.matches as f64 * frac).round() as usize).max(8);
+        generate_dataset(
+            self.generator().as_ref(),
+            GenSpec {
+                pairs: max_pairs,
+                matches,
+                hard_negative_frac: self.hard_negative_frac(),
+                seed,
+            },
+        )
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.spec().short)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_match_table2_totals() {
+        let total_pairs: usize = DatasetId::all().iter().map(|d| d.spec().pairs).sum();
+        // 10242+9575+28707+12363+946+894+532+600+394+4*1100
+        assert_eq!(total_pairs, 68653);
+    }
+
+    #[test]
+    fn generated_counts_match_spec_exactly() {
+        for id in [DatasetId::FZ, DatasetId::ZY, DatasetId::IA, DatasetId::RI, DatasetId::B2] {
+            let spec = id.spec();
+            let d = id.generate(1);
+            assert_eq!(d.len(), spec.pairs, "{id}");
+            assert_eq!(d.match_count(), spec.matches, "{id}");
+            assert_eq!(d.arity(), spec.attrs, "{id}");
+            assert_eq!(d.name, spec.name);
+        }
+    }
+
+    #[test]
+    fn wdc_counts() {
+        let d = DatasetId::CO.generate(2);
+        assert_eq!((d.len(), d.match_count(), d.arity()), (1100, 300, 2));
+    }
+
+    #[test]
+    fn scaled_generation_caps_pairs() {
+        let d = DatasetId::DS.generate_scaled(3, 500);
+        assert_eq!(d.len(), 500);
+        // proportional matches: 5347/28707 ≈ 0.186 → ~93
+        assert!((80..=110).contains(&d.match_count()), "{}", d.match_count());
+    }
+
+    #[test]
+    fn scaled_noop_when_small() {
+        let d = DatasetId::B2.generate_scaled(3, 10_000);
+        assert_eq!(d.len(), 394);
+    }
+
+    #[test]
+    fn parse_shorthands() {
+        assert_eq!(DatasetId::parse("wa"), Some(DatasetId::WA));
+        assert_eq!(DatasetId::parse("B2"), Some(DatasetId::B2));
+        assert_eq!(DatasetId::parse("xx"), None);
+    }
+
+    #[test]
+    fn ids_roundtrip_through_display() {
+        for id in DatasetId::all() {
+            assert_eq!(DatasetId::parse(&id.to_string()), Some(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetId::FZ.generate(1);
+        let b = DatasetId::FZ.generate(2);
+        assert_ne!(a.pairs[0].a, b.pairs[0].a);
+    }
+}

@@ -1,0 +1,165 @@
+//! Token-overlap blocking — the candidate-generation step of the standard
+//! ER pipeline (Section 2). The paper focuses on matching; this blocker
+//! completes the pipeline for end-to-end examples and future work
+//! (Section 8 asks how to combine DADER with blocking).
+
+use std::collections::{HashMap, HashSet};
+
+use dader_text::tokenize;
+
+use crate::record::Entity;
+
+/// Inverted-index blocker: candidate pairs must share at least
+/// `min_shared` tokens; each pair is scored by Jaccard similarity and the
+/// top-`max_candidates_per_a` per left entity are kept.
+pub struct OverlapBlocker {
+    /// Minimum shared-token count for a candidate.
+    pub min_shared: usize,
+    /// Cap on candidates kept per left entity.
+    pub max_candidates_per_a: usize,
+}
+
+impl Default for OverlapBlocker {
+    fn default() -> Self {
+        OverlapBlocker {
+            min_shared: 2,
+            max_candidates_per_a: 10,
+        }
+    }
+}
+
+impl OverlapBlocker {
+    /// Generate candidate index pairs `(i, j)` between two tables.
+    pub fn block(&self, table_a: &[Entity], table_b: &[Entity]) -> Vec<(usize, usize)> {
+        // Inverted index over B's tokens.
+        let b_tokens: Vec<HashSet<String>> = table_b
+            .iter()
+            .map(|e| tokenize(&e.full_text()).into_iter().collect())
+            .collect();
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (j, toks) in b_tokens.iter().enumerate() {
+            for t in toks {
+                index.entry(t.as_str()).or_default().push(j);
+            }
+        }
+
+        let mut out = Vec::new();
+        for (i, a) in table_a.iter().enumerate() {
+            let a_toks: HashSet<String> = tokenize(&a.full_text()).into_iter().collect();
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for t in &a_toks {
+                if let Some(js) = index.get(t.as_str()) {
+                    for &j in js {
+                        *counts.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut scored: Vec<(usize, f32)> = counts
+                .into_iter()
+                .filter(|(_, shared)| *shared >= self.min_shared)
+                .map(|(j, shared)| {
+                    let union = a_toks.len() + b_tokens[j].len() - shared;
+                    (j, shared as f32 / union.max(1) as f32)
+                })
+                .collect();
+            scored.sort_by(|x, y| {
+                y.1.partial_cmp(&x.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.0.cmp(&y.0))
+            });
+            for (j, _) in scored.into_iter().take(self.max_candidates_per_a) {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    /// Recall of the blocker against known matching index pairs.
+    pub fn recall(candidates: &[(usize, usize)], truth: &[(usize, usize)]) -> f32 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let cand: HashSet<&(usize, usize)> = candidates.iter().collect();
+        let hit = truth.iter().filter(|p| cand.contains(p)).count();
+        hit as f32 / truth.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    #[test]
+    fn finds_overlapping_pairs() {
+        let a = vec![
+            entity("a0", "kodak esp 7250 printer"),
+            entity("a1", "sony bravia television"),
+        ];
+        let b = vec![
+            entity("b0", "sony bravia 46 inch television"),
+            entity("b1", "kodak esp printer ink"),
+        ];
+        let cands = OverlapBlocker::default().block(&a, &b);
+        assert!(cands.contains(&(0, 1)));
+        assert!(cands.contains(&(1, 0)));
+        assert!(!cands.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn min_shared_filters_weak_pairs() {
+        let a = vec![entity("a0", "kodak printer")];
+        let b = vec![entity("b0", "kodak watch strap")]; // only 1 shared token
+        let blocker = OverlapBlocker {
+            min_shared: 2,
+            max_candidates_per_a: 10,
+        };
+        assert!(blocker.block(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn cap_limits_candidates() {
+        let a = vec![entity("a0", "common words here")];
+        let b: Vec<Entity> = (0..20)
+            .map(|i| entity(&format!("b{i}"), "common words everywhere"))
+            .collect();
+        let blocker = OverlapBlocker {
+            min_shared: 1,
+            max_candidates_per_a: 5,
+        };
+        assert_eq!(blocker.block(&a, &b).len(), 5);
+    }
+
+    #[test]
+    fn recall_measurement() {
+        let cands = vec![(0, 1), (1, 0)];
+        assert_eq!(OverlapBlocker::recall(&cands, &[(0, 1)]), 1.0);
+        assert_eq!(OverlapBlocker::recall(&cands, &[(0, 1), (2, 2)]), 0.5);
+        assert_eq!(OverlapBlocker::recall(&cands, &[]), 1.0);
+    }
+
+    #[test]
+    fn blocker_recall_high_on_generated_matches() {
+        use crate::benchmark::DatasetId;
+        let d = DatasetId::FZ.generate_scaled(7, 200);
+        let table_a: Vec<Entity> = d.pairs.iter().map(|p| p.a.clone()).collect();
+        let table_b: Vec<Entity> = d.pairs.iter().map(|p| p.b.clone()).collect();
+        let truth: Vec<(usize, usize)> = d
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.matching)
+            .map(|(i, _)| (i, i))
+            .collect();
+        let blocker = OverlapBlocker {
+            min_shared: 2,
+            max_candidates_per_a: 20,
+        };
+        let cands = blocker.block(&table_a, &table_b);
+        let recall = OverlapBlocker::recall(&cands, &truth);
+        assert!(recall > 0.8, "blocking recall too low: {recall}");
+    }
+}

@@ -1,0 +1,375 @@
+//! ER datasets: labeled pair collections, deterministic splits, and the
+//! generation engine that turns a [`DomainGenerator`] into a benchmark
+//! dataset with controlled match/non-match composition.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::record::{Entity, EntityPair};
+
+/// A named collection of labeled entity pairs.
+#[derive(Clone, Debug)]
+pub struct ErDataset {
+    /// Dataset name (e.g. `"Walmart-Amazon"`).
+    pub name: String,
+    /// Domain label (e.g. `"Product"`), per Table 2.
+    pub domain: String,
+    /// The labeled candidate pairs.
+    pub pairs: Vec<EntityPair>,
+}
+
+impl ErDataset {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the dataset holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of matching pairs.
+    pub fn match_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.matching).count()
+    }
+
+    /// Number of attributes of the A-side schema (Table 2's #Attrs).
+    pub fn arity(&self) -> usize {
+        self.pairs.first().map(|p| p.a.arity()).unwrap_or(0)
+    }
+
+    /// Class labels (0/1) aligned with `pairs`.
+    pub fn labels(&self) -> Vec<usize> {
+        self.pairs.iter().map(|p| p.label()).collect()
+    }
+
+    /// Deterministically shuffle and split by ratios (e.g. `&[3, 1, 1]` for
+    /// the DeepMatcher train/valid/test protocol, or `&[1, 9]` for the
+    /// paper's target val/test protocol).
+    pub fn split(&self, ratios: &[usize], seed: u64) -> Vec<ErDataset> {
+        assert!(!ratios.is_empty(), "split needs at least one ratio");
+        let total: usize = ratios.iter().sum();
+        assert!(total > 0, "split ratios must sum to a positive number");
+
+        // Stratified: shuffle matches and non-matches separately so every
+        // split keeps the class balance (important for tiny datasets).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<&EntityPair> = self.pairs.iter().filter(|p| p.matching).collect();
+        let mut neg: Vec<&EntityPair> = self.pairs.iter().filter(|p| !p.matching).collect();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+
+        let mut out: Vec<ErDataset> = ratios
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ErDataset {
+                name: format!("{}[{}]", self.name, i),
+                domain: self.domain.clone(),
+                pairs: Vec::new(),
+            })
+            .collect();
+
+        for class in [pos, neg] {
+            let n = class.len();
+            let mut start = 0usize;
+            let mut acc = 0usize;
+            for (i, &r) in ratios.iter().enumerate() {
+                acc += r;
+                let end = if i + 1 == ratios.len() { n } else { n * acc / total };
+                for p in &class[start..end] {
+                    out[i].pairs.push((*p).clone());
+                }
+                start = end;
+            }
+        }
+        // Re-shuffle within each split so batches are mixed-class.
+        for d in &mut out {
+            d.pairs.shuffle(&mut rng);
+        }
+        out
+    }
+
+    /// Down-sample to at most `max_pairs`, preserving the match ratio
+    /// (used by the quick-scale experiment harness).
+    pub fn subsample(&self, max_pairs: usize, seed: u64) -> ErDataset {
+        if self.len() <= max_pairs {
+            return self.clone();
+        }
+        let frac = max_pairs as f64 / self.len() as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<&EntityPair> = self.pairs.iter().filter(|p| p.matching).collect();
+        let mut neg: Vec<&EntityPair> = self.pairs.iter().filter(|p| !p.matching).collect();
+        pos.shuffle(&mut rng);
+        neg.shuffle(&mut rng);
+        let keep_pos = ((pos.len() as f64 * frac).round() as usize).max(1);
+        let keep_neg = max_pairs.saturating_sub(keep_pos);
+        let mut pairs: Vec<EntityPair> = pos
+            .into_iter()
+            .take(keep_pos)
+            .chain(neg.into_iter().take(keep_neg))
+            .cloned()
+            .collect();
+        pairs.shuffle(&mut rng);
+        ErDataset {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            pairs,
+        }
+    }
+
+    /// All token text of the dataset (for vocabulary building).
+    pub fn all_text(&self) -> String {
+        let mut s = String::new();
+        for p in &self.pairs {
+            for e in [&p.a, &p.b] {
+                for (k, v) in &e.attrs {
+                    s.push_str(k);
+                    s.push(' ');
+                    s.push_str(v);
+                    s.push(' ');
+                }
+            }
+        }
+        s
+    }
+}
+
+/// A canonical (table-independent) record a domain generator produces; the
+/// two table styles each render it into an [`Entity`].
+#[derive(Clone, Debug, Default)]
+pub struct Canonical {
+    fields: Vec<(String, String)>,
+}
+
+impl Canonical {
+    /// Create from `(name, value)` fields.
+    pub fn new(fields: Vec<(&str, String)>) -> Canonical {
+        Canonical {
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Field value by name (panics if absent — generator bugs should fail
+    /// loudly at generation time).
+    pub fn get(&self, name: &str) -> &str {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("canonical record missing field {name}"))
+    }
+
+    /// Replace a field value.
+    pub fn set(&mut self, name: &str, value: String) {
+        if let Some(f) = self.fields.iter_mut().find(|(k, _)| k == name) {
+            f.1 = value;
+        } else {
+            self.fields.push((name.to_string(), value));
+        }
+    }
+}
+
+/// A synthetic data domain: how to sample canonical records, how to sample
+/// *related* records (hard negatives sharing brand/venue/etc.), and how
+/// each of the two tables renders a canonical record.
+pub trait DomainGenerator {
+    /// Dataset name (Table 2 row).
+    fn name(&self) -> &str;
+
+    /// Domain label (Table 2 column).
+    fn domain(&self) -> &str;
+
+    /// Sample a fresh canonical record.
+    fn sample(&self, rng: &mut StdRng) -> Canonical;
+
+    /// Sample a record related to `rec` — a hard negative candidate (same
+    /// brand / same venue family / same restaurant chain…).
+    fn related(&self, rec: &Canonical, rng: &mut StdRng) -> Canonical;
+
+    /// Render into the A-side table's schema and style.
+    fn render_a(&self, rec: &Canonical, id: usize, rng: &mut StdRng) -> Entity;
+
+    /// Render into the B-side table's schema and style.
+    fn render_b(&self, rec: &Canonical, id: usize, rng: &mut StdRng) -> Entity;
+}
+
+/// Composition knobs for [`generate_dataset`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenSpec {
+    /// Total candidate pairs.
+    pub pairs: usize,
+    /// Matching pairs among them.
+    pub matches: usize,
+    /// Fraction of non-matches that are *hard* (related records) rather
+    /// than random.
+    pub hard_negative_frac: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a labeled dataset from a domain generator: `matches` positive
+/// pairs (two renderings of one canonical record) and the rest negatives,
+/// a `hard_negative_frac` of which pair related records.
+pub fn generate_dataset(gen: &dyn DomainGenerator, spec: GenSpec) -> ErDataset {
+    assert!(
+        spec.matches <= spec.pairs,
+        "matches {} exceed pairs {}",
+        spec.matches,
+        spec.pairs
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut pairs = Vec::with_capacity(spec.pairs);
+    let mut next_id = 0usize;
+
+    for _ in 0..spec.matches {
+        let rec = gen.sample(&mut rng);
+        let a = gen.render_a(&rec, next_id, &mut rng);
+        let b = gen.render_b(&rec, next_id, &mut rng);
+        next_id += 1;
+        pairs.push(EntityPair::new(a, b, true));
+    }
+
+    let negatives = spec.pairs - spec.matches;
+    for _ in 0..negatives {
+        let r1 = gen.sample(&mut rng);
+        let r2 = if rng.random::<f32>() < spec.hard_negative_frac {
+            gen.related(&r1, &mut rng)
+        } else {
+            gen.sample(&mut rng)
+        };
+        let a = gen.render_a(&r1, next_id, &mut rng);
+        next_id += 1;
+        let b = gen.render_b(&r2, next_id, &mut rng);
+        next_id += 1;
+        pairs.push(EntityPair::new(a, b, false));
+    }
+
+    pairs.shuffle(&mut rng);
+    ErDataset {
+        name: gen.name().to_string(),
+        domain: gen.domain().to_string(),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ToyGen;
+
+    impl DomainGenerator for ToyGen {
+        fn name(&self) -> &str {
+            "Toy"
+        }
+        fn domain(&self) -> &str {
+            "Test"
+        }
+        fn sample(&self, rng: &mut StdRng) -> Canonical {
+            Canonical::new(vec![("word", format!("item{}", rng.random_range(0..1000)))])
+        }
+        fn related(&self, rec: &Canonical, _rng: &mut StdRng) -> Canonical {
+            let mut r = rec.clone();
+            r.set("word", format!("{}x", rec.get("word")));
+            r
+        }
+        fn render_a(&self, rec: &Canonical, id: usize, _rng: &mut StdRng) -> Entity {
+            Entity::new(format!("a{id}"), vec![("name", rec.get("word").to_string())])
+        }
+        fn render_b(&self, rec: &Canonical, id: usize, _rng: &mut StdRng) -> Entity {
+            Entity::new(format!("b{id}"), vec![("name", rec.get("word").to_string())])
+        }
+    }
+
+    fn toy(pairs: usize, matches: usize) -> ErDataset {
+        generate_dataset(
+            &ToyGen,
+            GenSpec {
+                pairs,
+                matches,
+                hard_negative_frac: 0.5,
+                seed: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn composition_is_exact() {
+        let d = toy(100, 30);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.match_count(), 30);
+        assert_eq!(d.arity(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = toy(50, 10);
+        let b = toy(50, 10);
+        assert_eq!(a.pairs[0].a, b.pairs[0].a);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn matches_share_canonical_content() {
+        let d = toy(40, 40);
+        for p in &d.pairs {
+            assert_eq!(p.a.get("name"), p.b.get("name"));
+        }
+    }
+
+    #[test]
+    fn split_preserves_all_pairs_and_stratifies() {
+        let d = toy(100, 40);
+        let parts = d.split(&[3, 1, 1], 42);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 100);
+        // stratification keeps ~40% matches per split
+        for p in &parts {
+            let frac = p.match_count() as f32 / p.len() as f32;
+            assert!((0.3..0.5).contains(&frac), "match frac {frac}");
+        }
+    }
+
+    #[test]
+    fn split_1_9_protocol() {
+        let d = toy(200, 60);
+        let parts = d.split(&[1, 9], 0);
+        assert!(parts[0].len() >= 15 && parts[0].len() <= 25);
+        assert_eq!(parts[0].len() + parts[1].len(), 200);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let d = toy(60, 20);
+        let a = d.split(&[1, 1], 5);
+        let b = d.split(&[1, 1], 5);
+        assert_eq!(a[0].labels(), b[0].labels());
+        let c = d.split(&[1, 1], 6);
+        // Different seed ⇒ almost surely different assignment
+        assert_ne!(
+            a[0].pairs.iter().map(|p| p.a.id.clone()).collect::<Vec<_>>(),
+            c[0].pairs.iter().map(|p| p.a.id.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn subsample_preserves_ratio() {
+        let d = toy(200, 100);
+        let s = d.subsample(50, 1);
+        assert_eq!(s.len(), 50);
+        let frac = s.match_count() as f32 / s.len() as f32;
+        assert!((0.4..0.6).contains(&frac));
+        // no-op when already small
+        assert_eq!(d.subsample(500, 1).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed pairs")]
+    fn bad_spec_panics() {
+        toy(10, 20);
+    }
+}

@@ -1,0 +1,254 @@
+//! Citation domain: DBLP-Scholar and DBLP-ACM, both with the aligned
+//! schema `(title, authors, venue, year)`. The two datasets differ in
+//! textual style exactly as the paper describes: Scholar abbreviates author
+//! first names (`m stonebraker`) and venue names, while ACM uses full
+//! forms (`michael stonebraker`) — the style-level domain shift of
+//! Section 6.2.1.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::dataset::{Canonical, DomainGenerator};
+use crate::perturb::{abbreviate, apply_noise, drop_tokens, NoiseProfile};
+use crate::pools::{gen_person, gen_year, pick_phrase, PAPER_WORDS, VENUES_ABBREV, VENUES_FULL};
+use crate::record::Entity;
+
+/// Sample a canonical paper: a title phrase, 2-3 authors, venue index,
+/// year.
+pub(crate) fn sample_paper(rng: &mut StdRng) -> Canonical {
+    let n_words = rng.random_range(4..7usize);
+    let n_authors = rng.random_range(2..4usize);
+    let authors: Vec<String> = (0..n_authors).map(|_| gen_person(rng)).collect();
+    let venue_idx = rng.random_range(0..VENUES_FULL.len());
+    Canonical::new(vec![
+        ("title", pick_phrase(PAPER_WORDS, n_words, rng)),
+        ("authors", authors.join(" , ")),
+        ("venue_idx", venue_idx.to_string()),
+        ("year", gen_year(1995, 2015, rng)),
+    ])
+}
+
+/// Hard negative: same venue and year, same research-area words in a
+/// different title — follow-up papers by different groups.
+pub(crate) fn related_paper(rec: &Canonical, rng: &mut StdRng) -> Canonical {
+    let mut r = sample_paper(rng);
+    r.set("venue_idx", rec.get("venue_idx").to_string());
+    r.set("year", rec.get("year").to_string());
+    // Reuse two title words from the original.
+    let orig: Vec<&str> = rec.get("title").split(' ').collect();
+    let mut title = pick_phrase(PAPER_WORDS, 3, rng);
+    for w in orig.iter().take(2) {
+        title.push(' ');
+        title.push_str(w);
+    }
+    r.set("title", title);
+    r
+}
+
+fn venue_of(rec: &Canonical, full: bool) -> String {
+    let idx: usize = rec.get("venue_idx").parse().expect("venue index");
+    if full {
+        VENUES_FULL[idx].to_string()
+    } else {
+        VENUES_ABBREV[idx].to_string()
+    }
+}
+
+/// DBLP-Scholar: DBLP side is clean; Scholar side is scraped-looking, with
+/// abbreviated author names, abbreviated venues and dropped tokens.
+pub struct DblpScholar;
+
+impl DomainGenerator for DblpScholar {
+    fn name(&self) -> &str {
+        "DBLP-Scholar"
+    }
+
+    fn domain(&self) -> &str {
+        "Citation"
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Canonical {
+        sample_paper(rng)
+    }
+
+    fn related(&self, rec: &Canonical, rng: &mut StdRng) -> Canonical {
+        related_paper(rec, rng)
+    }
+
+    fn render_a(&self, rec: &Canonical, id: usize, _rng: &mut StdRng) -> Entity {
+        // DBLP: canonical clean record.
+        Entity::new(
+            format!("a{id}"),
+            vec![
+                ("title", rec.get("title").to_string()),
+                ("authors", rec.get("authors").to_string()),
+                ("venue", venue_of(rec, false)),
+                ("year", rec.get("year").to_string()),
+            ],
+        )
+    }
+
+    fn render_b(&self, rec: &Canonical, id: usize, rng: &mut StdRng) -> Entity {
+        // Scholar: abbreviated first names per author, noisy title, venue
+        // sometimes missing.
+        let authors = rec
+            .get("authors")
+            .split(" , ")
+            .map(|a| abbreviate(a, 0.9, rng))
+            .collect::<Vec<_>>()
+            .join(" , ");
+        let title = drop_tokens(rec.get("title"), 0.1, rng);
+        let noise = NoiseProfile {
+            typo: 0.04,
+            abbreviate: 0.0,
+            drop: 0.0,
+            swap: 0.15,
+            null: 0.0,
+        };
+        Entity::new(
+            format!("b{id}"),
+            vec![
+                ("title", apply_noise(&title, &noise, rng)),
+                ("authors", authors),
+                (
+                    "venue",
+                    if rng.random::<f32>() < 0.25 {
+                        "NULL".to_string()
+                    } else {
+                        venue_of(rec, false)
+                    },
+                ),
+                ("year", rec.get("year").to_string()),
+            ],
+        )
+    }
+}
+
+/// DBLP-ACM: both sides clean, full author names, full venue names; only
+/// mild formatting differences.
+pub struct DblpAcm;
+
+impl DomainGenerator for DblpAcm {
+    fn name(&self) -> &str {
+        "DBLP-ACM"
+    }
+
+    fn domain(&self) -> &str {
+        "Citation"
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Canonical {
+        sample_paper(rng)
+    }
+
+    fn related(&self, rec: &Canonical, rng: &mut StdRng) -> Canonical {
+        related_paper(rec, rng)
+    }
+
+    fn render_a(&self, rec: &Canonical, id: usize, _rng: &mut StdRng) -> Entity {
+        Entity::new(
+            format!("a{id}"),
+            vec![
+                ("title", rec.get("title").to_string()),
+                ("authors", rec.get("authors").to_string()),
+                ("venue", venue_of(rec, false)),
+                ("year", rec.get("year").to_string()),
+            ],
+        )
+    }
+
+    fn render_b(&self, rec: &Canonical, id: usize, rng: &mut StdRng) -> Entity {
+        // ACM: full venue names, authors occasionally reordered.
+        let mut authors: Vec<&str> = rec.get("authors").split(" , ").collect();
+        if authors.len() >= 2 && rng.random::<f32>() < 0.3 {
+            authors.swap(0, 1);
+        }
+        Entity::new(
+            format!("b{id}"),
+            vec![
+                ("title", rec.get("title").to_string()),
+                ("authors", authors.join(" , ")),
+                ("venue", venue_of(rec, true)),
+                ("year", rec.get("year").to_string()),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, GenSpec};
+    use rand::SeedableRng;
+
+    fn spec(pairs: usize, matches: usize) -> GenSpec {
+        GenSpec {
+            pairs,
+            matches,
+            hard_negative_frac: 0.5,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn schema_is_4_attrs() {
+        for gen in [&DblpScholar as &dyn DomainGenerator, &DblpAcm] {
+            let d = generate_dataset(gen, spec(20, 5));
+            assert_eq!(d.arity(), 4);
+            assert_eq!(
+                d.pairs[0].a.attr_names(),
+                vec!["title", "authors", "venue", "year"]
+            );
+        }
+    }
+
+    #[test]
+    fn scholar_abbreviates_authors() {
+        let d = generate_dataset(&DblpScholar, spec(60, 60));
+        let mut abbreviated = 0;
+        for p in &d.pairs {
+            let b_authors = p.b.get("authors").unwrap();
+            // abbreviated first names are single letters
+            if b_authors
+                .split(" , ")
+                .any(|a| a.split(' ').next().map(|w| w.len() == 1).unwrap_or(false))
+            {
+                abbreviated += 1;
+            }
+            // the A side keeps full names
+            assert!(p
+                .a
+                .get("authors")
+                .unwrap()
+                .split(" , ")
+                .all(|a| a.split(' ').next().unwrap().len() > 1));
+        }
+        assert!(abbreviated > 40, "only {abbreviated}/60 rows abbreviated");
+    }
+
+    #[test]
+    fn acm_uses_full_venue_names() {
+        let d = generate_dataset(&DblpAcm, spec(30, 30));
+        for p in &d.pairs {
+            assert!(p.b.get("venue").unwrap().contains(' '), "venue not full form");
+        }
+    }
+
+    #[test]
+    fn matches_keep_same_year() {
+        let d = generate_dataset(&DblpAcm, spec(40, 40));
+        for p in &d.pairs {
+            assert_eq!(p.a.get("year"), p.b.get("year"));
+        }
+    }
+
+    #[test]
+    fn related_shares_venue_and_year() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rec = sample_paper(&mut rng);
+        let rel = related_paper(&rec, &mut rng);
+        assert_eq!(rec.get("venue_idx"), rel.get("venue_idx"));
+        assert_eq!(rec.get("year"), rel.get("year"));
+        assert_ne!(rec.get("authors"), rel.get("authors"));
+    }
+}

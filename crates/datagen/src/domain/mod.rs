@@ -1,0 +1,20 @@
+//! Domain generators for the 13 benchmark datasets of Table 2, grouped by
+//! source domain. Similar-domain dataset pairs share a module (and word
+//! pools); different-domain pairs live in different modules with nearly
+//! disjoint vocabulary.
+
+pub mod books;
+pub mod citations;
+pub mod movies;
+pub mod music;
+pub mod products;
+pub mod restaurants;
+pub mod wdc;
+
+pub use books::Books2;
+pub use citations::{DblpAcm, DblpScholar};
+pub use movies::RottenImdb;
+pub use music::ItunesAmazon;
+pub use products::{AbtBuy, WalmartAmazon};
+pub use restaurants::{FodorsZagats, ZomatoYelp};
+pub use wdc::{Wdc, WdcCategory};

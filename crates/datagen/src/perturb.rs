@@ -1,0 +1,320 @@
+//! The perturbation library that turns one canonical record into two
+//! differently-styled table entries: typos, abbreviations, token drops and
+//! swaps, NULL injection, and the value-misplacement that defines the
+//! "dirty" Zomato-Yelp variant used in the paper's evaluation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Introduce one character-level typo (substitution, deletion or
+/// transposition) with probability `p` per word.
+pub fn typo(text: &str, p: f32, rng: &mut StdRng) -> String {
+    let words: Vec<String> = text
+        .split_whitespace()
+        .map(|w| {
+            if rng.random::<f32>() >= p || w.chars().count() < 3 {
+                return w.to_string();
+            }
+            let chars: Vec<char> = w.chars().collect();
+            let i = rng.random_range(0..chars.len() - 1);
+            let mut out = chars.clone();
+            match rng.random_range(0..3u8) {
+                0 => {
+                    // substitute with a nearby letter
+                    out[i] = char::from(b'a' + rng.random_range(0..26u8));
+                }
+                1 => {
+                    out.remove(i);
+                }
+                _ => {
+                    out.swap(i, i + 1);
+                }
+            }
+            out.into_iter().collect()
+        })
+        .collect();
+    words.join(" ")
+}
+
+/// Abbreviate each word longer than 1 char to its initial with probability
+/// `p` — the DBLP-Scholar style (`michael stonebraker` → `m stonebraker`:
+/// the paper abbreviates first names, which we model by only abbreviating
+/// non-final words).
+pub fn abbreviate(text: &str, p: f32, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let n = words.len();
+    let out: Vec<String> = words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            if i + 1 < n && w.len() > 1 && rng.random::<f32>() < p {
+                w.chars().take(1).collect()
+            } else {
+                w.to_string()
+            }
+        })
+        .collect();
+    out.join(" ")
+}
+
+/// Drop each token with probability `p`, never dropping all of them.
+pub fn drop_tokens(text: &str, p: f32, rng: &mut StdRng) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() <= 1 {
+        return text.to_string();
+    }
+    let kept: Vec<&str> = words
+        .iter()
+        .filter(|_| rng.random::<f32>() >= p)
+        .copied()
+        .collect();
+    if kept.is_empty() {
+        words[rng.random_range(0..words.len())].to_string()
+    } else {
+        kept.join(" ")
+    }
+}
+
+/// Swap two adjacent tokens with probability `p`.
+pub fn swap_tokens(text: &str, p: f32, rng: &mut StdRng) -> String {
+    let mut words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() >= 2 && rng.random::<f32>() < p {
+        let i = rng.random_range(0..words.len() - 1);
+        words.swap(i, i + 1);
+    }
+    words.join(" ")
+}
+
+/// Replace the value with `"NULL"` with probability `p` (missing data, as
+/// in the paper's Figure 2 where prices and brands are NULL).
+pub fn null_out(text: &str, p: f32, rng: &mut StdRng) -> String {
+    if rng.random::<f32>() < p {
+        "NULL".to_string()
+    } else {
+        text.to_string()
+    }
+}
+
+/// Perturb a numeric string by a small relative amount with probability
+/// `p` (prices listed slightly differently across stores).
+pub fn jitter_number(text: &str, p: f32, rel: f32, rng: &mut StdRng) -> String {
+    if rng.random::<f32>() >= p {
+        return text.to_string();
+    }
+    match text.parse::<f32>() {
+        Ok(v) => {
+            let factor = 1.0 + rng.random_range(-rel..rel);
+            format!("{:.2}", v * factor)
+        }
+        Err(_) => text.to_string(),
+    }
+}
+
+/// "Dirty" an entity schema-wise: with probability `p`, move one value
+/// into a different attribute, leaving its own slot NULL — the
+/// DeepMatcher-style dirty variant the paper uses for Zomato-Yelp.
+pub fn dirty_misplace(
+    attrs: &mut Vec<(String, String)>,
+    p: f32,
+    rng: &mut StdRng,
+) {
+    if attrs.len() < 2 || rng.random::<f32>() >= p {
+        return;
+    }
+    let from = rng.random_range(0..attrs.len());
+    let mut to = rng.random_range(0..attrs.len());
+    while to == from {
+        to = rng.random_range(0..attrs.len());
+    }
+    let moved = std::mem::replace(&mut attrs[from].1, "NULL".to_string());
+    if moved != "NULL" {
+        let dst = &mut attrs[to].1;
+        if dst == "NULL" {
+            *dst = moved;
+        } else {
+            dst.push(' ');
+            dst.push_str(&moved);
+        }
+    }
+}
+
+/// A bundle of perturbation strengths, applied together by
+/// [`apply_noise`]. Each dataset's style is one of these bundles.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseProfile {
+    /// Per-word typo probability.
+    pub typo: f32,
+    /// Per-word abbreviation probability.
+    pub abbreviate: f32,
+    /// Per-token drop probability.
+    pub drop: f32,
+    /// Adjacent-swap probability.
+    pub swap: f32,
+    /// NULL-out probability.
+    pub null: f32,
+}
+
+impl NoiseProfile {
+    /// No perturbation at all.
+    pub fn clean() -> NoiseProfile {
+        NoiseProfile {
+            typo: 0.0,
+            abbreviate: 0.0,
+            drop: 0.0,
+            swap: 0.0,
+            null: 0.0,
+        }
+    }
+
+    /// Light e-commerce noise: occasional typos/drops.
+    pub fn light() -> NoiseProfile {
+        NoiseProfile {
+            typo: 0.03,
+            abbreviate: 0.0,
+            drop: 0.08,
+            swap: 0.1,
+            null: 0.05,
+        }
+    }
+
+    /// Heavy noise for the hardest textual styles.
+    pub fn heavy() -> NoiseProfile {
+        NoiseProfile {
+            typo: 0.08,
+            abbreviate: 0.0,
+            drop: 0.2,
+            swap: 0.25,
+            null: 0.12,
+        }
+    }
+}
+
+/// Apply a [`NoiseProfile`] to a value.
+pub fn apply_noise(text: &str, profile: &NoiseProfile, rng: &mut StdRng) -> String {
+    let mut t = text.to_string();
+    if profile.abbreviate > 0.0 {
+        t = abbreviate(&t, profile.abbreviate, rng);
+    }
+    if profile.drop > 0.0 {
+        t = drop_tokens(&t, profile.drop, rng);
+    }
+    if profile.swap > 0.0 {
+        t = swap_tokens(&t, profile.swap, rng);
+    }
+    if profile.typo > 0.0 {
+        t = typo(&t, profile.typo, rng);
+    }
+    if profile.null > 0.0 {
+        t = null_out(&t, profile.null, rng);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn typo_zero_prob_is_identity() {
+        assert_eq!(typo("kodak esp printer", 0.0, &mut rng()), "kodak esp printer");
+    }
+
+    #[test]
+    fn typo_changes_some_words() {
+        let mut r = rng();
+        let out = typo("alphabet borogrove cardamom dirigible elephant", 1.0, &mut r);
+        assert_ne!(out, "alphabet borogrove cardamom dirigible elephant");
+        // Word count preserved (substitution/deletion/transposition only)
+        assert_eq!(out.split_whitespace().count(), 5);
+    }
+
+    #[test]
+    fn abbreviate_keeps_last_word() {
+        let mut r = rng();
+        let out = abbreviate("michael stonebraker", 1.0, &mut r);
+        assert_eq!(out, "m stonebraker");
+    }
+
+    #[test]
+    fn abbreviate_multiword() {
+        let out = abbreviate("anna maria schwartz", 1.0, &mut rng());
+        assert_eq!(out, "a m schwartz");
+    }
+
+    #[test]
+    fn drop_never_empties() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = drop_tokens("a b c", 0.99, &mut r);
+            assert!(!out.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn swap_preserves_multiset() {
+        let mut r = rng();
+        let out = swap_tokens("one two three four", 1.0, &mut r);
+        let mut a: Vec<&str> = out.split_whitespace().collect();
+        let mut b = vec!["one", "two", "three", "four"];
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_out_probabilities() {
+        let mut r = rng();
+        let nulls = (0..200)
+            .filter(|_| null_out("x", 0.5, &mut r) == "NULL")
+            .count();
+        assert!((60..140).contains(&nulls), "{nulls}");
+    }
+
+    #[test]
+    fn jitter_number_only_touches_numbers() {
+        let mut r = rng();
+        assert_eq!(jitter_number("hello", 1.0, 0.1, &mut r), "hello");
+        let out = jitter_number("100.0", 1.0, 0.1, &mut r);
+        let v: f32 = out.parse().unwrap();
+        assert!((90.0..110.1).contains(&v));
+    }
+
+    #[test]
+    fn dirty_misplace_moves_value() {
+        let mut r = rng();
+        let mut moved = false;
+        for _ in 0..50 {
+            let mut attrs = vec![
+                ("name".to_string(), "golden dragon".to_string()),
+                ("addr".to_string(), "12 main st".to_string()),
+            ];
+            dirty_misplace(&mut attrs, 1.0, &mut r);
+            if attrs[0].1 == "NULL" || attrs[1].1 == "NULL" {
+                moved = true;
+                // the other slot holds both values or the moved one
+                let other = if attrs[0].1 == "NULL" { &attrs[1].1 } else { &attrs[0].1 };
+                assert!(other.contains("golden") || other.contains("main"));
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn apply_noise_clean_is_identity() {
+        let out = apply_noise("exact text here", &NoiseProfile::clean(), &mut rng());
+        assert_eq!(out, "exact text here");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let profile = NoiseProfile::heavy();
+        let a = apply_noise("kodak esp seven printer", &profile, &mut StdRng::seed_from_u64(1));
+        let b = apply_noise("kodak esp seven printer", &profile, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

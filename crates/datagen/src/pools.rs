@@ -1,0 +1,331 @@
+//! Domain word pools and primitive value generators. Each benchmark domain
+//! draws from its own pools; *similar* domains (the paper's Table 3 pairs)
+//! share pools, *different* domains (Table 4 pairs) have nearly disjoint
+//! vocabulary, and the four WDC categories share one title vocabulary —
+//! exactly the structure the paper's findings hinge on.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+// ---------------------------------------------------------------- products
+
+/// Consumer-electronics brands (shared by Walmart-Amazon, Abt-Buy and WDC).
+pub const BRANDS: &[&str] = &[
+    "kodak", "canon", "sony", "samsung", "hp", "epson", "dell", "lenovo", "logitech", "philips",
+    "panasonic", "toshiba", "asus", "acer", "brother", "xerox", "sharp", "sandisk", "belkin",
+    "netgear", "olympus", "nikon", "garmin", "linksys",
+];
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "printer", "camera", "laptop", "monitor", "router", "keyboard", "speaker", "scanner",
+    "projector", "tablet", "headphones", "charger", "television", "camcorder", "receiver",
+    "microphone", "adapter", "drive", "mouse", "dock",
+];
+
+/// Product adjectives / feature words.
+pub const PRODUCT_ADJ: &[&str] = &[
+    "wireless", "portable", "digital", "compact", "professional", "premium", "ultra", "smart",
+    "bluetooth", "rechargeable", "ergonomic", "slim", "rugged", "gaming", "studio", "travel",
+];
+
+/// Retail category labels.
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "electronics", "computers", "office", "photography", "audio", "networking", "accessories",
+    "printers", "storage", "peripherals", "video", "imaging",
+];
+
+// --------------------------------------------------------------- citations
+
+/// Author first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "michael", "jennifer", "david", "maria", "james", "elena", "robert", "susan", "wei", "ahmed",
+    "yuki", "carlos", "anna", "peter", "laura", "thomas", "julia", "kevin", "nina", "rajesh",
+    "sofia", "daniel", "grace", "victor", "irene", "samuel", "olga", "hiro", "fatima", "george",
+];
+
+/// Author last names.
+pub const LAST_NAMES: &[&str] = &[
+    "stonebraker", "garcia", "chen", "muller", "johnson", "tanaka", "silva", "kumar", "novak",
+    "rossi", "kim", "petrov", "andersen", "dubois", "moreau", "haas", "weber", "lindqvist",
+    "okafor", "nakamura", "costa", "jensen", "varga", "popescu", "keller", "brandt", "fischer",
+    "santos", "yamada", "olsen", "hoffman", "ricci", "berg", "kowalski", "larsen", "mancini",
+    "duarte", "vogel", "smirnov", "horvat",
+];
+
+/// Database/systems paper title words.
+pub const PAPER_WORDS: &[&str] = &[
+    "database", "query", "learning", "distributed", "indexing", "transaction", "graph", "stream",
+    "optimization", "entity", "resolution", "adaptive", "neural", "efficient", "scalable",
+    "parallel", "storage", "memory", "consistency", "replication", "clustering", "sampling",
+    "approximate", "semantic", "integration", "schema", "relational", "temporal", "spatial",
+    "probabilistic", "incremental", "concurrent", "declarative", "workload", "benchmark",
+    "partitioning", "compression", "caching", "recovery", "provenance",
+];
+
+/// Publication venues (full names for ACM style).
+pub const VENUES_FULL: &[&str] = &[
+    "sigmod conference", "vldb journal", "icde conference", "kdd conference", "www conference",
+    "cikm conference", "edbt conference", "pods symposium", "tods journal", "sigir conference",
+];
+
+/// Publication venues (abbreviated, Scholar style).
+pub const VENUES_ABBREV: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "pods", "tods", "sigir",
+];
+
+// ------------------------------------------------------------- restaurants
+
+/// Restaurant name words.
+pub const REST_WORDS: &[&str] = &[
+    "golden", "dragon", "pasta", "house", "cafe", "bistro", "grill", "corner", "royal", "garden",
+    "sushi", "taco", "bella", "luna", "olive", "spice", "harbor", "maple", "ivy", "saffron",
+    "bamboo", "coral", "ember", "willow", "pearl", "cedar", "jasmine", "copper", "anchor",
+    "lantern",
+];
+
+/// Cuisine types.
+pub const CUISINES: &[&str] = &[
+    "italian", "chinese", "mexican", "french", "japanese", "american", "indian", "thai",
+    "mediterranean", "korean",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia", "san diego",
+    "dallas", "austin", "seattle", "denver", "boston", "atlanta", "miami", "portland",
+    "san francisco",
+];
+
+/// Street names.
+pub const STREETS: &[&str] = &[
+    "main st", "oak ave", "maple dr", "park blvd", "sunset blvd", "broadway", "market st",
+    "elm st", "lake ave", "hill rd", "river rd", "union sq", "grand ave", "pine st",
+    "washington ave", "lincoln blvd", "madison ave", "franklin st", "college ave", "harbor dr",
+];
+
+// ------------------------------------------------------------------- music
+
+/// Artist name words.
+pub const ARTIST_WORDS: &[&str] = &[
+    "velvet", "echo", "midnight", "crystal", "neon", "shadow", "electric", "lunar", "scarlet",
+    "wild", "silver", "phantom", "aurora", "cosmic", "violet", "thunder", "mystic", "golden",
+    "iron", "crimson", "stellar", "sonic", "rebel", "atomic",
+];
+
+/// Song title words.
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "dance", "heart", "blue", "fire", "dream", "summer", "rain", "light",
+    "forever", "broken", "wild", "home", "stars", "ocean", "memory", "shadows", "freedom",
+    "gravity", "horizon", "echoes", "paradise", "thunder", "whisper", "sunrise", "neon",
+    "velvet", "runaway", "believer",
+];
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "rock", "pop", "jazz", "electronic", "country", "hiphop", "classical", "indie",
+];
+
+// ------------------------------------------------------------------ movies
+
+/// Movie title words.
+pub const MOVIE_WORDS: &[&str] = &[
+    "return", "dark", "kingdom", "last", "secret", "city", "night", "legend", "lost", "rising",
+    "shadow", "empire", "journey", "silent", "broken", "crimson", "winter", "storm", "golden",
+    "forgotten", "hidden", "eternal", "savage", "midnight", "fallen", "iron", "burning",
+    "frozen", "distant", "final",
+];
+
+// ------------------------------------------------------------------- books
+
+/// Book title words.
+pub const BOOK_WORDS: &[&str] = &[
+    "garden", "history", "daughter", "secret", "island", "letters", "shadow", "winter", "river",
+    "stories", "journey", "night", "house", "silent", "memory", "light", "forgotten", "art",
+    "life", "world", "city", "love", "song", "children", "truth", "mountain", "sea", "summer",
+    "king", "road",
+];
+
+/// Publishers.
+pub const PUBLISHERS: &[&str] = &[
+    "penguin", "harpercollins", "randomhouse", "simonschuster", "macmillan", "hachette",
+    "scholastic", "bloomsbury", "vintage", "norton",
+];
+
+/// Book formats.
+pub const FORMATS: &[&str] = &["hardcover", "paperback", "ebook", "audiobook"];
+
+/// Book languages.
+pub const LANGUAGES: &[&str] = &["english", "spanish", "french", "german"];
+
+// --------------------------------------------------------------------- wdc
+
+/// Commerce words shared by every WDC category title (the paper: "a same
+/// textual attribute Title that follows the same word vocabulary").
+pub const WDC_SHARED: &[&str] = &[
+    "new", "original", "genuine", "black", "white", "silver", "blue", "red", "pro", "series",
+    "edition", "model", "pack", "set", "free", "shipping", "warranty", "sale", "2020", "2021",
+    "inch", "mm", "size", "color", "brand", "official", "premium", "classic", "sport", "mini",
+];
+
+/// WDC computers-specific terms.
+pub const WDC_COMPUTERS: &[&str] = &[
+    "cpu", "ghz", "ssd", "ram", "gb", "intel", "ryzen", "motherboard", "graphics", "cooling",
+    "desktop", "gaming",
+];
+
+/// WDC cameras-specific terms.
+pub const WDC_CAMERAS: &[&str] = &[
+    "lens", "megapixel", "zoom", "dslr", "mirrorless", "tripod", "aperture", "sensor", "flash",
+    "video", "telephoto", "stabilizer",
+];
+
+/// WDC watches-specific terms.
+pub const WDC_WATCHES: &[&str] = &[
+    "strap", "dial", "chronograph", "quartz", "automatic", "sapphire", "bezel", "leather",
+    "stainless", "waterproof", "analog", "wrist",
+];
+
+/// WDC shoes-specific terms.
+pub const WDC_SHOES: &[&str] = &[
+    "running", "suede", "sneaker", "boot", "sole", "lace", "trail", "cushion", "mens",
+    "womens", "athletic", "walking",
+];
+
+// ------------------------------------------------------------- value utils
+
+/// Pick one item from a pool.
+pub fn pick<'a>(pool: &[&'a str], rng: &mut StdRng) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// Pick `n` distinct items, joined by spaces.
+pub fn pick_phrase(pool: &[&str], n: usize, rng: &mut StdRng) -> String {
+    let n = n.min(pool.len());
+    let mut chosen: Vec<&str> = Vec::with_capacity(n);
+    while chosen.len() < n {
+        let w = pick(pool, rng);
+        if !chosen.contains(&w) {
+            chosen.push(w);
+        }
+    }
+    chosen.join(" ")
+}
+
+/// A model-number-like token, e.g. `esp 7250` or `dx430`.
+pub fn gen_model(rng: &mut StdRng) -> String {
+    let letters: String = (0..rng.random_range(2..4usize))
+        .map(|_| char::from(b'a' + rng.random_range(0..26u8)))
+        .collect();
+    let digits = rng.random_range(100..9999u32);
+    if rng.random::<f32>() < 0.5 {
+        format!("{letters}{digits}")
+    } else {
+        format!("{letters} {digits}")
+    }
+}
+
+/// A plausible price string.
+pub fn gen_price(lo: f32, hi: f32, rng: &mut StdRng) -> String {
+    format!("{:.2}", rng.random_range(lo..hi))
+}
+
+/// A publication/release year.
+pub fn gen_year(lo: i32, hi: i32, rng: &mut StdRng) -> String {
+    rng.random_range(lo..=hi).to_string()
+}
+
+/// A US-style phone number.
+pub fn gen_phone(rng: &mut StdRng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.random_range(200..999u32),
+        rng.random_range(200..999u32),
+        rng.random_range(0..9999u32)
+    )
+}
+
+/// A 13-digit ISBN-like code.
+pub fn gen_isbn(rng: &mut StdRng) -> String {
+    format!("978{:010}", rng.random_range(0..9_999_999_999u64))
+}
+
+/// A track duration `m:ss`.
+pub fn gen_duration(rng: &mut StdRng) -> String {
+    format!("{}:{:02}", rng.random_range(2..6u32), rng.random_range(0..60u32))
+}
+
+/// A person name `first last`.
+pub fn gen_person(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for pool in [
+            BRANDS, PRODUCT_NOUNS, PRODUCT_ADJ, PRODUCT_CATEGORIES, FIRST_NAMES, LAST_NAMES,
+            PAPER_WORDS, VENUES_FULL, VENUES_ABBREV, REST_WORDS, CUISINES, CITIES, STREETS,
+            ARTIST_WORDS, SONG_WORDS, GENRES, MOVIE_WORDS, BOOK_WORDS, PUBLISHERS, FORMATS,
+            LANGUAGES, WDC_SHARED, WDC_COMPUTERS, WDC_CAMERAS, WDC_WATCHES, WDC_SHOES,
+        ] {
+            assert!(!pool.is_empty());
+            let set: HashSet<&&str> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len(), "duplicate entries in a pool");
+        }
+    }
+
+    #[test]
+    fn venue_abbrev_aligns_with_full() {
+        assert_eq!(VENUES_FULL.len(), VENUES_ABBREV.len());
+        for (full, ab) in VENUES_FULL.iter().zip(VENUES_ABBREV) {
+            assert!(full.starts_with(ab), "{full} vs {ab}");
+        }
+    }
+
+    #[test]
+    fn wdc_category_pools_are_disjoint_from_each_other() {
+        let pools = [WDC_COMPUTERS, WDC_CAMERAS, WDC_WATCHES, WDC_SHOES];
+        for i in 0..pools.len() {
+            for j in i + 1..pools.len() {
+                for w in pools[i] {
+                    assert!(!pools[j].contains(w), "{w} shared between categories");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pick_phrase_distinct_words() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = pick_phrase(SONG_WORDS, 4, &mut r);
+            let words: Vec<&str> = p.split(' ').collect();
+            let set: HashSet<&&str> = words.iter().collect();
+            assert_eq!(set.len(), words.len());
+        }
+    }
+
+    #[test]
+    fn generators_have_expected_shapes() {
+        let mut r = rng();
+        assert!(gen_model(&mut r).len() >= 5);
+        let price: f32 = gen_price(10.0, 20.0, &mut r).parse().unwrap();
+        assert!((10.0..20.0).contains(&price));
+        let year: i32 = gen_year(1990, 2015, &mut r).parse().unwrap();
+        assert!((1990..=2015).contains(&year));
+        assert_eq!(gen_phone(&mut r).len(), 12);
+        assert_eq!(gen_isbn(&mut r).len(), 13);
+        assert!(gen_duration(&mut r).contains(':'));
+        assert_eq!(gen_person(&mut r).split(' ').count(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Entity and entity-pair records — the relational data model of Section 2
+//! of the paper: an entity is a set of attribute-value pairs; an ER example
+//! is a pair of entities with a matching/non-matching label.
+
+use serde::{Deserialize, Serialize};
+
+/// An entity: an ordered list of `(attribute, value)` pairs. `NULL` values
+/// are represented by the literal string `"NULL"` as in the paper's
+/// Figure 2.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Stable identifier within its table (e.g. `a1`, `b42`).
+    pub id: String,
+    /// Attribute-value pairs in schema order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Entity {
+    /// Build an entity from `(&str, String)` pairs.
+    pub fn new(id: impl Into<String>, attrs: Vec<(&str, String)>) -> Entity {
+        Entity {
+            id: id.into(),
+            attrs: attrs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Value of an attribute, if present.
+    pub fn get(&self, attr: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == attr)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute names, in schema order.
+    pub fn attr_names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// All value text concatenated (for blocking and hashed embeddings).
+    pub fn full_text(&self) -> String {
+        let mut s = String::new();
+        for (_, v) in &self.attrs {
+            if v != "NULL" {
+                s.push_str(v);
+                s.push(' ');
+            }
+        }
+        s
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// A labeled candidate pair `(a, b, y)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EntityPair {
+    /// Entity from table A.
+    pub a: Entity,
+    /// Entity from table B.
+    pub b: Entity,
+    /// Ground-truth label: true = matching.
+    pub matching: bool,
+}
+
+impl EntityPair {
+    /// Convenience constructor.
+    pub fn new(a: Entity, b: Entity, matching: bool) -> EntityPair {
+        EntityPair { a, b, matching }
+    }
+
+    /// The label as the 0/1 class index used by the matcher.
+    pub fn label(&self) -> usize {
+        usize::from(self.matching)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Entity {
+        Entity::new(
+            "a1",
+            vec![
+                ("title", "kodak esp 7250".to_string()),
+                ("price", "NULL".to_string()),
+            ],
+        )
+    }
+
+    #[test]
+    fn get_by_attr() {
+        let e = sample();
+        assert_eq!(e.get("title"), Some("kodak esp 7250"));
+        assert_eq!(e.get("brand"), None);
+        assert_eq!(e.arity(), 2);
+    }
+
+    #[test]
+    fn full_text_skips_null() {
+        let e = sample();
+        assert_eq!(e.full_text().trim(), "kodak esp 7250");
+    }
+
+    #[test]
+    fn attr_names_in_order() {
+        assert_eq!(sample().attr_names(), vec!["title", "price"]);
+    }
+
+    #[test]
+    fn pair_label() {
+        let e = sample();
+        assert_eq!(EntityPair::new(e.clone(), e.clone(), true).label(), 1);
+        assert_eq!(EntityPair::new(e.clone(), e, false).label(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Dataset statistics and cross-dataset vocabulary diagnostics (used by
+//! the Table 2 harness and the Finding-2 distance analysis).
+
+use std::collections::HashSet;
+
+use dader_text::tokenize;
+
+use crate::dataset::ErDataset;
+
+/// Summary statistics for one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Domain label.
+    pub domain: String,
+    /// Total pairs.
+    pub pairs: usize,
+    /// Matching pairs.
+    pub matches: usize,
+    /// Attributes per entity.
+    pub attrs: usize,
+    /// Distinct word tokens.
+    pub vocab_size: usize,
+    /// Mean serialized token length of a pair.
+    pub avg_tokens_per_pair: f32,
+    /// Fraction of attribute values that are NULL.
+    pub null_frac: f32,
+}
+
+/// Compute summary statistics.
+pub fn dataset_stats(d: &ErDataset) -> DatasetStats {
+    let mut vocab: HashSet<String> = HashSet::new();
+    let mut total_tokens = 0usize;
+    let mut total_values = 0usize;
+    let mut null_values = 0usize;
+    for p in &d.pairs {
+        for e in [&p.a, &p.b] {
+            for (_, v) in &e.attrs {
+                total_values += 1;
+                if v == "NULL" {
+                    null_values += 1;
+                }
+            }
+            let toks = tokenize(&e.full_text());
+            total_tokens += toks.len();
+            vocab.extend(toks);
+        }
+    }
+    DatasetStats {
+        name: d.name.clone(),
+        domain: d.domain.clone(),
+        pairs: d.len(),
+        matches: d.match_count(),
+        attrs: d.arity(),
+        vocab_size: vocab.len(),
+        avg_tokens_per_pair: if d.is_empty() {
+            0.0
+        } else {
+            total_tokens as f32 / d.len() as f32
+        },
+        null_frac: if total_values == 0 {
+            0.0
+        } else {
+            null_values as f32 / total_values as f32
+        },
+    }
+}
+
+/// Jaccard similarity of two datasets' word vocabularies — a cheap proxy
+/// for domain closeness, used alongside the MMD distance of Finding 2.
+pub fn vocab_jaccard(a: &ErDataset, b: &ErDataset) -> f32 {
+    let va: HashSet<String> = tokenize(&a.all_text()).into_iter().collect();
+    let vb: HashSet<String> = tokenize(&b.all_text()).into_iter().collect();
+    let inter = va.intersection(&vb).count();
+    let union = va.union(&vb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::DatasetId;
+
+    #[test]
+    fn stats_reflect_composition() {
+        let d = DatasetId::B2.generate(5);
+        let s = dataset_stats(&d);
+        assert_eq!(s.pairs, 394);
+        assert_eq!(s.matches, 92);
+        assert_eq!(s.attrs, 9);
+        assert!(s.vocab_size > 50);
+        assert!(s.avg_tokens_per_pair > 10.0);
+        assert!((0.0..0.5).contains(&s.null_frac));
+    }
+
+    #[test]
+    fn similar_domains_have_higher_jaccard_than_different() {
+        let wa = DatasetId::WA.generate_scaled(1, 300);
+        let ab = DatasetId::AB.generate_scaled(1, 300);
+        let ri = DatasetId::RI.generate_scaled(1, 300);
+        let similar = vocab_jaccard(&wa, &ab);
+        let different = vocab_jaccard(&ri, &ab);
+        assert!(
+            similar > different + 0.05,
+            "WA/AB jaccard {similar} should exceed RI/AB {different}"
+        );
+    }
+
+    #[test]
+    fn wdc_categories_closest_of_all() {
+        let co = DatasetId::CO.generate_scaled(1, 300);
+        let wt = DatasetId::WT.generate_scaled(1, 300);
+        let ri = DatasetId::RI.generate_scaled(1, 300);
+        assert!(vocab_jaccard(&co, &wt) > vocab_jaccard(&co, &ri));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the benchmark generators: structural
+//! invariants that must hold for any seed and any scale.
+
+use dader_datagen::{dataset_stats, DatasetId, OverlapBlocker};
+use proptest::prelude::*;
+
+fn any_dataset_id() -> impl Strategy<Value = DatasetId> {
+    proptest::sample::select(DatasetId::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_is_deterministic_per_seed(id in any_dataset_id(), seed in 0u64..50) {
+        let a = id.generate_scaled(seed, 60);
+        let b = id.generate_scaled(seed, 60);
+        prop_assert_eq!(a.labels(), b.labels());
+        prop_assert_eq!(&a.pairs[0].a, &b.pairs[0].a);
+    }
+
+    #[test]
+    fn scaled_counts_and_schema(id in any_dataset_id(), seed in 0u64..20, cap in 30usize..120) {
+        let d = id.generate_scaled(seed, cap);
+        prop_assert!(d.len() <= cap.max(id.spec().pairs.min(cap)));
+        prop_assert!(d.match_count() >= 1);
+        prop_assert!(d.match_count() < d.len());
+        prop_assert_eq!(d.arity(), id.spec().attrs);
+        // every entity follows the schema
+        let names = d.pairs[0].a.attr_names();
+        for p in &d.pairs {
+            prop_assert_eq!(p.a.attr_names(), names.clone());
+            prop_assert_eq!(p.b.attr_names(), names.clone());
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(id in any_dataset_id(), seed in 0u64..20) {
+        let d = id.generate_scaled(seed, 90);
+        let parts = d.split(&[3, 1, 1], seed);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, d.len());
+        let matches: usize = parts.iter().map(|p| p.match_count()).sum();
+        prop_assert_eq!(matches, d.match_count());
+        // No pair appears in two splits (ids are unique per entity).
+        let mut seen = std::collections::HashSet::new();
+        for part in &parts {
+            for p in &part.pairs {
+                prop_assert!(seen.insert((p.a.id.clone(), p.b.id.clone())));
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_respects_cap_and_balance(id in any_dataset_id(), cap in 20usize..60) {
+        let d = id.generate_scaled(7, 150);
+        let s = d.subsample(cap, 3);
+        prop_assert!(s.len() <= cap);
+        prop_assert!(s.match_count() >= 1);
+    }
+
+    #[test]
+    fn no_empty_values_everywhere(id in any_dataset_id()) {
+        // NULL is allowed; empty strings are generator bugs.
+        let d = id.generate_scaled(11, 60);
+        for p in &d.pairs {
+            for e in [&p.a, &p.b] {
+                for (k, v) in &e.attrs {
+                    prop_assert!(!k.is_empty());
+                    prop_assert!(!v.trim().is_empty(), "{}: empty value for {k}", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_never_panic_and_stay_sane(id in any_dataset_id(), seed in 0u64..10) {
+        let d = id.generate_scaled(seed, 80);
+        let s = dataset_stats(&d);
+        prop_assert!(s.vocab_size > 0);
+        prop_assert!(s.avg_tokens_per_pair > 0.0);
+        prop_assert!((0.0..=1.0).contains(&s.null_frac));
+    }
+
+    #[test]
+    fn blocker_outputs_valid_indices(id in any_dataset_id()) {
+        let d = id.generate_scaled(5, 60);
+        let ta: Vec<_> = d.pairs.iter().map(|p| p.a.clone()).collect();
+        let tb: Vec<_> = d.pairs.iter().map(|p| p.b.clone()).collect();
+        let cands = OverlapBlocker::default().block(&ta, &tb);
+        for (i, j) in cands {
+            prop_assert!(i < ta.len() && j < tb.len());
+        }
+    }
+}

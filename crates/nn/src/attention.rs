@@ -1,0 +1,164 @@
+//! Multi-head scaled-dot-product self-attention.
+
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+
+use crate::linear::Linear;
+
+/// Multi-head self-attention over `(B, S, D)` with optional padding and
+/// causality constraints.
+#[derive(Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// New attention block; `dim` must be divisible by `heads`.
+    pub fn new(name: &str, dim: usize, heads: usize, rng: &mut StdRng) -> MultiHeadAttention {
+        assert_eq!(dim % heads, 0, "attention dim {dim} not divisible by {heads}");
+        MultiHeadAttention {
+            wq: Linear::new(&format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(&format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(&format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(&format!("{name}.wo"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention. `pad_mask` has one 1.0/0.0 entry per `(batch, pos)`;
+    /// keys at masked positions receive ~zero attention. If `causal`,
+    /// position `i` may only attend to positions `<= i`.
+    pub fn forward(&self, x: &Tensor, pad_mask: &[f32], causal: bool) -> Tensor {
+        let (b, s, d) = x.shape().as_3d();
+        assert_eq!(d, self.dim, "attention: input dim {d} != {}", self.dim);
+        assert_eq!(pad_mask.len(), b * s, "attention: mask length mismatch");
+        let dh = d / self.heads;
+
+        let q = self.wq.forward_seq(x).split_heads(self.heads);
+        let k = self.wk.forward_seq(x).split_heads(self.heads);
+        let v = self.wv.forward_seq(x).split_heads(self.heads);
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let scores = q.bmm_nt(&k).scale(scale); // (B*h, S, S)
+
+        // Combined key-padding + causal mask, 1.0 = attend.
+        let mut attend = vec![1.0f32; b * self.heads * s * s];
+        for bi in 0..b {
+            for hi in 0..self.heads {
+                for si in 0..s {
+                    for sj in 0..s {
+                        let blocked = pad_mask[bi * s + sj] == 0.0 || (causal && sj > si);
+                        if blocked {
+                            attend[((bi * self.heads + hi) * s + si) * s + sj] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        let attn = scores.masked_fill_add(&attend, -1e9).softmax_last();
+        let ctx = attn.bmm(&v).merge_heads(self.heads);
+        self.wo.forward_seq(&ctx)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|l| l.params())
+            .collect()
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> MultiHeadAttention {
+        MultiHeadAttention {
+            wq: self.wq.clone_detached(),
+            wk: self.wk.clone_detached(),
+            wv: self.wv.clone_detached(),
+            wo: self.wo.clone_detached(),
+            heads: self.heads,
+            dim: self.dim,
+        }
+    }
+
+    /// Copy another block's weights into this one.
+    pub fn copy_from(&self, other: &MultiHeadAttention) {
+        self.wq.copy_from(&other.wq);
+        self.wk.copy_from(&other.wk);
+        self.wv.copy_from(&other.wv);
+        self.wo.copy_from(&other.wo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mha = MultiHeadAttention::new("a", 8, 2, &mut rng());
+        let x = Tensor::ones((2, 5, 8));
+        let y = mha.forward(&x, &[1.0; 10], false);
+        assert_eq!(y.shape().dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn padding_positions_are_ignored_as_keys() {
+        let mha = MultiHeadAttention::new("a", 4, 1, &mut rng());
+        // Two inputs identical except at a masked position.
+        let mut d1 = vec![0.1f32; 12];
+        let mut d2 = d1.clone();
+        d1[8..12].fill(5.0);
+        d2[8..12].fill(-5.0);
+        let x1 = Tensor::from_vec(d1, (1, 3, 4));
+        let x2 = Tensor::from_vec(d2, (1, 3, 4));
+        let mask = [1.0, 1.0, 0.0];
+        let y1 = mha.forward(&x1, &mask, false);
+        let y2 = mha.forward(&x2, &mask, false);
+        // Outputs at unmasked positions must agree (the masked key differs
+        // but can't be attended to; its own query row will differ).
+        assert_eq!(&y1.to_vec()[..8], &y2.to_vec()[..8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mha = MultiHeadAttention::new("a", 4, 1, &mut rng());
+        let mut d1 = vec![0.1f32; 12];
+        let mut d2 = d1.clone();
+        // change only the LAST position
+        d1[8..12].fill(3.0);
+        d2[8..12].fill(-3.0);
+        let y1 = mha.forward(&Tensor::from_vec(d1, (1, 3, 4)), &[1.0; 3], true);
+        let y2 = mha.forward(&Tensor::from_vec(d2, (1, 3, 4)), &[1.0; 3], true);
+        // positions 0 and 1 cannot see position 2
+        assert_eq!(&y1.to_vec()[..8], &y2.to_vec()[..8]);
+        // position 2 can see itself, so it differs
+        assert_ne!(&y1.to_vec()[8..], &y2.to_vec()[8..]);
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mha = MultiHeadAttention::new("a", 8, 4, &mut rng());
+        let x = Tensor::from_vec((0..16).map(|v| v as f32 * 0.1).collect::<Vec<_>>(), (1, 2, 8));
+        let g = mha.forward(&x, &[1.0; 2], false).square().sum_all().backward();
+        for p in mha.params() {
+            assert!(g.get_id(p.id()).is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panics() {
+        MultiHeadAttention::new("a", 6, 4, &mut rng());
+    }
+}

@@ -1,0 +1,176 @@
+//! Token and position embeddings.
+
+use dader_tensor::{init, Param, Tensor};
+use rand::rngs::StdRng;
+
+/// A learned token-embedding table `(vocab, dim)`, initialized `N(0, 0.02)`
+/// like BERT.
+#[derive(Clone)]
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// New embedding table.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Embedding {
+        Embedding {
+            table: init::normal(format!("{name}.table"), (vocab, dim), 0.02, rng),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Look up a flat id list: `(N,) -> (N, dim)`.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        self.table.leaf().gather_rows(ids)
+    }
+
+    /// Look up a batch of equal-length sequences: `(B*S,) -> (B, S, dim)`.
+    pub fn forward_batch(&self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
+        assert_eq!(ids.len(), batch * seq, "Embedding: id count mismatch");
+        self.forward(ids).unfold_seq(batch, seq)
+    }
+
+    /// The trainable table.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.table.clone()]
+    }
+
+    /// The raw table parameter (tied output projection for MLM heads).
+    pub fn table(&self) -> &Param {
+        &self.table
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> Embedding {
+        Embedding {
+            table: self.table.clone_detached(),
+            vocab: self.vocab,
+            dim: self.dim,
+        }
+    }
+
+    /// Copy another embedding's weights into this one.
+    pub fn copy_from(&self, other: &Embedding) {
+        self.table.copy_from(&other.table);
+    }
+}
+
+/// Learned absolute position embeddings up to a maximum sequence length.
+#[derive(Clone)]
+pub struct PositionalEmbedding {
+    table: Param,
+    max_len: usize,
+    dim: usize,
+}
+
+impl PositionalEmbedding {
+    /// New position table.
+    pub fn new(name: &str, max_len: usize, dim: usize, rng: &mut StdRng) -> PositionalEmbedding {
+        PositionalEmbedding {
+            table: init::normal(format!("{name}.pos"), (max_len, dim), 0.02, rng),
+            max_len,
+            dim,
+        }
+    }
+
+    /// Position embeddings for a `(batch, seq)` layout: `(batch, seq, dim)`.
+    pub fn forward(&self, batch: usize, seq: usize) -> Tensor {
+        assert!(
+            seq <= self.max_len,
+            "PositionalEmbedding: sequence length {seq} exceeds max {}",
+            self.max_len
+        );
+        let ids: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
+        self.table.leaf().gather_rows(&ids).unfold_seq(batch, seq)
+    }
+
+    /// The trainable table.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.table.clone()]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> PositionalEmbedding {
+        PositionalEmbedding {
+            table: self.table.clone_detached(),
+            max_len: self.max_len,
+            dim: self.dim,
+        }
+    }
+
+    /// Copy another table's weights into this one.
+    pub fn copy_from(&self, other: &PositionalEmbedding) {
+        self.table.copy_from(&other.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn lookup_shapes() {
+        let e = Embedding::new("e", 10, 4, &mut rng());
+        let y = e.forward(&[1, 2, 3]);
+        assert_eq!(y.shape().dims(), &[3, 4]);
+        let b = e.forward_batch(&[0, 1, 2, 3], 2, 2);
+        assert_eq!(b.shape().dims(), &[2, 2, 4]);
+    }
+
+    #[test]
+    fn same_id_same_vector() {
+        let e = Embedding::new("e", 10, 4, &mut rng());
+        let y = e.forward(&[7, 7]);
+        assert_eq!(y.row(0), y.row(1));
+    }
+
+    #[test]
+    fn gradient_flows_to_table() {
+        let e = Embedding::new("e", 10, 4, &mut rng());
+        let y = e.forward(&[3]);
+        let g = y.sum_all().backward();
+        let gt = g.get_id(e.table().id()).unwrap();
+        // only row 3 non-zero
+        assert!(gt[12..16].iter().all(|&v| v == 1.0));
+        assert!(gt[..12].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn positions_broadcast_over_batch() {
+        let p = PositionalEmbedding::new("p", 8, 4, &mut rng());
+        let y = p.forward(3, 5);
+        assert_eq!(y.shape().dims(), &[3, 5, 4]);
+        // batch elements share position rows
+        assert_eq!(&y.to_vec()[..20], &y.to_vec()[20..40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn position_overflow_panics() {
+        let p = PositionalEmbedding::new("p", 4, 2, &mut rng());
+        p.forward(1, 9);
+    }
+}

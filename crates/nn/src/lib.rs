@@ -1,0 +1,33 @@
+//! # dader-nn
+//!
+//! Neural-network building blocks on top of [`dader_tensor`], covering
+//! everything the DADER design space (Tu et al., SIGMOD 2022) instantiates:
+//!
+//! * [`linear::Linear`] / [`linear::Mlp`] — the Matcher and the
+//!   adversarial domain classifiers;
+//! * [`embedding`] — token and position embeddings;
+//! * [`rnn::BiGru`] — the bidirectional-RNN feature extractor (design
+//!   choice I);
+//! * [`transformer::TransformerEncoder`] — the BERT-style pre-trained LM
+//!   feature extractor (design choice II);
+//! * [`transformer::FeatureDecoder`] — the Bart-style decoder behind the
+//!   reconstruction-based (ED) feature aligner;
+//! * [`optim`] — SGD/Adam and gradient clipping;
+//! * [`loss`] — knowledge distillation (Eq. 12), MSE, accuracy, entropy.
+
+pub mod attention;
+pub mod embedding;
+pub mod linear;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod rnn;
+pub mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use embedding::{Embedding, PositionalEmbedding};
+pub use linear::{Activation, Linear, Mlp};
+pub use norm::LayerNorm;
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use rnn::{BiGru, GruCell};
+pub use transformer::{EncoderLayer, FeatureDecoder, TransformerConfig, TransformerEncoder};

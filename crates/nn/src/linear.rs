@@ -1,0 +1,258 @@
+//! Fully-connected layers and multi-layer perceptrons.
+
+use dader_tensor::{init, Param, Tensor};
+use rand::rngs::StdRng;
+
+/// A dense affine layer `y = x W + b`.
+#[derive(Clone)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Linear {
+        Linear {
+            w: init::xavier_uniform(format!("{name}.w"), in_dim, out_dim, rng),
+            b: Param::zeros(format!("{name}.b"), out_dim),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Apply to a rank-2 input `(B, in) -> (B, out)`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (_, d) = x.shape().as_2d();
+        assert_eq!(d, self.in_dim, "Linear: input dim {d} != {}", self.in_dim);
+        x.matmul(&self.w.leaf()).add_rowvec(&self.b.leaf())
+    }
+
+    /// Apply position-wise to a rank-3 input `(B, S, in) -> (B, S, out)`.
+    pub fn forward_seq(&self, x: &Tensor) -> Tensor {
+        let (b, s, d) = x.shape().as_3d();
+        assert_eq!(d, self.in_dim, "Linear: input dim {d} != {}", self.in_dim);
+        self.forward(&x.fold_seq()).unfold_seq(b, s)
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Deep copy with fresh parameter ids (used to clone InvGAN's `F'`).
+    pub fn clone_detached(&self) -> Linear {
+        Linear {
+            w: self.w.clone_detached(),
+            b: self.b.clone_detached(),
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+        }
+    }
+
+    /// Copy another layer's weights into this one.
+    pub fn copy_from(&self, other: &Linear) {
+        self.w.copy_from(&other.w);
+        self.b.copy_from(&other.b);
+    }
+}
+
+/// Activation functions selectable per MLP layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.2 (the paper's discriminator choice).
+    LeakyRelu,
+    /// Logistic sigmoid (the paper's GRL domain-classifier choice).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// GELU, transformer-standard.
+    Gelu,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::LeakyRelu => x.leaky_relu(0.2),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Tanh => x.tanh_act(),
+            Activation::Gelu => x.gelu(),
+            Activation::Identity => x.clone(),
+        }
+    }
+}
+
+/// A multi-layer perceptron: linears interleaved with one activation,
+/// no activation after the last layer (raw logits out).
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP through the given layer sizes, e.g. `[768, 100, 2]`.
+    pub fn new(name: &str, sizes: &[usize], activation: Activation, rng: &mut StdRng) -> Mlp {
+        assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Forward pass on rank-2 input; returns raw logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i < last {
+                h = self.activation.apply(&h);
+            }
+        }
+        h
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> Mlp {
+        Mlp {
+            layers: self.layers.iter().map(|l| l.clone_detached()).collect(),
+            activation: self.activation,
+        }
+    }
+
+    /// Copy another MLP's weights into this one.
+    pub fn copy_from(&self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "Mlp depth mismatch");
+        for (a, b) in self.layers.iter().zip(&other.layers) {
+            a.copy_from(b);
+        }
+    }
+
+    /// Output dimension of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let l = Linear::new("l", 4, 3, &mut rng());
+        let x = Tensor::ones((2, 4));
+        let y = l.forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn linear_seq_matches_flat() {
+        let l = Linear::new("l", 4, 3, &mut rng());
+        let x3 = Tensor::from_vec((0..24).map(|v| v as f32 * 0.1).collect::<Vec<_>>(), (2, 3, 4));
+        let y3 = l.forward_seq(&x3);
+        let y2 = l.forward(&x3.fold_seq());
+        assert_eq!(y3.to_vec(), y2.to_vec());
+        assert_eq!(y3.shape().dims(), &[2, 3, 3]);
+    }
+
+    #[test]
+    fn linear_bias_receives_gradient() {
+        let l = Linear::new("l", 2, 2, &mut rng());
+        let x = Tensor::ones((3, 2));
+        let g = l.forward(&x).sum_all().backward();
+        let params = l.params();
+        // bias grad = batch size per output dim
+        assert_eq!(g.get_id(params[1].id()).unwrap(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn mlp_learns_xor_direction() {
+        // Sanity: one gradient step reduces loss on a toy problem.
+        let mut r = rng();
+        let mlp = Mlp::new("m", &[2, 8, 2], Activation::Relu, &mut r);
+        let x = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0], (4, 2));
+        let y = [0usize, 0, 1, 1];
+        let loss0 = mlp.forward(&x).cross_entropy_logits(&y);
+        let grads = loss0.backward();
+        for p in mlp.params() {
+            if let Some(g) = grads.get_id(p.id()) {
+                let g = g.to_vec();
+                p.update_with(|w| {
+                    for (wv, gv) in w.iter_mut().zip(&g) {
+                        *wv -= 0.5 * gv;
+                    }
+                });
+            }
+        }
+        let loss1 = mlp.forward(&x).cross_entropy_logits(&y);
+        assert!(loss1.item() < loss0.item());
+    }
+
+    #[test]
+    fn mlp_clone_detached_independent() {
+        let mlp = Mlp::new("m", &[2, 2], Activation::Identity, &mut rng());
+        let clone = mlp.clone_detached();
+        let x = Tensor::ones((1, 2));
+        assert_eq!(mlp.forward(&x).to_vec(), clone.forward(&x).to_vec());
+        clone.params()[0].update_with(|w| w[0] += 1.0);
+        assert_ne!(mlp.forward(&x).to_vec(), clone.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn mlp_copy_from_syncs() {
+        let mut r = rng();
+        let a = Mlp::new("a", &[2, 3, 2], Activation::Relu, &mut r);
+        let b = Mlp::new("b", &[2, 3, 2], Activation::Relu, &mut r);
+        b.copy_from(&a);
+        let x = Tensor::from_vec(vec![0.3, -0.4], (1, 2));
+        assert_eq!(a.forward(&x).to_vec(), b.forward(&x).to_vec());
+    }
+
+    #[test]
+    fn activations_apply() {
+        let x = Tensor::from_vec(vec![-1.0, 1.0], 2usize);
+        assert_eq!(Activation::Relu.apply(&x).to_vec(), vec![0.0, 1.0]);
+        assert_eq!(Activation::Identity.apply(&x).to_vec(), vec![-1.0, 1.0]);
+        assert!(Activation::LeakyRelu.apply(&x).get(0) < 0.0);
+        assert!(Activation::Sigmoid.apply(&x).get(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim")]
+    fn linear_dim_mismatch_panics() {
+        let l = Linear::new("l", 4, 3, &mut rng());
+        l.forward(&Tensor::ones((2, 5)));
+    }
+}

@@ -1,0 +1,140 @@
+//! Loss functions beyond the fused tensor-level ones: knowledge
+//! distillation (Eq. 12 of the paper) and evaluation helpers.
+
+use dader_tensor::Tensor;
+
+/// Knowledge-distillation loss (Hinton et al.), Eq. (12):
+///
+/// `L_KD = t^2 * E[ -softmax(teacher/t) · log softmax(student/t) ]`
+///
+/// `teacher_logits` is detached internally (the teacher `M(F(·))` is fixed
+/// during InvGAN+KD adaptation); gradients flow only into the student.
+pub fn kd_loss(teacher_logits: &Tensor, student_logits: &Tensor, temperature: f32) -> Tensor {
+    assert_eq!(
+        teacher_logits.shape(),
+        student_logits.shape(),
+        "kd_loss: logit shapes differ"
+    );
+    assert!(temperature > 0.0, "kd_loss: temperature must be positive");
+    let (b, _c) = student_logits.shape().as_2d();
+    let t_inv = 1.0 / temperature;
+    let soft_teacher = teacher_logits.detach().scale(t_inv).softmax_last();
+    let log_student = student_logits.scale(t_inv).log_softmax_last();
+    soft_teacher
+        .mul(&log_student)
+        .sum_all()
+        .scale(-temperature * temperature / b as f32)
+}
+
+/// Mean squared error between two same-shaped tensors.
+pub fn mse_loss(a: &Tensor, b: &Tensor) -> Tensor {
+    a.sub(b).square().mean_all()
+}
+
+/// Classification accuracy of logits `(B, C)` against class indices.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), targets.len(), "accuracy: target count mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Shannon entropy of each row's softmax distribution (max-entropy active
+/// learning, Section 6.5.2).
+pub fn prediction_entropy(logits: &Tensor) -> Vec<f32> {
+    let (b, c) = logits.shape().as_2d();
+    let probs = logits.softmax_probs();
+    (0..b)
+        .map(|r| {
+            -probs[r * c..(r + 1) * c]
+                .iter()
+                .map(|&p| if p > 1e-12 { p * p.ln() } else { 0.0 })
+                .sum::<f32>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_tensor::Param;
+
+    #[test]
+    fn kd_zero_when_student_equals_teacher() {
+        let logits = Tensor::from_vec(vec![2.0, -1.0, 0.5, 1.0], (2, 2));
+        let loss = kd_loss(&logits, &logits, 2.0);
+        // equals t^2 * entropy of teacher distribution, compare against gap
+        let worse = kd_loss(&logits, &logits.neg(), 2.0);
+        assert!(loss.item() < worse.item());
+    }
+
+    #[test]
+    fn kd_gradient_only_flows_to_student() {
+        let pt = Param::from_vec("t", vec![1.0, -1.0], (1, 2));
+        let ps = Param::from_vec("s", vec![0.0, 0.0], (1, 2));
+        let t = pt.leaf();
+        let s = ps.leaf();
+        let g = kd_loss(&t, &s, 1.0).backward();
+        assert!(g.get(&t).is_none(), "teacher must be detached");
+        assert!(g.get(&s).is_some());
+    }
+
+    #[test]
+    fn kd_pulls_student_toward_teacher() {
+        let teacher = Tensor::from_vec(vec![3.0, -3.0], (1, 2));
+        let ps = Param::from_vec("s", vec![0.0, 0.0], (1, 2));
+        let mut dist_before = f32::INFINITY;
+        for step in 0..50 {
+            let s = ps.leaf();
+            let loss = kd_loss(&teacher, &s, 2.0);
+            let g = loss.backward();
+            let gv = g.get(&s).unwrap().to_vec();
+            ps.update_with(|w| {
+                for (wv, gv) in w.iter_mut().zip(&gv) {
+                    *wv -= 0.5 * gv;
+                }
+            });
+            if step == 0 {
+                dist_before = loss.item();
+            }
+        }
+        let s = ps.leaf();
+        assert!(kd_loss(&teacher, &s, 2.0).item() < dist_before);
+        let w = ps.snapshot();
+        assert!(w[0] > w[1], "student should order classes like teacher");
+    }
+
+    #[test]
+    fn kd_temperature_scales_softness() {
+        let teacher = Tensor::from_vec(vec![5.0, 0.0], (1, 2));
+        let student = Tensor::from_vec(vec![0.0, 0.0], (1, 2));
+        let hot = kd_loss(&teacher, &student, 10.0);
+        let cold = kd_loss(&teacher, &student, 1.0);
+        assert!(hot.item().is_finite() && cold.item().is_finite());
+        assert_ne!(hot.item(), cold.item());
+    }
+
+    #[test]
+    fn mse_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], 2usize);
+        let b = Tensor::from_vec(vec![3.0, 2.0], 2usize);
+        assert!((mse_loss(&a, &b).item() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], (3, 2));
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_max_for_uniform() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0, 5.0, -5.0], (2, 2));
+        let e = prediction_entropy(&logits);
+        assert!(e[0] > e[1]);
+        assert!((e[0] - 2.0f32.ln()).abs() < 1e-4);
+    }
+}

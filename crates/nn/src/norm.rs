@@ -1,0 +1,103 @@
+//! Layer normalization with learnable gain and bias.
+
+use dader_tensor::{Param, Tensor};
+
+/// LayerNorm over the last dimension: `gamma * (x - mu) / sigma + beta`.
+#[derive(Clone)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// New layer norm for feature dimension `dim`.
+    pub fn new(name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Param::from_vec(format!("{name}.gamma"), vec![1.0; dim], dim),
+            beta: Param::zeros(format!("{name}.beta"), dim),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalize a rank-2 or rank-3 tensor over its last dimension.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.shape().last_dim(),
+            self.dim,
+            "LayerNorm: last dim {} != {}",
+            x.shape().last_dim(),
+            self.dim
+        );
+        x.layer_norm_last(self.eps)
+            .mul_rowvec(&self.gamma.leaf())
+            .add_rowvec(&self.beta.leaf())
+    }
+
+    /// Trainable gain and bias.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> LayerNorm {
+        LayerNorm {
+            gamma: self.gamma.clone_detached(),
+            beta: self.beta.clone_detached(),
+            dim: self.dim,
+            eps: self.eps,
+        }
+    }
+
+    /// Copy another norm's weights into this one.
+    pub fn copy_from(&self, other: &LayerNorm) {
+        self.gamma.copy_from(&other.gamma);
+        self.beta.copy_from(&other.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_pure_normalization() {
+        let ln = LayerNorm::new("ln", 4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], (1, 4));
+        let y = ln.forward(&x);
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let ln = LayerNorm::new("ln", 2);
+        ln.params()[0].update_with(|g| g.fill(2.0));
+        ln.params()[1].update_with(|b| b.fill(1.0));
+        let x = Tensor::from_vec(vec![-1.0, 1.0], (1, 2));
+        let y = ln.forward(&x);
+        // normalized x ≈ [-1, 1] → y ≈ [-1, 3]
+        assert!((y.get(0) + 1.0).abs() < 1e-2);
+        assert!((y.get(1) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn works_on_rank3() {
+        let ln = LayerNorm::new("ln", 3);
+        let x = Tensor::ones((2, 4, 3));
+        let y = ln.forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn params_receive_gradients() {
+        let ln = LayerNorm::new("ln", 2);
+        let x = Tensor::from_vec(vec![0.0, 1.0], (1, 2));
+        let g = ln.forward(&x).sum_all().backward();
+        for p in ln.params() {
+            assert!(g.get_id(p.id()).is_some(), "missing grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Recurrent encoders: a GRU cell and a bidirectional GRU sequence encoder
+//! (the paper's "RNN" feature-extractor choice, after DeepMatcher's hybrid
+//! model).
+
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+
+use crate::linear::Linear;
+
+/// A gated recurrent unit cell.
+#[derive(Clone)]
+pub struct GruCell {
+    wx_z: Linear,
+    wh_z: Linear,
+    wx_r: Linear,
+    wh_r: Linear,
+    wx_n: Linear,
+    wh_n: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// New GRU cell mapping `input`-dim vectors into a `hidden`-dim state.
+    pub fn new(name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> GruCell {
+        GruCell {
+            wx_z: Linear::new(&format!("{name}.wx_z"), input, hidden, rng),
+            wh_z: Linear::new(&format!("{name}.wh_z"), hidden, hidden, rng),
+            wx_r: Linear::new(&format!("{name}.wx_r"), input, hidden, rng),
+            wh_r: Linear::new(&format!("{name}.wh_r"), hidden, hidden, rng),
+            wx_n: Linear::new(&format!("{name}.wx_n"), input, hidden, rng),
+            wh_n: Linear::new(&format!("{name}.wh_n"), hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `(x_t (B,I), h_{t-1} (B,H)) -> h_t (B,H)`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let z = self.wx_z.forward(x).add(&self.wh_z.forward(h)).sigmoid();
+        let r = self.wx_r.forward(x).add(&self.wh_r.forward(h)).sigmoid();
+        let n = self
+            .wx_n
+            .forward(x)
+            .add(&self.wh_n.forward(&r.mul(h)))
+            .tanh_act();
+        // h' = (1-z)*n + z*h
+        let one = Tensor::ones(z.shape().clone());
+        one.sub(&z).mul(&n).add(&z.mul(h))
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        [
+            &self.wx_z, &self.wh_z, &self.wx_r, &self.wh_r, &self.wx_n, &self.wh_n,
+        ]
+        .iter()
+        .flat_map(|l| l.params())
+        .collect()
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> GruCell {
+        GruCell {
+            wx_z: self.wx_z.clone_detached(),
+            wh_z: self.wh_z.clone_detached(),
+            wx_r: self.wx_r.clone_detached(),
+            wh_r: self.wh_r.clone_detached(),
+            wx_n: self.wx_n.clone_detached(),
+            wh_n: self.wh_n.clone_detached(),
+            hidden: self.hidden,
+        }
+    }
+}
+
+/// Bidirectional GRU over `(B, S, I)` inputs with a padding mask; outputs
+/// per-position states `(B, S, 2H)`.
+#[derive(Clone)]
+pub struct BiGru {
+    fwd: GruCell,
+    bwd: GruCell,
+    hidden: usize,
+}
+
+impl BiGru {
+    /// New bidirectional GRU.
+    pub fn new(name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> BiGru {
+        BiGru {
+            fwd: GruCell::new(&format!("{name}.fwd"), input, hidden, rng),
+            bwd: GruCell::new(&format!("{name}.bwd"), input, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Encode a batch: `x (B, S, I)`, `mask (B*S)` with 1.0 at real tokens.
+    /// At padded positions the hidden state is carried through unchanged.
+    pub fn forward(&self, x: &Tensor, mask: &[f32]) -> Tensor {
+        let (b, s, _i) = x.shape().as_3d();
+        assert_eq!(mask.len(), b * s, "BiGru: mask length mismatch");
+
+        let step_inputs: Vec<Tensor> = (0..s).map(|t| x.select_seq_pos(t).clone()).collect();
+
+        let run = |cell: &GruCell, order: Box<dyn Iterator<Item = usize>>| -> Vec<Tensor> {
+            let mut h = Tensor::zeros((b, self.hidden));
+            let mut outs = vec![Tensor::zeros((b, self.hidden)); s];
+            for t in order {
+                let h_new = cell.step(&step_inputs[t], &h);
+                // Blend: keep previous state where the position is padding.
+                let m: Vec<f32> = (0..b)
+                    .flat_map(|bi| std::iter::repeat(mask[bi * s + t]).take(self.hidden))
+                    .collect();
+                let m = Tensor::from_vec(m, (b, self.hidden));
+                let keep = Tensor::ones((b, self.hidden)).sub(&m);
+                h = m.mul(&h_new).add(&keep.mul(&h));
+                outs[t] = h.clone();
+            }
+            outs
+        };
+
+        let f_outs = run(&self.fwd, Box::new(0..s));
+        let b_outs = run(&self.bwd, Box::new((0..s).rev()));
+
+        let merged: Vec<Tensor> = (0..s)
+            .map(|t| f_outs[t].concat_cols(&b_outs[t]))
+            .collect();
+        Tensor::stack_seq(&merged)
+    }
+
+    /// Output feature width (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.hidden
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.fwd.params();
+        p.extend(self.bwd.params());
+        p
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> BiGru {
+        BiGru {
+            fwd: self.fwd.clone_detached(),
+            bwd: self.bwd.clone_detached(),
+            hidden: self.hidden,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn gru_step_shapes() {
+        let cell = GruCell::new("g", 4, 6, &mut rng());
+        let x = Tensor::ones((3, 4));
+        let h = Tensor::zeros((3, 6));
+        let h1 = cell.step(&x, &h);
+        assert_eq!(h1.shape().dims(), &[3, 6]);
+        assert!(!h1.has_non_finite());
+    }
+
+    #[test]
+    fn gru_state_bounded_by_tanh() {
+        let cell = GruCell::new("g", 2, 4, &mut rng());
+        let mut h = Tensor::zeros((1, 4));
+        let x = Tensor::full((1, 2), 10.0);
+        for _ in 0..20 {
+            h = cell.step(&x, &h);
+        }
+        assert!(h.to_vec().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn bigru_output_shape() {
+        let enc = BiGru::new("b", 4, 5, &mut rng());
+        let x = Tensor::ones((2, 3, 4));
+        let y = enc.forward(&x, &[1.0; 6]);
+        assert_eq!(y.shape().dims(), &[2, 3, 10]);
+    }
+
+    #[test]
+    fn padding_does_not_change_state() {
+        let enc = BiGru::new("b", 2, 3, &mut rng());
+        // Sequence of length 4; positions 2,3 padded with garbage values.
+        let real = Tensor::from_vec(vec![0.5, -0.5, 0.1, 0.9, 9.0, 9.0, -9.0, -9.0], (1, 4, 2));
+        let mask = [1.0, 1.0, 0.0, 0.0];
+        let y = enc.forward(&real, &mask);
+        // Forward state at t=1 must equal forward half of states at t=2, t=3
+        // (carried unchanged through the padding).
+        let v = y.to_vec(); // (1, 4, 6): fwd 3 + bwd 3
+        let fwd_t1 = &v[6..9];
+        let fwd_t2 = &v[12..15];
+        let fwd_t3 = &v[18..21];
+        assert_eq!(fwd_t1, fwd_t2);
+        assert_eq!(fwd_t1, fwd_t3);
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let enc = BiGru::new("b", 3, 4, &mut rng());
+        let x = Tensor::from_vec((0..18).map(|v| v as f32 * 0.05).collect::<Vec<_>>(), (2, 3, 3));
+        let y = enc.forward(&x, &[1.0; 6]);
+        let g = y.square().sum_all().backward();
+        let missing: Vec<String> = enc
+            .params()
+            .iter()
+            .filter(|p| g.get_id(p.id()).is_none())
+            .map(|p| p.name().to_string())
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {missing:?}");
+    }
+
+    #[test]
+    fn bigru_is_order_sensitive() {
+        let enc = BiGru::new("b", 2, 3, &mut rng());
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], (1, 2, 2));
+        let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], (1, 2, 2));
+        let ya = enc.forward(&a, &[1.0, 1.0]);
+        let yb = enc.forward(&b, &[1.0, 1.0]);
+        assert_ne!(ya.to_vec(), yb.to_vec());
+    }
+}

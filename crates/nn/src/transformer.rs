@@ -1,0 +1,457 @@
+//! Transformer encoder (the BERT-style pre-trained LM feature extractor)
+//! and a causal decoder (the Bart-style reconstruction head used by the ED
+//! feature aligner).
+
+use dader_tensor::{Param, Tensor};
+use rand::rngs::StdRng;
+
+use crate::attention::MultiHeadAttention;
+use crate::embedding::{Embedding, PositionalEmbedding};
+use crate::linear::Linear;
+use crate::norm::LayerNorm;
+
+/// Hyper-parameters for [`TransformerEncoder`].
+#[derive(Clone, Copy, Debug)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ffn_dim: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+}
+
+impl TransformerConfig {
+    /// A small configuration suitable for CPU experiments.
+    pub fn small(vocab: usize, max_len: usize) -> TransformerConfig {
+        TransformerConfig {
+            vocab,
+            dim: 64,
+            layers: 2,
+            heads: 4,
+            ffn_dim: 128,
+            max_len,
+        }
+    }
+}
+
+/// One post-norm transformer encoder layer: self-attention and a GELU FFN,
+/// each wrapped in residual + LayerNorm.
+#[derive(Clone)]
+pub struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// New encoder layer.
+    pub fn new(name: &str, dim: usize, heads: usize, ffn: usize, rng: &mut StdRng) -> EncoderLayer {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(&format!("{name}.attn"), dim, heads, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
+            ff1: Linear::new(&format!("{name}.ff1"), dim, ffn, rng),
+            ff2: Linear::new(&format!("{name}.ff2"), ffn, dim, rng),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
+        }
+    }
+
+    /// Apply the layer. `causal` is threaded through for decoder reuse.
+    pub fn forward(&self, x: &Tensor, mask: &[f32], causal: bool) -> Tensor {
+        let a = self.attn.forward(x, mask, causal);
+        let x = self.ln1.forward(&x.add(&a));
+        let f = self.ff2.forward_seq(&self.ff1.forward_seq(&x).gelu());
+        self.ln2.forward(&x.add(&f))
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.attn.params();
+        p.extend(self.ln1.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p.extend(self.ln2.params());
+        p
+    }
+
+    /// Deep copy with fresh parameter ids.
+    pub fn clone_detached(&self) -> EncoderLayer {
+        EncoderLayer {
+            attn: self.attn.clone_detached(),
+            ln1: self.ln1.clone_detached(),
+            ff1: self.ff1.clone_detached(),
+            ff2: self.ff2.clone_detached(),
+            ln2: self.ln2.clone_detached(),
+        }
+    }
+}
+
+/// A BERT-style bidirectional transformer encoder over token-id sequences.
+#[derive(Clone)]
+pub struct TransformerEncoder {
+    tok: Embedding,
+    pos: PositionalEmbedding,
+    layers: Vec<EncoderLayer>,
+    config: TransformerConfig,
+}
+
+impl TransformerEncoder {
+    /// Build an encoder from a configuration.
+    pub fn new(name: &str, config: TransformerConfig, rng: &mut StdRng) -> TransformerEncoder {
+        TransformerEncoder {
+            tok: Embedding::new(&format!("{name}.tok"), config.vocab, config.dim, rng),
+            pos: PositionalEmbedding::new(&format!("{name}.pos"), config.max_len, config.dim, rng),
+            layers: (0..config.layers)
+                .map(|i| {
+                    EncoderLayer::new(
+                        &format!("{name}.layer{i}"),
+                        config.dim,
+                        config.heads,
+                        config.ffn_dim,
+                        rng,
+                    )
+                })
+                .collect(),
+            config,
+        }
+    }
+
+    /// Encode a batch of padded id sequences into per-position states
+    /// `(B, S, D)`. `ids` is row-major `(batch, seq)`; `mask` marks real
+    /// tokens with 1.0.
+    pub fn forward(&self, ids: &[usize], batch: usize, seq: usize, mask: &[f32]) -> Tensor {
+        assert_eq!(ids.len(), batch * seq, "encoder: id count mismatch");
+        assert_eq!(mask.len(), batch * seq, "encoder: mask length mismatch");
+        let mut h = self
+            .tok
+            .forward_batch(ids, batch, seq)
+            .add(&self.pos.forward(batch, seq));
+        for layer in &self.layers {
+            h = layer.forward(&h, mask, false);
+        }
+        h
+    }
+
+    /// Encode and return the `[CLS]` (position-0) vector per sequence:
+    /// `(B, D)` — the entity-pair feature `x` of the paper.
+    pub fn encode_cls(&self, ids: &[usize], batch: usize, seq: usize, mask: &[f32]) -> Tensor {
+        self.forward(ids, batch, seq, mask).select_seq_pos(0)
+    }
+
+    /// Raw (position-free) token embeddings `(B, S, D)` — the layer-0
+    /// lookup, used by similarity heads that need order-invariant
+    /// bag-of-token poolings.
+    pub fn token_embeddings(&self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
+        self.tok.forward_batch(ids, batch, seq)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// The token-embedding table (tied MLM output head).
+    pub fn token_table(&self) -> &Param {
+        self.tok.table()
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.tok.params();
+        p.extend(self.pos.params());
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p
+    }
+
+    /// Deep copy with fresh parameter ids (InvGAN's `F' <- F`).
+    pub fn clone_detached(&self) -> TransformerEncoder {
+        TransformerEncoder {
+            tok: self.tok.clone_detached(),
+            pos: self.pos.clone_detached(),
+            layers: self.layers.iter().map(|l| l.clone_detached()).collect(),
+            config: self.config,
+        }
+    }
+}
+
+/// A causal transformer decoder that reconstructs a token sequence from a
+/// single feature vector (the ED aligner's "Bart-style" decoder). The
+/// feature is injected as position 0; the remaining positions are the
+/// shifted-right target tokens; causal attention lets each position see the
+/// feature plus its prefix.
+#[derive(Clone)]
+pub struct FeatureDecoder {
+    tok: Embedding,
+    pos: PositionalEmbedding,
+    feat_proj: Linear,
+    layers: Vec<EncoderLayer>,
+    out: Linear,
+    dim: usize,
+    vocab: usize,
+}
+
+impl FeatureDecoder {
+    /// Build a decoder. `feat_dim` is the feature-extractor output width.
+    pub fn new(
+        name: &str,
+        vocab: usize,
+        feat_dim: usize,
+        dim: usize,
+        layers: usize,
+        heads: usize,
+        max_len: usize,
+        rng: &mut StdRng,
+    ) -> FeatureDecoder {
+        FeatureDecoder {
+            tok: Embedding::new(&format!("{name}.tok"), vocab, dim, rng),
+            pos: PositionalEmbedding::new(&format!("{name}.pos"), max_len + 1, dim, rng),
+            feat_proj: Linear::new(&format!("{name}.feat"), feat_dim, dim, rng),
+            layers: (0..layers)
+                .map(|i| EncoderLayer::new(&format!("{name}.layer{i}"), dim, heads, dim * 2, rng))
+                .collect(),
+            out: Linear::new(&format!("{name}.out"), dim, vocab, rng),
+            dim,
+            vocab,
+        }
+    }
+
+    /// Teacher-forced reconstruction logits.
+    ///
+    /// * `feature` — `(B, F)` extracted features to reconstruct from;
+    /// * `target_ids` — row-major `(batch, seq)` tokens to reconstruct;
+    /// * `mask` — 1.0 at real target positions.
+    ///
+    /// Returns logits `(B, seq, vocab)` where position `t` predicts
+    /// `target_ids[t]` given the feature and targets `< t`.
+    pub fn forward(
+        &self,
+        feature: &Tensor,
+        target_ids: &[usize],
+        batch: usize,
+        seq: usize,
+        mask: &[f32],
+    ) -> Tensor {
+        assert_eq!(target_ids.len(), batch * seq, "decoder: id count mismatch");
+        let f = self.feat_proj.forward(feature); // (B, dim)
+
+        // Build input sequence: [feat, emb(t_0), ..., emb(t_{S-2})] with
+        // positions 0..S, so output position p predicts target token p.
+        let tok_emb = self.tok.forward_batch(target_ids, batch, seq); // (B,S,dim)
+        // Position 0 per batch is the projected feature; the rest are the
+        // shifted-right token embeddings. Assembled via graph ops so
+        // gradients flow into both the feature and the embeddings.
+        let mut steps: Vec<Tensor> = Vec::with_capacity(seq + 1);
+        steps.push(f);
+        for t in 0..seq.saturating_sub(1) {
+            steps.push(tok_emb.select_seq_pos(t));
+        }
+        if seq >= 1 {
+            // final input position only matters for length; use zeros
+            steps.push(Tensor::zeros((batch, self.dim)));
+        }
+        let x = Tensor::stack_seq(&steps); // (B, S+1, dim)
+        let x = x.add(&self.pos.forward(batch, seq + 1));
+
+        // Causal mask over S+1 positions; input padding follows the target
+        // mask shifted by one (feature position always attends).
+        let mut in_mask = vec![1.0f32; batch * (seq + 1)];
+        for bi in 0..batch {
+            for t in 0..seq.saturating_sub(1) {
+                in_mask[bi * (seq + 1) + t + 1] = mask[bi * seq + t];
+            }
+        }
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(&h, &in_mask, true);
+        }
+        // Positions 0..seq predict targets 0..seq; drop the final position
+        // by gathering the kept rows in one pass, then project to vocab
+        // (projecting after the gather avoids computing logits for the
+        // dropped rows).
+        let flat = h.fold_seq(); // (B*(S+1), dim)
+        let keep: Vec<usize> = (0..batch)
+            .flat_map(|bi| (0..seq).map(move |t| bi * (seq + 1) + t))
+            .collect();
+        let kept = flat.gather_rows(&keep); // (B*S, dim)
+        self.out.forward(&kept).unfold_seq(batch, seq)
+    }
+
+    /// Mean masked cross-entropy reconstruction loss (Eq. 15).
+    pub fn reconstruction_loss(
+        &self,
+        feature: &Tensor,
+        target_ids: &[usize],
+        batch: usize,
+        seq: usize,
+        mask: &[f32],
+    ) -> Tensor {
+        let logits = self.forward(feature, target_ids, batch, seq, mask); // (B,S,V)
+        let flat = logits.fold_seq(); // (B*S, V)
+        // Select only real positions.
+        let real: Vec<usize> = (0..batch * seq).filter(|i| mask[*i] != 0.0).collect();
+        if real.is_empty() {
+            return Tensor::scalar(0.0);
+        }
+        // Gather the real positions' logit rows in one pass.
+        let targets: Vec<usize> = real.iter().map(|&i| target_ids[i]).collect();
+        flat.gather_rows(&real).cross_entropy_logits(&targets)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.tok.params();
+        p.extend(self.pos.params());
+        p.extend(self.feat_proj.params());
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.out.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    fn small_encoder() -> TransformerEncoder {
+        let cfg = TransformerConfig {
+            vocab: 20,
+            dim: 8,
+            layers: 2,
+            heads: 2,
+            ffn_dim: 16,
+            max_len: 6,
+        };
+        TransformerEncoder::new("enc", cfg, &mut rng())
+    }
+
+    #[test]
+    fn encoder_shapes() {
+        let enc = small_encoder();
+        let ids = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let h = enc.forward(&ids, 2, 4, &[1.0; 8]);
+        assert_eq!(h.shape().dims(), &[2, 4, 8]);
+        let cls = enc.encode_cls(&ids, 2, 4, &[1.0; 8]);
+        assert_eq!(cls.shape().dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn encoder_padding_invariance_of_cls() {
+        let enc = small_encoder();
+        // Same real tokens, different garbage in padded tail.
+        let a = vec![1, 2, 3, 9];
+        let b = vec![1, 2, 3, 17];
+        let mask = [1.0, 1.0, 1.0, 0.0];
+        let ca = enc.encode_cls(&a, 1, 4, &mask);
+        let cb = enc.encode_cls(&b, 1, 4, &mask);
+        for (x, y) in ca.to_vec().iter().zip(cb.to_vec()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn encoder_all_params_trained() {
+        let enc = small_encoder();
+        let ids = vec![1, 2, 3, 4];
+        let g = enc
+            .encode_cls(&ids, 1, 4, &[1.0; 4])
+            .square()
+            .sum_all()
+            .backward();
+        let missing: Vec<_> = enc
+            .params()
+            .iter()
+            .filter(|p| g.get_id(p.id()).is_none())
+            .map(|p| p.name().to_string())
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {missing:?}");
+    }
+
+    #[test]
+    fn clone_detached_matches_then_diverges() {
+        let enc = small_encoder();
+        let clone = enc.clone_detached();
+        let ids = vec![3, 4, 5, 6];
+        let a = enc.encode_cls(&ids, 1, 4, &[1.0; 4]);
+        let b = clone.encode_cls(&ids, 1, 4, &[1.0; 4]);
+        assert_eq!(a.to_vec(), b.to_vec());
+        clone.params()[0].update_with(|w| {
+            for v in w.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        let b2 = clone.encode_cls(&ids, 1, 4, &[1.0; 4]);
+        assert_ne!(a.to_vec(), b2.to_vec());
+    }
+
+    #[test]
+    fn decoder_logits_shape() {
+        let dec = FeatureDecoder::new("dec", 20, 8, 8, 1, 2, 6, &mut rng());
+        let f = Tensor::ones((2, 8));
+        let ids = vec![1, 2, 3, 4, 5, 6];
+        let logits = dec.forward(&f, &ids, 2, 3, &[1.0; 6]);
+        assert_eq!(logits.shape().dims(), &[2, 3, 20]);
+    }
+
+    #[test]
+    fn reconstruction_loss_decreases_with_training() {
+        let mut r = rng();
+        let dec = FeatureDecoder::new("dec", 12, 4, 8, 1, 2, 5, &mut r);
+        let f = Tensor::from_vec(vec![0.5, -0.5, 0.2, 0.1], (1, 4));
+        let ids = vec![3, 5, 7];
+        let mask = [1.0; 3];
+        let l0 = dec.reconstruction_loss(&f, &ids, 1, 3, &mask);
+        let mut last = l0.item();
+        for _ in 0..10 {
+            let loss = dec.reconstruction_loss(&f, &ids, 1, 3, &mask);
+            let grads = loss.backward();
+            for p in dec.params() {
+                if let Some(g) = grads.get_id(p.id()) {
+                    let g = g.to_vec();
+                    p.update_with(|w| {
+                        for (wv, gv) in w.iter_mut().zip(&g) {
+                            *wv -= 0.1 * gv;
+                        }
+                    });
+                }
+            }
+            last = loss.item();
+        }
+        assert!(
+            last < l0.item(),
+            "reconstruction loss did not improve: {} -> {last}",
+            l0.item()
+        );
+    }
+
+    #[test]
+    fn reconstruction_loss_ignores_padding() {
+        let dec = FeatureDecoder::new("dec", 12, 4, 8, 1, 2, 5, &mut rng());
+        let f = Tensor::ones((1, 4));
+        // same real prefix, different padded tails
+        let a = dec.reconstruction_loss(&f, &[3, 5, 7], 1, 3, &[1.0, 1.0, 0.0]);
+        let b = dec.reconstruction_loss(&f, &[3, 5, 9], 1, 3, &[1.0, 1.0, 0.0]);
+        assert!((a.item() - b.item()).abs() < 1e-5);
+    }
+}

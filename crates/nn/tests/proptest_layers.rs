@@ -1,0 +1,140 @@
+//! Property-based tests for the neural-network layers: shape contracts,
+//! gradient flow, determinism, and training-dynamics invariants on
+//! arbitrary inputs.
+
+use dader_nn::{Activation, Adam, BiGru, LayerNorm, Linear, Mlp, MultiHeadAttention, Optimizer};
+use dader_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn input_matrix() -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (1usize..5, 1usize..6).prop_flat_map(|(b, d)| {
+        proptest::collection::vec(-3.0f32..3.0, b * d).prop_map(move |v| (v, b, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn linear_output_shape_and_grad((v, b, d) in input_matrix(), out in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", d, out, &mut rng);
+        let x = Tensor::from_vec(v, (b, d));
+        let y = l.forward(&x);
+        prop_assert_eq!(y.shape().dims(), &[b, out]);
+        let g = y.square().sum_all().backward();
+        for p in l.params() {
+            prop_assert!(g.get_id(p.id()).is_some());
+        }
+    }
+
+    #[test]
+    fn linear_is_affine((v, b, d) in input_matrix()) {
+        // f(2x) - f(x) = (Wx) for affine f => f(2x) - 2 f(x) = -b
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new("l", d, 3, &mut rng);
+        let x = Tensor::from_vec(v, (b, d));
+        let y1 = l.forward(&x);
+        let y2 = l.forward(&x.scale(2.0));
+        let resid = y2.sub(&y1.scale(2.0)); // = -bias per row
+        let first = resid.row(0).to_vec();
+        for r in 0..b {
+            for (a, e) in resid.row(r).iter().zip(&first) {
+                prop_assert!((a - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_logits_finite_on_any_input((v, b, d) in input_matrix()) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Mlp::new("m", &[d, 2 * d, 2], Activation::Relu, &mut rng);
+        let y = m.forward(&Tensor::from_vec(v, (b, d)));
+        prop_assert!(!y.has_non_finite());
+        prop_assert_eq!(y.shape().dims(), &[b, 2]);
+    }
+
+    #[test]
+    fn layer_norm_output_statistics((v, b, d) in input_matrix()) {
+        prop_assume!(d >= 2);
+        // Avoid exactly-constant rows (zero variance).
+        let v: Vec<f32> = v.iter().enumerate().map(|(i, x)| x + (i % d) as f32 * 0.1).collect();
+        let ln = LayerNorm::new("ln", d);
+        let y = ln.forward(&Tensor::from_vec(v, (b, d)));
+        for r in 0..b {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn attention_is_permutation_sensitive_but_shape_stable(
+        seq in 2usize..5,
+        batch in 1usize..3,
+    ) {
+        let dim = 8usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = MultiHeadAttention::new("a", dim, 2, &mut rng);
+        let data: Vec<f32> = (0..batch * seq * dim).map(|i| ((i * 37) % 11) as f32 * 0.2).collect();
+        let x = Tensor::from_vec(data, (batch, seq, dim));
+        let y = a.forward(&x, &vec![1.0; batch * seq], false);
+        prop_assert_eq!(y.shape().dims(), &[batch, seq, dim]);
+        prop_assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn gru_state_stays_bounded(steps in 1usize..12, scale in 0.1f32..5.0) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let gru = dader_nn::GruCell::new("g", 3, 4, &mut rng);
+        let mut h = Tensor::zeros((2, 4));
+        let x = Tensor::full((2, 3), scale);
+        for _ in 0..steps {
+            h = gru.step(&x, &h);
+        }
+        prop_assert!(h.to_vec().iter().all(|v| v.abs() <= 1.0 + 1e-4));
+    }
+
+    #[test]
+    fn bigru_handles_any_mask(mask_bits in proptest::collection::vec(proptest::bool::ANY, 4)) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = BiGru::new("b", 2, 3, &mut rng);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32 * 0.1).collect::<Vec<_>>(), (1, 4, 2));
+        let mask: Vec<f32> = mask_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let y = enc.forward(&x, &mask);
+        prop_assert_eq!(y.shape().dims(), &[1, 4, 6]);
+        prop_assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn adam_never_produces_non_finite_weights(lr in 1e-5f32..0.5) {
+        let mut rng = StdRng::seed_from_u64(6);
+        let l = Linear::new("l", 3, 2, &mut rng);
+        let mut opt = Adam::new(lr);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], (2, 3));
+        for _ in 0..20 {
+            let loss = l.forward(&x).cross_entropy_logits(&[0, 1]);
+            let grads = loss.backward();
+            opt.step(&l.params(), &grads);
+        }
+        for p in l.params() {
+            prop_assert!(p.snapshot().iter().all(|w| w.is_finite()));
+        }
+    }
+
+    #[test]
+    fn kd_loss_nonnegative_up_to_entropy_floor(
+        t_logits in proptest::collection::vec(-4.0f32..4.0, 4),
+        s_logits in proptest::collection::vec(-4.0f32..4.0, 4),
+        temp in 0.5f32..10.0,
+    ) {
+        let teacher = Tensor::from_vec(t_logits, (2, 2));
+        let student = Tensor::from_vec(s_logits, (2, 2));
+        let loss = dader_nn::loss::kd_loss(&teacher, &student, temp);
+        // KD is a cross-entropy: bounded below by the teacher's entropy ≥ 0.
+        prop_assert!(loss.item() >= -1e-5);
+        prop_assert!(loss.item().is_finite());
+    }
+}

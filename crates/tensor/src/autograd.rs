@@ -1,0 +1,284 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! [`Tensor::backward`] performs a depth-first topological sort of the
+//! computation DAG and then walks it in reverse, invoking each node's
+//! backward closure and accumulating per-parent gradients in a map keyed by
+//! node id. Because a [`crate::param::Param`] reuses one id for every leaf
+//! it produces, a parameter used several times in one graph accumulates all
+//! of its gradient contributions under a single key.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Gradients produced by one backward pass, keyed by tensor/parameter id.
+pub struct Gradients {
+    map: HashMap<u64, Vec<f32>>,
+}
+
+impl Gradients {
+    /// Gradient for a tensor (usually a parameter leaf), if it received one.
+    pub fn get(&self, t: &Tensor) -> Option<&[f32]> {
+        self.map.get(&t.id()).map(|v| v.as_slice())
+    }
+
+    /// Gradient by raw node id.
+    pub fn get_id(&self, id: u64) -> Option<&[f32]> {
+        self.map.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Number of nodes that received a gradient.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no gradients were produced.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Global L2 norm over a set of parameter ids (for gradient clipping).
+    pub fn global_norm(&self, ids: &[u64]) -> f32 {
+        let mut sq = 0.0f64;
+        for id in ids {
+            if let Some(g) = self.map.get(id) {
+                for &v in g {
+                    sq += (v as f64) * (v as f64);
+                }
+            }
+        }
+        (sq as f32).sqrt()
+    }
+
+    /// Scale every stored gradient in place (used by gradient clipping).
+    pub fn scale_all(&mut self, factor: f32) {
+        for g in self.map.values_mut() {
+            for v in g.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+
+    /// Merge another gradient set into this one, adding overlapping entries.
+    pub fn merge(&mut self, other: Gradients) {
+        for (id, g) in other.map {
+            match self.map.entry(id) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let dst = e.get_mut();
+                    for (d, s) in dst.iter_mut().zip(g.iter()) {
+                        *d += s;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(g);
+                }
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Run reverse-mode autodiff from this (scalar) tensor with seed
+    /// gradient 1.0.
+    ///
+    /// Panics if the tensor is not a scalar; use [`Tensor::backward_with`]
+    /// for non-scalar seeds.
+    pub fn backward(&self) -> Gradients {
+        assert_eq!(
+            self.numel(),
+            1,
+            "backward() needs a scalar output; use backward_with for shape {}",
+            self.shape()
+        );
+        self.backward_with(vec![1.0])
+    }
+
+    /// Run reverse-mode autodiff with an explicit seed gradient matching
+    /// this tensor's shape.
+    pub fn backward_with(&self, seed: Vec<f32>) -> Gradients {
+        assert_eq!(seed.len(), self.numel(), "seed gradient length mismatch");
+
+        // Iterative DFS topological sort (avoids recursion-depth limits on
+        // long RNN graphs).
+        let order = topo_order(self);
+
+        let mut grads: HashMap<u64, Vec<f32>> = HashMap::with_capacity(order.len());
+        grads.insert(self.id(), seed);
+
+        for node in order.iter().rev() {
+            let Some(grad_out) = grads.get(&node.id()) else {
+                continue;
+            };
+            let Some(backward) = node.inner.backward.as_ref() else {
+                continue;
+            };
+            let parent_grads = backward(grad_out);
+            debug_assert_eq!(parent_grads.len(), node.inner.parents.len());
+            for (parent, pg) in node.inner.parents.iter().zip(parent_grads) {
+                if !parent.requires_grad() {
+                    continue;
+                }
+                debug_assert_eq!(
+                    pg.len(),
+                    parent.numel(),
+                    "backward of node {} produced wrong-size grad for parent {}",
+                    node.id(),
+                    parent.id()
+                );
+                match grads.entry(parent.id()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let dst = e.get_mut();
+                        for (d, s) in dst.iter_mut().zip(pg.iter()) {
+                            *d += s;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(pg);
+                    }
+                }
+            }
+        }
+
+        // Keep only leaf gradients (no parents): interior activations are
+        // not needed by optimizers and dropping them frees memory early.
+        let leaf_ids: std::collections::HashSet<u64> = order
+            .iter()
+            .filter(|n| n.inner.parents.is_empty())
+            .map(|n| n.id())
+            .collect();
+        let interior_ids: std::collections::HashSet<u64> = order
+            .iter()
+            .filter(|n| !n.inner.parents.is_empty())
+            .map(|n| n.id())
+            .collect();
+        grads.retain(|id, _| leaf_ids.contains(id) || !interior_ids.contains(id));
+
+        Gradients { map: grads }
+    }
+}
+
+/// Topological order of the DAG rooted at `root` (parents before children).
+fn topo_order(root: &Tensor) -> Vec<Tensor> {
+    let mut order: Vec<Tensor> = Vec::new();
+    let mut visited: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    // Stack of (node, next-parent-index) frames.
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    // Mark pre-visited so a node is only expanded once even with shared
+    // subgraphs.
+    let mut expanded: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    expanded.insert(root.id());
+
+    while let Some((node, idx)) = stack.pop() {
+        if idx < node.inner.parents.len() {
+            let parent = node.inner.parents[idx].clone();
+            stack.push((node, idx + 1));
+            if parent.requires_grad() && !expanded.contains(&parent.id()) {
+                expanded.insert(parent.id());
+                stack.push((parent, 0));
+            }
+        } else if visited.insert(node.id()) {
+            order.push(node);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::param::Param;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn simple_chain_gradient() {
+        // y = (2x)^2 summed; dy/dx = 8x
+        let p = Param::from_vec("x", vec![1.0, 2.0, 3.0], 3usize);
+        let x = p.leaf();
+        let y = x.scale(2.0).square().sum_all();
+        let grads = y.backward();
+        let g = grads.get(&x).unwrap();
+        assert_eq!(g, &[8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn shared_parameter_accumulates() {
+        // y = x*x elementwise, both operands the same leaf → dy/dx = 2x
+        let p = Param::from_vec("x", vec![3.0], 1usize);
+        let x = p.leaf();
+        let y = x.mul(&x).sum_all();
+        let grads = y.backward();
+        assert_eq!(grads.get(&x).unwrap(), &[6.0]);
+    }
+
+    #[test]
+    fn param_used_via_two_leaves_accumulates_by_id() {
+        let p = Param::from_vec("x", vec![2.0], 1usize);
+        let a = p.leaf();
+        let b = p.leaf();
+        // y = a + 3b → dy/dparam = 1 + 3 = 4
+        let y = a.add(&b.scale(3.0)).sum_all();
+        let grads = y.backward();
+        assert_eq!(grads.get_id(p.id()).unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn constant_gets_no_gradient() {
+        let c = Tensor::ones(2usize);
+        let p = Param::from_vec("x", vec![1.0, 1.0], 2usize);
+        let x = p.leaf();
+        let y = x.mul(&c).sum_all();
+        let grads = y.backward();
+        assert!(grads.get(&c).is_none());
+        assert!(grads.get(&x).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a scalar")]
+    fn backward_on_vector_panics() {
+        let p = Param::from_vec("x", vec![1.0, 2.0], 2usize);
+        p.leaf().backward();
+    }
+
+    #[test]
+    fn backward_with_seed() {
+        let p = Param::from_vec("x", vec![1.0, 2.0], 2usize);
+        let x = p.leaf();
+        let y = x.scale(3.0);
+        let grads = y.backward_with(vec![1.0, 10.0]);
+        assert_eq!(grads.get(&x).unwrap(), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn global_norm_and_scale() {
+        let p = Param::from_vec("x", vec![3.0, 4.0], 2usize);
+        let x = p.leaf();
+        let y = x.sum_all();
+        let mut grads = y.backward();
+        // grad = [1,1], norm = sqrt(2)
+        let norm = grads.global_norm(&[p.id()]);
+        assert!((norm - 2.0f32.sqrt()).abs() < 1e-6);
+        grads.scale_all(0.5);
+        assert_eq!(grads.get(&x).unwrap(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let p = Param::from_vec("x", vec![1.0], 1usize);
+        let mut t = p.leaf();
+        for _ in 0..5000 {
+            t = t.add_scalar(0.0);
+        }
+        let grads = t.sum_all().backward();
+        assert_eq!(grads.get_id(p.id()).unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn merge_adds_overlapping() {
+        let p = Param::from_vec("x", vec![1.0], 1usize);
+        let x = p.leaf();
+        let g1 = x.scale(2.0).sum_all().backward();
+        let g2 = x.scale(3.0).sum_all().backward();
+        let mut merged = g1;
+        merged.merge(g2);
+        assert_eq!(merged.get_id(p.id()).unwrap(), &[5.0]);
+    }
+}

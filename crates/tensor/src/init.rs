@@ -1,0 +1,133 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::param::Param;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization for a `(fan_in, fan_out)` weight
+/// matrix: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(
+    name: impl Into<String>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Param {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out)
+        .map(|_| rng.random_range(-a..a))
+        .collect();
+    Param::from_vec(name, data, (fan_in, fan_out))
+}
+
+/// He/Kaiming uniform initialization (for ReLU-family activations).
+pub fn he_uniform(
+    name: impl Into<String>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Param {
+    let a = (6.0 / fan_in as f32).sqrt();
+    let data: Vec<f32> = (0..fan_in * fan_out)
+        .map(|_| rng.random_range(-a..a))
+        .collect();
+    Param::from_vec(name, data, (fan_in, fan_out))
+}
+
+/// Normal-distributed parameter with the given standard deviation
+/// (Box–Muller; used for embedding tables, like BERT's `N(0, 0.02)`).
+pub fn normal(
+    name: impl Into<String>,
+    shape: impl Into<Shape>,
+    std: f32,
+    rng: &mut StdRng,
+) -> Param {
+    let shape = shape.into();
+    let data = normal_vec(shape.numel(), std, rng);
+    Param::from_vec(name, data, shape)
+}
+
+/// Uniform-distributed parameter on `(-a, a)`.
+pub fn uniform(
+    name: impl Into<String>,
+    shape: impl Into<Shape>,
+    a: f32,
+    rng: &mut StdRng,
+) -> Param {
+    let shape = shape.into();
+    let data: Vec<f32> = (0..shape.numel()).map(|_| rng.random_range(-a..a)).collect();
+    Param::from_vec(name, data, shape)
+}
+
+/// A (non-trainable) tensor of standard-normal samples scaled by `std`.
+pub fn randn_tensor(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    Tensor::from_vec(normal_vec(shape.numel(), std, rng), shape)
+}
+
+fn normal_vec(n: usize, std: f32, rng: &mut StdRng) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller transform yields two independent normals per draw.
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        out.push(r * theta.cos() * std);
+        if out.len() < n {
+            out.push(r * theta.sin() * std);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let p = xavier_uniform("w", 10, 20, &mut rng());
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(p.snapshot().iter().all(|&v| v.abs() <= a));
+        assert_eq!(p.shape().dims(), &[10, 20]);
+    }
+
+    #[test]
+    fn he_bounds() {
+        let p = he_uniform("w", 16, 8, &mut rng());
+        let a = (6.0f32 / 16.0).sqrt();
+        assert!(p.snapshot().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn normal_statistics() {
+        let p = normal("e", (100, 100), 0.02, &mut rng());
+        let data = p.snapshot();
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 = data.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / data.len() as f32;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal("e", 16usize, 1.0, &mut rng()).snapshot();
+        let b = normal("e", 16usize, 1.0, &mut rng()).snapshot();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randn_tensor_shape() {
+        let t = randn_tensor((3, 4), 1.0, &mut rng());
+        assert_eq!(t.shape().dims(), &[3, 4]);
+        assert!(!t.has_non_finite());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dader-tensor
+//!
+//! A small, dependency-light f32 tensor library with reverse-mode automatic
+//! differentiation, purpose-built for the DADER reproduction (Tu et al.,
+//! *Domain Adaptation for Deep Entity Resolution*, SIGMOD 2022).
+//!
+//! It provides everything the DADER design space needs and nothing more:
+//!
+//! * immutable, `Arc`-shared [`Tensor`]s forming an autograd DAG;
+//! * trainable [`Param`]s with stable gradient ids and copy-on-write
+//!   updates;
+//! * rank-2/3 matmul (plain and transposed, for attention), elementwise
+//!   math, softmax-family ops with fused classification losses, layer
+//!   norm, dropout, embedding gather — and the **gradient reversal layer**
+//!   that the GRL feature aligner is built on;
+//! * weight initializers ([`init`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dader_tensor::{Param, Tensor};
+//!
+//! let w = Param::from_vec("w", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+//! let x = Tensor::from_vec(vec![1.0, 0.0], (1, 2));
+//! let y = x.matmul(&w.leaf()).relu().sum_all();
+//! let grads = y.backward();
+//! assert_eq!(grads.get_id(w.id()).unwrap(), &[1.0, 1.0, 0.0, 0.0]);
+//! ```
+
+pub mod autograd;
+pub mod init;
+pub mod ops;
+pub mod param;
+pub mod shape;
+pub mod tensor;
+
+pub use autograd::Gradients;
+pub use param::Param;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,540 @@
+//! Elementwise arithmetic ops, scalar ops, and last-dim broadcasting
+//! (row-vector add/mul used for biases and layer-norm gains).
+
+use std::sync::Arc;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const LN_EPS: f32 = 1e-12;
+
+fn assert_same_shape(a: &Tensor, b: &Tensor, op: &str) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+impl Tensor {
+    /// Elementwise addition (same shapes).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_same_shape(self, other, "add");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), other.clone()],
+            Box::new(|g| vec![g.to_vec(), g.to_vec()]),
+        )
+    }
+
+    /// Elementwise subtraction (same shapes).
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_same_shape(self, other, "sub");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), other.clone()],
+            Box::new(|g| vec![g.to_vec(), g.iter().map(|v| -v).collect()]),
+        )
+    }
+
+    /// Elementwise multiplication (same shapes).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_same_shape(self, other, "mul");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a * b)
+            .collect();
+        let a_data = self.data_arc();
+        let b_data = other.data_arc();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let ga: Vec<f32> = g.iter().zip(b_data.iter()).map(|(g, b)| g * b).collect();
+                let gb: Vec<f32> = g.iter().zip(a_data.iter()).map(|(g, a)| g * a).collect();
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Elementwise division (same shapes).
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        assert_same_shape(self, other, "div");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a / b)
+            .collect();
+        let a_data = self.data_arc();
+        let b_data = other.data_arc();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let ga: Vec<f32> = g.iter().zip(b_data.iter()).map(|(g, b)| g / b).collect();
+                let gb: Vec<f32> = g
+                    .iter()
+                    .zip(a_data.iter().zip(b_data.iter()))
+                    .map(|(g, (a, b))| -g * a / (b * b))
+                    .collect();
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a + c).collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(|g| vec![g.to_vec()]),
+        )
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a * c).collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.iter().map(|v| v * c).collect()]),
+        )
+    }
+
+    /// Negate every element.
+    pub fn neg(&self) -> Tensor {
+        self.scale(-1.0)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a * a).collect();
+        let a_data = self.data_arc();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.iter().zip(a_data.iter()).map(|(g, a)| 2.0 * a * g).collect()]),
+        )
+    }
+
+    /// Elementwise square root (input clamped at 0).
+    pub fn sqrt_elem(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.max(0.0).sqrt()).collect();
+        let out = Arc::new(data.clone());
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![g
+                    .iter()
+                    .zip(out.iter())
+                    .map(|(g, o)| g * 0.5 / o.max(1e-8))
+                    .collect()]
+            }),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.exp()).collect();
+        let out = Arc::new(data.clone());
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.iter().zip(out.iter()).map(|(g, o)| g * o).collect()]),
+        )
+    }
+
+    /// Elementwise natural log with the input clamped to at least
+    /// [`LN_EPS`] for numerical safety.
+    pub fn ln_safe(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.max(LN_EPS).ln()).collect();
+        let a_data = self.data_arc();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![g
+                    .iter()
+                    .zip(a_data.iter())
+                    .map(|(g, a)| g / a.max(LN_EPS))
+                    .collect()]
+            }),
+        )
+    }
+
+    /// Clamp every element into `[lo, hi]` (gradient passes only inside the
+    /// interval).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.clamp(lo, hi)).collect();
+        let a_data = self.data_arc();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                vec![g
+                    .iter()
+                    .zip(a_data.iter())
+                    .map(|(g, a)| if *a > lo && *a < hi { *g } else { 0.0 })
+                    .collect()]
+            }),
+        )
+    }
+
+    /// Broadcast-add a vector along the last dimension: `self[..., d] +
+    /// vec[d]`. Used for bias terms on rank-2 and rank-3 activations.
+    pub fn add_rowvec(&self, vec: &Tensor) -> Tensor {
+        let d = self.shape().last_dim();
+        assert_eq!(
+            vec.shape().dims(),
+            &[d],
+            "add_rowvec: vector shape {} incompatible with last dim {d}",
+            vec.shape()
+        );
+        let n = self.numel() / d;
+        let mut data = self.to_vec();
+        let v = vec.data();
+        for row in 0..n {
+            for (x, vv) in data[row * d..(row + 1) * d].iter_mut().zip(v) {
+                *x += vv;
+            }
+        }
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), vec.clone()],
+            Box::new(move |g| {
+                let mut gv = vec![0.0f32; d];
+                for row in 0..n {
+                    for (gv_i, g_i) in gv.iter_mut().zip(&g[row * d..(row + 1) * d]) {
+                        *gv_i += g_i;
+                    }
+                }
+                vec![g.to_vec(), gv]
+            }),
+        )
+    }
+
+    /// Broadcast-multiply by a vector along the last dimension (layer-norm
+    /// gain, attention temperature per head, …).
+    pub fn mul_rowvec(&self, vec: &Tensor) -> Tensor {
+        let d = self.shape().last_dim();
+        assert_eq!(
+            vec.shape().dims(),
+            &[d],
+            "mul_rowvec: vector shape {} incompatible with last dim {d}",
+            vec.shape()
+        );
+        let n = self.numel() / d;
+        let v = vec.data().to_vec();
+        let mut data = self.to_vec();
+        for row in 0..n {
+            for (x, vv) in data[row * d..(row + 1) * d].iter_mut().zip(&v) {
+                *x *= vv;
+            }
+        }
+        let a_data = self.data_arc();
+        let v_arc = Arc::new(v);
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), vec.clone()],
+            Box::new(move |g| {
+                let mut ga = vec![0.0f32; g.len()];
+                let mut gv = vec![0.0f32; d];
+                for row in 0..n {
+                    let base = row * d;
+                    for i in 0..d {
+                        ga[base + i] = g[base + i] * v_arc[i];
+                        gv[i] += g[base + i] * a_data[base + i];
+                    }
+                }
+                vec![ga, gv]
+            }),
+        )
+    }
+
+    /// Broadcast-multiply each row of a rank-2 tensor by a per-row scalar:
+    /// `out[r, c] = self[r, c] * vec[r]`. Used for row-wise normalization.
+    pub fn mul_colvec(&self, vec: &Tensor) -> Tensor {
+        let (n, d) = self.shape().as_2d();
+        assert_eq!(
+            vec.shape().dims(),
+            &[n],
+            "mul_colvec: vector shape {} incompatible with {n} rows",
+            vec.shape()
+        );
+        let v = vec.data().to_vec();
+        let mut data = self.to_vec();
+        for r in 0..n {
+            for x in data[r * d..(r + 1) * d].iter_mut() {
+                *x *= v[r];
+            }
+        }
+        let a_data = self.data_arc();
+        let v_arc = std::sync::Arc::new(v);
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone(), vec.clone()],
+            Box::new(move |g| {
+                let mut ga = vec![0.0f32; n * d];
+                let mut gv = vec![0.0f32; n];
+                for r in 0..n {
+                    for c in 0..d {
+                        ga[r * d + c] = g[r * d + c] * v_arc[r];
+                        gv[r] += g[r * d + c] * a_data[r * d + c];
+                    }
+                }
+                vec![ga, gv]
+            }),
+        )
+    }
+
+    /// L2-normalize each row of a rank-2 tensor (differentiable;
+    /// `eps`-stabilized for near-zero rows).
+    pub fn l2_normalize_rows(&self, eps: f32) -> Tensor {
+        let norms = self.square().sum_cols().add_scalar(eps).sqrt_elem();
+        let (n, _) = self.shape().as_2d();
+        self.mul_colvec(&Tensor::ones(n).div(&norms))
+    }
+
+    /// Reshape to a new shape with the same number of elements.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape: cannot reshape {} into {}",
+            self.shape(),
+            shape
+        );
+        Tensor::from_op(
+            self.to_vec(),
+            shape,
+            vec![self.clone()],
+            Box::new(|g| vec![g.to_vec()]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn p(data: Vec<f32>) -> (Param, Tensor) {
+        let n = data.len();
+        let p = Param::from_vec("x", data, n);
+        let t = p.leaf();
+        (p, t)
+    }
+
+    #[test]
+    fn add_forward_backward() {
+        let (_, a) = p(vec![1.0, 2.0]);
+        let (_, b) = p(vec![10.0, 20.0]);
+        let y = a.add(&b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0]);
+        let g = y.sum_all().backward();
+        assert_eq!(g.get(&a).unwrap(), &[1.0, 1.0]);
+        assert_eq!(g.get(&b).unwrap(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates() {
+        let (_, a) = p(vec![5.0]);
+        let (_, b) = p(vec![3.0]);
+        let g = a.sub(&b).sum_all().backward();
+        assert_eq!(g.get(&a).unwrap(), &[1.0]);
+        assert_eq!(g.get(&b).unwrap(), &[-1.0]);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let (_, a) = p(vec![2.0]);
+        let (_, b) = p(vec![7.0]);
+        let g = a.mul(&b).sum_all().backward();
+        assert_eq!(g.get(&a).unwrap(), &[7.0]);
+        assert_eq!(g.get(&b).unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn div_quotient_rule() {
+        let (_, a) = p(vec![6.0]);
+        let (_, b) = p(vec![3.0]);
+        let y = a.div(&b);
+        assert_eq!(y.to_vec(), vec![2.0]);
+        let g = y.sum_all().backward();
+        assert!((g.get(&a).unwrap()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((g.get(&b).unwrap()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip_grad() {
+        let (_, a) = p(vec![0.5]);
+        let y = a.exp().ln_safe().sum_all();
+        let g = y.backward();
+        assert!((g.get(&a).unwrap()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ln_safe_clamps_zero() {
+        let (_, a) = p(vec![0.0]);
+        let y = a.ln_safe();
+        assert!(y.item().is_finite());
+    }
+
+    #[test]
+    fn clamp_zeroes_grad_outside() {
+        let (_, a) = p(vec![-2.0, 0.5, 2.0]);
+        let g = a.clamp(-1.0, 1.0).sum_all().backward();
+        assert_eq!(g.get(&a).unwrap(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sqrt_grad() {
+        let (_, a) = p(vec![4.0]);
+        let g = a.sqrt_elem().sum_all().backward();
+        assert!((g.get(&a).unwrap()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_rowvec_bias() {
+        let x = Param::from_vec("x", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let b = Param::from_vec("b", vec![10.0, 20.0], 2usize);
+        let xt = x.leaf();
+        let bt = b.leaf();
+        let y = xt.add_rowvec(&bt);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+        let g = y.sum_all().backward();
+        assert_eq!(g.get(&bt).unwrap(), &[2.0, 2.0]);
+        assert_eq!(g.get(&xt).unwrap(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn add_rowvec_rank3() {
+        let x = Param::from_vec("x", vec![0.0; 12], (2, 3, 2));
+        let b = Param::from_vec("b", vec![1.0, -1.0], 2usize);
+        let y = x.leaf().add_rowvec(&b.leaf());
+        assert_eq!(y.shape().dims(), &[2, 3, 2]);
+        assert_eq!(&y.to_vec()[..4], &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn mul_rowvec_grads() {
+        let x = Param::from_vec("x", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let v = Param::from_vec("v", vec![2.0, 3.0], 2usize);
+        let xt = x.leaf();
+        let vt = v.leaf();
+        let y = xt.mul_rowvec(&vt);
+        assert_eq!(y.to_vec(), vec![2.0, 6.0, 6.0, 12.0]);
+        let g = y.sum_all().backward();
+        assert_eq!(g.get(&xt).unwrap(), &[2.0, 3.0, 2.0, 3.0]);
+        assert_eq!(g.get(&vt).unwrap(), &[4.0, 6.0]); // sums of columns of x
+    }
+
+    #[test]
+    fn reshape_passes_grad() {
+        let (_, a) = p(vec![1.0, 2.0, 3.0, 4.0]);
+        let y = a.reshape((2, 2)).square().sum_all();
+        let g = y.backward();
+        assert_eq!(g.get(&a).unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::ones(2usize);
+        let b = Tensor::ones(3usize);
+        a.add(&b);
+    }
+
+    #[test]
+    fn mul_colvec_scales_rows() {
+        let x = Param::from_vec("x", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let v = Param::from_vec("v", vec![10.0, 0.5], 2usize);
+        let xt = x.leaf();
+        let vt = v.leaf();
+        let y = xt.mul_colvec(&vt);
+        assert_eq!(y.to_vec(), vec![10.0, 20.0, 1.5, 2.0]);
+        let g = y.sum_all().backward();
+        assert_eq!(g.get(&xt).unwrap(), &[10.0, 10.0, 0.5, 0.5]);
+        assert_eq!(g.get(&vt).unwrap(), &[3.0, 7.0]); // row sums of x
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let x = Param::from_vec("x", vec![3.0, 4.0, 0.0, 5.0], (2, 2));
+        let y = x.leaf().l2_normalize_rows(1e-12);
+        for r in 0..2 {
+            let n: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5, "row {r} norm {n}");
+        }
+        assert!((y.get2(0, 0) - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_normalize_rows_zero_row_is_safe() {
+        let x = Tensor::zeros((1, 3));
+        let y = x.l2_normalize_rows(1e-8);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn l2_normalize_rows_grad_is_tangent() {
+        // For y = x/|x|, the gradient of sum(y·c) wrt x is orthogonal to x
+        // for constant c when projected: check via finite differences.
+        let v = vec![1.0f32, 2.0, 2.0];
+        let p = Param::from_vec("x", v.clone(), (1, 3));
+        let x = p.leaf();
+        let c = Tensor::from_vec(vec![1.0, -1.0, 0.5], (1, 3));
+        let g = x.l2_normalize_rows(1e-12).mul(&c).sum_all().backward();
+        let gx = g.get(&x).unwrap();
+        let f = |vals: &[f32]| {
+            let t = Tensor::from_slice(vals, (1, 3)).l2_normalize_rows(1e-12);
+            t.to_vec()
+                .iter()
+                .zip([1.0, -1.0, 0.5])
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        for i in 0..3 {
+            let mut hi = v.clone();
+            hi[i] += 1e-3;
+            let mut lo = v.clone();
+            lo[i] -= 1e-3;
+            let fd = (f(&hi) - f(&lo)) / 2e-3;
+            assert!((gx[i] - fd).abs() < 1e-3, "dim {i}: {} vs {fd}", gx[i]);
+        }
+    }
+}

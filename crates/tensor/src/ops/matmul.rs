@@ -1,0 +1,313 @@
+//! Matrix multiplication: rank-2 GEMM, batched rank-3 GEMM (plain and
+//! B-transposed, for attention), and 2-D transpose.
+//!
+//! Kernels use the cache-friendly `i-k-j` loop order recommended for naive
+//! GEMM, which is plenty for the model sizes in this reproduction.
+
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `C[m,n] += A[m,k] * B[k,n]` over raw slices, i-k-j order.
+pub(crate) fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] * B[n,k]^T` over raw slices.
+pub(crate) fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `C[m,n] += A[k,m]^T * B[k,n]` over raw slices.
+pub(crate) fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            if a_ki == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ki * b_kj;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Rank-2 matrix product: `(m,k) x (k,n) -> (m,n)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_2d();
+        let (k2, n) = other.shape().as_2d();
+        assert_eq!(
+            k, k2,
+            "matmul: inner dims differ, {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let mut data = vec![0.0f32; m * n];
+        gemm_acc(self.data(), other.data(), &mut data, m, k, n);
+        let a_data = self.data_arc();
+        let b_data = other.data_arc();
+        Tensor::from_op(
+            data,
+            Shape::from((m, n)),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // dA = G B^T ; dB = A^T G
+                let mut ga = vec![0.0f32; m * k];
+                gemm_nt_acc(g, &b_data, &mut ga, m, n, k);
+                let mut gb = vec![0.0f32; k * n];
+                gemm_tn_acc(&a_data, g, &mut gb, k, m, n);
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Batched rank-3 matrix product: `(B,m,k) x (B,k,n) -> (B,m,n)`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        let (bs, m, k) = self.shape().as_3d();
+        let (bs2, k2, n) = other.shape().as_3d();
+        assert_eq!(bs, bs2, "bmm: batch dims differ");
+        assert_eq!(k, k2, "bmm: inner dims differ");
+        let mut data = vec![0.0f32; bs * m * n];
+        for b in 0..bs {
+            gemm_acc(
+                &self.data()[b * m * k..(b + 1) * m * k],
+                &other.data()[b * k * n..(b + 1) * k * n],
+                &mut data[b * m * n..(b + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let a_data = self.data_arc();
+        let b_data = other.data_arc();
+        Tensor::from_op(
+            data,
+            Shape::from((bs, m, n)),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let mut ga = vec![0.0f32; bs * m * k];
+                let mut gb = vec![0.0f32; bs * k * n];
+                for b in 0..bs {
+                    let gg = &g[b * m * n..(b + 1) * m * n];
+                    gemm_nt_acc(
+                        gg,
+                        &b_data[b * k * n..(b + 1) * k * n],
+                        &mut ga[b * m * k..(b + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                    );
+                    gemm_tn_acc(
+                        &a_data[b * m * k..(b + 1) * m * k],
+                        gg,
+                        &mut gb[b * k * n..(b + 1) * k * n],
+                        k,
+                        m,
+                        n,
+                    );
+                }
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Batched product with the second operand transposed:
+    /// `(B,m,d) x (B,n,d)^T -> (B,m,n)` — attention score computation.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        let (bs, m, d) = self.shape().as_3d();
+        let (bs2, n, d2) = other.shape().as_3d();
+        assert_eq!(bs, bs2, "bmm_nt: batch dims differ");
+        assert_eq!(d, d2, "bmm_nt: feature dims differ");
+        let mut data = vec![0.0f32; bs * m * n];
+        for b in 0..bs {
+            gemm_nt_acc(
+                &self.data()[b * m * d..(b + 1) * m * d],
+                &other.data()[b * n * d..(b + 1) * n * d],
+                &mut data[b * m * n..(b + 1) * m * n],
+                m,
+                d,
+                n,
+            );
+        }
+        let a_data = self.data_arc();
+        let b_data = other.data_arc();
+        Tensor::from_op(
+            data,
+            Shape::from((bs, m, n)),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                // C = A B^T → dA = G B ; dB = G^T A
+                let mut ga = vec![0.0f32; bs * m * d];
+                let mut gb = vec![0.0f32; bs * n * d];
+                for b in 0..bs {
+                    let gg = &g[b * m * n..(b + 1) * m * n];
+                    gemm_acc(
+                        gg,
+                        &b_data[b * n * d..(b + 1) * n * d],
+                        &mut ga[b * m * d..(b + 1) * m * d],
+                        m,
+                        n,
+                        d,
+                    );
+                    gemm_tn_acc(
+                        gg,
+                        &a_data[b * m * d..(b + 1) * m * d],
+                        &mut gb[b * n * d..(b + 1) * n * d],
+                        n,
+                        m,
+                        d,
+                    );
+                }
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose2(&self) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        let src = self.data();
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_op(
+            data,
+            Shape::from((n, m)),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gt = vec![0.0f32; m * n];
+                for j in 0..n {
+                    for i in 0..m {
+                        gt[i * n + j] = g[j * m + i];
+                    }
+                }
+                vec![gt]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    #[test]
+    fn matmul_forward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], (2, 2));
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        let pa = Param::from_vec("a", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let pb = Param::from_vec("b", vec![5.0, 6.0, 7.0, 8.0], (2, 2));
+        let a = pa.leaf();
+        let b = pb.leaf();
+        let g = a.matmul(&b).sum_all().backward();
+        // dA = ones(2,2) @ B^T → rows are [11, 15]
+        assert_eq!(g.get(&a).unwrap(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB = A^T @ ones → rows are col-sums of A: [4,4],[6,6]
+        assert_eq!(g.get(&b).unwrap(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0; 6], (2, 3));
+        let b = Tensor::from_vec(vec![2.0; 12], (3, 4));
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 4]);
+        assert!(c.to_vec().iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), (2, 2, 3));
+        let b = Tensor::from_vec((0..12).map(|v| (v % 5) as f32).collect(), (2, 3, 2));
+        let c = a.bmm(&b);
+        let a0 = Tensor::from_slice(&a.data()[..6], (2, 3));
+        let b0 = Tensor::from_slice(&b.data()[..6], (3, 2));
+        let c0 = a0.matmul(&b0);
+        assert_eq!(&c.to_vec()[..4], c0.to_vec().as_slice());
+    }
+
+    #[test]
+    fn bmm_nt_matches_manual_transpose() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), (1, 3, 4));
+        let b = Tensor::from_vec((0..8).map(|v| v as f32 * 0.5).collect(), (1, 2, 4));
+        let c = a.bmm_nt(&b);
+        assert_eq!(c.shape().dims(), &[1, 3, 2]);
+        // row0 of a = [0,1,2,3]; row0 of b = [0,0.5,1,1.5] → dot = 0+0.5+2+4.5=7
+        assert!((c.get(0) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bmm_nt_backward_shapes() {
+        let pa = Param::from_vec("a", vec![0.5; 12], (1, 3, 4));
+        let pb = Param::from_vec("b", vec![0.25; 8], (1, 2, 4));
+        let a = pa.leaf();
+        let b = pb.leaf();
+        let g = a.bmm_nt(&b).sum_all().backward();
+        assert_eq!(g.get(&a).unwrap().len(), 12);
+        assert_eq!(g.get(&b).unwrap().len(), 8);
+        // dA[i] = sum_j B[j] = 2 * 0.25 = 0.5 per component
+        assert!(g.get(&a).unwrap().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let pa = Param::from_vec("a", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], (2, 3));
+        let a = pa.leaf();
+        let t = a.transpose2();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let g = t.square().sum_all().backward();
+        assert_eq!(g.get(&a).unwrap(), &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_dim_mismatch_panics() {
+        Tensor::ones((2, 3)).matmul(&Tensor::ones((4, 2)));
+    }
+}

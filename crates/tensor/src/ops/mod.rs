@@ -1,0 +1,10 @@
+//! Differentiable tensor operations, grouped by family. Each op builds a
+//! graph node with a backward closure; see [`crate::autograd`].
+
+mod activation;
+mod arith;
+mod matmul;
+mod reduce;
+mod shape_ops;
+mod softmax;
+mod special;

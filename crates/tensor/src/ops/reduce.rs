@@ -1,0 +1,234 @@
+//! Reductions: full-tensor sum/mean, per-axis reductions for rank-2
+//! tensors, and masked mean pooling over the sequence axis of rank-3
+//! tensors (used by the RNN/transformer extractors).
+
+use std::sync::Arc;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let n = self.numel();
+        Tensor::from_op(
+            vec![s],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |g| vec![vec![g[0]; n]]),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.numel();
+        let s: f32 = self.data().iter().sum();
+        Tensor::from_op(
+            vec![s / n as f32],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |g| vec![vec![g[0] / n as f32; n]]),
+        )
+    }
+
+    /// Column means of a rank-2 tensor: `(rows, cols) -> (cols,)`.
+    /// This is the batch-mean of feature vectors used by MMD/CORAL.
+    pub fn mean_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_2d();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (o, v) in out.iter_mut().zip(&self.data()[r * cols..(r + 1) * cols]) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / rows as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+        Tensor::from_op(
+            out,
+            Shape::from(cols),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gi = vec![0.0f32; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        gi[r * cols + c] = g[c] * inv;
+                    }
+                }
+                vec![gi]
+            }),
+        )
+    }
+
+    /// Row sums of a rank-2 tensor: `(rows, cols) -> (rows,)`.
+    pub fn sum_cols(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_2d();
+        let out: Vec<f32> = (0..rows)
+            .map(|r| self.data()[r * cols..(r + 1) * cols].iter().sum())
+            .collect();
+        Tensor::from_op(
+            out,
+            Shape::from(rows),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gi = vec![0.0f32; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        gi[r * cols + c] = g[r];
+                    }
+                }
+                vec![gi]
+            }),
+        )
+    }
+
+    /// Masked mean pooling over the sequence axis: `(B, S, D) -> (B, D)`,
+    /// averaging only positions where `mask[b*S + s] != 0`. Rows with an
+    /// all-zero mask yield zeros.
+    pub fn mean_pool_seq(&self, mask: &[f32]) -> Tensor {
+        let (b, s, d) = self.shape().as_3d();
+        assert_eq!(mask.len(), b * s, "mean_pool_seq: mask length mismatch");
+        let mut out = vec![0.0f32; b * d];
+        let mut counts = vec![0.0f32; b];
+        for bi in 0..b {
+            for si in 0..s {
+                if mask[bi * s + si] != 0.0 {
+                    counts[bi] += 1.0;
+                    let src = &self.data()[(bi * s + si) * d..(bi * s + si + 1) * d];
+                    for (o, v) in out[bi * d..(bi + 1) * d].iter_mut().zip(src) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+        for bi in 0..b {
+            if counts[bi] > 0.0 {
+                let inv = 1.0 / counts[bi];
+                for o in out[bi * d..(bi + 1) * d].iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+        let mask = Arc::new(mask.to_vec());
+        let counts = Arc::new(counts);
+        Tensor::from_op(
+            out,
+            Shape::from((b, d)),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gi = vec![0.0f32; b * s * d];
+                for bi in 0..b {
+                    if counts[bi] == 0.0 {
+                        continue;
+                    }
+                    let inv = 1.0 / counts[bi];
+                    for si in 0..s {
+                        if mask[bi * s + si] != 0.0 {
+                            let dst = &mut gi[(bi * s + si) * d..(bi * s + si + 1) * d];
+                            for (dv, gv) in dst.iter_mut().zip(&g[bi * d..(bi + 1) * d]) {
+                                *dv = gv * inv;
+                            }
+                        }
+                    }
+                }
+                vec![gi]
+            }),
+        )
+    }
+
+    /// Select one sequence position per batch from a rank-3 tensor:
+    /// `(B, S, D) -> (B, D)` — e.g. taking the `[CLS]` position.
+    pub fn select_seq_pos(&self, pos: usize) -> Tensor {
+        let (b, s, d) = self.shape().as_3d();
+        assert!(pos < s, "select_seq_pos: position {pos} out of {s}");
+        let mut out = vec![0.0f32; b * d];
+        for bi in 0..b {
+            out[bi * d..(bi + 1) * d]
+                .copy_from_slice(&self.data()[(bi * s + pos) * d..(bi * s + pos + 1) * d]);
+        }
+        Tensor::from_op(
+            out,
+            Shape::from((b, d)),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gi = vec![0.0f32; b * s * d];
+                for bi in 0..b {
+                    gi[(bi * s + pos) * d..(bi * s + pos + 1) * d]
+                        .copy_from_slice(&g[bi * d..(bi + 1) * d]);
+                }
+                vec![gi]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    #[test]
+    fn sum_and_mean_all() {
+        let p = Param::from_vec("x", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let x = p.leaf();
+        assert_eq!(x.sum_all().item(), 10.0);
+        assert_eq!(x.mean_all().item(), 2.5);
+        let g = x.mean_all().backward();
+        assert_eq!(g.get(&x).unwrap(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn mean_rows_values_and_grad() {
+        let p = Param::from_vec("x", vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let x = p.leaf();
+        let m = x.mean_rows();
+        assert_eq!(m.to_vec(), vec![2.0, 3.0]);
+        let g = m.sum_all().backward();
+        assert_eq!(g.get(&x).unwrap(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn sum_cols_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], (2, 3));
+        assert_eq!(x.sum_cols().to_vec(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_pool_respects_mask() {
+        let p = Param::from_vec("x", vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0, 0.0, 0.0], (1, 4, 2));
+        let x = p.leaf();
+        // mask out last two positions
+        let y = x.mean_pool_seq(&[1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(y.to_vec(), vec![5.5, 11.0]);
+        let g = y.sum_all().backward();
+        let gx = g.get(&x).unwrap();
+        assert_eq!(&gx[..4], &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(&gx[4..], &[0.0; 4]);
+    }
+
+    #[test]
+    fn mean_pool_all_masked_is_zero() {
+        let x = Tensor::ones((1, 2, 3));
+        let y = x.mean_pool_seq(&[0.0, 0.0]);
+        assert_eq!(y.to_vec(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn select_seq_pos_picks_cls() {
+        let p = Param::from_vec("x", (0..12).map(|v| v as f32).collect::<Vec<_>>(), (2, 3, 2));
+        let x = p.leaf();
+        let y = x.select_seq_pos(0);
+        assert_eq!(y.to_vec(), vec![0.0, 1.0, 6.0, 7.0]);
+        let g = y.sum_all().backward();
+        let gx = g.get(&x).unwrap();
+        assert_eq!(gx.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn select_seq_pos_oob_panics() {
+        Tensor::ones((1, 2, 3)).select_seq_pos(5);
+    }
+}

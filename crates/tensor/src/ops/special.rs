@@ -1,0 +1,217 @@
+//! DADER-specific graph nodes: the gradient reversal layer, dropout,
+//! attention masking, and layer normalization.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Gradient Reversal Layer (Ganin & Lempitsky): identity in the forward
+    /// pass; multiplies the gradient by `-lambda` in the backward pass.
+    ///
+    /// This single node realizes the minimax objective of the GRL aligner
+    /// (Eq. 9): the domain classifier above minimizes `L_A` while the
+    /// feature extractor below effectively maximizes it.
+    pub fn grad_reverse(&self, lambda: f32) -> Tensor {
+        Tensor::from_op(
+            self.to_vec(),
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.iter().map(|v| -lambda * v).collect()]),
+        )
+    }
+
+    /// Inverted dropout: zero each element with probability `p` and scale
+    /// survivors by `1/(1-p)`. Identity when `p == 0`.
+    pub fn dropout(&self, p: f32, rng: &mut StdRng) -> Tensor {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1)");
+        if p == 0.0 {
+            return self.clone();
+        }
+        let keep = 1.0 - p;
+        let inv = 1.0 / keep;
+        let mask: Vec<f32> = (0..self.numel())
+            .map(|_| if rng.random::<f32>() < keep { inv } else { 0.0 })
+            .collect();
+        let data: Vec<f32> = self.data().iter().zip(&mask).map(|(a, m)| a * m).collect();
+        let mask = Arc::new(mask);
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.iter().zip(mask.iter()).map(|(g, m)| g * m).collect()]),
+        )
+    }
+
+    /// Add `value` wherever `mask` is zero (no gradient through the mask).
+    /// Used to exclude padding positions from attention: `value` is a large
+    /// negative number so the subsequent softmax assigns them ~0 weight.
+    pub fn masked_fill_add(&self, mask: &[f32], value: f32) -> Tensor {
+        assert_eq!(mask.len(), self.numel(), "masked_fill_add: mask length mismatch");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(a, m)| if *m == 0.0 { a + value } else { *a })
+            .collect();
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| vec![g.to_vec()]),
+        )
+    }
+
+    /// Layer normalization over the last dimension, with learnable gain and
+    /// bias applied by the caller via [`Tensor::mul_rowvec`] /
+    /// [`Tensor::add_rowvec`]. Normalizes each length-`d` row to zero mean
+    /// and unit variance.
+    pub fn layer_norm_last(&self, eps: f32) -> Tensor {
+        let d = self.shape().last_dim();
+        let n = self.numel() / d;
+        let mut data = vec![0.0f32; n * d];
+        let mut inv_stds = Vec::with_capacity(n);
+        let mut normed = vec![0.0f32; n * d];
+        for r in 0..n {
+            let row = &self.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            inv_stds.push(inv_std);
+            for i in 0..d {
+                let x_hat = (row[i] - mean) * inv_std;
+                normed[r * d + i] = x_hat;
+                data[r * d + i] = x_hat;
+            }
+        }
+        let inv_stds = Arc::new(inv_stds);
+        let normed = Arc::new(normed);
+        Tensor::from_op(
+            data,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut gi = vec![0.0f32; n * d];
+                for r in 0..n {
+                    let gr = &g[r * d..(r + 1) * d];
+                    let xh = &normed[r * d..(r + 1) * d];
+                    let inv_std = inv_stds[r];
+                    let g_mean: f32 = gr.iter().sum::<f32>() / d as f32;
+                    let gx_dot: f32 =
+                        gr.iter().zip(xh).map(|(g, x)| g * x).sum::<f32>() / d as f32;
+                    for i in 0..d {
+                        gi[r * d + i] = inv_std * (gr[i] - g_mean - xh[i] * gx_dot);
+                    }
+                }
+                vec![gi]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grad_reverse_identity_forward_negated_backward() {
+        let p = Param::from_vec("x", vec![1.0, -2.0], 2usize);
+        let x = p.leaf();
+        let y = x.grad_reverse(0.5);
+        assert_eq!(y.to_vec(), vec![1.0, -2.0]);
+        let g = y.sum_all().backward();
+        assert_eq!(g.get(&x).unwrap(), &[-0.5, -0.5]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Param::from_vec("x", vec![1.0; 1000], 1000usize);
+        let x = p.leaf();
+        let y = x.dropout(0.5, &mut rng);
+        let vals = y.to_vec();
+        assert!(vals.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let kept = vals.iter().filter(|&&v| v != 0.0).count();
+        assert!(kept > 400 && kept < 600, "kept {kept} of 1000");
+        // Expectation preserved roughly
+        let mean: f32 = vals.iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::ones(4usize);
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.to_vec(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn dropout_grad_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Param::from_vec("x", vec![1.0; 16], 16usize);
+        let x = p.leaf();
+        let y = x.dropout(0.5, &mut rng);
+        let fw = y.to_vec();
+        let g = y.sum_all().backward();
+        let gx = g.get(&x).unwrap();
+        for (f, gv) in fw.iter().zip(gx) {
+            assert_eq!(*f == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_fill_suppresses_softmax() {
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], (1, 3));
+        let masked = x.masked_fill_add(&[1.0, 1.0, 0.0], -1e9);
+        let p = masked.softmax_last();
+        assert!(p.get(2) < 1e-6);
+        assert!((p.get(0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], (2, 4));
+        let y = x.layer_norm_last(1e-5);
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_grad_finite_difference() {
+        let v = vec![0.5f32, -1.0, 2.0, 0.1];
+        let obj = |vals: &[f32]| {
+            let t = Tensor::from_slice(vals, (1, 4));
+            let w = [1.0f32, -2.0, 0.5, 3.0];
+            t.layer_norm_last(1e-5)
+                .to_vec()
+                .iter()
+                .zip(&w)
+                .map(|(y, w)| y * w)
+                .sum::<f32>()
+        };
+        let p = Param::from_vec("x", v.clone(), (1, 4));
+        let x = p.leaf();
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], (1, 4));
+        let g = x.layer_norm_last(1e-5).mul(&w).sum_all().backward();
+        let gx = g.get(&x).unwrap();
+        for i in 0..4 {
+            let mut vp = v.clone();
+            vp[i] += 1e-3;
+            let mut vm = v.clone();
+            vm[i] -= 1e-3;
+            let fd = (obj(&vp) - obj(&vm)) / 2e-3;
+            assert!((gx[i] - fd).abs() < 2e-2, "dim {i}: {} vs {}", gx[i], fd);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] owns a mutable weight buffer behind a lock and stamps every
+//! leaf tensor it produces with one stable node id, so optimizers can look
+//! gradients up by id after a backward pass. The forward pass never copies
+//! the weights: a leaf just clones the `Arc` snapshot, and the optimizer
+//! replaces (or copy-on-write mutates) the buffer between steps.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::shape::Shape;
+use crate::tensor::{fresh_id, Tensor};
+
+/// A named trainable parameter.
+#[derive(Clone)]
+pub struct Param {
+    id: u64,
+    name: String,
+    shape: Shape,
+    value: Arc<RwLock<Arc<Vec<f32>>>>,
+    trainable: Arc<AtomicBool>,
+}
+
+impl Param {
+    /// Create a parameter from initial weights.
+    pub fn from_vec(name: impl Into<String>, data: Vec<f32>, shape: impl Into<Shape>) -> Param {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "param data length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Param {
+            id: fresh_id(),
+            name: name.into(),
+            shape,
+            value: Arc::new(RwLock::new(Arc::new(data))),
+            trainable: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// A zero-initialized parameter.
+    pub fn zeros(name: impl Into<String>, shape: impl Into<Shape>) -> Param {
+        let shape = shape.into();
+        Param::from_vec(name, vec![0.0; shape.numel()], shape)
+    }
+
+    /// Stable id shared by all leaves of this parameter.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parameter's name (used in diagnostics and checkpoints).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of weights.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Produce a graph leaf holding the current weights (no copy). The
+    /// leaf requires gradients unless the parameter is frozen, in which
+    /// case backward passes prune the subtree beneath it.
+    pub fn leaf(&self) -> Tensor {
+        let t = Tensor::leaf_with_id(self.id, Arc::clone(&self.value.read()), self.shape.clone());
+        if self.trainable.load(Ordering::Relaxed) {
+            t
+        } else {
+            t.detach()
+        }
+    }
+
+    /// Freeze or unfreeze the parameter. Frozen parameters produce
+    /// no-gradient leaves, so optimizers skip them and autograd skips the
+    /// computation beneath them — used to keep the pre-trained LM trunk
+    /// fixed (adapter-style fine-tuning; see DESIGN.md §2).
+    pub fn set_trainable(&self, trainable: bool) {
+        self.trainable.store(trainable, Ordering::Relaxed);
+    }
+
+    /// Whether the parameter currently receives gradients.
+    pub fn is_trainable(&self) -> bool {
+        self.trainable.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the current weights.
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.value.read().as_ref().clone()
+    }
+
+    /// Replace the weights wholesale.
+    pub fn set_data(&self, data: Vec<f32>) {
+        assert_eq!(data.len(), self.numel(), "set_data length mismatch");
+        *self.value.write() = Arc::new(data);
+    }
+
+    /// Mutate the weights in place (copy-on-write if a forward pass still
+    /// holds the old snapshot).
+    pub fn update_with(&self, f: impl FnOnce(&mut [f32])) {
+        let mut guard = self.value.write();
+        let buf = Arc::make_mut(&mut *guard);
+        f(buf.as_mut_slice());
+    }
+
+    /// Deep copy with a fresh id (used when InvGAN clones the feature
+    /// extractor `F` into the trainable generator `F'`). Preserves the
+    /// frozen/trainable state.
+    pub fn clone_detached(&self) -> Param {
+        let p = Param::from_vec(self.name.clone(), self.snapshot(), self.shape.clone());
+        p.set_trainable(self.is_trainable());
+        p
+    }
+
+    /// Overwrite this parameter's weights with another's (shapes must match).
+    pub fn copy_from(&self, other: &Param) {
+        assert_eq!(
+            self.shape, other.shape,
+            "copy_from shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        self.set_data(other.snapshot());
+    }
+
+    /// Mean of squared weights (diagnostic).
+    pub fn mean_sq(&self) -> f32 {
+        let v = self.value.read();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Param({}, id={}, shape={})", self.name, self.id, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_shares_id() {
+        let p = Param::from_vec("w", vec![1.0, 2.0], 2usize);
+        let a = p.leaf();
+        let b = p.leaf();
+        assert_eq!(a.id(), p.id());
+        assert_eq!(b.id(), p.id());
+    }
+
+    #[test]
+    fn update_is_visible_to_next_leaf_only() {
+        let p = Param::from_vec("w", vec![1.0], 1usize);
+        let before = p.leaf();
+        p.update_with(|w| w[0] = 5.0);
+        let after = p.leaf();
+        // The pre-update leaf still sees the old snapshot (copy-on-write).
+        assert_eq!(before.data(), &[1.0]);
+        assert_eq!(after.data(), &[5.0]);
+    }
+
+    #[test]
+    fn clone_detached_is_independent() {
+        let p = Param::from_vec("w", vec![1.0], 1usize);
+        let q = p.clone_detached();
+        assert_ne!(p.id(), q.id());
+        q.update_with(|w| w[0] = 9.0);
+        assert_eq!(p.snapshot(), vec![1.0]);
+        assert_eq!(q.snapshot(), vec![9.0]);
+    }
+
+    #[test]
+    fn copy_from_transfers_weights() {
+        let p = Param::from_vec("a", vec![1.0, 2.0], 2usize);
+        let q = Param::zeros("b", 2usize);
+        q.copy_from(&p);
+        assert_eq!(q.snapshot(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let p = Param::zeros("a", 2usize);
+        let q = Param::zeros("b", 3usize);
+        q.copy_from(&p);
+    }
+
+    #[test]
+    fn mean_sq() {
+        let p = Param::from_vec("w", vec![3.0, 4.0], 2usize);
+        assert!((p.mean_sq() - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_param_gets_no_gradient() {
+        let p = Param::from_vec("w", vec![2.0], 1usize);
+        p.set_trainable(false);
+        assert!(!p.is_trainable());
+        let x = p.leaf();
+        assert!(!x.requires_grad());
+        let g = x.scale(3.0).sum_all().backward();
+        assert!(g.get_id(p.id()).is_none());
+        p.set_trainable(true);
+        let g = p.leaf().scale(3.0).sum_all().backward();
+        assert_eq!(g.get_id(p.id()).unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn clone_detached_preserves_frozen_state() {
+        let p = Param::from_vec("w", vec![1.0], 1usize);
+        p.set_trainable(false);
+        let q = p.clone_detached();
+        assert!(!q.is_trainable());
+    }
+}

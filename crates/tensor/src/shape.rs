@@ -1,0 +1,176 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The shape of a tensor: a list of dimension sizes, row-major.
+///
+/// DADER only needs ranks 0 through 3 (scalars, vectors, matrices and
+/// batched sequences), but the type supports arbitrary rank.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interpret as a matrix, returning `(rows, cols)`.
+    ///
+    /// Panics if the rank is not 2.
+    pub fn as_2d(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+
+    /// Interpret as a batched matrix, returning `(batch, rows, cols)`.
+    ///
+    /// Panics if the rank is not 3.
+    pub fn as_3d(&self) -> (usize, usize, usize) {
+        assert_eq!(self.rank(), 3, "expected rank-3 shape, got {self}");
+        (self.0[0], self.0[1], self.0[2])
+    }
+
+    /// The size of the last dimension, or 1 for scalars.
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Self {
+        Shape(vec![n])
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((a, b): (usize, usize)) -> Self {
+        Shape(vec![a, b])
+    }
+}
+
+impl From<(usize, usize, usize)> for Shape {
+    fn from((a, b, c): (usize, usize, usize)) -> Self {
+        Shape(vec![a, b, c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.last_dim(), 1);
+    }
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let m = Shape::new(vec![5, 7]);
+        assert_eq!(m.strides(), vec![7, 1]);
+    }
+
+    #[test]
+    fn as_2d_and_3d() {
+        assert_eq!(Shape::from((2, 3)).as_2d(), (2, 3));
+        assert_eq!(Shape::from((2, 3, 4)).as_3d(), (2, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected rank-2")]
+    fn as_2d_wrong_rank_panics() {
+        Shape::from(5usize).as_2d();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Shape::from((2, 3))), "[2, 3]");
+        assert_eq!(format!("{}", Shape::scalar()), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Shape::from(4usize).dims(), &[4]);
+        assert_eq!(Shape::from(vec![1, 2]).dims(), &[1, 2]);
+        let sl: &[usize] = &[3, 4];
+        assert_eq!(Shape::from(sl).dims(), &[3, 4]);
+    }
+}

@@ -1,0 +1,312 @@
+//! The core [`Tensor`] type: an immutable f32 buffer plus the autograd
+//! bookkeeping needed for reverse-mode differentiation.
+//!
+//! Tensors form a DAG: every op produces a new tensor holding `Arc` handles
+//! to its parents and a backward closure that maps the output gradient to
+//! per-parent gradients. Calling [`Tensor::backward`] walks the DAG in
+//! reverse topological order and accumulates gradients keyed by node id
+//! (see [`crate::autograd`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::shape::Shape;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh node id. Also used by [`crate::param::Param`] so that a
+/// parameter and the leaf tensors it produces share one id.
+pub(crate) fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Backward closure: given the gradient flowing into this node, produce the
+/// gradient for each parent (same order and shapes as `parents`).
+pub(crate) type BackwardFn = Box<dyn Fn(&[f32]) -> Vec<Vec<f32>> + Send + Sync>;
+
+pub(crate) struct Inner {
+    pub(crate) id: u64,
+    pub(crate) data: Arc<Vec<f32>>,
+    pub(crate) shape: Shape,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) requires_grad: bool,
+}
+
+/// An immutable, reference-counted f32 tensor participating in an autograd
+/// graph. Cloning is cheap (an `Arc` bump).
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Tensor {
+    /// Create a leaf tensor from raw data. `requires_grad` controls whether
+    /// gradients propagate past this node.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            inner: Arc::new(Inner {
+                id: fresh_id(),
+                data: Arc::new(data),
+                shape,
+                parents: Vec::new(),
+                backward: None,
+                requires_grad: false,
+            }),
+        }
+    }
+
+    /// Create a leaf tensor from a slice.
+    pub fn from_slice(data: &[f32], shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor::from_vec(vec![v], Shape::scalar())
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor::from_vec(vec![0.0; shape.numel()], shape)
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor::from_vec(vec![1.0; shape.numel()], shape)
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor::from_vec(vec![v; shape.numel()], shape)
+    }
+
+    /// Internal constructor used by ops and by [`crate::param::Param`].
+    pub(crate) fn from_op(
+        data: Vec<f32>,
+        shape: Shape,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Tensor {
+        debug_assert_eq!(data.len(), shape.numel());
+        let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+        Tensor {
+            inner: Arc::new(Inner {
+                id: fresh_id(),
+                data: Arc::new(data),
+                shape,
+                parents,
+                backward: if requires_grad { Some(backward) } else { None },
+                requires_grad,
+            }),
+        }
+    }
+
+    /// Leaf with an explicit id and grad requirement (for parameters).
+    pub(crate) fn leaf_with_id(id: u64, data: Arc<Vec<f32>>, shape: Shape) -> Tensor {
+        Tensor {
+            inner: Arc::new(Inner {
+                id,
+                data,
+                shape,
+                parents: Vec::new(),
+                backward: None,
+                requires_grad: true,
+            }),
+        }
+    }
+
+    /// The node id (stable for the life of this tensor; parameters reuse
+    /// their id across steps).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.inner.shape
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.inner.data
+    }
+
+    /// Shared handle to the raw buffer (no copy).
+    pub(crate) fn data_arc(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.inner.data)
+    }
+
+    /// Whether gradients flow through this node.
+    pub fn requires_grad(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.inner.shape.numel()
+    }
+
+    /// The single value of a scalar (or one-element) tensor.
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with shape {}", self.shape());
+        self.inner.data[0]
+    }
+
+    /// Copy the data out as a `Vec<f32>`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.as_ref().clone()
+    }
+
+    /// Detach from the graph: same data, no parents, no gradient flow.
+    pub fn detach(&self) -> Tensor {
+        Tensor {
+            inner: Arc::new(Inner {
+                id: fresh_id(),
+                data: Arc::clone(&self.inner.data),
+                shape: self.inner.shape.clone(),
+                parents: Vec::new(),
+                backward: None,
+                requires_grad: false,
+            }),
+        }
+    }
+
+    /// Element at row-major flat index.
+    pub fn get(&self, idx: usize) -> f32 {
+        self.inner.data[idx]
+    }
+
+    /// Element of a rank-2 tensor.
+    pub fn get2(&self, r: usize, c: usize) -> f32 {
+        let (_, cols) = self.inner.shape.as_2d();
+        self.inner.data[r * cols + c]
+    }
+
+    /// The `r`-th row of a rank-2 tensor, as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.inner.shape.as_2d();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.inner.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Index of the maximum value per row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = self.inner.shape.as_2d();
+        (0..rows)
+            .map(|r| {
+                let row = &self.inner.data[r * cols..(r + 1) * cols];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.inner.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.inner.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(id={}, shape={}, grad={}, data≈{:?}{})",
+            self.inner.id,
+            self.inner.shape,
+            self.inner.requires_grad,
+            preview,
+            if self.numel() > 8 { "…" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        assert_eq!(t.get2(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_len_mismatch_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], (2, 2));
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "item()")]
+    fn item_on_vector_panics() {
+        Tensor::ones(3usize).item();
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert!(Tensor::zeros((2, 3)).to_vec().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones((2, 3)).to_vec().iter().all(|&v| v == 1.0));
+        assert!(Tensor::full((2, 3), 7.0).to_vec().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Tensor::scalar(1.0);
+        let b = Tensor::scalar(1.0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn argmax_rows_works() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2], (2, 2));
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn detach_shares_data_but_blocks_grad() {
+        let t = Tensor::ones((2, 2));
+        let d = t.detach();
+        assert_eq!(d.to_vec(), t.to_vec());
+        assert!(!d.requires_grad());
+        assert_ne!(d.id(), t.id());
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], (2, 3));
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let t = Tensor::from_vec(vec![1.0, f32::NAN], 2usize);
+        assert!(t.has_non_finite());
+        assert!(!Tensor::ones(2usize).has_non_finite());
+    }
+}

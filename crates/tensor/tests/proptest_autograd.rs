@@ -1,0 +1,180 @@
+//! Property-based tests for the autograd engine: every differentiable op's
+//! analytic gradient must agree with a central finite difference of an
+//! arbitrary scalarization of its output, on arbitrary inputs.
+
+use dader_tensor::{Param, Tensor};
+use proptest::prelude::*;
+
+const FD_EPS: f32 = 1e-2;
+const TOL: f32 = 5e-2;
+
+/// Scalarize a tensor with fixed pseudo-random weights so the objective is
+/// a generic linear functional of the op output.
+fn scalarize(t: &Tensor) -> Tensor {
+    let n = t.numel();
+    let w: Vec<f32> = (0..n).map(|i| ((i * 37 + 11) % 7) as f32 - 3.0).collect();
+    let w = Tensor::from_vec(w, t.shape().clone());
+    t.reshape(n).mul(&w.reshape(n)).sum_all()
+}
+
+fn scalarize_value(vals: &[f32]) -> f32 {
+    vals.iter()
+        .enumerate()
+        .map(|(i, v)| v * (((i * 37 + 11) % 7) as f32 - 3.0))
+        .sum()
+}
+
+/// Check analytic gradient of `op` against finite differences at `input`.
+fn check_gradient(input: Vec<f32>, shape: (usize, usize), op: impl Fn(&Tensor) -> Tensor) {
+    let p = Param::from_vec("x", input.clone(), shape);
+    let x = p.leaf();
+    let grads = scalarize(&op(&x)).backward();
+    let gx = grads.get(&x).expect("input should receive a gradient");
+
+    for i in 0..input.len() {
+        let mut hi = input.clone();
+        hi[i] += FD_EPS;
+        let mut lo = input.clone();
+        lo[i] -= FD_EPS;
+        let f_hi = scalarize_value(&op(&Tensor::from_vec(hi, shape)).to_vec());
+        let f_lo = scalarize_value(&op(&Tensor::from_vec(lo, shape)).to_vec());
+        let fd = (f_hi - f_lo) / (2.0 * FD_EPS);
+        let diff = (gx[i] - fd).abs();
+        let scale = 1.0f32.max(fd.abs());
+        assert!(
+            diff / scale < TOL,
+            "grad mismatch at {i}: analytic {} vs fd {}",
+            gx[i],
+            fd
+        );
+    }
+}
+
+fn small_matrix() -> impl Strategy<Value = (Vec<f32>, (usize, usize))> {
+    (1usize..4, 1usize..5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c).prop_map(move |v| (v, (r, c)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_relu((v, s) in small_matrix()) {
+        // Nudge values away from the ReLU kink where the derivative jumps.
+        let v: Vec<f32> = v.into_iter().map(|x| if x.abs() < 0.05 { x + 0.1 } else { x }).collect();
+        check_gradient(v, s, |t| t.relu());
+    }
+
+    #[test]
+    fn grad_sigmoid((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.sigmoid());
+    }
+
+    #[test]
+    fn grad_tanh((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.tanh_act());
+    }
+
+    #[test]
+    fn grad_exp((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.exp());
+    }
+
+    #[test]
+    fn grad_square((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.square());
+    }
+
+    #[test]
+    fn grad_softmax((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.softmax_last());
+    }
+
+    #[test]
+    fn grad_log_softmax((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.log_softmax_last());
+    }
+
+    #[test]
+    fn grad_layer_norm((v, s) in small_matrix()) {
+        // Only meaningful for rows with >1 column and non-degenerate variance.
+        prop_assume!(s.1 >= 2);
+        let spread: Vec<f32> = v.iter().enumerate().map(|(i, x)| x + 0.37 * i as f32).collect();
+        check_gradient(spread, s, |t| t.layer_norm_last(1e-3));
+    }
+
+    #[test]
+    fn grad_matmul_left((v, s) in small_matrix()) {
+        let (_, c) = s;
+        let w: Vec<f32> = (0..c * 3).map(|i| (i as f32 * 0.31).sin()).collect();
+        let wt = Tensor::from_vec(w, (c, 3));
+        check_gradient(v, s, move |t| t.matmul(&wt));
+    }
+
+    #[test]
+    fn grad_mean_rows((v, s) in small_matrix()) {
+        check_gradient(v, s, |t| t.mean_rows());
+    }
+
+    #[test]
+    fn grad_reverse_is_negated_identity((v, s) in small_matrix()) {
+        let p = Param::from_vec("x", v.clone(), s);
+        let x = p.leaf();
+        let plain = scalarize(&x).backward();
+        let reversed = scalarize(&x.grad_reverse(1.0)).backward();
+        let gp = plain.get(&x).unwrap();
+        let gr = reversed.get(&x).unwrap();
+        for (a, b) in gp.iter().zip(gr) {
+            prop_assert!((a + b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions((v, s) in small_matrix()) {
+        let t = Tensor::from_vec(v, s).softmax_last();
+        for r in 0..s.0 {
+            let row = t.row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative((v, s) in small_matrix()) {
+        prop_assume!(s.1 >= 2);
+        let t = Tensor::from_vec(v, s);
+        let targets: Vec<usize> = (0..s.0).map(|r| r % s.1).collect();
+        let loss = t.cross_entropy_logits(&targets);
+        prop_assert!(loss.item() >= -1e-6);
+        prop_assert!(loss.item().is_finite());
+    }
+
+    #[test]
+    fn bce_nonnegative_and_finite(v in proptest::collection::vec(-30.0f32..30.0, 1..8)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, n);
+        let targets: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        let loss = t.bce_with_logits(&targets);
+        prop_assert!(loss.item() >= -1e-6);
+        prop_assert!(loss.item().is_finite());
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrip((v, s) in small_matrix()) {
+        let a = Tensor::from_vec(v.clone(), s);
+        let b = Tensor::from_vec(v.iter().map(|x| x + 1.0).collect::<Vec<_>>(), s);
+        let cat = a.concat_rows(&b);
+        let back = cat.slice_rows(0, s.0);
+        prop_assert_eq!(back.to_vec(), a.to_vec());
+        let back_b = cat.slice_rows(s.0, 2 * s.0);
+        prop_assert_eq!(back_b.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn transpose_involution((v, s) in small_matrix()) {
+        let t = Tensor::from_vec(v.clone(), s);
+        prop_assert_eq!(t.transpose2().transpose2().to_vec(), v);
+    }
+}

@@ -1,0 +1,186 @@
+//! Masked-language-model corpus construction — the pre-training stage that
+//! substitutes for BERT's transferable initialization (see DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::token::{MASK, NUM_SPECIAL, PAD};
+
+/// One MLM training example: a (possibly masked) id sequence plus the
+/// positions that were masked and their original ids.
+#[derive(Clone, Debug)]
+pub struct MlmExample {
+    /// Input ids after masking, length = the source sequence length.
+    pub ids: Vec<usize>,
+    /// Attention mask (1.0 at real tokens).
+    pub mask: Vec<f32>,
+    /// Indices into `ids` that were selected for prediction.
+    pub positions: Vec<usize>,
+    /// Original ids at `positions`.
+    pub labels: Vec<usize>,
+}
+
+/// BERT-style masking: select `mask_prob` of the real, non-special tokens;
+/// of those, 80% become `[MASK]`, 10% a random word id, 10% unchanged.
+pub fn mask_sequence(
+    ids: &[usize],
+    mask: &[f32],
+    vocab_size: usize,
+    mask_prob: f32,
+    rng: &mut StdRng,
+) -> MlmExample {
+    assert_eq!(ids.len(), mask.len(), "mask_sequence: length mismatch");
+    let mut out_ids = ids.to_vec();
+    let mut positions = Vec::new();
+    let mut labels = Vec::new();
+    for (i, (&id, &m)) in ids.iter().zip(mask).enumerate() {
+        if m == 0.0 || id < NUM_SPECIAL {
+            continue;
+        }
+        if rng.random::<f32>() < mask_prob {
+            positions.push(i);
+            labels.push(id);
+            let roll: f32 = rng.random();
+            if roll < 0.8 {
+                out_ids[i] = MASK;
+            } else if roll < 0.9 {
+                out_ids[i] = rng.random_range(NUM_SPECIAL..vocab_size.max(NUM_SPECIAL + 1));
+            } // else keep original
+        }
+    }
+    MlmExample {
+        ids: out_ids,
+        mask: mask.to_vec(),
+        positions,
+        labels,
+    }
+}
+
+/// A fixed-size pool of padded sentences for MLM pre-training.
+#[derive(Clone)]
+pub struct MlmCorpus {
+    sequences: Vec<Vec<usize>>,
+    masks: Vec<Vec<f32>>,
+    seq_len: usize,
+}
+
+impl MlmCorpus {
+    /// Build from raw (unpadded) id sequences, padding/truncating each to
+    /// `seq_len`.
+    pub fn new(raw: Vec<Vec<usize>>, seq_len: usize) -> MlmCorpus {
+        let mut sequences = Vec::with_capacity(raw.len());
+        let mut masks = Vec::with_capacity(raw.len());
+        for mut ids in raw {
+            ids.truncate(seq_len);
+            let real = ids.len();
+            ids.resize(seq_len, PAD);
+            let mut m = vec![0.0f32; seq_len];
+            m[..real].fill(1.0);
+            sequences.push(ids);
+            masks.push(m);
+        }
+        MlmCorpus {
+            sequences,
+            masks,
+            seq_len,
+        }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True if the corpus has no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Padded length of each sentence.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Sample a masked minibatch: returns per-example [`MlmExample`]s.
+    pub fn sample_batch(
+        &self,
+        batch: usize,
+        vocab_size: usize,
+        mask_prob: f32,
+        rng: &mut StdRng,
+    ) -> Vec<MlmExample> {
+        assert!(!self.is_empty(), "sample_batch on empty corpus");
+        (0..batch)
+            .map(|_| {
+                let i = rng.random_range(0..self.sequences.len());
+                mask_sequence(&self.sequences[i], &self.masks[i], vocab_size, mask_prob, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn masking_only_real_word_tokens() {
+        let ids = vec![2, 10, 11, 12, 0, 0]; // CLS, words, padding
+        let mask = vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+        let ex = mask_sequence(&ids, &mask, 50, 1.0, &mut rng());
+        // CLS (special) and padding never selected
+        assert!(!ex.positions.contains(&0));
+        assert!(!ex.positions.contains(&4));
+        assert_eq!(ex.positions, vec![1, 2, 3]);
+        assert_eq!(ex.labels, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn mask_prob_zero_changes_nothing() {
+        let ids = vec![2, 10, 11];
+        let mask = vec![1.0; 3];
+        let ex = mask_sequence(&ids, &mask, 50, 0.0, &mut rng());
+        assert_eq!(ex.ids, ids);
+        assert!(ex.positions.is_empty());
+    }
+
+    #[test]
+    fn masked_tokens_mostly_become_mask() {
+        let ids: Vec<usize> = (NUM_SPECIAL..NUM_SPECIAL + 200).collect();
+        let mask = vec![1.0; 200];
+        let ex = mask_sequence(&ids, &mask, 300, 1.0, &mut rng());
+        let mask_count = ex.ids.iter().filter(|&&i| i == MASK).count();
+        assert!(
+            (130..=190).contains(&mask_count),
+            "expected ~80% [MASK], got {mask_count}/200"
+        );
+    }
+
+    #[test]
+    fn corpus_pads_and_truncates() {
+        let corpus = MlmCorpus::new(vec![vec![10, 11], vec![10; 20]], 8);
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.seq_len(), 8);
+        let batch = corpus.sample_batch(4, 50, 0.15, &mut rng());
+        assert_eq!(batch.len(), 4);
+        for ex in &batch {
+            assert_eq!(ex.ids.len(), 8);
+            assert_eq!(ex.mask.len(), 8);
+        }
+    }
+
+    #[test]
+    fn labels_recover_originals() {
+        let ids = vec![10, 11, 12, 13];
+        let mask = vec![1.0; 4];
+        let ex = mask_sequence(&ids, &mask, 50, 0.5, &mut rng());
+        for (&pos, &label) in ex.positions.iter().zip(&ex.labels) {
+            assert_eq!(ids[pos], label);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Hashing-trick text embeddings — the fastText substitute used by the
+//! Reweight baseline (Thirumuruganathan et al.) and by the dataset-distance
+//! diagnostics.
+//!
+//! Each token contributes its word hash plus its character-trigram hashes,
+//! mapped into a fixed-dimension vector with a sign hash; a text's
+//! embedding is the L2-normalized mean over tokens. No training required.
+
+use crate::tokenizer::{char_trigrams, tokenize};
+
+/// FNV-1a 64-bit hash (stable across runs, unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fixed-dimension hashed embedder.
+#[derive(Clone, Copy, Debug)]
+pub struct HashEmbedder {
+    dim: usize,
+}
+
+impl HashEmbedder {
+    /// New embedder with output dimension `dim` (the paper's Reweight uses
+    /// 300-dimensional fastText vectors).
+    pub fn new(dim: usize) -> HashEmbedder {
+        assert!(dim > 0, "embedding dimension must be positive");
+        HashEmbedder { dim }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Add one hashed unit into the accumulator.
+    fn add_unit(&self, acc: &mut [f32], unit: &str) {
+        let h = fnv1a(unit.as_bytes());
+        let idx = (h % self.dim as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        acc[idx] += sign;
+    }
+
+    /// Embed raw text: tokenize, hash words + trigrams, mean, L2-normalize.
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let tokens = tokenize(text);
+        let mut acc = vec![0.0f32; self.dim];
+        let mut units = 0usize;
+        for t in &tokens {
+            self.add_unit(&mut acc, t);
+            units += 1;
+            for tri in char_trigrams(t) {
+                self.add_unit(&mut acc, &tri);
+                units += 1;
+            }
+        }
+        if units > 0 {
+            let inv = 1.0 / units as f32;
+            for v in acc.iter_mut() {
+                *v *= inv;
+            }
+        }
+        l2_normalize(&mut acc);
+        acc
+    }
+
+    /// Embed an entity pair: the concatenation of both entities'
+    /// attribute values (names included, mirroring the serialized form).
+    pub fn embed_pair(&self, a: &[(String, String)], b: &[(String, String)]) -> Vec<f32> {
+        let mut text = String::new();
+        for (n, v) in a.iter().chain(b) {
+            text.push_str(n);
+            text.push(' ');
+            text.push_str(v);
+            text.push(' ');
+        }
+        self.embed_text(&text)
+    }
+}
+
+/// In-place L2 normalization (no-op on the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: dimension mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let e = HashEmbedder::new(64);
+        assert_eq!(e.embed_text("kodak esp printer"), e.embed_text("kodak esp printer"));
+    }
+
+    #[test]
+    fn unit_norm() {
+        let e = HashEmbedder::new(64);
+        let v = e.embed_text("hello world");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = HashEmbedder::new(16);
+        assert!(e.embed_text("").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let e = HashEmbedder::new(300);
+        let a = e.embed_text("kodak esp 7 inkjet printer");
+        let b = e.embed_text("kodak esp 9 inkjet printer");
+        let c = e.embed_text("romantic italian restaurant downtown");
+        assert!(cosine(&a, &b) > cosine(&a, &c) + 0.2);
+    }
+
+    #[test]
+    fn trigram_units_give_typo_robustness() {
+        let e = HashEmbedder::new(300);
+        let a = e.embed_text("printer");
+        let b = e.embed_text("printr"); // typo shares most trigrams
+        let c = e.embed_text("zucchini");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn pair_embedding_uses_both_entities() {
+        let e = HashEmbedder::new(128);
+        let a = vec![("title".to_string(), "kodak".to_string())];
+        let b1 = vec![("title".to_string(), "kodak esp".to_string())];
+        let b2 = vec![("title".to_string(), "pasta house".to_string())];
+        let p1 = e.embed_pair(&a, &b1);
+        let p2 = e.embed_pair(&a, &b2);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = vec![1.0, 0.0];
+        let b = vec![1.0, 0.0];
+        let c = vec![-1.0, 0.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((cosine(&a, &c) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&a, &vec![0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn fnv_stability() {
+        // Guard against accidental hasher swaps breaking reproducibility.
+        assert_eq!(super::fnv1a(b"kodak") % 1000, super::fnv1a(b"kodak") % 1000);
+        assert_ne!(super::fnv1a(b"kodak"), super::fnv1a(b"kodam"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # dader-text
+//!
+//! Text processing for the DADER reproduction: tokenization, vocabulary
+//! construction, entity-pair serialization (`[CLS] S(a) [SEP] S(b) [SEP]`
+//! with `[ATT]`/`[VAL]` markers, per Example 1 of the paper), masked-LM
+//! corpus construction for the BERT-substitute pre-training stage, and the
+//! fastText-substitute hashed embedder used by the Reweight baseline.
+
+pub mod corpus;
+pub mod hash_embed;
+pub mod serialize;
+pub mod token;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use corpus::{mask_sequence, MlmCorpus, MlmExample};
+pub use hash_embed::{cosine, l2_normalize, HashEmbedder};
+pub use serialize::{EncodedPair, PairEncoder};
+pub use tokenizer::{char_trigrams, tokenize};
+pub use vocab::Vocab;

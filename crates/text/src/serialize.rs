@@ -1,0 +1,227 @@
+//! Entity-pair serialization into padded id sequences (Example 1 of the
+//! paper): `[CLS] S(a) [SEP] S(b) [SEP]` with `[ATT] attr [VAL] val`
+//! markers inside each entity.
+
+use crate::token::{ATT, CLS, PAD, SEP, VAL};
+use crate::tokenizer::tokenize;
+use crate::vocab::Vocab;
+
+/// One serialized, padded example ready for a feature extractor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncodedPair {
+    /// Token ids, length `max_len`.
+    pub ids: Vec<usize>,
+    /// 1.0 at real tokens, 0.0 at padding, length `max_len`.
+    pub mask: Vec<f32>,
+}
+
+/// Serializes attribute-value pairs into model inputs.
+#[derive(Clone)]
+pub struct PairEncoder {
+    vocab: Vocab,
+    max_len: usize,
+}
+
+impl PairEncoder {
+    /// New encoder with a fixed maximum sequence length (the paper uses
+    /// 128, or 256 for the long WDC titles).
+    pub fn new(vocab: Vocab, max_len: usize) -> PairEncoder {
+        assert!(max_len >= 4, "max_len too small to hold CLS/SEP structure");
+        PairEncoder { vocab, max_len }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Maximum (padded) sequence length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Serialize one entity: `[ATT] attr [VAL] val ...` as ids. Attribute
+    /// names are tokenized too, so shared attribute names contribute shared
+    /// tokens across datasets (the effect Example 2 relies on).
+    pub fn serialize_entity(&self, attrs: &[(String, String)]) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for (name, value) in attrs {
+            ids.push(ATT);
+            for t in tokenize(name) {
+                ids.push(self.vocab.id(&t));
+            }
+            ids.push(VAL);
+            for t in tokenize(value) {
+                ids.push(self.vocab.id(&t));
+            }
+        }
+        ids
+    }
+
+    /// Serialize a pair of entities into a padded `[CLS] a [SEP] b [SEP]`
+    /// sequence. When the pair overflows `max_len`, both entity halves are
+    /// truncated proportionally so neither side is dropped wholesale.
+    pub fn encode_pair(
+        &self,
+        a: &[(String, String)],
+        b: &[(String, String)],
+    ) -> EncodedPair {
+        let sa = self.serialize_entity(a);
+        let sb = self.serialize_entity(b);
+        let budget = self.max_len - 3; // CLS + 2x SEP
+        let (ta, tb) = truncate_pairwise(sa.len(), sb.len(), budget);
+
+        let mut ids = Vec::with_capacity(self.max_len);
+        ids.push(CLS);
+        ids.extend_from_slice(&sa[..ta]);
+        ids.push(SEP);
+        ids.extend_from_slice(&sb[..tb]);
+        ids.push(SEP);
+
+        let real = ids.len();
+        ids.resize(self.max_len, PAD);
+        let mut mask = vec![0.0f32; self.max_len];
+        mask[..real].fill(1.0);
+        EncodedPair { ids, mask }
+    }
+
+    /// Convenience: encode a whole batch into flat `(ids, mask)` buffers of
+    /// shape `(batch * max_len)`.
+    pub fn encode_batch(
+        &self,
+        pairs: &[(&[(String, String)], &[(String, String)])],
+    ) -> (Vec<usize>, Vec<f32>) {
+        let mut ids = Vec::with_capacity(pairs.len() * self.max_len);
+        let mut mask = Vec::with_capacity(pairs.len() * self.max_len);
+        for (a, b) in pairs {
+            let e = self.encode_pair(a, b);
+            ids.extend(e.ids);
+            mask.extend(e.mask);
+        }
+        (ids, mask)
+    }
+}
+
+/// Split a token budget between two sequences, preferring to keep both
+/// whole; when truncation is needed it is applied to the longer side first.
+fn truncate_pairwise(len_a: usize, len_b: usize, budget: usize) -> (usize, usize) {
+    if len_a + len_b <= budget {
+        return (len_a, len_b);
+    }
+    let half = budget / 2;
+    if len_a <= half {
+        (len_a, budget - len_a)
+    } else if len_b <= half {
+        (budget - len_b, len_b)
+    } else {
+        (half, budget - half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::NUM_SPECIAL;
+
+    fn encoder(max_len: usize) -> PairEncoder {
+        let words = [
+            "title", "price", "kodak", "esp", "printer", "hp", "laserjet", "fast",
+        ];
+        // repeat to satisfy any min_freq
+        let v = Vocab::build(words.iter().copied(), 1, 100);
+        PairEncoder::new(v, max_len)
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn structure_is_cls_a_sep_b_sep() {
+        let enc = encoder(32);
+        let a = attrs(&[("title", "kodak esp")]);
+        let b = attrs(&[("title", "hp laserjet")]);
+        let e = enc.encode_pair(&a, &b);
+        assert_eq!(e.ids[0], CLS);
+        let seps: Vec<usize> = e
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &id)| id == SEP)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(seps.len(), 2);
+        // first entity between CLS and first SEP contains ATT/VAL markers
+        assert_eq!(e.ids[1], ATT);
+        let val_pos = e.ids[..seps[0]].iter().position(|&id| id == VAL);
+        assert!(val_pos.is_some());
+    }
+
+    #[test]
+    fn mask_matches_content() {
+        let enc = encoder(24);
+        let a = attrs(&[("title", "kodak")]);
+        let b = attrs(&[("title", "hp")]);
+        let e = enc.encode_pair(&a, &b);
+        let real = e.mask.iter().filter(|&&m| m == 1.0).count();
+        assert_eq!(e.ids[real - 1], SEP);
+        assert!(e.ids[real..].iter().all(|&id| id == PAD));
+        assert_eq!(e.ids.len(), 24);
+    }
+
+    #[test]
+    fn unknown_words_become_unk() {
+        let enc = encoder(24);
+        let a = attrs(&[("title", "zebra")]);
+        let b = attrs(&[("title", "kodak")]);
+        let e = enc.encode_pair(&a, &b);
+        assert!(e.ids.contains(&crate::token::UNK));
+    }
+
+    #[test]
+    fn truncation_keeps_both_sides() {
+        let enc = encoder(12); // tiny budget
+        let long = attrs(&[("title", "kodak esp printer fast hp laserjet kodak esp")]);
+        let e = enc.encode_pair(&long, &long);
+        // both halves present: two SEPs and at least one non-special token
+        // after the first SEP
+        let first_sep = e.ids.iter().position(|&id| id == SEP).unwrap();
+        assert!(e.ids[first_sep + 1..].iter().any(|&id| id >= NUM_SPECIAL || id == ATT));
+        assert_eq!(e.ids.len(), 12);
+        assert_eq!(e.mask.iter().filter(|&&m| m == 1.0).count(), 12);
+    }
+
+    #[test]
+    fn batch_is_flat_concat() {
+        let enc = encoder(16);
+        let a = attrs(&[("title", "kodak")]);
+        let b = attrs(&[("title", "hp")]);
+        let (ids, mask) = enc.encode_batch(&[(&a[..], &b[..]), (&b[..], &a[..])]);
+        assert_eq!(ids.len(), 32);
+        assert_eq!(mask.len(), 32);
+        assert_eq!(ids[0], CLS);
+        assert_eq!(ids[16], CLS);
+    }
+
+    #[test]
+    fn truncate_pairwise_cases() {
+        assert_eq!(truncate_pairwise(3, 4, 10), (3, 4));
+        assert_eq!(truncate_pairwise(2, 20, 10), (2, 8));
+        assert_eq!(truncate_pairwise(20, 2, 10), (8, 2));
+        assert_eq!(truncate_pairwise(20, 20, 10), (5, 5));
+    }
+
+    #[test]
+    fn shared_attribute_names_share_ids() {
+        let enc = encoder(32);
+        let a = attrs(&[("title", "kodak")]);
+        let b = attrs(&[("title", "hp")]);
+        let ea = enc.serialize_entity(&a);
+        let eb = enc.serialize_entity(&b);
+        // both begin [ATT] title [VAL]
+        assert_eq!(ea[..2], eb[..2]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Special-token ids shared across the whole system.
+//!
+//! The serialization scheme follows Example 1 of the paper:
+//!
+//! ```text
+//! S(a)    = [ATT] attr_1 [VAL] val_1 ... [ATT] attr_k [VAL] val_k
+//! S(a, b) = [CLS] S(a) [SEP] S(b) [SEP]
+//! ```
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Unknown-token id.
+pub const UNK: usize = 1;
+/// Sequence-level classification token (BERT's `[CLS]`).
+pub const CLS: usize = 2;
+/// Separator between the two entities (BERT's `[SEP]`).
+pub const SEP: usize = 3;
+/// Attribute-name marker `[ATT]`.
+pub const ATT: usize = 4;
+/// Attribute-value marker `[VAL]`.
+pub const VAL: usize = 5;
+/// Mask token for MLM pre-training (BERT's `[MASK]`).
+pub const MASK: usize = 6;
+
+/// Number of reserved special-token ids; real vocabulary starts here.
+pub const NUM_SPECIAL: usize = 7;
+
+/// Printable names of the special tokens, indexable by id.
+pub const SPECIAL_NAMES: [&str; NUM_SPECIAL] =
+    ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[ATT]", "[VAL]", "[MASK]"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_distinct() {
+        let ids = [PAD, UNK, CLS, SEP, ATT, VAL, MASK];
+        for (expect, &id) in ids.iter().enumerate() {
+            assert_eq!(expect, id);
+        }
+        assert_eq!(NUM_SPECIAL, ids.len());
+    }
+
+    #[test]
+    fn names_align_with_ids() {
+        assert_eq!(SPECIAL_NAMES[CLS], "[CLS]");
+        assert_eq!(SPECIAL_NAMES[MASK], "[MASK]");
+    }
+}

@@ -1,0 +1,81 @@
+//! Word-level tokenization.
+//!
+//! The real DADER uses BERT WordPiece; at our scale a lowercasing
+//! alphanumeric tokenizer over synthetic vocabularies is the faithful
+//! equivalent — every generated word maps to one token, and punctuation /
+//! formatting noise splits off naturally.
+
+/// Split text into lowercase alphanumeric tokens. Punctuation separates
+/// tokens and is dropped; digits stay grouped so prices/years/model numbers
+/// survive as single tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Character trigrams of a token, padded with `#` boundaries — the
+/// fastText-style subword units used by the Reweight baseline's hashed
+/// embeddings.
+pub fn char_trigrams(token: &str) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(token.chars())
+        .chain(std::iter::once('#'))
+        .collect();
+    if padded.len() < 3 {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punct_and_lowercases() {
+        assert_eq!(
+            tokenize("Kodak ESP-7, printer!"),
+            vec!["kodak", "esp", "7", "printer"]
+        );
+    }
+
+    #[test]
+    fn keeps_numbers_grouped() {
+        assert_eq!(tokenize("price 239.88 usd"), vec!["price", "239", "88", "usd"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n ").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(tokenize("Köln"), vec!["köln"]);
+    }
+
+    #[test]
+    fn trigrams_padded() {
+        assert_eq!(char_trigrams("ab"), vec!["#ab", "ab#"]);
+        assert_eq!(char_trigrams("cat"), vec!["#ca", "cat", "at#"]);
+    }
+
+    #[test]
+    fn trigrams_single_char() {
+        assert_eq!(char_trigrams("a"), vec!["#a#"]);
+    }
+}

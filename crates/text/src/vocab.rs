@@ -1,0 +1,197 @@
+//! Vocabulary: bidirectional token <-> id mapping on top of the reserved
+//! special-token ids.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::{NUM_SPECIAL, SPECIAL_NAMES, UNK};
+
+/// A frequency-built vocabulary. Ids `< NUM_SPECIAL` are reserved for the
+/// special tokens; real words are assigned by descending frequency.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build from token streams, keeping tokens occurring at least
+    /// `min_freq` times, capped at `max_size` total entries (including the
+    /// special tokens). Ties broken lexicographically for determinism.
+    pub fn build<'a>(
+        tokens: impl IntoIterator<Item = &'a str>,
+        min_freq: usize,
+        max_size: usize,
+    ) -> Vocab {
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for t in tokens {
+            *freq.entry(t).or_insert(0) += 1;
+        }
+        let mut items: Vec<(&str, usize)> = freq
+            .into_iter()
+            .filter(|(_, c)| *c >= min_freq)
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+        let mut id_to_token: Vec<String> =
+            SPECIAL_NAMES.iter().map(|s| s.to_string()).collect();
+        for (t, _) in items {
+            if id_to_token.len() >= max_size {
+                break;
+            }
+            id_to_token.push(t.to_string());
+        }
+        let token_to_id = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab {
+            token_to_id,
+            id_to_token,
+        }
+    }
+
+    /// Total number of ids (specials included).
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True only for a degenerate vocabulary (cannot happen via `build`).
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Id for a token, or `UNK`.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Token for an id, or `[UNK]` if out of range.
+    pub fn token(&self, id: usize) -> &str {
+        self.id_to_token
+            .get(id)
+            .map(|s| s.as_str())
+            .unwrap_or(SPECIAL_NAMES[UNK])
+    }
+
+    /// Whether the token is in vocabulary.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Encode a token sequence to ids (unknowns map to `UNK`).
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decode ids back to tokens.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| self.token(i).to_string()).collect()
+    }
+
+    /// Number of non-special word ids.
+    pub fn word_count(&self) -> usize {
+        self.len() - NUM_SPECIAL
+    }
+
+    /// Fraction of the given tokens that are in-vocabulary — used to
+    /// quantify vocabulary overlap between domains.
+    pub fn coverage<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> f32 {
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for t in tokens {
+            total += 1;
+            if self.contains(t) {
+                hit += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f32 / total as f32
+        }
+    }
+}
+
+impl std::fmt::Debug for Vocab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vocab({} tokens)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{CLS, PAD};
+
+    fn sample() -> Vocab {
+        let words = ["apple", "apple", "banana", "apple", "banana", "cherry"];
+        Vocab::build(words.iter().copied(), 1, 100)
+    }
+
+    #[test]
+    fn specials_come_first() {
+        let v = sample();
+        assert_eq!(v.token(PAD), "[PAD]");
+        assert_eq!(v.token(CLS), "[CLS]");
+        assert_eq!(v.id("[PAD]"), PAD);
+    }
+
+    #[test]
+    fn frequency_order() {
+        let v = sample();
+        // apple (3) gets the first word id, banana (2) next, cherry (1) last
+        assert_eq!(v.id("apple"), NUM_SPECIAL);
+        assert_eq!(v.id("banana"), NUM_SPECIAL + 1);
+        assert_eq!(v.id("cherry"), NUM_SPECIAL + 2);
+        assert_eq!(v.word_count(), 3);
+    }
+
+    #[test]
+    fn min_freq_filters() {
+        let words = ["a", "a", "b"];
+        let v = Vocab::build(words.iter().copied(), 2, 100);
+        assert!(v.contains("a"));
+        assert!(!v.contains("b"));
+    }
+
+    #[test]
+    fn max_size_caps() {
+        let words = ["a", "a", "b", "b", "c"];
+        let v = Vocab::build(words.iter().copied(), 1, NUM_SPECIAL + 2);
+        assert_eq!(v.len(), NUM_SPECIAL + 2);
+        assert!(v.contains("a") && v.contains("b"));
+        assert!(!v.contains("c"));
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = sample();
+        assert_eq!(v.id("durian"), UNK);
+        assert_eq!(v.token(9999), "[UNK]");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_known() {
+        let v = sample();
+        let toks: Vec<String> = vec!["apple".into(), "cherry".into()];
+        assert_eq!(v.decode(&v.encode(&toks)), toks);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let words = ["zeta", "alpha"];
+        let v1 = Vocab::build(words.iter().copied(), 1, 100);
+        let v2 = Vocab::build(words.iter().rev().copied(), 1, 100);
+        assert_eq!(v1.id("alpha"), v2.id("alpha"));
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let v = sample();
+        let cov = v.coverage(["apple", "durian"].iter().copied());
+        assert!((cov - 0.5).abs() < 1e-6);
+    }
+}

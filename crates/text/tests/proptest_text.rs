@@ -1,0 +1,112 @@
+//! Property-based tests for tokenization, vocabulary and pair encoding.
+
+use dader_text::token::{CLS, NUM_SPECIAL, PAD, SEP};
+use dader_text::{tokenize, HashEmbedder, PairEncoder, Vocab};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn attr_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(word(), 1..5).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tokenize_is_idempotent_on_its_output(text in "[ a-z0-9.,!-]{0,40}") {
+        let toks = tokenize(&text);
+        let rejoined = toks.join(" ");
+        prop_assert_eq!(tokenize(&rejoined), toks);
+    }
+
+    #[test]
+    fn tokenize_output_is_lowercased_alnum(text in "\\PC{0,40}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing the output is idempotent. (Some characters, e.g.
+            // mathematical script capitals like 𝒞, are "uppercase" without
+            // a lowercase mapping — those pass through unchanged.)
+            let relowered: String = t.chars().flat_map(|c| c.to_lowercase()).collect();
+            prop_assert_eq!(&relowered, &t);
+        }
+    }
+
+    #[test]
+    fn vocab_roundtrips_known_tokens(words in proptest::collection::vec(word(), 1..20)) {
+        let v = Vocab::build(words.iter().map(|s| s.as_str()), 1, 1000);
+        for w in &words {
+            let id = v.id(w);
+            prop_assert!(id >= NUM_SPECIAL);
+            prop_assert_eq!(v.token(id), w.as_str());
+        }
+    }
+
+    #[test]
+    fn vocab_never_exceeds_max(words in proptest::collection::vec(word(), 0..40), cap in 8usize..20) {
+        let v = Vocab::build(words.iter().map(|s| s.as_str()), 1, cap);
+        prop_assert!(v.len() <= cap.max(NUM_SPECIAL));
+    }
+
+    #[test]
+    fn encoded_pair_structure_always_valid(
+        a_vals in proptest::collection::vec(attr_value(), 1..4),
+        b_vals in proptest::collection::vec(attr_value(), 1..4),
+        max_len in 8usize..48,
+    ) {
+        let mut corpus: Vec<String> = a_vals.clone();
+        corpus.extend(b_vals.clone());
+        let tokens: Vec<String> = corpus.iter().flat_map(|s| tokenize(s)).collect();
+        let vocab = Vocab::build(tokens.iter().map(|s| s.as_str()), 1, 4000);
+        let enc = PairEncoder::new(vocab, max_len);
+        let a: Vec<(String, String)> = a_vals.iter().enumerate().map(|(i, v)| (format!("f{i}"), v.clone())).collect();
+        let b: Vec<(String, String)> = b_vals.iter().enumerate().map(|(i, v)| (format!("g{i}"), v.clone())).collect();
+        let e = enc.encode_pair(&a, &b);
+
+        prop_assert_eq!(e.ids.len(), max_len);
+        prop_assert_eq!(e.mask.len(), max_len);
+        prop_assert_eq!(e.ids[0], CLS);
+        // exactly two separators among real tokens
+        let real = e.mask.iter().filter(|&&m| m == 1.0).count();
+        let seps = e.ids[..real].iter().filter(|&&t| t == SEP).count();
+        prop_assert_eq!(seps, 2);
+        // mask is a prefix of ones, padding after
+        for i in 0..max_len {
+            if e.mask[i] == 0.0 {
+                prop_assert_eq!(e.ids[i], PAD);
+            }
+        }
+        let ones_prefix = e.mask.iter().take_while(|&&m| m == 1.0).count();
+        prop_assert_eq!(ones_prefix, real);
+        // last real token is a SEP
+        prop_assert_eq!(e.ids[real - 1], SEP);
+    }
+
+    #[test]
+    fn hash_embedding_is_unit_or_zero(text in "[ a-z]{0,30}", dim in 8usize..64) {
+        let e = HashEmbedder::new(dim);
+        let v = e.embed_text(&text);
+        prop_assert_eq!(v.len(), dim);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm.abs() < 1e-4 || (norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mlm_masking_preserves_length_and_labels(
+        ids in proptest::collection::vec(NUM_SPECIAL..100usize, 1..30),
+        prob in 0.0f32..1.0,
+    ) {
+        use rand::SeedableRng;
+        let mask = vec![1.0f32; ids.len()];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ex = dader_text::mask_sequence(&ids, &mask, 120, prob, &mut rng);
+        prop_assert_eq!(ex.ids.len(), ids.len());
+        prop_assert_eq!(ex.positions.len(), ex.labels.len());
+        for (&pos, &label) in ex.positions.iter().zip(&ex.labels) {
+            prop_assert_eq!(ids[pos], label);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # dader-viz
+//!
+//! Visualization support for the DADER experiment figures: exact t-SNE
+//! (Fig. 5's feature-distribution views), PCA, and ASCII scatter / line
+//! charts so every figure renders directly in the terminal, with CSV
+//! export for external plotting.
+
+pub mod pca;
+pub mod plot;
+pub mod tsne;
+
+pub use pca::pca;
+pub use plot::{line_chart, points_to_csv, scatter, series_to_csv};
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,148 @@
+//! Principal component analysis via power iteration — used to initialize
+//! t-SNE and as a cheap standalone 2-D projection.
+
+/// Project rows of `data` (n × d) onto the top `k` principal components.
+/// Returns an n × k matrix (row-major `Vec<Vec<f32>>`).
+pub fn pca(data: &[Vec<f32>], k: usize) -> Vec<Vec<f32>> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "pca: ragged input rows");
+    let k = k.min(d);
+
+    // Center.
+    let mut mean = vec![0.0f64; d];
+    for row in data {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v as f64;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| row.iter().zip(&mean).map(|(&v, m)| v as f64 - m).collect())
+        .collect();
+
+    // Covariance (d × d).
+    let mut cov = vec![0.0f64; d * d];
+    for row in &centered {
+        for i in 0..d {
+            let ri = row[i];
+            if ri == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                cov[i * d + j] += ri * row[j];
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f64;
+    for c in cov.iter_mut() {
+        *c /= denom;
+    }
+
+    // Top-k eigenvectors by power iteration with deflation.
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut work = cov.clone();
+    for comp in 0..k {
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| if (i + comp) % 2 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        normalize(&mut v);
+        let mut eigenvalue = 0.0f64;
+        for _ in 0..100 {
+            let mut next = vec![0.0f64; d];
+            for i in 0..d {
+                let mut acc = 0.0;
+                for j in 0..d {
+                    acc += work[i * d + j] * v[j];
+                }
+                next[i] = acc;
+            }
+            eigenvalue = normalize(&mut next);
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        // Deflate.
+        for i in 0..d {
+            for j in 0..d {
+                work[i * d + j] -= eigenvalue * v[i] * v[j];
+            }
+        }
+        components.push(v);
+    }
+
+    centered
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum::<f64>() as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(pca(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along the x-axis with small y noise: PC1 ≈ x.
+        let data: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![i as f32, (i % 3) as f32 * 0.01])
+            .collect();
+        let proj = pca(&data, 1);
+        // PC1 coordinates should be strictly monotone in x (up to sign).
+        let diffs: Vec<f32> = proj.windows(2).map(|w| w[1][0] - w[0][0]).collect();
+        let all_pos = diffs.iter().all(|&d| d > 0.0);
+        let all_neg = diffs.iter().all(|&d| d < 0.0);
+        assert!(all_pos || all_neg, "PC1 should order points along x");
+    }
+
+    #[test]
+    fn output_dims() {
+        let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 0.0, 1.0, 2.0]).collect();
+        let proj = pca(&data, 2);
+        assert_eq!(proj.len(), 10);
+        assert!(proj.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn k_clamped_to_dim() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let proj = pca(&data, 5);
+        assert_eq!(proj[0].len(), 2);
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let data: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 + 100.0, 5.0]).collect();
+        let proj = pca(&data, 1);
+        let mean: f32 = proj.iter().map(|r| r[0]).sum::<f32>() / 20.0;
+        assert!(mean.abs() < 1e-3);
+    }
+}

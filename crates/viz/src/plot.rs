@@ -1,0 +1,182 @@
+//! ASCII plotting: scatter plots (Fig. 5's t-SNE views) and line charts
+//! (the convergence curves of Figs. 7–8) rendered straight to the
+//! terminal, plus CSV export for external tooling.
+
+/// Render a two-class scatter plot as ASCII art. `series` pairs a marker
+/// character with its points.
+pub fn scatter(series: &[(char, &[[f32; 2]])], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "scatter canvas too small");
+    let all: Vec<[f32; 2]> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for p in &all {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    let span_x = (max_x - min_x).max(1e-6);
+    let span_y = (max_y - min_y).max(1e-6);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (marker, pts) in series {
+        for p in *pts {
+            let cx = (((p[0] - min_x) / span_x) * (width - 1) as f32).round() as usize;
+            let cy = (((p[1] - min_y) / span_y) * (height - 1) as f32).round() as usize;
+            let row = height - 1 - cy;
+            let cell = &mut grid[row][cx];
+            // Overlapping classes show as '#', the paper's "mixed" regions.
+            *cell = if *cell == ' ' || *cell == *marker { *marker } else { '#' };
+        }
+    }
+
+    let mut out = String::with_capacity((width + 3) * (height + 1));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('|');
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push('+');
+    out.push('\n');
+    out
+}
+
+/// Render line series over a shared x-axis as an ASCII chart (one marker
+/// per series), with a y-axis scale annotation.
+pub fn line_chart(
+    x_label: &str,
+    series: &[(char, &str, &[f32])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 8 && height >= 4, "chart canvas too small");
+    let n = series.iter().map(|(_, _, v)| v.len()).max().unwrap_or(0);
+    if n == 0 {
+        return String::from("(no data)\n");
+    }
+    let all: Vec<f32> = series.iter().flat_map(|(_, _, v)| v.iter().copied()).collect();
+    let min_y = all.iter().copied().fold(f32::MAX, f32::min);
+    let max_y = all.iter().copied().fold(f32::MIN, f32::max);
+    let span = (max_y - min_y).max(1e-6);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (marker, _, values) in series {
+        for (i, &v) in values.iter().enumerate() {
+            let cx = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let cy = (((v - min_y) / span) * (height - 1) as f32).round() as usize;
+            let row = height - 1 - cy;
+            grid[row][cx] = *marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{max_y:>8.1} ┤"));
+    out.extend(grid[0].iter());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("         │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{min_y:>8.1} ┤"));
+    out.extend(grid[height - 1].iter());
+    out.push('\n');
+    out.push_str("         └");
+    out.extend(std::iter::repeat('─').take(width));
+    out.push('\n');
+    out.push_str(&format!("          {x_label}\n"));
+    for (marker, name, _) in series {
+        out.push_str(&format!("          {marker} = {name}\n"));
+    }
+    out
+}
+
+/// Serialize 2-D labeled points to CSV (`x,y,label`).
+pub fn points_to_csv(series: &[(&str, &[[f32; 2]])]) -> String {
+    let mut out = String::from("x,y,label\n");
+    for (label, pts) in series {
+        for p in *pts {
+            out.push_str(&format!("{},{},{}\n", p[0], p[1], label));
+        }
+    }
+    out
+}
+
+/// Serialize aligned line series to CSV (`x,series1,series2,...`).
+pub fn series_to_csv(x: &[f32], series: &[(&str, &[f32])]) -> String {
+    let mut out = String::from("x");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (i, xv) in x.iter().enumerate() {
+        out.push_str(&format!("{xv}"));
+        for (_, values) in series {
+            out.push(',');
+            match values.get(i) {
+                Some(v) => out.push_str(&format!("{v}")),
+                None => out.push_str(""),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_both_markers() {
+        let a = [[0.0, 0.0], [1.0, 1.0]];
+        let b = [[0.0, 1.0], [1.0, 0.0]];
+        let s = scatter(&[('x', &a), ('o', &b)], 20, 10);
+        assert!(s.contains('x'));
+        assert!(s.contains('o'));
+        assert_eq!(s.lines().count(), 11);
+    }
+
+    #[test]
+    fn scatter_marks_overlap() {
+        let a = [[0.5, 0.5]];
+        let b = [[0.5, 0.5]];
+        let s = scatter(&[('x', &a), ('o', &b)], 10, 5);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn scatter_empty() {
+        assert!(scatter(&[('x', &[])], 10, 5).contains("no points"));
+    }
+
+    #[test]
+    fn line_chart_contains_labels_and_markers() {
+        let up = [10.0, 20.0, 30.0];
+        let down = [30.0, 20.0, 10.0];
+        let s = line_chart("epoch", &[('*', "MMD", &up), ('+', "NoDA", &down)], 30, 10);
+        assert!(s.contains("* = MMD"));
+        assert!(s.contains("+ = NoDA"));
+        assert!(s.contains("30.0"));
+        assert!(s.contains("10.0"));
+        assert!(s.contains("epoch"));
+    }
+
+    #[test]
+    fn csv_round_trips_counts() {
+        let pts = [[1.0, 2.0], [3.0, 4.0]];
+        let csv = points_to_csv(&[("source", &pts)]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("x,y,label"));
+
+        let csv = series_to_csv(&[1.0, 2.0], &[("f1", &[50.0, 60.0][..])]);
+        assert!(csv.contains("1,50"));
+        assert!(csv.contains("2,60"));
+    }
+}

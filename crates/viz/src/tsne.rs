@@ -1,0 +1,271 @@
+//! Exact t-SNE (van der Maaten & Hinton) — the visualization behind the
+//! paper's Figure 5. O(n²) per iteration, fine for the ≤2k feature points
+//! the figure uses.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::pca::pca;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f32,
+    /// RNG seed for the initial jitter.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 10.0,
+            exaggeration: 4.0,
+            seed: 5,
+        }
+    }
+}
+
+/// Embed high-dimensional rows into 2-D with exact t-SNE.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<[f32; 2]> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    let perplexity = config.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in input space.
+    let d2 = pairwise_sq(data);
+
+    // Per-point bandwidths via binary search on perplexity.
+    let p_cond = conditional_probabilities(&d2, n, perplexity);
+
+    // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p[i * n + j] = (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n as f32);
+        }
+    }
+    let p_sum: f32 = p.iter().sum();
+    for v in p.iter_mut() {
+        *v = (*v / p_sum.max(1e-12)).max(1e-12);
+    }
+
+    // Initialize from PCA plus jitter.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let init = pca(data, 2);
+    let mut y: Vec<[f32; 2]> = init
+        .iter()
+        .map(|r| {
+            [
+                r[0] * 1e-2 + rng.random_range(-1e-3..1e-3),
+                r.get(1).copied().unwrap_or(0.0) * 1e-2 + rng.random_range(-1e-3..1e-3),
+            ]
+        })
+        .collect();
+    let mut velocity = vec![[0.0f32; 2]; n];
+
+    let exag_end = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < exag_end { config.exaggeration } else { 1.0 };
+        // q_ij ∝ (1 + |y_i − y_j|²)^−1
+        let mut num = vec![0.0f32; n * n];
+        let mut q_sum = 0.0f32;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                q_sum += 2.0 * v;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient + momentum update.
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f32; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = (num[i * n + j] / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * p[i * n + j] - q) * num[i * n + j];
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for a in 0..2 {
+                velocity[i][a] = momentum * velocity[i][a] - config.learning_rate * grad[a];
+                y[i][a] += velocity[i][a];
+            }
+        }
+
+        // Keep the embedding centered.
+        let mut c = [0.0f32; 2];
+        for p in &y {
+            c[0] += p[0];
+            c[1] += p[1];
+        }
+        c[0] /= n as f32;
+        c[1] /= n as f32;
+        for p in y.iter_mut() {
+            p[0] -= c[0];
+            p[1] -= c[1];
+        }
+    }
+    y
+}
+
+fn pairwise_sq(data: &[Vec<f32>]) -> Vec<f32> {
+    let n = data.len();
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist: f32 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    d2
+}
+
+/// Binary-search per-row precision so the conditional distribution's
+/// perplexity matches the target.
+fn conditional_probabilities(d2: &[f32], n: usize, perplexity: f32) -> Vec<f32> {
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f32;
+        let (mut beta_lo, mut beta_hi) = (0.0f32, f32::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            let mut weighted = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = (-beta * d2[i * n + j]).exp();
+                sum += w;
+                weighted += beta * d2[i * n + j] * w;
+            }
+            let sum = sum.max(1e-12);
+            let entropy = sum.ln() + weighted / sum;
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if i != j {
+                let w = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        let sum = sum.max(1e-12);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(n_per: usize, gap: f32) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                out.push(vec![
+                    c as f32 * gap + rng.random_range(-0.3..0.3),
+                    rng.random_range(-0.3..0.3),
+                    rng.random_range(-0.3..0.3),
+                ]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(tsne(&[], &TsneConfig::default()).is_empty());
+        assert_eq!(tsne(&[vec![1.0, 2.0]], &TsneConfig::default()), vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn separates_well_separated_clusters() {
+        let data = clusters(20, 10.0);
+        let cfg = TsneConfig {
+            iterations: 150,
+            ..TsneConfig::default()
+        };
+        let emb = tsne(&data, &cfg);
+        // Mean intra-cluster distance should be well below inter-cluster.
+        let dist = |a: &[f32; 2], b: &[f32; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for i in 0..emb.len() {
+            for j in i + 1..emb.len() {
+                if (i < 20) == (j < 20) {
+                    intra += dist(&emb[i], &emb[j]);
+                    n_intra += 1;
+                } else {
+                    inter += dist(&emb[i], &emb[j]);
+                    n_inter += 1;
+                }
+            }
+        }
+        let intra = intra / n_intra as f32;
+        let inter = inter / n_inter as f32;
+        assert!(
+            inter > 1.5 * intra,
+            "clusters should separate: intra {intra} inter {inter}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let data = clusters(15, 3.0);
+        let emb = tsne(&data, &TsneConfig { iterations: 80, ..TsneConfig::default() });
+        assert!(emb.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+        let cx: f32 = emb.iter().map(|p| p[0]).sum::<f32>() / emb.len() as f32;
+        assert!(cx.abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = clusters(10, 2.0);
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+}

@@ -1,0 +1,85 @@
+//! Low-resource citation matching: semi-supervised DA with active
+//! labeling.
+//!
+//! You have a fully-labeled DBLP-ACM and a new DBLP-Scholar with *no*
+//! labels, and budget to label only a handful of pairs. This example:
+//!
+//! 1. adapts unsupervised (InvGAN+KD) from DBLP-ACM;
+//! 2. picks the most uncertain target pairs by prediction entropy
+//!    (max-entropy active learning, Section 6.5.2);
+//! 3. re-trains semi-supervised with those few labels;
+//!
+//! and shows the label-efficiency effect of Finding 7.
+//!
+//! Run with: `cargo run --release -p dader-core --example low_resource_citations`
+
+use dader_core::semi::{select_for_labeling, train_semi_invgan_kd};
+use dader_core::{
+    train_da, AlignerKind, DaTask, LmExtractor, PretrainConfig, PretrainedLm, TrainConfig,
+};
+use dader_datagen::{DatasetId, ErDataset};
+use dader_nn::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let source = DatasetId::DA.generate_scaled(1, 500);
+    let target = DatasetId::DS.generate_scaled(1, 500);
+    let splits = target.split(&[1, 9], 7);
+    let (val, test) = (&splits[0], &splits[1]);
+
+    println!("pre-training the LM trunk...");
+    let lm = PretrainedLm::build(
+        &[&source, &target],
+        40,
+        TransformerConfig {
+            vocab: 0,
+            dim: 32,
+            layers: 2,
+            heads: 4,
+            ffn_dim: 64,
+            max_len: 40,
+        },
+        &PretrainConfig::default(),
+    );
+    let cfg = TrainConfig {
+        lr: 3e-3,
+        ..TrainConfig::default()
+    };
+
+    // 1. Unsupervised DA.
+    let task = DaTask {
+        source: &source,
+        target_train: &target,
+        target_val: val,
+        source_test: None,
+        target_test: Some(test),
+        encoder: &lm.encoder,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ext = Box::new(LmExtractor::from_encoder(lm.instantiate(&mut rng)).freeze_trunk());
+    let unsup = train_da(&task, ext, AlignerKind::InvGanKd, &cfg);
+    let unsup_f1 = unsup.model.evaluate(test, &lm.encoder, 32).f1();
+    println!("unsupervised InvGAN+KD: target F1 = {unsup_f1:.1}");
+
+    // 2. Active labeling: pick the most uncertain pairs from the target.
+    let budget = 60usize;
+    let chosen = select_for_labeling(&unsup.model, &target, &lm.encoder, budget);
+    println!(
+        "labeling the {budget} most uncertain target pairs ({} of them matches)",
+        chosen.iter().filter(|p| p.matching).count()
+    );
+    let labeled = ErDataset {
+        name: "DS-labeled".into(),
+        domain: target.domain.clone(),
+        pairs: chosen,
+    };
+
+    // 3. Semi-supervised DA with the small labeled set.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ext = Box::new(LmExtractor::from_encoder(lm.instantiate(&mut rng)).freeze_trunk());
+    let semi = train_semi_invgan_kd(&source, &target, &labeled, val, &lm.encoder, ext, &cfg);
+    let semi_f1 = semi.model.evaluate(test, &lm.encoder, 32).f1();
+    println!("semi-supervised InvGAN+KD (+{budget} labels): target F1 = {semi_f1:.1}");
+    println!("\nFinding 7: a few actively-chosen labels keep DA at a high level.");
+}

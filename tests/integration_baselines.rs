@@ -1,0 +1,122 @@
+//! Integration tests for the comparison approaches: Reweight (Fig. 10),
+//! the supervised Ditto/DeepMatcher baselines and the semi-supervised DA
+//! protocol (Fig. 11), plus the dataset-distance analysis (Fig. 6).
+
+use dader_core::baselines::{run_deepmatcher, run_ditto, run_reweight, ReweightConfig};
+use dader_core::distance::dataset_mmd;
+use dader_core::extractor::LmExtractor;
+use dader_core::pretrain::{PretrainConfig, PretrainedLm};
+use dader_core::semi::{rank_by_entropy, select_for_labeling, train_semi_invgan_kd};
+use dader_core::train::TrainConfig;
+use dader_core::{DaderModel, Matcher};
+use dader_datagen::{DatasetId, ErDataset};
+use dader_nn::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_lm(datasets: &[&ErDataset]) -> PretrainedLm {
+    PretrainedLm::build(
+        datasets,
+        32,
+        TransformerConfig {
+            vocab: 0,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 32,
+            max_len: 32,
+        },
+        &PretrainConfig {
+            steps: 60,
+            batch_size: 8,
+            lr: 1e-3,
+            mask_prob: 0.15,
+            seed: 4,
+        },
+    )
+}
+
+fn quick_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 5,
+        step1_epochs: 4,
+        iters_per_epoch: Some(8),
+        batch_size: 8,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn reweight_runs_and_reports_full_confusion() {
+    let src = DatasetId::WA.generate_scaled(1, 200);
+    let tgt = DatasetId::AB.generate_scaled(1, 200);
+    let splits = tgt.split(&[1, 9], 3);
+    let m = run_reweight(&src, &tgt, &splits[0], &splits[1], &ReweightConfig::default());
+    assert_eq!(m.tp + m.fp + m.fn_ + m.tn, splits[1].len());
+}
+
+#[test]
+fn ditto_beats_deepmatcher_with_few_labels() {
+    // Finding 7 shape at tiny scale: with little labeled data the
+    // pre-trained-LM baseline should beat the cold RNN baseline.
+    let d = DatasetId::FZ.generate_scaled(2, 400);
+    let splits = d.split(&[3, 1, 1], 11);
+    let (train, val, test) = (&splits[0], &splits[1], &splits[2]);
+    let small = train.subsample(80, 5);
+    let lm = tiny_lm(&[&d]);
+    let cfg = quick_cfg();
+    let ditto = run_ditto(&lm, &small, val, test, &cfg);
+    let dm = run_deepmatcher(&lm.encoder, &small, val, test, 16, &cfg);
+    assert!(
+        ditto + 5.0 >= dm,
+        "Ditto ({ditto}) should not lose badly to DeepMatcher ({dm}) at 80 labels"
+    );
+}
+
+#[test]
+fn semi_supervised_uses_labels_productively() {
+    let src = DatasetId::ZY.generate_scaled(2, 200);
+    let tgt = DatasetId::FZ.generate_scaled(2, 200);
+    let splits = tgt.split(&[2, 1, 7], 3);
+    let (labeled, val, unlabeled) = (&splits[0], &splits[1], &splits[2]);
+    let lm = tiny_lm(&[&src, &tgt]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let ext = Box::new(LmExtractor::from_encoder(lm.instantiate(&mut rng)).freeze_trunk());
+    let out = train_semi_invgan_kd(&src, unlabeled, labeled, val, &lm.encoder, ext, &quick_cfg());
+    assert!(!out.history.is_empty());
+    assert!((0.0..=100.0).contains(&out.best_val_f1));
+}
+
+#[test]
+fn entropy_selection_prefers_uncertain_pairs() {
+    let d = DatasetId::FZ.generate_scaled(2, 120);
+    let lm = tiny_lm(&[&d]);
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::from_encoder(lm.instantiate(&mut rng))),
+        matcher: Matcher::new(16, &mut rng),
+    };
+    let ranked = rank_by_entropy(&model, &d, &lm.encoder, 16);
+    assert_eq!(ranked.len(), d.len());
+    let chosen = select_for_labeling(&model, &d, &lm.encoder, 10);
+    assert_eq!(chosen.len(), 10);
+}
+
+#[test]
+fn dataset_distance_orders_same_vs_cross_domain() {
+    // Finding 2's measurement tool must rank a same-domain source closer
+    // than a cross-domain one.
+    let fz = DatasetId::FZ.generate_scaled(1, 150);
+    let zy = DatasetId::ZY.generate_scaled(1, 150);
+    let b2 = DatasetId::B2.generate_scaled(1, 150);
+    let lm = tiny_lm(&[&fz, &zy, &b2]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let probe = LmExtractor::from_encoder(lm.instantiate(&mut rng));
+    let near = dataset_mmd(&probe, &zy, &fz, &lm.encoder, 100);
+    let far = dataset_mmd(&probe, &b2, &fz, &lm.encoder, 100);
+    assert!(
+        near < far,
+        "restaurant source should be closer to FZ than books: {near} vs {far}"
+    );
+}

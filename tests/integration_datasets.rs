@@ -1,0 +1,128 @@
+//! Integration tests of the synthetic benchmark suite against the paper's
+//! Table 2 and the domain-shift structure the evaluation depends on.
+
+use dader_datagen::{dataset_stats, vocab_jaccard, DatasetId, OverlapBlocker};
+
+#[test]
+fn full_scale_counts_match_table2_for_small_datasets() {
+    // The small datasets are cheap to generate at full scale; the large
+    // ones are covered by the table2 binary (and the spec-sum test below).
+    for id in [DatasetId::FZ, DatasetId::ZY, DatasetId::IA, DatasetId::RI, DatasetId::B2] {
+        let spec = id.spec();
+        let d = id.generate(3);
+        assert_eq!(d.len(), spec.pairs, "{id} pairs");
+        assert_eq!(d.match_count(), spec.matches, "{id} matches");
+        assert_eq!(d.arity(), spec.attrs, "{id} attrs");
+    }
+}
+
+#[test]
+fn all_13_datasets_have_table2_specs() {
+    assert_eq!(DatasetId::all().len(), 13);
+    let total: usize = DatasetId::all().iter().map(|d| d.spec().pairs).sum();
+    assert_eq!(total, 68653, "Table 2 #Pairs column sum drifted");
+}
+
+#[test]
+fn similar_domain_pairs_share_vocabulary_different_do_not() {
+    let cap = 300;
+    let wa = DatasetId::WA.generate_scaled(1, cap);
+    let ab = DatasetId::AB.generate_scaled(1, cap);
+    let ds = DatasetId::DS.generate_scaled(1, cap);
+    let da = DatasetId::DA.generate_scaled(1, cap);
+    let ri = DatasetId::RI.generate_scaled(1, cap);
+    let b2 = DatasetId::B2.generate_scaled(1, cap);
+
+    // Table 3 pairs: same domain, shared pools.
+    let sim_product = vocab_jaccard(&wa, &ab);
+    let sim_citation = vocab_jaccard(&ds, &da);
+    // Table 4 pairs: different domains, nearly disjoint pools.
+    let diff1 = vocab_jaccard(&ri, &ab);
+    let diff2 = vocab_jaccard(&b2, &wa);
+
+    assert!(
+        sim_product > diff1 && sim_product > diff2,
+        "product pair jaccard {sim_product} should exceed cross-domain {diff1}/{diff2}"
+    );
+    assert!(
+        sim_citation > diff1,
+        "citation pair jaccard {sim_citation} should exceed cross-domain {diff1}"
+    );
+}
+
+#[test]
+fn wdc_categories_share_one_title_vocabulary() {
+    // The Table-5 premise: WDC categories are mutually close.
+    let cap = 300;
+    let co = DatasetId::CO.generate_scaled(1, cap);
+    let ca = DatasetId::CA.generate_scaled(1, cap);
+    let wt = DatasetId::WT.generate_scaled(1, cap);
+    let ri = DatasetId::RI.generate_scaled(1, cap);
+    let intra = [
+        vocab_jaccard(&co, &ca),
+        vocab_jaccard(&co, &wt),
+        vocab_jaccard(&ca, &wt),
+    ];
+    let cross = vocab_jaccard(&co, &ri);
+    for (i, j) in intra.iter().enumerate() {
+        assert!(j > &cross, "WDC pair {i} jaccard {j} should exceed WDC-movies {cross}");
+    }
+}
+
+#[test]
+fn matches_overlap_more_than_non_matches_in_every_dataset() {
+    // The learnable ER signal must exist everywhere.
+    for id in DatasetId::all() {
+        let d = id.generate_scaled(2, 200);
+        let overlap = |p: &dader_datagen::EntityPair| -> f32 {
+            let ta: std::collections::HashSet<String> =
+                dader_text::tokenize(&p.a.full_text()).into_iter().collect();
+            let tb: std::collections::HashSet<String> =
+                dader_text::tokenize(&p.b.full_text()).into_iter().collect();
+            let inter = ta.intersection(&tb).count() as f32;
+            inter / ta.union(&tb).count().max(1) as f32
+        };
+        let pos: f32 = d.pairs.iter().filter(|p| p.matching).map(&overlap).sum::<f32>()
+            / d.match_count().max(1) as f32;
+        let neg: f32 = d.pairs.iter().filter(|p| !p.matching).map(&overlap).sum::<f32>()
+            / (d.len() - d.match_count()).max(1) as f32;
+        assert!(
+            pos > neg + 0.05,
+            "{id}: match overlap {pos} vs non-match {neg} — no learnable signal"
+        );
+    }
+}
+
+#[test]
+fn dataset_statistics_are_sane_everywhere() {
+    for id in DatasetId::all() {
+        let d = id.generate_scaled(1, 150);
+        let s = dataset_stats(&d);
+        assert!(s.vocab_size > 20, "{id}: vocab {}", s.vocab_size);
+        assert!(s.avg_tokens_per_pair > 4.0, "{id}: tokens {}", s.avg_tokens_per_pair);
+        assert!(s.null_frac < 0.5, "{id}: null fraction {}", s.null_frac);
+    }
+}
+
+#[test]
+fn blocking_recall_is_high_across_domains() {
+    for id in [DatasetId::FZ, DatasetId::DA, DatasetId::IA, DatasetId::CO] {
+        let d = id.generate_scaled(4, 150);
+        let table_a: Vec<_> = d.pairs.iter().map(|p| p.a.clone()).collect();
+        let table_b: Vec<_> = d.pairs.iter().map(|p| p.b.clone()).collect();
+        let truth: Vec<(usize, usize)> = d
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.matching)
+            .map(|(i, _)| (i, i))
+            .collect();
+        let blocker = OverlapBlocker {
+            min_shared: 2,
+            max_candidates_per_a: 25,
+        };
+        let cands = blocker.block(&table_a, &table_b);
+        let recall = OverlapBlocker::recall(&cands, &truth);
+        assert!(recall > 0.75, "{id}: blocking recall {recall}");
+    }
+}

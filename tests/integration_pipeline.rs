@@ -1,0 +1,92 @@
+//! Cross-crate integration: the full DADER pipeline — synthetic dataset →
+//! vocabulary → MLM pre-training → DA training → evaluation — exercised
+//! end-to-end at tiny scale.
+
+use dader_bench::{Context, Scale};
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+
+fn tiny() -> Context {
+    Context::new(Scale::Tiny)
+}
+
+#[test]
+fn context_builds_all_datasets_and_pretrains() {
+    let ctx = tiny();
+    for id in DatasetId::all() {
+        let d = ctx.dataset(id);
+        assert!(!d.is_empty(), "{id} empty");
+        assert_eq!(d.arity(), id.spec().attrs, "{id} arity");
+    }
+    // MLM pre-training ran and improved.
+    assert!(ctx.lm.losses.len() > 10);
+    let head: f32 = ctx.lm.losses[..5].iter().sum::<f32>() / 5.0;
+    let tail: f32 = ctx.lm.losses[ctx.lm.losses.len() - 5..].iter().sum::<f32>() / 5.0;
+    assert!(tail < head, "MLM loss should fall: {head} -> {tail}");
+    // Vocabulary covers all domains.
+    assert!(ctx.lm.vocab.len() > 500, "joint vocab too small: {}", ctx.lm.vocab.len());
+}
+
+#[test]
+fn full_da_run_beats_random_guessing_in_domain() {
+    let ctx = tiny();
+    // In-domain sanity: train and evaluate on the same dataset's split —
+    // the pipeline must produce a real classifier, not noise.
+    let (out, _) = ctx.run_transfer(DatasetId::FZ, DatasetId::FZ, AlignerKind::NoDa, 42, false, None);
+    let splits = ctx.target_splits(DatasetId::FZ);
+    let m = out.model.evaluate(&splits.test, ctx.encoder(), 32);
+    // Random guessing at the FZ positive rate would land near ~20 F1.
+    assert!(m.f1() > 30.0, "in-domain F1 too low: {}", m.f1());
+}
+
+#[test]
+fn every_method_runs_end_to_end() {
+    let ctx = tiny();
+    for kind in AlignerKind::all() {
+        let (out, f1) = ctx.run_transfer(DatasetId::FZ, DatasetId::ZY, kind, 1, false, None);
+        assert!(!out.history.is_empty(), "{kind}: no history");
+        assert!(
+            out.history.iter().all(|h| h.loss_m.is_finite() && h.loss_a.is_finite()),
+            "{kind}: non-finite loss"
+        );
+        assert!((0.0..=100.0).contains(&f1), "{kind}: F1 {f1}");
+    }
+}
+
+#[test]
+fn rnn_extractor_runs_end_to_end() {
+    let ctx = tiny();
+    let (_, f1) = ctx.run_transfer(DatasetId::FZ, DatasetId::ZY, AlignerKind::Mmd, 1, true, None);
+    assert!((0.0..=100.0).contains(&f1));
+}
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let ctx = tiny();
+    let (_, a) = ctx.run_transfer(DatasetId::ZY, DatasetId::FZ, AlignerKind::Mmd, 9, false, None);
+    let (_, b) = ctx.run_transfer(DatasetId::ZY, DatasetId::FZ, AlignerKind::Mmd, 9, false, None);
+    assert_eq!(a, b, "same seed must reproduce the same F1");
+}
+
+#[test]
+fn model_selection_restores_best_epoch() {
+    let ctx = tiny();
+    let (out, _) = ctx.run_transfer(DatasetId::FZ, DatasetId::ZY, AlignerKind::NoDa, 3, false, None);
+    let best_from_history = out
+        .history
+        .iter()
+        .map(|h| h.val_f1)
+        .fold(f32::MIN, f32::max);
+    assert!(
+        (out.best_val_f1 - best_from_history).abs() < 1e-4,
+        "selected snapshot must be the max-val epoch"
+    );
+    // And the restored model actually reproduces that validation F1.
+    let splits = ctx.target_splits(DatasetId::ZY);
+    let revalidated = out.model.evaluate(&splits.val, ctx.encoder(), 32).f1();
+    assert!(
+        (revalidated - out.best_val_f1).abs() < 1e-4,
+        "restored model val F1 {revalidated} != recorded {}",
+        out.best_val_f1
+    );
+}
