@@ -40,6 +40,34 @@ fn bench_softmax_and_norm(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_gemm(c: &mut Criterion) {
+    // Serial vs sharded GEMM at the sizes where the pool dispatches
+    // (d = 128 crosses PAR_MIN_MACS; 256 is comfortably parallel). The
+    // thread override is process-global, so each measurement pins it and
+    // the group restores the default at the end. Results feed the README
+    // "Performance" table.
+    use dader_tensor::ops::matmul::par_gemm_acc;
+    use dader_tensor::pool;
+
+    let mut g = c.benchmark_group("parallel_gemm");
+    for &d in &[128usize, 256] {
+        let a: Vec<f32> = (0..d * d).map(|i| (i % 17) as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..d * d).map(|i| (i % 13) as f32 * 0.1).collect();
+        for &threads in &[1usize, 2, 4] {
+            pool::set_threads(Some(threads));
+            g.bench_function(format!("{d}x{d}_t{threads}"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; d * d];
+                    par_gemm_acc(black_box(&a), black_box(&b), &mut out, d, d, d);
+                    black_box(out)
+                })
+            });
+        }
+    }
+    pool::set_threads(None);
+    g.finish();
+}
+
 fn bench_backward_chain(c: &mut Criterion) {
     // Forward + backward of a small MLP-like graph.
     let w1 = Param::from_vec("w1", vec![0.01; 64 * 64], (64, 64));
@@ -65,6 +93,7 @@ criterion_group!(
     bench_matmul,
     bench_bmm_attention_shape,
     bench_softmax_and_norm,
+    bench_parallel_gemm,
     bench_backward_chain
 );
 criterion_main!(benches);

@@ -22,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    dader_bench::apply_thread_args();
     let scale = Scale::from_args();
     let (s, t) = (DatasetId::ZY, DatasetId::FZ);
     let src = s.generate_scaled(1, scale.dataset_cap());

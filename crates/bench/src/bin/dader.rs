@@ -119,6 +119,7 @@ fn cmd_distance(args: &[String]) {
 }
 
 fn main() {
+    dader_bench::apply_thread_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),

@@ -28,6 +28,7 @@ struct Panel {
 }
 
 fn main() {
+    dader_bench::apply_thread_args();
     let scale = Scale::from_args();
     eprintln!("building context (scale: {scale})...");
     let ctx = Context::new(scale);

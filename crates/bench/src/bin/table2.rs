@@ -26,6 +26,7 @@ struct Row {
 }
 
 fn main() {
+    dader_bench::apply_thread_args();
     let scale = if std::env::args().any(|a| a == "--scale") {
         Scale::from_args()
     } else {

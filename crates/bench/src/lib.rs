@@ -57,3 +57,20 @@ pub const TABLE5_TRANSFERS: [(DatasetId, DatasetId); 12] = [
 pub fn transfer_label(s: DatasetId, t: DatasetId) -> String {
     format!("{s}-{t}")
 }
+
+/// Apply a `--threads N` command-line override to the engine pool.
+///
+/// Every bench binary calls this at startup, so parallelism can be pinned
+/// per invocation (`--threads 4`) without touching `DADER_THREADS`.
+/// Results are bitwise identical at any setting; this only trades
+/// wall-clock time.
+pub fn apply_thread_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse::<usize>().ok());
+    if let Some(n) = n {
+        dader_core::train::ParallelConfig::with_threads(n).apply();
+    }
+}

@@ -98,11 +98,17 @@ impl<'a> Batcher<'a> {
 
 /// Encode an entire dataset as consecutive fixed-size batches (for
 /// evaluation and feature dumping).
+///
+/// Batches are encoded across the engine pool; each batch is produced by
+/// the same serial encoding code over a fixed index chunk and results are
+/// returned in dataset order, so the output is identical at any thread
+/// count.
 pub fn encode_all(dataset: &ErDataset, encoder: &PairEncoder, batch_size: usize) -> Vec<EncodedBatch> {
     let idx: Vec<usize> = (0..dataset.len()).collect();
-    idx.chunks(batch_size)
-        .map(|c| EncodedBatch::from_indices(dataset, encoder, c))
-        .collect()
+    let chunks: Vec<&[usize]> = idx.chunks(batch_size).collect();
+    dader_tensor::pool::par_map(&chunks, dader_tensor::pool::current_threads(), |c| {
+        EncodedBatch::from_indices(dataset, encoder, c)
+    })
 }
 
 #[cfg(test)]

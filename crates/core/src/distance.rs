@@ -20,11 +20,18 @@ pub fn dataset_features(
 ) -> Vec<Vec<f32>> {
     let sub = dataset.subsample(max_pairs, 0xD15);
     let d = extractor.feat_dim();
+    // Data-parallel extraction: per-batch feature matrices are computed
+    // across the engine pool and flattened in batch order, so the feature
+    // list is identical at any thread count.
+    let batches = encode_all(&sub, encoder, batch_size);
+    let per_batch = dader_tensor::pool::par_map(
+        &batches,
+        dader_tensor::pool::current_threads(),
+        |batch| (extractor.extract(batch).to_vec(), batch.batch),
+    );
     let mut out = Vec::with_capacity(sub.len());
-    for batch in encode_all(&sub, encoder, batch_size) {
-        let f = extractor.extract(&batch);
-        let data = f.to_vec();
-        for r in 0..batch.batch {
+    for (data, rows) in per_batch {
+        for r in 0..rows {
             out.push(data[r * d..(r + 1) * d].to_vec());
         }
     }

@@ -70,6 +70,11 @@ impl Metrics {
 }
 
 /// Run a trained `(F, M)` over a dataset and compute [`Metrics`].
+///
+/// Inference is data-parallel: batches are sharded across the engine pool
+/// (`dader_tensor::pool`), each batch runs the identical serial
+/// extract-and-predict path, and per-batch results are concatenated in
+/// batch order. Metrics are therefore identical at any thread count.
 pub fn evaluate(
     extractor: &dyn FeatureExtractor,
     matcher: &Matcher,
@@ -77,12 +82,20 @@ pub fn evaluate(
     encoder: &PairEncoder,
     batch_size: usize,
 ) -> Metrics {
+    let batches = encode_all(dataset, encoder, batch_size);
+    let per_batch = dader_tensor::pool::par_map(
+        &batches,
+        dader_tensor::pool::current_threads(),
+        |batch| {
+            let features = extractor.extract(batch);
+            (matcher.predict(&features), batch.labels.clone())
+        },
+    );
     let mut preds = Vec::with_capacity(dataset.len());
     let mut labels = Vec::with_capacity(dataset.len());
-    for batch in encode_all(dataset, encoder, batch_size) {
-        let features = extractor.extract(&batch);
-        preds.extend(matcher.predict(&features));
-        labels.extend(batch.labels);
+    for (p, l) in per_batch {
+        preds.extend(p);
+        labels.extend(l);
     }
     Metrics::from_predictions(&preds, &labels)
 }

@@ -112,7 +112,11 @@ fn similarity_feature(
 }
 
 /// A feature extractor `F(a, b) -> x ∈ R^d` over encoded entity pairs.
-pub trait FeatureExtractor: Send {
+///
+/// `Send + Sync` so a trained extractor can be shared by reference across
+/// the engine pool's workers during data-parallel evaluation (extraction
+/// is `&self`; parameters are already lock-protected).
+pub trait FeatureExtractor: Send + Sync {
     /// Extract features for a batch: `(B, feat_dim)`.
     fn extract(&self, batch: &EncodedBatch) -> Tensor;
 

@@ -81,6 +81,7 @@ pub fn train_algorithm1(
         !kind.uses_algorithm2(),
         "{kind} is GAN-based; use train_algorithm2"
     );
+    cfg.parallel.apply();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let matcher = Matcher::new(extractor.feat_dim(), &mut rng);
 

@@ -32,6 +32,7 @@ pub fn train_algorithm2(
     cfg: &TrainConfig,
 ) -> TrainOutcome {
     assert!(kind.uses_algorithm2(), "{kind} is not GAN-based");
+    cfg.parallel.apply();
     let use_kd = kind == AlignerKind::InvGanKd;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let matcher = Matcher::new(extractor.feat_dim(), &mut rng);

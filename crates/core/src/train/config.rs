@@ -1,5 +1,39 @@
 //! Training configuration shared by Algorithms 1 and 2 and the baselines.
 
+/// Execution-parallelism knob for a training or evaluation run.
+///
+/// `threads: Some(n)` pins the engine pool (`dader_tensor::pool`) to `n`
+/// workers for sharded GEMM and data-parallel inference; `None` leaves the
+/// pool on its process default (`DADER_THREADS` or hardware parallelism).
+/// Results are bitwise identical at any setting — the engine only shards
+/// disjoint output slices and combines in fixed order — so this trades
+/// wall-clock only, never reproducibility.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker-thread override; `None` inherits the process default.
+    pub threads: Option<usize>,
+}
+
+impl ParallelConfig {
+    /// Force single-threaded execution (the pre-parallel engine behaviour).
+    pub fn serial() -> ParallelConfig {
+        ParallelConfig { threads: Some(1) }
+    }
+
+    /// Pin the pool to `n` workers.
+    pub fn with_threads(n: usize) -> ParallelConfig {
+        ParallelConfig { threads: Some(n) }
+    }
+
+    /// Push this setting into the engine pool (no-op when `threads` is
+    /// `None`, leaving any ambient `DADER_THREADS` default in place).
+    pub fn apply(&self) {
+        if let Some(n) = self.threads {
+            dader_tensor::pool::set_threads(Some(n));
+        }
+    }
+}
+
 /// Hyper-parameters for one adaptation run. Defaults follow the paper's
 /// protocol (Section 6.1) at a CPU-friendly scale; `paper_scale` restores
 /// the published settings.
@@ -43,6 +77,9 @@ pub struct TrainConfig {
     /// (equivalent to the paper's "reduce the learning rate" remedy);
     /// set to 1.0 to observe the raw dynamics (Fig. 7).
     pub adversarial_lr_scale: f32,
+    /// Engine-pool parallelism for this run (deterministic; see
+    /// [`ParallelConfig`]).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TrainConfig {
@@ -63,6 +100,7 @@ impl Default for TrainConfig {
             ed_recon_len: 20,
             pos_weight: None,
             adversarial_lr_scale: 0.1,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -146,5 +184,24 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.lr, 0.1);
         assert_eq!(c.beta, 2.0);
+    }
+
+    #[test]
+    fn parallel_config_constructors_and_apply() {
+        assert_eq!(ParallelConfig::default().threads, None);
+        assert_eq!(ParallelConfig::serial().threads, Some(1));
+        assert_eq!(ParallelConfig::with_threads(3).threads, Some(3));
+
+        // `apply` with an explicit count pins the pool; the default
+        // (None) leaves the ambient setting untouched. Restore afterwards
+        // — the override is process-global.
+        let prev = dader_tensor::pool::set_threads(Some(5));
+        ParallelConfig::default().apply();
+        assert_eq!(dader_tensor::pool::current_threads(), 5);
+        ParallelConfig::with_threads(2).apply();
+        assert_eq!(dader_tensor::pool::current_threads(), 2);
+        ParallelConfig::serial().apply();
+        assert_eq!(dader_tensor::pool::current_threads(), 1);
+        dader_tensor::pool::set_threads(prev);
     }
 }

@@ -8,7 +8,7 @@ pub mod config;
 
 pub use algorithm1::{train_algorithm1, DaTask, TrainOutcome};
 pub use algorithm2::train_algorithm2;
-pub use config::{EpochStat, TrainConfig};
+pub use config::{EpochStat, ParallelConfig, TrainConfig};
 
 use crate::aligner::AlignerKind;
 use crate::extractor::FeatureExtractor;

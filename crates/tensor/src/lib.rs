@@ -31,6 +31,7 @@ pub mod autograd;
 pub mod init;
 pub mod ops;
 pub mod param;
+pub mod pool;
 pub mod shape;
 pub mod tensor;
 

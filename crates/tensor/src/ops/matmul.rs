@@ -3,13 +3,21 @@
 //!
 //! Kernels use the cache-friendly `i-k-j` loop order recommended for naive
 //! GEMM, which is plenty for the model sizes in this reproduction.
+//!
+//! Each kernel has a sharded `par_*` variant that splits the *output* into
+//! disjoint row blocks (or batch blocks for rank-3) and runs the serial
+//! kernel per block on the [`crate::pool`]. Because shards never share an
+//! output element and every element keeps the serial kernel's accumulation
+//! order, parallel results are bitwise identical to serial for any shard
+//! or thread count. A size heuristic keeps small products on the serial
+//! fast path where dispatch overhead would dominate.
 
-
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// `C[m,n] += A[m,k] * B[k,n]` over raw slices, i-k-j order.
-pub(crate) fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -29,7 +37,7 @@ pub(crate) fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 }
 
 /// `C[m,n] += A[m,k] * B[n,k]^T` over raw slices.
-pub(crate) fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -47,7 +55,7 @@ pub(crate) fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
 }
 
 /// `C[m,n] += A[k,m]^T * B[k,n]` over raw slices.
-pub(crate) fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -66,6 +74,190 @@ pub(crate) fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usiz
     }
 }
 
+/// Multiply-accumulate count below which parallel dispatch costs more than
+/// it saves; products smaller than this stay on the serial kernels.
+pub const PAR_MIN_MACS: usize = 1 << 19;
+
+/// True when a product of `macs` multiply-accumulates should be sharded.
+fn worth_sharding(macs: usize) -> bool {
+    macs >= PAR_MIN_MACS && pool::current_threads() > 1
+}
+
+/// `gemm_tn_acc` restricted to the output-row block starting at `r0` and
+/// covering `c_rows` (`c_rows.len() / n` rows). The kk-ascending walk per
+/// element matches the serial kernel exactly, so block results are bitwise
+/// identical to the corresponding rows of a full serial run.
+fn gemm_tn_acc_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], m: usize, n: usize, r0: usize) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    let rows = c_rows.len() / n;
+    let k = a.len() / m;
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for r in 0..rows {
+            let a_ki = a_row[r0 + r];
+            if a_ki == 0.0 {
+                continue;
+            }
+            let c_row = &mut c_rows[r * n..(r + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ki * b_kj;
+            }
+        }
+    }
+}
+
+/// Row-sharded [`gemm_acc`] with an explicit shard count (exposed so the
+/// determinism suite can sweep counts); bitwise equal to serial.
+pub fn par_gemm_acc_shards(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    shards: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let shards = shards.clamp(1, m);
+    let rows_per = m.div_ceil(shards);
+    pool::for_each_chunk_mut(c, rows_per * n, shards, |s, c_block| {
+        let r0 = s * rows_per;
+        let rows = c_block.len() / n;
+        gemm_acc(&a[r0 * k..(r0 + rows) * k], b, c_block, rows, k, n);
+    });
+}
+
+/// Row-sharded [`gemm_nt_acc`] with an explicit shard count; bitwise equal
+/// to serial.
+pub fn par_gemm_nt_acc_shards(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    shards: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let shards = shards.clamp(1, m);
+    let rows_per = m.div_ceil(shards);
+    pool::for_each_chunk_mut(c, rows_per * n, shards, |s, c_block| {
+        let r0 = s * rows_per;
+        let rows = c_block.len() / n;
+        gemm_nt_acc(&a[r0 * k..(r0 + rows) * k], b, c_block, rows, k, n);
+    });
+}
+
+/// Row-sharded [`gemm_tn_acc`] with an explicit shard count; bitwise equal
+/// to serial. (Shards split the output rows of `C`, i.e. columns of `A`.)
+pub fn par_gemm_tn_acc_shards(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    shards: usize,
+) {
+    let _ = k;
+    if m == 0 || n == 0 {
+        return;
+    }
+    let shards = shards.clamp(1, m);
+    let rows_per = m.div_ceil(shards);
+    pool::for_each_chunk_mut(c, rows_per * n, shards, |s, c_block| {
+        gemm_tn_acc_rows(a, b, c_block, m, n, s * rows_per);
+    });
+}
+
+/// [`gemm_acc`] with automatic shard selection from the pool size and the
+/// product's size; small products take the serial path unchanged.
+pub fn par_gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if worth_sharding(m * k * n) {
+        par_gemm_acc_shards(a, b, c, m, k, n, pool::current_threads());
+    } else {
+        gemm_acc(a, b, c, m, k, n);
+    }
+}
+
+/// [`gemm_nt_acc`] with automatic shard selection.
+pub fn par_gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if worth_sharding(m * k * n) {
+        par_gemm_nt_acc_shards(a, b, c, m, k, n, pool::current_threads());
+    } else {
+        gemm_nt_acc(a, b, c, m, k, n);
+    }
+}
+
+/// [`gemm_tn_acc`] with automatic shard selection.
+pub fn par_gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if worth_sharding(m * k * n) {
+        par_gemm_tn_acc_shards(a, b, c, m, k, n, pool::current_threads());
+    } else {
+        gemm_tn_acc(a, b, c, m, k, n);
+    }
+}
+
+/// Batch-sharded rank-3 GEMM with an explicit shard count: applies
+/// `kernel(a_b, b_b, c_b, m, k, n)` — any of the three serial kernels —
+/// to each batch's slices, sharding across batches. Operand strides are
+/// `len / bs`, so the same driver serves plain, NT and TN products.
+/// Bitwise equal to the serial per-batch loop.
+pub fn par_bmm_kernel_shards(
+    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    shards: usize,
+) {
+    if bs == 0 || c.is_empty() {
+        return;
+    }
+    let a_stride = a.len() / bs;
+    let b_stride = b.len() / bs;
+    let c_stride = c.len() / bs;
+    pool::for_each_chunk_mut(c, c_stride, shards.max(1), |batch, c_b| {
+        kernel(
+            &a[batch * a_stride..(batch + 1) * a_stride],
+            &b[batch * b_stride..(batch + 1) * b_stride],
+            c_b,
+            m,
+            k,
+            n,
+        );
+    });
+}
+
+/// Batch-sharded rank-3 GEMM with automatic shard selection.
+pub fn par_bmm_kernel(
+    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let shards = if bs >= 2 && worth_sharding(bs * m * k * n) {
+        pool::current_threads()
+    } else {
+        1
+    };
+    par_bmm_kernel_shards(kernel, a, b, c, bs, m, k, n, shards);
+}
+
 impl Tensor {
     /// Rank-2 matrix product: `(m,k) x (k,n) -> (m,n)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -78,7 +270,7 @@ impl Tensor {
             other.shape()
         );
         let mut data = vec![0.0f32; m * n];
-        gemm_acc(self.data(), other.data(), &mut data, m, k, n);
+        par_gemm_acc(self.data(), other.data(), &mut data, m, k, n);
         let a_data = self.data_arc();
         let b_data = other.data_arc();
         Tensor::from_op(
@@ -88,9 +280,9 @@ impl Tensor {
             Box::new(move |g| {
                 // dA = G B^T ; dB = A^T G
                 let mut ga = vec![0.0f32; m * k];
-                gemm_nt_acc(g, &b_data, &mut ga, m, n, k);
+                par_gemm_nt_acc(g, &b_data, &mut ga, m, n, k);
                 let mut gb = vec![0.0f32; k * n];
-                gemm_tn_acc(&a_data, g, &mut gb, k, m, n);
+                par_gemm_tn_acc(&a_data, g, &mut gb, k, m, n);
                 vec![ga, gb]
             }),
         )
@@ -103,16 +295,7 @@ impl Tensor {
         assert_eq!(bs, bs2, "bmm: batch dims differ");
         assert_eq!(k, k2, "bmm: inner dims differ");
         let mut data = vec![0.0f32; bs * m * n];
-        for b in 0..bs {
-            gemm_acc(
-                &self.data()[b * m * k..(b + 1) * m * k],
-                &other.data()[b * k * n..(b + 1) * k * n],
-                &mut data[b * m * n..(b + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        par_bmm_kernel(gemm_acc, self.data(), other.data(), &mut data, bs, m, k, n);
         let a_data = self.data_arc();
         let b_data = other.data_arc();
         Tensor::from_op(
@@ -120,27 +303,11 @@ impl Tensor {
             Shape::from((bs, m, n)),
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
+                // Per batch: dA = G B^T ; dB = A^T G
                 let mut ga = vec![0.0f32; bs * m * k];
                 let mut gb = vec![0.0f32; bs * k * n];
-                for b in 0..bs {
-                    let gg = &g[b * m * n..(b + 1) * m * n];
-                    gemm_nt_acc(
-                        gg,
-                        &b_data[b * k * n..(b + 1) * k * n],
-                        &mut ga[b * m * k..(b + 1) * m * k],
-                        m,
-                        n,
-                        k,
-                    );
-                    gemm_tn_acc(
-                        &a_data[b * m * k..(b + 1) * m * k],
-                        gg,
-                        &mut gb[b * k * n..(b + 1) * k * n],
-                        k,
-                        m,
-                        n,
-                    );
-                }
+                par_bmm_kernel(gemm_nt_acc, g, &b_data, &mut ga, bs, m, n, k);
+                par_bmm_kernel(gemm_tn_acc, &a_data, g, &mut gb, bs, k, m, n);
                 vec![ga, gb]
             }),
         )
@@ -154,16 +321,7 @@ impl Tensor {
         assert_eq!(bs, bs2, "bmm_nt: batch dims differ");
         assert_eq!(d, d2, "bmm_nt: feature dims differ");
         let mut data = vec![0.0f32; bs * m * n];
-        for b in 0..bs {
-            gemm_nt_acc(
-                &self.data()[b * m * d..(b + 1) * m * d],
-                &other.data()[b * n * d..(b + 1) * n * d],
-                &mut data[b * m * n..(b + 1) * m * n],
-                m,
-                d,
-                n,
-            );
-        }
+        par_bmm_kernel(gemm_nt_acc, self.data(), other.data(), &mut data, bs, m, d, n);
         let a_data = self.data_arc();
         let b_data = other.data_arc();
         Tensor::from_op(
@@ -174,25 +332,8 @@ impl Tensor {
                 // C = A B^T → dA = G B ; dB = G^T A
                 let mut ga = vec![0.0f32; bs * m * d];
                 let mut gb = vec![0.0f32; bs * n * d];
-                for b in 0..bs {
-                    let gg = &g[b * m * n..(b + 1) * m * n];
-                    gemm_acc(
-                        gg,
-                        &b_data[b * n * d..(b + 1) * n * d],
-                        &mut ga[b * m * d..(b + 1) * m * d],
-                        m,
-                        n,
-                        d,
-                    );
-                    gemm_tn_acc(
-                        gg,
-                        &a_data[b * m * d..(b + 1) * m * d],
-                        &mut gb[b * n * d..(b + 1) * n * d],
-                        n,
-                        m,
-                        d,
-                    );
-                }
+                par_bmm_kernel(gemm_acc, g, &b_data, &mut ga, bs, m, n, d);
+                par_bmm_kernel(gemm_tn_acc, g, &a_data, &mut gb, bs, n, m, d);
                 vec![ga, gb]
             }),
         )
@@ -309,5 +450,142 @@ mod tests {
     #[should_panic(expected = "inner dims differ")]
     fn matmul_dim_mismatch_panics() {
         Tensor::ones((2, 3)).matmul(&Tensor::ones((4, 2)));
+    }
+
+    // ----------------------------------------------------- golden values
+    // Every kernel variant checked against an order-naive triple loop on
+    // small fixtures with exact integer-valued entries, so any indexing or
+    // transposition slip produces a hard mismatch (float exactness holds
+    // because all products stay well inside f32's integer range).
+
+    /// `C[m,n] += A[m,k] B[k,n]`, naive i-j-kk reference.
+    fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// A 3×4 fixture with a zero entry (exercises the zero-skip branch).
+    fn fix_a34() -> Vec<f32> {
+        vec![
+            1.0, 2.0, 0.0, -1.0, //
+            3.0, -2.0, 4.0, 0.0, //
+            0.0, 1.0, -3.0, 2.0,
+        ]
+    }
+
+    /// A 4×2 fixture.
+    fn fix_b42() -> Vec<f32> {
+        vec![
+            2.0, -1.0, //
+            0.0, 3.0, //
+            1.0, 1.0, //
+            -2.0, 4.0,
+        ]
+    }
+
+    #[test]
+    fn gemm_acc_golden_3x4_4x2() {
+        let (a, b) = (fix_a34(), fix_b42());
+        let expect = naive_gemm(&a, &b, 3, 4, 2);
+        assert_eq!(expect, vec![4.0, 1.0, 10.0, -5.0, -7.0, 8.0]);
+        let mut c = vec![0.0f32; 6];
+        gemm_acc(&a, &b, &mut c, 3, 4, 2);
+        assert_eq!(c, expect);
+        for shards in 1..=4 {
+            let mut c = vec![0.0f32; 6];
+            par_gemm_acc_shards(&a, &b, &mut c, 3, 4, 2, shards);
+            assert_eq!(c, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_golden_matches_naive_on_transposed_operand() {
+        // B_nt is (n=2, k=4); its transpose-view product must equal the
+        // naive product with B laid out (4, 2).
+        let a = fix_a34();
+        let b_nt = vec![
+            2.0, 0.0, 1.0, -2.0, //
+            -1.0, 3.0, 1.0, 4.0,
+        ];
+        let b_plain = fix_b42();
+        let expect = naive_gemm(&a, &b_plain, 3, 4, 2);
+        let mut c = vec![0.0f32; 6];
+        gemm_nt_acc(&a, &b_nt, &mut c, 3, 4, 2);
+        assert_eq!(c, expect);
+        for shards in 1..=4 {
+            let mut c = vec![0.0f32; 6];
+            par_gemm_nt_acc_shards(&a, &b_nt, &mut c, 3, 4, 2, shards);
+            assert_eq!(c, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_golden_matches_naive_on_transposed_operand() {
+        // A_tn is (k=4, m=3); its transpose-view product must equal the
+        // naive product with A laid out (3, 4). Contains zeros to hit the
+        // zero-skip branch on the TN path too.
+        let a_tn = vec![
+            1.0, 3.0, 0.0, //
+            2.0, -2.0, 1.0, //
+            0.0, 4.0, -3.0, //
+            -1.0, 0.0, 2.0,
+        ];
+        let a_plain = fix_a34();
+        let b = fix_b42();
+        let expect = naive_gemm(&a_plain, &b, 3, 4, 2);
+        let mut c = vec![0.0f32; 6];
+        gemm_tn_acc(&a_tn, &b, &mut c, 3, 4, 2);
+        assert_eq!(c, expect);
+        for shards in 1..=4 {
+            let mut c = vec![0.0f32; 6];
+            par_gemm_tn_acc_shards(&a_tn, &b, &mut c, 3, 4, 2, shards);
+            assert_eq!(c, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn zero_skip_rows_accumulate_nothing() {
+        // An all-zero A row must leave its C row exactly at the prior
+        // accumulator value on every variant (the skip branch, not a
+        // multiply-by-zero, so even -0.0/NaN-free semantics are preserved).
+        let a = vec![0.0, 0.0, 0.0, 5.0, 6.0, 7.0];
+        let b = vec![1.0; 9];
+        let mut c = vec![10.0f32; 6];
+        gemm_acc(&a, &b, &mut c, 2, 3, 3);
+        assert_eq!(&c[..3], &[10.0, 10.0, 10.0], "zero row must be skipped");
+        assert_eq!(&c[3..], &[28.0, 28.0, 28.0]);
+        let mut c2 = vec![10.0f32; 6];
+        par_gemm_acc_shards(&a, &b, &mut c2, 2, 3, 3, 2);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn batched_kernel_golden_two_batches() {
+        // Batch 0 is the golden fixture; batch 1 is its negation, so the
+        // expected output is the fixture result and its mirror.
+        let a: Vec<f32> = fix_a34().iter().chain(fix_a34().iter()).map(|v| *v).collect();
+        let a = {
+            let mut v = a;
+            for x in &mut v[12..] {
+                *x = -*x;
+            }
+            v
+        };
+        let b: Vec<f32> = fix_b42().iter().chain(fix_b42().iter()).copied().collect();
+        let base = naive_gemm(&fix_a34(), &fix_b42(), 3, 4, 2);
+        let mut expect = base.clone();
+        expect.extend(base.iter().map(|v| -v));
+        for shards in 1..=4 {
+            let mut c = vec![0.0f32; 12];
+            par_bmm_kernel_shards(gemm_acc, &a, &b, &mut c, 2, 3, 4, 2, shards);
+            assert_eq!(c, expect, "shards={shards}");
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 mod activation;
 mod arith;
-mod matmul;
+pub mod matmul;
 mod reduce;
 mod shape_ops;
 mod softmax;

@@ -1,0 +1,227 @@
+//! Deterministic work-sharing across OS threads.
+//!
+//! The engine's parallelism model is *sharding*: a kernel splits its output
+//! into disjoint slices, each shard is computed by exactly the serial code
+//! path, and results land in a fixed, input-defined order. Because no two
+//! shards touch the same output element and each element's accumulation
+//! order is unchanged, every parallel result is bitwise identical to the
+//! serial one regardless of thread count.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. [`set_threads`] — a process-wide runtime override (used by the
+//!    trainer's `ParallelConfig` and by tests that compare thread counts
+//!    in one process);
+//! 2. the `DADER_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At an effective count of 1 every helper runs inline on the caller's
+//! thread with no spawning, so single-threaded behaviour (and its
+//! performance) is exactly the pre-parallel engine.
+//!
+//! Workers are scoped ([`std::thread::scope`]), so shards may borrow the
+//! caller's stack freely; nothing here requires `'static` data.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `DADER_THREADS` / hardware default (env is read once).
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("DADER_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count parallel kernels will use right now (≥ 1).
+pub fn current_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Override the worker count process-wide; `Some(0)` is clamped to 1 and
+/// `None` restores the `DADER_THREADS` / hardware default. Returns the
+/// previous override (if any) so callers can restore it.
+pub fn set_threads(n: Option<usize>) -> Option<usize> {
+    let raw = match n {
+        Some(v) => v.max(1),
+        None => 0,
+    };
+    match THREAD_OVERRIDE.swap(raw, Ordering::Relaxed) {
+        0 => None,
+        prev => Some(prev),
+    }
+}
+
+/// Run `f(shard)` for every `shard in 0..n_shards` across up to `threads`
+/// workers (the caller's thread is one of them). Shard-to-worker assignment
+/// is static round-robin; with `threads <= 1` everything runs inline.
+pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
+    let threads = threads.min(n_shards);
+    if threads <= 1 {
+        for shard in 0..n_shards {
+            f(shard);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for worker in 1..threads {
+            scope.spawn(move || {
+                let mut shard = worker;
+                while shard < n_shards {
+                    f(shard);
+                    shard += threads;
+                }
+            });
+        }
+        let mut shard = 0;
+        while shard < n_shards {
+            f(shard);
+            shard += threads;
+        }
+    });
+}
+
+/// Split `data` into consecutive `chunk_len`-sized disjoint chunks (the
+/// last may be shorter) and apply `f(chunk_index, chunk)` to each across up
+/// to `threads` workers. Chunk indices are in data order, so output
+/// placement is independent of scheduling.
+pub fn for_each_chunk_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk_len: usize,
+    threads: usize,
+    f: F,
+) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "for_each_chunk_mut: zero chunk length");
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
+    let threads = threads.min(chunks.len());
+    if threads <= 1 {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Deal chunks round-robin so every worker owns an explicit disjoint set.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        per_worker[i % threads].push((i, chunk));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut workers = per_worker.into_iter();
+        let mine = workers.next().expect("threads >= 2");
+        for work in workers {
+            scope.spawn(move || {
+                for (i, chunk) in work {
+                    f(i, chunk);
+                }
+            });
+        }
+        for (i, chunk) in mine {
+            f(i, chunk);
+        }
+    });
+}
+
+/// Map `f` over `items` across up to `threads` workers, returning results
+/// in item order (the combine order is fixed by the input, not by thread
+/// completion).
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<U> {
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for_each_chunk_mut(&mut slots, 1, threads, |i, slot| {
+        slot[0] = Some(f(&items[i]));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_resolution_priority() {
+        let prev = set_threads(Some(3));
+        assert_eq!(current_threads(), 3);
+        set_threads(Some(0));
+        assert_eq!(current_threads(), 1, "0 clamps to 1");
+        set_threads(prev);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn run_sharded_covers_all_shards_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..13).map(|_| AtomicUsize::new(0)).collect();
+            run_sharded(13, threads, |s| {
+                hits[s].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_are_disjoint_and_ordered() {
+        for threads in [1usize, 2, 5] {
+            let mut data = vec![0usize; 23];
+            for_each_chunk_mut(&mut data, 4, threads, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i + 1;
+                }
+            });
+            let expect: Vec<usize> = (0..23).map(|j| j / 4 + 1).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut empty: [f32; 0] = [];
+        for_each_chunk_mut(&mut empty, 4, 4, |_, _| panic!("no chunks expected"));
+        run_sharded(0, 4, |_| panic!("no shards expected"));
+        let out: Vec<i32> = par_map(&[] as &[i32], 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let out = par_map(&items, threads, |&x| x * 3);
+            assert_eq!(out, (0..57).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+}

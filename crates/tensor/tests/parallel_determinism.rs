@@ -1,0 +1,231 @@
+//! Determinism lockdown for the sharded execution layer: every `par_*`
+//! kernel must be *bitwise* identical to its serial counterpart for any
+//! shape (including empty and single-row) and any shard count 1–8.
+//!
+//! The guarantee rests on two invariants the suite exercises:
+//! shards write disjoint output slices, and each output element keeps the
+//! serial kernel's accumulation order. Comparisons use `f32::to_bits`, not
+//! approximate equality — reassociated floating-point sums would fail.
+
+use dader_tensor::ops::matmul::{
+    gemm_acc, gemm_nt_acc, gemm_tn_acc, par_bmm_kernel_shards, par_gemm_acc_shards,
+    par_gemm_nt_acc_shards, par_gemm_tn_acc_shards,
+};
+use dader_tensor::pool;
+use proptest::prelude::*;
+
+/// Exact bit equality, element by element.
+fn assert_bitwise_eq(serial: &[f32], parallel: &[f32], what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(serial.len(), parallel.len(), "{}: length mismatch", what);
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        prop_assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "{}: element {} differs: serial {} vs parallel {}",
+            what,
+            i,
+            s,
+            p
+        );
+    }
+    Ok(())
+}
+
+/// Values with deliberate exact zeros so the kernels' zero-skip branch is
+/// exercised alongside the dense path.
+fn matrix(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (-2.0f32..2.0).prop_map(|v| if v.abs() < 0.4 { 0.0 } else { v }),
+        len,
+    )
+}
+
+/// Arbitrary rank-2 problem: dims 0..=8 cover empty, single-row and odd
+/// shapes that don't divide evenly into shards.
+fn rank2() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (0usize..9, 0usize..9, 0usize..9)
+        .prop_flat_map(|(m, k, n)| (Just(m), Just(k), Just(n), matrix(m * k), matrix(k * n)))
+}
+
+/// Arbitrary rank-3 problem (batch 0..=4).
+#[allow(clippy::type_complexity)]
+fn rank3() -> impl Strategy<Value = (usize, usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (0usize..5, 0usize..7, 0usize..7, 0usize..7).prop_flat_map(|(bs, m, k, n)| {
+        (
+            Just(bs),
+            Just(m),
+            Just(k),
+            Just(n),
+            matrix(bs * m * k),
+            matrix(bs * k * n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_acc_sharded_is_bitwise_serial((m, k, n, a, b) in rank2()) {
+        let mut serial = vec![0.0f32; m * n];
+        gemm_acc(&a, &b, &mut serial, m, k, n);
+        for shards in 1..=8usize {
+            let mut par = vec![0.0f32; m * n];
+            par_gemm_acc_shards(&a, &b, &mut par, m, k, n, shards);
+            assert_bitwise_eq(&serial, &par, &format!("gemm_acc shards={shards}"))?;
+        }
+    }
+
+    #[test]
+    fn gemm_nt_acc_sharded_is_bitwise_serial((m, k, n, a, bt) in rank2()) {
+        // Reinterpret the second operand as (n, k) for the NT layout.
+        let b: Vec<f32> = bt;
+        let b = {
+            let mut v = b;
+            v.resize(n * k, 0.5);
+            v
+        };
+        let mut serial = vec![0.0f32; m * n];
+        gemm_nt_acc(&a, &b, &mut serial, m, k, n);
+        for shards in 1..=8usize {
+            let mut par = vec![0.0f32; m * n];
+            par_gemm_nt_acc_shards(&a, &b, &mut par, m, k, n, shards);
+            assert_bitwise_eq(&serial, &par, &format!("gemm_nt_acc shards={shards}"))?;
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_sharded_is_bitwise_serial((m, k, n, at, b) in rank2()) {
+        // The TN layout reads A as (k, m).
+        let a = {
+            let mut v = at;
+            v.resize(k * m, -0.75);
+            v
+        };
+        let mut serial = vec![0.0f32; m * n];
+        gemm_tn_acc(&a, &b, &mut serial, m, k, n);
+        for shards in 1..=8usize {
+            let mut par = vec![0.0f32; m * n];
+            par_gemm_tn_acc_shards(&a, &b, &mut par, m, k, n, shards);
+            assert_bitwise_eq(&serial, &par, &format!("gemm_tn_acc shards={shards}"))?;
+        }
+    }
+
+    #[test]
+    fn batched_gemm_sharded_is_bitwise_serial((bs, m, k, n, a, b) in rank3()) {
+        let mut serial = vec![0.0f32; bs * m * n];
+        for batch in 0..bs {
+            gemm_acc(
+                &a[batch * m * k..(batch + 1) * m * k],
+                &b[batch * k * n..(batch + 1) * k * n],
+                &mut serial[batch * m * n..(batch + 1) * m * n],
+                m, k, n,
+            );
+        }
+        for shards in 1..=8usize {
+            let mut par = vec![0.0f32; bs * m * n];
+            par_bmm_kernel_shards(gemm_acc, &a, &b, &mut par, bs, m, k, n, shards);
+            assert_bitwise_eq(&serial, &par, &format!("bmm shards={shards}"))?;
+        }
+    }
+
+    #[test]
+    fn batched_nt_sharded_is_bitwise_serial((bs, m, d, n, a, bt) in rank3()) {
+        // NT per batch: A (m, d), B (n, d); regenerate B at its layout size.
+        let b = {
+            let mut v = bt;
+            v.resize(bs * n * d, 1.25);
+            v
+        };
+        let mut serial = vec![0.0f32; bs * m * n];
+        for batch in 0..bs {
+            gemm_nt_acc(
+                &a[batch * m * d..(batch + 1) * m * d],
+                &b[batch * n * d..(batch + 1) * n * d],
+                &mut serial[batch * m * n..(batch + 1) * m * n],
+                m, d, n,
+            );
+        }
+        for shards in 1..=8usize {
+            let mut par = vec![0.0f32; bs * m * n];
+            par_bmm_kernel_shards(gemm_nt_acc, &a, &b, &mut par, bs, m, d, n, shards);
+            assert_bitwise_eq(&serial, &par, &format!("bmm_nt shards={shards}"))?;
+        }
+    }
+}
+
+/// Above the heuristic threshold the auto `par_*` entry points actually
+/// dispatch to the pool; they must still be bitwise-serial. Thread-count
+/// override is process-global, so all override manipulation stays inside
+/// this single test.
+#[test]
+fn auto_dispatch_above_threshold_is_bitwise_serial() {
+    let d = 160usize; // d^3 = 4.1M MACs, comfortably above PAR_MIN_MACS
+    assert!(d * d * d >= dader_tensor::ops::matmul::PAR_MIN_MACS);
+    let a: Vec<f32> = (0..d * d)
+        .map(|i| if i % 7 == 0 { 0.0 } else { ((i % 23) as f32 - 11.0) * 0.13 })
+        .collect();
+    let b: Vec<f32> = (0..d * d).map(|i| ((i % 19) as f32 - 9.0) * 0.21).collect();
+
+    let prev = pool::set_threads(Some(1));
+    let mut serial_acc = vec![0.0f32; d * d];
+    dader_tensor::ops::matmul::par_gemm_acc(&a, &b, &mut serial_acc, d, d, d);
+    let mut serial_nt = vec![0.0f32; d * d];
+    dader_tensor::ops::matmul::par_gemm_nt_acc(&a, &b, &mut serial_nt, d, d, d);
+    let mut serial_tn = vec![0.0f32; d * d];
+    dader_tensor::ops::matmul::par_gemm_tn_acc(&a, &b, &mut serial_tn, d, d, d);
+
+    for threads in [2usize, 3, 4, 8] {
+        pool::set_threads(Some(threads));
+        let mut par = vec![0.0f32; d * d];
+        dader_tensor::ops::matmul::par_gemm_acc(&a, &b, &mut par, d, d, d);
+        assert!(serial_acc.iter().zip(&par).all(|(s, p)| s.to_bits() == p.to_bits()),
+            "par_gemm_acc at {threads} threads diverged");
+        let mut par = vec![0.0f32; d * d];
+        dader_tensor::ops::matmul::par_gemm_nt_acc(&a, &b, &mut par, d, d, d);
+        assert!(serial_nt.iter().zip(&par).all(|(s, p)| s.to_bits() == p.to_bits()),
+            "par_gemm_nt_acc at {threads} threads diverged");
+        let mut par = vec![0.0f32; d * d];
+        dader_tensor::ops::matmul::par_gemm_tn_acc(&a, &b, &mut par, d, d, d);
+        assert!(serial_tn.iter().zip(&par).all(|(s, p)| s.to_bits() == p.to_bits()),
+            "par_gemm_tn_acc at {threads} threads diverged");
+    }
+    pool::set_threads(prev);
+}
+
+/// Full tensor-level check: a forward + backward pass through matmul/bmm
+/// ops is bitwise identical at 1 and 4 threads.
+#[test]
+fn tensor_graph_bitwise_identical_across_thread_counts() {
+    use dader_tensor::{Param, Tensor};
+
+    let run = || {
+        let w = Param::from_vec(
+            "w",
+            (0..96 * 96).map(|i| ((i % 13) as f32 - 6.0) * 0.05).collect(),
+            (96, 96),
+        );
+        let x = Tensor::from_vec(
+            (0..64 * 96).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+            (64, 96),
+        );
+        let q = Tensor::from_vec(vec![0.3; 8 * 12 * 16], (8, 12, 16));
+        let kx = Tensor::from_vec(vec![0.7; 8 * 12 * 16], (8, 12, 16));
+        let y = x.matmul(&w.leaf());
+        let att = q.bmm_nt(&kx);
+        let loss = y.sum_all().add(&att.sum_all());
+        let grads = loss.backward();
+        (y.to_vec(), att.to_vec(), grads.get_id(w.id()).unwrap().to_vec())
+    };
+
+    let prev = pool::set_threads(Some(1));
+    let serial = run();
+    pool::set_threads(Some(4));
+    let parallel = run();
+    pool::set_threads(prev);
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(bits(&serial.0), bits(&parallel.0), "forward matmul diverged");
+    assert_eq!(bits(&serial.1), bits(&parallel.1), "forward bmm_nt diverged");
+    assert_eq!(bits(&serial.2), bits(&parallel.2), "backward grads diverged");
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the benchmark API surface the workspace uses: [`Criterion`],
+//! [`criterion_group!`] / [`criterion_main!`], `benchmark_group` with
+//! `sample_size` and `finish`, `bench_function`, and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`].
+//!
+//! Measurement is real wall-clock timing: after a warmup estimate, each
+//! sample times a calibrated batch of iterations and the reported figure is
+//! the median per-iteration time. There is no statistical analysis, HTML
+//! report, or baseline comparison — output is one line per benchmark on
+//! stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim times setup and
+/// routine separately, so the variants are equivalent here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; batch many iterations per sample.
+    SmallInput,
+    /// Large per-iteration input; fewer iterations per sample.
+    LargeInput,
+    /// One iteration per sample.
+    PerIteration,
+}
+
+/// Target time budget per benchmark; slow benchmarks get fewer samples
+/// rather than blowing past it.
+const TARGET_BUDGET: Duration = Duration::from_secs(2);
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` invokes the binary with harness flags (`--bench`)
+        // and optionally a name filter as the first free argument.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group; benchmark ids are reported as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        self.run(&id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.per_iter);
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run(&full, sample_size, f);
+        self
+    }
+
+    /// End the group. (No cross-benchmark analysis to flush in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the measured figure is seconds/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: one timed run decides how many iterations
+        // make up a sample, so fast routines aren't dominated by timer
+        // resolution and slow routines stay within the budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let est = t0.elapsed().max(Duration::from_nanos(10));
+
+        let (iters_per_sample, samples) = plan(est, self.sample_size);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.per_iter
+                .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let est = t0.elapsed().max(Duration::from_nanos(10));
+
+        let (iters_per_sample, samples) = plan(est, self.sample_size);
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.per_iter
+                .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Choose (iterations per sample, sample count) from a single-iteration
+/// estimate so the whole benchmark lands near `TARGET_BUDGET`.
+fn plan(est: Duration, sample_size: usize) -> (usize, usize) {
+    let per_sample = TARGET_BUDGET.as_secs_f64() / sample_size as f64;
+    let iters = (per_sample / est.as_secs_f64()).floor().max(1.0) as usize;
+    // Slow routines (est > per_sample) run one iteration per sample and,
+    // past the budget, fewer samples — but always at least 3 for a median.
+    let total = est.as_secs_f64() * (iters * sample_size) as f64;
+    let samples = if total > 2.0 * TARGET_BUDGET.as_secs_f64() {
+        ((2.0 * TARGET_BUDGET.as_secs_f64() / est.as_secs_f64()).floor() as usize)
+            .clamp(3, sample_size)
+    } else {
+        sample_size
+    };
+    (iters, samples)
+}
+
+fn report(id: &str, per_iter: &[f64]) {
+    let mut sorted = per_iter.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+        sorted.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Re-export for call sites that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fast_routine_batches_iterations() {
+        let (iters, samples) = plan(Duration::from_nanos(100), 20);
+        assert!(iters > 100);
+        assert_eq!(samples, 20);
+    }
+
+    #[test]
+    fn plan_slow_routine_trims_samples() {
+        let (iters, samples) = plan(Duration::from_secs(1), 20);
+        assert_eq!(iters, 1);
+        assert!((3..=4).contains(&samples), "samples = {samples}");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

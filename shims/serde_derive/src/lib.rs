@@ -1,0 +1,230 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! named-field structs (the only shape this workspace derives), generating
+//! impls of the vendored `serde` crate's value-model traits. Supports
+//! `#[serde(flatten)]` on a field, which captures or emits all object keys
+//! not claimed by the other fields.
+//!
+//! The derive input is parsed directly from the token stream — no `syn` /
+//! `quote` dependency, since the registry is unreachable in this build
+//! environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Returns true if an attribute group (the `[...]` part) is `serde(flatten)`.
+fn is_flatten_attr(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "flatten")),
+        _ => false,
+    }
+}
+
+/// Parse `struct Name { fields }` out of a derive input token stream.
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    let mut body = None;
+
+    // Scan the item header: skip attributes and visibility, find
+    // `struct <name> { ... }`.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // attribute: consume the following [...] group
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".into()),
+                }
+                // Find the brace-delimited field block (skipping generics,
+                // which this shim does not support in earnest).
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Group(g) = &tt {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            return Err("tuple structs are not supported by the vendored serde_derive".into());
+                        }
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported by the vendored serde_derive".into());
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or("no struct found in derive input")?;
+    let body = body.ok_or("struct has no named-field body")?;
+
+    // Split the field block on top-level commas; pull out each field's
+    // name (the ident right before the first top-level ':') and whether a
+    // #[serde(flatten)] attribute precedes it.
+    let mut fields = Vec::new();
+    let mut flatten = false;
+    let mut last_ident: Option<String> = None;
+    let mut field_name: Option<String> = None;
+    // Angle brackets are plain punctuation in token streams, so commas
+    // inside `HashMap<String, usize>` show up at this nesting level; track
+    // `<`/`>` depth and only split fields on depth-0 commas.
+    let mut angle_depth = 0i32;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if is_flatten_attr(g) {
+                        flatten = true;
+                    }
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ':' && field_name.is_none() => {
+                // `::` inside types also hits here; only the first ':' after
+                // a fresh field start names the field.
+                field_name = last_ident.take();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if let Some(n) = field_name.take() {
+                    fields.push(Field { name: n, flatten });
+                }
+                flatten = false;
+                last_ident = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(n) = field_name.take() {
+        fields.push(Field { name: n, flatten });
+    }
+
+    Ok(StructDef { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &def.fields {
+        if f.flatten {
+            pushes.push_str(&format!(
+                "match ::serde::Serialize::serialize_value(&self.{n}) {{\
+                     ::serde::Value::Object(kvs) => __fields.extend(kvs),\
+                     ::serde::Value::Null => {{}}\
+                     other => __fields.push((String::from(\"{n}\"), other)),\
+                 }}\n",
+                n = f.name
+            ));
+        } else {
+            pushes.push_str(&format!(
+                "__fields.push((String::from(\"{n}\"), ::serde::Serialize::serialize_value(&self.{n})));\n",
+                n = f.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize_value(&self) -> ::serde::Value {{\
+                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\
+             }}\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let known: Vec<String> = def
+        .fields
+        .iter()
+        .filter(|f| !f.flatten)
+        .map(|f| format!("\"{}\"", f.name))
+        .collect();
+    let known = known.join(", ");
+    let mut inits = String::new();
+    for f in &def.fields {
+        if f.flatten {
+            inits.push_str(&format!(
+                "{n}: {{\
+                     let __rest: Vec<(String, ::serde::Value)> = __obj.iter()\
+                         .filter(|(k, _)| !__KNOWN.contains(&k.as_str()))\
+                         .cloned().collect();\
+                     ::serde::Deserialize::deserialize_value(&::serde::Value::Object(__rest))?\
+                 }},\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::field(__obj, \"{n}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deserialize_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\
+                 const __KNOWN: &[&str] = &[{known}];\
+                 let _ = __KNOWN;\
+                 let __obj = match __v {{\
+                     ::serde::Value::Object(kvs) => kvs,\
+                     _ => return Err(::serde::Error::custom(\"expected object for struct {name}\")),\
+                 }};\
+                 let _ = __obj;\
+                 Ok({name} {{ {inits} }})\
+             }}\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .unwrap()
+}
