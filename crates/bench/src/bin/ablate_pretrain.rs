@@ -36,7 +36,8 @@ fn main() {
         encoder: ctx.encoder(),
     };
 
-    let variants: [(&str, Box<dyn Fn(u64) -> Box<dyn dader_core::FeatureExtractor>>); 3] = [
+    type ExtractorFactory<'a> = Box<dyn Fn(u64) -> Box<dyn dader_core::FeatureExtractor> + 'a>;
+    let variants: [(&str, ExtractorFactory<'_>); 3] = [
         (
             "random init, frozen trunk",
             Box::new(|seed| {

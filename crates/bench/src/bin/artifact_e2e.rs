@@ -1,0 +1,92 @@
+//! End-to-end persistence proof + serving throughput.
+//!
+//! 1. Train a tiny FZ→ZY transfer with `save_artifact` set.
+//! 2. Reload the artifact into a completely fresh model.
+//! 3. Verify bitwise-identical predictions and test F1 against the
+//!    in-memory model (the durability contract of the artifact format).
+//! 4. Measure serving throughput (pairs/s) through the `MatchServer` line
+//!    protocol at a few batch sizes.
+//!
+//! ```text
+//! cargo run --release -p dader-bench --bin artifact_e2e [-- --threads N]
+//! ```
+
+use std::io::Cursor;
+
+use dader_bench::{Context, MatchServer, Scale};
+use dader_core::artifact::ModelArtifact;
+use dader_core::AlignerKind;
+use dader_datagen::DatasetId;
+
+fn main() {
+    dader_bench::apply_thread_args();
+    let t0 = std::time::Instant::now();
+    eprintln!("building tiny context...");
+    let ctx = Context::new(Scale::Tiny);
+
+    // ---- 1. train with save_artifact --------------------------------
+    let path = std::env::temp_dir().join(format!("dader_e2e_{}.dma", std::process::id()));
+    let cfg = dader_core::train::TrainConfig {
+        save_artifact: Some(path.clone()),
+        ..ctx.scale.train_config()
+    };
+    eprintln!("training FZ -> ZY (NoDA, tiny) with artifact capture...");
+    let (out, f1_trained) =
+        ctx.run_transfer(DatasetId::FZ, DatasetId::ZY, AlignerKind::NoDa, 1, false, Some(cfg));
+
+    // ---- 2. reload into a fresh model -------------------------------
+    let art = ModelArtifact::load_file(&path).expect("reload saved artifact");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let (reloaded, renc) = art.instantiate().expect("instantiate fresh model");
+
+    // ---- 3. durability contract -------------------------------------
+    let splits = ctx.target_splits(DatasetId::ZY);
+    let f1_reloaded = reloaded.evaluate(&splits.test, &renc, 32).f1();
+    let p_mem = out.model.predict(&splits.test, ctx.encoder(), 32);
+    let p_disk = reloaded.predict(&splits.test, &renc, 32);
+    assert_eq!(p_mem, p_disk, "reloaded model must predict identically");
+    assert_eq!(f1_trained, f1_reloaded, "reloaded model must score identical F1");
+    let probs_mem = out.model.match_probs(&splits.test, ctx.encoder(), 32);
+    let probs_disk = reloaded.match_probs(&splits.test, &renc, 32);
+    assert_eq!(probs_mem, probs_disk, "probabilities must be bitwise identical");
+    println!(
+        "persistence: OK — {} params / {:.1} KiB on disk, F1 {f1_trained:.1} == {f1_reloaded:.1}, {} predictions bitwise identical",
+        art.checkpoint.entries.len(),
+        bytes as f64 / 1024.0,
+        p_mem.len(),
+    );
+    std::fs::remove_file(&path).ok();
+
+    // ---- 4. serving throughput --------------------------------------
+    let server = MatchServer::new(reloaded, renc, art.description.clone());
+    let mut request_lines = String::new();
+    let n_requests = splits.test.len();
+    for (i, pair) in splits.test.pairs.iter().enumerate() {
+        let attrs_json = |attrs: &[(String, String)]| {
+            let obj: Vec<(String, serde::Value)> = attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Value::String(v.clone())))
+                .collect();
+            serde::Value::Object(obj)
+        };
+        let req = serde::Value::Object(vec![
+            ("id".to_string(), serde::Value::Number(i as f64)),
+            ("a".to_string(), attrs_json(&pair.a.attrs)),
+            ("b".to_string(), attrs_json(&pair.b.attrs)),
+        ]);
+        request_lines.push_str(&serde_json::to_string(&req).expect("encode request"));
+        request_lines.push('\n');
+    }
+    println!("serving {n_requests} requests through the line protocol:");
+    for batch in [1usize, 8, 32] {
+        let mut sink = Vec::new();
+        let t = std::time::Instant::now();
+        let scored = server
+            .handle(Cursor::new(request_lines.as_bytes()), &mut sink, batch)
+            .expect("serve request stream");
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(scored, n_requests);
+        println!("  batch {batch:>2}: {:>8.1} pairs/s ({dt:.2}s)", scored as f64 / dt);
+    }
+    println!("total {:.1}s", t0.elapsed().as_secs_f32());
+}

@@ -1,0 +1,106 @@
+//! `dader-serve` — load a model artifact and answer newline-delimited JSON
+//! pair-match requests.
+//!
+//! ```text
+//! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
+//! ```
+//!
+//! By default requests are read from stdin and answered on stdout, one
+//! JSON object per line (see `dader_bench::serve` for the protocol). With
+//! `--listen 127.0.0.1:7878` a TCP listener answers one connection at a
+//! time with the same line protocol.
+//!
+//! Malformed requests produce `{"error": ...}` responses in place; the
+//! process never exits on bad input. A missing or corrupted artifact is
+//! reported as a structured error on stderr with a non-zero exit.
+
+use std::io::{BufReader, BufWriter, Write};
+
+use dader_bench::MatchServer;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dader-serve: error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
+        eprintln!(
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]"
+        );
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+    let artifact = args[0].clone();
+    if artifact.starts_with("--") {
+        fail("first argument must be the artifact path");
+    }
+    let batch_size = match arg_value(&args, "--batch-size") {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| fail(&format!("--batch-size must be a positive integer, got {s:?}"))),
+        None => 32,
+    };
+    if let Some(s) = arg_value(&args, "--threads") {
+        match s.parse::<usize>() {
+            Ok(n) if n > 0 => dader_core::train::ParallelConfig::with_threads(n).apply(),
+            _ => fail(&format!("--threads must be a positive integer, got {s:?}")),
+        }
+    }
+
+    let server = match MatchServer::from_artifact_file(&artifact) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
+    };
+    eprintln!("dader-serve: loaded {artifact} ({})", server.description);
+
+    match arg_value(&args, "--listen") {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = BufWriter::new(std::io::stdout());
+            match server.handle(stdin.lock(), &mut stdout, batch_size) {
+                Ok(n) => eprintln!("dader-serve: scored {n} pairs"),
+                Err(e) => fail(&format!("stdin stream failed: {e}")),
+            }
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
+            eprintln!("dader-serve: listening on {addr}");
+            // One connection at a time: each client streams requests and
+            // reads responses over the same line protocol as stdin mode.
+            for conn in listener.incoming() {
+                let conn = match conn {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("dader-serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                let peer = conn
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".to_string());
+                let reader = BufReader::new(match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("dader-serve: cannot clone socket for {peer}: {e}");
+                        continue;
+                    }
+                });
+                let mut writer = BufWriter::new(conn);
+                match server.handle(reader, &mut writer, batch_size) {
+                    Ok(n) => eprintln!("dader-serve: {peer}: scored {n} pairs"),
+                    Err(e) => eprintln!("dader-serve: {peer}: connection failed: {e}"),
+                }
+                let _ = writer.flush();
+            }
+        }
+    }
+}

@@ -3,6 +3,12 @@
 //! ```text
 //! dader run    --source WA --target AB [--method invgan_kd] [--rnn]
 //!              [--seed 42] [--scale quick|tiny|paper] [--beta 0.5] [--lr 3e-3]
+//!              [--save model.dma]       # persist the selected model
+//! ```
+//!
+//! A saved artifact is served by the separate `dader-serve` binary.
+//!
+//! ```text
 //! dader list                      # datasets and methods
 //! dader distance --target AB      # rank all sources by MMD (Finding 2)
 //! ```
@@ -34,7 +40,7 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper]\n  dader distance --target <ID> [--scale ...]\n  dader list"
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>]\n  dader distance --target <ID> [--scale ...]\n  dader list"
     );
     std::process::exit(2);
 }
@@ -78,6 +84,8 @@ fn cmd_run(args: &[String]) {
     if let Some(lr) = arg_value(args, "--lr").and_then(|v| v.parse().ok()) {
         cfg.lr = lr;
     }
+    let save = arg_value(args, "--save").map(std::path::PathBuf::from);
+    cfg.save_artifact = save.clone();
 
     eprintln!("adapting {source} -> {target} with {method} (seed {seed}, β {}, lr {})...", cfg.beta, cfg.lr);
     let t0 = std::time::Instant::now();
@@ -93,6 +101,9 @@ fn cmd_run(args: &[String]) {
         t0.elapsed().as_secs_f32(),
     );
     println!("per-epoch validation F1: {:?}", out.history.iter().map(|h| h.val_f1.round()).collect::<Vec<_>>());
+    if let Some(path) = save {
+        println!("saved model artifact to {} (serve it with dader-serve)", path.display());
+    }
 }
 
 fn cmd_distance(args: &[String]) {

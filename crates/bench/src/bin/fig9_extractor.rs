@@ -43,7 +43,7 @@ fn main() {
                 .flat_map(|m| ["RNN", "Bert*"].iter().map(move |e| format!("{e} {m}")))
                 .collect(),
         );
-        let mut sums = vec![0.0f32; 6];
+        let mut sums = [0.0f32; 6];
         for &(s, t) in transfers {
             eprintln!("running {}...", transfer_label(s, t));
             let mut cells = Vec::new();

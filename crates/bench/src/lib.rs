@@ -10,10 +10,12 @@
 pub mod context;
 pub mod report;
 pub mod scale;
+pub mod serve;
 
 pub use context::{Context, TargetSplits};
 pub use report::{write_json, Cell, Table};
 pub use scale::Scale;
+pub use serve::MatchServer;
 
 use dader_datagen::DatasetId;
 

@@ -1,0 +1,319 @@
+//! Match serving: answer newline-delimited JSON pair-match requests with a
+//! loaded [`ModelArtifact`] — the deployment half of the train-once /
+//! serve-many workflow (see the `dader-serve` binary).
+//!
+//! ## Protocol
+//!
+//! One JSON object per input line:
+//!
+//! ```json
+//! {"id": 7, "a": {"title": "kodak esp 5250"}, "b": {"title": "kodak esp"}}
+//! ```
+//!
+//! `a` and `b` are attribute → value objects (attribute order matters: it
+//! is the serialization order of Example 1, so clients should send
+//! attributes in the schema order the model was trained with). `id` is
+//! optional and echoed back verbatim. One JSON object per output line, in
+//! input order:
+//!
+//! ```json
+//! {"id": 7, "match": true, "probability": 0.93}
+//! ```
+//!
+//! Malformed lines produce an error object in the same position instead of
+//! killing the stream:
+//!
+//! ```json
+//! {"error": "line 3: `a` must be an object of string attributes", "line": 3}
+//! ```
+
+use std::io::{BufRead, Write};
+
+use dader_core::artifact::{ArtifactError, ModelArtifact};
+use dader_core::DaderModel;
+use dader_text::PairEncoder;
+use serde::Value;
+
+/// A loaded model plus encoder, ready to answer match requests.
+pub struct MatchServer {
+    model: DaderModel,
+    encoder: PairEncoder,
+    /// Provenance line from the artifact (logged at startup).
+    pub description: String,
+}
+
+/// One parsed request: echoed id plus the two entities.
+type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
+
+/// Outcome of one input line: a request to score, or an error to echo.
+enum Parsed {
+    Ok(Request),
+    Err(String),
+}
+
+impl MatchServer {
+    /// Load an artifact from disk and instantiate the model.
+    pub fn from_artifact_file(path: impl AsRef<std::path::Path>) -> Result<MatchServer, ArtifactError> {
+        let art = ModelArtifact::load_file(path)?;
+        let (model, encoder) = art.instantiate()?;
+        Ok(MatchServer {
+            model,
+            encoder,
+            description: art.description,
+        })
+    }
+
+    /// Wrap an already-instantiated model (tests, in-process use).
+    pub fn new(model: DaderModel, encoder: PairEncoder, description: impl Into<String>) -> MatchServer {
+        MatchServer {
+            model,
+            encoder,
+            description: description.into(),
+        }
+    }
+
+    /// Serve every line of `input`, writing one response line per request
+    /// to `output` in input order. Requests are scored in batches of up to
+    /// `batch_size`; malformed lines yield error objects and never abort
+    /// the stream. Returns the number of successfully scored pairs.
+    pub fn handle<R: BufRead, W: Write>(
+        &self,
+        input: R,
+        output: &mut W,
+        batch_size: usize,
+    ) -> std::io::Result<usize> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut scored = 0usize;
+        // (line number, parse outcome) for one flush window.
+        let mut window: Vec<(usize, Parsed)> = Vec::with_capacity(batch_size);
+        let mut pending = 0usize; // Ok entries in the window
+        for (i, line) in input.lines().enumerate() {
+            let lineno = i + 1;
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            window.push((lineno, parse_request(&line, lineno)));
+            if matches!(window.last(), Some((_, Parsed::Ok(_)))) {
+                pending += 1;
+            }
+            if pending == batch_size {
+                scored += self.flush(&mut window, output, batch_size)?;
+                pending = 0;
+            }
+        }
+        scored += self.flush(&mut window, output, batch_size)?;
+        Ok(scored)
+    }
+
+    /// Score the Ok entries of the window in one (or more) forward passes
+    /// and write all responses in line order.
+    fn flush<W: Write>(
+        &self,
+        window: &mut Vec<(usize, Parsed)>,
+        output: &mut W,
+        batch_size: usize,
+    ) -> std::io::Result<usize> {
+        let pairs: Vec<dader_core::EntityPair> = window
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
+                Parsed::Err(_) => None,
+            })
+            .collect();
+        let preds = self.model.predict_pairs(&pairs, &self.encoder, batch_size);
+        let scored = preds.len();
+        let mut preds = preds.into_iter();
+        for (lineno, parsed) in window.drain(..) {
+            let obj = match parsed {
+                Parsed::Ok((id, _, _)) => {
+                    let (label, prob) = preds.next().expect("one prediction per Ok line");
+                    let mut kvs = Vec::with_capacity(3);
+                    if let Some(id) = id {
+                        kvs.push(("id".to_string(), id));
+                    }
+                    kvs.push(("match".to_string(), Value::Bool(label == 1)));
+                    kvs.push(("probability".to_string(), Value::Number(prob as f64)));
+                    Value::Object(kvs)
+                }
+                Parsed::Err(msg) => Value::Object(vec![
+                    ("error".to_string(), Value::String(msg)),
+                    ("line".to_string(), Value::Number(lineno as f64)),
+                ]),
+            };
+            let text = serde_json::to_string(&obj)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            writeln!(output, "{text}")?;
+        }
+        output.flush()?;
+        Ok(scored)
+    }
+}
+
+/// Parse one request line; every failure becomes an error message naming
+/// the line, so the caller can keep serving.
+fn parse_request(line: &str, lineno: usize) -> Parsed {
+    let v: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return Parsed::Err(format!("line {lineno}: invalid JSON: {e}")),
+    };
+    if v.as_object().is_none() {
+        return Parsed::Err(format!("line {lineno}: request must be a JSON object"));
+    }
+    let entity = |key: &str| -> Result<Vec<(String, String)>, String> {
+        let obj = v
+            .get(key)
+            .and_then(|e| e.as_object())
+            .ok_or_else(|| format!("line {lineno}: `{key}` must be an object of string attributes"))?;
+        obj.iter()
+            .map(|(k, val)| match val {
+                Value::String(s) => Ok((k.clone(), s.clone())),
+                Value::Number(n) => Ok((k.clone(), format_number(*n))),
+                Value::Bool(b) => Ok((k.clone(), b.to_string())),
+                Value::Null => Ok((k.clone(), String::new())),
+                _ => Err(format!(
+                    "line {lineno}: `{key}.{k}` must be a scalar value"
+                )),
+            })
+            .collect()
+    };
+    let a = match entity("a") {
+        Ok(a) => a,
+        Err(e) => return Parsed::Err(e),
+    };
+    let b = match entity("b") {
+        Ok(b) => b,
+        Err(e) => return Parsed::Err(e),
+    };
+    Parsed::Ok((v.get("id").cloned(), a, b))
+}
+
+/// Print a JSON number the way the tokenizer expects attribute text
+/// (integers without a trailing `.0`).
+fn format_number(n: f64) -> String {
+    if n.is_finite() && n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_core::{LmExtractor, Matcher};
+    use dader_nn::TransformerConfig;
+    use dader_text::Vocab;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_server() -> MatchServer {
+        let vocab = Vocab::build(
+            ["title", "kodak", "esp", "printer", "hp", "laserjet"],
+            1,
+            100,
+        );
+        let encoder = PairEncoder::new(vocab.clone(), 24);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TransformerConfig {
+            vocab: vocab.len(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 32,
+            max_len: 24,
+        };
+        let model = DaderModel {
+            extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+            matcher: Matcher::new(16, &mut rng),
+        };
+        MatchServer::new(model, encoder, "test")
+    }
+
+    fn responses(server: &MatchServer, input: &str, batch: usize) -> (usize, Vec<Value>) {
+        let mut out = Vec::new();
+        let n = server
+            .handle(std::io::Cursor::new(input.to_string()), &mut out, batch)
+            .unwrap();
+        let lines = String::from_utf8(out).unwrap();
+        let vals = lines
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        (n, vals)
+    }
+
+    #[test]
+    fn scores_valid_requests_in_order() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"id\": 1, \"a\": {\"title\": \"kodak esp\"}, \"b\": {\"title\": \"kodak esp\"}}\n",
+            "{\"id\": 2, \"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"hp laserjet\"}}\n",
+        );
+        let (n, vals) = responses(&server, input, 8);
+        assert_eq!(n, 2);
+        assert_eq!(vals.len(), 2);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(v.get("id").unwrap().as_f64().unwrap() as usize, i + 1);
+            assert!(matches!(v.get("match").unwrap(), Value::Bool(_)));
+            let p = v.get("probability").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&p));
+            assert!(v.get("error").is_none());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_become_error_objects() {
+        let server = tiny_server();
+        let input = concat!(
+            "this is not json\n",
+            "{\"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+            "{\"a\": \"not an object\", \"b\": {\"title\": \"x\"}}\n",
+            "[1, 2, 3]\n",
+            "{\"a\": {\"title\": [1]}, \"b\": {\"title\": \"x\"}}\n",
+        );
+        let (n, vals) = responses(&server, input, 2);
+        assert_eq!(n, 1, "only the one valid line is scored");
+        assert_eq!(vals.len(), 5, "every line gets a response");
+        for (i, expect_err) in [(0, true), (1, false), (2, true), (3, true), (4, true)] {
+            let has_err = vals[i].get("error").is_some();
+            assert_eq!(has_err, expect_err, "line {}: {:?}", i + 1, vals[i]);
+        }
+        // error objects carry the 1-based line number
+        assert_eq!(vals[0].get("line").unwrap().as_f64().unwrap() as usize, 1);
+        assert_eq!(vals[2].get("line").unwrap().as_f64().unwrap() as usize, 3);
+    }
+
+    #[test]
+    fn batching_preserves_order_and_results() {
+        let server = tiny_server();
+        let mut input = String::new();
+        for i in 0..7 {
+            input.push_str(&format!(
+                "{{\"id\": {i}, \"a\": {{\"title\": \"kodak esp {i}\"}}, \"b\": {{\"title\": \"kodak\"}}}}\n"
+            ));
+        }
+        let (_, one) = responses(&server, &input, 1);
+        let (_, big) = responses(&server, &input, 5);
+        assert_eq!(one, big, "batch size must not change results or order");
+        let ids: Vec<usize> = big
+            .iter()
+            .map(|v| v.get("id").unwrap().as_f64().unwrap() as usize)
+            .collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blank_lines_skipped_numbers_and_nulls_coerced() {
+        let server = tiny_server();
+        let input = concat!(
+            "\n",
+            "{\"a\": {\"title\": \"kodak\", \"price\": 99.5, \"stock\": null}, \"b\": {\"title\": \"kodak\", \"price\": 100}}\n",
+            "   \n",
+        );
+        let (n, vals) = responses(&server, input, 4);
+        assert_eq!(n, 1);
+        assert_eq!(vals.len(), 1);
+        assert!(vals[0].get("error").is_none());
+    }
+}

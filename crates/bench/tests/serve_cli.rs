@@ -1,0 +1,166 @@
+//! Integration test for the `dader-serve` binary: spawn the real process,
+//! stream requests (valid and malformed) over stdin, and assert one
+//! response per line — error objects for the bad lines, predictions for
+//! the good ones — with a clean exit. A corrupted artifact must produce a
+//! structured error on stderr, not a panic.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use dader_core::artifact::ModelArtifact;
+use dader_core::{DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+fn write_tiny_artifact(name: &str) -> PathBuf {
+    let vocab = Vocab::build(
+        ["title", "kodak", "esp", "printer", "hp", "laserjet"],
+        1,
+        100,
+    );
+    let encoder = PairEncoder::new(vocab.clone(), 16);
+    let mut rng = StdRng::seed_from_u64(21);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 8,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 16,
+        max_len: 16,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(8, &mut rng),
+    };
+    let path = std::env::temp_dir().join(format!("dader_serve_cli_{}_{name}", std::process::id()));
+    ModelArtifact::capture("serve-cli test", &model, &encoder)
+        .save_file(&path)
+        .unwrap();
+    path
+}
+
+fn run_serve(artifact: &PathBuf, extra_args: &[&str], input: &str) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dader-serve"));
+    cmd.arg(artifact)
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn dader-serve");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    child.wait_with_output().expect("dader-serve exit")
+}
+
+#[test]
+fn malformed_lines_get_error_responses_without_process_exit() {
+    let artifact = write_tiny_artifact("malformed.dma");
+    let input = concat!(
+        "{\"id\": 1, \"a\": {\"title\": \"kodak esp\"}, \"b\": {\"title\": \"kodak esp\"}}\n",
+        "not json at all {{{\n",
+        "{\"id\": 3, \"a\": {\"title\": \"hp laserjet\"}, \"b\": {\"title\": \"kodak\"}}\n",
+        "{\"missing\": \"entities\"}\n",
+        "{\"id\": 5, \"a\": {\"title\": \"printer\"}, \"b\": {\"title\": \"printer\"}}\n",
+    );
+    let out = run_serve(&artifact, &["--batch-size", "2"], input);
+    std::fs::remove_file(&artifact).unwrap();
+
+    assert!(
+        out.status.success(),
+        "malformed input must not kill the process: {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every response line is JSON"))
+        .collect();
+    assert_eq!(lines.len(), 5, "one response per request line:\n{stdout}");
+
+    // lines 2 and 4 are errors carrying their line numbers
+    for (idx, lineno) in [(1usize, 2.0), (3, 4.0)] {
+        assert!(lines[idx].get("error").is_some(), "line {}: {stdout}", idx + 1);
+        assert_eq!(lines[idx].get("line").unwrap().as_f64(), Some(lineno));
+    }
+    // lines 1, 3, 5 are predictions echoing their ids
+    for (idx, id) in [(0usize, 1.0), (2, 3.0), (4, 5.0)] {
+        let v = &lines[idx];
+        assert!(v.get("error").is_none(), "line {}: {stdout}", idx + 1);
+        assert_eq!(v.get("id").unwrap().as_f64(), Some(id));
+        assert!(matches!(v.get("match"), Some(Value::Bool(_))));
+        let p = v.get("probability").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+    // scored count reported on stderr
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("scored 3 pairs"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn responses_keep_input_order_across_batches() {
+    let artifact = write_tiny_artifact("order.dma");
+    let mut input = String::new();
+    for i in 0..9 {
+        input.push_str(&format!(
+            "{{\"id\": {i}, \"a\": {{\"title\": \"kodak {i}\"}}, \"b\": {{\"title\": \"kodak\"}}}}\n"
+        ));
+    }
+    let out = run_serve(&artifact, &["--batch-size", "4"], &input);
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let ids: Vec<usize> = stdout
+        .lines()
+        .map(|l| {
+            serde_json::from_str::<Value>(l)
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_f64()
+                .unwrap() as usize
+        })
+        .collect();
+    assert_eq!(ids, (0..9).collect::<Vec<_>>());
+}
+
+#[test]
+fn corrupted_artifact_fails_with_structured_error() {
+    let artifact = write_tiny_artifact("corrupt.dma");
+    let mut bytes = std::fs::read(&artifact).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&artifact, &bytes).unwrap();
+
+    let out = run_serve(&artifact, &[], "");
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(!out.status.success(), "corrupted artifact must fail the load");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum mismatch") || stderr.contains("cannot load artifact"),
+        "stderr should carry the typed error: {stderr}"
+    );
+    // a load failure is an error message, not a panic
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_artifact_fails_cleanly() {
+    let path = std::env::temp_dir().join("dader_serve_cli_definitely_missing.dma");
+    let out = run_serve(&path, &[], "");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load artifact"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}

@@ -27,7 +27,7 @@ impl EdAligner {
     /// New aligner. `feat_dim` must match the extractor's output width.
     pub fn new(vocab: usize, feat_dim: usize, recon_len: usize, rng: &mut StdRng) -> EdAligner {
         assert!(recon_len >= 2, "reconstruction prefix too short");
-        let dim = feat_dim.min(64).max(16);
+        let dim = feat_dim.clamp(16, 64);
         let recon_vocab = vocab.min(1024);
         EdAligner {
             decoder: FeatureDecoder::new("ed.dec", recon_vocab, feat_dim, dim, 1, 2, recon_len, rng),

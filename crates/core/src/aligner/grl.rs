@@ -35,7 +35,7 @@ impl GrlAligner {
         let joint = xs.grad_reverse(1.0).concat_rows(&xt.grad_reverse(1.0));
         let logits = self.classifier.forward(&joint); // (ns+nt, 1)
         let mut labels = vec![1.0f32; ns];
-        labels.extend(std::iter::repeat(0.0).take(nt));
+        labels.extend(std::iter::repeat_n(0.0, nt));
         logits.reshape(ns + nt).bce_with_logits(&labels).scale(beta)
     }
 

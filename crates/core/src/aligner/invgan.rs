@@ -44,7 +44,7 @@ impl Discriminator {
         let joint = real.detach().concat_rows(&fake.detach());
         let logits = self.logits(&joint).reshape(nr + nf);
         let mut labels = vec![1.0f32; nr];
-        labels.extend(std::iter::repeat(0.0).take(nf));
+        labels.extend(std::iter::repeat_n(0.0, nf));
         logits.bce_with_logits(&labels)
     }
 
@@ -160,7 +160,7 @@ mod tests {
                 .backward();
             opt_d.step(&d.params(), &g);
             let g = d.generator_loss(&fake_param.leaf()).backward();
-            opt_g.step(&[fake_param.clone()], &g);
+            opt_g.step(std::slice::from_ref(&fake_param), &g);
         }
         let after = mean_of(&fake_param);
         assert!(

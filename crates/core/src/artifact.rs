@@ -1,0 +1,597 @@
+//! Durable model artifacts: the on-disk format that lets an adapted
+//! `(F, M)` matcher outlive its training process — the train-once /
+//! serve-many workflow of Ditto and of the paper's own snapshot-selection
+//! protocol (Section 6.1), which presumes the selected snapshot can be
+//! persisted and reused.
+//!
+//! ## Wire format
+//!
+//! Both checkpoint files ([`Checkpoint::save_file`]) and full model
+//! artifacts ([`ModelArtifact::save_file`]) share one frame:
+//!
+//! ```text
+//! magic (4 bytes)  "DDRC" checkpoint | "DDRA" artifact
+//! version (u32 LE) currently 1; greater versions are rejected
+//! body_len (u64 LE)
+//! body (body_len bytes)
+//! crc32 (u32 LE)   IEEE CRC-32 over the body
+//! ```
+//!
+//! All integers are little-endian; strings are a u64 length plus UTF-8
+//! bytes; f32 slices are a u64 element count plus raw LE bytes. The
+//! checkpoint body is `version, description, n_entries × (name, shape,
+//! data)`; the artifact body prepends the pieces needed to reconstruct
+//! inference — extractor spec, matcher width and tokenizer state — before
+//! an embedded checkpoint body. Writes go to a temporary sibling file and
+//! are published atomically via rename, so readers never observe a
+//! half-written artifact.
+//!
+//! Every load-time failure is a typed [`ArtifactError`]; corrupted files
+//! never panic.
+
+use std::io::Write;
+use std::path::Path;
+
+use dader_text::{EncoderState, PairEncoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
+use crate::extractor::ExtractorSpec;
+use crate::matcher::Matcher;
+use crate::model::DaderModel;
+
+/// Magic bytes of a checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DDRC";
+/// Magic bytes of a model-artifact file.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"DDRA";
+/// Current (and maximum readable) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from saving or loading model artifacts and checkpoint files.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Magic this reader expects.
+        expected: [u8; 4],
+        /// Bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file was written by a newer (or invalid) format version.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before the declared content does.
+    Truncated {
+        /// Bytes the declared content requires.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The body does not match its trailing CRC-32.
+    CrcMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the body.
+        computed: u32,
+    },
+    /// The body is structurally invalid (bad UTF-8, trailing bytes,
+    /// unknown tags, inconsistent dimensions).
+    Malformed(String),
+    /// A structurally-validated checkpoint failed its integrity checks or
+    /// could not be restored into the reconstructed model.
+    Checkpoint(CheckpointError),
+    /// The persisted tokenizer state could not be rebuilt.
+    Encoder(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "io error: {e}"),
+            ArtifactError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads <= {supported})")
+            }
+            ArtifactError::Truncated { needed, available } => {
+                write!(f, "truncated file: need {needed} bytes, have {available}")
+            }
+            ArtifactError::CrcMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            ArtifactError::Malformed(msg) => write!(f, "malformed body: {msg}"),
+            ArtifactError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ArtifactError::Encoder(msg) => write!(f, "encoder state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ArtifactError {
+    fn from(e: CheckpointError) -> ArtifactError {
+        ArtifactError::Checkpoint(e)
+    }
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ------------------------------------------------------------------ wire
+
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn put_f32s(&mut self, data: &[f32]) {
+        self.put_usize(data.len());
+        for &v in data {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated {
+                needed: self.pos + n,
+                available: self.data.len(),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A u64 length/count field; bounded by the remaining bytes so a
+    /// corrupted length cannot trigger an enormous allocation.
+    fn take_len(&mut self, unit: usize) -> Result<usize, ArtifactError> {
+        let v = self.take_u64()?;
+        let v = usize::try_from(v)
+            .map_err(|_| ArtifactError::Malformed(format!("length {v} overflows usize")))?;
+        if v.saturating_mul(unit.max(1)) > self.remaining() {
+            return Err(ArtifactError::Truncated {
+                needed: self.pos.saturating_add(v.saturating_mul(unit.max(1))),
+                available: self.data.len(),
+            });
+        }
+        Ok(v)
+    }
+
+    fn take_str(&mut self) -> Result<String, ArtifactError> {
+        let n = self.take_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ArtifactError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    fn take_f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
+        let n = self.take_len(4)?;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn take_dims(&mut self) -> Result<Vec<usize>, ArtifactError> {
+        let n = self.take_len(8)?;
+        (0..n).map(|_| self.take_len(0)).collect()
+    }
+
+    fn expect_end(&self) -> Result<(), ArtifactError> {
+        if self.remaining() != 0 {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after body",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- frame
+
+/// Atomically write `magic + version + body + crc32(body)` to `path` via
+/// a temporary sibling file and rename.
+fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(), ArtifactError> {
+    let mut out = Vec::with_capacity(body.len() + 20);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write.map_err(ArtifactError::Io)
+}
+
+/// Read a framed file back, validating magic, version, declared length
+/// and CRC; returns the body bytes.
+fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, ArtifactError> {
+    let raw = std::fs::read(path)?;
+    if raw.len() < 16 {
+        return Err(ArtifactError::Truncated { needed: 16, available: raw.len() });
+    }
+    let found: [u8; 4] = raw[0..4].try_into().unwrap();
+    if found != magic {
+        return Err(ArtifactError::BadMagic { expected: magic, found });
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let body_len = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    let body_len = usize::try_from(body_len)
+        .map_err(|_| ArtifactError::Malformed(format!("body length {body_len} overflows usize")))?;
+    let total = 16usize
+        .checked_add(body_len)
+        .and_then(|v| v.checked_add(4))
+        .ok_or_else(|| ArtifactError::Malformed(format!("body length {body_len} overflows usize")))?;
+    if raw.len() < total {
+        return Err(ArtifactError::Truncated { needed: total, available: raw.len() });
+    }
+    if raw.len() > total {
+        return Err(ArtifactError::Malformed(format!(
+            "{} trailing bytes after checksum",
+            raw.len() - total
+        )));
+    }
+    let body = &raw[16..16 + body_len];
+    let stored = u32::from_le_bytes(raw[16 + body_len..].try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ArtifactError::CrcMismatch { stored, computed });
+    }
+    Ok(body.to_vec())
+}
+
+// ------------------------------------------------------------ checkpoint
+
+fn encode_checkpoint_body(w: &mut ByteWriter, ckpt: &Checkpoint) {
+    w.put_u32(ckpt.version);
+    w.put_str(&ckpt.description);
+    w.put_usize(ckpt.entries.len());
+    for e in &ckpt.entries {
+        w.put_str(&e.name);
+        w.put_usize(e.shape.len());
+        for &d in &e.shape {
+            w.put_u64(d as u64);
+        }
+        w.put_f32s(&e.data);
+    }
+}
+
+fn decode_checkpoint_body(r: &mut ByteReader<'_>) -> Result<Checkpoint, ArtifactError> {
+    let version = r.take_u32()?;
+    let description = r.take_str()?;
+    let n = r.take_len(0)?;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = r.take_str()?;
+        let shape = r.take_dims()?;
+        let data = r.take_f32s()?;
+        let entry = CheckpointEntry { name, shape, data };
+        entry.validate_data_len()?;
+        entries.push(entry);
+    }
+    Ok(Checkpoint { version, description, entries })
+}
+
+impl Checkpoint {
+    /// Save to `path` in the versioned binary format (atomic
+    /// write-via-rename; see the module docs for the layout).
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let mut w = ByteWriter::new();
+        encode_checkpoint_body(&mut w, self);
+        write_framed(path.as_ref(), CHECKPOINT_MAGIC, &w.buf)
+    }
+
+    /// Load a checkpoint saved by [`Checkpoint::save_file`], validating
+    /// magic, version, CRC and every entry's shape/data consistency.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, ArtifactError> {
+        let body = read_framed(path.as_ref(), CHECKPOINT_MAGIC)?;
+        let mut r = ByteReader::new(&body);
+        let ckpt = decode_checkpoint_body(&mut r)?;
+        r.expect_end()?;
+        Ok(ckpt)
+    }
+}
+
+// -------------------------------------------------------------- artifact
+
+const SPEC_TAG_LM: u8 = 0;
+const SPEC_TAG_RNN: u8 = 1;
+
+/// A complete, durable model: trained weights plus everything needed to
+/// reconstruct inference — the extractor architecture, the matcher width
+/// and the tokenizer/vocabulary state the model was trained with.
+#[derive(Clone, Debug)]
+pub struct ModelArtifact {
+    /// Free-form provenance line (method, seed, selected epoch...).
+    pub description: String,
+    /// Architecture of the feature extractor `F`.
+    pub extractor: ExtractorSpec,
+    /// Input width of the matcher `M` (equals the extractor's `feat_dim`).
+    pub matcher_dim: usize,
+    /// Tokenizer state: ordered vocabulary plus padded length.
+    pub encoder: EncoderState,
+    /// The trained `(F, M)` weights, extractor parameters first.
+    pub checkpoint: Checkpoint,
+}
+
+impl ModelArtifact {
+    /// Capture a trained model and its encoder into a persistable
+    /// artifact.
+    pub fn capture(
+        description: impl Into<String>,
+        model: &DaderModel,
+        encoder: &PairEncoder,
+    ) -> ModelArtifact {
+        let description = description.into();
+        ModelArtifact {
+            extractor: model.extractor.spec(),
+            matcher_dim: model.extractor.feat_dim(),
+            encoder: encoder.state(),
+            checkpoint: Checkpoint::capture(description.clone(), &model.params()),
+            description,
+        }
+    }
+
+    /// Rebuild the model and its pair encoder: construct a fresh `(F, M)`
+    /// from the stored architecture, then restore the checkpointed
+    /// weights. The result predicts bit-identically to the captured model.
+    pub fn instantiate(&self) -> Result<(DaderModel, PairEncoder), ArtifactError> {
+        if self.extractor.feat_dim() != self.matcher_dim {
+            return Err(ArtifactError::Malformed(format!(
+                "extractor feat_dim {} disagrees with matcher input width {}",
+                self.extractor.feat_dim(),
+                self.matcher_dim
+            )));
+        }
+        let encoder = PairEncoder::from_state(self.encoder.clone()).map_err(ArtifactError::Encoder)?;
+        if self.extractor.vocab() != encoder.vocab().len() {
+            return Err(ArtifactError::Malformed(format!(
+                "extractor embeds {} tokens but the stored vocabulary has {}",
+                self.extractor.vocab(),
+                encoder.vocab().len()
+            )));
+        }
+        // The init RNG is irrelevant — every parameter is overwritten by
+        // the checkpoint restore below — but keep it fixed anyway.
+        let mut rng = StdRng::seed_from_u64(0);
+        let extractor = self.extractor.build(&mut rng);
+        let matcher = Matcher::new(self.matcher_dim, &mut rng);
+        let model = DaderModel { extractor, matcher };
+        self.checkpoint.restore(&model.params())?;
+        Ok((model, encoder))
+    }
+
+    /// Save to `path` in the versioned binary format (atomic
+    /// write-via-rename; see the module docs for the layout).
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.description);
+        match &self.extractor {
+            ExtractorSpec::Lm(cfg) => {
+                w.put_u8(SPEC_TAG_LM);
+                for d in [cfg.vocab, cfg.dim, cfg.layers, cfg.heads, cfg.ffn_dim, cfg.max_len] {
+                    w.put_u64(d as u64);
+                }
+            }
+            ExtractorSpec::Rnn { vocab, embed_dim, hidden, feat_dim } => {
+                w.put_u8(SPEC_TAG_RNN);
+                for d in [*vocab, *embed_dim, *hidden, *feat_dim] {
+                    w.put_u64(d as u64);
+                }
+            }
+        }
+        w.put_usize(self.matcher_dim);
+        w.put_usize(self.encoder.max_len);
+        w.put_usize(self.encoder.tokens.len());
+        for t in &self.encoder.tokens {
+            w.put_str(t);
+        }
+        encode_checkpoint_body(&mut w, &self.checkpoint);
+        write_framed(path.as_ref(), ARTIFACT_MAGIC, &w.buf)
+    }
+
+    /// Load an artifact saved by [`ModelArtifact::save_file`], validating
+    /// magic, version, CRC and the structural integrity of every section.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<ModelArtifact, ArtifactError> {
+        let body = read_framed(path.as_ref(), ARTIFACT_MAGIC)?;
+        let mut r = ByteReader::new(&body);
+        let description = r.take_str()?;
+        let extractor = match r.take_u8()? {
+            SPEC_TAG_LM => {
+                let (vocab, dim, layers, heads, ffn_dim, max_len) = (
+                    r.take_len(0)?,
+                    r.take_len(0)?,
+                    r.take_len(0)?,
+                    r.take_len(0)?,
+                    r.take_len(0)?,
+                    r.take_len(0)?,
+                );
+                ExtractorSpec::Lm(dader_nn::TransformerConfig {
+                    vocab,
+                    dim,
+                    layers,
+                    heads,
+                    ffn_dim,
+                    max_len,
+                })
+            }
+            SPEC_TAG_RNN => ExtractorSpec::Rnn {
+                vocab: r.take_len(0)?,
+                embed_dim: r.take_len(0)?,
+                hidden: r.take_len(0)?,
+                feat_dim: r.take_len(0)?,
+            },
+            tag => {
+                return Err(ArtifactError::Malformed(format!("unknown extractor tag {tag}")));
+            }
+        };
+        let matcher_dim = r.take_len(0)?;
+        let enc_max_len = r.take_len(0)?;
+        let n_tokens = r.take_len(0)?;
+        let mut tokens = Vec::with_capacity(n_tokens.min(1 << 20));
+        for _ in 0..n_tokens {
+            tokens.push(r.take_str()?);
+        }
+        let checkpoint = decode_checkpoint_body(&mut r)?;
+        r.expect_end()?;
+        Ok(ModelArtifact {
+            description,
+            extractor,
+            matcher_dim,
+            encoder: EncoderState { tokens, max_len: enc_max_len },
+            checkpoint,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn reader_rejects_oversized_length_field() {
+        // A corrupted u64 length must not cause a giant allocation; it is
+        // caught against the remaining byte count.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let mut r = ByteReader::new(&w.buf);
+        assert!(matches!(r.take_str(), Err(ArtifactError::Malformed(_) | ArtifactError::Truncated { .. })));
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_str("hello ✓");
+        w.put_f32s(&[1.5, -2.25, 0.0]);
+        let mut r = ByteReader::new(&w.buf);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_str().unwrap(), "hello ✓");
+        assert_eq!(r.take_f32s().unwrap(), vec![1.5, -2.25, 0.0]);
+        r.expect_end().unwrap();
+    }
+}

@@ -74,7 +74,7 @@ pub fn run_deepmatcher(
     ));
     let cfg = TrainConfig {
         lr: cfg.lr.max(1e-3),
-        ..*cfg
+        ..cfg.clone()
     };
     let out = train_supervised(train, val, Some(test), encoder, extractor, &cfg);
     out.model.evaluate(test, encoder, cfg.eval_batch).f1()

@@ -32,6 +32,24 @@ pub struct CheckpointEntry {
     pub data: Vec<f32>,
 }
 
+impl CheckpointEntry {
+    /// Check that `data` holds exactly the element count `shape` implies —
+    /// the integrity guard for corrupted or hand-edited checkpoints, run
+    /// before any parameter is mutated (and again by the file loader).
+    pub fn validate_data_len(&self) -> Result<(), CheckpointError> {
+        let expected: usize = self.shape.iter().product();
+        if self.data.len() != expected {
+            return Err(CheckpointError::DataLenMismatch {
+                name: self.name.clone(),
+                shape: self.shape.clone(),
+                expected,
+                found: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Errors from loading a checkpoint into a model.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CheckpointError {
@@ -60,6 +78,18 @@ pub enum CheckpointError {
         /// Shape found in the model.
         found: Vec<usize>,
     },
+    /// An entry's flat data length disagrees with the product of its
+    /// declared shape (a corrupted or hand-edited checkpoint).
+    DataLenMismatch {
+        /// Parameter name.
+        name: String,
+        /// Declared shape.
+        shape: Vec<usize>,
+        /// Element count the shape implies.
+        expected: usize,
+        /// Elements actually present.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -73,6 +103,12 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::ShapeMismatch { name, expected, found } => {
                 write!(f, "param {name}: checkpoint shape {expected:?}, model shape {found:?}")
+            }
+            CheckpointError::DataLenMismatch { name, shape, expected, found } => {
+                write!(
+                    f,
+                    "param {name}: shape {shape:?} implies {expected} elements, entry holds {found}"
+                )
             }
         }
     }
@@ -121,6 +157,7 @@ impl Checkpoint {
                     found: p.shape().dims().to_vec(),
                 });
             }
+            e.validate_data_len()?;
         }
         for (e, p) in self.entries.iter().zip(params) {
             p.set_data(e.data.clone());
@@ -203,6 +240,28 @@ mod tests {
             ckpt.restore(&other).unwrap_err(),
             CheckpointError::ShapeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn data_len_mismatch_rejected_without_partial_write() {
+        let mut ckpt = Checkpoint::capture("x", &params());
+        // Corrupt the second entry: shape says 2x2 = 4, data holds 3.
+        ckpt.entries[1].data.pop();
+        let target = vec![
+            Param::from_vec("a.w", vec![9.0, 9.0], 2usize),
+            Param::from_vec("a.b", vec![9.0; 4], (2, 2)),
+        ];
+        assert_eq!(
+            ckpt.restore(&target),
+            Err(CheckpointError::DataLenMismatch {
+                name: "a.b".to_string(),
+                shape: vec![2, 2],
+                expected: 4,
+                found: 3,
+            })
+        );
+        // Pre-mutation validation: the first (valid) entry was not written.
+        assert_eq!(target[0].snapshot(), vec![9.0, 9.0]);
     }
 
     #[test]

@@ -111,6 +111,61 @@ fn similarity_feature(
     .tanh_act()
 }
 
+/// Reconstruction recipe for a feature extractor: the architecture kind
+/// plus every dimension needed to rebuild it with identical parameter
+/// names and shapes, so persisted weights
+/// ([`crate::artifact::ModelArtifact`]) can be restored into a freshly
+/// built instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtractorSpec {
+    /// An [`LmExtractor`] with its transformer configuration.
+    Lm(TransformerConfig),
+    /// An [`RnnExtractor`] and its dimensions.
+    Rnn {
+        /// Vocabulary size of the embedding table.
+        vocab: usize,
+        /// Token-embedding width.
+        embed_dim: usize,
+        /// GRU hidden size (per direction).
+        hidden: usize,
+        /// Output feature dimension `d`.
+        feat_dim: usize,
+    },
+}
+
+impl ExtractorSpec {
+    /// The output feature dimension `d` of the described extractor.
+    pub fn feat_dim(&self) -> usize {
+        match self {
+            ExtractorSpec::Lm(cfg) => cfg.dim,
+            ExtractorSpec::Rnn { feat_dim, .. } => *feat_dim,
+        }
+    }
+
+    /// The vocabulary size the described extractor embeds.
+    pub fn vocab(&self) -> usize {
+        match self {
+            ExtractorSpec::Lm(cfg) => cfg.vocab,
+            ExtractorSpec::Rnn { vocab, .. } => *vocab,
+        }
+    }
+
+    /// Build a fresh extractor with this architecture. Weights are
+    /// randomly initialized from `rng`; callers restoring a checkpoint
+    /// overwrite every parameter afterwards.
+    pub fn build(&self, rng: &mut StdRng) -> Box<dyn FeatureExtractor> {
+        match self {
+            ExtractorSpec::Lm(cfg) => Box::new(LmExtractor::new(*cfg, rng)),
+            ExtractorSpec::Rnn {
+                vocab,
+                embed_dim,
+                hidden,
+                feat_dim,
+            } => Box::new(RnnExtractor::new(*vocab, *embed_dim, *hidden, *feat_dim, rng)),
+        }
+    }
+}
+
 /// A feature extractor `F(a, b) -> x ∈ R^d` over encoded entity pairs.
 ///
 /// `Send + Sync` so a trained extractor can be shared by reference across
@@ -131,6 +186,10 @@ pub trait FeatureExtractor: Send + Sync {
 
     /// Human-readable kind, for reports.
     fn kind(&self) -> &'static str;
+
+    /// The reconstruction recipe for this extractor (persisted into model
+    /// artifacts; see [`ExtractorSpec`]).
+    fn spec(&self) -> ExtractorSpec;
 }
 
 /// Design choice (II): a BERT-style transformer encoder with the
@@ -223,6 +282,10 @@ impl FeatureExtractor for LmExtractor {
     fn kind(&self) -> &'static str {
         "LM"
     }
+
+    fn spec(&self) -> ExtractorSpec {
+        ExtractorSpec::Lm(*self.encoder.config())
+    }
 }
 
 /// Design choice (I): token embeddings + bidirectional GRU + masked mean
@@ -301,6 +364,15 @@ impl FeatureExtractor for RnnExtractor {
     fn kind(&self) -> &'static str {
         "RNN"
     }
+
+    fn spec(&self) -> ExtractorSpec {
+        ExtractorSpec::Rnn {
+            vocab: self.embedding.vocab(),
+            embed_dim: self.embedding.dim(),
+            hidden: self.rnn.out_dim() / 2,
+            feat_dim: self.feat_dim,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +434,35 @@ mod tests {
         let ids_e: std::collections::HashSet<u64> = e.params().iter().map(|p| p.id()).collect();
         let ids_c: std::collections::HashSet<u64> = c.params().iter().map(|p| p.id()).collect();
         assert!(ids_e.is_disjoint(&ids_c));
+    }
+
+    #[test]
+    fn specs_rebuild_matching_architectures() {
+        let e = lm();
+        let rebuilt = e.spec().build(&mut StdRng::seed_from_u64(7));
+        let (a, b) = (e.params(), rebuilt.params());
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.name(), q.name());
+            assert_eq!(p.shape().dims(), q.shape().dims());
+        }
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = RnnExtractor::new(32, 8, 6, 10, &mut rng);
+        let spec = r.spec();
+        assert_eq!(
+            spec,
+            ExtractorSpec::Rnn { vocab: 32, embed_dim: 8, hidden: 6, feat_dim: 10 }
+        );
+        assert_eq!(spec.feat_dim(), 10);
+        assert_eq!(spec.vocab(), 32);
+        let rebuilt = spec.build(&mut rng);
+        let (a, b) = (r.params(), rebuilt.params());
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.name(), q.name());
+            assert_eq!(p.shape().dims(), q.shape().dims());
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@
 //! ```
 
 pub mod aligner;
+pub mod artifact;
 pub mod baselines;
 pub mod batch;
 pub mod checkpoint;
@@ -77,13 +78,14 @@ pub mod snapshot;
 pub mod train;
 
 pub use aligner::AlignerKind;
+pub use artifact::{ArtifactError, ModelArtifact};
 pub use batch::{encode_all, Batcher, EncodedBatch};
 pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
 pub use distance::{dataset_features, dataset_mmd};
 pub use eval::{evaluate, mean_std, Metrics};
-pub use extractor::{FeatureExtractor, LmExtractor, RnnExtractor};
+pub use extractor::{ExtractorSpec, FeatureExtractor, LmExtractor, RnnExtractor};
 pub use matcher::Matcher;
-pub use model::DaderModel;
+pub use model::{DaderModel, EntityPair};
 pub use multi_source::{select_best_source, train_multi_source};
 pub use pretrain::{pretrain_mlm, PretrainConfig, PretrainedLm};
 pub use snapshot::Snapshot;

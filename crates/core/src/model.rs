@@ -9,6 +9,10 @@ use crate::eval::{evaluate, Metrics};
 use crate::extractor::FeatureExtractor;
 use crate::matcher::Matcher;
 
+/// An owned ad-hoc entity pair: two attribute-value lists, as accepted by
+/// [`DaderModel::predict_pairs`].
+pub type EntityPair = (Vec<(String, String)>, Vec<(String, String)>);
+
 /// A feature extractor plus matcher, ready to predict on a target dataset.
 pub struct DaderModel {
     /// The (adapted) feature extractor `F` (or `F'` for GAN methods).
@@ -48,6 +52,38 @@ impl DaderModel {
             probs.extend(self.matcher.match_probs(&f));
         }
         probs
+    }
+
+    /// Predict ad-hoc attribute-value pairs (the serving path): returns
+    /// `(label, match probability)` per input pair, in input order,
+    /// processing at most `batch_size` pairs per forward pass.
+    pub fn predict_pairs(
+        &self,
+        pairs: &[EntityPair],
+        encoder: &PairEncoder,
+        batch_size: usize,
+    ) -> Vec<(usize, f32)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let seq = encoder.max_len();
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(batch_size) {
+            let refs: Vec<(&dader_text::EntityAttrs, &dader_text::EntityAttrs)> =
+                chunk.iter().map(|(a, b)| (&a[..], &b[..])).collect();
+            let (ids, mask) = encoder.encode_batch(&refs);
+            let batch = crate::batch::EncodedBatch {
+                ids,
+                mask,
+                batch: chunk.len(),
+                seq,
+                labels: vec![0; chunk.len()],
+                indices: (0..chunk.len()).collect(),
+            };
+            let f = self.extractor.extract(&batch);
+            let preds = self.matcher.predict(&f);
+            let probs = self.matcher.match_probs(&f);
+            out.extend(preds.into_iter().zip(probs));
+        }
+        out
     }
 
     /// Dump features for every pair (t-SNE visualizations, distance
@@ -130,6 +166,24 @@ mod tests {
         let metrics = m.evaluate(&d, &enc, 8);
         assert_eq!(metrics.tp + metrics.fp + metrics.fn_ + metrics.tn, d.len());
         assert!((0.0..=100.0).contains(&metrics.f1()));
+    }
+
+    #[test]
+    fn predict_pairs_matches_dataset_path() {
+        let (m, d, enc) = tiny_model_and_data();
+        let pairs: Vec<EntityPair> = d
+            .pairs
+            .iter()
+            .map(|p| (p.a.attrs.clone(), p.b.attrs.clone()))
+            .collect();
+        let ad_hoc = m.predict_pairs(&pairs, &enc, 7); // uneven final chunk
+        let preds = m.predict(&d, &enc, 8);
+        let probs = m.match_probs(&d, &enc, 8);
+        assert_eq!(ad_hoc.len(), d.len());
+        for (i, (label, prob)) in ad_hoc.iter().enumerate() {
+            assert_eq!(*label, preds[i]);
+            assert_eq!(*prob, probs[i]);
+        }
     }
 
     #[test]

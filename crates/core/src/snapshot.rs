@@ -4,35 +4,46 @@
 
 use dader_tensor::Param;
 
-/// A positional snapshot of a parameter list's weights.
+/// A positional snapshot of a parameter list's weights (with their shapes,
+/// so a restore into a structurally different list fails loudly instead of
+/// silently reinterpreting the data).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
-    weights: Vec<Vec<f32>>,
+    entries: Vec<(Vec<usize>, Vec<f32>)>,
 }
 
 impl Snapshot {
     /// Capture the current weights of `params`, in order.
     pub fn capture(params: &[Param]) -> Snapshot {
         Snapshot {
-            weights: params.iter().map(|p| p.snapshot()).collect(),
+            entries: params
+                .iter()
+                .map(|p| (p.shape().dims().to_vec(), p.snapshot()))
+                .collect(),
         }
     }
 
     /// Restore into a structurally-identical parameter list.
+    ///
+    /// Panics when the parameter count differs or any parameter's full
+    /// shape differs from the captured one — `numel` alone is not enough:
+    /// a `(2,3)` snapshot must not restore into a `(3,2)` param.
     pub fn restore(&self, params: &[Param]) {
         assert_eq!(
-            self.weights.len(),
+            self.entries.len(),
             params.len(),
             "snapshot has {} params, target has {}",
-            self.weights.len(),
+            self.entries.len(),
             params.len()
         );
-        for (w, p) in self.weights.iter().zip(params) {
+        for ((dims, w), p) in self.entries.iter().zip(params) {
             assert_eq!(
-                w.len(),
-                p.numel(),
-                "snapshot shape mismatch for {}",
-                p.name()
+                dims.as_slice(),
+                p.shape().dims(),
+                "snapshot shape mismatch for {}: snapshot {:?}, param {:?}",
+                p.name(),
+                dims,
+                p.shape().dims()
             );
             p.set_data(w.clone());
         }
@@ -40,17 +51,17 @@ impl Snapshot {
 
     /// Number of parameter tensors captured.
     pub fn len(&self) -> usize {
-        self.weights.len()
+        self.entries.len()
     }
 
     /// True if nothing was captured.
     pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        self.entries.is_empty()
     }
 
     /// Total scalar weight count.
     pub fn numel(&self) -> usize {
-        self.weights.iter().map(|w| w.len()).sum()
+        self.entries.iter().map(|(_, w)| w.len()).sum()
     }
 }
 
@@ -61,10 +72,10 @@ mod tests {
     #[test]
     fn capture_restore_roundtrip() {
         let p = Param::from_vec("w", vec![1.0, 2.0], 2usize);
-        let snap = Snapshot::capture(&[p.clone()]);
+        let snap = Snapshot::capture(std::slice::from_ref(&p));
         p.update_with(|w| w.fill(0.0));
         assert_eq!(p.snapshot(), vec![0.0, 0.0]);
-        snap.restore(&[p.clone()]);
+        snap.restore(std::slice::from_ref(&p));
         assert_eq!(p.snapshot(), vec![1.0, 2.0]);
     }
 
@@ -72,7 +83,7 @@ mod tests {
     fn restore_into_clone_transfers_weights() {
         let a = Param::from_vec("a", vec![3.0, 4.0], 2usize);
         let b = Param::zeros("b", 2usize);
-        Snapshot::capture(&[a]).restore(&[b.clone()]);
+        Snapshot::capture(&[a]).restore(std::slice::from_ref(&b));
         assert_eq!(b.snapshot(), vec![3.0, 4.0]);
     }
 
@@ -91,6 +102,16 @@ mod tests {
     fn restore_rejects_wrong_shape() {
         let a = Param::zeros("a", 2usize);
         let b = Param::zeros("b", 3usize);
+        Snapshot::capture(&[a]).restore(&[b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot [2, 3], param [3, 2]")]
+    fn restore_rejects_transposed_shape_despite_equal_numel() {
+        // Same numel, different layout: restoring would silently scramble
+        // every row without the full-shape check.
+        let a = Param::zeros("a", (2, 3));
+        let b = Param::zeros("b", (3, 2));
         Snapshot::capture(&[a]).restore(&[b]);
     }
 }

@@ -23,7 +23,7 @@ use crate::extractor::FeatureExtractor;
 use crate::matcher::Matcher;
 use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
-use crate::train::config::{EpochStat, TrainConfig};
+use crate::train::config::{mean_over, EpochStat, TrainConfig};
 
 /// A domain-adaptation task: labeled source, unlabeled target, and the
 /// evaluation splits of the paper's protocol.
@@ -55,6 +55,24 @@ pub struct TrainOutcome {
     pub best_val_f1: f32,
     /// Per-epoch statistics.
     pub history: Vec<EpochStat>,
+}
+
+/// Training progress `p ∈ [0, 1]` at optimization step `step` (0-based)
+/// out of `total_steps`, for the GRL λ warm-up. Advances *per iteration*,
+/// not per epoch — Ganin & Lempitsky's schedule; with epoch granularity a
+/// short run spends its first epoch at a large λ and the adversarial
+/// gradient derails the matcher before it learns anything.
+pub fn grl_progress(step: usize, total_steps: usize) -> f32 {
+    if total_steps <= 1 {
+        return 1.0;
+    }
+    step as f32 / (total_steps - 1) as f32
+}
+
+/// Ganin & Lempitsky's reversal-strength ramp: `λ(p) = 2/(1+e^(−10p)) − 1`,
+/// rising from 0 at `p = 0` to ~1 at `p = 1`.
+pub fn grl_lambda(p: f32) -> f32 {
+    2.0 / (1.0 + (-10.0 * p).exp()) - 1.0
 }
 
 /// Class weight for the matching loss: inverse positive frequency,
@@ -137,15 +155,16 @@ pub fn train_algorithm1(
     let mut best: Option<(usize, f32, Snapshot)> = None;
     let pos_weight = auto_pos_weight(task.source, cfg);
 
+    let total_steps = cfg.epochs * iters;
     for epoch in 1..=cfg.epochs {
-        // GRL lambda warm-up schedule (Ganin & Lempitsky): ramp the
-        // reversal strength from 0 to β so early noisy features don't
-        // derail the matcher.
-        let progress = epoch as f32 / cfg.epochs as f32;
-        let grl_beta = cfg.beta * (2.0 / (1.0 + (-10.0 * progress).exp()) - 1.0);
         let mut sum_m = 0.0f32;
         let mut sum_a = 0.0f32;
-        for _ in 0..iters {
+        for it in 0..iters {
+            // GRL lambda warm-up (Ganin & Lempitsky): ramp the reversal
+            // strength from 0 to β over *iterations* so early noisy
+            // features don't derail the matcher.
+            let step = (epoch - 1) * iters + it;
+            let grl_beta = cfg.beta * grl_lambda(grl_progress(step, total_steps));
             let bs = src_batches.next_batch(&mut rng);
             let xs = extractor.extract(&bs);
             let loss_m = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
@@ -216,8 +235,8 @@ pub fn train_algorithm1(
             val_f1: val,
             source_f1,
             target_f1,
-            loss_m: sum_m / iters as f32,
-            loss_a: sum_a / iters as f32,
+            loss_m: mean_over(sum_m, iters),
+            loss_a: mean_over(sum_a, iters),
         });
 
         if best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true) {
@@ -228,11 +247,36 @@ pub fn train_algorithm1(
     let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
     snap.restore(&selected);
 
+    let model = DaderModel { extractor, matcher };
+    save_artifact_if_requested(cfg, &model, task.encoder, kind, best_epoch, best_val_f1);
+
     TrainOutcome {
-        model: DaderModel { extractor, matcher },
+        model,
         best_epoch,
         best_val_f1,
         history,
+    }
+}
+
+/// Persist the selected model when `cfg.save_artifact` is set. Failing to
+/// write a requested artifact aborts the run loudly — silently dropping
+/// hours of training on a bad path would be worse.
+pub(crate) fn save_artifact_if_requested(
+    cfg: &TrainConfig,
+    model: &DaderModel,
+    encoder: &PairEncoder,
+    kind: AlignerKind,
+    best_epoch: usize,
+    best_val_f1: f32,
+) {
+    if let Some(path) = &cfg.save_artifact {
+        let description = format!(
+            "{kind} seed {} epoch {best_epoch} val-f1 {best_val_f1:.2}",
+            cfg.seed
+        );
+        crate::artifact::ModelArtifact::capture(description, model, encoder)
+            .save_file(path)
+            .unwrap_or_else(|e| panic!("failed to save artifact to {}: {e}", path.display()));
     }
 }
 
@@ -384,6 +428,104 @@ mod tests {
             tiny_extractor(enc.vocab().len(), 4),
             AlignerKind::InvGan,
             &quick_cfg(),
+        );
+    }
+
+    #[test]
+    fn grl_schedule_endpoints() {
+        // p = 0 at the very first optimization step...
+        assert_eq!(grl_progress(0, 100), 0.0);
+        // ...and exactly 1 at the last, so λ spans the full ramp even for
+        // short runs (the epoch-granular schedule started at 1/epochs).
+        assert_eq!(grl_progress(99, 100), 1.0);
+        assert_eq!(grl_lambda(0.0), 0.0);
+        assert!((grl_lambda(1.0) - (2.0 / (1.0 + (-10.0f32).exp()) - 1.0)).abs() < 1e-7);
+        assert!(grl_lambda(1.0) > 0.999);
+        // degenerate single-step run: full strength immediately
+        assert_eq!(grl_progress(0, 1), 1.0);
+        assert_eq!(grl_progress(0, 0), 1.0);
+        // monotone ramp
+        let mid = grl_lambda(grl_progress(49, 100));
+        assert!(mid > 0.0 && mid < grl_lambda(1.0));
+    }
+
+    #[test]
+    fn grl_schedule_is_iteration_granular() {
+        // Within one multi-iteration epoch, λ must move: steps 0 and
+        // iters-1 of epoch 1 land on different progress values.
+        let iters = 10usize;
+        let epochs = 2usize;
+        let total = iters * epochs;
+        let first = grl_lambda(grl_progress(0, total));
+        let last_of_first_epoch = grl_lambda(grl_progress(iters - 1, total));
+        assert_eq!(first, 0.0);
+        assert!(last_of_first_epoch > first);
+    }
+
+    #[test]
+    fn degenerate_epoch_reports_zero_losses_not_nan() {
+        // One-row dataset + huge batch: with iters_per_epoch forced to 0
+        // the per-epoch means have no observations and must be 0.0, not
+        // NaN (NaN poisons snapshot selection and every downstream plot).
+        let (src, tgt, val, _t, enc) = setup();
+        let one = src.subsample(1, 3);
+        let task = DaTask {
+            source: &one,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: None,
+            encoder: &enc,
+        };
+        let cfg = TrainConfig {
+            epochs: 2,
+            iters_per_epoch: Some(0),
+            batch_size: 4096,
+            ..TrainConfig::default()
+        };
+        let out = train_algorithm1(
+            &task,
+            tiny_extractor(enc.vocab().len(), 6),
+            AlignerKind::NoDa,
+            &cfg,
+        );
+        assert_eq!(out.history.len(), 2);
+        for h in &out.history {
+            assert_eq!(h.loss_m, 0.0, "epoch {}: loss_m not guarded", h.epoch);
+            assert_eq!(h.loss_a, 0.0, "epoch {}: loss_a not guarded", h.epoch);
+            assert!(h.val_f1.is_finite());
+        }
+    }
+
+    #[test]
+    fn save_artifact_writes_loadable_file() {
+        let (src, tgt, val, _t, enc) = setup();
+        let task = DaTask {
+            source: &src,
+            target_train: &tgt,
+            target_val: &val,
+            source_test: None,
+            target_test: None,
+            encoder: &enc,
+        };
+        let path = std::env::temp_dir().join("dader_alg1_artifact_test.dma");
+        let cfg = TrainConfig {
+            save_artifact: Some(path.clone()),
+            ..quick_cfg()
+        };
+        let out = train_algorithm1(
+            &task,
+            tiny_extractor(enc.vocab().len(), 7),
+            AlignerKind::NoDa,
+            &cfg,
+        );
+        let art = crate::artifact::ModelArtifact::load_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(art.description.contains("NoDA") || art.description.contains("NoDa"));
+        let (reloaded, renc) = art.instantiate().unwrap();
+        assert_eq!(
+            reloaded.predict(&val, &renc, 16),
+            out.model.predict(&val, &enc, 16)
         );
     }
 

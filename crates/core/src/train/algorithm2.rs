@@ -21,8 +21,8 @@ use crate::extractor::FeatureExtractor;
 use crate::matcher::Matcher;
 use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
-use crate::train::algorithm1::{DaTask, TrainOutcome};
-use crate::train::config::{EpochStat, TrainConfig};
+use crate::train::algorithm1::{save_artifact_if_requested, DaTask, TrainOutcome};
+use crate::train::config::{mean_over, EpochStat, TrainConfig};
 
 /// Train with Algorithm 2. `kind` must be `InvGan` or `InvGanKd`.
 pub fn train_algorithm2(
@@ -204,8 +204,8 @@ pub fn train_algorithm2(
             val_f1: val,
             source_f1,
             target_f1,
-            loss_m: sum_g / sub_iters as f32,
-            loss_a: sum_a / sub_iters as f32,
+            loss_m: mean_over(sum_g, sub_iters),
+            loss_a: mean_over(sum_a, sub_iters),
         });
         if best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true) {
             best = Some((epoch, val, Snapshot::capture(&selected)));
@@ -215,11 +215,14 @@ pub fn train_algorithm2(
     let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
     snap.restore(&selected);
 
+    let model = DaderModel {
+        extractor: f_prime,
+        matcher,
+    };
+    save_artifact_if_requested(cfg, &model, task.encoder, kind, best_epoch, best_val_f1);
+
     TrainOutcome {
-        model: DaderModel {
-            extractor: f_prime,
-            matcher,
-        },
+        model,
         best_epoch,
         best_val_f1,
         history,

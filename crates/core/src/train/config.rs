@@ -37,7 +37,7 @@ impl ParallelConfig {
 /// Hyper-parameters for one adaptation run. Defaults follow the paper's
 /// protocol (Section 6.1) at a CPU-friendly scale; `paper_scale` restores
 /// the published settings.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Training epochs (the paper divides training into 40 epochs and
     /// snapshots per epoch).
@@ -80,6 +80,10 @@ pub struct TrainConfig {
     /// Engine-pool parallelism for this run (deterministic; see
     /// [`ParallelConfig`]).
     pub parallel: ParallelConfig,
+    /// When set, the best-validation-F1 model (the snapshot the paper's
+    /// Section 6.1 protocol selects) is written to this path as a
+    /// [`crate::artifact::ModelArtifact`] at the end of training.
+    pub save_artifact: Option<std::path::PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -101,6 +105,7 @@ impl Default for TrainConfig {
             pos_weight: None,
             adversarial_lr_scale: 0.1,
             parallel: ParallelConfig::default(),
+            save_artifact: None,
         }
     }
 }
@@ -136,6 +141,17 @@ impl TrainConfig {
     pub fn with_beta(mut self, beta: f32) -> TrainConfig {
         self.beta = beta;
         self
+    }
+}
+
+/// Mean of an accumulated sum over `n` observations; 0.0 when `n == 0`
+/// (a degenerate epoch with no iterations must report a zero loss, not
+/// NaN, or snapshot selection and the convergence figures break).
+pub(crate) fn mean_over(sum: f32, n: usize) -> f32 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f32
     }
 }
 
@@ -184,6 +200,14 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.lr, 0.1);
         assert_eq!(c.beta, 2.0);
+    }
+
+    #[test]
+    fn mean_over_guards_zero_iterations() {
+        assert_eq!(mean_over(0.0, 0), 0.0);
+        assert_eq!(mean_over(5.0, 0), 0.0);
+        assert_eq!(mean_over(6.0, 3), 2.0);
+        assert!(mean_over(f32::MAX, 0).is_finite());
     }
 
     #[test]

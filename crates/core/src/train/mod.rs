@@ -6,7 +6,7 @@ pub mod algorithm1;
 pub mod algorithm2;
 pub mod config;
 
-pub use algorithm1::{train_algorithm1, DaTask, TrainOutcome};
+pub use algorithm1::{grl_lambda, grl_progress, train_algorithm1, DaTask, TrainOutcome};
 pub use algorithm2::train_algorithm2;
 pub use config::{EpochStat, ParallelConfig, TrainConfig};
 

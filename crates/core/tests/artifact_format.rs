@@ -1,0 +1,228 @@
+//! Torture suite for the binary artifact/checkpoint format: every way a
+//! file can be corrupted must surface as a typed [`ArtifactError`], never
+//! a panic or a silently-wrong model.
+
+use dader_core::artifact::{ArtifactError, ModelArtifact, ARTIFACT_MAGIC, FORMAT_VERSION};
+use dader_core::{Checkpoint, CheckpointError, DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dader_fmt_{}_{name}", std::process::id()))
+}
+
+fn tiny_artifact() -> (ModelArtifact, DaderModel, PairEncoder) {
+    let vocab = Vocab::build(
+        ["title", "kodak", "esp", "printer", "hp"],
+        1,
+        100,
+    );
+    let encoder = PairEncoder::new(vocab.clone(), 16);
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 8,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 16,
+        max_len: 16,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(8, &mut rng),
+    };
+    let art = ModelArtifact::capture("torture", &model, &encoder);
+    (art, model, encoder)
+}
+
+#[test]
+fn roundtrip_is_exact() {
+    let (art, model, encoder) = tiny_artifact();
+    let path = tmp("roundtrip.dma");
+    art.save_file(&path).unwrap();
+    let back = ModelArtifact::load_file(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(back.description, art.description);
+    assert_eq!(back.extractor, art.extractor);
+    assert_eq!(back.matcher_dim, art.matcher_dim);
+    assert_eq!(back.encoder, art.encoder);
+    assert_eq!(back.checkpoint, art.checkpoint);
+
+    // and the instantiated model is weight-identical to the original
+    let (fresh, renc) = back.instantiate().unwrap();
+    assert_eq!(renc.max_len(), encoder.max_len());
+    for (p, q) in model.params().iter().zip(fresh.params()) {
+        assert_eq!(p.name(), q.name());
+        assert_eq!(p.snapshot(), q.snapshot(), "weights differ for {}", p.name());
+    }
+}
+
+#[test]
+fn truncated_file_rejected() {
+    let (art, _, _) = tiny_artifact();
+    let path = tmp("trunc.dma");
+    art.save_file(&path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    // chop at several depths: inside the header, inside the body, inside
+    // the trailing checksum
+    for keep in [0, 3, 10, full.len() / 2, full.len() - 1] {
+        std::fs::write(&path, &full[..keep]).unwrap();
+        let err = ModelArtifact::load_file(&path).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Truncated { .. }),
+            "keep={keep}: expected Truncated, got {err}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn flipped_body_byte_fails_crc() {
+    let (art, _, _) = tiny_artifact();
+    let path = tmp("crc.dma");
+    art.save_file(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // flip one byte in the middle of the body (past the 16-byte header,
+    // before the 4-byte trailing CRC)
+    let mid = 16 + (bytes.len() - 20) / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = ModelArtifact::load_file(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    match err {
+        ArtifactError::CrcMismatch { stored, computed } => assert_ne!(stored, computed),
+        other => panic!("expected CrcMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn wrong_magic_rejected() {
+    let (art, _, _) = tiny_artifact();
+    let path = tmp("magic.dma");
+    art.save_file(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = ModelArtifact::load_file(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    match err {
+        ArtifactError::BadMagic { expected, found } => {
+            assert_eq!(expected, ARTIFACT_MAGIC);
+            assert_eq!(&found, b"NOPE");
+        }
+        other => panic!("expected BadMagic, got {other}"),
+    }
+}
+
+#[test]
+fn checkpoint_magic_and_artifact_magic_are_distinct() {
+    // A checkpoint file must not load as an artifact (and vice versa).
+    let (art, model, _) = tiny_artifact();
+    let path = tmp("ckpt.dmc");
+    Checkpoint::capture("x", &model.params()).save_file(&path).unwrap();
+    assert!(matches!(
+        ModelArtifact::load_file(&path),
+        Err(ArtifactError::BadMagic { .. })
+    ));
+    std::fs::remove_file(&path).unwrap();
+
+    let path = tmp("art_as_ckpt.dma");
+    art.save_file(&path).unwrap();
+    assert!(matches!(
+        Checkpoint::load_file(&path),
+        Err(ArtifactError::BadMagic { .. })
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn future_version_rejected() {
+    let (art, _, _) = tiny_artifact();
+    let path = tmp("future.dma");
+    art.save_file(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let err = ModelArtifact::load_file(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    match err {
+        ArtifactError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    let (art, _, _) = tiny_artifact();
+    let path = tmp("trailing.dma");
+    art.save_file(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(b"extra");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = ModelArtifact::load_file(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(err, ArtifactError::Malformed(_)), "got {err}");
+}
+
+#[test]
+fn corrupted_entry_length_is_typed_checkpoint_error() {
+    // Shrink an entry's data but keep its declared shape: the in-body
+    // validation must catch the inconsistency as a DataLenMismatch.
+    let (_, model, _) = tiny_artifact();
+    let mut ckpt = Checkpoint::capture("x", &model.params());
+    ckpt.entries[0].data.pop();
+    let path = tmp("datalen.dmc");
+    ckpt.save_file(&path).unwrap();
+    let err = Checkpoint::load_file(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    assert!(
+        matches!(
+            err,
+            ArtifactError::Checkpoint(CheckpointError::DataLenMismatch { .. })
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn checkpoint_file_roundtrip() {
+    let (_, model, _) = tiny_artifact();
+    let ckpt = Checkpoint::capture("ckpt roundtrip", &model.params());
+    let path = tmp("roundtrip.dmc");
+    ckpt.save_file(&path).unwrap();
+    let back = Checkpoint::load_file(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(back, ckpt);
+}
+
+#[test]
+fn missing_file_is_io_error() {
+    let err = ModelArtifact::load_file(tmp("does_not_exist.dma")).unwrap_err();
+    assert!(matches!(err, ArtifactError::Io(_)), "got {err}");
+}
+
+#[test]
+fn instantiate_rejects_inconsistent_manifest() {
+    let (art, _, _) = tiny_artifact();
+    // matcher width disagreeing with the extractor spec
+    let mut bad = art.clone();
+    bad.matcher_dim += 1;
+    assert!(matches!(
+        bad.instantiate(),
+        Err(ArtifactError::Malformed(_))
+    ));
+    // vocabulary shrunk behind the extractor's back
+    let mut bad = art.clone();
+    bad.encoder.tokens.pop();
+    assert!(matches!(
+        bad.instantiate(),
+        Err(ArtifactError::Malformed(_) | ArtifactError::Encoder(_))
+    ));
+}

@@ -114,7 +114,7 @@ pub fn jitter_number(text: &str, p: f32, rel: f32, rng: &mut StdRng) -> String {
 /// into a different attribute, leaving its own slot NULL — the
 /// DeepMatcher-style dirty variant the paper uses for Zomato-Yelp.
 pub fn dirty_misplace(
-    attrs: &mut Vec<(String, String)>,
+    attrs: &mut [(String, String)],
     p: f32,
     rng: &mut StdRng,
 ) {

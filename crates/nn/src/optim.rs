@@ -193,7 +193,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             let g = quadratic_loss(&p);
-            opt.step(&[p.clone()], &g);
+            opt.step(std::slice::from_ref(&p), &g);
         }
         for w in p.snapshot() {
             assert!((w - 3.0).abs() < 1e-3, "w = {w}");
@@ -207,7 +207,7 @@ mod tests {
             let mut opt = Sgd::new(0.01).with_momentum(momentum);
             for _ in 0..20 {
                 let g = quadratic_loss(&p);
-                opt.step(&[p.clone()], &g);
+                opt.step(std::slice::from_ref(&p), &g);
             }
             (p.snapshot()[0] - 3.0).abs()
         };
@@ -220,7 +220,7 @@ mod tests {
         let mut opt = Adam::new(0.3);
         for _ in 0..300 {
             let g = quadratic_loss(&p);
-            opt.step(&[p.clone()], &g);
+            opt.step(std::slice::from_ref(&p), &g);
         }
         for w in p.snapshot() {
             assert!((w - 3.0).abs() < 1e-2, "w = {w}");
@@ -234,7 +234,7 @@ mod tests {
         let mut opt = Adam::new(0.1);
         let w = p.leaf();
         let g = w.scale(1e6).sum_all().backward();
-        opt.step(&[p.clone()], &g);
+        opt.step(std::slice::from_ref(&p), &g);
         assert!((p.snapshot()[0].abs() - 0.1).abs() < 1e-3);
     }
 
@@ -245,12 +245,12 @@ mod tests {
         // zero gradient: loss independent of p — simulate by empty backward
         let other = Param::from_vec("o", vec![1.0], 1usize);
         let g = other.leaf().sum_all().backward();
-        opt.step(&[p.clone()], &g);
+        opt.step(std::slice::from_ref(&p), &g);
         // p had no grad → untouched (weight decay only applies with a grad)
         assert_eq!(p.snapshot(), vec![1.0]);
         // now with a zero-ish gradient via scale(0.0)
         let g2 = p.leaf().scale(0.0).sum_all().backward();
-        opt.step(&[p.clone()], &g2);
+        opt.step(std::slice::from_ref(&p), &g2);
         assert!(p.snapshot()[0] < 1.0);
     }
 
@@ -258,12 +258,12 @@ mod tests {
     fn clip_scales_down_only_when_needed() {
         let p = Param::from_vec("w", vec![0.0], 1usize);
         let mut g = p.leaf().scale(100.0).sum_all().backward();
-        let norm = clip_grad_norm(&mut g, &[p.clone()], 1.0);
+        let norm = clip_grad_norm(&mut g, std::slice::from_ref(&p), 1.0);
         assert!((norm - 100.0).abs() < 1e-3);
         assert!((g.get_id(p.id()).unwrap()[0] - 1.0).abs() < 1e-4);
 
         let mut g2 = p.leaf().scale(0.5).sum_all().backward();
-        clip_grad_norm(&mut g2, &[p.clone()], 1.0);
+        clip_grad_norm(&mut g2, std::slice::from_ref(&p), 1.0);
         assert!((g2.get_id(p.id()).unwrap()[0] - 0.5).abs() < 1e-6);
     }
 

@@ -110,7 +110,7 @@ impl BiGru {
                 let h_new = cell.step(&step_inputs[t], &h);
                 // Blend: keep previous state where the position is padding.
                 let m: Vec<f32> = (0..b)
-                    .flat_map(|bi| std::iter::repeat(mask[bi * s + t]).take(self.hidden))
+                    .flat_map(|bi| std::iter::repeat_n(mask[bi * s + t], self.hidden))
                     .collect();
                 let m = Tensor::from_vec(m, (b, self.hidden));
                 let keep = Tensor::ones((b, self.hidden)).sub(&m);

@@ -11,7 +11,7 @@ use crate::linear::Linear;
 use crate::norm::LayerNorm;
 
 /// Hyper-parameters for [`TransformerEncoder`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TransformerConfig {
     /// Vocabulary size.
     pub vocab: usize,
@@ -202,6 +202,7 @@ pub struct FeatureDecoder {
 
 impl FeatureDecoder {
     /// Build a decoder. `feat_dim` is the feature-extractor output width.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         vocab: usize,

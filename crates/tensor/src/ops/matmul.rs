@@ -205,13 +205,17 @@ pub fn par_gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     }
 }
 
+/// A serial rank-2 GEMM kernel: `kernel(a, b, c, m, k, n)`.
+pub type GemmKernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
 /// Batch-sharded rank-3 GEMM with an explicit shard count: applies
 /// `kernel(a_b, b_b, c_b, m, k, n)` — any of the three serial kernels —
 /// to each batch's slices, sharding across batches. Operand strides are
 /// `len / bs`, so the same driver serves plain, NT and TN products.
 /// Bitwise equal to the serial per-batch loop.
+#[allow(clippy::too_many_arguments)]
 pub fn par_bmm_kernel_shards(
-    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    kernel: GemmKernel,
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -240,8 +244,9 @@ pub fn par_bmm_kernel_shards(
 }
 
 /// Batch-sharded rank-3 GEMM with automatic shard selection.
+#[allow(clippy::too_many_arguments)]
 pub fn par_bmm_kernel(
-    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    kernel: GemmKernel,
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -570,7 +575,7 @@ mod tests {
     fn batched_kernel_golden_two_batches() {
         // Batch 0 is the golden fixture; batch 1 is its negation, so the
         // expected output is the fixture result and its mirror.
-        let a: Vec<f32> = fix_a34().iter().chain(fix_a34().iter()).map(|v| *v).collect();
+        let a: Vec<f32> = fix_a34().iter().chain(fix_a34().iter()).copied().collect();
         let a = {
             let mut v = a;
             for x in &mut v[12..] {

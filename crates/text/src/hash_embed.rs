@@ -165,7 +165,7 @@ mod tests {
         let c = vec![-1.0, 0.0];
         assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
         assert!((cosine(&a, &c) + 1.0).abs() < 1e-6);
-        assert_eq!(cosine(&a, &vec![0.0, 0.0]), 0.0);
+        assert_eq!(cosine(&a, &[0.0, 0.0]), 0.0);
     }
 
     #[test]

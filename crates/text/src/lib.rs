@@ -15,6 +15,6 @@ pub mod vocab;
 
 pub use corpus::{mask_sequence, MlmCorpus, MlmExample};
 pub use hash_embed::{cosine, l2_normalize, HashEmbedder};
-pub use serialize::{EncodedPair, PairEncoder};
+pub use serialize::{EncodedPair, EncoderState, EntityAttrs, PairEncoder};
 pub use tokenizer::{char_trigrams, tokenize};
 pub use vocab::Vocab;

@@ -6,6 +6,9 @@ use crate::token::{ATT, CLS, PAD, SEP, VAL};
 use crate::tokenizer::tokenize;
 use crate::vocab::Vocab;
 
+/// An entity's attribute-value list, as fed to [`PairEncoder`].
+pub type EntityAttrs = [(String, String)];
+
 /// One serialized, padded example ready for a feature extractor.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EncodedPair {
@@ -13,6 +16,18 @@ pub struct EncodedPair {
     pub ids: Vec<usize>,
     /// 1.0 at real tokens, 0.0 at padding, length `max_len`.
     pub mask: Vec<f32>,
+}
+
+/// The persistable state of a [`PairEncoder`]: the ordered vocabulary
+/// plus the padded length. Captured into model artifacts so a trained
+/// matcher can be reloaded with exactly the tokenization it was trained
+/// with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncoderState {
+    /// Ordered id -> token list (special tokens first).
+    pub tokens: Vec<String>,
+    /// Maximum (padded) sequence length.
+    pub max_len: usize,
 }
 
 /// Serializes attribute-value pairs into model inputs.
@@ -38,6 +53,31 @@ impl PairEncoder {
     /// Maximum (padded) sequence length.
     pub fn max_len(&self) -> usize {
         self.max_len
+    }
+
+    /// Capture the full encoder state for persistence.
+    pub fn state(&self) -> EncoderState {
+        EncoderState {
+            tokens: self.vocab.tokens().to_vec(),
+            max_len: self.max_len,
+        }
+    }
+
+    /// Rebuild an encoder from persisted state. Fails when the vocabulary
+    /// list is malformed (wrong specials, duplicates) or `max_len` cannot
+    /// hold the `[CLS] a [SEP] b [SEP]` structure.
+    pub fn from_state(state: EncoderState) -> Result<PairEncoder, String> {
+        if state.max_len < 4 {
+            return Err(format!(
+                "max_len {} too small to hold CLS/SEP structure",
+                state.max_len
+            ));
+        }
+        let vocab = Vocab::from_tokens(state.tokens)?;
+        Ok(PairEncoder {
+            vocab,
+            max_len: state.max_len,
+        })
     }
 
     /// Serialize one entity: `[ATT] attr [VAL] val ...` as ids. Attribute
@@ -89,7 +129,7 @@ impl PairEncoder {
     /// shape `(batch * max_len)`.
     pub fn encode_batch(
         &self,
-        pairs: &[(&[(String, String)], &[(String, String)])],
+        pairs: &[(&EntityAttrs, &EntityAttrs)],
     ) -> (Vec<usize>, Vec<f32>) {
         let mut ids = Vec::with_capacity(pairs.len() * self.max_len);
         let mut mask = Vec::with_capacity(pairs.len() * self.max_len);
@@ -212,6 +252,27 @@ mod tests {
         assert_eq!(truncate_pairwise(2, 20, 10), (2, 8));
         assert_eq!(truncate_pairwise(20, 2, 10), (8, 2));
         assert_eq!(truncate_pairwise(20, 20, 10), (5, 5));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_encoding() {
+        let enc = encoder(24);
+        let a = attrs(&[("title", "kodak esp")]);
+        let b = attrs(&[("title", "hp laserjet")]);
+        let reloaded = PairEncoder::from_state(enc.state()).unwrap();
+        assert_eq!(reloaded.max_len(), enc.max_len());
+        assert_eq!(reloaded.encode_pair(&a, &b), enc.encode_pair(&a, &b));
+    }
+
+    #[test]
+    fn from_state_rejects_malformed() {
+        let enc = encoder(24);
+        let mut s = enc.state();
+        s.max_len = 2;
+        assert!(PairEncoder::from_state(s).is_err());
+        let mut s = enc.state();
+        s.tokens[0] = "nope".to_string();
+        assert!(PairEncoder::from_state(s).is_err());
     }
 
     #[test]

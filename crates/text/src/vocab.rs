@@ -53,6 +53,43 @@ impl Vocab {
         }
     }
 
+    /// Rebuild a vocabulary from an ordered id -> token list, as produced
+    /// by [`Vocab::tokens`] — the reload path for persisted model
+    /// artifacts. The list must start with the reserved special tokens and
+    /// contain no duplicates, so ids keep their original meaning.
+    pub fn from_tokens(id_to_token: Vec<String>) -> Result<Vocab, String> {
+        if id_to_token.len() < NUM_SPECIAL {
+            return Err(format!(
+                "vocabulary has {} entries, fewer than the {} reserved special tokens",
+                id_to_token.len(),
+                NUM_SPECIAL
+            ));
+        }
+        for (i, name) in SPECIAL_NAMES.iter().enumerate() {
+            if id_to_token[i] != *name {
+                return Err(format!(
+                    "special token {i} is {:?}, expected {name:?}",
+                    id_to_token[i]
+                ));
+            }
+        }
+        let mut token_to_id = HashMap::with_capacity(id_to_token.len());
+        for (i, t) in id_to_token.iter().enumerate() {
+            if token_to_id.insert(t.clone(), i).is_some() {
+                return Err(format!("duplicate token {t:?} at id {i}"));
+            }
+        }
+        Ok(Vocab {
+            token_to_id,
+            id_to_token,
+        })
+    }
+
+    /// The ordered id -> token list (specials first), for persistence.
+    pub fn tokens(&self) -> &[String] {
+        &self.id_to_token
+    }
+
     /// Total number of ids (specials included).
     pub fn len(&self) -> usize {
         self.id_to_token.len()
@@ -186,6 +223,33 @@ mod tests {
         let v1 = Vocab::build(words.iter().copied(), 1, 100);
         let v2 = Vocab::build(words.iter().rev().copied(), 1, 100);
         assert_eq!(v1.id("alpha"), v2.id("alpha"));
+    }
+
+    #[test]
+    fn from_tokens_roundtrip() {
+        let v = sample();
+        let rebuilt = Vocab::from_tokens(v.tokens().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), v.len());
+        for id in 0..v.len() {
+            assert_eq!(rebuilt.token(id), v.token(id));
+        }
+        assert_eq!(rebuilt.id("apple"), v.id("apple"));
+    }
+
+    #[test]
+    fn from_tokens_rejects_bad_specials() {
+        let mut toks: Vec<String> = sample().tokens().to_vec();
+        toks[0] = "[BOGUS]".to_string();
+        assert!(Vocab::from_tokens(toks).is_err());
+        assert!(Vocab::from_tokens(vec!["[PAD]".to_string()]).is_err());
+    }
+
+    #[test]
+    fn from_tokens_rejects_duplicates() {
+        let mut toks: Vec<String> = sample().tokens().to_vec();
+        let last = toks.len() - 1;
+        toks[last] = "apple".to_string();
+        assert!(Vocab::from_tokens(toks).is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn scatter(series: &[(char, &[[f32; 2]])], width: usize, height: usize) -> S
         out.push('\n');
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push('+');
     out.push('\n');
     out
@@ -87,7 +87,7 @@ pub fn line_chart(
     out.extend(grid[height - 1].iter());
     out.push('\n');
     out.push_str("         └");
-    out.extend(std::iter::repeat('─').take(width));
+    out.extend(std::iter::repeat_n('─', width));
     out.push('\n');
     out.push_str(&format!("          {x_label}\n"));
     for (marker, name, _) in series {

@@ -69,7 +69,7 @@ fn main() {
         target_test: Some(test),
         encoder: &lm.encoder,
     };
-    println!("\n{:<12} {:>8}   {}", "method", "F1", "family");
+    println!("\n{:<12} {:>8}   family", "method", "F1");
     for kind in [
         AlignerKind::NoDa,
         AlignerKind::Mmd,
