@@ -22,7 +22,7 @@ struct Row {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = Scale::from_args();
     let (s, t) = (DatasetId::ZY, DatasetId::FZ);
     let src = s.generate_scaled(1, scale.dataset_cap());

@@ -10,19 +10,24 @@
 //! ```text
 //! cargo run --release -p dader-bench --bin artifact_e2e [-- --threads N]
 //! ```
+//!
+//! Leaves a timing summary at `results/BENCH_artifact_e2e.json` with
+//! per-phase wall time and the best serving throughput.
 
 use std::io::Cursor;
 
-use dader_bench::{Context, MatchServer, Scale};
+use dader_bench::report::{write_bench_snapshot, BenchPhase, BenchThroughput};
+use dader_bench::{note, Context, MatchServer, Scale};
 use dader_core::artifact::ModelArtifact;
 use dader_core::AlignerKind;
 use dader_datagen::DatasetId;
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let t0 = std::time::Instant::now();
-    eprintln!("building tiny context...");
+    note!("building tiny context...");
     let ctx = Context::new(Scale::Tiny);
+    let context_s = t0.elapsed().as_secs_f64();
 
     // ---- 1. train with save_artifact --------------------------------
     let path = std::env::temp_dir().join(format!("dader_e2e_{}.dma", std::process::id()));
@@ -30,11 +35,14 @@ fn main() {
         save_artifact: Some(path.clone()),
         ..ctx.scale.train_config()
     };
-    eprintln!("training FZ -> ZY (NoDA, tiny) with artifact capture...");
+    note!("training FZ -> ZY (NoDA, tiny) with artifact capture...");
+    let t_train = std::time::Instant::now();
     let (out, f1_trained) =
         ctx.run_transfer(DatasetId::FZ, DatasetId::ZY, AlignerKind::NoDa, 1, false, Some(cfg));
+    let train_s = t_train.elapsed().as_secs_f64();
 
     // ---- 2. reload into a fresh model -------------------------------
+    let t_verify = std::time::Instant::now();
     let art = ModelArtifact::load_file(&path).expect("reload saved artifact");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     let (reloaded, renc) = art.instantiate().expect("instantiate fresh model");
@@ -56,8 +64,10 @@ fn main() {
         p_mem.len(),
     );
     std::fs::remove_file(&path).ok();
+    let verify_s = t_verify.elapsed().as_secs_f64();
 
     // ---- 4. serving throughput --------------------------------------
+    let t_serve = std::time::Instant::now();
     let server = MatchServer::new(reloaded, renc, art.description.clone());
     let mut request_lines = String::new();
     let n_requests = splits.test.len();
@@ -78,6 +88,7 @@ fn main() {
         request_lines.push('\n');
     }
     println!("serving {n_requests} requests through the line protocol:");
+    let mut best_rate = 0.0f64;
     for batch in [1usize, 8, 32] {
         let mut sink = Vec::new();
         let t = std::time::Instant::now();
@@ -86,7 +97,21 @@ fn main() {
             .expect("serve request stream");
         let dt = t.elapsed().as_secs_f64();
         assert_eq!(scored, n_requests);
-        println!("  batch {batch:>2}: {:>8.1} pairs/s ({dt:.2}s)", scored as f64 / dt);
+        let rate = scored as f64 / dt;
+        best_rate = best_rate.max(rate);
+        println!("  batch {batch:>2}: {rate:>8.1} pairs/s ({dt:.2}s)");
     }
+    let serve_s = t_serve.elapsed().as_secs_f64();
     println!("total {:.1}s", t0.elapsed().as_secs_f32());
+    write_bench_snapshot(
+        "artifact_e2e",
+        t0.elapsed().as_secs_f64(),
+        vec![
+            BenchPhase { name: "context".into(), wall_s: context_s },
+            BenchPhase { name: "train".into(), wall_s: train_s },
+            BenchPhase { name: "verify".into(), wall_s: verify_s },
+            BenchPhase { name: "serve".into(), wall_s: serve_s },
+        ],
+        (best_rate > 0.0).then(|| BenchThroughput { per_second: best_rate, unit: "pairs".into() }),
+    );
 }

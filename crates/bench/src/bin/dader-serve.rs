@@ -3,12 +3,21 @@
 //!
 //! ```text
 //! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
+//!             [--metrics-addr ADDR] [--quiet] [--verbose]
 //! ```
 //!
 //! By default requests are read from stdin and answered on stdout, one
 //! JSON object per line (see `dader_bench::serve` for the protocol). With
 //! `--listen 127.0.0.1:7878` a TCP listener answers one connection at a
-//! time with the same line protocol.
+//! time with the same line protocol. Every response carries a monotonic
+//! `rid` and the server-side `latency_us`.
+//!
+//! `--metrics-addr 127.0.0.1:0` starts a metrics endpoint on a second
+//! socket: each TCP connection receives one Prometheus-style text dump of
+//! every registered metric (request-latency percentiles, batch-size
+//! distribution, error counters) and is closed — readable with
+//! `curl --http0.9` or `nc`. The bound address is announced on stderr; the same dump
+//! is printed as a summary when the stdin stream ends.
 //!
 //! Malformed requests produce `{"error": ...}` responses in place; the
 //! process never exits on bad input. A missing or corrupted artifact is
@@ -16,7 +25,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 
-use dader_bench::MatchServer;
+use dader_bench::{note, MatchServer};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
@@ -27,11 +36,32 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Serve one Prometheus-style dump per TCP connection on `addr`
+/// (port 0 binds an ephemeral port). Runs until process exit; announces
+/// the bound address on stderr so test harnesses can find an ephemeral
+/// port.
+fn spawn_metrics_endpoint(addr: &str) {
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot bind metrics endpoint on {addr}: {e}")));
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    eprintln!("dader-serve: metrics on {bound}");
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            let _ = conn.write_all(dader_obs::render_prometheus().as_bytes());
+        }
+    });
+}
+
 fn main() {
+    dader_bench::init_cli();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--metrics-addr ADDR] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -54,18 +84,27 @@ fn main() {
         }
     }
 
+    if let Some(addr) = arg_value(&args, "--metrics-addr") {
+        spawn_metrics_endpoint(&addr);
+    }
+
     let server = match MatchServer::from_artifact_file(&artifact) {
         Ok(s) => s,
         Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
     };
-    eprintln!("dader-serve: loaded {artifact} ({})", server.description);
+    note!("dader-serve: loaded {artifact} ({})", server.description);
 
     match arg_value(&args, "--listen") {
         None => {
             let stdin = std::io::stdin();
             let mut stdout = BufWriter::new(std::io::stdout());
             match server.handle(stdin.lock(), &mut stdout, batch_size) {
-                Ok(n) => eprintln!("dader-serve: scored {n} pairs"),
+                Ok(n) => {
+                    note!("dader-serve: scored {n} pairs");
+                    // Shutdown summary: the full metrics dump, so a batch
+                    // invocation leaves its latency/error profile behind.
+                    note!("{}", dader_obs::render_prometheus().trim_end());
+                }
                 Err(e) => fail(&format!("stdin stream failed: {e}")),
             }
         }
@@ -73,6 +112,7 @@ fn main() {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
             eprintln!("dader-serve: listening on {addr}");
+            // (errors below stay on stderr regardless of --quiet)
             // One connection at a time: each client streams requests and
             // reads responses over the same line protocol as stdin mode.
             for conn in listener.incoming() {
@@ -96,7 +136,7 @@ fn main() {
                 });
                 let mut writer = BufWriter::new(conn);
                 match server.handle(reader, &mut writer, batch_size) {
-                    Ok(n) => eprintln!("dader-serve: {peer}: scored {n} pairs"),
+                    Ok(n) => note!("dader-serve: {peer}: scored {n} pairs"),
                     Err(e) => eprintln!("dader-serve: {peer}: connection failed: {e}"),
                 }
                 let _ = writer.flush();

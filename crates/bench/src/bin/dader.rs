@@ -4,7 +4,12 @@
 //! dader run    --source WA --target AB [--method invgan_kd] [--rnn]
 //!              [--seed 42] [--scale quick|tiny|paper] [--beta 0.5] [--lr 3e-3]
 //!              [--save model.dma]       # persist the selected model
+//!              [--telemetry run.jsonl]  # one JSONL record per epoch
+//!              [--verbose | --quiet]    # per-epoch progress / errors only
 //! ```
+//!
+//! Every `run` leaves a machine-readable timing summary at
+//! `results/BENCH_dader.json` (phases, wall time, thread count).
 //!
 //! A saved artifact is served by the separate `dader-serve` binary.
 //!
@@ -13,7 +18,8 @@
 //! dader distance --target AB      # rank all sources by MMD (Finding 2)
 //! ```
 
-use dader_bench::{Context, Scale};
+use dader_bench::report::{write_bench_snapshot, BenchPhase, BenchThroughput};
+use dader_bench::{note, Context, Scale};
 use dader_core::distance::dataset_mmd;
 use dader_core::train::TrainConfig;
 use dader_core::AlignerKind;
@@ -40,7 +46,7 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>]\n  dader distance --target <ID> [--scale ...]\n  dader list"
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader list"
     );
     std::process::exit(2);
 }
@@ -71,8 +77,10 @@ fn cmd_run(args: &[String]) {
     let use_rnn = args.iter().any(|a| a == "--rnn");
     let scale = Scale::from_args();
 
-    eprintln!("building context (scale {scale}: 13 datasets + MLM pre-training)...");
+    let run_start = std::time::Instant::now();
+    note!("building context (scale {scale}: 13 datasets + MLM pre-training)...");
     let ctx = Context::new(scale);
+    let context_s = run_start.elapsed().as_secs_f64();
     let mut cfg = TrainConfig {
         beta: method.default_beta(),
         seed,
@@ -86,12 +94,19 @@ fn cmd_run(args: &[String]) {
     }
     let save = arg_value(args, "--save").map(std::path::PathBuf::from);
     cfg.save_artifact = save.clone();
+    cfg.telemetry = arg_value(args, "--telemetry").map(std::path::PathBuf::from);
+    cfg.verbose = dader_obs::log::verbose_enabled();
+    let telemetry_path = cfg.telemetry.clone();
 
-    eprintln!("adapting {source} -> {target} with {method} (seed {seed}, β {}, lr {})...", cfg.beta, cfg.lr);
+    note!("adapting {source} -> {target} with {method} (seed {seed}, β {}, lr {})...", cfg.beta, cfg.lr);
     let t0 = std::time::Instant::now();
     let (out, f1) = ctx.run_transfer(source, target, method, seed, use_rnn, Some(cfg));
+    let train_s = t0.elapsed().as_secs_f64();
+    let epochs_run = out.history.len();
     let splits = ctx.target_splits(target);
+    let t_eval = std::time::Instant::now();
     let m = out.model.evaluate(&splits.test, ctx.encoder(), 32);
+    let eval_s = t_eval.elapsed().as_secs_f64();
     println!(
         "{source}->{target} {method}{}: target F1 {f1:.1} (P {:.2} / R {:.2}), best epoch {}, {:.1}s",
         if use_rnn { " [RNN]" } else { "" },
@@ -104,6 +119,22 @@ fn cmd_run(args: &[String]) {
     if let Some(path) = save {
         println!("saved model artifact to {} (serve it with dader-serve)", path.display());
     }
+    if let Some(path) = telemetry_path {
+        note!("telemetry written to {} ({epochs_run}+ records)", path.display());
+    }
+    write_bench_snapshot(
+        "dader",
+        run_start.elapsed().as_secs_f64(),
+        vec![
+            BenchPhase { name: "context".into(), wall_s: context_s },
+            BenchPhase { name: "train".into(), wall_s: train_s },
+            BenchPhase { name: "eval".into(), wall_s: eval_s },
+        ],
+        (train_s > 0.0).then(|| BenchThroughput {
+            per_second: epochs_run as f64 / train_s,
+            unit: "epochs".into(),
+        }),
+    );
 }
 
 fn cmd_distance(args: &[String]) {
@@ -111,7 +142,7 @@ fn cmd_distance(args: &[String]) {
         .and_then(|s| DatasetId::parse(&s))
         .unwrap_or_else(|| usage());
     let scale = Scale::from_args();
-    eprintln!("building context (scale {scale})...");
+    note!("building context (scale {scale})...");
     let ctx = Context::new(scale);
     let probe = ctx.lm_extractor(0);
     let mut rows: Vec<(DatasetId, f32)> = DatasetId::all()
@@ -130,7 +161,7 @@ fn cmd_distance(args: &[String]) {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),

@@ -9,7 +9,7 @@ use dader_core::baselines::{run_reweight, ReweightConfig};
 use dader_core::AlignerKind;
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = Scale::from_args();
     eprintln!("building context (scale: {scale})...");
     let ctx = Context::new(scale);

@@ -41,7 +41,7 @@ fn mixing_score(src: &[[f32; 2]], tgt: &[[f32; 2]]) -> f32 {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = Scale::from_args();
     eprintln!("building context (scale: {scale})...");
     let ctx = Context::new(scale);

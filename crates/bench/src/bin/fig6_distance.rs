@@ -53,7 +53,7 @@ fn spearman(xs: &[f32], ys: &[f32]) -> f32 {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = Scale::from_args();
     eprintln!("building context (scale: {scale})...");
     let ctx = Context::new(scale);

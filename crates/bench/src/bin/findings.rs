@@ -52,7 +52,7 @@ fn verdict(name: &str, ok: Option<bool>, detail: String) {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     println!("== DADER findings check (from results/*.json) ==\n");
 
     // Finding 1: DA improves over NoDA on similar and different domains.

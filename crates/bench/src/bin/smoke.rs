@@ -9,7 +9,7 @@ use dader_core::AlignerKind;
 use dader_datagen::DatasetId;
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let t0 = std::time::Instant::now();
     let ctx = Context::new(Scale::Tiny);
     println!("context (13 datasets + MLM pre-training): {:.1}s", t0.elapsed().as_secs_f32());

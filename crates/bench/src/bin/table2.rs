@@ -26,7 +26,7 @@ struct Row {
 }
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = if std::env::args().any(|a| a == "--scale") {
         Scale::from_args()
     } else {

@@ -8,7 +8,7 @@ use dader_bench::{transfer_label, Cell, Context, Scale, Table, TABLE5_TRANSFERS}
 use dader_core::AlignerKind;
 
 fn main() {
-    dader_bench::apply_thread_args();
+    dader_bench::init_cli();
     let scale = Scale::from_args();
     eprintln!("building context (scale: {scale})...");
     let ctx = Context::new(scale);

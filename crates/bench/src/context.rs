@@ -15,6 +15,49 @@ use rand::SeedableRng;
 
 use crate::scale::Scale;
 
+/// Apply the shared logging knobs to the process-wide level: the
+/// `DADER_LOG` environment variable first (`quiet`/`info`/`verbose`),
+/// then the `--quiet` / `--verbose` flags, which win over the
+/// environment. Unknown `DADER_LOG` values warn and keep the default.
+pub fn apply_log_args() {
+    use dader_obs::log::{set_level, Level};
+    if let Ok(v) = std::env::var("DADER_LOG") {
+        match Level::parse(&v) {
+            Some(l) => {
+                set_level(l);
+            }
+            None => eprintln!("warn: DADER_LOG={v:?} not one of quiet|info|verbose; ignored"),
+        }
+    }
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--verbose") {
+        set_level(Level::Verbose);
+    }
+    if args.iter().any(|a| a == "--quiet") {
+        set_level(Level::Quiet);
+    }
+}
+
+/// Print a progress line to stderr unless the process is `--quiet`.
+#[macro_export]
+macro_rules! note {
+    ($($arg:tt)*) => {
+        if $crate::dader_obs::log::info_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Print a detail line to stderr only under `--verbose`.
+#[macro_export]
+macro_rules! chat {
+    ($($arg:tt)*) => {
+        if $crate::dader_obs::log::verbose_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
 /// A prepared target: the paper's 1:9 validation/test split.
 pub struct TargetSplits {
     /// Validation split (model selection only).

@@ -12,10 +12,14 @@ pub mod report;
 pub mod scale;
 pub mod serve;
 
-pub use context::{Context, TargetSplits};
-pub use report::{write_json, Cell, Table};
+pub use context::{apply_log_args, Context, TargetSplits};
+pub use report::{write_bench_snapshot, write_json, Cell, Table};
 pub use scale::Scale;
 pub use serve::MatchServer;
+
+// Re-exported so the `note!`/`chat!` macros can reach the log gates from
+// any binary via `$crate`.
+pub use dader_obs;
 
 use dader_datagen::DatasetId;
 
@@ -75,4 +79,12 @@ pub fn apply_thread_args() {
     if let Some(n) = n {
         dader_core::train::ParallelConfig::with_threads(n).apply();
     }
+}
+
+/// Standard bench-binary startup: apply the `--threads` override and the
+/// `--quiet`/`--verbose`/`DADER_LOG` log level. Every binary calls this
+/// first thing in `main`.
+pub fn init_cli() {
+    apply_thread_args();
+    context::apply_log_args();
 }

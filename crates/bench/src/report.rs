@@ -116,6 +116,58 @@ impl Table {
     }
 }
 
+/// One timed phase of a bench run.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchPhase {
+    /// Phase name (`context`, `train`, `serve`, …).
+    pub name: String,
+    /// Wall time in seconds.
+    pub wall_s: f64,
+}
+
+/// Throughput of the run's main work item.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchThroughput {
+    /// Items per second.
+    pub per_second: f64,
+    /// What an item is (`pairs`, `epochs`, …).
+    pub unit: String,
+}
+
+/// The machine-readable summary a bench binary leaves behind.
+#[derive(Debug, Serialize)]
+pub struct BenchSnapshot {
+    /// Binary name (also names the output file).
+    pub name: String,
+    /// Engine-pool worker count during the run.
+    pub threads: usize,
+    /// End-to-end wall time in seconds.
+    pub total_wall_s: f64,
+    /// Per-phase wall times, in execution order.
+    pub phases: Vec<BenchPhase>,
+    /// Main throughput figure, when the run has one.
+    pub throughput: Option<BenchThroughput>,
+}
+
+/// Write a run summary to `results/BENCH_<name>.json`: total and
+/// per-phase wall time, the pool thread count, and an optional
+/// throughput figure. Same failure policy as [`write_json`].
+pub fn write_bench_snapshot(
+    name: &str,
+    total_wall_s: f64,
+    phases: Vec<BenchPhase>,
+    throughput: Option<BenchThroughput>,
+) {
+    let snapshot = BenchSnapshot {
+        name: name.to_string(),
+        threads: dader_tensor::pool::current_threads(),
+        total_wall_s,
+        phases,
+        throughput,
+    };
+    write_json(&format!("BENCH_{name}"), &snapshot);
+}
+
 /// Serialize any value under `results/<slug>.json` (directory created on
 /// demand). Failures are printed, not fatal — the console table is the
 /// primary artifact.

@@ -26,13 +26,53 @@
 //! ```json
 //! {"error": "line 3: `a` must be an object of string attributes", "line": 3}
 //! ```
+//!
+//! Every response (success or error) additionally carries `rid` — a
+//! monotonically increasing server-side request id, unique across
+//! connections — and `latency_us`, the server-side microseconds from
+//! reading the request line to writing its response (batching wait
+//! included). The same requests feed the always-on serving metrics
+//! (`serve_request_latency_us`, `serve_batch_size`, `serve_requests_total`,
+//! `serve_errors_total`) that `dader-serve --metrics-addr` exposes.
 
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use dader_core::artifact::{ArtifactError, ModelArtifact};
 use dader_core::DaderModel;
+use dader_obs::{Counter, Histogram};
 use dader_text::PairEncoder;
 use serde::Value;
+
+/// Next request id; process-global so ids stay unique and monotone across
+/// connections and servers.
+static NEXT_RID: AtomicU64 = AtomicU64::new(1);
+
+/// The serving metrics, registered once.
+struct ServeMetrics {
+    latency_us: Histogram,
+    batch_size: Histogram,
+    requests: Counter,
+    errors: Counter,
+}
+
+fn metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| ServeMetrics {
+        latency_us: dader_obs::histogram(
+            "serve_request_latency_us",
+            &dader_obs::metrics::LATENCY_US_BUCKETS,
+        ),
+        batch_size: dader_obs::histogram(
+            "serve_batch_size",
+            &dader_obs::metrics::BATCH_SIZE_BUCKETS,
+        ),
+        requests: dader_obs::counter("serve_requests_total"),
+        errors: dader_obs::counter("serve_errors_total"),
+    })
+}
 
 /// A loaded model plus encoder, ready to answer match requests.
 pub struct MatchServer {
@@ -84,8 +124,8 @@ impl MatchServer {
     ) -> std::io::Result<usize> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut scored = 0usize;
-        // (line number, parse outcome) for one flush window.
-        let mut window: Vec<(usize, Parsed)> = Vec::with_capacity(batch_size);
+        // (line number, arrival time, parse outcome) for one flush window.
+        let mut window: Vec<(usize, Instant, Parsed)> = Vec::with_capacity(batch_size);
         let mut pending = 0usize; // Ok entries in the window
         for (i, line) in input.lines().enumerate() {
             let lineno = i + 1;
@@ -93,8 +133,8 @@ impl MatchServer {
             if line.trim().is_empty() {
                 continue;
             }
-            window.push((lineno, parse_request(&line, lineno)));
-            if matches!(window.last(), Some((_, Parsed::Ok(_)))) {
+            window.push((lineno, Instant::now(), parse_request(&line, lineno)));
+            if matches!(window.last(), Some((_, _, Parsed::Ok(_)))) {
                 pending += 1;
             }
             if pending == batch_size {
@@ -110,36 +150,51 @@ impl MatchServer {
     /// and write all responses in line order.
     fn flush<W: Write>(
         &self,
-        window: &mut Vec<(usize, Parsed)>,
+        window: &mut Vec<(usize, Instant, Parsed)>,
         output: &mut W,
         batch_size: usize,
     ) -> std::io::Result<usize> {
+        let m = metrics();
         let pairs: Vec<dader_core::EntityPair> = window
             .iter()
-            .filter_map(|(_, p)| match p {
+            .filter_map(|(_, _, p)| match p {
                 Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
                 Parsed::Err(_) => None,
             })
             .collect();
+        if !pairs.is_empty() {
+            m.batch_size.observe(pairs.len() as f64);
+        }
         let preds = self.model.predict_pairs(&pairs, &self.encoder, batch_size);
         let scored = preds.len();
         let mut preds = preds.into_iter();
-        for (lineno, parsed) in window.drain(..) {
+        for (lineno, arrival, parsed) in window.drain(..) {
+            let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
+            let latency_us = arrival.elapsed().as_micros() as f64;
+            m.requests.inc();
+            m.latency_us.observe(latency_us);
             let obj = match parsed {
                 Parsed::Ok((id, _, _)) => {
                     let (label, prob) = preds.next().expect("one prediction per Ok line");
-                    let mut kvs = Vec::with_capacity(3);
+                    let mut kvs = Vec::with_capacity(5);
                     if let Some(id) = id {
                         kvs.push(("id".to_string(), id));
                     }
                     kvs.push(("match".to_string(), Value::Bool(label == 1)));
                     kvs.push(("probability".to_string(), Value::Number(prob as f64)));
+                    kvs.push(("rid".to_string(), Value::Number(rid as f64)));
+                    kvs.push(("latency_us".to_string(), Value::Number(latency_us)));
                     Value::Object(kvs)
                 }
-                Parsed::Err(msg) => Value::Object(vec![
-                    ("error".to_string(), Value::String(msg)),
-                    ("line".to_string(), Value::Number(lineno as f64)),
-                ]),
+                Parsed::Err(msg) => {
+                    m.errors.inc();
+                    Value::Object(vec![
+                        ("error".to_string(), Value::String(msg)),
+                        ("line".to_string(), Value::Number(lineno as f64)),
+                        ("rid".to_string(), Value::Number(rid as f64)),
+                        ("latency_us".to_string(), Value::Number(latency_us)),
+                    ])
+                }
             };
             let text = serde_json::to_string(&obj)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
@@ -295,12 +350,61 @@ mod tests {
         }
         let (_, one) = responses(&server, &input, 1);
         let (_, big) = responses(&server, &input, 5);
-        assert_eq!(one, big, "batch size must not change results or order");
+        // rid and latency_us legitimately differ between runs; the scored
+        // payload must not.
+        let stable = |vals: &[Value]| -> Vec<Value> {
+            vals.iter()
+                .map(|v| {
+                    let kvs = v
+                        .as_object()
+                        .unwrap()
+                        .iter()
+                        .filter(|(k, _)| k.as_str() != "rid" && k.as_str() != "latency_us")
+                        .cloned()
+                        .collect();
+                    Value::Object(kvs)
+                })
+                .collect()
+        };
+        assert_eq!(stable(&one), stable(&big), "batch size must not change results or order");
         let ids: Vec<usize> = big
             .iter()
             .map(|v| v.get("id").unwrap().as_f64().unwrap() as usize)
             .collect();
         assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn responses_carry_monotone_rids_and_latency() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+            "not json\n",
+            "{\"a\": {\"title\": \"esp\"}, \"b\": {\"title\": \"hp\"}}\n",
+        );
+        let (_, vals) = responses(&server, input, 2);
+        assert_eq!(vals.len(), 3);
+        let rids: Vec<u64> = vals
+            .iter()
+            .map(|v| v.get("rid").expect("rid on every response").as_f64().unwrap() as u64)
+            .collect();
+        assert!(
+            rids.windows(2).all(|w| w[1] > w[0]),
+            "rids must strictly increase: {rids:?}"
+        );
+        for v in &vals {
+            let lat = v
+                .get("latency_us")
+                .expect("latency_us on every response")
+                .as_f64()
+                .unwrap();
+            assert!(lat >= 0.0, "negative latency: {lat}");
+        }
+        // A second stream continues the id sequence (global across
+        // connections).
+        let (_, more) = responses(&server, input, 2);
+        let first_new = more[0].get("rid").unwrap().as_f64().unwrap() as u64;
+        assert!(first_new > *rids.last().unwrap());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! the good ones — with a clean exit. A corrupted artifact must produce a
 //! structured error on stderr, not a panic.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
@@ -133,6 +133,118 @@ fn responses_keep_input_order_across_batches() {
         })
         .collect();
     assert_eq!(ids, (0..9).collect::<Vec<_>>());
+}
+
+#[test]
+fn responses_carry_rid_and_latency_through_the_binary() {
+    let artifact = write_tiny_artifact("rid.dma");
+    let input = concat!(
+        "{\"id\": 1, \"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+        "broken {{{\n",
+        "{\"id\": 3, \"a\": {\"title\": \"esp\"}, \"b\": {\"title\": \"hp\"}}\n",
+    );
+    let out = run_serve(&artifact, &["--batch-size", "2"], input);
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let vals: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(vals.len(), 3);
+    let rids: Vec<u64> = vals
+        .iter()
+        .map(|v| v.get("rid").expect("rid on every response").as_f64().unwrap() as u64)
+        .collect();
+    assert!(
+        rids.windows(2).all(|w| w[1] > w[0]),
+        "rids must strictly increase: {rids:?}\n{stdout}"
+    );
+    for v in &vals {
+        let lat = v
+            .get("latency_us")
+            .expect("latency_us on every response (errors included)")
+            .as_f64()
+            .unwrap();
+        assert!(lat >= 0.0);
+    }
+    assert!(vals[1].get("error").is_some(), "line 2 is the broken one");
+}
+
+/// Full metrics round trip against the real binary: start with
+/// `--metrics-addr 127.0.0.1:0`, learn the ephemeral port from the stderr
+/// announcement, stream a few requests, and scrape one Prometheus-style
+/// dump while the server is still running.
+#[test]
+fn metrics_endpoint_serves_parseable_dump() {
+    let artifact = write_tiny_artifact("metrics.dma");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dader-serve"))
+        .arg(&artifact)
+        .args(["--batch-size", "1", "--metrics-addr", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dader-serve");
+
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before announcing the metrics address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("dader-serve: metrics on ") {
+            break rest.to_string();
+        }
+    };
+
+    // Two good requests and one bad one; batch size 1 flushes each good
+    // line as it arrives, so all responses are visible before EOF.
+    let mut stdin = child.stdin.take().unwrap();
+    stdin
+        .write_all(
+            concat!(
+                "{\"id\": 1, \"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+                "nope\n",
+                "{\"id\": 2, \"a\": {\"title\": \"esp\"}, \"b\": {\"title\": \"hp\"}}\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stdin.flush().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    for _ in 0..3 {
+        let mut line = String::new();
+        assert!(stdout.read_line(&mut line).unwrap() > 0, "response line expected");
+        let v: Value = serde_json::from_str(line.trim()).expect("response is JSON");
+        assert!(v.get("rid").is_some() && v.get("latency_us").is_some());
+    }
+
+    // Scrape the endpoint while the server is alive.
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to metrics endpoint");
+    let mut dump = String::new();
+    conn.read_to_string(&mut dump).expect("read metrics dump");
+
+    drop(stdin); // EOF ends the stream; the process exits cleanly
+    let status = child.wait().expect("dader-serve exit");
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(status.success());
+
+    assert!(dump.contains("serve_requests_total 3"), "dump:\n{dump}");
+    assert!(dump.contains("serve_errors_total 1"), "dump:\n{dump}");
+    assert!(
+        dump.lines().any(|l| l.starts_with("serve_request_latency_us{quantile=\"0.95\"}")),
+        "latency quantiles expected:\n{dump}"
+    );
+    assert!(dump.contains("serve_request_latency_us_count 3"), "dump:\n{dump}");
+    assert!(dump.contains("serve_batch_size_count"), "dump:\n{dump}");
+    // Every sample line is `name[{labels}] value` with a numeric value.
+    for line in dump.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (_, val) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        val.parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample value in: {line}"));
+    }
 }
 
 #[test]

@@ -33,6 +33,7 @@ fn l2_diff(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// The CMD loss with moments up to order `k_max` (the reference uses 5).
 pub fn cmd_loss(xs: &Tensor, xt: &Tensor, k_max: u32) -> Tensor {
+    let _sp = dader_obs::span!("loss.cmd");
     assert!(k_max >= 1, "cmd needs at least the first moment");
     let (_, d) = xs.shape().as_2d();
     let (_, d2) = xt.shape().as_2d();

@@ -23,6 +23,7 @@ pub fn covariance(x: &Tensor) -> Tensor {
 
 /// The CORAL loss between source and target feature batches.
 pub fn coral_loss(xs: &Tensor, xt: &Tensor) -> Tensor {
+    let _sp = dader_obs::span!("loss.coral");
     let (_, d) = xs.shape().as_2d();
     let (_, d2) = xt.shape().as_2d();
     assert_eq!(d, d2, "coral_loss: feature dims differ");

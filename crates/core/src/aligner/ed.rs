@@ -40,6 +40,7 @@ impl EdAligner {
     /// the decoder reconstructing the (prefix of the) input tokens from the
     /// features. Token ids are hashed into the reconstruction vocabulary.
     pub fn reconstruction_loss(&self, features: &Tensor, batch: &EncodedBatch) -> Tensor {
+        let _sp = dader_obs::span!("loss.ed");
         let seq = self.recon_len.min(batch.seq);
         let mut target_ids = Vec::with_capacity(batch.batch * seq);
         let mut mask = Vec::with_capacity(batch.batch * seq);

@@ -30,6 +30,7 @@ impl GrlAligner {
     ///   the extractor receives `-β ∂L_A` (maximize / confuse), because
     ///   the features pass through `grad_reverse` before the classifier.
     pub fn domain_loss(&self, xs: &Tensor, xt: &Tensor, beta: f32) -> Tensor {
+        let _sp = dader_obs::span!("loss.grl");
         let (ns, _) = xs.shape().as_2d();
         let (nt, _) = xt.shape().as_2d();
         let joint = xs.grad_reverse(1.0).concat_rows(&xt.grad_reverse(1.0));

@@ -39,6 +39,7 @@ impl Discriminator {
     /// classify `real` as 1 and `fake` as 0. Both feature batches are
     /// detached — the discriminator step trains only `A`.
     pub fn discriminator_loss(&self, real: &Tensor, fake: &Tensor) -> Tensor {
+        let _sp = dader_obs::span!("loss.disc");
         let (nr, _) = real.shape().as_2d();
         let (nf, _) = fake.shape().as_2d();
         let joint = real.detach().concat_rows(&fake.detach());
@@ -52,6 +53,7 @@ impl Discriminator {
     /// discriminator call the *fake* (target) features real. Gradients flow
     /// through `A` into the generator `F'`, but only `F'` is stepped.
     pub fn generator_loss(&self, fake: &Tensor) -> Tensor {
+        let _sp = dader_obs::span!("loss.gen");
         let (nf, _) = fake.shape().as_2d();
         let logits = self.logits(fake).reshape(nf);
         logits.bce_with_logits(&vec![1.0f32; nf])
@@ -81,6 +83,7 @@ impl Discriminator {
 /// extractor stays *discriminative* while the adversary makes it
 /// *domain-invariant*.
 pub fn distillation_loss(teacher_logits: &Tensor, student_logits: &Tensor, temperature: f32) -> Tensor {
+    let _sp = dader_obs::span!("loss.kd");
     kd_loss(teacher_logits, student_logits, temperature)
 }
 

@@ -61,6 +61,7 @@ pub fn mmd_loss(xs: &Tensor, xt: &Tensor) -> Tensor {
 /// MMD² with an explicit bandwidth-multiplier mixture (the
 /// `ablate_mmd_kernels` bench compares single- vs multi-kernel variants).
 pub fn mmd_loss_with_factors(xs: &Tensor, xt: &Tensor, factors: &[f32]) -> Tensor {
+    let _sp = dader_obs::span!("loss.mmd");
     assert!(!factors.is_empty(), "mmd needs at least one kernel");
     let sigma2 = mean_bandwidth(xs, xt);
 

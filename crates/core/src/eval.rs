@@ -82,6 +82,7 @@ pub fn evaluate(
     encoder: &PairEncoder,
     batch_size: usize,
 ) -> Metrics {
+    let _sp = dader_obs::span!("eval");
     let batches = encode_all(dataset, encoder, batch_size);
     let per_batch = dader_tensor::pool::par_map(
         &batches,

@@ -247,6 +247,7 @@ impl LmExtractor {
 
 impl FeatureExtractor for LmExtractor {
     fn extract(&self, batch: &EncodedBatch) -> Tensor {
+        let _sp = dader_obs::span!("extract.lm");
         let cls = self
             .encoder
             .encode_cls(&batch.ids, batch.batch, batch.seq, &batch.mask);
@@ -322,6 +323,7 @@ impl RnnExtractor {
 
 impl FeatureExtractor for RnnExtractor {
     fn extract(&self, batch: &EncodedBatch) -> Tensor {
+        let _sp = dader_obs::span!("extract.rnn");
         let emb = self
             .embedding
             .forward_batch(&batch.ids, batch.batch, batch.seq);

@@ -24,6 +24,7 @@ use crate::matcher::Matcher;
 use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
 use crate::train::config::{mean_over, EpochStat, TrainConfig};
+use crate::train::telemetry::{EpochReport, RunTelemetry};
 
 /// A domain-adaptation task: labeled source, unlabeled target, and the
 /// evaluation splits of the paper's protocol.
@@ -154,6 +155,7 @@ pub fn train_algorithm1(
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut best: Option<(usize, f32, Snapshot)> = None;
     let pos_weight = auto_pos_weight(task.source, cfg);
+    let mut telemetry = RunTelemetry::new(cfg);
 
     let total_steps = cfg.epochs * iters;
     for epoch in 1..=cfg.epochs {
@@ -239,10 +241,25 @@ pub fn train_algorithm1(
             loss_a: mean_over(sum_a, iters),
         });
 
-        if best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true) {
+        let took_snapshot = best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true);
+        if took_snapshot {
             best = Some((epoch, val, Snapshot::capture(&selected)));
         }
+        telemetry.record(EpochReport {
+            epoch,
+            phase: "train",
+            loss_m: mean_over(sum_m, iters),
+            loss_a: mean_over(sum_a, iters),
+            val_f1: Some(val),
+            source_f1,
+            target_f1,
+            grl_lambda: (kind == AlignerKind::Grl && iters > 0).then(|| {
+                grl_lambda(grl_progress(epoch * iters - 1, total_steps))
+            }),
+            snapshot: took_snapshot,
+        });
     }
+    drop(telemetry);
 
     let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
     snap.restore(&selected);

@@ -23,6 +23,7 @@ use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
 use crate::train::algorithm1::{save_artifact_if_requested, DaTask, TrainOutcome};
 use crate::train::config::{mean_over, EpochStat, TrainConfig};
+use crate::train::telemetry::{EpochReport, RunTelemetry};
 
 /// Train with Algorithm 2. `kind` must be `InvGan` or `InvGanKd`.
 pub fn train_algorithm2(
@@ -47,17 +48,31 @@ pub fn train_algorithm2(
         .iters_per_epoch
         .unwrap_or_else(|| src_batches.batches_per_epoch());
     let pos_weight = crate::train::algorithm1::auto_pos_weight(task.source, cfg);
-    for _ in 0..cfg.step1_epochs {
+    let mut telemetry = RunTelemetry::new(cfg);
+    for epoch in 1..=cfg.step1_epochs {
+        let mut sum_m = 0.0f32;
         for _ in 0..iters {
             let bs = src_batches.next_batch(&mut rng);
             let xs = extractor.extract(&bs);
             let loss = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
+            sum_m += loss.item();
             let mut grads = loss.backward();
             if cfg.clip_norm > 0.0 {
                 clip_grad_norm(&mut grads, &f_and_m, cfg.clip_norm);
             }
             opt1.step(&f_and_m, &grads);
         }
+        telemetry.record(EpochReport {
+            epoch,
+            phase: "step1",
+            loss_m: mean_over(sum_m, iters),
+            loss_a: 0.0,
+            val_f1: None,
+            source_f1: None,
+            target_f1: None,
+            grl_lambda: None,
+            snapshot: false,
+        });
     }
 
     // ---------------------------------------------------------- Step 2
@@ -207,10 +222,23 @@ pub fn train_algorithm2(
             loss_m: mean_over(sum_g, sub_iters),
             loss_a: mean_over(sum_a, sub_iters),
         });
-        if best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true) {
+        let took_snapshot = best.as_ref().map(|(_, f, _)| val > *f).unwrap_or(true);
+        if took_snapshot {
             best = Some((epoch, val, Snapshot::capture(&selected)));
         }
+        telemetry.record(EpochReport {
+            epoch,
+            phase: "adversarial",
+            loss_m: mean_over(sum_g, sub_iters),
+            loss_a: mean_over(sum_a, sub_iters),
+            val_f1: Some(val),
+            source_f1,
+            target_f1,
+            grl_lambda: None,
+            snapshot: took_snapshot,
+        });
     }
+    drop(telemetry);
 
     let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
     snap.restore(&selected);

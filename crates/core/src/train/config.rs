@@ -84,6 +84,13 @@ pub struct TrainConfig {
     /// Section 6.1 protocol selects) is written to this path as a
     /// [`crate::artifact::ModelArtifact`] at the end of training.
     pub save_artifact: Option<std::path::PathBuf>,
+    /// When set, one JSONL telemetry record per epoch (losses, validation
+    /// F1, GRL λ, snapshot flag, wall time, op-level timing) is appended
+    /// to this file. Also switches span timers on for the run.
+    pub telemetry: Option<std::path::PathBuf>,
+    /// Print a human-readable progress line to stderr after each epoch
+    /// (and switch span timers on, like `telemetry`).
+    pub verbose: bool,
 }
 
 impl Default for TrainConfig {
@@ -106,6 +113,8 @@ impl Default for TrainConfig {
             adversarial_lr_scale: 0.1,
             parallel: ParallelConfig::default(),
             save_artifact: None,
+            telemetry: None,
+            verbose: false,
         }
     }
 }

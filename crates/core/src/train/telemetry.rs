@@ -1,0 +1,229 @@
+//! Per-run telemetry plumbing for the training loops.
+//!
+//! [`RunTelemetry`] bridges a training run to `dader-obs`: when the
+//! config requests telemetry (`cfg.telemetry`) or verbose progress
+//! (`cfg.verbose`) it switches span timers on for the duration of the run
+//! (restoring the previous state on drop), opens the JSONL sink, and
+//! turns each epoch's statistics plus the span-table delta into one
+//! [`dader_obs::EpochRecord`]. With neither requested every call is a
+//! no-op, so the training loops stay at un-instrumented speed.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dader_obs::telemetry::{EpochRecord, OpSummary, TelemetrySink};
+use dader_obs::SpanStat;
+
+use crate::train::config::TrainConfig;
+
+/// One epoch's facts, handed to [`RunTelemetry::record`] by the loops.
+/// Wall time and the op summary are filled in by the recorder.
+pub struct EpochReport {
+    /// Epoch number (1-based within its phase).
+    pub epoch: usize,
+    /// `train` (Algorithm 1), `step1` or `adversarial` (Algorithm 2).
+    pub phase: &'static str,
+    /// Mean matching (or generator) loss.
+    pub loss_m: f32,
+    /// Mean alignment (or discriminator) loss.
+    pub loss_a: f32,
+    /// Validation F1, when this phase evaluates.
+    pub val_f1: Option<f32>,
+    /// Source-test F1, when tracked.
+    pub source_f1: Option<f32>,
+    /// Target-test F1, when tracked.
+    pub target_f1: Option<f32>,
+    /// GRL λ at the epoch's final step (GRL method only).
+    pub grl_lambda: Option<f32>,
+    /// True when this epoch's model became the selected snapshot.
+    pub snapshot: bool,
+}
+
+/// Telemetry state for one training run. Construct at the top of the
+/// loop, call [`record`](RunTelemetry::record) once per epoch.
+pub struct RunTelemetry {
+    sink: Option<TelemetrySink>,
+    verbose: bool,
+    /// Span-enable state to restore when the run ends (`None` when this
+    /// run never touched it).
+    restore_spans: Option<bool>,
+    /// Span totals at the last record, for per-epoch deltas.
+    prev_spans: HashMap<&'static str, SpanStat>,
+    epoch_start: Instant,
+}
+
+impl RunTelemetry {
+    /// Set up telemetry per the config. Panics when a requested telemetry
+    /// file can't be created — silently losing a run's records is worse.
+    pub fn new(cfg: &TrainConfig) -> RunTelemetry {
+        let active = cfg.telemetry.is_some() || cfg.verbose;
+        let restore_spans = active.then(|| dader_obs::set_enabled(true));
+        let sink = cfg.telemetry.as_ref().map(|path| {
+            TelemetrySink::create(path).unwrap_or_else(|e| {
+                panic!("failed to create telemetry file {}: {e}", path.display())
+            })
+        });
+        let prev_spans = snapshot_map();
+        RunTelemetry {
+            sink,
+            verbose: cfg.verbose,
+            restore_spans,
+            prev_spans,
+            epoch_start: Instant::now(),
+        }
+    }
+
+    /// True when records are being written or printed.
+    pub fn active(&self) -> bool {
+        self.sink.is_some() || self.verbose
+    }
+
+    /// Record one epoch: write the JSONL line, print the verbose progress
+    /// line, and reset the per-epoch clock and span baseline.
+    pub fn record(&mut self, report: EpochReport) {
+        if !self.active() {
+            return;
+        }
+        let wall_s = self.epoch_start.elapsed().as_secs_f64();
+        let now = dader_obs::timing_snapshot();
+        let mut ops: Vec<OpSummary> = now
+            .iter()
+            .map(|s| OpSummary::delta(s, self.prev_spans.get(s.name)))
+            .filter(|d| d.calls > 0)
+            .collect();
+        ops.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        self.prev_spans = now.into_iter().map(|s| (s.name, s)).collect();
+
+        let rec = EpochRecord {
+            epoch: report.epoch,
+            phase: report.phase,
+            loss_m: report.loss_m,
+            loss_a: report.loss_a,
+            val_f1: report.val_f1,
+            source_f1: report.source_f1,
+            target_f1: report.target_f1,
+            grl_lambda: report.grl_lambda,
+            snapshot: report.snapshot,
+            wall_s,
+            ops,
+        };
+        if self.verbose {
+            eprintln!("{}", progress_line(&rec));
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.record(&rec).unwrap_or_else(|e| {
+                panic!(
+                    "failed to write telemetry record to {}: {e}",
+                    sink.path().display()
+                )
+            });
+        }
+        self.epoch_start = Instant::now();
+    }
+}
+
+impl Drop for RunTelemetry {
+    fn drop(&mut self) {
+        if let Some(prev) = self.restore_spans {
+            dader_obs::set_enabled(prev);
+        }
+    }
+}
+
+fn snapshot_map() -> HashMap<&'static str, SpanStat> {
+    dader_obs::timing_snapshot()
+        .into_iter()
+        .map(|s| (s.name, s))
+        .collect()
+}
+
+/// The human-readable per-epoch stderr line (`--verbose`).
+fn progress_line(rec: &EpochRecord) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "[dader] {} epoch {:>3}  loss_m {:>8.4}  loss_a {:>8.4}",
+        rec.phase, rec.epoch, rec.loss_m, rec.loss_a
+    );
+    if let Some(f1) = rec.val_f1 {
+        let _ = write!(line, "  val_f1 {f1:>6.2}");
+    }
+    if let Some(l) = rec.grl_lambda {
+        let _ = write!(line, "  λ {l:.3}");
+    }
+    if rec.snapshot {
+        line.push_str("  *snapshot*");
+    }
+    let _ = write!(line, "  ({:.2}s", rec.wall_s);
+    if let Some(top) = rec.ops.first() {
+        let _ = write!(line, ", top op {} {:.0}ms", top.name, top.total_ms);
+    }
+    line.push(')');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(epoch: usize) -> EpochReport {
+        EpochReport {
+            epoch,
+            phase: "train",
+            loss_m: 0.5,
+            loss_a: 0.25,
+            val_f1: Some(60.0),
+            source_f1: None,
+            target_f1: None,
+            grl_lambda: None,
+            snapshot: epoch == 1,
+        }
+    }
+
+    #[test]
+    fn inactive_run_is_a_no_op() {
+        let cfg = TrainConfig::default();
+        let mut t = RunTelemetry::new(&cfg);
+        assert!(!t.active());
+        t.record(report(1)); // must not panic or write anywhere
+    }
+
+    #[test]
+    fn sink_gets_one_line_per_epoch() {
+        let path = std::env::temp_dir().join(format!("core_tele_{}.jsonl", std::process::id()));
+        let cfg = TrainConfig {
+            telemetry: Some(path.clone()),
+            ..TrainConfig::default()
+        };
+        {
+            let mut t = RunTelemetry::new(&cfg);
+            assert!(t.active());
+            t.record(report(1));
+            t.record(report(2));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("{\"epoch\":")));
+    }
+
+    #[test]
+    fn progress_line_mentions_snapshot_and_f1() {
+        let rec = EpochRecord {
+            epoch: 3,
+            phase: "train",
+            loss_m: 0.1,
+            loss_a: 0.2,
+            val_f1: Some(61.25),
+            source_f1: None,
+            target_f1: None,
+            grl_lambda: Some(0.4),
+            snapshot: true,
+            wall_s: 0.5,
+            ops: vec![],
+        };
+        let line = progress_line(&rec);
+        assert!(line.contains("epoch   3"));
+        assert!(line.contains("61.25"));
+        assert!(line.contains("*snapshot*"));
+    }
+}

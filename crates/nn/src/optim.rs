@@ -134,6 +134,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &[Param], grads: &Gradients) {
+        let _sp = dader_obs::span!("adam.step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -98,6 +98,7 @@ impl BiGru {
     /// Encode a batch: `x (B, S, I)`, `mask (B*S)` with 1.0 at real tokens.
     /// At padded positions the hidden state is carried through unchanged.
     pub fn forward(&self, x: &Tensor, mask: &[f32]) -> Tensor {
+        let _sp = dader_obs::span!("bigru.forward");
         let (b, s, _i) = x.shape().as_3d();
         assert_eq!(mask.len(), b * s, "BiGru: mask length mismatch");
 

@@ -128,6 +128,7 @@ impl TransformerEncoder {
     /// `(B, S, D)`. `ids` is row-major `(batch, seq)`; `mask` marks real
     /// tokens with 1.0.
     pub fn forward(&self, ids: &[usize], batch: usize, seq: usize, mask: &[f32]) -> Tensor {
+        let _sp = dader_obs::span!("transformer.forward");
         assert_eq!(ids.len(), batch * seq, "encoder: id count mismatch");
         assert_eq!(mask.len(), batch * seq, "encoder: mask length mismatch");
         let mut h = self

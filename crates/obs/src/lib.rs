@@ -1,0 +1,34 @@
+//! # dader-obs
+//!
+//! Zero-dependency observability for the DADER engine: the measurement
+//! layer every training run, bench binary and serving process reports
+//! through.
+//!
+//! Three subsystems, all std-only and thread-safe:
+//!
+//! * [`span`] — lightweight wall-clock timers (`span!("gemm")` guards)
+//!   aggregated globally by name: call counts, total and *self* time
+//!   (total minus time spent in nested spans on the same thread). Spans
+//!   are **off by default**; until [`set_enabled`]`(true)` a guard costs
+//!   one relaxed atomic load, so instrumented hot paths run at
+//!   uninstrumented speed.
+//! * [`metrics`] — a registry of named counters, gauges and fixed-bucket
+//!   histograms (p50/p95/p99 extraction, Prometheus-style text dump).
+//!   Handles are lock-free `Arc<Atomic…>` cells, cheap enough to stay
+//!   always-on (pool dispatch counters, serve request histograms).
+//! * [`telemetry`] — a JSONL run-telemetry sink: one self-describing
+//!   record per training epoch (losses, validation F1, GRL λ, snapshot
+//!   flag, wall time, op-level timing summary), written line-buffered so
+//!   a crashed run keeps every completed epoch.
+//!
+//! [`log`] holds the process-wide verbosity level (`quiet`/`info`/
+//! `verbose`) that the bench binaries' stderr chatter is gated on.
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+pub mod telemetry;
+
+pub use metrics::{counter, gauge, histogram, render_prometheus, Counter, Gauge, Histogram};
+pub use span::{set_enabled, span_enabled, timing_snapshot, SpanStat};
+pub use telemetry::{EpochRecord, OpSummary, TelemetrySink};

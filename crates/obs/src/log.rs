@@ -1,0 +1,93 @@
+//! Process-wide verbosity level for stderr chatter.
+//!
+//! Three levels: `quiet` (errors only), `info` (default: one-line
+//! progress), `verbose` (per-epoch detail). Binaries set the level once
+//! from `--quiet`/`--verbose` flags or the `DADER_LOG` environment
+//! variable; library code queries [`info_enabled`]/[`verbose_enabled`]
+//! before printing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity level, ordered: `Quiet < Info < Verbose`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Errors only.
+    Quiet = 0,
+    /// Default: coarse progress lines.
+    Info = 1,
+    /// Per-epoch / per-request detail.
+    Verbose = 2,
+}
+
+impl Level {
+    /// Parse a `DADER_LOG` value. Accepts the level names plus common
+    /// aliases; unknown strings return `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "quiet" | "q" | "off" | "error" | "0" => Some(Level::Quiet),
+            "info" | "i" | "on" | "1" => Some(Level::Info),
+            "verbose" | "v" | "debug" | "trace" | "2" => Some(Level::Verbose),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the process-wide level; returns the previous one.
+pub fn set_level(level: Level) -> Level {
+    from_u8(LEVEL.swap(level as u8, Ordering::Relaxed))
+}
+
+/// The current process-wide level.
+pub fn level() -> Level {
+    from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+fn from_u8(v: u8) -> Level {
+    match v {
+        0 => Level::Quiet,
+        1 => Level::Info,
+        _ => Level::Verbose,
+    }
+}
+
+/// True unless `--quiet`: normal progress output may print.
+pub fn info_enabled() -> bool {
+    level() >= Level::Info
+}
+
+/// True only under `--verbose`: detailed output may print.
+pub fn verbose_enabled() -> bool {
+    level() >= Level::Verbose
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Level::parse("quiet"), Some(Level::Quiet));
+        assert_eq!(Level::parse("OFF"), Some(Level::Quiet));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("v"), Some(Level::Verbose));
+        assert_eq!(Level::parse("debug"), Some(Level::Verbose));
+        assert_eq!(Level::parse("2"), Some(Level::Verbose));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn level_gates_are_ordered() {
+        let prev = set_level(Level::Quiet);
+        assert!(!info_enabled());
+        assert!(!verbose_enabled());
+        set_level(Level::Info);
+        assert!(info_enabled());
+        assert!(!verbose_enabled());
+        set_level(Level::Verbose);
+        assert!(info_enabled());
+        assert!(verbose_enabled());
+        set_level(prev);
+    }
+}

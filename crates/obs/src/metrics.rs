@@ -1,0 +1,402 @@
+//! Metrics registry: named counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-shared atomic cells looked up (or created) once by
+//! name and then updated lock-free, so hot paths — pool dispatch, the
+//! serve loop — can keep them always-on. [`render_prometheus`] dumps the
+//! whole registry in Prometheus text-exposition style, including
+//! interpolated p50/p95/p99 quantiles per histogram.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a float that can move both ways (stored as f64 bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing; an
+    /// implicit +Inf bucket follows.
+    bounds: Vec<f64>,
+    /// One count per finite bound plus the +Inf overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, f64 bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram with quantile extraction.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let i = self.0.bounds.partition_point(|&b| b < v);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (finite buckets then the +Inf overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// inside the bucket holding the target rank — the standard
+    /// `histogram_quantile` estimator. Returns `None` with no
+    /// observations. Ranks landing in the +Inf bucket clamp to the last
+    /// finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev_cum = cum;
+            cum += c;
+            if (cum as f64) < target || c == 0 {
+                continue;
+            }
+            if i >= self.0.bounds.len() {
+                // +Inf bucket: no finite upper edge to interpolate toward.
+                return Some(*self.0.bounds.last()?);
+            }
+            let lower = if i == 0 { 0.0 } else { self.0.bounds[i - 1] };
+            let upper = self.0.bounds[i];
+            let into = (target - prev_cum as f64) / c as f64;
+            return Some(lower + (upper - lower) * into.clamp(0.0, 1.0));
+        }
+        self.0.bounds.last().copied()
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Get or create the counter registered under `name`.
+///
+/// Panics if `name` is already registered as a different metric type —
+/// names are a process-wide namespace.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name} is not a counter"),
+    }
+}
+
+/// Get or create the gauge registered under `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name} is not a gauge"),
+    }
+}
+
+/// Get or create the histogram registered under `name`. `bounds` (finite
+/// bucket upper edges, strictly increasing) is used only on first
+/// creation; later lookups return the existing histogram unchanged.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> Histogram {
+    let mut reg = registry();
+    match reg.entry(name).or_insert_with(|| {
+        assert!(!bounds.is_empty(), "histogram {name}: no buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name}: bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Metric::Histogram(Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name} is not a histogram"),
+    }
+}
+
+/// Exponential-ish microsecond latency buckets (100 µs … 2.5 s).
+pub const LATENCY_US_BUCKETS: [f64; 14] = [
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+    250_000.0, 500_000.0, 1_000_000.0, 2_500_000.0,
+];
+
+/// Power-of-two batch-size buckets (1 … 512).
+pub const BATCH_SIZE_BUCKETS: [f64; 10] =
+    [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+/// Render a number the way Prometheus expects (no exponent for
+/// integer-valued floats).
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Dump every registered metric as Prometheus text exposition: `# TYPE`
+/// lines, cumulative `_bucket{le=…}` series with `_sum`/`_count`, plus
+/// interpolated `{quantile=…}` convenience series per histogram.
+pub fn render_prometheus() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_num(g.get()));
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (bound, c) in h.bounds().iter().zip(&counts) {
+                    cum += c;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_num(*bound));
+                }
+                cum += counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                let _ = writeln!(out, "{name}_sum {}", fmt_num(h.sum()));
+                let _ = writeln!(out, "{name}_count {}", h.count());
+                for q in [0.5, 0.95, 0.99] {
+                    if let Some(v) = h.quantile(q) {
+                        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", fmt_num(v));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_concurrent_adds() {
+        let c = counter("obs_test_counter_total");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before, 8000);
+        // same name returns the same cell
+        assert_eq!(counter("obs_test_counter_total").get(), c.get());
+    }
+
+    #[test]
+    fn gauge_set_get() {
+        let g = gauge("obs_test_gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-1.0);
+        assert_eq!(gauge("obs_test_gauge").get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_bucketing_exact_edges() {
+        let h = histogram("obs_test_hist_edges", &[1.0, 2.0, 4.0]);
+        // values on a bound land in that bound's bucket (le semantics)
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = histogram("obs_test_hist_q", &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..100 {
+            h.observe(15.0); // all in the (10, 20] bucket
+        }
+        // p50 must interpolate inside the second bucket: (10, 20].
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10.0..=20.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 20.0 && p99 >= p50, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_quantile_spread_ranks_correctly() {
+        let h = histogram("obs_test_hist_spread", &[1.0, 10.0, 100.0, 1000.0]);
+        for _ in 0..90 {
+            h.observe(5.0); // (1, 10]
+        }
+        for _ in 0..9 {
+            h.observe(50.0); // (10, 100]
+        }
+        h.observe(500.0); // (100, 1000]
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1.0..=10.0).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((10.0..=100.0).contains(&p95), "p95 = {p95}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((10.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn histogram_overflow_clamps_to_last_bound() {
+        let h = histogram("obs_test_hist_inf", &[1.0, 2.0]);
+        for _ in 0..10 {
+            h.observe(1e9); // +Inf bucket
+        }
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.bucket_counts(), vec![0, 0, 10]);
+    }
+
+    #[test]
+    fn histogram_concurrent_observations() {
+        let h = histogram("obs_test_hist_conc", &LATENCY_US_BUCKETS);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        h.observe((t * 500 + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 2000);
+        let total: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(total, 2000, "every observation lands in exactly one bucket");
+        // sum of 0..2000 under CAS accumulation stays exact (integers)
+        assert!((h.sum() - (0..2000).sum::<i64>() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prometheus_dump_is_well_formed() {
+        let c = counter("obs_test_dump_total");
+        c.add(3);
+        let h = histogram("obs_test_dump_latency_us", &[100.0, 1000.0]);
+        h.observe(50.0);
+        h.observe(400.0);
+        let dump = render_prometheus();
+        assert!(dump.contains("# TYPE obs_test_dump_total counter"));
+        assert!(dump.contains("# TYPE obs_test_dump_latency_us histogram"));
+        assert!(dump.contains("obs_test_dump_latency_us_bucket{le=\"100\"} 1"));
+        assert!(dump.contains("obs_test_dump_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(dump.contains("obs_test_dump_latency_us_count 2"));
+        assert!(dump.contains("quantile=\"0.5\""));
+        // every non-comment line is `name[{labels}] value`
+        for line in dump.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_collision_panics() {
+        gauge("obs_test_collision");
+        counter("obs_test_collision");
+    }
+}

@@ -1,0 +1,267 @@
+//! Span timers: RAII guards that aggregate wall time by name.
+//!
+//! A span measures one region of code. On drop it records its elapsed
+//! time under its static name in a global table; the table keeps, per
+//! name, the call count, the total wall time, and the *self* time —
+//! total minus the time spent inside nested spans opened on the same
+//! thread, so an outer `"train.epoch"` span doesn't double-count the
+//! `"gemm"` spans it contains. Each thread tracks its own nesting, so
+//! spans opened on pool workers aggregate correctly.
+//!
+//! Spans are disabled by default: [`span`] then returns an inert guard
+//! after a single relaxed atomic load, keeping instrumented kernels at
+//! uninstrumented speed. Telemetry-producing entry points (training with
+//! `--telemetry`/`--verbose`, `dader-serve`) switch them on via
+//! [`set_enabled`].
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-wide span switch (off by default).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Aggregated totals per span name.
+static REGISTRY: Mutex<Option<HashMap<&'static str, Agg>>> = Mutex::new(None);
+
+#[derive(Clone, Copy, Default)]
+struct Agg {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+thread_local! {
+    /// Nanoseconds spent in child spans of the currently open span on
+    /// this thread (reset/restored by every guard).
+    static CHILD_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turn span recording on or off process-wide. Returns the previous
+/// state so scoped callers can restore it.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// True when spans are currently being recorded.
+pub fn span_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Open a span; timing stops when the returned guard drops. Inert (one
+/// atomic load, no clock read) while spans are disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !span_enabled() {
+        return SpanGuard(None);
+    }
+    // Stash the parent's child-time accumulator and start our own.
+    let parent_child_ns = CHILD_NS.with(|c| c.replace(0));
+    SpanGuard(Some(Open {
+        name,
+        start: Instant::now(),
+        parent_child_ns,
+    }))
+}
+
+struct Open {
+    name: &'static str,
+    start: Instant,
+    parent_child_ns: u64,
+}
+
+/// RAII guard returned by [`span`]; records on drop.
+pub struct SpanGuard(Option<Open>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else { return };
+        let elapsed = open.start.elapsed().as_nanos() as u64;
+        // Our children's time was accumulated while we were open; restore
+        // the parent's accumulator and add our full elapsed time to it.
+        let child_ns = CHILD_NS.with(|c| {
+            let mine = c.get();
+            c.set(open.parent_child_ns.saturating_add(elapsed));
+            mine
+        });
+        let mut table = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        let agg = table
+            .get_or_insert_with(HashMap::new)
+            .entry(open.name)
+            .or_default();
+        agg.calls += 1;
+        agg.total_ns += elapsed;
+        agg.self_ns += elapsed.saturating_sub(child_ns);
+    }
+}
+
+/// Open a named span guard: `let _g = span!("gemm");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// The static name passed to [`span`].
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Wall time excluding nested spans on the same thread, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Snapshot of every span's aggregate, sorted by descending total time.
+pub fn timing_snapshot() -> Vec<SpanStat> {
+    let table = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<SpanStat> = table
+        .iter()
+        .flatten()
+        .map(|(&name, a)| SpanStat {
+            name,
+            calls: a.calls,
+            total_ns: a.total_ns,
+            self_ns: a.self_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+    out
+}
+
+/// Clear all aggregated span data (tests, epoch-delta bookkeeping).
+pub fn reset_timing() {
+    let mut table = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    *table = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The registry and enable flag are process-global; serialize the
+    /// tests that mutate them.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stat(name: &str) -> Option<SpanStat> {
+        timing_snapshot().into_iter().find(|s| s.name == name)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        reset_timing();
+        set_enabled(false);
+        {
+            let _s = span("span_test_disabled");
+        }
+        assert!(stat("span_test_disabled").is_none());
+    }
+
+    #[test]
+    fn nested_spans_split_self_time() {
+        let _g = guard();
+        reset_timing();
+        let prev = set_enabled(true);
+        {
+            let _outer = span("span_test_outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = span("span_test_inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        set_enabled(prev);
+        let outer = stat("span_test_outer").expect("outer recorded");
+        let inner = stat("span_test_inner").expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        // The outer span's total covers the inner; its self time must not.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000,
+            "outer self {} vs total {} inner {}",
+            outer.self_ns,
+            outer.total_ns,
+            inner.total_ns
+        );
+        // Inner has no children: self == total.
+        assert_eq!(inner.self_ns, inner.total_ns);
+        reset_timing();
+    }
+
+    #[test]
+    fn sibling_spans_restore_parent_accumulator() {
+        let _g = guard();
+        reset_timing();
+        let prev = set_enabled(true);
+        {
+            let _outer = span("span_test_sib_outer");
+            for _ in 0..3 {
+                let _inner = span("span_test_sib_inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        set_enabled(prev);
+        let outer = stat("span_test_sib_outer").unwrap();
+        let inner = stat("span_test_sib_inner").unwrap();
+        assert_eq!(inner.calls, 3);
+        // All three siblings are excluded from the outer self time.
+        assert!(outer.self_ns + inner.total_ns <= outer.total_ns + 1_000_000);
+        reset_timing();
+    }
+
+    #[test]
+    fn concurrent_threads_aggregate_all_calls() {
+        let _g = guard();
+        reset_timing();
+        let prev = set_enabled(true);
+        let threads = 8;
+        let per_thread = 200;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        let _sp = span("span_test_concurrent");
+                    }
+                });
+            }
+        });
+        set_enabled(prev);
+        let st = stat("span_test_concurrent").expect("recorded");
+        assert_eq!(st.calls, (threads * per_thread) as u64);
+        assert!(st.self_ns <= st.total_ns);
+        reset_timing();
+    }
+
+    #[test]
+    fn snapshot_sorted_by_total_desc() {
+        let _g = guard();
+        reset_timing();
+        let prev = set_enabled(true);
+        {
+            let _a = span("span_test_sort_slow");
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        {
+            let _b = span("span_test_sort_fast");
+        }
+        set_enabled(prev);
+        let snap = timing_snapshot();
+        let slow = snap.iter().position(|s| s.name == "span_test_sort_slow").unwrap();
+        let fast = snap.iter().position(|s| s.name == "span_test_sort_fast").unwrap();
+        assert!(slow < fast, "slow span must sort first");
+        reset_timing();
+    }
+}

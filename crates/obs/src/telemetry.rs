@@ -1,0 +1,299 @@
+//! Run telemetry: a JSONL sink for per-epoch training records.
+//!
+//! Each record is one self-contained JSON object on its own line —
+//! append-only and line-buffered, so a run killed mid-training keeps
+//! every completed epoch and `jq`/one-line-at-a-time consumers never see
+//! a torn record. The serializer is a ~40-line flat-JSON writer so the
+//! crate stays dependency-free.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::span::SpanStat;
+
+/// Per-op timing summary embedded in an [`EpochRecord`] — one span
+/// aggregate's delta over the epoch.
+#[derive(Clone, Debug)]
+pub struct OpSummary {
+    /// Span name (`gemm`, `extract.lm`, …).
+    pub name: &'static str,
+    /// Spans completed during the epoch.
+    pub calls: u64,
+    /// Total wall time in milliseconds.
+    pub total_ms: f64,
+    /// Self wall time (excluding nested spans) in milliseconds.
+    pub self_ms: f64,
+}
+
+impl OpSummary {
+    /// The per-epoch delta between two snapshots of one span aggregate.
+    pub fn delta(now: &SpanStat, prev: Option<&SpanStat>) -> OpSummary {
+        let (calls0, total0, self0) =
+            prev.map_or((0, 0, 0), |p| (p.calls, p.total_ns, p.self_ns));
+        OpSummary {
+            name: now.name,
+            calls: now.calls - calls0,
+            total_ms: (now.total_ns - total0) as f64 / 1e6,
+            self_ms: (now.self_ns - self0) as f64 / 1e6,
+        }
+    }
+}
+
+/// One training epoch's telemetry record (Algorithms 1 and 2).
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch number within its phase (1-based; Algorithm 2's adversarial
+    /// sub-epochs count individually).
+    pub epoch: usize,
+    /// Training phase: `train` (Algorithm 1), `step1` / `adversarial`
+    /// (Algorithm 2).
+    pub phase: &'static str,
+    /// Mean matching loss `L_M` over the epoch (generator loss for the
+    /// adversarial phase).
+    pub loss_m: f32,
+    /// Mean alignment loss `L_A` over the epoch (discriminator loss for
+    /// the adversarial phase).
+    pub loss_a: f32,
+    /// Validation F1 after the epoch; `None` for phases that don't
+    /// evaluate (Algorithm 2 step 1).
+    pub val_f1: Option<f32>,
+    /// Source-test F1, when tracked.
+    pub source_f1: Option<f32>,
+    /// Target-test F1, when tracked.
+    pub target_f1: Option<f32>,
+    /// GRL λ at the epoch's last optimization step (GRL method only).
+    pub grl_lambda: Option<f32>,
+    /// True when this epoch's model became the selected snapshot.
+    pub snapshot: bool,
+    /// Wall time of the epoch in seconds.
+    pub wall_s: f64,
+    /// Op-level span deltas for the epoch, largest total first.
+    pub ops: Vec<OpSummary>,
+}
+
+/// Write a JSON-safe float: JSON has no NaN/Inf, so non-finite values
+/// degrade to `null` (matching serde_json's tolerant printers).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f32(out: &mut String, v: Option<f32>) {
+    match v {
+        Some(v) => push_f64(out, v as f64),
+        None => out.push_str("null"),
+    }
+}
+
+/// Escape a string into a JSON literal (span names are identifiers, but
+/// stay correct for anything).
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl EpochRecord {
+    /// Serialize as one compact JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256);
+        o.push_str("{\"epoch\":");
+        let _ = write!(o, "{}", self.epoch);
+        o.push_str(",\"phase\":");
+        push_str(&mut o, self.phase);
+        o.push_str(",\"loss_m\":");
+        push_f64(&mut o, self.loss_m as f64);
+        o.push_str(",\"loss_a\":");
+        push_f64(&mut o, self.loss_a as f64);
+        o.push_str(",\"val_f1\":");
+        push_opt_f32(&mut o, self.val_f1);
+        o.push_str(",\"source_f1\":");
+        push_opt_f32(&mut o, self.source_f1);
+        o.push_str(",\"target_f1\":");
+        push_opt_f32(&mut o, self.target_f1);
+        o.push_str(",\"grl_lambda\":");
+        push_opt_f32(&mut o, self.grl_lambda);
+        o.push_str(",\"snapshot\":");
+        o.push_str(if self.snapshot { "true" } else { "false" });
+        o.push_str(",\"wall_s\":");
+        push_f64(&mut o, self.wall_s);
+        o.push_str(",\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            push_str(&mut o, op.name);
+            let _ = write!(o, ",\"calls\":{}", op.calls);
+            o.push_str(",\"total_ms\":");
+            push_f64(&mut o, op.total_ms);
+            o.push_str(",\"self_ms\":");
+            push_f64(&mut o, op.self_ms);
+            o.push('}');
+        }
+        o.push_str("]}");
+        o
+    }
+}
+
+/// An append-only JSONL telemetry file, flushed after every record.
+pub struct TelemetrySink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    records: usize,
+}
+
+impl TelemetrySink {
+    /// Create (truncate) the telemetry file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<TelemetrySink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(TelemetrySink {
+            writer: BufWriter::new(file),
+            path,
+            records: 0,
+        })
+    }
+
+    /// Append one record as a JSON line and flush it to disk.
+    pub fn record(&mut self, rec: &EpochRecord) -> std::io::Result<()> {
+        self.writer.write_all(rec.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True before the first record.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            phase: "train",
+            loss_m: 0.693,
+            loss_a: 0.01,
+            val_f1: Some(55.5),
+            source_f1: None,
+            target_f1: Some(48.25),
+            grl_lambda: Some(0.5),
+            snapshot: epoch == 2,
+            wall_s: 1.25,
+            ops: vec![OpSummary {
+                name: "gemm",
+                calls: 120,
+                total_ms: 45.5,
+                self_ms: 45.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json_parser() {
+        let text = sample(2).to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v.get("epoch").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("phase").unwrap().as_str(), Some("train"));
+        assert_eq!(v.get("source_f1"), Some(&serde_json::Value::Null));
+        assert_eq!(v.get("snapshot"), Some(&serde_json::Value::Bool(true)));
+        let ops = match v.get("ops") {
+            Some(serde_json::Value::Array(a)) => a,
+            other => panic!("ops not an array: {other:?}"),
+        };
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].get("name").unwrap().as_str(), Some("gemm"));
+        assert_eq!(ops[0].get("calls").unwrap().as_f64(), Some(120.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut rec = sample(1);
+        rec.loss_a = f32::NAN;
+        rec.wall_s = f64::INFINITY;
+        let text = rec.to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("still valid JSON");
+        assert_eq!(v.get("loss_a"), Some(&serde_json::Value::Null));
+        assert_eq!(v.get("wall_s"), Some(&serde_json::Value::Null));
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join(format!("obs_sink_{}.jsonl", std::process::id()));
+        let mut sink = TelemetrySink::create(&path).unwrap();
+        for e in 1..=3 {
+            sink.record(&sample(e)).unwrap();
+        }
+        assert_eq!(sink.len(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid line");
+            assert_eq!(v.get("epoch").unwrap().as_f64(), Some((i + 1) as f64));
+        }
+    }
+
+    #[test]
+    fn op_summary_delta() {
+        let prev = SpanStat {
+            name: "gemm",
+            calls: 10,
+            total_ns: 1_000_000,
+            self_ns: 800_000,
+        };
+        let now = SpanStat {
+            name: "gemm",
+            calls: 25,
+            total_ns: 4_000_000,
+            self_ns: 2_800_000,
+        };
+        let d = OpSummary::delta(&now, Some(&prev));
+        assert_eq!(d.calls, 15);
+        assert!((d.total_ms - 3.0).abs() < 1e-9);
+        assert!((d.self_ms - 2.0).abs() < 1e-9);
+        let first = OpSummary::delta(&now, None);
+        assert_eq!(first.calls, 25);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

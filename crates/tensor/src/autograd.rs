@@ -96,6 +96,7 @@ impl Tensor {
     /// Run reverse-mode autodiff with an explicit seed gradient matching
     /// this tensor's shape.
     pub fn backward_with(&self, seed: Vec<f32>) -> Gradients {
+        let _sp = dader_obs::span!("backward");
         assert_eq!(seed.len(), self.numel(), "seed gradient length mismatch");
 
         // Iterative DFS topological sort (avoids recursion-depth limits on

@@ -180,6 +180,7 @@ pub fn par_gemm_tn_acc_shards(
 /// [`gemm_acc`] with automatic shard selection from the pool size and the
 /// product's size; small products take the serial path unchanged.
 pub fn par_gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _sp = dader_obs::span!("gemm");
     if worth_sharding(m * k * n) {
         par_gemm_acc_shards(a, b, c, m, k, n, pool::current_threads());
     } else {
@@ -189,6 +190,7 @@ pub fn par_gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
 
 /// [`gemm_nt_acc`] with automatic shard selection.
 pub fn par_gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _sp = dader_obs::span!("gemm");
     if worth_sharding(m * k * n) {
         par_gemm_nt_acc_shards(a, b, c, m, k, n, pool::current_threads());
     } else {
@@ -198,6 +200,7 @@ pub fn par_gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
 
 /// [`gemm_tn_acc`] with automatic shard selection.
 pub fn par_gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _sp = dader_obs::span!("gemm");
     if worth_sharding(m * k * n) {
         par_gemm_tn_acc_shards(a, b, c, m, k, n, pool::current_threads());
     } else {
@@ -255,6 +258,7 @@ pub fn par_bmm_kernel(
     k: usize,
     n: usize,
 ) {
+    let _sp = dader_obs::span!("bmm");
     let shards = if bs >= 2 && worth_sharding(bs * m * k * n) {
         pool::current_threads()
     } else {

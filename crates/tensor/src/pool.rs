@@ -25,6 +25,22 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use dader_obs::Counter;
+
+/// Count a dispatch that spawned worker threads.
+fn count_parallel() {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| dader_obs::counter("pool_dispatch_parallel_total"))
+        .inc();
+}
+
+/// Count a dispatch that ran inline on the caller's thread.
+fn count_serial() {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| dader_obs::counter("pool_dispatch_serial_total"))
+        .inc();
+}
+
 /// Runtime override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -74,11 +90,15 @@ pub fn set_threads(n: Option<usize>) -> Option<usize> {
 pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
     let threads = threads.min(n_shards);
     if threads <= 1 {
+        if n_shards > 0 {
+            count_serial();
+        }
         for shard in 0..n_shards {
             f(shard);
         }
         return;
     }
+    count_parallel();
     std::thread::scope(|scope| {
         let f = &f;
         for worker in 1..threads {
@@ -115,11 +135,13 @@ pub fn for_each_chunk_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
     let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
     let threads = threads.min(chunks.len());
     if threads <= 1 {
+        count_serial();
         for (i, chunk) in chunks.into_iter().enumerate() {
             f(i, chunk);
         }
         return;
     }
+    count_parallel();
     // Deal chunks round-robin so every worker owns an explicit disjoint set.
     let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
         (0..threads).map(|_| Vec::new()).collect();
@@ -153,6 +175,9 @@ pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(
 ) -> Vec<U> {
     let threads = threads.min(items.len());
     if threads <= 1 {
+        if !items.is_empty() {
+            count_serial();
+        }
         return items.iter().map(&f).collect();
     }
     let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
