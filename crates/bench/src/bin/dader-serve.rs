@@ -3,14 +3,28 @@
 //!
 //! ```text
 //! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
+//!             [--max-line-bytes N] [--timeout-ms N] [--max-conns N]
 //!             [--metrics-addr ADDR] [--quiet] [--verbose]
 //! ```
 //!
 //! By default requests are read from stdin and answered on stdout, one
 //! JSON object per line (see `dader_bench::serve` for the protocol). With
-//! `--listen 127.0.0.1:7878` a TCP listener answers one connection at a
-//! time with the same line protocol. Every response carries a monotonic
-//! `rid` and the server-side `latency_us`.
+//! `--listen 127.0.0.1:7878` (port 0 for ephemeral) a TCP listener serves
+//! concurrent connections — one thread each, capped at `--max-conns` —
+//! with the same line protocol. Every response carries a monotonic `rid`
+//! and the server-side `latency_us`.
+//!
+//! The server is hardened against broken or hostile clients: request
+//! lines longer than `--max-line-bytes` (default 1 MiB) are drained and
+//! answered with a typed `line_too_long` error; a connection idle past
+//! `--timeout-ms` (default 30000) receives a `timeout` error and is
+//! closed; connections over the cap receive an `overloaded` error. All
+//! error objects carry `code` and `retryable` fields.
+//!
+//! In `--listen` mode the process drains gracefully: when stdin closes or
+//! receives a `shutdown` line, the listener stops accepting, in-flight
+//! connections run to completion, the metrics summary is printed, and the
+//! process exits 0.
 //!
 //! `--metrics-addr 127.0.0.1:0` starts a metrics endpoint on a second
 //! socket: each TCP connection receives one Prometheus-style text dump of
@@ -23,9 +37,11 @@
 //! process never exits on bad input. A missing or corrupted artifact is
 //! reported as a structured error on stderr with a non-zero exit.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use dader_bench::{note, MatchServer};
+use dader_bench::{note, MatchServer, ServeLimits, TcpServeConfig};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
@@ -61,7 +77,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--metrics-addr ADDR] [--quiet] [--verbose]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -83,6 +99,26 @@ fn main() {
             _ => fail(&format!("--threads must be a positive integer, got {s:?}")),
         }
     }
+    let positive = |key: &str, default: usize| -> usize {
+        match arg_value(&args, key) {
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| fail(&format!("{key} must be a positive integer, got {s:?}"))),
+            None => default,
+        }
+    };
+    let limits = ServeLimits {
+        max_line_bytes: positive("--max-line-bytes", 1 << 20),
+        read_timeout: Some(std::time::Duration::from_millis(
+            positive("--timeout-ms", 30_000) as u64,
+        )),
+        write_timeout: Some(std::time::Duration::from_millis(
+            positive("--timeout-ms", 30_000) as u64,
+        )),
+    };
+    let max_conns = positive("--max-conns", 64);
 
     if let Some(addr) = arg_value(&args, "--metrics-addr") {
         spawn_metrics_endpoint(&addr);
@@ -96,9 +132,16 @@ fn main() {
 
     match arg_value(&args, "--listen") {
         None => {
+            // Stdin has no socket timeouts; the line-size bound still
+            // applies.
+            let stdin_limits = ServeLimits {
+                read_timeout: None,
+                write_timeout: None,
+                ..limits
+            };
             let stdin = std::io::stdin();
             let mut stdout = BufWriter::new(std::io::stdout());
-            match server.handle(stdin.lock(), &mut stdout, batch_size) {
+            match server.handle_with_limits(stdin.lock(), &mut stdout, batch_size, &stdin_limits) {
                 Ok(n) => {
                     note!("dader-serve: scored {n} pairs");
                     // Shutdown summary: the full metrics dump, so a batch
@@ -111,35 +154,41 @@ fn main() {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
                 .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
-            eprintln!("dader-serve: listening on {addr}");
-            // (errors below stay on stderr regardless of --quiet)
-            // One connection at a time: each client streams requests and
-            // reads responses over the same line protocol as stdin mode.
-            for conn in listener.incoming() {
-                let conn = match conn {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("dader-serve: accept failed: {e}");
-                        continue;
+            let bound = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            // Announced even under --quiet: harnesses need the ephemeral
+            // port, and connection errors stay on stderr regardless.
+            eprintln!("dader-serve: listening on {bound}");
+            // Graceful shutdown: closing stdin (or sending a "shutdown"
+            // line) stops the accept loop; in-flight connections drain to
+            // completion before the process exits.
+            let stop = Arc::new(AtomicBool::new(false));
+            {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    for line in std::io::stdin().lock().lines() {
+                        match line {
+                            Ok(l) if l.trim() == "shutdown" => break,
+                            Ok(_) => continue,
+                            Err(_) => break,
+                        }
                     }
-                };
-                let peer = conn
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "?".to_string());
-                let reader = BufReader::new(match conn.try_clone() {
-                    Ok(c) => c,
-                    Err(e) => {
-                        eprintln!("dader-serve: cannot clone socket for {peer}: {e}");
-                        continue;
-                    }
+                    stop.store(true, Ordering::Relaxed);
                 });
-                let mut writer = BufWriter::new(conn);
-                match server.handle(reader, &mut writer, batch_size) {
-                    Ok(n) => note!("dader-serve: {peer}: scored {n} pairs"),
-                    Err(e) => eprintln!("dader-serve: {peer}: connection failed: {e}"),
+            }
+            let cfg = TcpServeConfig {
+                limits,
+                batch_size,
+                max_conns,
+            };
+            match dader_bench::serve_tcp(Arc::new(server), listener, cfg, stop) {
+                Ok(n) => {
+                    note!("dader-serve: drained; scored {n} pairs total");
+                    note!("{}", dader_obs::render_prometheus().trim_end());
                 }
-                let _ = writer.flush();
+                Err(e) => fail(&format!("listener failed: {e}")),
             }
         }
     }

@@ -5,8 +5,16 @@
 //!              [--seed 42] [--scale quick|tiny|paper] [--beta 0.5] [--lr 3e-3]
 //!              [--save model.dma]       # persist the selected model
 //!              [--telemetry run.jsonl]  # one JSONL record per epoch
+//!              [--checkpoint run.ddrs]  # crash-safe resume checkpoint
+//!              [--checkpoint-every N]   # epochs between checkpoint writes
+//!              [--resume run.ddrs]      # continue an interrupted run
 //!              [--verbose | --quiet]    # per-epoch progress / errors only
 //! ```
+//!
+//! `--resume` restores the full training state (weights, optimizer
+//! moments, RNG, batch order, best-snapshot bookkeeping) and continues
+//! the interrupted trajectory bitwise-identically; the flags must match
+//! the original invocation or the checkpoint is refused.
 //!
 //! Every `run` leaves a machine-readable timing summary at
 //! `results/BENCH_dader.json` (phases, wall time, thread count).
@@ -46,7 +54,7 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader list"
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--checkpoint <path>] [--checkpoint-every N] [--resume <path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader list"
     );
     std::process::exit(2);
 }
@@ -96,6 +104,16 @@ fn cmd_run(args: &[String]) {
     cfg.save_artifact = save.clone();
     cfg.telemetry = arg_value(args, "--telemetry").map(std::path::PathBuf::from);
     cfg.verbose = dader_obs::log::verbose_enabled();
+    cfg.checkpoint = arg_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    if let Some(every) = arg_value(args, "--checkpoint-every").and_then(|v| v.parse().ok()) {
+        cfg.checkpoint_every = std::cmp::max(every, 1);
+    }
+    cfg.resume = arg_value(args, "--resume").map(std::path::PathBuf::from);
+    if cfg.resume.is_some() && cfg.checkpoint.is_none() {
+        // A resumed run keeps checkpointing to the same file unless told
+        // otherwise, so repeated crashes never lose more than one interval.
+        cfg.checkpoint = cfg.resume.clone();
+    }
     let telemetry_path = cfg.telemetry.clone();
 
     note!("adapting {source} -> {target} with {method} (seed {seed}, β {}, lr {})...", cfg.beta, cfg.lr);

@@ -15,7 +15,7 @@ pub mod serve;
 pub use context::{apply_log_args, Context, TargetSplits};
 pub use report::{write_bench_snapshot, write_json, Cell, Table};
 pub use scale::Scale;
-pub use serve::MatchServer;
+pub use serve::{serve_tcp, ErrorCode, MatchServer, ServeLimits, TcpServeConfig};
 
 // Re-exported so the `note!`/`chat!` macros can reach the log gates from
 // any binary via `$crate`.
@@ -81,10 +81,13 @@ pub fn apply_thread_args() {
     }
 }
 
-/// Standard bench-binary startup: apply the `--threads` override and the
-/// `--quiet`/`--verbose`/`DADER_LOG` log level. Every binary calls this
-/// first thing in `main`.
+/// Standard bench-binary startup: apply the `--threads` override, the
+/// `--quiet`/`--verbose`/`DADER_LOG` log level, and arm any fault points
+/// requested via `DADER_FAULTS` (fault-injection test harnesses drive the
+/// real binaries through the environment). Every binary calls this first
+/// thing in `main`.
 pub fn init_cli() {
     apply_thread_args();
     context::apply_log_args();
+    dader_obs::fault::arm_from_env();
 }

@@ -169,8 +169,10 @@ pub fn write_bench_snapshot(
 }
 
 /// Serialize any value under `results/<slug>.json` (directory created on
-/// demand). Failures are printed, not fatal — the console table is the
-/// primary artifact.
+/// demand). The write is atomic — temp file in the same directory, fsync,
+/// rename — so a crash mid-write can never leave a truncated JSON file
+/// where a previous run's complete one stood. Failures are printed, not
+/// fatal — the console table is the primary artifact.
 pub fn write_json<T: Serialize>(slug: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
@@ -178,16 +180,34 @@ pub fn write_json<T: Serialize>(slug: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{slug}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warn: cannot write {}: {e}", path.display());
-            } else {
-                println!("(results saved to {})", path.display());
-            }
+    let json = match serde_json::to_string_pretty(value) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("warn: cannot serialize {slug}: {e}");
+            return;
         }
-        Err(e) => eprintln!("warn: cannot serialize {slug}: {e}"),
+    };
+    match atomic_write(&path, json.as_bytes()) {
+        Ok(()) => println!("(results saved to {})", path.display()),
+        Err(e) => eprintln!("warn: cannot write {}: {e}", path.display()),
     }
+}
+
+/// Write `bytes` to `path` via a same-directory temp file, fsynced before
+/// the rename so the data is durable when the new name appears.
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// The results directory (`DADER_RESULTS_DIR` or `./results`).
@@ -228,5 +248,24 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("T", vec!["NoDA".into(), "MMD".into()]);
         t.push_row("A->B", vec![Cell::from_runs(vec![50.0])]);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("report_atomic_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        // Overwrite keeps the file valid and cleans up the temp name.
+        atomic_write(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "out.json")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -24,8 +24,17 @@
 //! killing the stream:
 //!
 //! ```json
-//! {"error": "line 3: `a` must be an object of string attributes", "line": 3}
+//! {"error": "line 3: `a` must be an object of string attributes",
+//!  "code": "invalid_request", "retryable": false, "line": 3}
 //! ```
+//!
+//! Every error object carries a machine-readable `code` from a fixed
+//! taxonomy — `invalid_json`, `invalid_request`, `line_too_long`,
+//! `timeout`, `overloaded`, `internal` — plus a `retryable` flag
+//! (see [`ErrorCode`]). Stream-level conditions (`timeout`, `overloaded`)
+//! omit `line`. Input lines are read through a bounded reader
+//! ([`ServeLimits::max_line_bytes`]): an oversized line is drained and
+//! answered with `line_too_long` rather than buffered without limit.
 //!
 //! Every response (success or error) additionally carries `rid` — a
 //! monotonically increasing server-side request id, unique across
@@ -35,10 +44,10 @@
 //! (`serve_request_latency_us`, `serve_batch_size`, `serve_requests_total`,
 //! `serve_errors_total`) that `dader-serve --metrics-addr` exposes.
 
-use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::io::{BufRead, ErrorKind, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use dader_core::artifact::{ArtifactError, ModelArtifact};
 use dader_core::DaderModel;
@@ -56,6 +65,8 @@ struct ServeMetrics {
     batch_size: Histogram,
     requests: Counter,
     errors: Counter,
+    rejected: Counter,
+    timeouts: Counter,
 }
 
 fn metrics() -> &'static ServeMetrics {
@@ -71,7 +82,77 @@ fn metrics() -> &'static ServeMetrics {
         ),
         requests: dader_obs::counter("serve_requests_total"),
         errors: dader_obs::counter("serve_errors_total"),
+        rejected: dader_obs::counter("serve_rejected_total"),
+        timeouts: dader_obs::counter("serve_timeouts_total"),
     })
+}
+
+/// Typed error taxonomy for the line protocol. Every error object carries
+/// the machine-readable `code` plus a `retryable` flag so clients can
+/// distinguish "fix your request" from "back off and try again".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    InvalidJson,
+    /// Valid JSON, but not a valid match request.
+    InvalidRequest,
+    /// The line exceeded the server's `max_line_bytes` limit.
+    LineTooLong,
+    /// The connection idled past the read timeout.
+    Timeout,
+    /// The server is at its connection cap.
+    Overloaded,
+    /// A server-side failure unrelated to the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire name of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidJson => "invalid_json",
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Whether retrying the same request can succeed. Client mistakes are
+    /// permanent; server-side conditions (load, timeouts) are transient.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Timeout | ErrorCode::Overloaded | ErrorCode::Internal
+        )
+    }
+}
+
+/// Per-connection resource limits. The defaults are generous for real
+/// clients but bound every resource a hostile or broken one can consume.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLimits {
+    /// Longest accepted request line in bytes; longer lines are consumed
+    /// and answered with a `line_too_long` error instead of buffering
+    /// without bound.
+    pub max_line_bytes: usize,
+    /// Socket read timeout (TCP mode): an idle connection is answered
+    /// with a `timeout` error and closed. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (TCP mode): a client that stops draining
+    /// responses has its connection dropped. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_line_bytes: 1 << 20, // 1 MiB
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
 }
 
 /// A loaded model plus encoder, ready to answer match requests.
@@ -88,7 +169,68 @@ type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
 /// Outcome of one input line: a request to score, or an error to echo.
 enum Parsed {
     Ok(Request),
-    Err(String),
+    Err(ErrorCode, String),
+}
+
+/// One bounded read from the input stream.
+enum LineRead {
+    /// A complete line within the limit (without the trailing newline).
+    Line(String),
+    /// A line that exceeded the limit; its bytes were consumed and
+    /// discarded up to (and including) the next newline or EOF.
+    TooLong,
+    /// End of stream.
+    Eof,
+    /// The socket read timed out (TCP read-timeout expired).
+    TimedOut,
+}
+
+/// Read one `\n`-terminated line, never buffering more than `max` bytes.
+/// The unbounded alternative (`BufRead::lines`) lets a single client grow
+/// the server's memory without limit; this reader instead drains oversized
+/// lines and reports them as [`LineRead::TooLong`].
+fn read_bounded_line<R: BufRead>(input: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = match input.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(LineRead::TimedOut);
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF. A partial final line still counts as a line.
+            return Ok(if overflowed {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|p| p + 1).unwrap_or(available.len());
+        if !overflowed {
+            let line_part = &available[..newline.unwrap_or(take)];
+            if buf.len() + line_part.len() > max {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(line_part);
+            }
+        }
+        input.consume(take);
+        if newline.is_some() {
+            return Ok(if overflowed {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
 }
 
 impl MatchServer {
@@ -112,30 +254,82 @@ impl MatchServer {
         }
     }
 
-    /// Serve every line of `input`, writing one response line per request
-    /// to `output` in input order. Requests are scored in batches of up to
-    /// `batch_size`; malformed lines yield error objects and never abort
-    /// the stream. Returns the number of successfully scored pairs.
+    /// Serve every line of `input` with default [`ServeLimits`], writing
+    /// one response line per request to `output` in input order. Requests
+    /// are scored in batches of up to `batch_size`; malformed lines yield
+    /// error objects and never abort the stream. Returns the number of
+    /// successfully scored pairs.
     pub fn handle<R: BufRead, W: Write>(
         &self,
         input: R,
         output: &mut W,
         batch_size: usize,
     ) -> std::io::Result<usize> {
+        self.handle_with_limits(input, output, batch_size, &ServeLimits::default())
+    }
+
+    /// [`handle`](MatchServer::handle) with explicit limits. Oversized
+    /// lines are answered with a `line_too_long` error object (the bytes
+    /// are drained, never buffered); a socket read timeout flushes pending
+    /// work, answers with a final `timeout` error object and closes the
+    /// stream gracefully.
+    pub fn handle_with_limits<R: BufRead, W: Write>(
+        &self,
+        mut input: R,
+        output: &mut W,
+        batch_size: usize,
+        limits: &ServeLimits,
+    ) -> std::io::Result<usize> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut scored = 0usize;
         // (line number, arrival time, parse outcome) for one flush window.
         let mut window: Vec<(usize, Instant, Parsed)> = Vec::with_capacity(batch_size);
         let mut pending = 0usize; // Ok entries in the window
-        for (i, line) in input.lines().enumerate() {
-            let lineno = i + 1;
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            window.push((lineno, Instant::now(), parse_request(&line, lineno)));
-            if matches!(window.last(), Some((_, _, Parsed::Ok(_)))) {
-                pending += 1;
+        let mut lineno = 0usize;
+        loop {
+            let read = read_bounded_line(&mut input, limits.max_line_bytes)?;
+            match read {
+                LineRead::Eof => break,
+                LineRead::TimedOut => {
+                    // Answer what we have, then tell the client why the
+                    // stream is closing. Not an I/O failure: the protocol
+                    // handled it.
+                    scored += self.flush(&mut window, output, batch_size)?;
+                    metrics().timeouts.inc();
+                    self.write_stream_error(
+                        output,
+                        ErrorCode::Timeout,
+                        &format!(
+                            "read timed out after {:?} idle; closing connection",
+                            limits.read_timeout.unwrap_or_default()
+                        ),
+                    )?;
+                    return Ok(scored);
+                }
+                LineRead::TooLong => {
+                    lineno += 1;
+                    window.push((
+                        lineno,
+                        Instant::now(),
+                        Parsed::Err(
+                            ErrorCode::LineTooLong,
+                            format!(
+                                "line {lineno}: request exceeds {} bytes",
+                                limits.max_line_bytes
+                            ),
+                        ),
+                    ));
+                }
+                LineRead::Line(line) => {
+                    lineno += 1;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    window.push((lineno, Instant::now(), parse_request(&line, lineno)));
+                    if matches!(window.last(), Some((_, _, Parsed::Ok(_)))) {
+                        pending += 1;
+                    }
+                }
             }
             if pending == batch_size {
                 scored += self.flush(&mut window, output, batch_size)?;
@@ -144,6 +338,28 @@ impl MatchServer {
         }
         scored += self.flush(&mut window, output, batch_size)?;
         Ok(scored)
+    }
+
+    /// Write a stream-level error object (no `line` key — the condition
+    /// belongs to the connection, not to a request line).
+    fn write_stream_error<W: Write>(
+        &self,
+        output: &mut W,
+        code: ErrorCode,
+        msg: &str,
+    ) -> std::io::Result<()> {
+        let m = metrics();
+        m.errors.inc();
+        let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
+        let obj = Value::Object(vec![
+            ("error".to_string(), Value::String(msg.to_string())),
+            ("code".to_string(), Value::String(code.as_str().to_string())),
+            ("retryable".to_string(), Value::Bool(code.retryable())),
+            ("rid".to_string(), Value::Number(rid as f64)),
+        ]);
+        let text = serde_json::to_string(&obj).map_err(|e| std::io::Error::other(e.to_string()))?;
+        writeln!(output, "{text}")?;
+        output.flush()
     }
 
     /// Score the Ok entries of the window in one (or more) forward passes
@@ -159,7 +375,7 @@ impl MatchServer {
             .iter()
             .filter_map(|(_, _, p)| match p {
                 Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
-                Parsed::Err(_) => None,
+                Parsed::Err(..) => None,
             })
             .collect();
         if !pairs.is_empty() {
@@ -186,10 +402,12 @@ impl MatchServer {
                     kvs.push(("latency_us".to_string(), Value::Number(latency_us)));
                     Value::Object(kvs)
                 }
-                Parsed::Err(msg) => {
+                Parsed::Err(code, msg) => {
                     m.errors.inc();
                     Value::Object(vec![
                         ("error".to_string(), Value::String(msg)),
+                        ("code".to_string(), Value::String(code.as_str().to_string())),
+                        ("retryable".to_string(), Value::Bool(code.retryable())),
                         ("line".to_string(), Value::Number(lineno as f64)),
                         ("rid".to_string(), Value::Number(rid as f64)),
                         ("latency_us".to_string(), Value::Number(latency_us)),
@@ -210,10 +428,18 @@ impl MatchServer {
 fn parse_request(line: &str, lineno: usize) -> Parsed {
     let v: Value = match serde_json::from_str(line) {
         Ok(v) => v,
-        Err(e) => return Parsed::Err(format!("line {lineno}: invalid JSON: {e}")),
+        Err(e) => {
+            return Parsed::Err(
+                ErrorCode::InvalidJson,
+                format!("line {lineno}: invalid JSON: {e}"),
+            )
+        }
     };
     if v.as_object().is_none() {
-        return Parsed::Err(format!("line {lineno}: request must be a JSON object"));
+        return Parsed::Err(
+            ErrorCode::InvalidRequest,
+            format!("line {lineno}: request must be a JSON object"),
+        );
     }
     let entity = |key: &str| -> Result<Vec<(String, String)>, String> {
         let obj = v
@@ -234,13 +460,117 @@ fn parse_request(line: &str, lineno: usize) -> Parsed {
     };
     let a = match entity("a") {
         Ok(a) => a,
-        Err(e) => return Parsed::Err(e),
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
     let b = match entity("b") {
         Ok(b) => b,
-        Err(e) => return Parsed::Err(e),
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
     Parsed::Ok((v.get("id").cloned(), a, b))
+}
+
+/// Options for [`serve_tcp`]: per-connection limits plus the server-wide
+/// concurrency cap.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpServeConfig {
+    /// Per-connection limits (line size, read/write timeouts).
+    pub limits: ServeLimits,
+    /// Scoring batch size per connection.
+    pub batch_size: usize,
+    /// Concurrent-connection cap. A connection over the cap is answered
+    /// with one `overloaded` error object and closed immediately — a
+    /// typed rejection the client can retry, instead of an unbounded
+    /// thread pile-up or a silent hang.
+    pub max_conns: usize,
+}
+
+impl Default for TcpServeConfig {
+    fn default() -> TcpServeConfig {
+        TcpServeConfig {
+            limits: ServeLimits::default(),
+            batch_size: 32,
+            max_conns: 64,
+        }
+    }
+}
+
+/// Serve the line protocol over TCP, one thread per connection, until
+/// `stop` becomes true. Connections beyond `cfg.max_conns` are rejected
+/// with a typed `overloaded` error. When `stop` is raised the listener
+/// stops accepting, in-flight connections drain to completion, and only
+/// then does the call return (the graceful-shutdown contract: no accepted
+/// request is abandoned). Returns the total number of pairs scored.
+pub fn serve_tcp(
+    server: Arc<MatchServer>,
+    listener: std::net::TcpListener,
+    cfg: TcpServeConfig,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<usize> {
+    listener.set_nonblocking(true)?;
+    let active = Arc::new(AtomicUsize::new(0));
+    let scored_total = Arc::new(AtomicUsize::new(0));
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((conn, peer)) => {
+                // The accepted socket may inherit the listener's
+                // non-blocking mode; per-connection I/O uses timeouts
+                // instead.
+                let _ = conn.set_nonblocking(false);
+                if active.load(Ordering::Acquire) >= cfg.max_conns {
+                    metrics().rejected.inc();
+                    let mut conn = conn;
+                    let _ = server.write_stream_error(
+                        &mut conn,
+                        ErrorCode::Overloaded,
+                        &format!("server at connection cap ({}); retry later", cfg.max_conns),
+                    );
+                    crate::note!("dader-serve: {peer}: rejected (overloaded)");
+                    continue;
+                }
+                let _ = conn.set_read_timeout(cfg.limits.read_timeout);
+                let _ = conn.set_write_timeout(cfg.limits.write_timeout);
+                active.fetch_add(1, Ordering::AcqRel);
+                let server = Arc::clone(&server);
+                let active = Arc::clone(&active);
+                let scored_total = Arc::clone(&scored_total);
+                let limits = cfg.limits;
+                let batch_size = cfg.batch_size;
+                workers.push(std::thread::spawn(move || {
+                    let result = conn.try_clone().and_then(|r| {
+                        let reader = std::io::BufReader::new(r);
+                        let mut writer = std::io::BufWriter::new(conn);
+                        let n =
+                            server.handle_with_limits(reader, &mut writer, batch_size, &limits)?;
+                        writer.flush()?;
+                        Ok(n)
+                    });
+                    match result {
+                        Ok(n) => {
+                            scored_total.fetch_add(n, Ordering::Relaxed);
+                            crate::note!("dader-serve: {peer}: scored {n} pairs");
+                        }
+                        Err(e) => eprintln!("dader-serve: {peer}: connection failed: {e}"),
+                    }
+                    active.fetch_sub(1, Ordering::AcqRel);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("dader-serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    // Drain: every accepted connection finishes before we return.
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(scored_total.load(Ordering::Relaxed))
 }
 
 /// Print a JSON number the way the tokenizer expects attribute text
@@ -405,6 +735,154 @@ mod tests {
         let (_, more) = responses(&server, input, 2);
         let first_new = more[0].get("rid").unwrap().as_f64().unwrap() as u64;
         assert!(first_new > *rids.last().unwrap());
+    }
+
+    #[test]
+    fn error_objects_carry_code_and_retryable() {
+        let server = tiny_server();
+        let input = concat!(
+            "not json\n",
+            "{\"a\": \"nope\", \"b\": {\"title\": \"x\"}}\n",
+        );
+        let (_, vals) = responses(&server, input, 4);
+        assert_eq!(vals[0].get("code").unwrap(), &Value::String("invalid_json".into()));
+        assert_eq!(vals[1].get("code").unwrap(), &Value::String("invalid_request".into()));
+        for v in &vals {
+            assert_eq!(
+                v.get("retryable").unwrap(),
+                &Value::Bool(false),
+                "client mistakes are not retryable: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_line_yields_line_too_long_and_stream_continues() {
+        let server = tiny_server();
+        let limits = ServeLimits {
+            max_line_bytes: 64,
+            ..ServeLimits::default()
+        };
+        // Line 2 is far over the limit; lines 1 and 3 must still be scored.
+        let huge = format!(
+            "{{\"a\": {{\"title\": \"{}\"}}, \"b\": {{\"title\": \"x\"}}}}",
+            "kodak ".repeat(100)
+        );
+        let input = format!(
+            "{}\n{huge}\n{}\n",
+            "{\"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}",
+            "{\"a\": {\"title\": \"esp\"}, \"b\": {\"title\": \"hp\"}}"
+        );
+        let mut out = Vec::new();
+        let n = server
+            .handle_with_limits(std::io::Cursor::new(input), &mut out, 4, &limits)
+            .unwrap();
+        assert_eq!(n, 2, "the two in-limit lines are scored");
+        let vals: Vec<Value> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(
+            vals[1].get("code").unwrap(),
+            &Value::String("line_too_long".into())
+        );
+        assert_eq!(vals[1].get("line").unwrap().as_f64().unwrap() as usize, 2);
+        assert_eq!(vals[1].get("retryable").unwrap(), &Value::Bool(false));
+        assert!(vals[0].get("error").is_none());
+        assert!(vals[2].get("error").is_none());
+    }
+
+    #[test]
+    fn bounded_reader_handles_eof_split_lines_and_overflow() {
+        let max = 8;
+        let mut r = std::io::Cursor::new(b"short\nexactly8\nwaytoolongline\ntail".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut r, max).unwrap(),
+            LineRead::Line(l) if l == "short"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, max).unwrap(),
+            LineRead::Line(l) if l == "exactly8"
+        ));
+        assert!(matches!(read_bounded_line(&mut r, max).unwrap(), LineRead::TooLong));
+        // Unterminated final line still comes through, then EOF.
+        assert!(matches!(
+            read_bounded_line(&mut r, max).unwrap(),
+            LineRead::Line(l) if l == "tail"
+        ));
+        assert!(matches!(read_bounded_line(&mut r, max).unwrap(), LineRead::Eof));
+    }
+
+    #[test]
+    fn error_code_taxonomy_is_stable() {
+        for (code, name, retryable) in [
+            (ErrorCode::InvalidJson, "invalid_json", false),
+            (ErrorCode::InvalidRequest, "invalid_request", false),
+            (ErrorCode::LineTooLong, "line_too_long", false),
+            (ErrorCode::Timeout, "timeout", true),
+            (ErrorCode::Overloaded, "overloaded", true),
+            (ErrorCode::Internal, "internal", true),
+        ] {
+            assert_eq!(code.as_str(), name);
+            assert_eq!(code.retryable(), retryable, "{name}");
+        }
+    }
+
+    #[test]
+    fn tcp_server_caps_connections_and_drains() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::net::{TcpListener, TcpStream};
+
+        let server = Arc::new(tiny_server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        // batch_size 1 so the response flushes immediately (keeping the
+        // first connection demonstrably active), short timeout so a
+        // regression fails fast instead of hanging the suite.
+        let cfg = TcpServeConfig {
+            max_conns: 1,
+            batch_size: 1,
+            limits: ServeLimits {
+                read_timeout: Some(Duration::from_secs(5)),
+                write_timeout: Some(Duration::from_secs(5)),
+                ..ServeLimits::default()
+            },
+        };
+        let srv = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_tcp(server, listener, cfg, stop))
+        };
+
+        // First connection occupies the single slot (held open).
+        let mut first = TcpStream::connect(addr).unwrap();
+        first
+            .write_all(b"{\"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n")
+            .unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut line = String::new();
+        first_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"match\""), "scored response, got {line}");
+
+        // Second connection must be rejected with a typed, retryable error.
+        // The accept loop needs a moment to see it while the first is open.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut second_reader = BufReader::new(second);
+        let mut rej = String::new();
+        second_reader.read_line(&mut rej).unwrap();
+        let v: Value = serde_json::from_str(rej.trim()).unwrap();
+        assert_eq!(v.get("code").unwrap(), &Value::String("overloaded".into()));
+        assert_eq!(v.get("retryable").unwrap(), &Value::Bool(true));
+
+        // Close the first client, request shutdown: serve_tcp must drain
+        // and report the scored total.
+        drop(first_reader);
+        drop(first);
+        stop.store(true, Ordering::Relaxed);
+        let total = srv.join().unwrap().unwrap();
+        assert_eq!(total, 1);
     }
 
     #[test]

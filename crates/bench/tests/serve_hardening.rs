@@ -1,0 +1,232 @@
+//! Hardening integration tests for the `dader-serve` binary: the typed
+//! error taxonomy (`line_too_long`, `timeout`, `overloaded`), socket
+//! timeouts, the connection cap, and graceful drain — all exercised
+//! against the real process over real sockets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Duration;
+
+use dader_core::artifact::ModelArtifact;
+use dader_core::{DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+const REQ: &str = "{\"id\": 1, \"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n";
+
+fn write_tiny_artifact(name: &str) -> PathBuf {
+    let vocab = Vocab::build(["title", "kodak", "esp", "printer", "hp"], 1, 100);
+    let encoder = PairEncoder::new(vocab.clone(), 16);
+    let mut rng = StdRng::seed_from_u64(21);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 8,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 16,
+        max_len: 16,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(8, &mut rng),
+    };
+    let path =
+        std::env::temp_dir().join(format!("dader_harden_{}_{name}", std::process::id()));
+    ModelArtifact::capture("serve-hardening test", &model, &encoder)
+        .save_file(&path)
+        .unwrap();
+    path
+}
+
+/// Spawn `dader-serve --listen 127.0.0.1:0 <extra>` and return the child,
+/// its stdin handle (kept open — EOF triggers shutdown), and the bound
+/// address parsed from the stderr announcement.
+fn spawn_listener(artifact: &PathBuf, extra_args: &[&str]) -> (Child, ChildStdin, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dader-serve"))
+        .arg(artifact)
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dader-serve");
+    let stdin = child.stdin.take().unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before announcing the listen address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("dader-serve: listening on ") {
+            break rest.to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = stderr.read_to_string(&mut rest);
+    });
+    (child, stdin, addr)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let conn = TcpStream::connect(addr).expect("connect to dader-serve");
+    conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    conn
+}
+
+fn read_json_line(reader: &mut BufReader<TcpStream>) -> Value {
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).unwrap() > 0, "response line expected");
+    serde_json::from_str(line.trim()).expect("response line is JSON")
+}
+
+/// Over stdin: a request line above `--max-line-bytes` is drained and
+/// answered with a typed, non-retryable `line_too_long` error while the
+/// surrounding lines still score.
+#[test]
+fn oversized_line_gets_typed_error_and_stream_survives() {
+    let artifact = write_tiny_artifact("toolong.dma");
+    let mut input = String::from(REQ);
+    input.push_str(&"x".repeat(400));
+    input.push('\n');
+    input.push_str(REQ);
+    let out = Command::new(env!("CARGO_BIN_EXE_dader-serve"))
+        .arg(&artifact)
+        .args(["--batch-size", "1", "--max-line-bytes", "128"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map(|mut child| {
+            child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+            child.wait_with_output().unwrap()
+        })
+        .expect("spawn dader-serve");
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("JSON response"))
+        .collect();
+    assert_eq!(lines.len(), 3, "one response per line:\n{stdout}");
+    assert!(lines[0].get("error").is_none() && lines[2].get("error").is_none());
+    let err = &lines[1];
+    assert_eq!(err.get("code").unwrap().as_str(), Some("line_too_long"));
+    assert_eq!(err.get("retryable"), Some(&Value::Bool(false)));
+    assert_eq!(err.get("line").unwrap().as_f64(), Some(2.0));
+}
+
+/// A TCP connection idle past `--timeout-ms` receives a retryable
+/// `timeout` error and is closed; already-queued requests still score.
+#[test]
+fn idle_tcp_connection_times_out_with_retryable_error() {
+    let artifact = write_tiny_artifact("timeout.dma");
+    let (mut child, stdin, addr) =
+        spawn_listener(&artifact, &["--batch-size", "1", "--timeout-ms", "400"]);
+
+    let conn = connect(&addr);
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    writer.write_all(REQ.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let first = read_json_line(&mut reader);
+    assert!(first.get("error").is_none(), "valid request must score: {first:?}");
+
+    // Now stall: the server must emit a typed timeout and close the stream.
+    let err = read_json_line(&mut reader);
+    assert_eq!(err.get("code").unwrap().as_str(), Some("timeout"), "{err:?}");
+    assert_eq!(err.get("retryable"), Some(&Value::Bool(true)));
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).unwrap(),
+        0,
+        "stream must be closed after the timeout: {rest:?}"
+    );
+
+    drop(stdin); // stdin EOF → graceful shutdown
+    let status = child.wait().unwrap();
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(status.success());
+}
+
+/// With `--max-conns 1`, a second concurrent connection is rejected with a
+/// retryable `overloaded` error while the first keeps working; after the
+/// first disconnects and `shutdown` arrives on stdin the process drains
+/// and exits cleanly.
+#[test]
+fn connection_cap_rejects_overload_and_drains_on_shutdown() {
+    let artifact = write_tiny_artifact("overload.dma");
+    let (mut child, mut stdin, addr) = spawn_listener(
+        &artifact,
+        &["--batch-size", "1", "--max-conns", "1", "--timeout-ms", "10000"],
+    );
+
+    // First connection: score one pair and hold the connection open so the
+    // single slot stays occupied.
+    let conn1 = connect(&addr);
+    let mut writer1 = conn1.try_clone().unwrap();
+    let mut reader1 = BufReader::new(conn1);
+    writer1.write_all(REQ.as_bytes()).unwrap();
+    writer1.flush().unwrap();
+    let scored = read_json_line(&mut reader1);
+    assert!(scored.get("error").is_none(), "{scored:?}");
+
+    // Second connection: over the cap → one overloaded object, then close.
+    let conn2 = connect(&addr);
+    let mut reader2 = BufReader::new(conn2);
+    let err = read_json_line(&mut reader2);
+    assert_eq!(err.get("code").unwrap().as_str(), Some("overloaded"), "{err:?}");
+    assert_eq!(err.get("retryable"), Some(&Value::Bool(true)));
+    let mut rest = String::new();
+    assert_eq!(reader2.read_line(&mut rest).unwrap(), 0, "rejected stream must close");
+
+    // Release the slot, then request a graceful drain.
+    drop(writer1);
+    drop(reader1);
+    stdin.write_all(b"shutdown\n").unwrap();
+    stdin.flush().unwrap();
+    let status = child.wait().unwrap();
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(status.success(), "drain must exit 0: {status:?}");
+}
+
+/// Graceful drain: in-flight work finishes after stdin closes, and the
+/// process exits 0 once the last connection is done.
+#[test]
+fn listener_drains_in_flight_work_on_stdin_eof() {
+    let artifact = write_tiny_artifact("drain.dma");
+    let (mut child, stdin, addr) =
+        spawn_listener(&artifact, &["--batch-size", "1", "--timeout-ms", "10000"]);
+
+    let conn = connect(&addr);
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    writer.write_all(REQ.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    assert!(read_json_line(&mut reader).get("error").is_none());
+
+    // Shut down while our connection is still open: the server must keep
+    // serving it until we hang up.
+    drop(stdin);
+    std::thread::sleep(Duration::from_millis(100));
+    writer.write_all(REQ.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    assert!(
+        read_json_line(&mut reader).get("error").is_none(),
+        "in-flight connection must keep scoring during drain"
+    );
+    drop(writer);
+    drop(reader);
+    let status = child.wait().unwrap();
+    std::fs::remove_file(&artifact).unwrap();
+    assert!(status.success());
+}

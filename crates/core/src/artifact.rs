@@ -89,6 +89,16 @@ pub enum ArtifactError {
     Checkpoint(CheckpointError),
     /// The persisted tokenizer state could not be rebuilt.
     Encoder(String),
+    /// A stored weight tensor contains a NaN or infinite value. Such a
+    /// file can only come from a corrupted write or a run whose weights
+    /// had already diverged — loading it would poison every downstream
+    /// prediction, so the load is refused.
+    NonFiniteWeights {
+        /// Name of the offending tensor.
+        entry: String,
+        /// Flat index of the first non-finite value.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -113,6 +123,9 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Malformed(msg) => write!(f, "malformed body: {msg}"),
             ArtifactError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             ArtifactError::Encoder(msg) => write!(f, "encoder state: {msg}"),
+            ArtifactError::NonFiniteWeights { entry, index } => {
+                write!(f, "non-finite weight in tensor {entry:?} at flat index {index}")
+            }
         }
     }
 }
@@ -162,37 +175,41 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 // ------------------------------------------------------------------ wire
 
-struct ByteWriter {
-    buf: Vec<u8>,
+pub(crate) struct ByteWriter {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    fn new() -> ByteWriter {
+    pub(crate) fn new() -> ByteWriter {
         ByteWriter { buf: Vec::new() }
     }
 
-    fn put_u8(&mut self, v: u8) {
+    pub(crate) fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn put_u32(&mut self, v: u32) {
+    pub(crate) fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_u64(&mut self, v: u64) {
+    pub(crate) fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_usize(&mut self, v: usize) {
+    pub(crate) fn put_usize(&mut self, v: usize) {
         self.put_u64(v as u64);
     }
 
-    fn put_str(&mut self, s: &str) {
+    pub(crate) fn put_str(&mut self, s: &str) {
         self.put_usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn put_f32s(&mut self, data: &[f32]) {
+    pub(crate) fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f32s(&mut self, data: &[f32]) {
         self.put_usize(data.len());
         for &v in data {
             self.buf.extend_from_slice(&v.to_le_bytes());
@@ -200,13 +217,13 @@ impl ByteWriter {
     }
 }
 
-struct ByteReader<'a> {
+pub(crate) struct ByteReader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(data: &'a [u8]) -> ByteReader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> ByteReader<'a> {
         ByteReader { data, pos: 0 }
     }
 
@@ -226,21 +243,21 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
-    fn take_u8(&mut self) -> Result<u8, ArtifactError> {
+    pub(crate) fn take_u8(&mut self) -> Result<u8, ArtifactError> {
         Ok(self.take(1)?[0])
     }
 
-    fn take_u32(&mut self) -> Result<u32, ArtifactError> {
+    pub(crate) fn take_u32(&mut self) -> Result<u32, ArtifactError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn take_u64(&mut self) -> Result<u64, ArtifactError> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64, ArtifactError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// A u64 length/count field; bounded by the remaining bytes so a
     /// corrupted length cannot trigger an enormous allocation.
-    fn take_len(&mut self, unit: usize) -> Result<usize, ArtifactError> {
+    pub(crate) fn take_len(&mut self, unit: usize) -> Result<usize, ArtifactError> {
         let v = self.take_u64()?;
         let v = usize::try_from(v)
             .map_err(|_| ArtifactError::Malformed(format!("length {v} overflows usize")))?;
@@ -253,14 +270,18 @@ impl<'a> ByteReader<'a> {
         Ok(v)
     }
 
-    fn take_str(&mut self) -> Result<String, ArtifactError> {
+    pub(crate) fn take_str(&mut self) -> Result<String, ArtifactError> {
         let n = self.take_len(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| ArtifactError::Malformed(format!("invalid UTF-8 string: {e}")))
     }
 
-    fn take_f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
+    pub(crate) fn take_f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
         let n = self.take_len(4)?;
         let bytes = self.take(n * 4)?;
         Ok(bytes
@@ -269,12 +290,12 @@ impl<'a> ByteReader<'a> {
             .collect())
     }
 
-    fn take_dims(&mut self) -> Result<Vec<usize>, ArtifactError> {
+    pub(crate) fn take_dims(&mut self) -> Result<Vec<usize>, ArtifactError> {
         let n = self.take_len(8)?;
         (0..n).map(|_| self.take_len(0)).collect()
     }
 
-    fn expect_end(&self) -> Result<(), ArtifactError> {
+    pub(crate) fn expect_end(&self) -> Result<(), ArtifactError> {
         if self.remaining() != 0 {
             return Err(ArtifactError::Malformed(format!(
                 "{} trailing bytes after body",
@@ -289,7 +310,10 @@ impl<'a> ByteReader<'a> {
 
 /// Atomically write `magic + version + body + crc32(body)` to `path` via
 /// a temporary sibling file and rename.
-fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(), ArtifactError> {
+pub(crate) fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(), ArtifactError> {
+    if let Some(e) = dader_obs::fault::io_error("artifact.write") {
+        return Err(ArtifactError::Io(e));
+    }
     let mut out = Vec::with_capacity(body.len() + 20);
     out.extend_from_slice(&magic);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -314,7 +338,7 @@ fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(), Artifact
 
 /// Read a framed file back, validating magic, version, declared length
 /// and CRC; returns the body bytes.
-fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, ArtifactError> {
+pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, ArtifactError> {
     let raw = std::fs::read(path)?;
     if raw.len() < 16 {
         return Err(ArtifactError::Truncated { needed: 16, available: raw.len() });
@@ -382,6 +406,9 @@ fn decode_checkpoint_body(r: &mut ByteReader<'_>) -> Result<Checkpoint, Artifact
         let data = r.take_f32s()?;
         let entry = CheckpointEntry { name, shape, data };
         entry.validate_data_len()?;
+        if let Some(index) = entry.data.iter().position(|v| !v.is_finite()) {
+            return Err(ArtifactError::NonFiniteWeights { entry: entry.name, index });
+        }
         entries.push(entry);
     }
     Ok(Checkpoint { version, description, entries })
@@ -578,6 +605,47 @@ mod tests {
         w.put_u64(u64::MAX);
         let mut r = ByteReader::new(&w.buf);
         assert!(matches!(r.take_str(), Err(ArtifactError::Malformed(_) | ArtifactError::Truncated { .. })));
+    }
+
+    #[test]
+    fn load_rejects_non_finite_weights() {
+        let path = std::env::temp_dir().join(format!("dader_nan_ckpt_{}.ddrc", std::process::id()));
+        let ckpt = Checkpoint {
+            version: 1,
+            description: "poisoned".into(),
+            entries: vec![CheckpointEntry {
+                name: "w".into(),
+                shape: vec![3],
+                data: vec![1.0, f32::NAN, 2.0],
+            }],
+        };
+        ckpt.save_file(&path).unwrap();
+        let err = Checkpoint::load_file(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        match err {
+            ArtifactError::NonFiniteWeights { entry, index } => {
+                assert_eq!(entry, "w");
+                assert_eq!(index, 1);
+            }
+            other => panic!("expected NonFiniteWeights, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_framed_surfaces_injected_io_error() {
+        dader_obs::fault::arm(
+            "artifact.write",
+            dader_obs::fault::FaultSpec::once(dader_obs::fault::FaultAction::IoError),
+        );
+        let path = std::env::temp_dir().join(format!("dader_fault_ckpt_{}.ddrc", std::process::id()));
+        let ckpt = Checkpoint { version: 1, description: String::new(), entries: vec![] };
+        let res = ckpt.save_file(&path);
+        dader_obs::fault::disarm("artifact.write");
+        assert!(matches!(res, Err(ArtifactError::Io(_))));
+        assert!(!path.exists(), "injected write failure must not leave a file");
+        // Disarmed, the same save succeeds.
+        ckpt.save_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

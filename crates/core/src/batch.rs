@@ -94,6 +94,41 @@ impl<'a> Batcher<'a> {
     pub fn batches_per_epoch(&self) -> usize {
         (self.dataset.len() / self.batch_size).max(1)
     }
+
+    /// The shuffle state (current epoch permutation + cursor), for
+    /// crash-safe checkpointing.
+    pub fn state(&self) -> (Vec<usize>, usize) {
+        (self.order.clone(), self.cursor)
+    }
+
+    /// Restore shuffle state captured by [`Batcher::state`] from a batcher
+    /// over the same dataset. Returns an error message when `order` is not
+    /// a permutation of the dataset's indices or `cursor` is out of range.
+    pub fn restore_state(&mut self, order: Vec<usize>, cursor: usize) -> Result<(), String> {
+        if order.len() != self.dataset.len() {
+            return Err(format!(
+                "batcher state has {} indices, dataset has {}",
+                order.len(),
+                self.dataset.len()
+            ));
+        }
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            if i >= seen.len() || seen[i] {
+                return Err(format!("batcher state order is not a permutation (index {i})"));
+            }
+            seen[i] = true;
+        }
+        if cursor > order.len() {
+            return Err(format!(
+                "batcher cursor {cursor} exceeds dataset length {}",
+                order.len()
+            ));
+        }
+        self.order = order;
+        self.cursor = cursor;
+        Ok(())
+    }
 }
 
 /// Encode an entire dataset as consecutive fixed-size batches (for
@@ -175,6 +210,57 @@ mod tests {
         assert_eq!(batches[0].indices[0], 0);
         let labels: Vec<usize> = batches.iter().flat_map(|b| b.labels.clone()).collect();
         assert_eq!(labels, d.labels());
+    }
+
+    #[test]
+    fn batcher_state_roundtrip_reproduces_batches() {
+        let (d, enc) = setup();
+        // Reference: uninterrupted sequence of 12 batches (crosses a
+        // reshuffle boundary at 60 pairs / batch 8).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = Batcher::new(&d, &enc, 8, &mut rng);
+        let mut reference = Vec::new();
+        for _ in 0..12 {
+            reference.push(b.next_batch(&mut rng).indices);
+        }
+
+        // Resumed: replay 5 batches, capture batcher + rng state, rebuild
+        // both from the captured state, and continue.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = Batcher::new(&d, &enc, 8, &mut rng);
+        let mut replayed = Vec::new();
+        for _ in 0..5 {
+            replayed.push(b.next_batch(&mut rng).indices);
+        }
+        let (order, cursor) = b.state();
+        let rng_state = rng.state();
+
+        let mut rng2 = StdRng::from_state(rng_state);
+        let mut fresh = StdRng::seed_from_u64(0);
+        let mut b2 = Batcher::new(&d, &enc, 8, &mut fresh);
+        b2.restore_state(order, cursor).unwrap();
+        for _ in 0..7 {
+            replayed.push(b2.next_batch(&mut rng2).indices);
+        }
+        assert_eq!(replayed, reference);
+    }
+
+    #[test]
+    fn batcher_restore_rejects_bad_state() {
+        let (d, enc) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = Batcher::new(&d, &enc, 8, &mut rng);
+        // wrong length
+        assert!(b.restore_state(vec![0, 1, 2], 0).is_err());
+        // not a permutation (duplicate)
+        let mut dup: Vec<usize> = (0..d.len()).collect();
+        dup[1] = 0;
+        assert!(b.restore_state(dup, 0).is_err());
+        // cursor out of range
+        let ok: Vec<usize> = (0..d.len()).collect();
+        assert!(b.restore_state(ok.clone(), d.len() + 1).is_err());
+        // valid state accepted
+        assert!(b.restore_state(ok, d.len()).is_ok());
     }
 
     #[test]

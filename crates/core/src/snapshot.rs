@@ -63,6 +63,17 @@ impl Snapshot {
     pub fn numel(&self) -> usize {
         self.entries.iter().map(|(_, w)| w.len()).sum()
     }
+
+    /// The captured `(shape, weights)` entries, for serialization.
+    pub fn entries(&self) -> &[(Vec<usize>, Vec<f32>)] {
+        &self.entries
+    }
+
+    /// Rebuild a snapshot from serialized entries (e.g. a training
+    /// checkpoint's best-epoch weights).
+    pub fn from_entries(entries: Vec<(Vec<usize>, Vec<f32>)>) -> Snapshot {
+        Snapshot { entries }
+    }
 }
 
 #[cfg(test)]

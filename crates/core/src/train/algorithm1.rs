@@ -24,6 +24,8 @@ use crate::matcher::Matcher;
 use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
 use crate::train::config::{mean_over, EpochStat, TrainConfig};
+use crate::train::health::HealthGuard;
+use crate::train::resume::TrainCheckpoint;
 use crate::train::telemetry::{EpochReport, RunTelemetry};
 
 /// A domain-adaptation task: labeled source, unlabeled target, and the
@@ -152,61 +154,155 @@ pub fn train_algorithm1(
         .iters_per_epoch
         .unwrap_or_else(|| src_batches.batches_per_epoch());
 
+    // Ties a resume checkpoint to the exact trajectory: every field here
+    // changes the training stream, so restoring across a mismatch would
+    // silently produce a third trajectory that matches neither run.
+    let fingerprint = format!(
+        "alg1|{kind}|seed={}|epochs={}|iters={iters}|batch={}|lr={}|beta={}|clip={}|posw={:?}|src={}|tgt={}",
+        cfg.seed,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.lr,
+        cfg.beta,
+        cfg.clip_norm,
+        cfg.pos_weight,
+        task.source.len(),
+        task.target_train.len()
+    );
+
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut best: Option<(usize, f32, Snapshot)> = None;
     let pos_weight = auto_pos_weight(task.source, cfg);
     let mut telemetry = RunTelemetry::new(cfg);
+    let mut guard = HealthGuard::new(cfg.health);
+
+    // Resume: all constructors above consumed the same seeded RNG draws
+    // as the interrupted run, so overwriting every piece of mutable state
+    // from the checkpoint continues that run's exact stream.
+    let mut start_epoch = 1usize;
+    if let Some(path) = &cfg.resume {
+        let ck = TrainCheckpoint::load_file(path).unwrap_or_else(|e| {
+            panic!("failed to load training checkpoint {}: {e}", path.display())
+        });
+        ck.expect_fingerprint(&fingerprint)
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+        assert_eq!(ck.phase, "train", "checkpoint phase {:?} is not Algorithm 1's", ck.phase);
+        Snapshot::from_entries(ck.groups[0].clone()).restore(&trainable);
+        opt.restore_state(&trainable, &ck.optimizers[0])
+            .unwrap_or_else(|e| panic!("cannot resume optimizer state: {e}"));
+        let (order, cursor) = ck.batchers[0].clone();
+        src_batches
+            .restore_state(order, cursor)
+            .unwrap_or_else(|e| panic!("cannot resume source batcher: {e}"));
+        if let Some(t) = tgt_batches.as_mut() {
+            let (order, cursor) = ck.batchers[1].clone();
+            t.restore_state(order, cursor)
+                .unwrap_or_else(|e| panic!("cannot resume target batcher: {e}"));
+        }
+        rng = StdRng::from_state(ck.rng);
+        best = ck
+            .best
+            .map(|(e, f, entries)| (e, f, Snapshot::from_entries(entries)));
+        history = ck.history;
+        guard.restore(ck.health_retries);
+        start_epoch = ck.completed_epochs + 1;
+    }
 
     let total_steps = cfg.epochs * iters;
-    for epoch in 1..=cfg.epochs {
-        let mut sum_m = 0.0f32;
-        let mut sum_a = 0.0f32;
-        for it in 0..iters {
-            // GRL lambda warm-up (Ganin & Lempitsky): ramp the reversal
-            // strength from 0 to β over *iterations* so early noisy
-            // features don't derail the matcher.
-            let step = (epoch - 1) * iters + it;
-            let grl_beta = cfg.beta * grl_lambda(grl_progress(step, total_steps));
-            let bs = src_batches.next_batch(&mut rng);
-            let xs = extractor.extract(&bs);
-            let loss_m = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
+    'epochs: for epoch in start_epoch..=cfg.epochs {
+        // Epoch-start state: the health guard's rollback target.
+        let rollback = (
+            Snapshot::capture(&trainable),
+            opt.export_state(&trainable),
+            rng.state(),
+            src_batches.state(),
+            tgt_batches.as_ref().map(|b| b.state()),
+        );
+        let (sum_m, sum_a) = 'attempt: loop {
+            let mut sum_m = 0.0f32;
+            let mut sum_a = 0.0f32;
+            for it in 0..iters {
+                // GRL lambda warm-up (Ganin & Lempitsky): ramp the reversal
+                // strength from 0 to β over *iterations* so early noisy
+                // features don't derail the matcher.
+                let step = (epoch - 1) * iters + it;
+                let grl_beta = cfg.beta * grl_lambda(grl_progress(step, total_steps));
+                let bs = src_batches.next_batch(&mut rng);
+                let xs = extractor.extract(&bs);
+                let loss_m = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
 
-            let loss_a: Tensor = match kind {
-                AlignerKind::NoDa => Tensor::scalar(0.0),
-                AlignerKind::Mmd | AlignerKind::KOrder | AlignerKind::Grl | AlignerKind::Ed => {
-                    let bt = tgt_batches
-                        .as_mut()
-                        .expect("target batcher")
-                        .next_batch(&mut rng);
-                    let xt = extractor.extract(&bt);
-                    match kind {
-                        AlignerKind::Mmd => mmd_loss(&xs, &xt).scale(cfg.beta),
-                        AlignerKind::KOrder => coral_loss(&xs, &xt).scale(cfg.beta),
-                        AlignerKind::Grl => grl
-                            .as_ref()
-                            .expect("grl aligner")
-                            .domain_loss(&xs, &xt, grl_beta),
-                        AlignerKind::Ed => {
-                            let e = ed.as_ref().expect("ed aligner");
-                            e.reconstruction_loss(&xs, &bs)
-                                .add(&e.reconstruction_loss(&xt, &bt))
-                                .scale(cfg.beta)
+                let loss_a: Tensor = match kind {
+                    AlignerKind::NoDa => Tensor::scalar(0.0),
+                    AlignerKind::Mmd | AlignerKind::KOrder | AlignerKind::Grl | AlignerKind::Ed => {
+                        let bt = tgt_batches
+                            .as_mut()
+                            .expect("target batcher")
+                            .next_batch(&mut rng);
+                        let xt = extractor.extract(&bt);
+                        match kind {
+                            AlignerKind::Mmd => mmd_loss(&xs, &xt).scale(cfg.beta),
+                            AlignerKind::KOrder => coral_loss(&xs, &xt).scale(cfg.beta),
+                            AlignerKind::Grl => grl
+                                .as_ref()
+                                .expect("grl aligner")
+                                .domain_loss(&xs, &xt, grl_beta),
+                            AlignerKind::Ed => {
+                                let e = ed.as_ref().expect("ed aligner");
+                                e.reconstruction_loss(&xs, &bs)
+                                    .add(&e.reconstruction_loss(&xt, &bt))
+                                    .scale(cfg.beta)
+                            }
+                            _ => unreachable!(),
                         }
-                        _ => unreachable!(),
+                    }
+                    _ => unreachable!("GAN methods rejected above"),
+                };
+
+                // Health check before the optimizer step: a non-finite or
+                // exploded loss means poisoned gradients, so the epoch is
+                // rolled back and retried at a backed-off rate — or, with
+                // the retry budget spent, the run stops with its best
+                // snapshot so far.
+                let lm = dader_obs::fault::corrupt_f32("train.loss", loss_m.item());
+                let la = loss_a.item();
+                if let Some(bad) = guard.first_unhealthy(&[lm, la]) {
+                    match guard.back_off() {
+                        Some(scale) => {
+                            let new_lr = cfg.lr * scale;
+                            rollback.0.restore(&trainable);
+                            opt.restore_state(&trainable, &rollback.1)
+                                .expect("rollback optimizer state");
+                            opt.set_lr(new_lr);
+                            rng = StdRng::from_state(rollback.2);
+                            src_batches
+                                .restore_state(rollback.3 .0.clone(), rollback.3 .1)
+                                .expect("rollback source batcher");
+                            if let (Some(b), Some(st)) = (tgt_batches.as_mut(), rollback.4.as_ref())
+                            {
+                                b.restore_state(st.0.clone(), st.1)
+                                    .expect("rollback target batcher");
+                            }
+                            telemetry.health_event("train", epoch, "rollback", bad, new_lr, guard.retries());
+                            continue 'attempt;
+                        }
+                        None => {
+                            telemetry.health_event("train", epoch, "abort", bad, opt.lr(), guard.retries());
+                            break 'epochs;
+                        }
                     }
                 }
-                _ => unreachable!("GAN methods rejected above"),
-            };
 
-            sum_m += loss_m.item();
-            sum_a += loss_a.item();
-            let total = loss_m.add(&loss_a);
-            let mut grads = total.backward();
-            if cfg.clip_norm > 0.0 {
-                clip_grad_norm(&mut grads, &trainable, cfg.clip_norm);
+                sum_m += lm;
+                sum_a += la;
+                let total = loss_m.add(&loss_a);
+                let mut grads = total.backward();
+                if cfg.clip_norm > 0.0 {
+                    clip_grad_norm(&mut grads, &trainable, cfg.clip_norm);
+                }
+                opt.step(&trainable, &grads);
             }
-            opt.step(&trainable, &grads);
-        }
+            break 'attempt (sum_m, sum_a);
+        };
 
         let val = crate::eval::evaluate(
             extractor.as_ref(),
@@ -258,10 +354,50 @@ pub fn train_algorithm1(
             }),
             snapshot: took_snapshot,
         });
+
+        if let Some(ck_path) = &cfg.checkpoint {
+            if epoch % cfg.checkpoint_every.max(1) == 0 || epoch == cfg.epochs {
+                let mut batchers = vec![src_batches.state()];
+                if let Some(t) = &tgt_batches {
+                    batchers.push(t.state());
+                }
+                TrainCheckpoint {
+                    fingerprint: fingerprint.clone(),
+                    phase: "train".into(),
+                    completed_epochs: epoch,
+                    rng: rng.state(),
+                    groups: vec![Snapshot::capture(&trainable).entries().to_vec()],
+                    optimizers: vec![opt.export_state(&trainable)],
+                    batchers,
+                    best: best.as_ref().map(|(e, f, s)| (*e, *f, s.entries().to_vec())),
+                    history: history.clone(),
+                    health_retries: guard.retries(),
+                }
+                .save_file(ck_path)
+                .unwrap_or_else(|e| {
+                    panic!("failed to write training checkpoint {}: {e}", ck_path.display())
+                });
+            }
+        }
+        // Crash point for kill-and-resume tests: fires after the epoch's
+        // checkpoint is durable, so a resumed run loses nothing.
+        dader_obs::fault::maybe_crash("train.epoch_end");
     }
     drop(telemetry);
 
-    let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
+    // `best` is only absent when the health guard aborted before the
+    // first evaluation; fall back to the current (rolled-back) weights.
+    let (best_epoch, best_val_f1, snap) = best.unwrap_or_else(|| {
+        let val = crate::eval::evaluate(
+            extractor.as_ref(),
+            &matcher,
+            task.target_val,
+            task.encoder,
+            cfg.eval_batch,
+        )
+        .f1();
+        (start_epoch, val, Snapshot::capture(&selected))
+    });
     snap.restore(&selected);
 
     let model = DaderModel { extractor, matcher };

@@ -10,6 +10,14 @@
 //!   InvGAN+KD.
 //!
 //! The returned model pairs the adapted `F'` with the step-1 matcher `M`.
+//!
+//! Both phases are crash-safe and health-guarded like Algorithm 1: epoch
+//! boundaries can write a [`TrainCheckpoint`] (phase `step1` or
+//! `adversarial`) that `cfg.resume` continues bitwise-identically, and a
+//! non-finite or exploded loss rolls the epoch back at a backed-off
+//! learning rate — particularly relevant here, where the adversarial
+//! dynamics of Finding 3 are the most divergence-prone part of the whole
+//! design space.
 
 use dader_nn::{clip_grad_norm, Adam, Optimizer};
 use rand::rngs::StdRng;
@@ -23,6 +31,8 @@ use crate::model::DaderModel;
 use crate::snapshot::Snapshot;
 use crate::train::algorithm1::{save_artifact_if_requested, DaTask, TrainOutcome};
 use crate::train::config::{mean_over, EpochStat, TrainConfig};
+use crate::train::health::HealthGuard;
+use crate::train::resume::TrainCheckpoint;
 use crate::train::telemetry::{EpochReport, RunTelemetry};
 
 /// Train with Algorithm 2. `kind` must be `InvGan` or `InvGanKd`.
@@ -49,19 +59,109 @@ pub fn train_algorithm2(
         .unwrap_or_else(|| src_batches.batches_per_epoch());
     let pos_weight = crate::train::algorithm1::auto_pos_weight(task.source, cfg);
     let mut telemetry = RunTelemetry::new(cfg);
-    for epoch in 1..=cfg.step1_epochs {
-        let mut sum_m = 0.0f32;
-        for _ in 0..iters {
-            let bs = src_batches.next_batch(&mut rng);
-            let xs = extractor.extract(&bs);
-            let loss = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
-            sum_m += loss.item();
-            let mut grads = loss.backward();
-            if cfg.clip_norm > 0.0 {
-                clip_grad_norm(&mut grads, &f_and_m, cfg.clip_norm);
+
+    // Ties a resume checkpoint to the exact trajectory (see Algorithm 1).
+    let fingerprint = format!(
+        "alg2|{kind}|seed={}|epochs={}|step1={}|iters={iters}|batch={}|lr={}|beta={}|clip={}|kdT={}|advscale={}|posw={:?}|src={}|tgt={}",
+        cfg.seed,
+        cfg.epochs,
+        cfg.step1_epochs,
+        cfg.batch_size,
+        cfg.lr,
+        cfg.beta,
+        cfg.clip_norm,
+        cfg.kd_temperature,
+        cfg.adversarial_lr_scale,
+        cfg.pos_weight,
+        task.source.len(),
+        task.target_train.len()
+    );
+    let mut guard = HealthGuard::new(cfg.health);
+
+    let mut resume_ck: Option<TrainCheckpoint> = cfg.resume.as_ref().map(|path| {
+        let ck = TrainCheckpoint::load_file(path).unwrap_or_else(|e| {
+            panic!("failed to load training checkpoint {}: {e}", path.display())
+        });
+        ck.expect_fingerprint(&fingerprint)
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+        ck
+    });
+    let resume_adversarial =
+        matches!(resume_ck.as_ref(), Some(ck) if ck.phase == "adversarial");
+
+    let mut step1_start = 1usize;
+    if let Some(ck) = &resume_ck {
+        match ck.phase.as_str() {
+            "step1" => {
+                Snapshot::from_entries(ck.groups[0].clone()).restore(&f_and_m);
+                opt1.restore_state(&f_and_m, &ck.optimizers[0])
+                    .unwrap_or_else(|e| panic!("cannot resume optimizer state: {e}"));
+                let (order, cursor) = ck.batchers[0].clone();
+                src_batches
+                    .restore_state(order, cursor)
+                    .unwrap_or_else(|e| panic!("cannot resume source batcher: {e}"));
+                rng = StdRng::from_state(ck.rng);
+                guard.restore(ck.health_retries);
+                step1_start = ck.completed_epochs + 1;
             }
-            opt1.step(&f_and_m, &grads);
+            "adversarial" => {
+                // Step 1 already finished in the checkpointed run: restore
+                // its final (F, M) and skip straight to step 2. Everything
+                // recomputed from (F, M) below (feature caches, teacher
+                // logits) is deterministic, so it matches the original run.
+                Snapshot::from_entries(ck.groups[0].clone()).restore(&f_and_m);
+                step1_start = cfg.step1_epochs + 1;
+            }
+            other => panic!("checkpoint phase {other:?} is not an Algorithm 2 phase"),
         }
+    }
+
+    let mut aborted = false;
+    'step1: for epoch in step1_start..=cfg.step1_epochs {
+        let rollback = (
+            Snapshot::capture(&f_and_m),
+            opt1.export_state(&f_and_m),
+            rng.state(),
+            src_batches.state(),
+        );
+        let sum_m = 'attempt: loop {
+            let mut sum_m = 0.0f32;
+            for _ in 0..iters {
+                let bs = src_batches.next_batch(&mut rng);
+                let xs = extractor.extract(&bs);
+                let loss = matcher.matching_loss_weighted(&xs, &bs.labels, pos_weight);
+                let lm = dader_obs::fault::corrupt_f32("train.loss", loss.item());
+                if let Some(bad) = guard.first_unhealthy(&[lm]) {
+                    match guard.back_off() {
+                        Some(scale) => {
+                            let new_lr = cfg.lr * scale;
+                            rollback.0.restore(&f_and_m);
+                            opt1.restore_state(&f_and_m, &rollback.1)
+                                .expect("rollback optimizer state");
+                            opt1.set_lr(new_lr);
+                            rng = StdRng::from_state(rollback.2);
+                            src_batches
+                                .restore_state(rollback.3 .0.clone(), rollback.3 .1)
+                                .expect("rollback source batcher");
+                            telemetry.health_event("step1", epoch, "rollback", bad, new_lr, guard.retries());
+                            continue 'attempt;
+                        }
+                        None => {
+                            telemetry.health_event("step1", epoch, "abort", bad, opt1.lr(), guard.retries());
+                            aborted = true;
+                            break 'step1;
+                        }
+                    }
+                }
+                let mut grads = loss.backward();
+                if cfg.clip_norm > 0.0 {
+                    clip_grad_norm(&mut grads, &f_and_m, cfg.clip_norm);
+                }
+                opt1.step(&f_and_m, &grads);
+                sum_m += lm;
+            }
+            break 'attempt sum_m;
+        };
         telemetry.record(EpochReport {
             epoch,
             phase: "step1",
@@ -73,6 +173,27 @@ pub fn train_algorithm2(
             grl_lambda: None,
             snapshot: false,
         });
+        if let Some(ck_path) = &cfg.checkpoint {
+            if epoch % cfg.checkpoint_every.max(1) == 0 || epoch == cfg.step1_epochs {
+                TrainCheckpoint {
+                    fingerprint: fingerprint.clone(),
+                    phase: "step1".into(),
+                    completed_epochs: epoch,
+                    rng: rng.state(),
+                    groups: vec![Snapshot::capture(&f_and_m).entries().to_vec()],
+                    optimizers: vec![opt1.export_state(&f_and_m)],
+                    batchers: vec![src_batches.state()],
+                    best: None,
+                    history: Vec::new(),
+                    health_retries: guard.retries(),
+                }
+                .save_file(ck_path)
+                .unwrap_or_else(|e| {
+                    panic!("failed to write training checkpoint {}: {e}", ck_path.display())
+                });
+            }
+        }
+        dader_obs::fault::maybe_crash("train.epoch_end");
     }
 
     // ---------------------------------------------------------- Step 2
@@ -86,8 +207,9 @@ pub fn train_algorithm2(
     // the discriminator or the KD anchor (Finding 3: smaller learning
     // rates tame the oscillation). Fig. 7 sets the scale to 1.0 to show
     // the raw oscillatory dynamics.
-    let mut opt_fp = Adam::new(cfg.lr * cfg.adversarial_lr_scale);
-    let mut opt_d = Adam::new(cfg.lr * cfg.adversarial_lr_scale);
+    let adv_lr = cfg.lr * cfg.adversarial_lr_scale;
+    let mut opt_fp = Adam::new(adv_lr);
+    let mut opt_d = Adam::new(adv_lr);
 
     let mut tgt_batches = Batcher::new(task.target_train, task.encoder, cfg.batch_size, &mut rng);
 
@@ -126,19 +248,6 @@ pub fn train_algorithm2(
         p.extend(matcher.params());
         p
     };
-    // Epoch-0 candidate: the un-adapted (F, M) from step 1. Snapshot
-    // selection can then never return a model worse on validation than the
-    // pre-adaptation state, mirroring the paper's best-epoch protocol over
-    // 40 fine-grained epochs.
-    let val0 = crate::eval::evaluate(
-        f_prime.as_ref(),
-        &matcher,
-        task.target_val,
-        task.encoder,
-        cfg.eval_batch,
-    )
-    .f1();
-    let mut best: Option<(usize, f32, Snapshot)> = Some((0, val0, Snapshot::capture(&selected)));
 
     // Adversarial training oscillates (Finding 3/Fig. 7): good models
     // appear and vanish between epochs. Halving the iterations per
@@ -147,48 +256,162 @@ pub fn train_algorithm2(
     // selection.
     let sub_epochs = cfg.epochs * 2;
     let sub_iters = (iters / 2).max(1);
-    for epoch in 1..=sub_epochs {
-        let mut sum_a = 0.0f32;
-        let mut sum_g = 0.0f32;
-        for _ in 0..sub_iters {
-            let bs = src_batches.next_batch(&mut rng);
-            let bt = tgt_batches.next_batch(&mut rng);
 
-            // Discriminator step (Eq. 10 / Eq. 13). InvGAN's real side is
-            // the cached F(x^S); InvGAN+KD extracts F'(x^S) (once — the
-            // same features also feed the KD student below).
-            let xs_fp = if use_kd { Some(f_prime.extract(&bs)) } else { None };
-            let real = match &xs_fp {
-                Some(x) => x.clone(),
-                None => gather(&cached_real, feat_dim, &bs.indices),
-            };
-            let fake = f_prime.extract(&bt);
-            let loss_a = disc.discriminator_loss(&real, &fake);
-            sum_a += loss_a.item();
-            let mut grads = loss_a.backward();
-            if cfg.clip_norm > 0.0 {
-                clip_grad_norm(&mut grads, &d_params, cfg.clip_norm);
-            }
-            opt_d.step(&d_params, &grads);
+    let mut adv_start = 1usize;
+    let mut best: Option<(usize, f32, Snapshot)> = if resume_adversarial {
+        let ck = resume_ck.take().expect("adversarial checkpoint");
+        Snapshot::from_entries(ck.groups[1].clone()).restore(&fp_params);
+        Snapshot::from_entries(ck.groups[2].clone()).restore(&d_params);
+        opt_fp
+            .restore_state(&fp_params, &ck.optimizers[0])
+            .unwrap_or_else(|e| panic!("cannot resume generator optimizer state: {e}"));
+        opt_d
+            .restore_state(&d_params, &ck.optimizers[1])
+            .unwrap_or_else(|e| panic!("cannot resume discriminator optimizer state: {e}"));
+        let (order, cursor) = ck.batchers[0].clone();
+        src_batches
+            .restore_state(order, cursor)
+            .unwrap_or_else(|e| panic!("cannot resume source batcher: {e}"));
+        let (order, cursor) = ck.batchers[1].clone();
+        tgt_batches
+            .restore_state(order, cursor)
+            .unwrap_or_else(|e| panic!("cannot resume target batcher: {e}"));
+        rng = StdRng::from_state(ck.rng);
+        guard.restore(ck.health_retries);
+        history = ck.history;
+        adv_start = ck.completed_epochs + 1;
+        ck.best
+            .map(|(e, f, entries)| (e, f, Snapshot::from_entries(entries)))
+    } else {
+        // Epoch-0 candidate: the un-adapted (F, M) from step 1. Snapshot
+        // selection can then never return a model worse on validation than
+        // the pre-adaptation state, mirroring the paper's best-epoch
+        // protocol over 40 fine-grained epochs.
+        let val0 = crate::eval::evaluate(
+            f_prime.as_ref(),
+            &matcher,
+            task.target_val,
+            task.encoder,
+            cfg.eval_batch,
+        )
+        .f1();
+        Some((0, val0, Snapshot::capture(&selected)))
+    };
 
-            // Generator step (Eq. 11 / Eq. 14), weighted by β (Eq. 7).
-            // F' was not updated by the discriminator step, so the fake
-            // features (and their graph) are still valid — only the
-            // discriminator forward must be recomputed with its new
-            // weights, which generator_loss does.
-            let mut loss_fp = disc.generator_loss(&fake).scale(cfg.beta);
-            if use_kd {
-                let teacher = gather(&cached_teacher, 2, &bs.indices);
-                let student = matcher.logits(xs_fp.as_ref().expect("kd features"));
-                loss_fp = loss_fp.add(&distillation_loss(&teacher, &student, cfg.kd_temperature));
-            }
-            sum_g += loss_fp.item();
-            let mut grads = loss_fp.backward();
-            if cfg.clip_norm > 0.0 {
-                clip_grad_norm(&mut grads, &fp_params, cfg.clip_norm);
-            }
-            opt_fp.step(&fp_params, &grads);
+    // An aborted step 1 (exhausted health retries) skips the adversarial
+    // phase entirely: the run returns the best snapshot found so far.
+    let adv_start = if aborted { sub_epochs + 1 } else { adv_start };
+    'adv: for epoch in adv_start..=sub_epochs {
+        let rollback = (
+            Snapshot::capture(&fp_params),
+            Snapshot::capture(&d_params),
+            opt_fp.export_state(&fp_params),
+            opt_d.export_state(&d_params),
+            rng.state(),
+            src_batches.state(),
+            tgt_batches.state(),
+        );
+        // Restore the epoch-start state after an unhealthy loss; shared by
+        // the discriminator- and generator-side health checks below.
+        macro_rules! roll_back_epoch {
+            () => {{
+                rollback.0.restore(&fp_params);
+                rollback.1.restore(&d_params);
+                opt_fp
+                    .restore_state(&fp_params, &rollback.2)
+                    .expect("rollback generator optimizer state");
+                opt_d
+                    .restore_state(&d_params, &rollback.3)
+                    .expect("rollback discriminator optimizer state");
+                rng = StdRng::from_state(rollback.4);
+                src_batches
+                    .restore_state(rollback.5 .0.clone(), rollback.5 .1)
+                    .expect("rollback source batcher");
+                tgt_batches
+                    .restore_state(rollback.6 .0.clone(), rollback.6 .1)
+                    .expect("rollback target batcher");
+            }};
         }
+        let (sum_a, sum_g) = 'attempt: loop {
+            let mut sum_a = 0.0f32;
+            let mut sum_g = 0.0f32;
+            for _ in 0..sub_iters {
+                let bs = src_batches.next_batch(&mut rng);
+                let bt = tgt_batches.next_batch(&mut rng);
+
+                // Discriminator step (Eq. 10 / Eq. 13). InvGAN's real side is
+                // the cached F(x^S); InvGAN+KD extracts F'(x^S) (once — the
+                // same features also feed the KD student below).
+                let xs_fp = if use_kd { Some(f_prime.extract(&bs)) } else { None };
+                let real = match &xs_fp {
+                    Some(x) => x.clone(),
+                    None => gather(&cached_real, feat_dim, &bs.indices),
+                };
+                let fake = f_prime.extract(&bt);
+                let loss_a = disc.discriminator_loss(&real, &fake);
+                let la = loss_a.item();
+                if let Some(bad) = guard.first_unhealthy(&[la]) {
+                    match guard.back_off() {
+                        Some(scale) => {
+                            let new_lr = adv_lr * scale;
+                            roll_back_epoch!();
+                            opt_fp.set_lr(new_lr);
+                            opt_d.set_lr(new_lr);
+                            telemetry.health_event("adversarial", epoch, "rollback", bad, new_lr, guard.retries());
+                            continue 'attempt;
+                        }
+                        None => {
+                            telemetry.health_event("adversarial", epoch, "abort", bad, opt_d.lr(), guard.retries());
+                            aborted = true;
+                            break 'adv;
+                        }
+                    }
+                }
+                let mut grads = loss_a.backward();
+                if cfg.clip_norm > 0.0 {
+                    clip_grad_norm(&mut grads, &d_params, cfg.clip_norm);
+                }
+                opt_d.step(&d_params, &grads);
+
+                // Generator step (Eq. 11 / Eq. 14), weighted by β (Eq. 7).
+                // F' was not updated by the discriminator step, so the fake
+                // features (and their graph) are still valid — only the
+                // discriminator forward must be recomputed with its new
+                // weights, which generator_loss does.
+                let mut loss_fp = disc.generator_loss(&fake).scale(cfg.beta);
+                if use_kd {
+                    let teacher = gather(&cached_teacher, 2, &bs.indices);
+                    let student = matcher.logits(xs_fp.as_ref().expect("kd features"));
+                    loss_fp = loss_fp.add(&distillation_loss(&teacher, &student, cfg.kd_temperature));
+                }
+                let lg = dader_obs::fault::corrupt_f32("train.loss", loss_fp.item());
+                if let Some(bad) = guard.first_unhealthy(&[lg]) {
+                    match guard.back_off() {
+                        Some(scale) => {
+                            let new_lr = adv_lr * scale;
+                            roll_back_epoch!();
+                            opt_fp.set_lr(new_lr);
+                            opt_d.set_lr(new_lr);
+                            telemetry.health_event("adversarial", epoch, "rollback", bad, new_lr, guard.retries());
+                            continue 'attempt;
+                        }
+                        None => {
+                            telemetry.health_event("adversarial", epoch, "abort", bad, opt_fp.lr(), guard.retries());
+                            aborted = true;
+                            break 'adv;
+                        }
+                    }
+                }
+                let mut grads = loss_fp.backward();
+                if cfg.clip_norm > 0.0 {
+                    clip_grad_norm(&mut grads, &fp_params, cfg.clip_norm);
+                }
+                opt_fp.step(&fp_params, &grads);
+                sum_a += la;
+                sum_g += lg;
+            }
+            break 'attempt (sum_a, sum_g);
+        };
 
         let val = crate::eval::evaluate(
             f_prime.as_ref(),
@@ -237,10 +460,39 @@ pub fn train_algorithm2(
             grl_lambda: None,
             snapshot: took_snapshot,
         });
+        if let Some(ck_path) = &cfg.checkpoint {
+            if epoch % cfg.checkpoint_every.max(1) == 0 || epoch == sub_epochs {
+                TrainCheckpoint {
+                    fingerprint: fingerprint.clone(),
+                    phase: "adversarial".into(),
+                    completed_epochs: epoch,
+                    rng: rng.state(),
+                    groups: vec![
+                        Snapshot::capture(&f_and_m).entries().to_vec(),
+                        Snapshot::capture(&fp_params).entries().to_vec(),
+                        Snapshot::capture(&d_params).entries().to_vec(),
+                    ],
+                    optimizers: vec![
+                        opt_fp.export_state(&fp_params),
+                        opt_d.export_state(&d_params),
+                    ],
+                    batchers: vec![src_batches.state(), tgt_batches.state()],
+                    best: best.as_ref().map(|(e, f, s)| (*e, *f, s.entries().to_vec())),
+                    history: history.clone(),
+                    health_retries: guard.retries(),
+                }
+                .save_file(ck_path)
+                .unwrap_or_else(|e| {
+                    panic!("failed to write training checkpoint {}: {e}", ck_path.display())
+                });
+            }
+        }
+        dader_obs::fault::maybe_crash("train.epoch_end");
     }
+    let _ = aborted;
     drop(telemetry);
 
-    let (best_epoch, best_val_f1, snap) = best.expect("at least one epoch");
+    let (best_epoch, best_val_f1, snap) = best.expect("epoch-0 candidate always present");
     snap.restore(&selected);
 
     let model = DaderModel {

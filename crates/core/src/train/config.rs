@@ -91,6 +91,22 @@ pub struct TrainConfig {
     /// Print a human-readable progress line to stderr after each epoch
     /// (and switch span timers on, like `telemetry`).
     pub verbose: bool,
+    /// Training-health guard settings: non-finite / exploding-loss
+    /// detection with epoch rollback and learning-rate backoff (see
+    /// [`crate::train::health`]).
+    pub health: crate::train::health::HealthConfig,
+    /// When set, a crash-safe [`crate::train::resume::TrainCheckpoint`]
+    /// is written to this path at epoch boundaries (atomically, so a
+    /// crash mid-write leaves the previous checkpoint intact).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Epochs between checkpoint writes (minimum 1; only meaningful with
+    /// `checkpoint`).
+    pub checkpoint_every: usize,
+    /// When set, training state is restored from this checkpoint before
+    /// the first epoch and the run continues the interrupted trajectory
+    /// bitwise-identically. The configuration must match the one that
+    /// wrote the checkpoint.
+    pub resume: Option<std::path::PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -115,6 +131,10 @@ impl Default for TrainConfig {
             save_artifact: None,
             telemetry: None,
             verbose: false,
+            health: crate::train::health::HealthConfig::default(),
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
         }
     }
 }
@@ -166,7 +186,7 @@ pub(crate) fn mean_over(sum: f32, n: usize) -> f32 {
 
 /// Per-epoch record used for snapshot selection and the convergence
 /// figures.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EpochStat {
     /// Epoch number (1-based).
     pub epoch: usize,

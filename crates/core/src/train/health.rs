@@ -1,0 +1,147 @@
+//! Training-health guards: non-finite / exploding-loss detection with
+//! bounded retry and learning-rate backoff.
+//!
+//! Long adaptation runs can diverge — an adversarial phase oscillates into
+//! NaN, a too-hot learning rate explodes the matching loss — and without a
+//! guard the run burns its remaining epochs training on garbage and the
+//! snapshot selector happily keeps the last pre-divergence model without
+//! anyone noticing. The guard watches every iteration's loss values; when
+//! one goes non-finite or exceeds the explosion threshold, the training
+//! loop rolls the model, optimizer, RNG and batch order back to the start
+//! of the epoch and retries at a backed-off learning rate. The retry
+//! budget is bounded: once it is exhausted the run stops early and returns
+//! the best snapshot seen so far instead of looping forever.
+//!
+//! The guard itself is pure bookkeeping — the training loops own the
+//! rollback state (they know their parameter groups) and report health
+//! events through [`crate::train::telemetry::RunTelemetry`].
+
+/// Settings for the per-iteration loss health check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Master switch; `false` restores the unguarded behaviour.
+    pub enabled: bool,
+    /// A finite loss above this magnitude counts as exploded. The training
+    /// losses here are per-batch means (cross-entropy, MMD, …), normally
+    /// single digits, so the default of `1e6` only fires on genuine
+    /// divergence.
+    pub explode_threshold: f32,
+    /// Epoch retries allowed per run before giving up.
+    pub max_retries: u32,
+    /// Multiplier applied to the learning rate on each retry (`0.5` halves
+    /// it per rollback).
+    pub lr_backoff: f32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            enabled: true,
+            explode_threshold: 1e6,
+            max_retries: 2,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+/// Per-run health bookkeeping: how many retries have been spent and what
+/// learning-rate scale they imply.
+#[derive(Clone, Debug)]
+pub struct HealthGuard {
+    cfg: HealthConfig,
+    retries: u32,
+}
+
+impl HealthGuard {
+    /// Fresh guard with a full retry budget.
+    pub fn new(cfg: HealthConfig) -> HealthGuard {
+        HealthGuard { cfg, retries: 0 }
+    }
+
+    /// Restore the spent-retry count from a training checkpoint, so a
+    /// resumed run keeps both its backed-off learning rate and its
+    /// remaining budget.
+    pub fn restore(&mut self, retries: u32) {
+        self.retries = retries;
+    }
+
+    /// The first unhealthy value among `losses` (non-finite, or finite but
+    /// above the explosion threshold); `None` when all are fine or the
+    /// guard is disabled.
+    pub fn first_unhealthy(&self, losses: &[f32]) -> Option<f32> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        losses
+            .iter()
+            .copied()
+            .find(|v| !v.is_finite() || v.abs() > self.cfg.explode_threshold)
+    }
+
+    /// Spend one retry. Returns the learning-rate scale the retried epoch
+    /// should run at (`lr_backoff^retries`), or `None` when the budget is
+    /// exhausted and the run should stop with its best snapshot so far.
+    pub fn back_off(&mut self) -> Option<f32> {
+        if self.retries >= self.cfg.max_retries {
+            return None;
+        }
+        self.retries += 1;
+        Some(self.lr_scale())
+    }
+
+    /// Retries spent so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// The learning-rate scale implied by the spent retries
+    /// (`lr_backoff^retries`; `1.0` before any rollback).
+    pub fn lr_scale(&self) -> f32 {
+        self.cfg.lr_backoff.powi(self.retries as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_losses_pass() {
+        let g = HealthGuard::new(HealthConfig::default());
+        assert_eq!(g.first_unhealthy(&[0.0, 0.7, -3.0, 100.0]), None);
+    }
+
+    #[test]
+    fn nan_inf_and_explosion_detected() {
+        let g = HealthGuard::new(HealthConfig::default());
+        assert!(g.first_unhealthy(&[0.5, f32::NAN]).unwrap().is_nan());
+        assert_eq!(g.first_unhealthy(&[f32::INFINITY]), Some(f32::INFINITY));
+        assert_eq!(g.first_unhealthy(&[0.1, 2e6]), Some(2e6));
+        assert_eq!(g.first_unhealthy(&[-2e6]), Some(-2e6));
+    }
+
+    #[test]
+    fn disabled_guard_ignores_everything() {
+        let g = HealthGuard::new(HealthConfig { enabled: false, ..HealthConfig::default() });
+        assert_eq!(g.first_unhealthy(&[f32::NAN]), None);
+    }
+
+    #[test]
+    fn backoff_compounds_then_exhausts() {
+        let mut g = HealthGuard::new(HealthConfig { max_retries: 2, ..HealthConfig::default() });
+        assert_eq!(g.lr_scale(), 1.0);
+        assert_eq!(g.back_off(), Some(0.5));
+        assert_eq!(g.back_off(), Some(0.25));
+        assert_eq!(g.back_off(), None);
+        assert_eq!(g.retries(), 2);
+    }
+
+    #[test]
+    fn restore_resumes_the_budget_mid_way() {
+        let mut g = HealthGuard::new(HealthConfig { max_retries: 3, ..HealthConfig::default() });
+        g.restore(2);
+        assert_eq!(g.lr_scale(), 0.25);
+        assert_eq!(g.back_off(), Some(0.125));
+        assert_eq!(g.back_off(), None);
+    }
+}

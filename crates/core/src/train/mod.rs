@@ -5,11 +5,15 @@
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod config;
+pub mod health;
+pub mod resume;
 pub mod telemetry;
 
 pub use algorithm1::{grl_lambda, grl_progress, train_algorithm1, DaTask, TrainOutcome};
 pub use algorithm2::train_algorithm2;
 pub use config::{EpochStat, ParallelConfig, TrainConfig};
+pub use health::{HealthConfig, HealthGuard};
+pub use resume::{TrainCheckpoint, TRAIN_CHECKPOINT_MAGIC};
 pub use telemetry::{EpochReport, RunTelemetry};
 
 use crate::aligner::AlignerKind;

@@ -59,7 +59,13 @@ impl RunTelemetry {
         let active = cfg.telemetry.is_some() || cfg.verbose;
         let restore_spans = active.then(|| dader_obs::set_enabled(true));
         let sink = cfg.telemetry.as_ref().map(|path| {
-            TelemetrySink::create(path).unwrap_or_else(|e| {
+            // A resumed run appends, keeping the interrupted run's records.
+            let open = if cfg.resume.is_some() {
+                TelemetrySink::append(path)
+            } else {
+                TelemetrySink::create(path)
+            };
+            open.unwrap_or_else(|e| {
                 panic!("failed to create telemetry file {}: {e}", path.display())
             })
         });
@@ -119,6 +125,51 @@ impl RunTelemetry {
             });
         }
         self.epoch_start = Instant::now();
+    }
+
+    /// Record a training-health event (a rollback or an abort from the
+    /// health guard). Always counted in the `train_health_events_total`
+    /// metric; written as its own JSONL line (`{"event":"health",...}`)
+    /// and echoed to stderr when the run is verbose.
+    pub fn health_event(
+        &mut self,
+        phase: &'static str,
+        epoch: usize,
+        kind: &str,
+        loss: f32,
+        lr: f32,
+        retries: u32,
+    ) {
+        dader_obs::counter("train_health_events_total").inc();
+        if self.verbose {
+            eprintln!(
+                "[dader] {phase} epoch {epoch} HEALTH {kind}: loss {loss}, lr -> {lr} (retry {retries})"
+            );
+        }
+        if let Some(sink) = &mut self.sink {
+            let line = format!(
+                "{{\"event\":\"health\",\"phase\":\"{phase}\",\"epoch\":{epoch},\
+                 \"kind\":\"{kind}\",\"loss\":{},\"lr\":{},\"retries\":{retries}}}",
+                json_f32(loss),
+                json_f32(lr)
+            );
+            sink.record_raw(&line).unwrap_or_else(|e| {
+                panic!(
+                    "failed to write telemetry record to {}: {e}",
+                    sink.path().display()
+                )
+            });
+        }
+    }
+}
+
+/// JSON has no NaN/Inf — degrade non-finite values (the very thing health
+/// events report) to `null`.
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -204,6 +255,38 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with("{\"epoch\":")));
+    }
+
+    #[test]
+    fn health_events_and_resume_append() {
+        let path = std::env::temp_dir().join(format!("core_tele_health_{}.jsonl", std::process::id()));
+        let cfg = TrainConfig {
+            telemetry: Some(path.clone()),
+            ..TrainConfig::default()
+        };
+        {
+            let mut t = RunTelemetry::new(&cfg);
+            t.record(report(1));
+            t.health_event("train", 2, "rollback", f32::NAN, 5e-4, 1);
+        }
+        // A resumed run must append, not truncate.
+        let resumed = TrainConfig {
+            resume: Some(std::path::PathBuf::from("whatever.ddrs")),
+            ..cfg
+        };
+        {
+            let mut t = RunTelemetry::new(&resumed);
+            t.record(report(2));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"health\",\"phase\":\"train\",\"epoch\":2,\"kind\":\"rollback\",\"loss\":null,\"lr\":0.0005,\"retries\":1}"
+        );
+        assert!(lines[2].contains("\"epoch\":2"));
     }
 
     #[test]

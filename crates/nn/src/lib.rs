@@ -28,6 +28,6 @@ pub use attention::MultiHeadAttention;
 pub use embedding::{Embedding, PositionalEmbedding};
 pub use linear::{Activation, Linear, Mlp};
 pub use norm::LayerNorm;
-pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, Sgd};
 pub use rnn::{BiGru, GruCell};
 pub use transformer::{EncoderLayer, FeatureDecoder, TransformerConfig, TransformerEncoder};

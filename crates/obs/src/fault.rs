@@ -1,0 +1,338 @@
+//! Failpoint-style fault injection for deterministic robustness tests.
+//!
+//! The engine's fault-tolerance machinery (training resume, health guards,
+//! serve timeouts) only earns its keep if its failure paths can be driven
+//! on demand. This module plants named *fault points* in production code
+//! (`train.epoch_end`, `train.loss`, `serve.read`, …) that do nothing
+//! until armed — the guard is one relaxed atomic load, so an unarmed
+//! fault point costs the same as the `span!` guard and never perturbs a
+//! real run.
+//!
+//! Arming is programmatic ([`arm`]) or environmental ([`arm_from_env`],
+//! reading `DADER_FAULTS`). The env grammar is a comma-separated list of
+//! `name=action[@nth][xCount]` clauses:
+//!
+//! ```text
+//! DADER_FAULTS="train.epoch_end=exit@2"        # exit(86) at the 2nd hit
+//! DADER_FAULTS="train.loss=nan@5x1,serve.read=io_error"
+//! ```
+//!
+//! `@nth` (default 1) is the 1-based hit at which the fault first fires;
+//! `xCount` (default 1) is how many consecutive hits fire, with `x0`
+//! meaning "every hit from `@nth` on". Every firing increments the
+//! `fault_injections_total` counter so telemetry shows exactly what a
+//! test injected.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed fault point does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message (in-process crash simulation —
+    /// tests catch the unwind and then exercise recovery).
+    Panic,
+    /// `std::process::exit(86)` — a hard crash for integration tests that
+    /// drive real binaries.
+    Exit,
+    /// Surface an injected `std::io::Error` (kind `Other`).
+    IoError,
+    /// Corrupt a floating-point value to NaN.
+    Nan,
+    /// Sleep for the given number of milliseconds (stall simulation).
+    DelayMs(u64),
+}
+
+/// One armed fault point: action plus firing window.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// What to do when the point fires.
+    pub action: FaultAction,
+    /// 1-based hit index at which the fault first fires.
+    pub first_hit: u64,
+    /// Number of consecutive hits that fire (0 = unbounded).
+    pub times: u64,
+}
+
+impl FaultSpec {
+    /// Fire once, on the very first hit.
+    pub fn once(action: FaultAction) -> FaultSpec {
+        FaultSpec { action, first_hit: 1, times: 1 }
+    }
+
+    /// Fire once, at the `nth` (1-based) hit.
+    pub fn at(action: FaultAction, nth: u64) -> FaultSpec {
+        FaultSpec { action, first_hit: nth.max(1), times: 1 }
+    }
+
+    /// Fire on every hit from the first.
+    pub fn always(action: FaultAction) -> FaultSpec {
+        FaultSpec { action, first_hit: 1, times: 0 }
+    }
+}
+
+struct Armed {
+    spec: FaultSpec,
+    hits: u64,
+}
+
+/// Fast-path gate: false ⇒ every fault point returns `None` after one
+/// relaxed load.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+
+fn registry() -> std::sync::MutexGuard<'static, HashMap<String, Armed>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm a fault point. Replaces any existing spec (and resets its hit
+/// count) under the same name.
+pub fn arm(name: &str, spec: FaultSpec) {
+    registry().insert(name.to_string(), Armed { spec, hits: 0 });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm one fault point.
+pub fn disarm(name: &str) {
+    let mut reg = registry();
+    reg.remove(name);
+    if reg.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarm everything (test teardown).
+pub fn clear() {
+    let mut reg = registry();
+    reg.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Parse and arm every clause of a `DADER_FAULTS`-style string. Returns
+/// the number of points armed; malformed clauses are reported on stderr
+/// and skipped (a typo'd fault spec must not take down a real run).
+pub fn arm_from_str(s: &str) -> usize {
+    let mut armed = 0;
+    for clause in s.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        match parse_clause(clause) {
+            Some((name, spec)) => {
+                arm(&name, spec);
+                armed += 1;
+            }
+            None => eprintln!("dader-obs: ignoring malformed fault clause {clause:?}"),
+        }
+    }
+    armed
+}
+
+/// Arm fault points from the `DADER_FAULTS` environment variable, if set.
+/// Called by the bench binaries' shared startup so any binary can be
+/// fault-tested without code changes.
+pub fn arm_from_env() -> usize {
+    match std::env::var("DADER_FAULTS") {
+        Ok(s) => arm_from_str(&s),
+        Err(_) => 0,
+    }
+}
+
+/// Parse `name=action[@nth][xCount]`.
+fn parse_clause(clause: &str) -> Option<(String, FaultSpec)> {
+    let (name, rest) = clause.split_once('=')?;
+    let name = name.trim();
+    if name.is_empty() {
+        return None;
+    }
+    // Strip the optional `@nth` / `xCount` suffixes right-to-left (the
+    // action token itself may contain these letters — `exit`,
+    // `delay_ms:250`), leaving the bare action.
+    let mut action_str = rest.trim();
+    let mut first_hit = 1u64;
+    let mut times = 1u64;
+    loop {
+        match action_str.rfind(['@', 'x']) {
+            Some(i) if i > 0 => {
+                let digits = &action_str[i + 1..];
+                if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                    break;
+                }
+                let num: u64 = digits.parse().ok()?;
+                match action_str.as_bytes()[i] {
+                    b'@' => first_hit = num.max(1),
+                    _ => times = num,
+                }
+                action_str = &action_str[..i];
+            }
+            _ => break,
+        }
+    }
+    let action = match action_str {
+        "panic" => FaultAction::Panic,
+        "exit" => FaultAction::Exit,
+        "io_error" => FaultAction::IoError,
+        "nan" => FaultAction::Nan,
+        s if s.starts_with("delay_ms:") => {
+            FaultAction::DelayMs(s["delay_ms:".len()..].parse().ok()?)
+        }
+        _ => return None,
+    };
+    Some((name.to_string(), FaultSpec { action, first_hit, times }))
+}
+
+/// Record a hit on `name`; returns the armed action when this hit falls
+/// inside the firing window. Unarmed (the common case) this is one
+/// relaxed atomic load.
+pub fn check(name: &str) -> Option<FaultAction> {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut reg = registry();
+    let armed = reg.get_mut(name)?;
+    armed.hits += 1;
+    let first = armed.spec.first_hit;
+    let fires = armed.hits >= first
+        && (armed.spec.times == 0 || armed.hits < first + armed.spec.times);
+    if !fires {
+        return None;
+    }
+    let action = armed.spec.action;
+    drop(reg);
+    crate::counter("fault_injections_total").inc();
+    if let FaultAction::DelayMs(ms) = action {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    Some(action)
+}
+
+/// Crash-style fault point: panics (recognizably) or exits the process
+/// when armed with [`FaultAction::Panic`] / [`FaultAction::Exit`]; any
+/// other armed action is ignored here.
+pub fn maybe_crash(name: &str) {
+    match check(name) {
+        Some(FaultAction::Panic) => panic!("fault injected: {name}"),
+        Some(FaultAction::Exit) => {
+            eprintln!("fault injected: {name}: exiting");
+            std::process::exit(86);
+        }
+        _ => {}
+    }
+}
+
+/// I/O fault point: returns an injected error when armed with
+/// [`FaultAction::IoError`] (other actions still fire — `Panic`/`Exit`
+/// crash, `DelayMs` stalls — so one point covers several failure modes).
+pub fn io_error(name: &str) -> Option<std::io::Error> {
+    match check(name) {
+        Some(FaultAction::IoError) => Some(std::io::Error::other(format!(
+            "fault injected: {name}"
+        ))),
+        Some(FaultAction::Panic) => panic!("fault injected: {name}"),
+        Some(FaultAction::Exit) => {
+            eprintln!("fault injected: {name}: exiting");
+            std::process::exit(86);
+        }
+        _ => None,
+    }
+}
+
+/// Value-corruption fault point: returns NaN in place of `v` when armed
+/// with [`FaultAction::Nan`].
+pub fn corrupt_f32(name: &str, v: f32) -> f32 {
+    match check(name) {
+        Some(FaultAction::Nan) => f32::NAN,
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialize the tests that use it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_points_are_silent() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert_eq!(check("nothing.armed"), None);
+        maybe_crash("nothing.armed");
+        assert!(io_error("nothing.armed").is_none());
+        assert_eq!(corrupt_f32("nothing.armed", 1.5), 1.5);
+    }
+
+    #[test]
+    fn fires_at_nth_hit_for_count() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        arm("t.point", FaultSpec { action: FaultAction::Nan, first_hit: 3, times: 2 });
+        assert_eq!(check("t.point"), None);
+        assert_eq!(check("t.point"), None);
+        assert_eq!(check("t.point"), Some(FaultAction::Nan));
+        assert_eq!(check("t.point"), Some(FaultAction::Nan));
+        assert_eq!(check("t.point"), None);
+        clear();
+    }
+
+    #[test]
+    fn unbounded_fires_forever() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        arm("t.forever", FaultSpec::always(FaultAction::IoError));
+        for _ in 0..5 {
+            assert!(io_error("t.forever").is_some());
+        }
+        clear();
+    }
+
+    #[test]
+    fn env_grammar_parses() {
+        let (name, spec) = parse_clause("train.epoch_end=exit@2").unwrap();
+        assert_eq!(name, "train.epoch_end");
+        assert_eq!(spec.action, FaultAction::Exit);
+        assert_eq!(spec.first_hit, 2);
+        assert_eq!(spec.times, 1);
+
+        let (_, spec) = parse_clause("a=nan@5x3").unwrap();
+        assert_eq!(spec.action, FaultAction::Nan);
+        assert_eq!(spec.first_hit, 5);
+        assert_eq!(spec.times, 3);
+
+        let (_, spec) = parse_clause("b=io_error").unwrap();
+        assert_eq!(spec.first_hit, 1);
+
+        let (_, spec) = parse_clause("c=delay_ms:250x0").unwrap();
+        assert_eq!(spec.action, FaultAction::DelayMs(250));
+        assert_eq!(spec.times, 0);
+
+        assert!(parse_clause("no_equals").is_none());
+        assert!(parse_clause("x=unknown_action").is_none());
+        assert!(parse_clause("=panic").is_none());
+        assert!(parse_clause("x=panic@notanum").is_none());
+    }
+
+    #[test]
+    fn arm_from_str_skips_malformed() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        let n = arm_from_str("t.good=panic@9, bogus, t.also=nan");
+        assert_eq!(n, 2);
+        assert_eq!(check("t.also"), Some(FaultAction::Nan));
+        assert_eq!(check("t.good"), None); // only fires at hit 9
+        clear();
+    }
+
+    #[test]
+    fn corrupt_f32_returns_nan_when_armed() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        arm("t.loss", FaultSpec::once(FaultAction::Nan));
+        assert!(corrupt_f32("t.loss", 0.7).is_nan());
+        assert_eq!(corrupt_f32("t.loss", 0.7), 0.7);
+        clear();
+    }
+}

@@ -21,9 +21,16 @@
 //!   flag, wall time, op-level timing summary), written line-buffered so
 //!   a crashed run keeps every completed epoch.
 //!
+//! A fourth subsystem, [`fault`], is the inverse of measurement:
+//! failpoint-style fault *injection* (armed via `DADER_FAULTS` or
+//! programmatically, zero-cost when off) so the robustness machinery —
+//! training resume, health guards, serve timeouts — can be driven
+//! deterministically by tests.
+//!
 //! [`log`] holds the process-wide verbosity level (`quiet`/`info`/
 //! `verbose`) that the bench binaries' stderr chatter is gated on.
 
+pub mod fault;
 pub mod log;
 pub mod metrics;
 pub mod span;

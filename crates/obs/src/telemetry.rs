@@ -161,10 +161,32 @@ pub struct TelemetrySink {
 }
 
 impl TelemetrySink {
-    /// Create (truncate) the telemetry file at `path`.
+    /// Create (truncate) the telemetry file at `path`, creating missing
+    /// parent directories.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<TelemetrySink> {
+        Self::open(path, false)
+    }
+
+    /// Open the telemetry file at `path` for appending (resumed runs keep
+    /// the records of the interrupted run), creating missing parent
+    /// directories.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<TelemetrySink> {
+        Self::open(path, true)
+    }
+
+    fn open(path: impl AsRef<Path>, append: bool) -> std::io::Result<TelemetrySink> {
         let path = path.as_ref().to_path_buf();
-        let file = File::create(&path)?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::options()
+            .write(true)
+            .create(true)
+            .append(append)
+            .truncate(!append)
+            .open(&path)?;
         Ok(TelemetrySink {
             writer: BufWriter::new(file),
             path,
@@ -174,7 +196,13 @@ impl TelemetrySink {
 
     /// Append one record as a JSON line and flush it to disk.
     pub fn record(&mut self, rec: &EpochRecord) -> std::io::Result<()> {
-        self.writer.write_all(rec.to_json().as_bytes())?;
+        self.record_raw(&rec.to_json())
+    }
+
+    /// Append one pre-serialized JSON object (e.g. a health event from a
+    /// training guard) as its own line and flush it to disk.
+    pub fn record_raw(&mut self, json: &str) -> std::io::Result<()> {
+        self.writer.write_all(json.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         self.records += 1;
@@ -194,6 +222,17 @@ impl TelemetrySink {
     /// The file this sink writes to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for TelemetrySink {
+    /// Best-effort fsync on close so a completed run's records survive a
+    /// machine crash, not just a process crash (per-record writes are
+    /// flushed to the OS but not synced — syncing every epoch would stall
+    /// training on slow disks).
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().sync_all();
     }
 }
 
@@ -288,6 +327,28 @@ mod tests {
         assert!((d.self_ms - 2.0).abs() < 1e-9);
         let first = OpSummary::delta(&now, None);
         assert_eq!(first.calls, 25);
+    }
+
+    #[test]
+    fn append_mode_preserves_existing_records_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("obs_sink_dir_{}", std::process::id()));
+        let path = dir.join("nested").join("run.jsonl");
+        {
+            let mut sink = TelemetrySink::create(&path).unwrap();
+            sink.record(&sample(1)).unwrap();
+        }
+        {
+            let mut sink = TelemetrySink::append(&path).unwrap();
+            sink.record(&sample(2)).unwrap();
+            sink.record_raw("{\"event\":\"health\"}").unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"epoch\":1"));
+        assert!(lines[1].contains("\"epoch\":2"));
+        assert_eq!(lines[2], "{\"event\":\"health\"}");
     }
 
     #[test]
