@@ -1,0 +1,186 @@
+//! `dader-match` — match two CSV tables end to end with a trained model
+//! artifact: block, score the candidates, stream the matches as JSONL.
+//!
+//! ```text
+//! dader-match --model model.dma --left a.csv --right b.csv
+//!             [--blocker topk|lsh] [--k N] [--batch-size N]
+//!             [--threshold P] [--threads N] [--quiet] [--verbose]
+//! ```
+//!
+//! Each CSV needs a header row; a column named `id` (case-insensitive)
+//! becomes the record id, every other column an attribute. A blocker
+//! (`lsh` by default) proposes the top-`k` most similar right-table
+//! records per left record, and only those candidate pairs are scored —
+//! the quadratic cross product is never materialized.
+//!
+//! Output is newline-delimited JSON on stdout, in deterministic order:
+//! first one typed error object per malformed CSV row (the run never
+//! aborts on a bad row — same `code`/`retryable` convention as
+//! `dader-serve`, plus the 1-based `line` and which `table`), then one
+//! object per accepted match:
+//!
+//! ```json
+//! {"error": "line 5: row has 2 fields, header has 3",
+//!  "code": "schema_mismatch", "retryable": false, "line": 5, "table": "left"}
+//! {"left": "a1", "right": "b7", "left_row": 0, "right_row": 6,
+//!  "probability": 0.97, "block_score": 0.45}
+//! ```
+//!
+//! A malformed *header* is fatal (there is no schema to parse rows
+//! against): one error object goes to stderr and the process exits 1.
+//! The run summary — rows, candidates, reduction ratio, match count — is
+//! logged to stderr so stdout stays machine-readable.
+
+use dader_bench::{note, BlockerKind, MatchServer};
+use dader_block::{reduction_ratio, RecordTable, RowError};
+use serde::Value;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dader-match: error: {msg}");
+    std::process::exit(1);
+}
+
+/// A CSV row error as a protocol-style JSON object.
+fn error_object(table: &str, e: &RowError) -> Value {
+    Value::Object(vec![
+        ("error".to_string(), Value::String(e.message.clone())),
+        (
+            "code".to_string(),
+            Value::String(e.code.as_str().to_string()),
+        ),
+        ("retryable".to_string(), Value::Bool(e.code.retryable())),
+        ("line".to_string(), Value::Number(e.line as f64)),
+        ("table".to_string(), Value::String(table.to_string())),
+    ])
+}
+
+/// Load one CSV table; a header-level failure is fatal with a structured
+/// error on stderr.
+fn load_table(path: &str, table: &str) -> RecordTable {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {table} table {path}: {e}")));
+    match dader_block::parse_csv(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            let obj = error_object(table, &e);
+            eprintln!(
+                "{}",
+                serde_json::to_string(&obj).unwrap_or_else(|_| e.to_string())
+            );
+            fail(&format!("{table} table {path} has no usable header"));
+        }
+    }
+}
+
+fn main() {
+    dader_bench::init_cli();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: dader-match --model model.dma --left a.csv --right b.csv [--blocker topk|lsh] [--k N] [--batch-size N] [--threshold P] [--threads N] [--quiet] [--verbose]"
+        );
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+    let required = |key: &str| -> String {
+        arg_value(&args, key).unwrap_or_else(|| fail(&format!("{key} is required")))
+    };
+    let model_path = required("--model");
+    let left_path = required("--left");
+    let right_path = required("--right");
+    let kind = match arg_value(&args, "--blocker") {
+        None => BlockerKind::Lsh,
+        Some(s) => BlockerKind::parse(&s)
+            .unwrap_or_else(|| fail(&format!("unknown blocker {s:?} (expected topk or lsh)"))),
+    };
+    let positive = |key: &str, default: usize| -> usize {
+        match arg_value(&args, key) {
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| fail(&format!("{key} must be a positive integer, got {s:?}"))),
+            None => default,
+        }
+    };
+    let k = positive("--k", 10);
+    let batch_size = positive("--batch-size", 32);
+    let threshold = arg_value(&args, "--threshold").map(|s| {
+        s.parse::<f32>()
+            .ok()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .unwrap_or_else(|| fail(&format!("--threshold must be in [0, 1], got {s:?}")))
+    });
+
+    let server = match MatchServer::from_artifact_file(&model_path) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot load artifact {model_path}: {e}")),
+    };
+    note!("dader-match: loaded {model_path} ({})", server.description);
+
+    let left = load_table(&left_path, "left");
+    let right = load_table(&right_path, "right");
+    note!(
+        "dader-match: left {} rows ({} rejected), right {} rows ({} rejected)",
+        left.rows.len(),
+        left.errors.len(),
+        right.rows.len(),
+        right.errors.len()
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let emit = |out: &mut dyn std::io::Write, obj: &Value| {
+        let text = serde_json::to_string(obj)
+            .unwrap_or_else(|e| fail(&format!("cannot serialize output: {e}")));
+        if writeln!(out, "{text}").is_err() {
+            // Downstream closed the pipe (e.g. `| head`); stop quietly.
+            std::process::exit(0);
+        }
+    };
+    for (table, errors) in [("left", &left.errors), ("right", &right.errors)] {
+        for e in errors {
+            emit(&mut out, &error_object(table, e));
+        }
+    }
+
+    let outcome = server.match_tables(&left.rows, &right.rows, kind, k, batch_size, threshold);
+    for m in &outcome.matches {
+        emit(
+            &mut out,
+            &Value::Object(vec![
+                (
+                    "left".to_string(),
+                    Value::String(left.rows[m.left].id.clone()),
+                ),
+                (
+                    "right".to_string(),
+                    Value::String(right.rows[m.right].id.clone()),
+                ),
+                ("left_row".to_string(), Value::Number(m.left as f64)),
+                ("right_row".to_string(), Value::Number(m.right as f64)),
+                (
+                    "probability".to_string(),
+                    Value::Number(m.probability as f64),
+                ),
+                (
+                    "block_score".to_string(),
+                    Value::Number(m.block_score as f64),
+                ),
+            ]),
+        );
+    }
+    use std::io::Write as _;
+    let _ = out.flush();
+
+    let rr = reduction_ratio(outcome.candidates, left.rows.len(), right.rows.len());
+    note!(
+        "dader-match: blocker={} k={k}: {} candidate pairs (reduction ratio {rr:.4}), {} matches",
+        kind.as_str(),
+        outcome.candidates,
+        outcome.matches.len()
+    );
+}

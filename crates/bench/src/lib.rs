@@ -8,11 +8,13 @@
 //! Run e.g. `cargo run --release -p dader-bench --bin table3 -- --scale quick`.
 
 pub mod context;
+pub mod matching;
 pub mod report;
 pub mod scale;
 pub mod serve;
 
 pub use context::{apply_log_args, Context, TargetSplits};
+pub use matching::{build_blocker, match_tables, BlockerKind, MatchOutcome, TableMatch};
 pub use report::{write_bench_snapshot, write_json, Cell, Table};
 pub use scale::Scale;
 pub use serve::{serve_tcp, ErrorCode, MatchServer, ServeLimits, TcpServeConfig};

@@ -1,0 +1,124 @@
+//! Full-table matching: block two record tables, score only the surviving
+//! candidate pairs, keep the matches.
+//!
+//! This is the deployment counterpart of per-pair serving: instead of the
+//! caller enumerating pairs, a [`dader_block::Blocker`] proposes top-k
+//! candidates per left record (avoiding the quadratic cross product) and
+//! the model scores just those. Used by the `dader-match` binary, the
+//! `match_table` request mode of `dader-serve`, and the
+//! `blocking_quality` bench.
+
+use dader_block::{Blocker, LshParams, MinHashLshBlocker, TfIdfBlocker};
+use dader_core::{DaderModel, EntityPair};
+use dader_datagen::Entity;
+use dader_text::PairEncoder;
+
+/// Which candidate generator to block with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockerKind {
+    /// TF-IDF inverted index with top-k retrieval (`topk` on the CLI).
+    TfIdf,
+    /// MinHash-LSH over character q-grams (`lsh` on the CLI).
+    Lsh,
+}
+
+impl BlockerKind {
+    /// Parse a CLI/protocol name (`topk`, `tfidf`, or `lsh`).
+    pub fn parse(s: &str) -> Option<BlockerKind> {
+        match s {
+            "topk" | "tfidf" => Some(BlockerKind::TfIdf),
+            "lsh" => Some(BlockerKind::Lsh),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BlockerKind::TfIdf => "topk",
+            BlockerKind::Lsh => "lsh",
+        }
+    }
+}
+
+/// Build the chosen blocker over the right-hand table (LSH uses the
+/// default reproducible parameters).
+pub fn build_blocker(kind: BlockerKind, right: &[Entity]) -> Box<dyn Blocker> {
+    match kind {
+        BlockerKind::TfIdf => Box::new(TfIdfBlocker::build(right)),
+        BlockerKind::Lsh => Box::new(MinHashLshBlocker::build(right, LshParams::default())),
+    }
+}
+
+/// One accepted match between the tables.
+#[derive(Clone, Copy, Debug)]
+pub struct TableMatch {
+    /// Row index into the left table.
+    pub left: usize,
+    /// Row index into the right table.
+    pub right: usize,
+    /// The model's match probability.
+    pub probability: f32,
+    /// The blocker's candidate score (similarity, blocker-specific).
+    pub block_score: f32,
+}
+
+/// The result of matching two tables end to end.
+#[derive(Debug)]
+pub struct MatchOutcome {
+    /// Accepted matches, ordered by left row then candidate rank.
+    pub matches: Vec<TableMatch>,
+    /// Number of candidate pairs the blocker produced (= pairs scored).
+    pub candidates: usize,
+}
+
+/// Block `left` against `right` with top-`k` candidates per record, score
+/// every candidate pair through the model, and keep matches: pairs the
+/// matcher labels positive, or — when `threshold` is given — pairs whose
+/// probability reaches it.
+#[allow(clippy::too_many_arguments)]
+pub fn match_tables(
+    model: &DaderModel,
+    encoder: &PairEncoder,
+    left: &[Entity],
+    right: &[Entity],
+    kind: BlockerKind,
+    k: usize,
+    batch_size: usize,
+    threshold: Option<f32>,
+) -> MatchOutcome {
+    let blocker = build_blocker(kind, right);
+    let blocked = blocker.block(left, k);
+
+    let mut pairs: Vec<EntityPair> = Vec::new();
+    let mut meta: Vec<(usize, usize, f32)> = Vec::new();
+    for (i, cands) in blocked.iter().enumerate() {
+        for c in cands {
+            pairs.push((left[i].attrs.clone(), right[c.right].attrs.clone()));
+            meta.push((i, c.right, c.score));
+        }
+    }
+
+    let preds = {
+        let _g = dader_obs::span!("match.score");
+        model.predict_pairs(&pairs, encoder, batch_size)
+    };
+    let matches = meta
+        .iter()
+        .zip(&preds)
+        .filter(|(_, (label, prob))| match threshold {
+            Some(t) => *prob >= t,
+            None => *label == 1,
+        })
+        .map(|(&(left, right, block_score), &(_, probability))| TableMatch {
+            left,
+            right,
+            probability,
+            block_score,
+        })
+        .collect();
+    MatchOutcome {
+        matches,
+        candidates: pairs.len(),
+    }
+}

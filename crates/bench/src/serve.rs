@@ -28,6 +28,17 @@
 //!  "code": "invalid_request", "retryable": false, "line": 3}
 //! ```
 //!
+//! A request line with `"mode": "match_table"` matches two whole tables
+//! instead of one pair: `left` and `right` are arrays of attribute
+//! objects, optional `blocker` (`topk`/`lsh`), `k` and `threshold` tune
+//! candidate generation, and the response carries a `matches` array plus
+//! the `candidates` count:
+//!
+//! ```json
+//! {"mode": "match_table", "left": [{"title": "kodak esp"}],
+//!  "right": [{"title": "kodak esp 5250"}], "blocker": "lsh", "k": 5}
+//! ```
+//!
 //! Every error object carries a machine-readable `code` from a fixed
 //! taxonomy — `invalid_json`, `invalid_request`, `line_too_long`,
 //! `timeout`, `overloaded`, `internal` — plus a `retryable` flag
@@ -166,9 +177,21 @@ pub struct MatchServer {
 /// One parsed request: echoed id plus the two entities.
 type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
 
-/// Outcome of one input line: a request to score, or an error to echo.
+/// A `match_table` request: two whole tables to block and score.
+struct TableRequest {
+    id: Option<Value>,
+    left: Vec<dader_datagen::Entity>,
+    right: Vec<dader_datagen::Entity>,
+    kind: crate::matching::BlockerKind,
+    k: usize,
+    threshold: Option<f32>,
+}
+
+/// Outcome of one input line: a request to score, a whole-table match
+/// request, or an error to echo.
 enum Parsed {
     Ok(Request),
+    Table(Box<TableRequest>),
     Err(ErrorCode, String),
 }
 
@@ -254,6 +277,32 @@ impl MatchServer {
         }
     }
 
+    /// Match two whole tables through this server's model: block with the
+    /// chosen candidate generator, score the candidates, keep the matches
+    /// (see [`crate::matching::match_tables`]). This is the engine behind
+    /// both the `match_table` request mode and the `dader-match` binary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_tables(
+        &self,
+        left: &[dader_datagen::Entity],
+        right: &[dader_datagen::Entity],
+        kind: crate::matching::BlockerKind,
+        k: usize,
+        batch_size: usize,
+        threshold: Option<f32>,
+    ) -> crate::matching::MatchOutcome {
+        crate::matching::match_tables(
+            &self.model,
+            &self.encoder,
+            left,
+            right,
+            kind,
+            k,
+            batch_size,
+            threshold,
+        )
+    }
+
     /// Serve every line of `input` with default [`ServeLimits`], writing
     /// one response line per request to `output` in input order. Requests
     /// are scored in batches of up to `batch_size`; malformed lines yield
@@ -326,8 +375,15 @@ impl MatchServer {
                         continue;
                     }
                     window.push((lineno, Instant::now(), parse_request(&line, lineno)));
-                    if matches!(window.last(), Some((_, _, Parsed::Ok(_)))) {
-                        pending += 1;
+                    match window.last() {
+                        Some((_, _, Parsed::Ok(_))) => pending += 1,
+                        Some((_, _, Parsed::Table(_))) => {
+                            // A whole-table request is its own batch: answer
+                            // everything up to and including it right away.
+                            scored += self.flush(&mut window, output, batch_size)?;
+                            pending = 0;
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -375,21 +431,19 @@ impl MatchServer {
             .iter()
             .filter_map(|(_, _, p)| match p {
                 Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
-                Parsed::Err(..) => None,
+                Parsed::Table(_) | Parsed::Err(..) => None,
             })
             .collect();
         if !pairs.is_empty() {
             m.batch_size.observe(pairs.len() as f64);
         }
         let preds = self.model.predict_pairs(&pairs, &self.encoder, batch_size);
-        let scored = preds.len();
+        let mut scored = preds.len();
         let mut preds = preds.into_iter();
         for (lineno, arrival, parsed) in window.drain(..) {
             let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
-            let latency_us = arrival.elapsed().as_micros() as f64;
             m.requests.inc();
-            m.latency_us.observe(latency_us);
-            let obj = match parsed {
+            let mut kvs = match parsed {
                 Parsed::Ok((id, _, _)) => {
                     let (label, prob) = preds.next().expect("one prediction per Ok line");
                     let mut kvs = Vec::with_capacity(5);
@@ -398,29 +452,91 @@ impl MatchServer {
                     }
                     kvs.push(("match".to_string(), Value::Bool(label == 1)));
                     kvs.push(("probability".to_string(), Value::Number(prob as f64)));
-                    kvs.push(("rid".to_string(), Value::Number(rid as f64)));
-                    kvs.push(("latency_us".to_string(), Value::Number(latency_us)));
-                    Value::Object(kvs)
+                    kvs
+                }
+                Parsed::Table(req) => {
+                    let outcome = crate::matching::match_tables(
+                        &self.model,
+                        &self.encoder,
+                        &req.left,
+                        &req.right,
+                        req.kind,
+                        req.k,
+                        batch_size,
+                        req.threshold,
+                    );
+                    scored += outcome.candidates;
+                    let matches: Vec<Value> = outcome
+                        .matches
+                        .iter()
+                        .map(|tm| {
+                            Value::Object(vec![
+                                ("left".to_string(), Value::Number(tm.left as f64)),
+                                ("right".to_string(), Value::Number(tm.right as f64)),
+                                (
+                                    "probability".to_string(),
+                                    Value::Number(tm.probability as f64),
+                                ),
+                                (
+                                    "block_score".to_string(),
+                                    Value::Number(tm.block_score as f64),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    let mut kvs = Vec::with_capacity(5);
+                    if let Some(id) = req.id {
+                        kvs.push(("id".to_string(), id));
+                    }
+                    kvs.push(("matches".to_string(), Value::Array(matches)));
+                    kvs.push((
+                        "candidates".to_string(),
+                        Value::Number(outcome.candidates as f64),
+                    ));
+                    kvs
                 }
                 Parsed::Err(code, msg) => {
                     m.errors.inc();
-                    Value::Object(vec![
+                    vec![
                         ("error".to_string(), Value::String(msg)),
                         ("code".to_string(), Value::String(code.as_str().to_string())),
                         ("retryable".to_string(), Value::Bool(code.retryable())),
                         ("line".to_string(), Value::Number(lineno as f64)),
-                        ("rid".to_string(), Value::Number(rid as f64)),
-                        ("latency_us".to_string(), Value::Number(latency_us)),
-                    ])
+                    ]
                 }
             };
-            let text = serde_json::to_string(&obj)
+            // Latency is measured here, after any scoring the request
+            // triggered (table requests score inside the drain above).
+            let latency_us = arrival.elapsed().as_micros() as f64;
+            m.latency_us.observe(latency_us);
+            kvs.push(("rid".to_string(), Value::Number(rid as f64)));
+            kvs.push(("latency_us".to_string(), Value::Number(latency_us)));
+            let text = serde_json::to_string(&Value::Object(kvs))
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             writeln!(output, "{text}")?;
         }
         output.flush()?;
         Ok(scored)
     }
+}
+
+/// Coerce one JSON attribute object into an attribute-value list. The
+/// same scalar coercions apply everywhere entities enter the protocol:
+/// numbers render without a trailing `.0`, booleans as text, null as the
+/// empty string.
+fn scalar_attrs(val: &Value, what: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let obj = val
+        .as_object()
+        .ok_or_else(|| format!("line {lineno}: {what} must be an object of string attributes"))?;
+    obj.iter()
+        .map(|(k, v)| match v {
+            Value::String(s) => Ok((k.clone(), s.clone())),
+            Value::Number(n) => Ok((k.clone(), format_number(*n))),
+            Value::Bool(b) => Ok((k.clone(), b.to_string())),
+            Value::Null => Ok((k.clone(), String::new())),
+            _ => Err(format!("line {lineno}: {what}.{k} must be a scalar value")),
+        })
+        .collect()
 }
 
 /// Parse one request line; every failure becomes an error message naming
@@ -441,22 +557,23 @@ fn parse_request(line: &str, lineno: usize) -> Parsed {
             format!("line {lineno}: request must be a JSON object"),
         );
     }
+    match v.get("mode") {
+        None => {}
+        Some(Value::String(mode)) if mode == "match_table" => {
+            return parse_table_request(&v, lineno)
+        }
+        Some(mode) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: unknown mode {mode:?} (expected \"match_table\")"),
+            )
+        }
+    }
     let entity = |key: &str| -> Result<Vec<(String, String)>, String> {
-        let obj = v
+        let val = v
             .get(key)
-            .and_then(|e| e.as_object())
             .ok_or_else(|| format!("line {lineno}: `{key}` must be an object of string attributes"))?;
-        obj.iter()
-            .map(|(k, val)| match val {
-                Value::String(s) => Ok((k.clone(), s.clone())),
-                Value::Number(n) => Ok((k.clone(), format_number(*n))),
-                Value::Bool(b) => Ok((k.clone(), b.to_string())),
-                Value::Null => Ok((k.clone(), String::new())),
-                _ => Err(format!(
-                    "line {lineno}: `{key}.{k}` must be a scalar value"
-                )),
-            })
-            .collect()
+        scalar_attrs(val, &format!("`{key}`"), lineno)
     };
     let a = match entity("a") {
         Ok(a) => a,
@@ -467,6 +584,83 @@ fn parse_request(line: &str, lineno: usize) -> Parsed {
         Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
     Parsed::Ok((v.get("id").cloned(), a, b))
+}
+
+/// Parse a `match_table` request: `left` and `right` are arrays of
+/// attribute objects; `blocker` (`topk`/`lsh`, default `lsh`), `k`
+/// (default 10) and `threshold` tune candidate generation and match
+/// acceptance.
+fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
+    let table = |key: &str| -> Result<Vec<dader_datagen::Entity>, String> {
+        let arr = v.get(key).and_then(|e| e.as_array()).ok_or_else(|| {
+            format!("line {lineno}: `{key}` must be an array of attribute objects")
+        })?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, row)| {
+                scalar_attrs(row, &format!("`{key}[{i}]`"), lineno).map(|attrs| {
+                    dader_datagen::Entity {
+                        id: i.to_string(),
+                        attrs,
+                    }
+                })
+            })
+            .collect()
+    };
+    let left = match table("left") {
+        Ok(t) => t,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
+    let right = match table("right") {
+        Ok(t) => t,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
+    let kind = match v.get("blocker") {
+        None => crate::matching::BlockerKind::Lsh,
+        Some(Value::String(s)) => match crate::matching::BlockerKind::parse(s) {
+            Some(kind) => kind,
+            None => {
+                return Parsed::Err(
+                    ErrorCode::InvalidRequest,
+                    format!("line {lineno}: unknown blocker `{s}` (expected `topk` or `lsh`)"),
+                )
+            }
+        },
+        Some(_) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `blocker` must be a string"),
+            )
+        }
+    };
+    let k = match v.get("k") {
+        None => 10,
+        Some(Value::Number(n)) if *n >= 1.0 && n.trunc() == *n => *n as usize,
+        Some(_) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `k` must be a positive integer"),
+            )
+        }
+    };
+    let threshold = match v.get("threshold") {
+        None => None,
+        Some(Value::Number(n)) if (0.0..=1.0).contains(n) => Some(*n as f32),
+        Some(_) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `threshold` must be a number in [0, 1]"),
+            )
+        }
+    };
+    Parsed::Table(Box::new(TableRequest {
+        id: v.get("id").cloned(),
+        left,
+        right,
+        kind,
+        k,
+        threshold,
+    }))
 }
 
 /// Options for [`serve_tcp`]: per-connection limits plus the server-wide
@@ -883,6 +1077,62 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let total = srv.join().unwrap().unwrap();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn match_table_mode_blocks_and_scores() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"id\": \"t1\", \"mode\": \"match_table\", ",
+            "\"left\": [{\"title\": \"kodak esp printer\"}, {\"title\": \"hp laserjet\"}], ",
+            "\"right\": [{\"title\": \"hp laserjet printer\"}, {\"title\": \"kodak esp\"}], ",
+            "\"blocker\": \"topk\", \"k\": 2, \"threshold\": 0.0}\n",
+            // The stream keeps serving pair requests after a table request.
+            "{\"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+        );
+        let (n, vals) = responses(&server, input, 4);
+        assert_eq!(vals.len(), 2);
+        let table = &vals[0];
+        assert_eq!(table.get("id").unwrap(), &Value::String("t1".into()));
+        assert!(table.get("error").is_none(), "{table:?}");
+        let candidates = table.get("candidates").unwrap().as_f64().unwrap() as usize;
+        assert!(candidates >= 2, "both left rows share tokens with the right");
+        // threshold 0.0 keeps every scored candidate as a match
+        let matches = table.get("matches").unwrap().as_array().unwrap();
+        assert_eq!(matches.len(), candidates);
+        for m in matches {
+            let p = m.get("probability").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&p));
+            assert!(m.get("left").unwrap().as_f64().is_some());
+            assert!(m.get("right").unwrap().as_f64().is_some());
+            assert!(m.get("block_score").unwrap().as_f64().is_some());
+        }
+        // scored counts the candidate pairs plus the trailing pair request
+        assert_eq!(n, candidates + 1);
+        assert!(vals[1].get("match").is_some());
+    }
+
+    #[test]
+    fn match_table_mode_rejects_bad_requests() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"mode\": \"match_table\", \"left\": \"nope\", \"right\": []}\n",
+            "{\"mode\": \"match_table\", \"left\": [], \"right\": [], \"blocker\": \"quantum\"}\n",
+            "{\"mode\": \"teleport\"}\n",
+            "{\"mode\": \"match_table\", \"left\": [], \"right\": [], \"k\": 0}\n",
+        );
+        let (n, vals) = responses(&server, input, 4);
+        assert_eq!(n, 0);
+        assert_eq!(vals.len(), 4);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(
+                v.get("code").unwrap(),
+                &Value::String("invalid_request".into()),
+                "line {}: {v:?}",
+                i + 1
+            );
+            assert_eq!(v.get("line").unwrap().as_f64().unwrap() as usize, i + 1);
+        }
     }
 
     #[test]

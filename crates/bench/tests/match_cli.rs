@@ -1,0 +1,208 @@
+//! Integration test for the `dader-match` binary: spawn the real process
+//! on two CSV tables (including malformed rows), and assert the JSONL
+//! output — typed line-numbered error objects for the bad rows, match
+//! objects for the blocked-and-scored pairs — with a clean exit. A table
+//! with no usable header must fail with a structured error, not a panic.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+
+use dader_core::artifact::ModelArtifact;
+use dader_core::{DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+fn write_tiny_artifact(name: &str) -> PathBuf {
+    let vocab = Vocab::build(
+        ["title", "kodak", "esp", "printer", "hp", "laserjet", "sony", "bravia"],
+        1,
+        100,
+    );
+    let encoder = PairEncoder::new(vocab.clone(), 16);
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 8,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 16,
+        max_len: 16,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(8, &mut rng),
+    };
+    let path = std::env::temp_dir().join(format!("dader_match_cli_{}_{name}", std::process::id()));
+    ModelArtifact::capture("match-cli test", &model, &encoder)
+        .save_file(&path)
+        .unwrap();
+    path
+}
+
+fn write_file(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dader_match_cli_{}_{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn run_match(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dader-match"))
+        .args(args)
+        .output()
+        .expect("dader-match exit")
+}
+
+fn jsonl(out: &[u8]) -> Vec<Value> {
+    String::from_utf8_lossy(out)
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every stdout line is JSON"))
+        .collect()
+}
+
+#[test]
+fn matches_tables_and_reports_bad_rows() {
+    let artifact = write_tiny_artifact("e2e.dma");
+    // Left line 3 has too few fields; right line 4 has a stray quote.
+    let left = write_file(
+        "left.csv",
+        "id,title\na1,kodak esp printer\nbadrow\na2,hp laserjet\n",
+    );
+    let right = write_file(
+        "right.csv",
+        "id,title\nb1,hp laserjet printer\nb2,kodak esp\nb3,bad\"quote\n",
+    );
+    let out = run_match(&[
+        "--model",
+        artifact.to_str().unwrap(),
+        "--left",
+        left.to_str().unwrap(),
+        "--right",
+        right.to_str().unwrap(),
+        "--blocker",
+        "topk",
+        "--k",
+        "2",
+        "--threshold",
+        "0.0",
+    ]);
+    for p in [&artifact, &left, &right] {
+        std::fs::remove_file(p).unwrap();
+    }
+    assert!(
+        out.status.success(),
+        "bad rows must not kill the run: {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let vals = jsonl(&out.stdout);
+
+    // Error objects come first, typed and line-numbered, naming the table.
+    let errors: Vec<&Value> = vals.iter().filter(|v| v.get("error").is_some()).collect();
+    assert_eq!(errors.len(), 2, "{vals:?}");
+    assert_eq!(
+        errors[0].get("code").unwrap(),
+        &Value::String("schema_mismatch".into())
+    );
+    assert_eq!(errors[0].get("line").unwrap().as_f64().unwrap() as usize, 3);
+    assert_eq!(errors[0].get("table").unwrap(), &Value::String("left".into()));
+    assert_eq!(
+        errors[1].get("code").unwrap(),
+        &Value::String("invalid_csv".into())
+    );
+    assert_eq!(errors[1].get("table").unwrap(), &Value::String("right".into()));
+    for e in &errors {
+        assert_eq!(e.get("retryable").unwrap(), &Value::Bool(false));
+    }
+
+    // With threshold 0 every candidate pair is emitted; both surviving
+    // left rows share tokens with the right table, so each produces
+    // candidates referencing real record ids.
+    let matches: Vec<&Value> = vals.iter().filter(|v| v.get("error").is_none()).collect();
+    assert!(!matches.is_empty(), "{vals:?}");
+    for m in &matches {
+        let l = m.get("left").unwrap().as_str().unwrap();
+        let r = m.get("right").unwrap().as_str().unwrap();
+        assert!(l.starts_with('a'), "left id from the left table: {l}");
+        assert!(r.starts_with('b'), "right id from the right table: {r}");
+        let p = m.get("probability").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        assert!(m.get("block_score").unwrap().as_f64().unwrap() > 0.0);
+    }
+    // a1 "kodak esp printer" must surface b2 "kodak esp" as a candidate.
+    assert!(
+        matches
+            .iter()
+            .any(|m| m.get("left").unwrap().as_str() == Some("a1")
+                && m.get("right").unwrap().as_str() == Some("b2")),
+        "{matches:?}"
+    );
+}
+
+#[test]
+fn lsh_blocker_runs_end_to_end() {
+    let artifact = write_tiny_artifact("lsh.dma");
+    let left = write_file("lsh_left.csv", "id,title\na1,kodak esp printer\n");
+    let right = write_file(
+        "lsh_right.csv",
+        "id,title\nb1,kodak esp printer\nb2,sony bravia\n",
+    );
+    let out = run_match(&[
+        "--model",
+        artifact.to_str().unwrap(),
+        "--left",
+        left.to_str().unwrap(),
+        "--right",
+        right.to_str().unwrap(),
+        "--blocker",
+        "lsh",
+        "--threshold",
+        "0.0",
+    ]);
+    for p in [&artifact, &left, &right] {
+        std::fs::remove_file(p).unwrap();
+    }
+    assert!(out.status.success());
+    let vals = jsonl(&out.stdout);
+    // The identical record collides in LSH with full signature agreement.
+    assert!(
+        vals.iter().any(|m| {
+            m.get("right").and_then(|v| v.as_str()) == Some("b1")
+                && m.get("block_score").and_then(|v| v.as_f64()) == Some(1.0)
+        }),
+        "{vals:?}"
+    );
+}
+
+#[test]
+fn missing_header_is_a_structured_fatal_error() {
+    let artifact = write_tiny_artifact("hdr.dma");
+    let left = write_file("hdr_left.csv", "\n\n");
+    let right = write_file("hdr_right.csv", "id,title\nb1,kodak\n");
+    let out = run_match(&[
+        "--model",
+        artifact.to_str().unwrap(),
+        "--left",
+        left.to_str().unwrap(),
+        "--right",
+        right.to_str().unwrap(),
+    ]);
+    for p in [&artifact, &left, &right] {
+        std::fs::remove_file(p).unwrap();
+    }
+    assert!(!out.status.success(), "a headerless table cannot be matched");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty_header"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_flags_fail_fast() {
+    let out = run_match(&["--model", "x", "--left", "y", "--right", "z", "--blocker", "psychic"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown blocker"));
+}

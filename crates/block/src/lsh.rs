@@ -1,0 +1,270 @@
+//! MinHash-LSH blocking over character q-gram shingles.
+//!
+//! Each record's value text is shingled into hashed character trigrams
+//! (`dader_text::qgrams`, the same subword units the hashed embeddings
+//! use), a MinHash signature of `bands × rows` positions estimates
+//! Jaccard similarity between shingle sets, and banded bucketing turns
+//! "similar signature" into hash-table lookups: two records collide when
+//! any band of `rows` consecutive signature positions matches exactly.
+//! The collision probability for Jaccard similarity `s` is
+//! `1 - (1 - s^rows)^bands` — the classic S-curve; more bands push recall
+//! up, more rows push precision up.
+//!
+//! Bucket mates are then *ranked* by full-signature agreement (the
+//! unbiased Jaccard estimate) and only the top-k survive, so the
+//! candidate volume — and with it the reduction ratio — stays bounded
+//! even when a dataset has a few giant buckets.
+//!
+//! Everything is deterministic: the hash family is seeded splitmix64, the
+//! signature is a min over an unordered set (order-free), and top-k runs
+//! under [`TopK`]'s total order — so results are identical across thread
+//! counts and hash-map iteration orders.
+
+use std::collections::{HashMap, HashSet};
+
+use dader_datagen::Entity;
+use dader_text::{qgrams, tokenize};
+
+use crate::topk::TopK;
+use crate::{Blocker, Candidate};
+
+/// Tuning knobs for the MinHash-LSH index. Signature length is
+/// `bands * rows`.
+#[derive(Clone, Copy, Debug)]
+pub struct LshParams {
+    /// Number of bands (OR-amplification: more bands → higher recall).
+    pub bands: usize,
+    /// Signature rows per band (AND-amplification: more rows → fewer,
+    /// more-similar collisions).
+    pub rows: usize,
+    /// Q-gram length for shingling (3 = the repo's char trigrams).
+    pub q: usize,
+    /// Seed of the hash family (fixed default for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for LshParams {
+    fn default() -> LshParams {
+        LshParams {
+            bands: 64,
+            rows: 2,
+            q: 3,
+            seed: 0x0da2_b10c,
+        }
+    }
+}
+
+/// FNV-1a 64-bit over bytes (stable across runs and platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 — the finalizer used to derive the MinHash family from the
+/// seed. Full-avalanche, so consecutive indices give independent-looking
+/// hash functions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A MinHash-LSH index over one record table.
+pub struct MinHashLshBlocker {
+    params: LshParams,
+    /// Per-hash-function XOR masks (the seeded hash family).
+    masks: Vec<u64>,
+    /// One signature (length `bands * rows`) per indexed record.
+    signatures: Vec<Vec<u64>>,
+    /// Per band: bucket key → indexed record ids (ascending).
+    buckets: Vec<HashMap<u64, Vec<usize>>>,
+}
+
+impl MinHashLshBlocker {
+    /// Build the index over the right-hand table.
+    pub fn build(right: &[Entity], params: LshParams) -> MinHashLshBlocker {
+        assert!(params.bands >= 1, "lsh: need at least one band");
+        assert!(params.rows >= 1, "lsh: need at least one row per band");
+        let _g = dader_obs::span!("block.lsh.build");
+        let n_hashes = params.bands * params.rows;
+        let masks: Vec<u64> = (0..n_hashes)
+            .map(|i| splitmix64(params.seed.wrapping_add(i as u64)))
+            .collect();
+        let mut index = MinHashLshBlocker {
+            params,
+            masks,
+            signatures: Vec::with_capacity(right.len()),
+            buckets: (0..params.bands).map(|_| HashMap::new()).collect(),
+        };
+        for (j, e) in right.iter().enumerate() {
+            let sig = index.signature(e);
+            for (band, key) in index.band_keys(&sig).into_iter().enumerate() {
+                index.buckets[band].entry(key).or_default().push(j);
+            }
+            index.signatures.push(sig);
+        }
+        index
+    }
+
+    /// The index's tuning parameters.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Hashed q-gram shingle set of a record's value text (unordered;
+    /// the signature below is a min over it, so order never matters).
+    fn shingles(&self, e: &Entity) -> Vec<u64> {
+        let mut out = HashSet::new();
+        for token in tokenize(&e.full_text()) {
+            for gram in qgrams(&token, self.params.q) {
+                out.insert(fnv1a(gram.as_bytes()));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// MinHash signature of a record. An empty record (no shingles) gets
+    /// the all-`u64::MAX` signature: stable, never panics, and collides
+    /// only with other empty records.
+    pub fn signature(&self, e: &Entity) -> Vec<u64> {
+        let shingles = self.shingles(e);
+        self.masks
+            .iter()
+            .map(|&m| {
+                shingles
+                    .iter()
+                    .map(|&s| splitmix64(s ^ m))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect()
+    }
+
+    /// One bucket key per band: FNV over the band's row slice.
+    fn band_keys(&self, sig: &[u64]) -> Vec<u64> {
+        (0..self.params.bands)
+            .map(|band| {
+                let mut bytes = Vec::with_capacity(8 * (self.params.rows + 1));
+                bytes.extend_from_slice(&(band as u64).to_le_bytes());
+                for &v in &sig[band * self.params.rows..(band + 1) * self.params.rows] {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                fnv1a(&bytes)
+            })
+            .collect()
+    }
+
+    /// Estimated Jaccard similarity between two signatures: the fraction
+    /// of agreeing positions.
+    fn estimate(&self, a: &[u64], b: &[u64]) -> f32 {
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        eq as f32 / a.len() as f32
+    }
+}
+
+impl Blocker for MinHashLshBlocker {
+    fn name(&self) -> &'static str {
+        "lsh"
+    }
+
+    fn n_right(&self) -> usize {
+        self.signatures.len()
+    }
+
+    fn candidates(&self, record: &Entity, k: usize) -> Vec<Candidate> {
+        let sig = self.signature(record);
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (band, key) in self.band_keys(&sig).into_iter().enumerate() {
+            if let Some(mates) = self.buckets[band].get(&key) {
+                seen.extend(mates.iter().copied());
+            }
+        }
+        // The estimate is a pure function of (probe, candidate) and TopK's
+        // order is total, so iterating the HashSet in any order yields the
+        // same top-k.
+        let mut top = TopK::new(k);
+        for j in seen {
+            top.push(Candidate {
+                right: j,
+                score: self.estimate(&sig, &self.signatures[j]),
+            });
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    #[test]
+    fn near_duplicates_collide_with_high_score() {
+        let right = vec![
+            entity("b0", "romantic italian restaurant downtown"),
+            entity("b1", "kodak easyshare esp 7250 inkjet printer"),
+        ];
+        let idx = MinHashLshBlocker::build(&right, LshParams::default());
+        let cands = idx.candidates(&entity("a", "kodak easyshare esp 7250 printer"), 5);
+        assert_eq!(cands[0].right, 1);
+        assert!(cands[0].score > 0.5, "estimated Jaccard {}", cands[0].score);
+    }
+
+    #[test]
+    fn unrelated_text_scores_low_or_misses() {
+        let right = vec![entity("b0", "kodak easyshare esp inkjet printer")];
+        let idx = MinHashLshBlocker::build(&right, LshParams::default());
+        let cands = idx.candidates(&entity("a", "zucchini ravioli trattoria"), 5);
+        if let Some(c) = cands.first() {
+            assert!(c.score < 0.2, "unrelated pair scored {}", c.score);
+        }
+    }
+
+    #[test]
+    fn empty_records_never_panic() {
+        let right = vec![entity("b0", ""), entity("b1", "kodak")];
+        let idx = MinHashLshBlocker::build(&right, LshParams::default());
+        let cands = idx.candidates(&entity("a", ""), 5);
+        // The empty probe collides with the empty indexed record (both
+        // all-MAX signatures) and nothing else.
+        assert!(cands.iter().all(|c| c.right == 0));
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let e = entity("x", "sony bravia 46 inch television");
+        let idx = MinHashLshBlocker::build(std::slice::from_ref(&e), LshParams::default());
+        let cands = idx.candidates(&e, 1);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].score, 1.0);
+    }
+
+    #[test]
+    fn seed_changes_family_but_not_self_match() {
+        let right = vec![entity("b0", "kodak esp printer")];
+        let a = MinHashLshBlocker::build(&right, LshParams { seed: 1, ..LshParams::default() });
+        let b = MinHashLshBlocker::build(&right, LshParams { seed: 2, ..LshParams::default() });
+        assert_ne!(a.signatures[0], b.signatures[0]);
+        assert_eq!(a.candidates(&right[0], 1)[0].score, 1.0);
+        assert_eq!(b.candidates(&right[0], 1)[0].score, 1.0);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let right: Vec<Entity> = (0..10)
+            .map(|i| entity(&format!("b{i}"), &format!("item number {i} common words")))
+            .collect();
+        let x = MinHashLshBlocker::build(&right, LshParams::default());
+        let y = MinHashLshBlocker::build(&right, LshParams::default());
+        assert_eq!(x.signatures, y.signatures);
+    }
+}

@@ -1,0 +1,353 @@
+//! Raw record tables: CSV parsing into [`Entity`] rows with a typed,
+//! line-numbered error taxonomy.
+//!
+//! The matching pipeline's contract is the same as the serving layer's:
+//! one malformed row must never abort the run. Parsing therefore returns
+//! every well-formed row *plus* a [`RowError`] per rejected row — each
+//! carrying a machine-readable `code` and `retryable` flag following the
+//! `dader-serve` error-object convention — so `dader-match` can stream
+//! them as JSONL error objects in place and keep going. Only a malformed
+//! *header* is fatal: without a schema no row can be interpreted.
+//!
+//! The dialect is RFC-4180-style: comma-separated, `"` quoting with `""`
+//! escapes, quoted fields may contain commas and newlines, and both LF
+//! and CRLF line endings are accepted. A column named `id`
+//! (case-insensitive) becomes the record id; otherwise rows are named
+//! `r<line>` after their 1-based starting line.
+
+use std::fmt;
+
+use dader_datagen::Entity;
+
+/// Machine-readable codes for table-parsing failures, mirroring the
+/// serve taxonomy (`code` + `retryable` on every error object). All
+/// parse errors are client mistakes, so none are retryable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableErrorCode {
+    /// Structurally invalid CSV: unclosed quote, or a bare `"` inside an
+    /// unquoted field.
+    InvalidCsv,
+    /// A row's field count disagrees with the header's.
+    SchemaMismatch,
+    /// The header row is missing or has no usable column names.
+    EmptyHeader,
+}
+
+impl TableErrorCode {
+    /// The wire name of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TableErrorCode::InvalidCsv => "invalid_csv",
+            TableErrorCode::SchemaMismatch => "schema_mismatch",
+            TableErrorCode::EmptyHeader => "empty_header",
+        }
+    }
+
+    /// Whether retrying could succeed — never, for malformed input.
+    pub fn retryable(self) -> bool {
+        false
+    }
+}
+
+/// One rejected row (or a fatal header problem): where, what, and why.
+#[derive(Clone, Debug)]
+pub struct RowError {
+    /// 1-based line number where the offending record starts.
+    pub line: usize,
+    /// Machine-readable error code.
+    pub code: TableErrorCode,
+    /// Human-readable message naming the line.
+    pub message: String,
+}
+
+impl fmt::Display for RowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.code.as_str())
+    }
+}
+
+/// A parsed table: the schema, every well-formed row, and every rejected
+/// row's typed error.
+#[derive(Debug)]
+pub struct RecordTable {
+    /// Attribute names from the header, in column order (the `id` column
+    /// excluded).
+    pub attrs: Vec<String>,
+    /// Well-formed rows in file order.
+    pub rows: Vec<Entity>,
+    /// Typed errors for rejected rows, in file order.
+    pub errors: Vec<RowError>,
+}
+
+/// One raw CSV record: its starting line and its fields, or why it was
+/// rejected.
+type RawRecord = (usize, Result<Vec<String>, (TableErrorCode, String)>);
+
+/// Split CSV text into records, tracking the 1-based starting line of
+/// each (quoted fields may span lines). Never panics on any input.
+fn split_records(text: &str) -> Vec<RawRecord> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize; // current physical line
+    let mut record_line = 1usize; // line the current record started on
+    let mut in_quotes = false;
+    let mut quoted_field = false; // current field began with a quote
+    let mut broken: Option<(TableErrorCode, String)> = None;
+    let mut any_content = false;
+
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if field.is_empty() && !quoted_field && !in_quotes => {
+                in_quotes = true;
+                quoted_field = true;
+                any_content = true;
+            }
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => {
+                // A bare quote inside an unquoted field, or text after a
+                // closing quote: structurally invalid. Consume the rest of
+                // the record, report it once.
+                broken.get_or_insert((
+                    TableErrorCode::InvalidCsv,
+                    format!("line {record_line}: unexpected '\"' inside a field"),
+                ));
+                any_content = true;
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+                quoted_field = false;
+                any_content = true;
+            }
+            '\r' if !in_quotes && chars.peek() == Some(&'\n') => {
+                // CRLF terminator: handled by the '\n' arm next.
+            }
+            '\n' => {
+                line += 1;
+                if in_quotes {
+                    field.push('\n'); // quoted newline is field content
+                } else {
+                    fields.push(std::mem::take(&mut field));
+                    if any_content || fields.len() > 1 {
+                        records.push((record_line, finish(&mut fields, &mut broken)));
+                    } else {
+                        fields.clear(); // skip fully blank line
+                    }
+                    quoted_field = false;
+                    any_content = false;
+                    record_line = line;
+                }
+            }
+            _ => {
+                field.push(c);
+                if !c.is_whitespace() {
+                    any_content = true;
+                }
+            }
+        }
+    }
+    // Final record without a trailing newline.
+    if in_quotes {
+        broken.get_or_insert((
+            TableErrorCode::InvalidCsv,
+            format!("line {record_line}: unclosed '\"' at end of input"),
+        ));
+    }
+    fields.push(field);
+    if any_content || fields.len() > 1 {
+        records.push((record_line, finish(&mut fields, &mut broken)));
+    }
+    records
+}
+
+/// Close out one record: either its fields or its pending error.
+fn finish(
+    fields: &mut Vec<String>,
+    broken: &mut Option<(TableErrorCode, String)>,
+) -> Result<Vec<String>, (TableErrorCode, String)> {
+    let fields = std::mem::take(fields);
+    match broken.take() {
+        Some(err) => Err(err),
+        None => Ok(fields),
+    }
+}
+
+/// Parse CSV text into a [`RecordTable`]. A malformed header is the one
+/// fatal condition; every row-level problem lands in
+/// [`RecordTable::errors`] instead of aborting.
+pub fn parse_csv(text: &str) -> Result<RecordTable, RowError> {
+    let _g = dader_obs::span!("block.parse_csv");
+    let mut records = split_records(text).into_iter();
+
+    let (header_line, header) = match records.next() {
+        Some((line, Ok(fields))) => (line, fields),
+        Some((line, Err((code, message)))) => {
+            return Err(RowError { line, code, message })
+        }
+        None => {
+            return Err(RowError {
+                line: 1,
+                code: TableErrorCode::EmptyHeader,
+                message: "line 1: empty input: no header row".to_string(),
+            })
+        }
+    };
+    let header: Vec<String> = header.iter().map(|h| h.trim().to_string()).collect();
+    if header.iter().all(|h| h.is_empty()) {
+        return Err(RowError {
+            line: header_line,
+            code: TableErrorCode::EmptyHeader,
+            message: format!("line {header_line}: header row has no column names"),
+        });
+    }
+    let id_col = header
+        .iter()
+        .position(|h| h.eq_ignore_ascii_case("id"));
+    let attrs: Vec<String> = header
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != id_col)
+        .map(|(_, h)| h.clone())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for (line, rec) in records {
+        match rec {
+            Err((code, message)) => errors.push(RowError { line, code, message }),
+            Ok(fields) => {
+                if fields.len() != header.len() {
+                    errors.push(RowError {
+                        line,
+                        code: TableErrorCode::SchemaMismatch,
+                        message: format!(
+                            "line {line}: row has {} fields, header has {}",
+                            fields.len(),
+                            header.len()
+                        ),
+                    });
+                    continue;
+                }
+                let id = id_col
+                    .map(|i| fields[i].trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .unwrap_or_else(|| format!("r{line}"));
+                let attrs_vals: Vec<(String, String)> = header
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| Some(*i) != id_col)
+                    .map(|(i, h)| (h.clone(), fields[i].trim().to_string()))
+                    .collect();
+                rows.push(Entity { id, attrs: attrs_vals });
+            }
+        }
+    }
+    Ok(RecordTable { attrs, rows, errors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_table_with_id_column() {
+        let t = parse_csv("id,title,price\na1,kodak esp,99\na2,hp laserjet,199\n").unwrap();
+        assert_eq!(t.attrs, vec!["title", "price"]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.errors.is_empty());
+        assert_eq!(t.rows[0].id, "a1");
+        assert_eq!(t.rows[0].get("title"), Some("kodak esp"));
+        assert_eq!(t.rows[1].get("price"), Some("199"));
+    }
+
+    #[test]
+    fn rows_without_id_column_get_line_names() {
+        let t = parse_csv("title\nkodak\nhp\n").unwrap();
+        assert_eq!(t.rows[0].id, "r2");
+        assert_eq!(t.rows[1].id, "r3");
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_and_newlines() {
+        let t = parse_csv("id,title\nx,\"kodak, esp\nmultiline\"\ny,\"say \"\"hi\"\"\"\n").unwrap();
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+        assert_eq!(t.rows[0].get("title"), Some("kodak, esp\nmultiline"));
+        assert_eq!(t.rows[1].get("title"), Some("say \"hi\""));
+        // the quoted newline must not shift later line numbers
+        assert_eq!(t.rows[1].id, "y");
+    }
+
+    #[test]
+    fn schema_mismatch_is_typed_and_line_numbered() {
+        let t = parse_csv("id,title,price\na1,kodak\na2,hp,5,extra\na3,ok,1\n").unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].id, "a3");
+        assert_eq!(t.errors.len(), 2);
+        assert_eq!(t.errors[0].code, TableErrorCode::SchemaMismatch);
+        assert_eq!(t.errors[0].line, 2);
+        assert_eq!(t.errors[1].line, 3);
+        assert!(!t.errors[0].code.retryable());
+    }
+
+    #[test]
+    fn stray_quote_rejects_only_that_row() {
+        let t = parse_csv("id,title\na1,bad\"quote\na2,fine\n").unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].id, "a2");
+        assert_eq!(t.errors.len(), 1);
+        assert_eq!(t.errors[0].code, TableErrorCode::InvalidCsv);
+        assert_eq!(t.errors[0].line, 2);
+    }
+
+    #[test]
+    fn unclosed_quote_at_eof_is_an_error_not_a_hang() {
+        let t = parse_csv("id,title\na1,\"never closed").unwrap();
+        assert!(t.rows.is_empty());
+        assert_eq!(t.errors.len(), 1);
+        assert_eq!(t.errors[0].code, TableErrorCode::InvalidCsv);
+    }
+
+    #[test]
+    fn header_problems_are_fatal() {
+        let e = parse_csv("").unwrap_err();
+        assert_eq!(e.code, TableErrorCode::EmptyHeader);
+        let e = parse_csv("\n\n").unwrap_err();
+        assert_eq!(e.code, TableErrorCode::EmptyHeader);
+        let e = parse_csv("\"broken\nid,title\n").unwrap_err();
+        assert_eq!(e.code, TableErrorCode::InvalidCsv);
+    }
+
+    #[test]
+    fn crlf_and_missing_final_newline() {
+        let t = parse_csv("id,title\r\na1,kodak\r\na2,hp").unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1].get("title"), Some("hp"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = parse_csv("id,title\n\na1,kodak\n   \na2,hp\n").unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+    }
+
+    #[test]
+    fn empty_id_value_falls_back_to_line_name() {
+        let t = parse_csv("id,title\n,kodak\n").unwrap();
+        assert_eq!(t.rows[0].id, "r2");
+    }
+
+    #[test]
+    fn non_ascii_content_survives() {
+        let t = parse_csv("id,title\nk1,köln 時計 🦀\n").unwrap();
+        assert_eq!(t.rows[0].get("title"), Some("köln 時計 🦀"));
+    }
+}

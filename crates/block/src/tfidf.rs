@@ -1,0 +1,207 @@
+//! TF-IDF-weighted inverted-index blocking.
+//!
+//! The index side (the "right" table) is tokenized once; each record
+//! becomes an L2-normalized TF-IDF vector stored as postings
+//! `token → [(record, weight)]`. A probe record's candidates are the
+//! records sharing at least one token, scored by the dot product between
+//! the probe's raw TF-IDF weights and the indexed records' normalized
+//! vectors — cosine similarity up to a per-probe constant factor, which
+//! cannot change the ranking.
+//!
+//! Determinism: the probe's tokens are accumulated in sorted token order,
+//! so each candidate's score is built by the exact same float-addition
+//! sequence as a brute-force scan (`proptest_block.rs` locks the two
+//! paths together bitwise), and top-k selection runs under the total
+//! order of [`TopK`].
+
+use std::collections::HashMap;
+
+use dader_datagen::Entity;
+use dader_text::tokenize;
+
+use crate::topk::TopK;
+use crate::{Blocker, Candidate};
+
+/// An inverted index over one record table, ready to answer top-k
+/// candidate queries.
+pub struct TfIdfBlocker {
+    /// `token → [(record index ascending, normalized TF-IDF weight)]`.
+    postings: HashMap<String, Vec<(usize, f32)>>,
+    /// Smoothed inverse document frequency per indexed token.
+    idf: HashMap<String, f32>,
+    /// Number of indexed records.
+    n_right: usize,
+}
+
+/// Per-record term frequencies of the record's value text.
+fn term_counts(e: &Entity) -> HashMap<String, usize> {
+    let mut tf = HashMap::new();
+    for t in tokenize(&e.full_text()) {
+        *tf.entry(t).or_insert(0usize) += 1;
+    }
+    tf
+}
+
+impl TfIdfBlocker {
+    /// Build the index over the right-hand table.
+    pub fn build(right: &[Entity]) -> TfIdfBlocker {
+        let _g = dader_obs::span!("block.tfidf.build");
+        let docs: Vec<HashMap<String, usize>> = right.iter().map(term_counts).collect();
+
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in &docs {
+            for t in doc.keys() {
+                *df.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let n = right.len().max(1) as f32;
+        let idf: HashMap<String, f32> = df
+            .iter()
+            .map(|(t, &d)| (t.to_string(), (1.0 + n / d as f32).ln()))
+            .collect();
+
+        let mut postings: HashMap<String, Vec<(usize, f32)>> = HashMap::new();
+        for (j, doc) in docs.iter().enumerate() {
+            // Norm over the record's full vector, accumulated in sorted
+            // token order so the value is insertion-order independent.
+            let mut terms: Vec<(&String, &usize)> = doc.iter().collect();
+            terms.sort_by(|a, b| a.0.cmp(b.0));
+            let mut sq = 0.0f32;
+            for (t, &tf) in &terms {
+                let w = tf as f32 * idf[*t];
+                sq += w * w;
+            }
+            let norm = sq.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            for (t, &tf) in &terms {
+                let w = tf as f32 * idf[*t] / norm;
+                postings.entry((*t).clone()).or_default().push((j, w));
+            }
+        }
+        // Postings were filled in ascending record order per token already
+        // (outer loop over j), so candidate accumulation order is fixed.
+        TfIdfBlocker {
+            postings,
+            idf,
+            n_right: right.len(),
+        }
+    }
+
+    /// The probe's `(token, raw TF-IDF weight)` list in sorted token
+    /// order — the canonical accumulation order both the indexed query
+    /// and the brute-force reference use.
+    pub fn probe_weights(&self, record: &Entity) -> Vec<(String, f32)> {
+        let tf = term_counts(record);
+        let mut terms: Vec<(String, usize)> = tf.into_iter().collect();
+        terms.sort_by(|a, b| a.0.cmp(&b.0));
+        terms
+            .into_iter()
+            .filter_map(|(t, tf)| self.idf.get(&t).map(|idf| (t.clone(), tf as f32 * idf)))
+            .collect()
+    }
+
+    /// The normalized weight of `token` in indexed record `j` (zero when
+    /// absent) — the brute-force reference path reads the same numbers
+    /// the inverted query multiplies.
+    pub fn indexed_weight(&self, token: &str, j: usize) -> f32 {
+        self.postings
+            .get(token)
+            .and_then(|p| p.iter().find(|(d, _)| *d == j))
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+}
+
+impl Blocker for TfIdfBlocker {
+    fn name(&self) -> &'static str {
+        "tfidf"
+    }
+
+    fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    fn candidates(&self, record: &Entity, k: usize) -> Vec<Candidate> {
+        let mut scores = vec![0.0f32; self.n_right];
+        for (t, wq) in self.probe_weights(record) {
+            if let Some(posting) = self.postings.get(&t) {
+                for &(j, wd) in posting {
+                    scores[j] += wq * wd;
+                }
+            }
+        }
+        let mut top = TopK::new(k);
+        for (j, &s) in scores.iter().enumerate() {
+            if s > 0.0 {
+                top.push(Candidate { right: j, score: s });
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    #[test]
+    fn exact_copy_outranks_partial_overlap() {
+        let right = vec![
+            entity("b0", "sony bravia 46 inch television"),
+            entity("b1", "kodak esp 7250 printer"),
+            entity("b2", "kodak esp printer ink"),
+        ];
+        let idx = TfIdfBlocker::build(&right);
+        let cands = idx.candidates(&entity("a0", "kodak esp 7250 printer"), 3);
+        assert_eq!(cands[0].right, 1, "{cands:?}");
+        assert!(cands.iter().all(|c| c.right != 0), "no shared token with b0");
+    }
+
+    #[test]
+    fn rare_tokens_dominate_common_ones() {
+        // "printer" appears everywhere; the rare model number should pull
+        // the probe to the single record sharing it.
+        let right: Vec<Entity> = (0..20)
+            .map(|i| entity(&format!("b{i}"), &format!("printer model{i}")))
+            .collect();
+        let idx = TfIdfBlocker::build(&right);
+        let cands = idx.candidates(&entity("a", "printer model7"), 1);
+        assert_eq!(cands[0].right, 7);
+    }
+
+    #[test]
+    fn disjoint_vocabulary_yields_no_candidates() {
+        let right = vec![entity("b0", "kodak printer")];
+        let idx = TfIdfBlocker::build(&right);
+        assert!(idx.candidates(&entity("a", "zucchini ravioli"), 5).is_empty());
+    }
+
+    #[test]
+    fn empty_records_are_indexable_and_probeable() {
+        let right = vec![entity("b0", ""), entity("b1", "kodak")];
+        let idx = TfIdfBlocker::build(&right);
+        assert!(idx.candidates(&entity("a", ""), 5).is_empty());
+        let cands = idx.candidates(&entity("a", "kodak"), 5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].right, 1);
+    }
+
+    #[test]
+    fn k_caps_candidate_count() {
+        let right: Vec<Entity> = (0..30)
+            .map(|i| entity(&format!("b{i}"), "shared words everywhere"))
+            .collect();
+        let idx = TfIdfBlocker::build(&right);
+        let cands = idx.candidates(&entity("a", "shared words"), 4);
+        assert_eq!(cands.len(), 4);
+        // equal scores tie-break to the lowest indices
+        let js: Vec<usize> = cands.iter().map(|c| c.right).collect();
+        assert_eq!(js, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,5 +1,7 @@
 //! The trained `(F, M)` bundle used for prediction after adaptation.
 
+use std::collections::HashMap;
+
 use dader_datagen::ErDataset;
 use dader_tensor::Param;
 use dader_text::PairEncoder;
@@ -56,7 +58,17 @@ impl DaderModel {
 
     /// Predict ad-hoc attribute-value pairs (the serving path): returns
     /// `(label, match probability)` per input pair, in input order,
-    /// processing at most `batch_size` pairs per forward pass.
+    /// processing at most `batch_size` *unique* pairs per forward pass.
+    ///
+    /// Repeated work is collapsed before it reaches the extractor:
+    /// identical `(a, b)` pairs are forwarded once and their result
+    /// scattered back to every occurrence, and each distinct record is
+    /// tokenized once even when it appears in many pairs (full-table
+    /// matching probes one left record against many right candidates).
+    /// Both folds are bitwise-exact — encoding is `serialize_entity`
+    /// composed with [`PairEncoder::encode_serialized`], and per-row
+    /// results are independent of batch composition (locked in by the
+    /// serve batching test), so outputs are identical to the naive path.
     pub fn predict_pairs(
         &self,
         pairs: &[EntityPair],
@@ -65,11 +77,38 @@ impl DaderModel {
     ) -> Vec<(usize, f32)> {
         assert!(batch_size > 0, "batch size must be positive");
         let seq = encoder.max_len();
-        let mut out = Vec::with_capacity(pairs.len());
-        for chunk in pairs.chunks(batch_size) {
-            let refs: Vec<(&dader_text::EntityAttrs, &dader_text::EntityAttrs)> =
-                chunk.iter().map(|(a, b)| (&a[..], &b[..])).collect();
-            let (ids, mask) = encoder.encode_batch(&refs);
+
+        let mut first: HashMap<&EntityPair, usize> = HashMap::new();
+        let mut unique: Vec<&EntityPair> = Vec::new();
+        let slots: Vec<usize> = pairs
+            .iter()
+            .map(|p| {
+                *first.entry(p).or_insert_with(|| {
+                    unique.push(p);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        let mut serialized: HashMap<&[(String, String)], Vec<usize>> = HashMap::new();
+        for (a, b) in unique.iter().map(|p| (&p.0, &p.1)) {
+            serialized
+                .entry(a.as_slice())
+                .or_insert_with(|| encoder.serialize_entity(a));
+            serialized
+                .entry(b.as_slice())
+                .or_insert_with(|| encoder.serialize_entity(b));
+        }
+
+        let mut uniq_out = Vec::with_capacity(unique.len());
+        for chunk in unique.chunks(batch_size) {
+            let mut ids = Vec::with_capacity(chunk.len() * seq);
+            let mut mask = Vec::with_capacity(chunk.len() * seq);
+            for (a, b) in chunk.iter().map(|p| (&p.0, &p.1)) {
+                let e = encoder.encode_serialized(&serialized[a.as_slice()], &serialized[b.as_slice()]);
+                ids.extend(e.ids);
+                mask.extend(e.mask);
+            }
             let batch = crate::batch::EncodedBatch {
                 ids,
                 mask,
@@ -81,9 +120,9 @@ impl DaderModel {
             let f = self.extractor.extract(&batch);
             let preds = self.matcher.predict(&f);
             let probs = self.matcher.match_probs(&f);
-            out.extend(preds.into_iter().zip(probs));
+            uniq_out.extend(preds.into_iter().zip(probs));
         }
-        out
+        slots.into_iter().map(|s| uniq_out[s]).collect()
     }
 
     /// Dump features for every pair (t-SNE visualizations, distance
@@ -184,6 +223,41 @@ mod tests {
             assert_eq!(*label, preds[i]);
             assert_eq!(*prob, probs[i]);
         }
+    }
+
+    #[test]
+    fn predict_pairs_dedup_is_bitwise_invisible() {
+        let (m, d, enc) = tiny_model_and_data();
+        let base: Vec<EntityPair> = d
+            .pairs
+            .iter()
+            .take(6)
+            .map(|p| (p.a.attrs.clone(), p.b.attrs.clone()))
+            .collect();
+        // Interleave duplicates so dedup changes the batch composition:
+        // [p0, p1, p0, p2, p1, p3, ...]
+        let mut with_dups = Vec::new();
+        for (i, p) in base.iter().enumerate() {
+            with_dups.push(p.clone());
+            if i >= 1 {
+                with_dups.push(base[i - 1].clone());
+            }
+        }
+        let got = m.predict_pairs(&with_dups, &enc, 4);
+        let want = m.predict_pairs(&base, &enc, 4);
+        let mut k = 0;
+        for (i, p) in base.iter().enumerate() {
+            assert_eq!(with_dups[k], *p);
+            assert_eq!(got[k].0, want[i].0);
+            assert_eq!(got[k].1.to_bits(), want[i].1.to_bits(), "pair {i}");
+            k += 1;
+            if i >= 1 {
+                assert_eq!(got[k].0, want[i - 1].0);
+                assert_eq!(got[k].1.to_bits(), want[i - 1].1.to_bits(), "dup of pair {}", i - 1);
+                k += 1;
+            }
+        }
+        assert_eq!(k, with_dups.len());
     }
 
     #[test]

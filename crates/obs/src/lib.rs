@@ -36,6 +36,9 @@ pub mod metrics;
 pub mod span;
 pub mod telemetry;
 
-pub use metrics::{counter, gauge, histogram, render_prometheus, Counter, Gauge, Histogram};
+pub use metrics::{
+    counter, gauge, histogram, render_prometheus, Counter, Gauge, Histogram,
+    CANDIDATE_SET_BUCKETS,
+};
 pub use span::{set_enabled, span_enabled, timing_snapshot, SpanStat};
 pub use telemetry::{EpochRecord, OpSummary, TelemetrySink};

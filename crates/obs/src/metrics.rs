@@ -216,6 +216,13 @@ pub const LATENCY_US_BUCKETS: [f64; 14] = [
 pub const BATCH_SIZE_BUCKETS: [f64; 10] =
     [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
 
+/// Candidate-set-size buckets for the blocking layer (0 … 1000 candidates
+/// per probe record; 0 is its own bucket because an empty candidate set —
+/// a record the blocker cannot place at all — is the signal to watch).
+pub const CANDIDATE_SET_BUCKETS: [f64; 11] = [
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 500.0, 1_000.0,
+];
+
 /// Render a number the way Prometheus expects (no exponent for
 /// integer-valued floats).
 fn fmt_num(v: f64) -> String {

@@ -16,5 +16,5 @@ pub mod vocab;
 pub use corpus::{mask_sequence, MlmCorpus, MlmExample};
 pub use hash_embed::{cosine, l2_normalize, HashEmbedder};
 pub use serialize::{EncodedPair, EncoderState, EntityAttrs, PairEncoder};
-pub use tokenizer::{char_trigrams, tokenize};
+pub use tokenizer::{char_trigrams, qgrams, tokenize};
 pub use vocab::Vocab;

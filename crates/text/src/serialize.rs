@@ -108,6 +108,16 @@ impl PairEncoder {
     ) -> EncodedPair {
         let sa = self.serialize_entity(a);
         let sb = self.serialize_entity(b);
+        self.encode_serialized(&sa, &sb)
+    }
+
+    /// Assemble the padded `[CLS] a [SEP] b [SEP]` sequence from two
+    /// pre-serialized entities ([`PairEncoder::serialize_entity`] output).
+    /// [`PairEncoder::encode_pair`] is exactly `serialize_entity` twice
+    /// followed by this, so callers that cache per-record serializations —
+    /// full-table matching serializes each record once against many
+    /// partners — get bitwise-identical encodings.
+    pub fn encode_serialized(&self, sa: &[usize], sb: &[usize]) -> EncodedPair {
         let budget = self.max_len - 3; // CLS + 2x SEP
         let (ta, tb) = truncate_pairwise(sa.len(), sb.len(), budget);
 
@@ -273,6 +283,16 @@ mod tests {
         let mut s = enc.state();
         s.tokens[0] = "nope".to_string();
         assert!(PairEncoder::from_state(s).is_err());
+    }
+
+    #[test]
+    fn encode_serialized_equals_encode_pair() {
+        let enc = encoder(12); // small enough to force truncation
+        let a = attrs(&[("title", "kodak esp printer fast hp laserjet")]);
+        let b = attrs(&[("title", "hp laserjet fast printer")]);
+        let sa = enc.serialize_entity(&a);
+        let sb = enc.serialize_entity(&b);
+        assert_eq!(enc.encode_serialized(&sa, &sb), enc.encode_pair(&a, &b));
     }
 
     #[test]

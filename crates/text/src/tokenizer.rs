@@ -26,18 +26,39 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
-/// Character trigrams of a token, padded with `#` boundaries — the
-/// fastText-style subword units used by the Reweight baseline's hashed
-/// embeddings.
-pub fn char_trigrams(token: &str) -> Vec<String> {
+/// Character q-grams of a token, padded with one `#` boundary marker on
+/// each side — the subword units behind the hashed embeddings and the
+/// MinHash-LSH blocker's shingles.
+///
+/// Edge cases are specified, stable, and never panic:
+///
+/// * windows are taken over **characters**, never bytes, so multi-byte
+///   UTF-8 (`"köln"`, CJK, emoji) yields well-formed grams;
+/// * a token shorter than `q - 2` characters produces exactly one gram —
+///   the whole padded token (`qgrams("a", 3)` → `["#a#"]`);
+/// * the empty token produces **no** grams (there is no subword content
+///   to represent);
+/// * `q` must be at least 1 (programmer error otherwise).
+pub fn qgrams(token: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "qgrams: gram length must be at least 1");
+    if token.is_empty() {
+        return Vec::new();
+    }
     let padded: Vec<char> = std::iter::once('#')
         .chain(token.chars())
         .chain(std::iter::once('#'))
         .collect();
-    if padded.len() < 3 {
+    if padded.len() < q {
         return vec![padded.iter().collect()];
     }
-    padded.windows(3).map(|w| w.iter().collect()).collect()
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Character trigrams of a token ([`qgrams`] with `q = 3`), the
+/// fastText-style subword units used by the Reweight baseline's hashed
+/// embeddings.
+pub fn char_trigrams(token: &str) -> Vec<String> {
+    qgrams(token, 3)
 }
 
 #[cfg(test)]
@@ -77,5 +98,38 @@ mod tests {
     #[test]
     fn trigrams_single_char() {
         assert_eq!(char_trigrams("a"), vec!["#a#"]);
+    }
+
+    #[test]
+    fn trigrams_empty_token_yield_nothing() {
+        assert!(char_trigrams("").is_empty());
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn trigrams_respect_char_boundaries_not_bytes() {
+        // 'ö' is 2 bytes, '時' is 3, '🦀' is 4 — byte-sliced windows would
+        // panic or produce invalid UTF-8; char windows must not.
+        assert_eq!(char_trigrams("kö"), vec!["#kö", "kö#"]);
+        assert_eq!(char_trigrams("時計"), vec!["#時計", "時計#"]);
+        assert_eq!(char_trigrams("🦀"), vec!["#🦀#"]);
+        for gram in char_trigrams("naïve時🦀") {
+            assert_eq!(gram.chars().count(), 3);
+        }
+    }
+
+    #[test]
+    fn qgrams_lengths() {
+        // bigram over "cat": padded #cat# → #c ca at t#
+        assert_eq!(qgrams("cat", 2), vec!["#c", "ca", "at", "t#"]);
+        // gram longer than the padded token collapses to one whole gram
+        assert_eq!(qgrams("ab", 5), vec!["#ab#"]);
+        assert_eq!(qgrams("a", 1), vec!["#", "a", "#"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gram length")]
+    fn qgrams_zero_q_is_a_programmer_error() {
+        qgrams("cat", 0);
     }
 }
