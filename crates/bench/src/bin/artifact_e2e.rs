@@ -4,7 +4,9 @@
 //! 2. Reload the artifact into a completely fresh model.
 //! 3. Verify bitwise-identical predictions and test F1 against the
 //!    in-memory model (the durability contract of the artifact format).
-//! 4. Measure serving throughput (pairs/s) through the `MatchServer` line
+//! 4. Quantize the artifact to int8 (format v2), reload it, and verify the
+//!    quantized model's eval-phase throughput and F1 delta.
+//! 5. Measure serving throughput (pairs/s) through the `MatchServer` line
 //!    protocol at a few batch sizes.
 //!
 //! ```text
@@ -16,10 +18,13 @@
 
 use std::io::Cursor;
 
-use dader_bench::report::{write_bench_snapshot, BenchPhase, BenchThroughput};
+use dader_bench::report::{
+    write_bench_snapshot_with_eval, BenchEvalComparison, BenchEvalDataset, BenchPhase,
+    BenchThroughput,
+};
 use dader_bench::{note, Context, MatchServer, Scale};
 use dader_core::artifact::ModelArtifact;
-use dader_core::AlignerKind;
+use dader_core::{AlignerKind, InferenceModel};
 use dader_datagen::DatasetId;
 
 fn main() {
@@ -66,7 +71,52 @@ fn main() {
     std::fs::remove_file(&path).ok();
     let verify_s = t_verify.elapsed().as_secs_f64();
 
-    // ---- 4. serving throughput --------------------------------------
+    // ---- 4. quantized leg -------------------------------------------
+    // Quantize to int8, round-trip through the v2 wire format, and compare
+    // the tape-free int8 eval against the taped f32 eval: single-thread
+    // throughput plus the F1 delta the quantization costs.
+    let t_quant = std::time::Instant::now();
+    let qpath = std::env::temp_dir().join(format!("dader_e2e_{}_int8.dma", std::process::id()));
+    let qart = art.quantize().expect("quantize trained artifact");
+    qart.save_file(&qpath).expect("save quantized artifact");
+    let qart = ModelArtifact::load_file(&qpath).expect("reload quantized artifact");
+    assert!(qart.is_quantized(), "reloaded artifact must keep its int8 entries");
+    let qmodel = InferenceModel::from_artifact(&qart).expect("instantiate quantized model");
+    let prev = dader_tensor::pool::set_threads(Some(1));
+    let t = std::time::Instant::now();
+    let m_f32 = out.model.evaluate(&splits.test, ctx.encoder(), 32);
+    let f32_eval_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let m_int8 = qmodel.evaluate(&splits.test, &renc, 32);
+    let int8_eval_s = t.elapsed().as_secs_f64();
+    dader_tensor::pool::set_threads(prev);
+    let f1_f32 = m_f32.f1() as f64 / 100.0;
+    let f1_int8 = m_int8.f1() as f64 / 100.0;
+    let f32_pps = splits.test.len() as f64 / f32_eval_s.max(1e-9);
+    let int8_pps = splits.test.len() as f64 / int8_eval_s.max(1e-9);
+    println!(
+        "quantized: {} int8 tensors, eval 1-thread f32 {f32_pps:.1} pairs/s vs int8 {int8_pps:.1} pairs/s ({:.2}x), F1 {:.3} vs {:.3}",
+        qart.quantized.len(),
+        int8_pps / f32_pps.max(1e-9),
+        f1_f32,
+        f1_int8,
+    );
+    let eval = BenchEvalComparison {
+        f32_pairs_per_second: f32_pps,
+        int8_pairs_per_second: int8_pps,
+        speedup: int8_pps / f32_pps.max(1e-9),
+        datasets: vec![BenchEvalDataset {
+            name: DatasetId::ZY.to_string(),
+            f1_f32,
+            f1_int8,
+            delta: f1_int8 - f1_f32,
+        }],
+        max_abs_delta: (f1_int8 - f1_f32).abs(),
+    };
+    std::fs::remove_file(&qpath).ok();
+    let quant_s = t_quant.elapsed().as_secs_f64();
+
+    // ---- 5. serving throughput --------------------------------------
     let t_serve = std::time::Instant::now();
     let server = MatchServer::new(reloaded, renc, art.description.clone());
     let mut request_lines = String::new();
@@ -103,15 +153,17 @@ fn main() {
     }
     let serve_s = t_serve.elapsed().as_secs_f64();
     println!("total {:.1}s", t0.elapsed().as_secs_f32());
-    write_bench_snapshot(
+    write_bench_snapshot_with_eval(
         "artifact_e2e",
         t0.elapsed().as_secs_f64(),
         vec![
             BenchPhase { name: "context".into(), wall_s: context_s },
             BenchPhase { name: "train".into(), wall_s: train_s },
             BenchPhase { name: "verify".into(), wall_s: verify_s },
+            BenchPhase { name: "quantize".into(), wall_s: quant_s },
             BenchPhase { name: "serve".into(), wall_s: serve_s },
         ],
         (best_rate > 0.0).then(|| BenchThroughput { per_second: best_rate, unit: "pairs".into() }),
+        Some(eval),
     );
 }

@@ -237,10 +237,11 @@ fn main() {
         let batch = 32;
 
         let exhaustive = exhaustive_matches(&out.model, ctx.encoder(), &t.left, &t.right, batch);
+        let infer = dader_core::InferenceModel::from_model(&out.model);
         let blocked = {
             let _g = dader_obs::span!("bench.e2e.blocked");
             match_tables(
-                &out.model,
+                &infer,
                 ctx.encoder(),
                 &t.left,
                 &t.right,

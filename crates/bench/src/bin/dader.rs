@@ -24,13 +24,18 @@
 //! ```text
 //! dader list                      # datasets and methods
 //! dader distance --target AB      # rank all sources by MMD (Finding 2)
+//! dader quantize in.dma out.dma   # int8-quantize a saved artifact (v2)
 //! ```
 
-use dader_bench::report::{write_bench_snapshot, BenchPhase, BenchThroughput};
+use dader_bench::report::{
+    write_bench_snapshot_with_eval, BenchEvalComparison, BenchEvalDataset, BenchPhase,
+    BenchThroughput,
+};
 use dader_bench::{note, Context, Scale};
+use dader_core::artifact::ModelArtifact;
 use dader_core::distance::dataset_mmd;
 use dader_core::train::TrainConfig;
-use dader_core::AlignerKind;
+use dader_core::{AlignerKind, InferenceModel};
 use dader_datagen::DatasetId;
 
 fn parse_method(s: &str) -> Option<AlignerKind> {
@@ -54,9 +59,48 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--checkpoint <path>] [--checkpoint-every N] [--resume <path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader list"
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--checkpoint <path>] [--checkpoint-every N] [--resume <path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader quantize <in.dma> <out.dma>\n  dader list"
     );
     std::process::exit(2);
+}
+
+/// `dader quantize in.dma out.dma`: load a saved artifact, quantize every
+/// eligible weight matrix to int8 per-row codes, and write the result as a
+/// format-version-2 artifact that `dader-serve` runs through the integer
+/// GEMM path.
+fn cmd_quantize(args: &[String]) {
+    let (input, output) = match (args.get(1), args.get(2)) {
+        (Some(i), Some(o)) => (std::path::PathBuf::from(i), std::path::PathBuf::from(o)),
+        _ => usage(),
+    };
+    let art = match ModelArtifact::load_file(&input) {
+        Ok(art) => art,
+        Err(e) => {
+            eprintln!("dader quantize: cannot load {}: {e}", input.display());
+            std::process::exit(1);
+        }
+    };
+    let quantized = match art.quantize() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("dader quantize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = quantized.save_file(&output) {
+        eprintln!("dader quantize: cannot write {}: {e}", output.display());
+        std::process::exit(1);
+    }
+    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "quantized {} -> {}: {} of {} tensors int8, {} -> {} bytes",
+        input.display(),
+        output.display(),
+        quantized.quantized.len(),
+        quantized.checkpoint.entries.len(),
+        size(&input),
+        size(&output),
+    );
 }
 
 fn cmd_list() {
@@ -140,19 +184,83 @@ fn cmd_run(args: &[String]) {
     if let Some(path) = telemetry_path {
         note!("telemetry written to {} ({epochs_run}+ records)", path.display());
     }
-    write_bench_snapshot(
+    let t_cmp = std::time::Instant::now();
+    let eval = eval_comparison(&ctx, &out.model);
+    let compare_s = t_cmp.elapsed().as_secs_f64();
+    write_bench_snapshot_with_eval(
         "dader",
         run_start.elapsed().as_secs_f64(),
         vec![
             BenchPhase { name: "context".into(), wall_s: context_s },
             BenchPhase { name: "train".into(), wall_s: train_s },
             BenchPhase { name: "eval".into(), wall_s: eval_s },
+            BenchPhase { name: "eval_compare".into(), wall_s: compare_s },
         ],
         (train_s > 0.0).then(|| BenchThroughput {
             per_second: epochs_run as f64 / train_s,
             unit: "epochs".into(),
         }),
+        eval,
     );
+}
+
+/// Compare the taped f32 evaluation against the tape-free int8 inference
+/// path: quantize the trained model's weights, then — single-threaded, so
+/// the numbers reflect kernel cost rather than parallelism — measure
+/// throughput and per-dataset test F1 over the whole benchmark suite.
+fn eval_comparison(ctx: &Context, model: &dader_core::DaderModel) -> Option<BenchEvalComparison> {
+    let art = ModelArtifact::capture("eval comparison", model, ctx.encoder());
+    let art = match art.quantize() {
+        Ok(a) => a,
+        Err(e) => {
+            note!("eval comparison skipped (quantize failed): {e}");
+            return None;
+        }
+    };
+    let int8 = match InferenceModel::from_artifact(&art) {
+        Ok(m) => m,
+        Err(e) => {
+            note!("eval comparison skipped (instantiate failed): {e}");
+            return None;
+        }
+    };
+    let prev = dader_tensor::pool::set_threads(Some(1));
+    let mut datasets = Vec::new();
+    let mut pairs = 0usize;
+    let (mut f32_s, mut int8_s) = (0.0f64, 0.0f64);
+    for id in DatasetId::all() {
+        let splits = ctx.target_splits(id);
+        pairs += splits.test.len();
+        let t = std::time::Instant::now();
+        let mf = model.evaluate(&splits.test, ctx.encoder(), 32);
+        f32_s += t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        let mq = int8.evaluate(&splits.test, ctx.encoder(), 32);
+        int8_s += t.elapsed().as_secs_f64();
+        let f1_f32 = mf.f1() as f64 / 100.0;
+        let f1_int8 = mq.f1() as f64 / 100.0;
+        datasets.push(BenchEvalDataset {
+            name: id.to_string(),
+            f1_f32,
+            f1_int8,
+            delta: f1_int8 - f1_f32,
+        });
+    }
+    dader_tensor::pool::set_threads(prev);
+    let max_abs_delta = datasets.iter().map(|d| d.delta.abs()).fold(0.0, f64::max);
+    let f32_pps = pairs as f64 / f32_s.max(1e-9);
+    let int8_pps = pairs as f64 / int8_s.max(1e-9);
+    note!(
+        "eval compare: {pairs} pairs 1-thread: f32 {f32_pps:.0}/s vs int8 {int8_pps:.0}/s ({:.2}x), max |dF1| {max_abs_delta:.4}",
+        int8_pps / f32_pps.max(1e-9)
+    );
+    Some(BenchEvalComparison {
+        f32_pairs_per_second: f32_pps,
+        int8_pairs_per_second: int8_pps,
+        speedup: int8_pps / f32_pps.max(1e-9),
+        datasets,
+        max_abs_delta,
+    })
 }
 
 fn cmd_distance(args: &[String]) {
@@ -184,6 +292,7 @@ fn main() {
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),
         Some("distance") => cmd_distance(&args),
+        Some("quantize") => cmd_quantize(&args),
         Some("list") => cmd_list(),
         _ => usage(),
     }

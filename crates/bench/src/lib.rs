@@ -15,7 +15,10 @@ pub mod serve;
 
 pub use context::{apply_log_args, Context, TargetSplits};
 pub use matching::{build_blocker, match_tables, BlockerKind, MatchOutcome, TableMatch};
-pub use report::{write_bench_snapshot, write_json, Cell, Table};
+pub use report::{
+    write_bench_snapshot, write_bench_snapshot_with_eval, write_json, BenchEvalComparison,
+    BenchEvalDataset, Cell, Table,
+};
 pub use scale::Scale;
 pub use serve::{serve_tcp, ErrorCode, MatchServer, ServeLimits, TcpServeConfig};
 

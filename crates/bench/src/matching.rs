@@ -9,7 +9,7 @@
 //! `blocking_quality` bench.
 
 use dader_block::{Blocker, LshParams, MinHashLshBlocker, TfIdfBlocker};
-use dader_core::{DaderModel, EntityPair};
+use dader_core::{EntityPair, InferenceModel};
 use dader_datagen::Entity;
 use dader_text::PairEncoder;
 
@@ -73,12 +73,12 @@ pub struct MatchOutcome {
 }
 
 /// Block `left` against `right` with top-`k` candidates per record, score
-/// every candidate pair through the model, and keep matches: pairs the
-/// matcher labels positive, or — when `threshold` is given — pairs whose
-/// probability reaches it.
+/// every candidate pair through the tape-free inference model, and keep
+/// matches: pairs the matcher labels positive, or — when `threshold` is
+/// given — pairs whose probability reaches it.
 #[allow(clippy::too_many_arguments)]
 pub fn match_tables(
-    model: &DaderModel,
+    model: &InferenceModel,
     encoder: &PairEncoder,
     left: &[Entity],
     right: &[Entity],

@@ -134,6 +134,36 @@ pub struct BenchThroughput {
     pub unit: String,
 }
 
+/// One dataset's f32-vs-int8 evaluation F1 comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchEvalDataset {
+    /// Dataset name (e.g. `FZ`).
+    pub name: String,
+    /// Taped f32 evaluation F1 (fraction, 0..=1).
+    pub f1_f32: f64,
+    /// Tape-free int8 evaluation F1 (fraction, 0..=1).
+    pub f1_int8: f64,
+    /// `f1_int8 - f1_f32` (signed).
+    pub delta: f64,
+}
+
+/// Eval-phase comparison of the taped f32 forward against the tape-free
+/// int8-quantized inference path: single-thread throughput for both, the
+/// speedup, and per-dataset F1 deltas.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchEvalComparison {
+    /// Pairs/second through the taped f32 evaluation (single thread).
+    pub f32_pairs_per_second: f64,
+    /// Pairs/second through the tape-free int8 evaluation (single thread).
+    pub int8_pairs_per_second: f64,
+    /// `int8_pairs_per_second / f32_pairs_per_second`.
+    pub speedup: f64,
+    /// Per-dataset F1 comparison over the full benchmark suite.
+    pub datasets: Vec<BenchEvalDataset>,
+    /// Largest `|delta|` across `datasets`.
+    pub max_abs_delta: f64,
+}
+
 /// The machine-readable summary a bench binary leaves behind.
 #[derive(Debug, Serialize)]
 pub struct BenchSnapshot {
@@ -147,6 +177,8 @@ pub struct BenchSnapshot {
     pub phases: Vec<BenchPhase>,
     /// Main throughput figure, when the run has one.
     pub throughput: Option<BenchThroughput>,
+    /// Eval-phase f32-vs-int8 comparison, when the run produced one.
+    pub eval: Option<BenchEvalComparison>,
 }
 
 /// Write a run summary to `results/BENCH_<name>.json`: total and
@@ -158,12 +190,24 @@ pub fn write_bench_snapshot(
     phases: Vec<BenchPhase>,
     throughput: Option<BenchThroughput>,
 ) {
+    write_bench_snapshot_with_eval(name, total_wall_s, phases, throughput, None);
+}
+
+/// [`write_bench_snapshot`] plus the eval-phase f32-vs-int8 comparison.
+pub fn write_bench_snapshot_with_eval(
+    name: &str,
+    total_wall_s: f64,
+    phases: Vec<BenchPhase>,
+    throughput: Option<BenchThroughput>,
+    eval: Option<BenchEvalComparison>,
+) {
     let snapshot = BenchSnapshot {
         name: name.to_string(),
         threads: dader_tensor::pool::current_threads(),
         total_wall_s,
         phases,
         throughput,
+        eval,
     };
     write_json(&format!("BENCH_{name}"), &snapshot);
 }

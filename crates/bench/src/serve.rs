@@ -61,7 +61,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use dader_core::artifact::{ArtifactError, ModelArtifact};
-use dader_core::DaderModel;
+use dader_core::{DaderModel, InferenceModel};
 use dader_obs::{Counter, Histogram};
 use dader_text::PairEncoder;
 use serde::Value;
@@ -166,9 +166,12 @@ impl Default for ServeLimits {
     }
 }
 
-/// A loaded model plus encoder, ready to answer match requests.
+/// A loaded model plus encoder, ready to answer match requests. Scoring
+/// runs through the tape-free [`InferenceModel`] — no autograd tape is
+/// ever allocated on the serving path, and a quantized (format v2)
+/// artifact serves through its int8 weights automatically.
 pub struct MatchServer {
-    model: DaderModel,
+    model: InferenceModel,
     encoder: PairEncoder,
     /// Provenance line from the artifact (logged at startup).
     pub description: String,
@@ -257,10 +260,13 @@ fn read_bounded_line<R: BufRead>(input: &mut R, max: usize) -> std::io::Result<L
 }
 
 impl MatchServer {
-    /// Load an artifact from disk and instantiate the model.
+    /// Load an artifact from disk and build the inference model directly —
+    /// no training model (and no autograd tape) is ever constructed.
     pub fn from_artifact_file(path: impl AsRef<std::path::Path>) -> Result<MatchServer, ArtifactError> {
         let art = ModelArtifact::load_file(path)?;
-        let (model, encoder) = art.instantiate()?;
+        let model = InferenceModel::from_artifact(&art)?;
+        let encoder =
+            PairEncoder::from_state(art.encoder.clone()).map_err(ArtifactError::Encoder)?;
         Ok(MatchServer {
             model,
             encoder,
@@ -268,13 +274,32 @@ impl MatchServer {
         })
     }
 
-    /// Wrap an already-instantiated model (tests, in-process use).
+    /// Wrap an already-instantiated training model (tests, in-process use):
+    /// its weights are snapshotted into a tape-free inference model.
     pub fn new(model: DaderModel, encoder: PairEncoder, description: impl Into<String>) -> MatchServer {
+        MatchServer {
+            model: InferenceModel::from_model(&model),
+            encoder,
+            description: description.into(),
+        }
+    }
+
+    /// Wrap an already-built inference model.
+    pub fn from_inference(
+        model: InferenceModel,
+        encoder: PairEncoder,
+        description: impl Into<String>,
+    ) -> MatchServer {
         MatchServer {
             model,
             encoder,
             description: description.into(),
         }
+    }
+
+    /// Whether the served model runs on int8-quantized weights.
+    pub fn is_quantized(&self) -> bool {
+        self.model.is_quantized()
     }
 
     /// Match two whole tables through this server's model: block with the

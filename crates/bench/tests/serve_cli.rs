@@ -247,6 +247,140 @@ fn metrics_endpoint_serves_parseable_dump() {
     }
 }
 
+/// Write the same tiny model twice: once as a plain f32 (version-1)
+/// artifact and once int8-quantized (version-2), so the two servings can
+/// be compared on an identical request set.
+fn write_tiny_artifact_pair(name: &str) -> (PathBuf, PathBuf) {
+    let f32_path = write_tiny_artifact(&format!("{name}_f32.dma"));
+    let art = ModelArtifact::load_file(&f32_path).unwrap();
+    let int8_path =
+        std::env::temp_dir().join(format!("dader_serve_cli_{}_{name}_int8.dma", std::process::id()));
+    art.quantize().unwrap().save_file(&int8_path).unwrap();
+    (f32_path, int8_path)
+}
+
+/// Serve `input` through the real binary over a real TCP socket: spawn
+/// with `--listen 127.0.0.1:0`, learn the ephemeral port from stderr,
+/// stream the request lines through one connection, and shut the server
+/// down gracefully. Returns one parsed JSON value per response line.
+fn serve_over_tcp(artifact: &PathBuf, input: &str) -> Vec<Value> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dader-serve"))
+        .arg(artifact)
+        .args(["--batch-size", "2", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dader-serve");
+
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before announcing the listen address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("dader-serve: listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to dader-serve");
+    conn.write_all(input.as_bytes()).unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut raw = String::new();
+    BufReader::new(conn).read_to_string(&mut raw).expect("read responses");
+
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(b"shutdown\n").unwrap();
+    drop(stdin);
+    let status = child.wait().expect("dader-serve exit");
+    assert!(status.success(), "server must drain and exit cleanly");
+
+    raw.lines()
+        .map(|l| serde_json::from_str(l).expect("every response line is JSON"))
+        .collect()
+}
+
+/// Satellite gate: an int8-quantized (version-2) artifact served over real
+/// sockets agrees with the f32 artifact on a fixed request set, and the
+/// serving envelope — `rid`, `latency_us`, the error taxonomy — is
+/// completely unaffected by quantization.
+#[test]
+fn quantized_artifact_serves_identically_over_sockets() {
+    let (f32_path, int8_path) = write_tiny_artifact_pair("quant");
+    let quantized = ModelArtifact::load_file(&int8_path).unwrap();
+    assert!(quantized.is_quantized(), "the int8 artifact must carry int8 entries on disk");
+
+    // Fixed request set: three good pairs and one malformed line, so the
+    // error taxonomy is exercised through the quantized path too.
+    let input = concat!(
+        "{\"id\": 1, \"a\": {\"title\": \"kodak esp printer\"}, \"b\": {\"title\": \"kodak esp\"}}\n",
+        "broken {{{\n",
+        "{\"id\": 2, \"a\": {\"title\": \"hp laserjet\"}, \"b\": {\"title\": \"kodak\"}}\n",
+        "{\"id\": 3, \"a\": {\"title\": \"printer\"}, \"b\": {\"title\": \"printer\"}}\n",
+    );
+    let f32_resp = serve_over_tcp(&f32_path, input);
+    let int8_resp = serve_over_tcp(&int8_path, input);
+    std::fs::remove_file(&f32_path).unwrap();
+    std::fs::remove_file(&int8_path).unwrap();
+
+    assert_eq!(f32_resp.len(), 4);
+    assert_eq!(int8_resp.len(), 4);
+
+    for (lineno, (a, b)) in f32_resp.iter().zip(&int8_resp).enumerate() {
+        // The serving envelope is identical in shape on both servers.
+        assert!(a.get("rid").is_some() && b.get("rid").is_some(), "line {}", lineno + 1);
+        let lat_a = a.get("latency_us").unwrap().as_f64().unwrap();
+        let lat_b = b.get("latency_us").unwrap().as_f64().unwrap();
+        assert!(lat_a >= 0.0 && lat_b >= 0.0, "line {}", lineno + 1);
+        assert_eq!(
+            a.get("error").is_some(),
+            b.get("error").is_some(),
+            "line {}: error classification must not depend on quantization",
+            lineno + 1
+        );
+    }
+
+    // Error taxonomy byte-for-byte: same code, retryable flag and line
+    // number on the malformed line.
+    for resp in [&f32_resp, &int8_resp] {
+        let err = &resp[1];
+        assert!(err.get("error").is_some());
+        assert_eq!(err.get("code").unwrap().as_str(), Some("invalid_json"));
+        assert_eq!(err.get("retryable"), Some(&Value::Bool(false)));
+        assert_eq!(err.get("line").unwrap().as_f64(), Some(2.0));
+    }
+
+    // rids strictly increase within each connection, independently.
+    for resp in [&f32_resp, &int8_resp] {
+        let rids: Vec<u64> =
+            resp.iter().map(|v| v.get("rid").unwrap().as_f64().unwrap() as u64).collect();
+        assert!(rids.windows(2).all(|w| w[1] > w[0]), "rids must strictly increase: {rids:?}");
+    }
+
+    // Pair-match agreement on the good lines: identical ids and match
+    // decisions, probabilities within the quantization tolerance.
+    for idx in [0usize, 2, 3] {
+        let (a, b) = (&f32_resp[idx], &int8_resp[idx]);
+        assert_eq!(a.get("id"), b.get("id"), "line {}", idx + 1);
+        assert_eq!(
+            a.get("match"),
+            b.get("match"),
+            "line {}: match decision must agree across quantization",
+            idx + 1
+        );
+        let pa = a.get("probability").unwrap().as_f64().unwrap();
+        let pb = b.get("probability").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&pa) && (0.0..=1.0).contains(&pb));
+        assert!(
+            (pa - pb).abs() < 0.15,
+            "line {}: quantized probability drifted: {pa} vs {pb}",
+            idx + 1
+        );
+    }
+}
+
 #[test]
 fn corrupted_artifact_fails_with_structured_error() {
     let artifact = write_tiny_artifact("corrupt.dma");

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! magic (4 bytes)  "DDRC" checkpoint | "DDRA" artifact
-//! version (u32 LE) currently 1; greater versions are rejected
+//! version (u32 LE) 1 (dense f32) or 2 (adds int8 entries); greater rejected
 //! body_len (u64 LE)
 //! body (body_len bytes)
 //! crc32 (u32 LE)   IEEE CRC-32 over the body
@@ -26,12 +26,22 @@
 //! are published atomically via rename, so readers never observe a
 //! half-written artifact.
 //!
+//! Format **version 2** (produced by [`ModelArtifact::quantize`] /
+//! `dader quantize`) inserts one encoding tag byte per checkpoint entry
+//! after the shape dims: tag `0` is a dense f32 payload exactly as in
+//! version 1; tag `1` is an int8 per-row-quantized payload — per-row
+//! scales (f32s), per-row zero points (f32s), then a u64 code count and
+//! the raw int8 codes. Artifacts with no quantized entries are still
+//! written as version 1, byte-for-byte identical to previous builds, and
+//! version-1 files always load.
+//!
 //! Every load-time failure is a typed [`ArtifactError`]; corrupted files
 //! never panic.
 
 use std::io::Write;
 use std::path::Path;
 
+use dader_tensor::infer::{quantize_rows, QuantizeError, QuantizedMatrix};
 use dader_text::{EncoderState, PairEncoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,7 +56,12 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DDRC";
 /// Magic bytes of a model-artifact file.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"DDRA";
 /// Current (and maximum readable) format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Per-entry encoding tag in version-2 bodies: dense f32 payload.
+const ENTRY_TAG_F32: u8 = 0;
+/// Per-entry encoding tag in version-2 bodies: int8 per-row quantized.
+const ENTRY_TAG_INT8: u8 = 1;
 
 /// Errors from saving or loading model artifacts and checkpoint files.
 #[derive(Debug)]
@@ -310,13 +325,18 @@ impl<'a> ByteReader<'a> {
 
 /// Atomically write `magic + version + body + crc32(body)` to `path` via
 /// a temporary sibling file and rename.
-pub(crate) fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(), ArtifactError> {
+pub(crate) fn write_framed(
+    path: &Path,
+    magic: [u8; 4],
+    version: u32,
+    body: &[u8],
+) -> Result<(), ArtifactError> {
     if let Some(e) = dader_obs::fault::io_error("artifact.write") {
         return Err(ArtifactError::Io(e));
     }
     let mut out = Vec::with_capacity(body.len() + 20);
     out.extend_from_slice(&magic);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
     out.extend_from_slice(body);
     out.extend_from_slice(&crc32(body).to_le_bytes());
@@ -337,8 +357,8 @@ pub(crate) fn write_framed(path: &Path, magic: [u8; 4], body: &[u8]) -> Result<(
 }
 
 /// Read a framed file back, validating magic, version, declared length
-/// and CRC; returns the body bytes.
-pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, ArtifactError> {
+/// and CRC; returns the stamped format version and the body bytes.
+pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<(u32, Vec<u8>), ArtifactError> {
     let raw = std::fs::read(path)?;
     if raw.len() < 16 {
         return Err(ArtifactError::Truncated { needed: 16, available: raw.len() });
@@ -376,12 +396,20 @@ pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, Artifa
     if stored != computed {
         return Err(ArtifactError::CrcMismatch { stored, computed });
     }
-    Ok(body.to_vec())
+    Ok((version, body.to_vec()))
 }
 
 // ------------------------------------------------------------ checkpoint
 
-fn encode_checkpoint_body(w: &mut ByteWriter, ckpt: &Checkpoint) {
+/// Encode a checkpoint body. `quantized` is the artifact's int8 side
+/// table: `None` writes the version-1 layout (byte-identical to previous
+/// builds); `Some` writes version-2 entries, each prefixed with an
+/// encoding tag, storing int8 codes for names present in the table.
+fn encode_checkpoint_body(
+    w: &mut ByteWriter,
+    ckpt: &Checkpoint,
+    quantized: Option<&[(String, QuantizedMatrix)]>,
+) {
     w.put_u32(ckpt.version);
     w.put_str(&ckpt.description);
     w.put_usize(ckpt.entries.len());
@@ -391,19 +419,99 @@ fn encode_checkpoint_body(w: &mut ByteWriter, ckpt: &Checkpoint) {
         for &d in &e.shape {
             w.put_u64(d as u64);
         }
-        w.put_f32s(&e.data);
+        let q = quantized.map(|q| q.iter().find(|(n, _)| *n == e.name));
+        match q {
+            None => w.put_f32s(&e.data),
+            Some(None) => {
+                w.put_u8(ENTRY_TAG_F32);
+                w.put_f32s(&e.data);
+            }
+            Some(Some((_, q))) => {
+                w.put_u8(ENTRY_TAG_INT8);
+                w.put_f32s(&q.scale);
+                w.put_f32s(&q.zero);
+                w.put_usize(q.data.len());
+                w.buf.extend(q.data.iter().map(|&v| v as u8));
+            }
+        }
     }
 }
 
-fn decode_checkpoint_body(r: &mut ByteReader<'_>) -> Result<Checkpoint, ArtifactError> {
-    let version = r.take_u32()?;
+/// Decode one int8-quantized entry payload, validating its geometry and
+/// scales, and returning the reconstructed quantized matrix.
+fn decode_int8_entry(
+    r: &mut ByteReader<'_>,
+    name: &str,
+    shape: &[usize],
+) -> Result<QuantizedMatrix, ArtifactError> {
+    let (rows, cols) = match shape {
+        [rows, cols] => (*rows, *cols),
+        _ => {
+            return Err(ArtifactError::Malformed(format!(
+                "int8 entry {name:?} has rank-{} shape; only rank-2 tensors quantize",
+                shape.len()
+            )));
+        }
+    };
+    let scale = r.take_f32s()?;
+    let zero = r.take_f32s()?;
+    if scale.len() != rows || zero.len() != rows {
+        return Err(ArtifactError::Malformed(format!(
+            "int8 entry {name:?}: {} scales / {} zero points for {rows} rows",
+            scale.len(),
+            zero.len()
+        )));
+    }
+    for (i, &s) in scale.iter().enumerate() {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ArtifactError::Malformed(format!(
+                "int8 entry {name:?}: scale {s} at row {i} is not a positive finite value"
+            )));
+        }
+    }
+    let n = r.take_len(1)?;
+    if n != rows * cols {
+        return Err(ArtifactError::Malformed(format!(
+            "int8 entry {name:?}: {n} codes for shape ({rows}, {cols})"
+        )));
+    }
+    let codes = r.take(n)?.iter().map(|&b| b as i8).collect();
+    Ok(QuantizedMatrix { rows, cols, scale, zero, data: codes })
+}
+
+/// Decode a checkpoint body written by [`encode_checkpoint_body`] for the
+/// given frame `version`. Int8 entries are dequantized into the returned
+/// checkpoint (so restoring works unchanged) and also returned raw.
+fn decode_checkpoint_body(
+    r: &mut ByteReader<'_>,
+    version: u32,
+) -> Result<(Checkpoint, Vec<(String, QuantizedMatrix)>), ArtifactError> {
+    let ckpt_version = r.take_u32()?;
     let description = r.take_str()?;
     let n = r.take_len(0)?;
     let mut entries = Vec::with_capacity(n.min(1 << 16));
+    let mut quantized = Vec::new();
     for _ in 0..n {
         let name = r.take_str()?;
         let shape = r.take_dims()?;
-        let data = r.take_f32s()?;
+        let data = if version >= 2 {
+            match r.take_u8()? {
+                ENTRY_TAG_F32 => r.take_f32s()?,
+                ENTRY_TAG_INT8 => {
+                    let q = decode_int8_entry(r, &name, &shape)?;
+                    let data = q.dequantize();
+                    quantized.push((name.clone(), q));
+                    data
+                }
+                tag => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "unknown entry encoding tag {tag} for {name:?}"
+                    )));
+                }
+            }
+        } else {
+            r.take_f32s()?
+        };
         let entry = CheckpointEntry { name, shape, data };
         entry.validate_data_len()?;
         if let Some(index) = entry.data.iter().position(|v| !v.is_finite()) {
@@ -411,7 +519,7 @@ fn decode_checkpoint_body(r: &mut ByteReader<'_>) -> Result<Checkpoint, Artifact
         }
         entries.push(entry);
     }
-    Ok(Checkpoint { version, description, entries })
+    Ok((Checkpoint { version: ckpt_version, description, entries }, quantized))
 }
 
 impl Checkpoint {
@@ -419,16 +527,16 @@ impl Checkpoint {
     /// write-via-rename; see the module docs for the layout).
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
         let mut w = ByteWriter::new();
-        encode_checkpoint_body(&mut w, self);
-        write_framed(path.as_ref(), CHECKPOINT_MAGIC, &w.buf)
+        encode_checkpoint_body(&mut w, self, None);
+        write_framed(path.as_ref(), CHECKPOINT_MAGIC, 1, &w.buf)
     }
 
     /// Load a checkpoint saved by [`Checkpoint::save_file`], validating
     /// magic, version, CRC and every entry's shape/data consistency.
     pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, ArtifactError> {
-        let body = read_framed(path.as_ref(), CHECKPOINT_MAGIC)?;
+        let (version, body) = read_framed(path.as_ref(), CHECKPOINT_MAGIC)?;
         let mut r = ByteReader::new(&body);
-        let ckpt = decode_checkpoint_body(&mut r)?;
+        let (ckpt, _) = decode_checkpoint_body(&mut r, version)?;
         r.expect_end()?;
         Ok(ckpt)
     }
@@ -452,8 +560,13 @@ pub struct ModelArtifact {
     pub matcher_dim: usize,
     /// Tokenizer state: ordered vocabulary plus padded length.
     pub encoder: EncoderState,
-    /// The trained `(F, M)` weights, extractor parameters first.
+    /// The trained `(F, M)` weights, extractor parameters first. For a
+    /// quantized artifact these are the *dequantized* values, so
+    /// [`ModelArtifact::instantiate`] works unchanged.
     pub checkpoint: Checkpoint,
+    /// Int8 side table for quantized entries, keyed by parameter name.
+    /// Empty for dense f32 artifacts (which are written as version 1).
+    pub quantized: Vec<(String, QuantizedMatrix)>,
 }
 
 impl ModelArtifact {
@@ -470,8 +583,53 @@ impl ModelArtifact {
             matcher_dim: model.extractor.feat_dim(),
             encoder: encoder.state(),
             checkpoint: Checkpoint::capture(description.clone(), &model.params()),
+            quantized: Vec::new(),
             description,
         }
+    }
+
+    /// True when this artifact carries int8-quantized entries (and will be
+    /// written as format version 2).
+    pub fn is_quantized(&self) -> bool {
+        !self.quantized.is_empty()
+    }
+
+    /// Produce an int8-quantized copy of this artifact: every rank-2 `.w`
+    /// weight matrix (the GEMM operands) is quantized per row; embedding
+    /// tables, biases and norm parameters stay f32. The checkpoint entries
+    /// are replaced by their dequantized values, so instantiating the
+    /// result reproduces exactly what the int8 path approximates.
+    ///
+    /// The matcher and the extractor head projection are left f32: their
+    /// GEMMs are a rounding error of inference time, but their output feeds
+    /// the logits directly, so quantization noise there moves the decision
+    /// boundary instead of washing out in later layers.
+    ///
+    /// A non-finite weight yields [`ArtifactError::NonFiniteWeights`]
+    /// instead of poisoning the output.
+    pub fn quantize(&self) -> Result<ModelArtifact, ArtifactError> {
+        let mut art = self.clone();
+        art.quantized.clear();
+        for e in art.checkpoint.entries.iter_mut() {
+            if e.shape.len() != 2 || !e.name.ends_with(".w") {
+                continue;
+            }
+            if e.name.starts_with("matcher.") || e.name.ends_with(".head.w") {
+                continue;
+            }
+            if e.name.ends_with(".wo.w") || e.name.ends_with(".ff2.w") {
+                continue;
+            }
+            let q = quantize_rows(&e.data, e.shape[0], e.shape[1]).map_err(|err| match err {
+                QuantizeError::NonFinite { row, index } => ArtifactError::NonFiniteWeights {
+                    entry: e.name.clone(),
+                    index: row * e.shape[1] + index,
+                },
+            })?;
+            e.data = q.dequantize();
+            art.quantized.push((e.name.clone(), q));
+        }
+        Ok(art)
     }
 
     /// Rebuild the model and its pair encoder: construct a fresh `(F, M)`
@@ -528,14 +686,16 @@ impl ModelArtifact {
         for t in &self.encoder.tokens {
             w.put_str(t);
         }
-        encode_checkpoint_body(&mut w, &self.checkpoint);
-        write_framed(path.as_ref(), ARTIFACT_MAGIC, &w.buf)
+        let version = if self.quantized.is_empty() { 1 } else { FORMAT_VERSION };
+        let quantized = if self.quantized.is_empty() { None } else { Some(self.quantized.as_slice()) };
+        encode_checkpoint_body(&mut w, &self.checkpoint, quantized);
+        write_framed(path.as_ref(), ARTIFACT_MAGIC, version, &w.buf)
     }
 
     /// Load an artifact saved by [`ModelArtifact::save_file`], validating
     /// magic, version, CRC and the structural integrity of every section.
     pub fn load_file(path: impl AsRef<Path>) -> Result<ModelArtifact, ArtifactError> {
-        let body = read_framed(path.as_ref(), ARTIFACT_MAGIC)?;
+        let (version, body) = read_framed(path.as_ref(), ARTIFACT_MAGIC)?;
         let mut r = ByteReader::new(&body);
         let description = r.take_str()?;
         let extractor = match r.take_u8()? {
@@ -574,7 +734,7 @@ impl ModelArtifact {
         for _ in 0..n_tokens {
             tokens.push(r.take_str()?);
         }
-        let checkpoint = decode_checkpoint_body(&mut r)?;
+        let (checkpoint, quantized) = decode_checkpoint_body(&mut r, version)?;
         r.expect_end()?;
         Ok(ModelArtifact {
             description,
@@ -582,6 +742,7 @@ impl ModelArtifact {
             matcher_dim,
             encoder: EncoderState { tokens, max_len: enc_max_len },
             checkpoint,
+            quantized,
         })
     }
 }

@@ -69,6 +69,7 @@ pub mod checkpoint;
 pub mod distance;
 pub mod eval;
 pub mod extractor;
+pub mod infer;
 pub mod matcher;
 pub mod model;
 pub mod multi_source;
@@ -84,6 +85,7 @@ pub use checkpoint::{Checkpoint, CheckpointEntry, CheckpointError};
 pub use distance::{dataset_features, dataset_mmd};
 pub use eval::{evaluate, mean_std, Metrics};
 pub use extractor::{ExtractorSpec, FeatureExtractor, LmExtractor, RnnExtractor};
+pub use infer::InferenceModel;
 pub use matcher::Matcher;
 pub use model::{DaderModel, EntityPair};
 pub use multi_source::{select_best_source, train_multi_source};

@@ -122,14 +122,14 @@ impl TrainCheckpoint {
             w.put_f32(h.loss_a);
         }
         w.put_u32(self.health_retries);
-        write_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC, &w.buf)
+        write_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC, 1, &w.buf)
     }
 
     /// Load a checkpoint saved by [`TrainCheckpoint::save_file`],
     /// validating magic, version, CRC, structure, and that every stored
     /// weight is finite.
     pub fn load_file(path: impl AsRef<Path>) -> Result<TrainCheckpoint, ArtifactError> {
-        let body = read_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC)?;
+        let (_version, body) = read_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC)?;
         let mut r = ByteReader::new(&body);
         // Plain u64 *values* (epoch numbers, shuffle indices, cursors) are
         // decoded with this, not `take_len`: `take_len` bounds the value by
@@ -409,7 +409,7 @@ mod tests {
         w.put_u64(5); // shape [5]...
         w.put_f32s(&[1.0, 2.0]); // ...but 2 weights
         let path = tmp("shape");
-        write_framed(&path, TRAIN_CHECKPOINT_MAGIC, &w.buf).unwrap();
+        write_framed(&path, TRAIN_CHECKPOINT_MAGIC, 1, &w.buf).unwrap();
         let err = TrainCheckpoint::load_file(&path).unwrap_err();
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(err, ArtifactError::Malformed(_)), "{err}");

@@ -17,6 +17,7 @@
 
 pub mod attention;
 pub mod embedding;
+pub mod infer;
 pub mod linear;
 pub mod loss;
 pub mod norm;
@@ -25,6 +26,10 @@ pub mod rnn;
 pub mod transformer;
 
 pub use attention::MultiHeadAttention;
+pub use infer::{
+    InferAttention, InferBiGru, InferEncoderLayer, InferGruCell, InferLayerNorm, InferLinear,
+    InferMatrix, InferTransformer,
+};
 pub use embedding::{Embedding, PositionalEmbedding};
 pub use linear::{Activation, Linear, Mlp};
 pub use norm::LayerNorm;

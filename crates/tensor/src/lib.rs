@@ -28,6 +28,7 @@
 //! ```
 
 pub mod autograd;
+pub mod infer;
 pub mod init;
 pub mod ops;
 pub mod param;

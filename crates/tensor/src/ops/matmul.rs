@@ -79,7 +79,7 @@ pub fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 pub const PAR_MIN_MACS: usize = 1 << 19;
 
 /// True when a product of `macs` multiply-accumulates should be sharded.
-fn worth_sharding(macs: usize) -> bool {
+pub(crate) fn worth_sharding(macs: usize) -> bool {
     macs >= PAR_MIN_MACS && pool::current_threads() > 1
 }
 

@@ -1,0 +1,475 @@
+//! Differential harness for the tape-free inference kernels.
+//!
+//! Four contracts are locked down here:
+//!
+//! 1. **Bitwise parity** — every f32 kernel in `dader_tensor::infer`
+//!    produces exactly the bytes the taped `Tensor` forward produces, on
+//!    arbitrary inputs, while the taped side demonstrably records a tape
+//!    (`requires_grad` is asserted on every taped output).
+//! 2. **Fused softmax** — the single-sweep masked softmax matches the
+//!    exact two-pass path within a few ulps, with golden hand-computed
+//!    cases (including all-masked rows and the `-1e9` attention fill).
+//! 3. **Int8 quantization** — roundtrip error is bounded by `scale / 2`
+//!    per element on arbitrary finite rows, and NaN/Inf inputs yield the
+//!    typed [`QuantizeError`] instead of poisoned codes.
+//! 4. **Fast approximations** — the polynomial `fast_exp` / `fast_tanh`
+//!    and the fast GELU / softmax built on them track the libm kernels
+//!    within ~1e-6, flush masked logits to *exact* zeros (no subnormals
+//!    leaking into downstream matmuls), and keep all-masked rows uniform.
+
+use dader_tensor::infer;
+use dader_tensor::infer::{QuantizeError, QuantizedMatrix};
+use dader_tensor::{Param, Tensor};
+use proptest::prelude::*;
+
+/// Distance in units-in-the-last-place between two finite f32s.
+fn ulp_distance(a: f32, b: f32) -> u32 {
+    // Map the float's bit pattern onto a monotone integer line.
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        (if bits < 0 { i32::MIN - bits } else { bits }) as i64
+    }
+    (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: golden fused-softmax / attention values
+// ---------------------------------------------------------------------------
+
+/// Three hand-computed 3×4 rows whose softmax comes out in exact binary
+/// fractions, so both softmax paths must reproduce them *exactly*:
+///
+/// * row 0 — all-equal logits, fully unmasked: `exp(0) = 1` four times,
+///   `inv = 1/4`, so every entry is exactly 0.25;
+/// * row 1 — mask `[1,1,0,0]` over `[5,5,7,9]` with the attention fill:
+///   the masked logits underflow to `exp(≈ -1e9) = 0`, the two live ones
+///   are `exp(0) = 1`, so the row is exactly `[0.5, 0.5, 0, 0]`;
+/// * row 2 — all entries masked: every logit collapses to the same
+///   `-1e9` (the offsets vanish in f32 rounding at that magnitude), so
+///   the row comes out *uniform* — exactly 0.25 each — instead of NaN.
+#[test]
+fn golden_masked_softmax_rows() {
+    let x = vec![
+        3.0, 3.0, 3.0, 3.0, // row 0
+        5.0, 5.0, 7.0, 9.0, // row 1
+        1.0, 2.0, 3.0, 4.0, // row 2
+    ];
+    let mask = vec![
+        1.0, 1.0, 1.0, 1.0, // row 0: none masked
+        1.0, 1.0, 0.0, 0.0, // row 1: last two masked
+        0.0, 0.0, 0.0, 0.0, // row 2: all masked
+    ];
+    let expect = vec![
+        0.25, 0.25, 0.25, 0.25, //
+        0.5, 0.5, 0.0, 0.0, //
+        0.25, 0.25, 0.25, 0.25, //
+    ];
+    let mut exact = x.clone();
+    infer::masked_softmax_rows(&mut exact, &mask, -1e9, 3, 4);
+    assert_eq!(exact, expect, "exact two-pass path");
+
+    let mut fused = x.clone();
+    infer::fused_masked_softmax_rows(&mut fused, &mask, -1e9, 3, 4);
+    assert_eq!(fused, expect, "fused single-sweep path");
+
+    // The taped reference — masked_fill_add(-1e9).softmax_last() — agrees.
+    let taped = Tensor::from_vec(x, (3, 4)).masked_fill_add(&mask, -1e9).softmax_last();
+    assert_eq!(taped.to_vec(), expect, "taped reference path");
+
+    // Row sums are exactly 1 in these golden cases.
+    for r in 0..3 {
+        let sum: f32 = fused[r * 4..(r + 1) * 4].iter().sum();
+        assert_eq!(sum, 1.0, "row {r} must normalize exactly");
+    }
+}
+
+#[test]
+fn golden_unmasked_softmax_matches_naive_softmax_last() {
+    // With no mask, both infer paths must equal Tensor::softmax_last on
+    // the same buffer — bitwise for the two-pass path, a few ulps for the
+    // fused one.
+    let x = vec![0.5, -1.25, 2.0, 0.0, 3.0, 3.0, -3.0, 0.125];
+    let mask = vec![1.0; 8];
+    let naive = Tensor::from_vec(x.clone(), (2, 4)).softmax_last().to_vec();
+
+    let mut exact = x.clone();
+    infer::masked_softmax_rows(&mut exact, &mask, -1e9, 2, 4);
+    assert_eq!(exact, naive, "two-pass path is bitwise-identical");
+
+    let mut fused = x.clone();
+    infer::fused_masked_softmax_rows(&mut fused, &mask, -1e9, 2, 4);
+    for (f, n) in fused.iter().zip(&naive) {
+        assert!(ulp_distance(*f, *n) <= 4, "{f} vs {n}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise parity: tape-free kernels vs the taped Tensor forward
+// ---------------------------------------------------------------------------
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (rows, cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-3.0f32..3.0, m * n).prop_map(move |v| (v, m, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_is_bitwise_identical_to_taped_forward(
+        (x, m, k) in matrix(1..5, 1..6),
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..k * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+
+        // Taped side: parameters, so the output provably records a tape.
+        let wp = Param::from_vec("w", w.clone(), (k, n));
+        let bp = Param::from_vec("b", b.clone(), n);
+        let taped = Tensor::from_vec(x.clone(), (m, k))
+            .matmul(&wp.leaf())
+            .add_rowvec(&bp.leaf());
+        prop_assert!(taped.requires_grad(), "taped forward must carry the tape");
+
+        let tape_free = infer::linear(&x, &w, &b, m, k, n);
+        prop_assert_eq!(taped.to_vec(), tape_free);
+    }
+
+    #[test]
+    fn masked_softmax_is_bitwise_identical_to_taped_forward(
+        (x, n, d) in matrix(1..5, 1..6),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 30),
+    ) {
+        let mask: Vec<f32> = (0..n * d).map(|i| if mask_bits[i % mask_bits.len()] { 1.0 } else { 0.0 }).collect();
+        let taped = Tensor::from_vec(x.clone(), (n, d))
+            .masked_fill_add(&mask, -1e9)
+            .softmax_last()
+            .to_vec();
+        let mut tape_free = x.clone();
+        infer::masked_softmax_rows(&mut tape_free, &mask, -1e9, n, d);
+        prop_assert_eq!(taped, tape_free);
+    }
+
+    #[test]
+    fn fused_softmax_matches_exact_within_ulps(
+        (x, n, d) in matrix(1..5, 1..8),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 40),
+    ) {
+        let mask: Vec<f32> = (0..n * d).map(|i| if mask_bits[i % mask_bits.len()] { 1.0 } else { 0.0 }).collect();
+        let mut exact = x.clone();
+        infer::masked_softmax_rows(&mut exact, &mask, -1e9, n, d);
+        let mut fused = x.clone();
+        infer::fused_masked_softmax_rows(&mut fused, &mask, -1e9, n, d);
+        for (e, f) in exact.iter().zip(&fused) {
+            prop_assert!(
+                ulp_distance(*e, *f) <= 8,
+                "exact {} vs fused {} differ by {} ulps", e, f, ulp_distance(*e, *f)
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_is_bitwise_identical_to_taped_forward(
+        (x, rows, d) in matrix(1..5, 1..6),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gamma: Vec<f32> = (0..d).map(|_| rng.random_range(0.5..1.5)).collect();
+        let beta: Vec<f32> = (0..d).map(|_| rng.random_range(-0.5..0.5)).collect();
+        let gp = Param::from_vec("gamma", gamma.clone(), d);
+        let bp = Param::from_vec("beta", beta.clone(), d);
+        let taped = Tensor::from_vec(x.clone(), (rows, d))
+            .layer_norm_last(1e-5)
+            .mul_rowvec(&gp.leaf())
+            .add_rowvec(&bp.leaf());
+        prop_assert!(taped.requires_grad());
+        let tape_free = infer::layer_norm(&x, &gamma, &beta, rows, d, 1e-5);
+        prop_assert_eq!(taped.to_vec(), tape_free);
+    }
+
+    #[test]
+    fn bmm_variants_are_bitwise_identical((a, bs, m) in matrix(1..4, 1..4), k in 1usize..4, n in 1usize..4, seed in 0u64..1000) {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..bs * m * k).map(|i| *a.get(i).unwrap_or(&0.5) + rng.random_range(-0.1..0.1)).collect();
+        let b: Vec<f32> = (0..bs * k * n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let taped = Tensor::from_vec(a.clone(), (bs, m, k))
+            .bmm(&Tensor::from_vec(b.clone(), (bs, k, n)))
+            .to_vec();
+        prop_assert_eq!(taped, infer::bmm(&a, &b, bs, m, k, n));
+
+        let bt: Vec<f32> = (0..bs * n * k).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let taped_nt = Tensor::from_vec(a.clone(), (bs, m, k))
+            .bmm_nt(&Tensor::from_vec(bt.clone(), (bs, n, k)))
+            .to_vec();
+        prop_assert_eq!(taped_nt, infer::bmm_nt(&a, &bt, bs, m, k, n));
+    }
+
+    #[test]
+    fn elementwise_and_pooling_kernels_are_bitwise_identical(
+        (x, b, s) in matrix(1..4, 1..5),
+        d in 1usize..5,
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 20),
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..b * s * d).map(|i| *x.get(i).unwrap_or(&0.25) + rng.random_range(-0.1..0.1)).collect();
+        let mask: Vec<f32> = (0..b * s).map(|i| if mask_bits[i % mask_bits.len()] { 1.0 } else { 0.0 }).collect();
+        let t = Tensor::from_vec(x.clone(), (b, s, d));
+
+        prop_assert_eq!(t.mean_pool_seq(&mask).to_vec(), infer::mean_pool_seq(&x, &mask, b, s, d));
+        prop_assert_eq!(t.select_seq_pos(0).to_vec(), infer::select_seq_pos(&x, b, s, d, 0));
+
+        let flat = Tensor::from_vec(x.clone(), (b * s, d));
+        let mut gelu = x.clone();
+        infer::gelu_inplace(&mut gelu);
+        prop_assert_eq!(flat.gelu().to_vec(), gelu);
+        let mut sig = x.clone();
+        infer::sigmoid_inplace(&mut sig);
+        prop_assert_eq!(flat.sigmoid().to_vec(), sig);
+        let mut tanh = x.clone();
+        infer::tanh_inplace(&mut tanh);
+        prop_assert_eq!(flat.tanh_act().to_vec(), tanh);
+        let mut l2 = x.clone();
+        infer::l2_normalize_rows_inplace(&mut l2, b * s, d, 1e-8);
+        prop_assert_eq!(flat.l2_normalize_rows(1e-8).to_vec(), l2);
+
+        let y: Vec<f32> = (0..b * s * d).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let yt = Tensor::from_vec(y.clone(), (b * s, d));
+        // |a - b| via the graph's relu(v) + relu(-v) formulation.
+        let taped_abs = flat.sub(&yt).relu().add(&flat.sub(&yt).neg().relu()).to_vec();
+        prop_assert_eq!(taped_abs, infer::abs_sub(&x, &y));
+
+        prop_assert_eq!(flat.concat_cols(&yt).to_vec(), infer::concat_cols(&x, &y, b * s, d, d));
+        prop_assert_eq!(flat.argmax_rows(), infer::argmax_rows(&x, b * s, d));
+    }
+
+    #[test]
+    fn head_split_merge_is_bitwise_identical((x, b, s) in matrix(1..4, 1..5), h in 1usize..4, dh in 1usize..4) {
+        let d = h * dh;
+        let x: Vec<f32> = (0..b * s * d).map(|i| *x.get(i % x.len().max(1)).unwrap_or(&0.0) + i as f32 * 0.01).collect();
+        let t = Tensor::from_vec(x.clone(), (b, s, d));
+        let split = infer::split_heads(&x, b, s, d, h);
+        prop_assert_eq!(t.split_heads(h).to_vec(), split.clone());
+        let merged = infer::merge_heads(&split, b, s, dh, h);
+        prop_assert_eq!(t.split_heads(h).merge_heads(h).to_vec(), merged.clone());
+        prop_assert_eq!(merged, x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: int8 quantize/dequantize properties
+// ---------------------------------------------------------------------------
+
+fn finite_rows() -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (1usize..5, 1usize..9).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1e4f32..1e4, r * c).prop_map(move |v| (v, r, c))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded_by_half_scale((data, rows, cols) in finite_rows()) {
+        let q = infer::quantize_rows(&data, rows, cols).unwrap();
+        prop_assert_eq!((q.rows, q.cols), (rows, cols));
+        let back = q.dequantize();
+        for r in 0..rows {
+            let s = q.scale[r];
+            prop_assert!(s > 0.0 && s.is_finite(), "scale must be positive and finite");
+            for c in 0..cols {
+                let orig = data[r * cols + c];
+                let got = back[r * cols + c];
+                // scale/2 plus a little f32 rounding slack on the affine
+                // reconstruction itself.
+                let bound = 0.5 * s + (orig.abs() + s).max(1.0) * 1e-5;
+                prop_assert!(
+                    (orig - got).abs() <= bound,
+                    "row {} col {}: {} -> {} exceeds {} (scale {})", r, c, orig, got, bound, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_codes_stay_in_symmetric_range((data, rows, cols) in finite_rows()) {
+        let q = infer::quantize_rows(&data, rows, cols).unwrap();
+        // -128 is forbidden: the AVX2 kernel transfers the activation sign
+        // onto weight bytes with `psignb`, and negating -128 wraps back to
+        // -128 — the code range must stay symmetric.
+        prop_assert!(q.data.iter().all(|&c| c >= -127));
+    }
+
+    #[test]
+    fn quantize_constant_rows_roundtrip_exactly(v in -1e4f32..1e4, cols in 1usize..16) {
+        let data = vec![v; cols];
+        let q = infer::quantize_rows(&data, 1, cols).unwrap();
+        prop_assert_eq!(q.dequantize(), data);
+    }
+
+    #[test]
+    fn quantize_rejects_any_non_finite(
+        (data, rows, cols) in finite_rows(),
+        poison_at in 0usize..4096,
+        kind in 0u8..3,
+    ) {
+        let mut data = data;
+        let idx = poison_at % data.len();
+        data[idx] = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let err = infer::quantize_rows(&data, rows, cols).unwrap_err();
+        let QuantizeError::NonFinite { row, index } = err;
+        prop_assert_eq!(row * cols + index, idx, "error must name the poisoned element");
+    }
+
+    #[test]
+    fn quantized_linear_tracks_dense_linear((w, k, n) in finite_rows(), m in 1usize..4, seed in 0u64..1000) {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        // Weight-scale magnitudes: keep activations moderate so the error
+        // bound below (driven by the two int8 grids) is meaningful.
+        let w: Vec<f32> = w.iter().map(|v| v / 1e4).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..m * k).map(|_| rng.random_range(-2.0f32..2.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.random_range(-0.5f32..0.5)).collect();
+        let q = infer::quantize_rows(&w, k, n).unwrap();
+
+        let dense_deq = infer::linear(&x, &q.dequantize(), &b, m, k, n);
+        let quant = infer::quantized_linear(&x, &q, &b, m);
+        // The integer path evaluates the *dequantized* weights with one
+        // extra int8 activation grid; bound the drift against that.
+        for i in 0..m {
+            let xrow = &x[i * k..(i + 1) * k];
+            let amax = xrow.iter().zip(&q.scale).map(|(v, s)| (v * s).abs()).fold(0.0f32, f32::max);
+            let tol = (amax / 127.0) * (k as f32) * 130.0 + 1e-3;
+            for j in 0..n {
+                let a = dense_deq[i * n + j];
+                let bq = quant[i * n + j];
+                prop_assert!((a - bq).abs() <= tol, "({},{}) {} vs {} tol {}", i, j, a, bq, tol);
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_matrix_value_matches_dequantize() {
+    let q = QuantizedMatrix {
+        rows: 2,
+        cols: 3,
+        scale: vec![0.5, 0.25],
+        zero: vec![1.0, -1.0],
+        data: vec![-2, 0, 2, 4, -4, 0],
+    };
+    let full = q.dequantize();
+    for r in 0..2 {
+        for c in 0..3 {
+            assert_eq!(q.value(r, c), full[r * 3 + c]);
+        }
+    }
+    assert_eq!(full, vec![0.0, 1.0, 2.0, 0.0, -2.0, -1.0]);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 4: fast approximation kernels (quantized serving path)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fast_exp_golden_points() {
+    // exp(0) must be exactly 1: the Horner polynomial's constant term.
+    assert_eq!(infer::fast_exp(0.0), 1.0);
+    // The masked-softmax fill must flush to an exact zero, matching libm —
+    // a subnormal here would poison every downstream multiply.
+    assert_eq!(infer::fast_exp(-1e9), 0.0);
+    assert_eq!((-1e9f32).exp(), 0.0);
+    // The input clamp keeps huge arguments finite instead of overflowing.
+    let big = infer::fast_exp(1e9);
+    assert!(big.is_finite() && big > 1e37);
+    // fast_tanh saturates cleanly at the rails.
+    assert_eq!(infer::fast_tanh(100.0), 1.0);
+    assert_eq!(infer::fast_tanh(-100.0), -1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_exp_tracks_libm_exp(x in -100.0f32..80.0) {
+        let fast = infer::fast_exp(x);
+        let exact = x.exp();
+        if x * std::f32::consts::LOG2_E <= -64.0 {
+            // Flush-to-zero region: libm itself is below 2^-64 here, so an
+            // exact zero is within 6e-20 absolute of the true value.
+            prop_assert_eq!(fast, 0.0);
+            prop_assert!(exact <= 6e-20);
+        } else {
+            // Polynomial error is ~3e-7 relative; on top of that the f32
+            // argument reduction rounds `x·log2(e)` to an ulp that grows
+            // with |x|, contributing ~|x|·1.2e-7 relative.
+            let rel = 1e-6 + 1.2e-7 * x.abs();
+            let tol = rel * exact.max(f32::MIN_POSITIVE);
+            prop_assert!(
+                (fast - exact).abs() <= tol,
+                "exp({}) = {} vs fast {}", x, exact, fast
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tanh_tracks_libm_tanh(x in -30.0f32..30.0) {
+        let fast = infer::fast_tanh(x);
+        prop_assert!((fast - x.tanh()).abs() <= 2e-6, "tanh({}) = {} vs fast {}", x, x.tanh(), fast);
+        // Exactly odd by construction (abs + copysign), like libm tanhf.
+        prop_assert_eq!(infer::fast_tanh(-x), -fast);
+    }
+
+    #[test]
+    fn fast_gelu_tracks_exact_gelu((x, _r, _c) in matrix(1..4, 1..8)) {
+        let mut exact = x.clone();
+        infer::gelu_inplace(&mut exact);
+        let mut fast = x.clone();
+        infer::gelu_fast_inplace(&mut fast);
+        for (e, f) in exact.iter().zip(&fast) {
+            prop_assert!((e - f).abs() <= 1e-5, "gelu {} vs fast {}", e, f);
+        }
+    }
+
+    #[test]
+    fn fast_softmax_tracks_exact_softmax(
+        (x, n, d) in matrix(1..5, 1..12),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 40),
+    ) {
+        let mask: Vec<f32> = (0..n * d).map(|i| if mask_bits[i % mask_bits.len()] { 1.0 } else { 0.0 }).collect();
+        let mut exact = x.clone();
+        infer::masked_softmax_rows(&mut exact, &mask, -1e9, n, d);
+        let mut fast = x.clone();
+        infer::fused_masked_softmax_rows_fast(&mut fast, &mask, -1e9, n, d);
+        for r in 0..n {
+            let row = &fast[r * d..(r + 1) * d];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() <= 1e-5, "row {} sums to {}", r, sum);
+            let any_live = mask[r * d..(r + 1) * d].iter().any(|&m| m != 0.0);
+            for (j, (&e, &f)) in exact[r * d..(r + 1) * d].iter().zip(row).enumerate() {
+                prop_assert!((e - f).abs() <= 2e-6, "({},{}) exact {} vs fast {}", r, j, e, f);
+                if any_live && mask[r * d + j] == 0.0 {
+                    // Masked entries must be *exactly* zero, like the exact
+                    // kernels — not a subnormal from the polynomial tail.
+                    prop_assert_eq!(f, 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Cross-path differential test for the int8 GEMM dispatch.
+//!
+//! `quantized_linear_packed` picks a VNNI / AVX2 / scalar kernel once per
+//! process and caches the choice, so exercising every path takes one
+//! process per path: the test re-runs its own binary with `DADER_QGEMM`
+//! pinned and compares raw output bytes. All paths must be **bitwise**
+//! identical — the integer accumulation is exact and the f32 postamble is
+//! the same code everywhere — so every forced run must reproduce the
+//! default run's bytes. Forcing a path this machine lacks silently falls
+//! back to the detected default, which still must match.
+
+use dader_tensor::infer;
+
+const CHILD_ENV: &str = "DADER_QGEMM_CHILD_OUT";
+
+/// Awkward shapes on purpose: `k = 37` exercises the zero-padded tail of
+/// the 4-wide k-groups, `n = 19` the column remainders of every kernel.
+fn deterministic_case() -> (Vec<f32>, infer::PackedQuantizedMatrix, Vec<f32>, usize) {
+    let (m, k, n) = (5usize, 37usize, 19usize);
+    let x: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 97) as f32 - 48.0) / 50.0).collect();
+    let w: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 89) as f32 - 44.0) / 400.0).collect();
+    let b: Vec<f32> = (0..n).map(|j| j as f32 * 0.05 - 0.3).collect();
+    let q = infer::quantize_rows(&w, k, n).expect("finite weights");
+    (x, infer::PackedQuantizedMatrix::pack(&q), b, m)
+}
+
+fn run_case_bytes() -> Vec<u8> {
+    let (x, p, b, m) = deterministic_case();
+    infer::quantized_linear_packed(&x, &p, &b, m)
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
+}
+
+#[test]
+fn forced_qgemm_paths_are_bitwise_identical() {
+    // Child mode: compute with whatever DADER_QGEMM says and dump bytes.
+    if let Ok(out) = std::env::var(CHILD_ENV) {
+        std::fs::write(out, run_case_bytes()).expect("child write");
+        return;
+    }
+    let base = run_case_bytes();
+    let exe = std::env::current_exe().expect("test binary path");
+    for path in ["scalar", "avx2", "vnni"] {
+        let out = std::env::temp_dir().join(format!("dader_qgemm_{}_{path}", std::process::id()));
+        let status = std::process::Command::new(&exe)
+            .args(["--exact", "forced_qgemm_paths_are_bitwise_identical", "--test-threads", "1"])
+            .env("DADER_QGEMM", path)
+            .env(CHILD_ENV, &out)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child run for path {path} failed");
+        let got = std::fs::read(&out).expect("child output");
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(got, base, "DADER_QGEMM={path} diverged from the default dispatch");
+    }
+}
