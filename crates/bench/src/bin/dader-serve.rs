@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
+//!             [--flush-us N] [--thread-per-conn]
 //!             [--max-line-bytes N] [--timeout-ms N] [--max-conns N]
 //!             [--metrics-addr ADDR] [--quiet] [--verbose]
 //! ```
@@ -10,9 +11,20 @@
 //! By default requests are read from stdin and answered on stdout, one
 //! JSON object per line (see `dader_bench::serve` for the protocol). With
 //! `--listen 127.0.0.1:7878` (port 0 for ephemeral) a TCP listener serves
-//! concurrent connections — one thread each, capped at `--max-conns` —
-//! with the same line protocol. Every response carries a monotonic `rid`
-//! and the server-side `latency_us`.
+//! concurrent connections — a single nonblocking event loop that pools
+//! requests from *all* connections into shared inference batches, flushed
+//! at `--batch-size` or after `--flush-us` microseconds, whichever comes
+//! first. `--thread-per-conn` selects the legacy one-thread-per-connection
+//! core instead (per-connection batching; kept for before/after
+//! comparison). Every response carries a monotonic `rid`, the server-side
+//! `latency_us`, and — in event-loop mode — the `version` tag of the
+//! model that scored it.
+//!
+//! The served artifact can be swapped without dropping a request: send
+//! `{"mode": "reload"}` on any connection (optionally with
+//! `"artifact": "<path>"`), or type `reload [path]` on the process stdin.
+//! In-flight batches finish on the model they started with; the response
+//! `version` tag flips from `v1` to `v2` exactly at the swap.
 //!
 //! The server is hardened against broken or hostile clients: request
 //! lines longer than `--max-line-bytes` (default 1 MiB) are drained and
@@ -41,7 +53,7 @@ use std::io::{BufRead, BufWriter, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use dader_bench::{note, MatchServer, ServeLimits, TcpServeConfig};
+use dader_bench::{note, MatchServer, ModelRegistry, ServeLimits, TcpServeConfig};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
@@ -77,7 +89,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--quiet] [--verbose]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -119,19 +131,20 @@ fn main() {
         )),
     };
     let max_conns = positive("--max-conns", 64);
+    let flush_us = positive("--flush-us", 1_000) as u64;
+    let thread_per_conn = args.iter().any(|a| a == "--thread-per-conn");
 
     if let Some(addr) = arg_value(&args, "--metrics-addr") {
         spawn_metrics_endpoint(&addr);
     }
 
-    let server = match MatchServer::from_artifact_file(&artifact) {
-        Ok(s) => s,
-        Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
-    };
-    note!("dader-serve: loaded {artifact} ({})", server.description);
-
     match arg_value(&args, "--listen") {
         None => {
+            let server = match MatchServer::from_artifact_file(&artifact) {
+                Ok(s) => s,
+                Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
+            };
+            note!("dader-serve: loaded {artifact} ({})", server.description);
             // Stdin has no socket timeouts; the line-size bound still
             // applies.
             let stdin_limits = ServeLimits {
@@ -161,29 +174,77 @@ fn main() {
             // Announced even under --quiet: harnesses need the ephemeral
             // port, and connection errors stay on stderr regardless.
             eprintln!("dader-serve: listening on {bound}");
+            let cfg = TcpServeConfig {
+                limits,
+                batch_size,
+                max_conns,
+                flush_us,
+            };
+            // The registry is the hot-reload point; the legacy path has
+            // none (its model is fixed for the process lifetime).
+            let registry = if thread_per_conn {
+                None
+            } else {
+                match ModelRegistry::from_artifact_file(&artifact) {
+                    Ok(r) => Some(Arc::new(r)),
+                    Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
+                }
+            };
             // Graceful shutdown: closing stdin (or sending a "shutdown"
             // line) stops the accept loop; in-flight connections drain to
-            // completion before the process exits.
+            // completion before the process exits. `reload [path]` on the
+            // same stream hot-swaps the served artifact (event loop only).
             let stop = Arc::new(AtomicBool::new(false));
             {
                 let stop = Arc::clone(&stop);
+                let registry = registry.clone();
                 std::thread::spawn(move || {
                     for line in std::io::stdin().lock().lines() {
-                        match line {
-                            Ok(l) if l.trim() == "shutdown" => break,
-                            Ok(_) => continue,
-                            Err(_) => break,
+                        let Ok(line) = line else { break };
+                        let line = line.trim();
+                        if line == "shutdown" {
+                            break;
+                        }
+                        if let Some(rest) = line.strip_prefix("reload") {
+                            let path = rest.trim();
+                            let path =
+                                (!path.is_empty()).then(|| std::path::PathBuf::from(path));
+                            match &registry {
+                                None => eprintln!(
+                                    "dader-serve: reload needs the event loop (drop --thread-per-conn)"
+                                ),
+                                Some(reg) => match reg.reload(path.as_deref()) {
+                                    Ok(v) => eprintln!("dader-serve: hot reload -> {v}"),
+                                    Err(e) => eprintln!("dader-serve: reload failed: {e}"),
+                                },
+                            }
                         }
                     }
                     stop.store(true, Ordering::Relaxed);
                 });
             }
-            let cfg = TcpServeConfig {
-                limits,
-                batch_size,
-                max_conns,
+            let served = match registry {
+                Some(reg) => {
+                    note!(
+                        "dader-serve: loaded {artifact} ({}), event loop (flush {}us)",
+                        reg.current().server.description,
+                        flush_us
+                    );
+                    dader_bench::serve_event_loop(reg, listener, cfg, stop)
+                }
+                None => {
+                    let server = match MatchServer::from_artifact_file(&artifact) {
+                        Ok(s) => s,
+                        Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
+                    };
+                    note!(
+                        "dader-serve: loaded {artifact} ({}), thread-per-conn",
+                        server.description
+                    );
+                    dader_bench::serve_tcp(Arc::new(server), listener, cfg, stop)
+                }
             };
-            match dader_bench::serve_tcp(Arc::new(server), listener, cfg, stop) {
+            match served {
                 Ok(n) => {
                     note!("dader-serve: drained; scored {n} pairs total");
                     note!("{}", dader_obs::render_prometheus().trim_end());

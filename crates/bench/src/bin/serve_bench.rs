@@ -1,0 +1,271 @@
+//! Before/after serving benchmark: the legacy thread-per-connection core
+//! vs the nonblocking event loop with cross-connection dynamic batching,
+//! measured at high client concurrency.
+//!
+//! ```text
+//! cargo run --release -p dader-bench --bin serve_bench
+//!     [-- --clients N] [--requests N] [--batch-size N] [--flush-us N]
+//! ```
+//!
+//! Both modes serve the *same* tiny model (same seed) to `--clients`
+//! (default 64) concurrent socket clients, each pipelining `--requests`
+//! pair-match requests and reading every response. Per-request latency is
+//! taken from the `latency_us` field the server stamps on each response —
+//! the full server-side path including batching wait, so the flush
+//! deadline's latency cost is on the books. Batch occupancy (requests
+//! pooled per inference batch) and flush-reason counts come from the delta
+//! of the always-on serving metrics across each phase.
+//!
+//! Results land in `results/BENCH_serve.json`:
+//! `modes.thread_per_conn` (before) and `modes.event_loop` (after), each
+//! with exact p50/p99/mean latency and throughput; the event-loop entry
+//! adds `batch_occupancy_mean` (the cross-connection pooling proof — must
+//! exceed 1 under concurrent load) and the flush-reason breakdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use dader_bench::{
+    note, serve_event_loop, serve_tcp, MatchServer, ModelRegistry, ServeLimits, TcpServeConfig,
+};
+use dader_core::{DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn positive(args: &[String], key: &str, default: usize) -> usize {
+    match arg_value(args, key) {
+        Some(s) => s.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("serve_bench: {key} must be a positive integer, got {s:?}");
+            std::process::exit(1);
+        }),
+        None => default,
+    }
+}
+
+/// Same seed -> same weights: both serving cores score the same model.
+fn bench_server() -> MatchServer {
+    let vocab = Vocab::build(
+        [
+            "title", "brand", "kodak", "esp", "printer", "hp", "laserjet", "canon", "pixma",
+            "epson", "workforce", "inkjet", "office", "photo", "wireless",
+        ],
+        1,
+        1000,
+    );
+    let encoder = PairEncoder::new(vocab.clone(), 32);
+    let mut rng = StdRng::seed_from_u64(77);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 16,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 32,
+        max_len: 32,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(16, &mut rng),
+    };
+    MatchServer::new(model, encoder, "serve_bench")
+}
+
+/// The request corpus one client sends (deterministic per client id).
+fn request_lines(client: usize, requests: usize) -> String {
+    let words = ["kodak esp", "hp laserjet", "canon pixma", "epson workforce"];
+    let mut lines = String::new();
+    for i in 0..requests {
+        let a = words[(client + i) % words.len()];
+        let b = words[(client + i + 1) % words.len()];
+        lines.push_str(&format!(
+            "{{\"id\": {i}, \"a\": {{\"title\": \"{a} {client}\"}}, \"b\": {{\"title\": \"{b}\"}}}}\n"
+        ));
+    }
+    lines
+}
+
+struct PhaseResult {
+    latencies_us: Vec<u64>,
+    wall_s: f64,
+    scored: usize,
+}
+
+/// Run one serving phase: spawn the server core, slam it with `clients`
+/// concurrent pipelining clients, drain, and return every server-stamped
+/// latency.
+fn run_phase(
+    core: &str,
+    cfg: TcpServeConfig,
+    clients: usize,
+    requests: usize,
+) -> PhaseResult {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        let core = core.to_string();
+        std::thread::spawn(move || match core.as_str() {
+            "event_loop" => {
+                let registry = Arc::new(ModelRegistry::new(bench_server()));
+                serve_event_loop(registry, listener, cfg, stop)
+            }
+            _ => serve_tcp(Arc::new(bench_server()), listener, cfg, stop),
+        })
+    };
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Vec<u64> {
+                let lines = request_lines(c, requests);
+                barrier.wait();
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                conn.write_all(lines.as_bytes()).expect("send requests");
+                conn.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+                let mut latencies = Vec::with_capacity(requests);
+                for line in BufReader::new(conn).lines() {
+                    let line = line.expect("read response");
+                    let v: Value = serde_json::from_str(&line).expect("response JSON");
+                    assert!(
+                        v.get("error").is_none(),
+                        "client {c}: unexpected error response: {line}"
+                    );
+                    let lat = v
+                        .get("latency_us")
+                        .and_then(|l| l.as_i64())
+                        .expect("latency_us on every response");
+                    latencies.push(lat as u64);
+                }
+                assert_eq!(
+                    latencies.len(),
+                    requests,
+                    "client {c}: every request answered exactly once"
+                );
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(clients * requests);
+    for w in workers {
+        latencies_us.extend(w.join().expect("client thread"));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let scored = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server result");
+    PhaseResult {
+        latencies_us,
+        wall_s,
+        scored,
+    }
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    dader_bench::init_cli();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients = positive(&args, "--clients", 64);
+    let requests = positive(&args, "--requests", 25);
+    let batch_size = positive(&args, "--batch-size", 32);
+    let flush_us = positive(&args, "--flush-us", 1_000) as u64;
+    let cfg = TcpServeConfig {
+        limits: ServeLimits::default(),
+        batch_size,
+        // Every bench client must be admitted: the cap is not under test.
+        max_conns: clients * 2,
+        flush_us,
+    };
+
+    let occupancy = dader_obs::histogram(
+        "serve_batch_occupancy",
+        &dader_obs::metrics::BATCH_SIZE_BUCKETS,
+    );
+    let flush_counts = || -> Vec<(&'static str, u64)> {
+        dader_obs::counter_labeled_values("serve_flush_reason_total")
+    };
+
+    let mut modes: Vec<(String, Value)> = Vec::new();
+    for core in ["thread_per_conn", "event_loop"] {
+        let occ_count0 = occupancy.count();
+        let occ_sum0 = occupancy.sum();
+        let flush0 = flush_counts();
+        note!("serve_bench: {core}: {clients} clients x {requests} requests...");
+        let mut phase = run_phase(core, cfg, clients, requests);
+        assert_eq!(phase.scored, clients * requests, "{core}: scored total");
+        phase.latencies_us.sort_unstable();
+        let n = phase.latencies_us.len();
+        let p50 = exact_quantile(&phase.latencies_us, 0.50);
+        let p99 = exact_quantile(&phase.latencies_us, 0.99);
+        let mean = phase.latencies_us.iter().sum::<u64>() as f64 / n as f64;
+        let rps = n as f64 / phase.wall_s.max(1e-9);
+        let mut entry = vec![
+            ("requests".to_string(), Value::Int(n as i64)),
+            ("p50_us".to_string(), Value::Int(p50 as i64)),
+            ("p99_us".to_string(), Value::Int(p99 as i64)),
+            ("mean_us".to_string(), Value::Number(mean)),
+            ("wall_s".to_string(), Value::Number(phase.wall_s)),
+            ("requests_per_second".to_string(), Value::Number(rps)),
+        ];
+        if core == "event_loop" {
+            let batches = occupancy.count() - occ_count0;
+            let pooled = occupancy.sum() - occ_sum0;
+            let occ_mean = pooled / (batches as f64).max(1.0);
+            let reasons: Vec<(String, Value)> = flush_counts()
+                .into_iter()
+                .map(|(reason, total)| {
+                    let before = flush0
+                        .iter()
+                        .find(|(r, _)| *r == reason)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0);
+                    (reason.to_string(), Value::Int((total - before) as i64))
+                })
+                .collect();
+            entry.push(("batches".to_string(), Value::Int(batches as i64)));
+            entry.push(("batch_occupancy_mean".to_string(), Value::Number(occ_mean)));
+            entry.push(("flush_reasons".to_string(), Value::Object(reasons)));
+            note!(
+                "serve_bench: {core}: p50 {p50}us p99 {p99}us, {rps:.0} req/s, occupancy {occ_mean:.1} ({batches} batches)"
+            );
+            assert!(
+                occ_mean > 1.0,
+                "cross-connection batching must pool requests (occupancy {occ_mean:.2})"
+            );
+        } else {
+            note!("serve_bench: {core}: p50 {p50}us p99 {p99}us, {rps:.0} req/s");
+        }
+        modes.push((core.to_string(), Value::Object(entry)));
+    }
+
+    let report = Value::Object(vec![
+        ("name".to_string(), Value::String("serve".to_string())),
+        ("clients".to_string(), Value::Int(clients as i64)),
+        (
+            "requests_per_client".to_string(),
+            Value::Int(requests as i64),
+        ),
+        ("batch_size".to_string(), Value::Int(batch_size as i64)),
+        ("flush_us".to_string(), Value::Int(flush_us as i64)),
+        ("modes".to_string(), Value::Object(modes)),
+    ]);
+    dader_bench::write_json("BENCH_serve", &report);
+    println!("serve_bench: wrote results/BENCH_serve.json");
+}

@@ -20,7 +20,10 @@ pub use report::{
     BenchEvalDataset, Cell, Table,
 };
 pub use scale::Scale;
-pub use serve::{serve_tcp, ErrorCode, MatchServer, ServeLimits, TcpServeConfig};
+pub use serve::{
+    serve_event_loop, serve_tcp, ErrorCode, MatchServer, ModelRegistry, ServeLimits,
+    TcpServeConfig, VersionedModel,
+};
 
 // Re-exported so the `note!`/`chat!` macros can reach the log gates from
 // any binary via `$crate`.

@@ -1,0 +1,375 @@
+//! Cross-connection dynamic batching: the queue that pools parsed
+//! requests from *all* connections into shared inference batches, and the
+//! worker thread that scores them.
+//!
+//! The [`Batcher`] decides *when* to flush — on size (`batch_size`
+//! reached), on deadline (oldest request has waited `flush_us`), when a
+//! whole-table request arrives (its own heavy batch), or on drain at
+//! shutdown. It deliberately holds back while two jobs are already in
+//! flight: with the scorer busy, waiting costs nothing and lets the queue
+//! fill, so occupancy climbs under load instead of degenerating into
+//! batches of one. Every flush is counted under its trigger in
+//! `serve_flush_reason_total{reason=…}`.
+//!
+//! The [`InferenceWorker`] owns the model snapshot handed to it per job
+//! (an `Arc<VersionedModel>` — hot reloads never invalidate a batch
+//! mid-flight) and contains panics: a poisoned batch is answered with
+//! `internal` error objects and counted in `serve_worker_panics_total`
+//! instead of killing the serving thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use super::registry::VersionedModel;
+use super::{
+    error_body, metrics, pair_body, panic_message, table_body, ErrorCode, TableRequest,
+};
+
+/// Why a batch left the queue. The wire label of each variant feeds
+/// `serve_flush_reason_total`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushReason {
+    /// The queue reached `batch_size`.
+    Size,
+    /// The oldest pending request hit the `flush_us` deadline.
+    Deadline,
+    /// A whole-table request is queued (scored as its own batch).
+    Table,
+    /// Shutdown drain: everything still queued goes out now.
+    Drain,
+}
+
+impl FlushReason {
+    /// Metric label value (static: the label cardinality is this enum).
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Table => "table",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// What one queued request needs scored.
+pub(crate) enum WorkKind {
+    /// A single pair-match request.
+    Pair {
+        id: Option<Value>,
+        a: Vec<(String, String)>,
+        b: Vec<(String, String)>,
+    },
+    /// A whole-table `match_table` request.
+    Table(Box<TableRequest>),
+}
+
+/// One parsed request waiting for (or riding in) an inference batch,
+/// addressed back to its connection by `(conn, seq)`.
+pub(crate) struct WorkItem {
+    /// Event-loop connection id.
+    pub(crate) conn: usize,
+    /// Per-connection sequence number (response-order key).
+    pub(crate) seq: u64,
+    /// When the request line was read (latency clock).
+    pub(crate) arrival: Instant,
+    pub(crate) kind: WorkKind,
+}
+
+/// One finished request on its way back to the event loop.
+pub(crate) struct Done {
+    pub(crate) conn: usize,
+    pub(crate) seq: u64,
+    pub(crate) arrival: Instant,
+    /// Response body (envelope — rid/latency/version — is stamped by the
+    /// connection writer so per-stream rid order holds).
+    pub(crate) body: Vec<(String, Value)>,
+    /// Version tag of the model that scored this request.
+    pub(crate) version: String,
+    /// Pairs this request contributed to the scored total.
+    pub(crate) scored: usize,
+    /// Whether `body` is an error object (counted in `serve_errors_total`).
+    pub(crate) is_error: bool,
+}
+
+/// The shared request queue plus its flush policy.
+pub(crate) struct Batcher {
+    queue: VecDeque<WorkItem>,
+    batch_size: usize,
+    flush_deadline: Duration,
+    has_table: bool,
+}
+
+impl Batcher {
+    pub(crate) fn new(batch_size: usize, flush_us: u64) -> Batcher {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            queue: VecDeque::new(),
+            batch_size,
+            flush_deadline: Duration::from_micros(flush_us),
+            has_table: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: WorkItem) {
+        if matches!(item.kind, WorkKind::Table(_)) {
+            self.has_table = true;
+        }
+        self.queue.push_back(item);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Should the front of the queue go out now? `jobs_in_flight` is the
+    /// count of batches already submitted and not yet returned: while two
+    /// are in flight the scorer is saturated and waiting is free, so we
+    /// hold back and let the queue fill (this is what makes occupancy
+    /// climb under concurrent load). `draining` forces everything out at
+    /// shutdown.
+    pub(crate) fn should_flush(
+        &self,
+        now: Instant,
+        draining: bool,
+        jobs_in_flight: usize,
+    ) -> Option<FlushReason> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if draining {
+            return Some(FlushReason::Drain);
+        }
+        if jobs_in_flight >= 2 {
+            return None;
+        }
+        if self.queue.len() >= self.batch_size {
+            return Some(FlushReason::Size);
+        }
+        if self.has_table {
+            return Some(FlushReason::Table);
+        }
+        let oldest = self.queue.front().expect("non-empty").arrival;
+        if now.saturating_duration_since(oldest) >= self.flush_deadline {
+            return Some(FlushReason::Deadline);
+        }
+        None
+    }
+
+    /// When the next deadline flush would fire, for idle-sleep bounding.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.queue.front().map(|w| w.arrival + self.flush_deadline)
+    }
+
+    /// Pop up to one batch worth of items.
+    pub(crate) fn take(&mut self) -> Vec<WorkItem> {
+        let n = self.queue.len().min(self.batch_size);
+        let items: Vec<WorkItem> = self.queue.drain(..n).collect();
+        self.has_table = self
+            .queue
+            .iter()
+            .any(|w| matches!(w.kind, WorkKind::Table(_)));
+        items
+    }
+}
+
+/// One batch on its way to the inference worker. It carries its own model
+/// snapshot: a reload between submit and score is intentional and safe —
+/// the batch finishes on the model it was submitted with.
+pub(crate) struct BatchJob {
+    pub(crate) items: Vec<WorkItem>,
+    pub(crate) model: Arc<VersionedModel>,
+    pub(crate) batch_size: usize,
+    pub(crate) reason: FlushReason,
+}
+
+/// Spawn the inference worker thread. It scores jobs until the job sender
+/// is dropped, sending one `Vec<Done>` per job (same order as the items).
+pub(crate) fn spawn_inference_worker(
+    jobs: Receiver<BatchJob>,
+    results: Sender<Vec<Done>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("dader-serve-infer".to_string())
+        .spawn(move || {
+            for job in jobs {
+                let dones = run_job(&job);
+                if results.send(dones).is_err() {
+                    break; // event loop gone; nothing left to serve
+                }
+            }
+        })
+        .expect("spawn inference worker")
+}
+
+/// Score one batch, containing panics: a panic anywhere in scoring turns
+/// the whole batch into `internal` error responses (retryable) instead of
+/// a dead worker and a hung event loop.
+fn run_job(job: &BatchJob) -> Vec<Done> {
+    let m = metrics();
+    super::count_flush(job.reason);
+    m.batch_occupancy.observe(job.items.len() as f64);
+    match catch_unwind(AssertUnwindSafe(|| score_items(job))) {
+        Ok(dones) => dones,
+        Err(panic) => {
+            m.worker_panics.inc();
+            eprintln!(
+                "dader-serve: inference worker panicked (batch of {} answered with internal errors): {}",
+                job.items.len(),
+                panic_message(&*panic)
+            );
+            job.items
+                .iter()
+                .map(|w| Done {
+                    conn: w.conn,
+                    seq: w.seq,
+                    arrival: w.arrival,
+                    body: error_body(
+                        ErrorCode::Internal,
+                        "internal error while scoring this batch; retry",
+                        None,
+                    ),
+                    version: job.model.version.clone(),
+                    scored: 0,
+                    is_error: true,
+                })
+                .collect()
+        }
+    }
+}
+
+/// The actual scoring: all pair items of the batch go through one
+/// [`predict_pairs`](dader_core::InferenceModel::predict_pairs) call
+/// (batch-composition-invariant, so pooling across connections cannot
+/// change results), table items through
+/// [`match_tables`](super::MatchServer::match_tables).
+fn score_items(job: &BatchJob) -> Vec<Done> {
+    let server = &job.model.server;
+    let pairs: Vec<dader_core::EntityPair> = job
+        .items
+        .iter()
+        .filter_map(|w| match &w.kind {
+            WorkKind::Pair { a, b, .. } => Some((a.clone(), b.clone())),
+            WorkKind::Table(_) => None,
+        })
+        .collect();
+    if !pairs.is_empty() {
+        metrics().batch_size.observe(pairs.len() as f64);
+    }
+    let preds = server
+        .model
+        .predict_pairs(&pairs, &server.encoder, job.batch_size);
+    let mut preds = preds.into_iter();
+    job.items
+        .iter()
+        .map(|w| {
+            let (body, scored) = match &w.kind {
+                WorkKind::Pair { id, .. } => {
+                    let (label, prob) = preds.next().expect("one prediction per pair item");
+                    (pair_body(id.clone(), label, prob), 1)
+                }
+                WorkKind::Table(req) => {
+                    let outcome = server.match_tables(
+                        &req.left,
+                        &req.right,
+                        req.kind,
+                        req.k,
+                        job.batch_size,
+                        req.threshold,
+                    );
+                    (table_body(req.id.clone(), &outcome), outcome.candidates)
+                }
+            };
+            Done {
+                conn: w.conn,
+                seq: w.seq,
+                arrival: w.arrival,
+                body,
+                version: job.model.version.clone(),
+                scored,
+                is_error: false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_item(conn: usize, seq: u64, at: Instant) -> WorkItem {
+        WorkItem {
+            conn,
+            seq,
+            arrival: at,
+            kind: WorkKind::Pair {
+                id: None,
+                a: vec![("title".into(), "kodak".into())],
+                b: vec![("title".into(), "esp".into())],
+            },
+        }
+    }
+
+    #[test]
+    fn flushes_on_size_and_holds_while_scorer_is_saturated() {
+        let mut b = Batcher::new(4, 1_000_000);
+        let now = Instant::now();
+        for i in 0..4 {
+            b.push(pair_item(0, i, now));
+        }
+        assert_eq!(b.should_flush(now, false, 0), Some(FlushReason::Size));
+        // Two jobs already in flight: hold back and let the queue fill.
+        assert_eq!(b.should_flush(now, false, 2), None);
+        assert_eq!(b.should_flush(now, true, 2), Some(FlushReason::Drain));
+        let taken = b.take();
+        assert_eq!(taken.len(), 4);
+        assert!(b.is_empty());
+        assert_eq!(b.should_flush(now, true, 0), None, "empty queue never flushes");
+    }
+
+    #[test]
+    fn flushes_on_deadline_not_before() {
+        let mut b = Batcher::new(64, 500);
+        let past = Instant::now() - Duration::from_micros(600);
+        b.push(pair_item(0, 0, past));
+        let now = Instant::now();
+        assert_eq!(b.should_flush(now, false, 0), Some(FlushReason::Deadline));
+        let mut fresh = Batcher::new(64, 60_000_000);
+        fresh.push(pair_item(0, 0, now));
+        assert_eq!(fresh.should_flush(now, false, 0), None);
+        assert!(fresh.next_deadline().unwrap() > now);
+    }
+
+    #[test]
+    fn table_request_triggers_prompt_flush() {
+        let mut b = Batcher::new(64, 60_000_000);
+        let now = Instant::now();
+        b.push(pair_item(0, 0, now));
+        assert_eq!(b.should_flush(now, false, 0), None);
+        b.push(WorkItem {
+            conn: 0,
+            seq: 1,
+            arrival: now,
+            kind: WorkKind::Table(Box::new(TableRequest {
+                id: None,
+                left: Vec::new(),
+                right: Vec::new(),
+                kind: crate::matching::BlockerKind::Lsh,
+                k: 1,
+                threshold: None,
+            })),
+        });
+        assert_eq!(b.should_flush(now, false, 0), Some(FlushReason::Table));
+        b.take();
+        assert!(b.is_empty());
+        assert_eq!(b.should_flush(now, false, 0), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Per-connection state for the event loop: bounded line assembly from
+//! nonblocking reads, sequence-ordered response reassembly, buffered
+//! nonblocking writes, and the deadline wheel that times out idle readers
+//! and stuck writers.
+//!
+//! The ordering contract lives here. Requests leave a connection tagged
+//! with a per-connection `seq`; batches complete out of order across
+//! connections, so finished responses park in a `BTreeMap` until every
+//! earlier seq is done. Only at drain time — when a response actually
+//! joins the output stream — is its global `rid` claimed, which keeps rids
+//! strictly increasing within each connection no matter how batches
+//! interleave.
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use serde::Value;
+
+use super::{finalize_response, metrics, next_rid};
+
+/// One event out of the line assembler.
+pub(crate) enum LineEvent {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// A line that exceeded the byte limit; its bytes were discarded.
+    TooLong,
+}
+
+/// Reassembles `\n`-terminated lines from arbitrary read chunks, never
+/// buffering more than `max` bytes per line — the nonblocking analogue of
+/// the blocking path's bounded `read_bounded_line` discipline. Oversized
+/// lines are dropped as they stream in and surface as one [`LineEvent::TooLong`].
+pub(crate) struct LineAssembler {
+    buf: Vec<u8>,
+    max: usize,
+    overflowed: bool,
+}
+
+impl LineAssembler {
+    pub(crate) fn new(max: usize) -> LineAssembler {
+        LineAssembler {
+            buf: Vec::new(),
+            max,
+            overflowed: false,
+        }
+    }
+
+    /// Feed one read chunk; append every completed line to `events`.
+    pub(crate) fn push(&mut self, mut data: &[u8], events: &mut Vec<LineEvent>) {
+        while !data.is_empty() {
+            match data.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    self.accumulate(&data[..pos]);
+                    events.push(if self.overflowed {
+                        LineEvent::TooLong
+                    } else {
+                        LineEvent::Line(String::from_utf8_lossy(&self.buf).into_owned())
+                    });
+                    self.buf.clear();
+                    self.overflowed = false;
+                    data = &data[pos + 1..];
+                }
+                None => {
+                    self.accumulate(data);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// EOF: a partial final line still counts as a line.
+    pub(crate) fn finish(&mut self) -> Option<LineEvent> {
+        if self.overflowed {
+            self.overflowed = false;
+            self.buf.clear();
+            Some(LineEvent::TooLong)
+        } else if self.buf.is_empty() {
+            None
+        } else {
+            let line = String::from_utf8_lossy(&self.buf).into_owned();
+            self.buf.clear();
+            Some(LineEvent::Line(line))
+        }
+    }
+
+    fn accumulate(&mut self, part: &[u8]) {
+        if self.overflowed {
+            return;
+        }
+        if self.buf.len() + part.len() > self.max {
+            self.overflowed = true;
+            self.buf.clear();
+        } else {
+            self.buf.extend_from_slice(part);
+        }
+    }
+}
+
+/// A finished response parked until every earlier seq on its connection
+/// has drained.
+pub(crate) struct Completed {
+    pub(crate) arrival: Instant,
+    pub(crate) body: Vec<(String, Value)>,
+    /// Model version tag to echo; `None` for responses no model produced
+    /// (parse errors, timeouts).
+    pub(crate) version: Option<String>,
+    pub(crate) scored: usize,
+    pub(crate) is_error: bool,
+}
+
+/// Which timer fired (the deadline wheel tracks both per connection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum DeadlineKind {
+    /// No complete request line read for the read-timeout window.
+    Read,
+    /// Buffered output stuck (client not draining) past the write timeout.
+    Write,
+}
+
+/// The deadline wheel: a binary heap of `(when, conn, generation, kind)`
+/// with lazy deletion. Rearming a timer just pushes a new entry with a
+/// bumped generation; stale entries pop harmlessly because their
+/// generation no longer matches the connection's. O(log n) arm, O(1)
+/// next-deadline peek for idle-sleep bounding.
+pub(crate) struct Deadlines {
+    heap: BinaryHeap<std::cmp::Reverse<(Instant, usize, u64, DeadlineKind)>>,
+}
+
+impl Deadlines {
+    pub(crate) fn new() -> Deadlines {
+        Deadlines {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn arm(&mut self, when: Instant, conn: usize, generation: u64, kind: DeadlineKind) {
+        self.heap
+            .push(std::cmp::Reverse((when, conn, generation, kind)));
+    }
+
+    /// Pop every entry due at `now`. The caller must validate each entry's
+    /// generation against the connection's current one (lazy deletion).
+    pub(crate) fn expired(&mut self, now: Instant) -> Vec<(usize, u64, DeadlineKind)> {
+        let mut due = Vec::new();
+        while let Some(std::cmp::Reverse((when, conn, generation, kind))) = self.heap.peek().copied()
+        {
+            if when > now {
+                break;
+            }
+            self.heap.pop();
+            due.push((conn, generation, kind));
+        }
+        due
+    }
+
+    /// Earliest armed deadline (possibly stale — fine for sleep bounding).
+    pub(crate) fn next(&self) -> Option<Instant> {
+        self.heap.peek().map(|r| r.0 .0)
+    }
+}
+
+/// One client connection owned by the event loop.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) assembler: LineAssembler,
+    /// 1-based input line counter (error objects name lines).
+    pub(crate) lineno: usize,
+    /// Next seq to assign to an incoming request.
+    next_seq: u64,
+    /// Next seq the writer is waiting for.
+    next_write: u64,
+    /// Finished responses parked out of order.
+    completed: BTreeMap<u64, Completed>,
+    /// Seqs issued but not yet drained to the output buffer.
+    pub(crate) pending: usize,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    /// Client shut down its write half (EOF read); answer what's pending,
+    /// then close.
+    pub(crate) read_closed: bool,
+    /// Terminal: no more reads ever (timeout, reject, fatal error); close
+    /// once pending responses and the output buffer drain.
+    pub(crate) closing: bool,
+    /// True for over-cap reject connections (not counted against the cap).
+    pub(crate) rejected: bool,
+    /// Read-timer generation: bumped on every complete line, invalidating
+    /// previously armed read deadlines.
+    pub(crate) read_gen: u64,
+    /// Write-timer generation: bumped whenever the output buffer fully
+    /// drains, invalidating the stuck-writer deadline.
+    pub(crate) write_gen: u64,
+    /// Whether a write deadline is currently armed (out_buf got stuck).
+    pub(crate) write_armed: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, max_line_bytes: usize) -> Conn {
+        Conn {
+            stream,
+            assembler: LineAssembler::new(max_line_bytes),
+            lineno: 0,
+            next_seq: 0,
+            next_write: 0,
+            completed: BTreeMap::new(),
+            pending: 0,
+            out_buf: Vec::new(),
+            out_pos: 0,
+            read_closed: false,
+            closing: false,
+            rejected: false,
+            read_gen: 0,
+            write_gen: 0,
+            write_armed: false,
+        }
+    }
+
+    /// Claim the next response slot for an incoming request.
+    pub(crate) fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending += 1;
+        seq
+    }
+
+    /// Park a finished response for `seq`.
+    pub(crate) fn complete(&mut self, seq: u64, done: Completed) {
+        self.completed.insert(seq, done);
+    }
+
+    /// Drain every response whose turn has come into the output buffer,
+    /// stamping rid (claimed here, at write-ordering time, so rids
+    /// strictly increase within the stream) and latency, and feeding the
+    /// serving metrics. Returns pairs scored by the drained responses.
+    pub(crate) fn drain_completed(&mut self) -> std::io::Result<usize> {
+        let m = metrics();
+        let mut scored = 0usize;
+        while let Some(done) = self.completed.remove(&self.next_write) {
+            self.next_write += 1;
+            self.pending -= 1;
+            scored += done.scored;
+            m.requests.inc();
+            if done.is_error {
+                m.errors.inc();
+            }
+            let latency_us = done.arrival.elapsed().as_micros();
+            m.latency_us.observe(latency_us as f64);
+            let text =
+                finalize_response(done.body, next_rid(), latency_us, done.version.as_deref())?;
+            self.out_buf.extend_from_slice(text.as_bytes());
+            self.out_buf.push(b'\n');
+        }
+        Ok(scored)
+    }
+
+    /// Enqueue a raw pre-serialized line, bypassing the seq machinery —
+    /// for stream-level notices on connections that never enter it (the
+    /// overloaded reject).
+    pub(crate) fn enqueue_raw(&mut self, line: &str) {
+        self.out_buf.extend_from_slice(line.as_bytes());
+        self.out_buf.push(b'\n');
+    }
+
+    pub(crate) fn has_output(&self) -> bool {
+        self.out_pos < self.out_buf.len()
+    }
+
+    /// Push buffered output to the socket without blocking. Returns
+    /// `Ok(true)` if any bytes moved. `WouldBlock` is not an error — the
+    /// caller arms the write deadline instead.
+    pub(crate) fn flush_writes(&mut self) -> std::io::Result<bool> {
+        let mut progressed = false;
+        while self.out_pos < self.out_buf.len() {
+            match self.stream.write(&self.out_buf[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket closed mid-response",
+                    ))
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out_buf.len() && !self.out_buf.is_empty() {
+            self.out_buf.clear();
+            self.out_pos = 0;
+            // Fully drained: the stuck-writer clock resets.
+            self.write_gen += 1;
+            self.write_armed = false;
+        }
+        Ok(progressed)
+    }
+
+    /// Read once from the socket into `scratch`, returning the bytes read.
+    /// Completed lines land in `events`; EOF flips `read_closed` (emitting
+    /// any partial final line). `WouldBlock` reads zero bytes.
+    pub(crate) fn read_once(
+        &mut self,
+        scratch: &mut [u8],
+        events: &mut Vec<LineEvent>,
+    ) -> std::io::Result<usize> {
+        match self.stream.read(scratch) {
+            Ok(0) => {
+                self.read_closed = true;
+                if let Some(ev) = self.assembler.finish() {
+                    events.push(ev);
+                }
+                Ok(0)
+            }
+            Ok(n) => {
+                self.assembler.push(&scratch[..n], events);
+                Ok(n)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Everything answered and drained: safe to close.
+    pub(crate) fn is_done(&self) -> bool {
+        (self.closing || self.read_closed)
+            && self.pending == 0
+            && self.completed.is_empty()
+            && self.out_pos >= self.out_buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn lines(events: &[LineEvent]) -> Vec<Option<String>> {
+        events
+            .iter()
+            .map(|e| match e {
+                LineEvent::Line(l) => Some(l.clone()),
+                LineEvent::TooLong => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assembler_handles_split_lines_and_overflow() {
+        let mut a = LineAssembler::new(8);
+        let mut ev = Vec::new();
+        a.push(b"sho", &mut ev);
+        assert!(ev.is_empty(), "no newline yet");
+        a.push(b"rt\nexactly8\nwaytoolongline\nta", &mut ev);
+        assert_eq!(
+            lines(&ev),
+            vec![Some("short".into()), Some("exactly8".into()), None]
+        );
+        ev.clear();
+        // Unterminated final line still comes through at EOF.
+        assert!(matches!(a.finish(), Some(LineEvent::Line(l)) if l == "ta"));
+        assert!(a.finish().is_none());
+    }
+
+    #[test]
+    fn oversized_line_streamed_in_tiny_chunks_is_one_toolong() {
+        let mut a = LineAssembler::new(4);
+        let mut ev = Vec::new();
+        for _ in 0..100 {
+            a.push(b"x", &mut ev);
+        }
+        assert!(ev.is_empty());
+        a.push(b"\nok\n", &mut ev);
+        assert_eq!(lines(&ev), vec![None, Some("ok".into())]);
+    }
+
+    #[test]
+    fn deadline_wheel_pops_due_entries_with_lazy_deletion() {
+        let mut d = Deadlines::new();
+        let now = Instant::now();
+        d.arm(now - Duration::from_millis(5), 1, 0, DeadlineKind::Read);
+        d.arm(now - Duration::from_millis(1), 2, 3, DeadlineKind::Write);
+        d.arm(now + Duration::from_secs(60), 1, 1, DeadlineKind::Read);
+        let due = d.expired(now);
+        assert_eq!(
+            due,
+            vec![(1, 0, DeadlineKind::Read), (2, 3, DeadlineKind::Write)]
+        );
+        // The rearmed (generation 1) entry stays for the future.
+        assert!(d.next().unwrap() > now);
+        assert!(d.expired(now).is_empty());
+    }
+}

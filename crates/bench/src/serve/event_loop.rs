@@ -1,0 +1,454 @@
+//! The nonblocking serving core: one poller thread owning every client
+//! socket, pooling parsed requests from all connections into shared
+//! inference batches.
+//!
+//! Std has no epoll surface, so readiness is driven by nonblocking
+//! syscalls on a short tick: each pass drains finished batches, accepts,
+//! reads every readable socket through the bounded [`LineAssembler`],
+//! fires due read/write deadlines off the [`Deadlines`] wheel, flushes
+//! the [`Batcher`] when size or deadline says so, and pushes buffered
+//! responses out. An idle pass sleeps a few hundred microseconds (bounded
+//! by the next armed deadline), so the empty loop costs nothing
+//! measurable while a loaded one never sleeps at all.
+//!
+//! What this buys over the legacy thread-per-connection
+//! [`serve_tcp`](super::serve_tcp):
+//!
+//! * **Cross-connection batching** — 64 clients sending one request each
+//!   fill one 64-wide GEMM instead of 64 one-row passes.
+//! * **No blocking writes anywhere** — the over-cap reject is enqueued on
+//!   a nonblocking socket and the connection closes when (or whether) the
+//!   bytes drain; a client that connects at the cap and never reads can
+//!   no longer stall the accept path.
+//! * **Hot reload** — a `{"mode": "reload"}` request swaps the served
+//!   artifact through the [`ModelRegistry`] with zero dropped requests;
+//!   every response names the model `version` that scored it.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use super::batch::{spawn_inference_worker, BatchJob, Batcher, WorkItem, WorkKind};
+use super::conn::{Completed, Conn, DeadlineKind, Deadlines, LineEvent};
+use super::registry::ModelRegistry;
+use super::{
+    error_body, metrics, next_rid, parse_request, ErrorCode, Parsed, TcpServeConfig,
+};
+
+/// Idle-pass sleep: long enough to keep the empty loop cold on one CPU,
+/// short enough that accept latency stays sub-millisecond.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Read high-water mark, in multiples of the batch size: past this many
+/// queued requests the loop stops reading sockets and lets TCP backpressure
+/// slow the senders, instead of buffering without bound.
+const QUEUE_HIGH_WATER_BATCHES: usize = 8;
+
+/// Serve the line protocol on `listener` until `stop` is raised, pooling
+/// requests from all connections into shared inference batches (flushed on
+/// `cfg.batch_size` or `cfg.flush_us`, whichever comes first). On `stop`
+/// the listener stops accepting and open connections keep being served
+/// until each client hangs up — the same graceful-drain contract as the
+/// legacy server. Returns the total number of pairs scored.
+///
+/// Connections beyond `cfg.max_conns` get one `overloaded` error object
+/// enqueued on their (nonblocking) socket and are closed; far beyond it
+/// (4x the cap) they are closed without ceremony, because a reject queue
+/// that large means the rejects themselves are the load.
+pub fn serve_event_loop(
+    registry: Arc<ModelRegistry>,
+    listener: TcpListener,
+    cfg: TcpServeConfig,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<usize> {
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    listener.set_nonblocking(true)?;
+    let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = spawn_inference_worker(job_rx, done_tx);
+
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_conn_id = 0usize;
+    let mut serving = 0usize; // non-rejected connections, vs cfg.max_conns
+    let mut batcher = Batcher::new(cfg.batch_size, cfg.flush_us);
+    let mut deadlines = Deadlines::new();
+    let mut jobs_in_flight = 0usize;
+    let mut scored_total = 0usize;
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut events: Vec<LineEvent> = Vec::new();
+    let reject_hard_cap = cfg.max_conns.saturating_mul(4) + 16;
+
+    loop {
+        let mut progress = false;
+        let now = Instant::now();
+
+        // 1. Land finished batches on their connections.
+        while let Ok(dones) = done_rx.try_recv() {
+            jobs_in_flight -= 1;
+            progress = true;
+            for d in dones {
+                // The connection may be gone (write timeout dropped it);
+                // its responses die quietly with it.
+                if let Some(c) = conns.get_mut(&d.conn) {
+                    c.complete(
+                        d.seq,
+                        Completed {
+                            arrival: d.arrival,
+                            body: d.body,
+                            version: Some(d.version),
+                            scored: d.scored,
+                            is_error: d.is_error,
+                        },
+                    );
+                }
+            }
+        }
+
+        // 2. Accept — never past `stop`, never blocking, reject never writes.
+        let draining = stop.load(Ordering::Relaxed);
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((sock, peer)) => {
+                        progress = true;
+                        sock.set_nonblocking(true)?;
+                        let id = next_conn_id;
+                        next_conn_id += 1;
+                        if serving >= cfg.max_conns {
+                            metrics().rejected.inc();
+                            crate::note!("dader-serve: {peer}: rejected (overloaded)");
+                            if conns.len() >= reject_hard_cap {
+                                // Reject flood: close without ceremony.
+                                continue;
+                            }
+                            metrics().errors.inc();
+                            let mut c = Conn::new(sock, cfg.limits.max_line_bytes);
+                            c.rejected = true;
+                            c.closing = true;
+                            let mut kvs = error_body(
+                                ErrorCode::Overloaded,
+                                &format!(
+                                    "server at connection cap ({}); retry later",
+                                    cfg.max_conns
+                                ),
+                                None,
+                            );
+                            kvs.push(("rid".to_string(), Value::Int(next_rid() as i64)));
+                            let line = serde_json::to_string(&Value::Object(kvs))
+                                .map_err(|e| std::io::Error::other(e.to_string()))?;
+                            c.enqueue_raw(&line);
+                            conns.insert(id, c);
+                            continue;
+                        }
+                        serving += 1;
+                        let c = Conn::new(sock, cfg.limits.max_line_bytes);
+                        if let Some(rt) = cfg.limits.read_timeout {
+                            deadlines.arm(now + rt, id, c.read_gen, DeadlineKind::Read);
+                        }
+                        conns.insert(id, c);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("dader-serve: accept failed: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Read and parse — unless the queue is past the high-water mark,
+        // in which case TCP backpressure does the flow control.
+        let mut dead: Vec<usize> = Vec::new();
+        if batcher.len() < cfg.batch_size * QUEUE_HIGH_WATER_BATCHES {
+            let ids: Vec<usize> = conns.keys().copied().collect();
+            for id in ids {
+                let c = conns.get_mut(&id).expect("conn present");
+                if c.closing || c.read_closed {
+                    continue;
+                }
+                events.clear();
+                let n = match c.read_once(&mut scratch, &mut events) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        crate::note!("dader-serve: connection failed: {e}");
+                        dead.push(id);
+                        continue;
+                    }
+                };
+                if n == 0 && events.is_empty() && !c.read_closed {
+                    continue; // nothing readable this pass
+                }
+                progress = true;
+                for ev in events.drain(..) {
+                    c.lineno += 1;
+                    let lineno = c.lineno;
+                    let arrival = Instant::now();
+                    match ev {
+                        LineEvent::TooLong => {
+                            let seq = c.alloc_seq();
+                            c.complete(
+                                seq,
+                                Completed {
+                                    arrival,
+                                    body: error_body(
+                                        ErrorCode::LineTooLong,
+                                        &format!(
+                                            "line {lineno}: request exceeds {} bytes",
+                                            cfg.limits.max_line_bytes
+                                        ),
+                                        Some(lineno),
+                                    ),
+                                    version: None,
+                                    scored: 0,
+                                    is_error: true,
+                                },
+                            );
+                        }
+                        LineEvent::Line(line) => {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            match parse_request(&line, lineno) {
+                                Parsed::Ok((pair_id, a, b)) => {
+                                    let seq = c.alloc_seq();
+                                    batcher.push(WorkItem {
+                                        conn: id,
+                                        seq,
+                                        arrival,
+                                        kind: WorkKind::Pair { id: pair_id, a, b },
+                                    });
+                                }
+                                Parsed::Table(req) => {
+                                    let seq = c.alloc_seq();
+                                    batcher.push(WorkItem {
+                                        conn: id,
+                                        seq,
+                                        arrival,
+                                        kind: WorkKind::Table(req),
+                                    });
+                                }
+                                Parsed::Reload(path) => {
+                                    // Swap happens inline: the new artifact
+                                    // loads before any further intake, and
+                                    // in-flight batches keep their snapshot.
+                                    let seq = c.alloc_seq();
+                                    let done = match registry
+                                        .reload(path.as_deref().map(Path::new))
+                                    {
+                                        Ok(version) => {
+                                            crate::note!(
+                                                "dader-serve: hot reload -> {version}"
+                                            );
+                                            Completed {
+                                                arrival,
+                                                body: vec![(
+                                                    "reloaded".to_string(),
+                                                    Value::Bool(true),
+                                                )],
+                                                version: Some(version),
+                                                scored: 0,
+                                                is_error: false,
+                                            }
+                                        }
+                                        Err(msg) => Completed {
+                                            arrival,
+                                            body: error_body(
+                                                ErrorCode::Internal,
+                                                &format!("line {lineno}: reload failed: {msg}"),
+                                                Some(lineno),
+                                            ),
+                                            version: None,
+                                            scored: 0,
+                                            is_error: true,
+                                        },
+                                    };
+                                    c.complete(seq, done);
+                                }
+                                Parsed::Err(code, msg) => {
+                                    let seq = c.alloc_seq();
+                                    c.complete(
+                                        seq,
+                                        Completed {
+                                            arrival,
+                                            body: error_body(code, &msg, Some(lineno)),
+                                            version: None,
+                                            scored: 0,
+                                            is_error: true,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // Activity rearms the idle clock (one wheel entry per
+                // active pass, not per line).
+                if let Some(rt) = cfg.limits.read_timeout {
+                    if !c.read_closed {
+                        c.read_gen += 1;
+                        deadlines.arm(now + rt, id, c.read_gen, DeadlineKind::Read);
+                    }
+                }
+            }
+        }
+
+        // 4. Fire due deadlines (lazy deletion: stale generations pop as
+        // no-ops).
+        for (id, generation, kind) in deadlines.expired(now) {
+            let Some(c) = conns.get_mut(&id) else { continue };
+            match kind {
+                DeadlineKind::Read => {
+                    if c.closing || c.read_closed || c.read_gen != generation {
+                        continue;
+                    }
+                    metrics().timeouts.inc();
+                    let seq = c.alloc_seq();
+                    // Queued as the connection's final seq: everything
+                    // already pending answers first, then the timeout
+                    // notice, then close — same order the blocking path
+                    // guarantees.
+                    c.complete(
+                        seq,
+                        Completed {
+                            arrival: now,
+                            body: error_body(
+                                ErrorCode::Timeout,
+                                &format!(
+                                    "read timed out after {:?} idle; closing connection",
+                                    cfg.limits.read_timeout.unwrap_or_default()
+                                ),
+                                None,
+                            ),
+                            version: None,
+                            scored: 0,
+                            is_error: true,
+                        },
+                    );
+                    c.closing = true;
+                    progress = true;
+                }
+                DeadlineKind::Write => {
+                    if c.write_gen == generation && c.write_armed && c.has_output() {
+                        crate::note!("dader-serve: dropping connection (write timeout)");
+                        dead.push(id);
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // 5. Flush decision: submit batches while the policy says go.
+        while let Some(reason) = batcher.should_flush(now, draining, jobs_in_flight) {
+            let items = batcher.take();
+            let job = BatchJob {
+                items,
+                model: registry.current(),
+                batch_size: cfg.batch_size,
+                reason,
+            };
+            if let Err(mpsc::SendError(job)) = job_tx.send(job) {
+                // Worker gone (should be impossible — panics are contained
+                // inside it). Answer inline so no request hangs forever.
+                for w in job.items {
+                    if let Some(c) = conns.get_mut(&w.conn) {
+                        c.complete(
+                            w.seq,
+                            Completed {
+                                arrival: w.arrival,
+                                body: error_body(
+                                    ErrorCode::Internal,
+                                    "inference worker unavailable; retry",
+                                    None,
+                                ),
+                                version: None,
+                                scored: 0,
+                                is_error: true,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+            jobs_in_flight += 1;
+            progress = true;
+        }
+        metrics().queue_depth.set(batcher.len() as f64);
+
+        // 6. Drain ordered responses into output buffers; push to sockets.
+        let ids: Vec<usize> = conns.keys().copied().collect();
+        for id in ids {
+            let c = conns.get_mut(&id).expect("conn present");
+            scored_total += match c.drain_completed() {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("dader-serve: response serialization failed: {e}");
+                    dead.push(id);
+                    continue;
+                }
+            };
+            match c.flush_writes() {
+                Ok(true) => progress = true,
+                Ok(false) => {}
+                Err(_) => {
+                    // Peer gone mid-write; nothing left to tell it.
+                    dead.push(id);
+                    continue;
+                }
+            }
+            if c.has_output() && !c.write_armed {
+                if let Some(wt) = cfg.limits.write_timeout {
+                    c.write_armed = true;
+                    deadlines.arm(now + wt, id, c.write_gen, DeadlineKind::Write);
+                }
+            }
+            if c.is_done() {
+                dead.push(id);
+            }
+        }
+
+        // 7. Close the dead.
+        for id in dead {
+            if let Some(c) = conns.remove(&id) {
+                if !c.rejected {
+                    serving -= 1;
+                }
+                // Drop closes the socket; the client reads EOF after the
+                // last buffered response it chose to read.
+            }
+        }
+
+        // 8. Exit once draining and truly empty.
+        if draining && conns.is_empty() && batcher.is_empty() && jobs_in_flight == 0 {
+            break;
+        }
+
+        // 9. Idle pass: sleep briefly, bounded by the next thing due.
+        if !progress {
+            let mut sleep = IDLE_SLEEP;
+            for due in [deadlines.next(), batcher.next_deadline()]
+                .into_iter()
+                .flatten()
+            {
+                sleep = sleep.min(due.saturating_duration_since(now));
+            }
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+    }
+
+    drop(job_tx);
+    if worker.join().is_err() {
+        // Contained panics never reach here; an uncontained one already
+        // printed its message via the panic hook.
+        metrics().worker_panics.inc();
+    }
+    Ok(scored_total)
+}

@@ -55,6 +55,14 @@
 //! (`serve_request_latency_us`, `serve_batch_size`, `serve_requests_total`,
 //! `serve_errors_total`) that `dader-serve --metrics-addr` exposes.
 
+pub mod batch;
+pub mod conn;
+pub mod event_loop;
+pub mod registry;
+
+pub use event_loop::serve_event_loop;
+pub use registry::{ModelRegistry, VersionedModel};
+
 use std::io::{BufRead, ErrorKind, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -62,7 +70,7 @@ use std::time::{Duration, Instant};
 
 use dader_core::artifact::{ArtifactError, ModelArtifact};
 use dader_core::{DaderModel, InferenceModel};
-use dader_obs::{Counter, Histogram};
+use dader_obs::{Counter, Gauge, Histogram};
 use dader_text::PairEncoder;
 use serde::Value;
 
@@ -70,17 +78,35 @@ use serde::Value;
 /// connections and servers.
 static NEXT_RID: AtomicU64 = AtomicU64::new(1);
 
-/// The serving metrics, registered once.
-struct ServeMetrics {
-    latency_us: Histogram,
-    batch_size: Histogram,
-    requests: Counter,
-    errors: Counter,
-    rejected: Counter,
-    timeouts: Counter,
+/// Claim the next request id. Responses are stamped in the order they are
+/// written to each stream, so per-connection rids strictly increase and
+/// the global sequence stays monotone across connections.
+pub(crate) fn next_rid() -> u64 {
+    NEXT_RID.fetch_add(1, Ordering::Relaxed)
 }
 
-fn metrics() -> &'static ServeMetrics {
+/// The serving metrics, registered once.
+pub(crate) struct ServeMetrics {
+    pub(crate) latency_us: Histogram,
+    pub(crate) batch_size: Histogram,
+    /// Requests pooled per flushed inference batch — the cross-connection
+    /// dynamic-batching signal (mean > 1 under concurrent load means
+    /// pooling works).
+    pub(crate) batch_occupancy: Histogram,
+    pub(crate) requests: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) timeouts: Counter,
+    /// Pending parsed requests awaiting an inference batch.
+    pub(crate) queue_depth: Gauge,
+    /// Inference-worker panics contained (batch answered with `internal`
+    /// errors instead of a silent thread death).
+    pub(crate) worker_panics: Counter,
+    /// Successful hot artifact reloads.
+    pub(crate) reloads: Counter,
+}
+
+pub(crate) fn metrics() -> &'static ServeMetrics {
     static M: OnceLock<ServeMetrics> = OnceLock::new();
     M.get_or_init(|| ServeMetrics {
         latency_us: dader_obs::histogram(
@@ -91,11 +117,24 @@ fn metrics() -> &'static ServeMetrics {
             "serve_batch_size",
             &dader_obs::metrics::BATCH_SIZE_BUCKETS,
         ),
+        batch_occupancy: dader_obs::histogram(
+            "serve_batch_occupancy",
+            &dader_obs::metrics::BATCH_SIZE_BUCKETS,
+        ),
         requests: dader_obs::counter("serve_requests_total"),
         errors: dader_obs::counter("serve_errors_total"),
         rejected: dader_obs::counter("serve_rejected_total"),
         timeouts: dader_obs::counter("serve_timeouts_total"),
+        queue_depth: dader_obs::gauge("serve_queue_depth"),
+        worker_panics: dader_obs::counter("serve_worker_panics_total"),
+        reloads: dader_obs::counter("serve_reloads_total"),
     })
+}
+
+/// Count one batch flush under its trigger
+/// (`serve_flush_reason_total{reason=…}`).
+pub(crate) fn count_flush(reason: batch::FlushReason) {
+    dader_obs::counter_labeled("serve_flush_reason_total", "reason", reason.as_str()).inc();
 }
 
 /// Typed error taxonomy for the line protocol. Every error object carries
@@ -178,23 +217,28 @@ pub struct MatchServer {
 }
 
 /// One parsed request: echoed id plus the two entities.
-type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
+pub(crate) type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
 
 /// A `match_table` request: two whole tables to block and score.
-struct TableRequest {
-    id: Option<Value>,
-    left: Vec<dader_datagen::Entity>,
-    right: Vec<dader_datagen::Entity>,
-    kind: crate::matching::BlockerKind,
-    k: usize,
-    threshold: Option<f32>,
+pub(crate) struct TableRequest {
+    pub(crate) id: Option<Value>,
+    pub(crate) left: Vec<dader_datagen::Entity>,
+    pub(crate) right: Vec<dader_datagen::Entity>,
+    pub(crate) kind: crate::matching::BlockerKind,
+    pub(crate) k: usize,
+    pub(crate) threshold: Option<f32>,
 }
 
 /// Outcome of one input line: a request to score, a whole-table match
-/// request, or an error to echo.
-enum Parsed {
+/// request, a hot-reload control request, or an error to echo.
+pub(crate) enum Parsed {
     Ok(Request),
     Table(Box<TableRequest>),
+    /// `{"mode": "reload"}` — swap the served artifact (optionally naming
+    /// a new artifact path). Only meaningful where a [`ModelRegistry`] is
+    /// serving (the TCP event loop); the stdin path answers it with an
+    /// `invalid_request` error.
+    Reload(Option<String>),
     Err(ErrorCode, String),
 }
 
@@ -257,6 +301,90 @@ fn read_bounded_line<R: BufRead>(input: &mut R, max: usize) -> std::io::Result<L
             });
         }
     }
+}
+
+/// Response body for one scored pair. Shared verbatim by the stdin path,
+/// the legacy thread-per-connection path and the event-loop batch worker,
+/// so cross-connection batching cannot drift from per-connection serving.
+pub(crate) fn pair_body(id: Option<Value>, label: usize, prob: f32) -> Vec<(String, Value)> {
+    let mut kvs = Vec::with_capacity(6);
+    if let Some(id) = id {
+        kvs.push(("id".to_string(), id));
+    }
+    kvs.push(("match".to_string(), Value::Bool(label == 1)));
+    kvs.push(("probability".to_string(), Value::Number(prob as f64)));
+    kvs
+}
+
+/// Response body for one `match_table` outcome.
+pub(crate) fn table_body(
+    id: Option<Value>,
+    outcome: &crate::matching::MatchOutcome,
+) -> Vec<(String, Value)> {
+    let matches: Vec<Value> = outcome
+        .matches
+        .iter()
+        .map(|tm| {
+            Value::Object(vec![
+                ("left".to_string(), Value::Int(tm.left as i64)),
+                ("right".to_string(), Value::Int(tm.right as i64)),
+                (
+                    "probability".to_string(),
+                    Value::Number(tm.probability as f64),
+                ),
+                (
+                    "block_score".to_string(),
+                    Value::Number(tm.block_score as f64),
+                ),
+            ])
+        })
+        .collect();
+    let mut kvs = Vec::with_capacity(5);
+    if let Some(id) = id {
+        kvs.push(("id".to_string(), id));
+    }
+    kvs.push(("matches".to_string(), Value::Array(matches)));
+    kvs.push((
+        "candidates".to_string(),
+        Value::Int(outcome.candidates as i64),
+    ));
+    kvs
+}
+
+/// Response body for one error object. `lineno` is present for per-line
+/// errors and absent for stream-level conditions (timeout, overloaded).
+pub(crate) fn error_body(
+    code: ErrorCode,
+    msg: &str,
+    lineno: Option<usize>,
+) -> Vec<(String, Value)> {
+    let mut kvs = vec![
+        ("error".to_string(), Value::String(msg.to_string())),
+        ("code".to_string(), Value::String(code.as_str().to_string())),
+        ("retryable".to_string(), Value::Bool(code.retryable())),
+    ];
+    if let Some(n) = lineno {
+        kvs.push(("line".to_string(), Value::Int(n as i64)));
+    }
+    kvs
+}
+
+/// Stamp the serving envelope onto a response body — `rid` (exact integer:
+/// the monotone-rid contract must survive past 2^53), `latency_us`, and
+/// the serving model's `version` tag where a registry is in play — then
+/// serialize to one output line.
+pub(crate) fn finalize_response(
+    mut kvs: Vec<(String, Value)>,
+    rid: u64,
+    latency_us: u128,
+    version: Option<&str>,
+) -> std::io::Result<String> {
+    kvs.push(("rid".to_string(), Value::Int(rid as i64)));
+    kvs.push(("latency_us".to_string(), Value::Int(latency_us as i64)));
+    if let Some(v) = version {
+        kvs.push(("version".to_string(), Value::String(v.to_string())));
+    }
+    serde_json::to_string(&Value::Object(kvs)).map_err(|e| std::io::Error::other(e.to_string()))
 }
 
 impl MatchServer {
@@ -429,16 +557,11 @@ impl MatchServer {
         code: ErrorCode,
         msg: &str,
     ) -> std::io::Result<()> {
-        let m = metrics();
-        m.errors.inc();
-        let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
-        let obj = Value::Object(vec![
-            ("error".to_string(), Value::String(msg.to_string())),
-            ("code".to_string(), Value::String(code.as_str().to_string())),
-            ("retryable".to_string(), Value::Bool(code.retryable())),
-            ("rid".to_string(), Value::Number(rid as f64)),
-        ]);
-        let text = serde_json::to_string(&obj).map_err(|e| std::io::Error::other(e.to_string()))?;
+        metrics().errors.inc();
+        let mut kvs = error_body(code, msg, None);
+        kvs.push(("rid".to_string(), Value::Int(next_rid() as i64)));
+        let text = serde_json::to_string(&Value::Object(kvs))
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         writeln!(output, "{text}")?;
         output.flush()
     }
@@ -456,7 +579,7 @@ impl MatchServer {
             .iter()
             .filter_map(|(_, _, p)| match p {
                 Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
-                Parsed::Table(_) | Parsed::Err(..) => None,
+                Parsed::Table(_) | Parsed::Reload(_) | Parsed::Err(..) => None,
             })
             .collect();
         if !pairs.is_empty() {
@@ -466,18 +589,11 @@ impl MatchServer {
         let mut scored = preds.len();
         let mut preds = preds.into_iter();
         for (lineno, arrival, parsed) in window.drain(..) {
-            let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
             m.requests.inc();
-            let mut kvs = match parsed {
+            let kvs = match parsed {
                 Parsed::Ok((id, _, _)) => {
                     let (label, prob) = preds.next().expect("one prediction per Ok line");
-                    let mut kvs = Vec::with_capacity(5);
-                    if let Some(id) = id {
-                        kvs.push(("id".to_string(), id));
-                    }
-                    kvs.push(("match".to_string(), Value::Bool(label == 1)));
-                    kvs.push(("probability".to_string(), Value::Number(prob as f64)));
-                    kvs
+                    pair_body(id, label, prob)
                 }
                 Parsed::Table(req) => {
                     let outcome = crate::matching::match_tables(
@@ -491,53 +607,29 @@ impl MatchServer {
                         req.threshold,
                     );
                     scored += outcome.candidates;
-                    let matches: Vec<Value> = outcome
-                        .matches
-                        .iter()
-                        .map(|tm| {
-                            Value::Object(vec![
-                                ("left".to_string(), Value::Number(tm.left as f64)),
-                                ("right".to_string(), Value::Number(tm.right as f64)),
-                                (
-                                    "probability".to_string(),
-                                    Value::Number(tm.probability as f64),
-                                ),
-                                (
-                                    "block_score".to_string(),
-                                    Value::Number(tm.block_score as f64),
-                                ),
-                            ])
-                        })
-                        .collect();
-                    let mut kvs = Vec::with_capacity(5);
-                    if let Some(id) = req.id {
-                        kvs.push(("id".to_string(), id));
-                    }
-                    kvs.push(("matches".to_string(), Value::Array(matches)));
-                    kvs.push((
-                        "candidates".to_string(),
-                        Value::Number(outcome.candidates as f64),
-                    ));
-                    kvs
+                    table_body(req.id, &outcome)
+                }
+                Parsed::Reload(_) => {
+                    m.errors.inc();
+                    error_body(
+                        ErrorCode::InvalidRequest,
+                        &format!(
+                            "line {lineno}: reload is only available on a TCP listener \
+                             (model registry); the stdin stream serves a fixed artifact"
+                        ),
+                        Some(lineno),
+                    )
                 }
                 Parsed::Err(code, msg) => {
                     m.errors.inc();
-                    vec![
-                        ("error".to_string(), Value::String(msg)),
-                        ("code".to_string(), Value::String(code.as_str().to_string())),
-                        ("retryable".to_string(), Value::Bool(code.retryable())),
-                        ("line".to_string(), Value::Number(lineno as f64)),
-                    ]
+                    error_body(code, &msg, Some(lineno))
                 }
             };
             // Latency is measured here, after any scoring the request
             // triggered (table requests score inside the drain above).
-            let latency_us = arrival.elapsed().as_micros() as f64;
-            m.latency_us.observe(latency_us);
-            kvs.push(("rid".to_string(), Value::Number(rid as f64)));
-            kvs.push(("latency_us".to_string(), Value::Number(latency_us)));
-            let text = serde_json::to_string(&Value::Object(kvs))
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let latency_us = arrival.elapsed().as_micros();
+            m.latency_us.observe(latency_us as f64);
+            let text = finalize_response(kvs, next_rid(), latency_us, None)?;
             writeln!(output, "{text}")?;
         }
         output.flush()?;
@@ -566,7 +658,7 @@ fn scalar_attrs(val: &Value, what: &str, lineno: usize) -> Result<Vec<(String, S
 
 /// Parse one request line; every failure becomes an error message naming
 /// the line, so the caller can keep serving.
-fn parse_request(line: &str, lineno: usize) -> Parsed {
+pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
     let v: Value = match serde_json::from_str(line) {
         Ok(v) => v,
         Err(e) => {
@@ -587,10 +679,22 @@ fn parse_request(line: &str, lineno: usize) -> Parsed {
         Some(Value::String(mode)) if mode == "match_table" => {
             return parse_table_request(&v, lineno)
         }
+        Some(Value::String(mode)) if mode == "reload" => {
+            return match v.get("artifact") {
+                None => Parsed::Reload(None),
+                Some(Value::String(path)) => Parsed::Reload(Some(path.clone())),
+                Some(_) => Parsed::Err(
+                    ErrorCode::InvalidRequest,
+                    format!("line {lineno}: `artifact` must be a path string"),
+                ),
+            };
+        }
         Some(mode) => {
             return Parsed::Err(
                 ErrorCode::InvalidRequest,
-                format!("line {lineno}: unknown mode {mode:?} (expected \"match_table\")"),
+                format!(
+                    "line {lineno}: unknown mode {mode:?} (expected \"match_table\" or \"reload\")"
+                ),
             )
         }
     }
@@ -688,19 +792,28 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
     }))
 }
 
-/// Options for [`serve_tcp`]: per-connection limits plus the server-wide
+/// Options for TCP serving ([`serve_event_loop`] and the legacy
+/// [`serve_tcp`]): per-connection limits, batching, and the server-wide
 /// concurrency cap.
 #[derive(Clone, Copy, Debug)]
 pub struct TcpServeConfig {
     /// Per-connection limits (line size, read/write timeouts).
     pub limits: ServeLimits,
-    /// Scoring batch size per connection.
+    /// Maximum pairs per inference batch. The event loop pools requests
+    /// from *all* connections up to this size; the legacy path batches
+    /// per connection.
     pub batch_size: usize,
     /// Concurrent-connection cap. A connection over the cap is answered
-    /// with one `overloaded` error object and closed immediately — a
-    /// typed rejection the client can retry, instead of an unbounded
-    /// thread pile-up or a silent hang.
+    /// with one `overloaded` error object and closed — a typed rejection
+    /// the client can retry, instead of an unbounded thread pile-up or a
+    /// silent hang. The reject is never a blocking write: the event loop
+    /// enqueues it on a nonblocking socket, the legacy path writes it
+    /// from a scratch thread with the write timeout already applied.
     pub max_conns: usize,
+    /// Batch flush deadline in microseconds (event loop only): a pending
+    /// request is never held longer than this waiting for the batch to
+    /// fill. Trades p50 latency for GEMM batch occupancy.
+    pub flush_us: u64,
 }
 
 impl Default for TcpServeConfig {
@@ -709,15 +822,54 @@ impl Default for TcpServeConfig {
             limits: ServeLimits::default(),
             batch_size: 32,
             max_conns: 64,
+            flush_us: 1_000,
+        }
+    }
+}
+
+/// Render a panic payload for the log line.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Join one worker handle, surfacing a panic (counted in
+/// `serve_worker_panics_total` and echoed to stderr) instead of silently
+/// dropping it with the `JoinHandle`.
+fn join_and_report(w: std::thread::JoinHandle<()>) {
+    if let Err(panic) = w.join() {
+        metrics().worker_panics.inc();
+        eprintln!(
+            "dader-serve: connection worker panicked: {}",
+            panic_message(&*panic)
+        );
+    }
+}
+
+/// Reap every finished handle in `workers` via [`join_and_report`].
+fn reap_finished_workers(workers: &mut Vec<std::thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < workers.len() {
+        if workers[i].is_finished() {
+            join_and_report(workers.swap_remove(i));
+        } else {
+            i += 1;
         }
     }
 }
 
 /// Serve the line protocol over TCP, one thread per connection, until
-/// `stop` becomes true. Connections beyond `cfg.max_conns` are rejected
-/// with a typed `overloaded` error. When `stop` is raised the listener
-/// stops accepting, in-flight connections drain to completion, and only
-/// then does the call return (the graceful-shutdown contract: no accepted
+/// `stop` becomes true — the legacy serving core, kept for before/after
+/// benchmarking against [`serve_event_loop`] (which pools batches across
+/// connections). Connections beyond `cfg.max_conns` are rejected with a
+/// typed `overloaded` error written from a scratch thread with the write
+/// timeout already applied, so a rejected client that never reads can no
+/// longer stall the accept loop. When `stop` is raised the listener stops
+/// accepting, in-flight connections drain to completion, and only then
+/// does the call return (the graceful-shutdown contract: no accepted
 /// request is abandoned). Returns the total number of pairs scored.
 pub fn serve_tcp(
     server: Arc<MatchServer>,
@@ -730,25 +882,40 @@ pub fn serve_tcp(
     let scored_total = Arc::new(AtomicUsize::new(0));
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
+        // Reap up front, not just on accept: finished handles are joined
+        // (surfacing panics) even when no new connection ever arrives.
+        reap_finished_workers(&mut workers);
         match listener.accept() {
             Ok((conn, peer)) => {
                 // The accepted socket may inherit the listener's
                 // non-blocking mode; per-connection I/O uses timeouts
                 // instead.
                 let _ = conn.set_nonblocking(false);
+                // Timeouts are applied before ANY write — including the
+                // overloaded reject below. Writing first wedged the single
+                // accept thread on a client that connected at the cap and
+                // never read its socket.
+                let _ = conn.set_read_timeout(cfg.limits.read_timeout);
+                let _ = conn.set_write_timeout(cfg.limits.write_timeout);
                 if active.load(Ordering::Acquire) >= cfg.max_conns {
                     metrics().rejected.inc();
-                    let mut conn = conn;
-                    let _ = server.write_stream_error(
-                        &mut conn,
-                        ErrorCode::Overloaded,
-                        &format!("server at connection cap ({}); retry later", cfg.max_conns),
-                    );
+                    let server = Arc::clone(&server);
+                    let max_conns = cfg.max_conns;
+                    // The reject is written off the accept thread: even
+                    // with the timeout applied, a non-reading client can
+                    // block the write for the full timeout window, and the
+                    // accept loop must outlive hostile clients.
+                    workers.push(std::thread::spawn(move || {
+                        let mut conn = conn;
+                        let _ = server.write_stream_error(
+                            &mut conn,
+                            ErrorCode::Overloaded,
+                            &format!("server at connection cap ({max_conns}); retry later"),
+                        );
+                    }));
                     crate::note!("dader-serve: {peer}: rejected (overloaded)");
                     continue;
                 }
-                let _ = conn.set_read_timeout(cfg.limits.read_timeout);
-                let _ = conn.set_write_timeout(cfg.limits.write_timeout);
                 active.fetch_add(1, Ordering::AcqRel);
                 let server = Arc::clone(&server);
                 let active = Arc::clone(&active);
@@ -773,7 +940,6 @@ pub fn serve_tcp(
                     }
                     active.fetch_sub(1, Ordering::AcqRel);
                 }));
-                workers.retain(|w| !w.is_finished());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -785,9 +951,10 @@ pub fn serve_tcp(
             }
         }
     }
-    // Drain: every accepted connection finishes before we return.
+    // Drain: every accepted connection finishes before we return. Reject
+    // writers are bounded by the write timeout, so this join terminates.
     for w in workers {
-        let _ = w.join();
+        join_and_report(w);
     }
     Ok(scored_total.load(Ordering::Relaxed))
 }
@@ -1069,6 +1236,7 @@ mod tests {
                 write_timeout: Some(Duration::from_secs(5)),
                 ..ServeLimits::default()
             },
+            ..TcpServeConfig::default()
         };
         let srv = {
             let stop = Arc::clone(&stop);

@@ -1,0 +1,178 @@
+//! Model registry: the hot-reload point of the serving stack.
+//!
+//! The registry owns the currently served [`MatchServer`] behind an
+//! atomically swappable `Arc`. Readers ([`super::serve_event_loop`]) take
+//! a cheap snapshot per inference batch; a reload builds the replacement
+//! model off to the side and swaps the `Arc` in one move, so in-flight
+//! batches finish on the model they started with and **zero requests are
+//! dropped** across a swap. Every response carries the `version` tag of
+//! the model that scored it (`v1`, `v2`, …), so clients observe exactly
+//! when the flip happened.
+//!
+//! Reload triggers: a `{"mode": "reload"}` request line on any serving
+//! connection (optionally with `"artifact": "<path>"` to switch files),
+//! or a `reload [path]` control line on the `dader-serve` process stdin —
+//! the SIGHUP idiom without signal handling.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::{metrics, MatchServer};
+
+/// One served model plus its registry version tag.
+pub struct VersionedModel {
+    /// The model + encoder answering requests.
+    pub server: MatchServer,
+    /// Registry-assigned tag (`v1`, `v2`, …), echoed in every response.
+    pub version: String,
+}
+
+/// Atomically swappable slot holding the serving model, plus the artifact
+/// path reloads re-read by default.
+pub struct ModelRegistry {
+    current: Mutex<Arc<VersionedModel>>,
+    artifact_path: Mutex<Option<PathBuf>>,
+    generation: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Register `server` as version `v1`, with no artifact path on file
+    /// (reloads must name one explicitly).
+    pub fn new(server: MatchServer) -> ModelRegistry {
+        ModelRegistry {
+            current: Mutex::new(Arc::new(VersionedModel {
+                server,
+                version: "v1".to_string(),
+            })),
+            artifact_path: Mutex::new(None),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// Load the artifact at `path` as version `v1` and remember the path,
+    /// so a bare `reload` re-reads the same file (artifact replaced on
+    /// disk — the deploy idiom).
+    pub fn from_artifact_file(
+        path: impl AsRef<Path>,
+    ) -> Result<ModelRegistry, dader_core::artifact::ArtifactError> {
+        let server = MatchServer::from_artifact_file(&path)?;
+        let reg = ModelRegistry::new(server);
+        *reg.artifact_path.lock().unwrap() = Some(path.as_ref().to_path_buf());
+        Ok(reg)
+    }
+
+    /// Snapshot the current model. The returned `Arc` stays valid across
+    /// any number of reloads — batches hold it until they finish.
+    pub fn current(&self) -> Arc<VersionedModel> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The version tag currently being served.
+    pub fn version(&self) -> String {
+        self.current().version.clone()
+    }
+
+    /// Install an already-built server as the next version, returning its
+    /// tag. The swap is atomic: requests batched before it see the old
+    /// model, requests batched after it see the new one, nothing is
+    /// dropped in between.
+    pub fn install(&self, server: MatchServer) -> String {
+        let n = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let version = format!("v{n}");
+        *self.current.lock().unwrap() = Arc::new(VersionedModel {
+            server,
+            version: version.clone(),
+        });
+        metrics().reloads.inc();
+        version
+    }
+
+    /// Reload from `path_override`, or from the path on file. The new
+    /// artifact is fully loaded and validated *before* the swap; any
+    /// failure leaves the current model serving untouched. On success the
+    /// override (if any) becomes the new path on file, and the new version
+    /// tag is returned.
+    pub fn reload(&self, path_override: Option<&Path>) -> Result<String, String> {
+        let path = match path_override {
+            Some(p) => p.to_path_buf(),
+            None => self
+                .artifact_path
+                .lock()
+                .unwrap()
+                .clone()
+                .ok_or_else(|| {
+                    "no artifact path on file; pass one: \
+                     {\"mode\": \"reload\", \"artifact\": \"<path>\"}"
+                        .to_string()
+                })?,
+        };
+        let server = MatchServer::from_artifact_file(&path)
+            .map_err(|e| format!("cannot load artifact {}: {e}", path.display()))?;
+        let version = self.install(server);
+        *self.artifact_path.lock().unwrap() = Some(path);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dader_core::{DaderModel, LmExtractor, Matcher};
+    use dader_nn::TransformerConfig;
+    use dader_text::{PairEncoder, Vocab};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_server(seed: u64) -> MatchServer {
+        let vocab = Vocab::build(["title", "kodak", "esp"], 1, 100);
+        let encoder = PairEncoder::new(vocab.clone(), 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TransformerConfig {
+            vocab: vocab.len(),
+            dim: 8,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 16,
+            max_len: 16,
+        };
+        let model = DaderModel {
+            extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+            matcher: Matcher::new(8, &mut rng),
+        };
+        MatchServer::new(model, encoder, format!("registry test {seed}"))
+    }
+
+    #[test]
+    fn install_bumps_version_and_old_snapshots_survive() {
+        let reg = ModelRegistry::new(tiny_server(1));
+        assert_eq!(reg.version(), "v1");
+        let held = reg.current();
+        let v2 = reg.install(tiny_server(2));
+        assert_eq!(v2, "v2");
+        assert_eq!(reg.version(), "v2");
+        // The old snapshot is still fully usable — in-flight batches keep
+        // scoring on the model they started with.
+        assert_eq!(held.version, "v1");
+        assert_eq!(held.server.description, "registry test 1");
+        assert_eq!(reg.current().server.description, "registry test 2");
+    }
+
+    #[test]
+    fn reload_without_path_on_file_is_an_error_and_keeps_serving() {
+        let reg = ModelRegistry::new(tiny_server(3));
+        let err = reg.reload(None).unwrap_err();
+        assert!(err.contains("no artifact path on file"), "{err}");
+        assert_eq!(reg.version(), "v1", "failed reload must not swap");
+    }
+
+    #[test]
+    fn reload_from_missing_file_keeps_current_model() {
+        let reg = ModelRegistry::new(tiny_server(4));
+        let err = reg
+            .reload(Some(Path::new("/definitely/not/here.dma")))
+            .unwrap_err();
+        assert!(err.contains("cannot load artifact"), "{err}");
+        assert_eq!(reg.version(), "v1");
+    }
+}

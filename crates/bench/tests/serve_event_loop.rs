@@ -1,0 +1,420 @@
+//! Integration tests for the nonblocking serving core: the
+//! non-reading-client regression (the accept-stall bug this PR fixes),
+//! response identity between the event loop and the blocking stdin path,
+//! hot artifact reload, and a property test that cross-connection
+//! batching cannot change predictions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use dader_bench::{
+    serve_event_loop, serve_tcp, MatchServer, ModelRegistry, ServeLimits, TcpServeConfig,
+};
+use dader_core::artifact::ModelArtifact;
+use dader_core::{DaderModel, LmExtractor, Matcher};
+use dader_nn::TransformerConfig;
+use dader_text::{PairEncoder, Vocab};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+const WORDS: [&str; 8] = [
+    "kodak", "esp", "printer", "hp", "laserjet", "canon", "pixma", "wireless",
+];
+
+fn tiny_model(seed: u64) -> (DaderModel, PairEncoder) {
+    let vocab = Vocab::build(WORDS, 1, 100);
+    let encoder = PairEncoder::new(vocab.clone(), 24);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = TransformerConfig {
+        vocab: vocab.len(),
+        dim: 16,
+        layers: 1,
+        heads: 2,
+        ffn_dim: 32,
+        max_len: 24,
+    };
+    let model = DaderModel {
+        extractor: Box::new(LmExtractor::new(cfg, &mut rng)),
+        matcher: Matcher::new(16, &mut rng),
+    };
+    (model, encoder)
+}
+
+fn tiny_server(seed: u64) -> MatchServer {
+    let (model, encoder) = tiny_model(seed);
+    MatchServer::new(model, encoder, format!("event loop test {seed}"))
+}
+
+/// Short timeouts so a regression fails the test instead of hanging it.
+fn fast_cfg() -> TcpServeConfig {
+    TcpServeConfig {
+        limits: ServeLimits {
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            ..ServeLimits::default()
+        },
+        batch_size: 8,
+        max_conns: 64,
+        flush_us: 500,
+    }
+}
+
+type ServerHandle = std::thread::JoinHandle<std::io::Result<usize>>;
+
+fn start(core: &str, cfg: TcpServeConfig) -> (std::net::SocketAddr, Arc<AtomicBool>, ServerHandle) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        let core = core.to_string();
+        std::thread::spawn(move || match core.as_str() {
+            "event_loop" => {
+                serve_event_loop(Arc::new(ModelRegistry::new(tiny_server(3))), listener, cfg, stop)
+            }
+            _ => serve_tcp(Arc::new(tiny_server(3)), listener, cfg, stop),
+        })
+    };
+    (addr, stop, handle)
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let conn = TcpStream::connect(addr).unwrap();
+    // A stalled server fails reads fast instead of hanging the suite.
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn
+}
+
+fn pair_line(i: usize) -> String {
+    let a = WORDS[i % WORDS.len()];
+    let b = WORDS[(i + 3) % WORDS.len()];
+    format!("{{\"id\": {i}, \"a\": {{\"title\": \"{a} {b}\"}}, \"b\": {{\"title\": \"{b}\"}}}}\n")
+}
+
+/// The headline regression: clients that connect at the connection cap
+/// and never read their socket must not stall the accept path — rejects
+/// are never blocking writes. Asserted against BOTH serving cores.
+#[test]
+fn non_reading_clients_at_cap_do_not_stall_accepts() {
+    for core in ["event_loop", "thread_per_conn"] {
+        let cfg = TcpServeConfig {
+            max_conns: 1,
+            batch_size: 1,
+            ..fast_cfg()
+        };
+        let (addr, stop, handle) = start(core, cfg);
+
+        // Occupy the single serving slot and keep it demonstrably live.
+        let mut holder = connect(addr);
+        holder.write_all(pair_line(0).as_bytes()).unwrap();
+        let mut holder_reader = BufReader::new(holder.try_clone().unwrap());
+        let mut line = String::new();
+        holder_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"match\""), "{core}: scored response, got {line}");
+
+        // A pile of over-cap clients that never read a byte. Before the
+        // fix, the first of these wedged the accept thread inside a
+        // blocking `overloaded` write with no timeout applied.
+        let silent: Vec<TcpStream> = (0..8).map(|_| connect(addr)).collect();
+
+        // The accept path must still answer a client that DOES read: it
+        // gets the typed reject promptly, not a stall behind the silent
+        // pile.
+        let reject_probe = connect(addr);
+        let mut probe_reader = BufReader::new(reject_probe);
+        let mut rej = String::new();
+        probe_reader.read_line(&mut rej).unwrap();
+        let v: Value = serde_json::from_str(rej.trim()).unwrap();
+        assert_eq!(
+            v.get("code").unwrap(),
+            &Value::String("overloaded".into()),
+            "{core}: {rej}"
+        );
+        assert_eq!(v.get("retryable").unwrap(), &Value::Bool(true), "{core}");
+
+        // And the slot still serves: the holder scores another pair.
+        holder.write_all(pair_line(1).as_bytes()).unwrap();
+        let mut line2 = String::new();
+        holder_reader.read_line(&mut line2).unwrap();
+        assert!(line2.contains("\"match\""), "{core}: held connection still served");
+
+        drop(silent);
+        drop(holder_reader);
+        drop(holder);
+        stop.store(true, Ordering::Relaxed);
+        let scored = handle.join().unwrap().unwrap();
+        assert_eq!(scored, 2, "{core}: both held-connection requests scored");
+    }
+}
+
+/// Strip the per-run envelope (rid, latency, model version) so payloads
+/// can be compared across serving paths.
+fn stable(line: &str) -> Value {
+    let v: Value = serde_json::from_str(line).unwrap();
+    let kvs = v
+        .as_object()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "rid" | "latency_us" | "version"))
+        .cloned()
+        .collect();
+    Value::Object(kvs)
+}
+
+/// One connection through the event loop answers exactly like the
+/// blocking stdin path: same bodies, same order, same error objects,
+/// bitwise-equal probabilities — for a stream mixing valid pairs,
+/// malformed lines, and a whole-table request.
+#[test]
+fn event_loop_responses_match_stdin_serving() {
+    let mut input = String::new();
+    for i in 0..12 {
+        input.push_str(&pair_line(i));
+    }
+    input.push_str("this is not json\n");
+    input.push_str("{\"a\": \"nope\", \"b\": {\"title\": \"x\"}}\n");
+    input.push_str(concat!(
+        "{\"mode\": \"match_table\", ",
+        "\"left\": [{\"title\": \"kodak esp printer\"}, {\"title\": \"hp laserjet\"}], ",
+        "\"right\": [{\"title\": \"hp laserjet printer\"}, {\"title\": \"kodak esp\"}], ",
+        "\"blocker\": \"topk\", \"k\": 2, \"threshold\": 0.0}\n",
+    ));
+    input.push_str(&pair_line(12));
+
+    // Reference: the blocking stdin path on an identically seeded server.
+    let reference = tiny_server(3);
+    let mut ref_out = Vec::new();
+    reference
+        .handle(std::io::Cursor::new(input.clone()), &mut ref_out, 8)
+        .unwrap();
+    let expected: Vec<Value> = String::from_utf8(ref_out)
+        .unwrap()
+        .lines()
+        .map(stable)
+        .collect();
+
+    let (addr, stop, handle) = start("event_loop", fast_cfg());
+    let mut conn = connect(addr);
+    conn.write_all(input.as_bytes()).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let got: Vec<Value> = BufReader::new(conn)
+        .lines()
+        .map(|l| stable(&l.unwrap()))
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+
+    assert_eq!(got.len(), expected.len(), "one response per request line");
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(g, e, "response {i} differs between serving paths");
+    }
+}
+
+/// Every response names the model that scored it, and rids strictly
+/// increase within the connection no matter how batches interleave.
+#[test]
+fn event_loop_stamps_version_and_monotone_rids() {
+    let (addr, stop, handle) = start("event_loop", fast_cfg());
+    let mut conn = connect(addr);
+    let mut input = String::new();
+    for i in 0..20 {
+        input.push_str(&pair_line(i));
+    }
+    conn.write_all(input.as_bytes()).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let mut rids = Vec::new();
+    for line in BufReader::new(conn).lines() {
+        let v: Value = serde_json::from_str(&line.unwrap()).unwrap();
+        assert_eq!(
+            v.get("version").unwrap(),
+            &Value::String("v1".into()),
+            "responses name the serving model version"
+        );
+        rids.push(v.get("rid").unwrap().as_i64().unwrap());
+    }
+    assert_eq!(rids.len(), 20);
+    assert!(
+        rids.windows(2).all(|w| w[1] > w[0]),
+        "rids must strictly increase within a connection: {rids:?}"
+    );
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+}
+
+/// Hot reload: the artifact swap drops zero requests, the `version` tag
+/// flips exactly at the swap, and scoring continues on the new weights.
+#[test]
+fn hot_reload_swaps_version_with_zero_dropped_requests() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("dader_reload_{}_v1.dma", std::process::id()));
+    let p2 = dir.join(format!("dader_reload_{}_v2.dma", std::process::id()));
+    for (path, seed) in [(&p1, 11u64), (&p2, 22u64)] {
+        let (model, encoder) = tiny_model(seed);
+        ModelArtifact::capture(format!("reload test {seed}"), &model, &encoder)
+            .save_file(path)
+            .unwrap();
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(ModelRegistry::from_artifact_file(&p1).unwrap());
+    let handle = {
+        let stop = Arc::clone(&stop);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || serve_event_loop(registry, listener, fast_cfg(), stop))
+    };
+
+    // Phase 1 (closed loop): responses are scored by v1.
+    let mut conn = connect(addr);
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let read_json = |reader: &mut BufReader<TcpStream>| -> Value {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        serde_json::from_str(line.trim()).unwrap()
+    };
+    let mut v1_probs = Vec::new();
+    for i in 0..3 {
+        conn.write_all(pair_line(i).as_bytes()).unwrap();
+        let v = read_json(&mut reader);
+        assert_eq!(v.get("version").unwrap(), &Value::String("v1".into()));
+        v1_probs.push(v.get("probability").unwrap().as_f64().unwrap());
+    }
+
+    // The swap, requested on the wire.
+    conn.write_all(
+        format!("{{\"mode\": \"reload\", \"artifact\": \"{}\"}}\n", p2.display()).as_bytes(),
+    )
+    .unwrap();
+    let v = read_json(&mut reader);
+    assert_eq!(v.get("reloaded").unwrap(), &Value::Bool(true), "{v:?}");
+    assert_eq!(v.get("version").unwrap(), &Value::String("v2".into()));
+    assert_eq!(registry.version(), "v2");
+
+    // Phase 2: same requests now score on the new weights, tagged v2.
+    for (i, old_prob) in v1_probs.iter().enumerate() {
+        conn.write_all(pair_line(i).as_bytes()).unwrap();
+        let v = read_json(&mut reader);
+        assert_eq!(v.get("version").unwrap(), &Value::String("v2".into()));
+        let new_prob = v.get("probability").unwrap().as_f64().unwrap();
+        assert_ne!(
+            new_prob, *old_prob,
+            "request {i}: differently seeded weights must score differently"
+        );
+    }
+
+    // Phase 3 (zero-drop): a pipelined flood with a reload sandwiched in
+    // the middle — every single request gets exactly one response, in
+    // order, each tagged with a registry version.
+    let mut flood = String::new();
+    for i in 0..25 {
+        flood.push_str(&pair_line(i));
+    }
+    flood.push_str(&format!(
+        "{{\"mode\": \"reload\", \"artifact\": \"{}\"}}\n",
+        p1.display()
+    ));
+    for i in 25..50 {
+        flood.push_str(&pair_line(i));
+    }
+    conn.write_all(flood.as_bytes()).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let responses: Vec<Value> = reader
+        .lines()
+        .map(|l| serde_json::from_str(&l.unwrap()).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 51, "50 requests + 1 reload, zero dropped");
+    let mut ids = Vec::new();
+    for v in &responses {
+        let version = v.get("version").unwrap();
+        assert!(
+            version == &Value::String("v2".into()) || version == &Value::String("v3".into()),
+            "{v:?}"
+        );
+        if let Some(id) = v.get("id") {
+            ids.push(id.as_i64().unwrap());
+        }
+    }
+    assert_eq!(ids, (0..50).collect::<Vec<i64>>(), "in order, none dropped");
+    assert_eq!(registry.version(), "v3");
+
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+// ---------------------------------------------------------------------
+// Property: pooling requests across connections is invisible in the
+// results — every client gets bitwise the predictions the blocking
+// per-connection path would have produced, regardless of how the
+// requests interleave into shared batches.
+// ---------------------------------------------------------------------
+
+static SHARED: OnceLock<MatchServer> = OnceLock::new();
+
+fn title() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(WORDS.to_vec()), 1..4)
+        .prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cross_connection_batching_is_bitwise_identical_to_per_connection(
+        titles in proptest::collection::vec((title(), title()), 1..40),
+        conns in 1usize..5,
+        batch_size in 1usize..10,
+    ) {
+        let reference = SHARED.get_or_init(|| tiny_server(3));
+
+        // Distribute the requests round-robin over the connections.
+        let mut streams: Vec<String> = vec![String::new(); conns];
+        for (i, (a, b)) in titles.iter().enumerate() {
+            streams[i % conns].push_str(&format!(
+                "{{\"id\": {i}, \"a\": {{\"title\": {a:?}}}, \"b\": {{\"title\": {b:?}}}}}\n"
+            ));
+        }
+
+        // Reference: each stream through the blocking per-connection path.
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for s in &streams {
+            let mut out = Vec::new();
+            reference
+                .handle(std::io::Cursor::new(s.clone()), &mut out, batch_size)
+                .unwrap();
+            expected.push(String::from_utf8(out).unwrap().lines().map(stable).collect());
+        }
+
+        // Same streams, concurrently, through one event loop (same seed,
+        // same batch width) — so batches pool across the connections.
+        let cfg = TcpServeConfig { batch_size, ..fast_cfg() };
+        let (addr, stop, handle) = start("event_loop", cfg);
+        let clients: Vec<_> = streams
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                std::thread::spawn(move || -> Vec<Value> {
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    conn.write_all(s.as_bytes()).unwrap();
+                    conn.shutdown(Shutdown::Write).unwrap();
+                    BufReader::new(conn).lines().map(|l| stable(&l.unwrap())).collect()
+                })
+            })
+            .collect();
+        let got: Vec<Vec<Value>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap().unwrap();
+
+        for (c, (g, e)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(g, e, "connection {} diverged from per-connection serving", c);
+        }
+    }
+}

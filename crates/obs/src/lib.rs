@@ -37,8 +37,8 @@ pub mod span;
 pub mod telemetry;
 
 pub use metrics::{
-    counter, gauge, histogram, render_prometheus, Counter, Gauge, Histogram,
-    CANDIDATE_SET_BUCKETS,
+    counter, counter_labeled, counter_labeled_values, gauge, histogram, render_prometheus,
+    Counter, Gauge, Histogram, CANDIDATE_SET_BUCKETS,
 };
 pub use span::{set_enabled, span_enabled, timing_snapshot, SpanStat};
 pub use telemetry::{EpochRecord, OpSummary, TelemetrySink};

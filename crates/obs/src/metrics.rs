@@ -144,6 +144,13 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    /// A family of counters sharing one name, split by a single label
+    /// (e.g. `serve_flush_reason_total{reason="size"}`). Children are
+    /// created on first use and rendered one sample line per label value.
+    CounterVec {
+        label: &'static str,
+        children: BTreeMap<&'static str, Counter>,
+    },
 }
 
 static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
@@ -167,6 +174,51 @@ pub fn counter(name: &'static str) -> Counter {
     {
         Metric::Counter(c) => c.clone(),
         _ => panic!("metric {name} is not a counter"),
+    }
+}
+
+/// Get or create one child of the labeled counter family `name`, keyed by
+/// a single `label="value"` pair — the Prometheus counter-vec shape for
+/// enumerable dimensions (flush reasons, error codes). The label key is
+/// fixed at first registration; label values must be static strings, which
+/// keeps the family bounded by construction (no cardinality explosions
+/// from request data).
+pub fn counter_labeled(
+    name: &'static str,
+    label: &'static str,
+    value: &'static str,
+) -> Counter {
+    let mut reg = registry();
+    match reg.entry(name).or_insert_with(|| Metric::CounterVec {
+        label,
+        children: BTreeMap::new(),
+    }) {
+        Metric::CounterVec {
+            label: existing,
+            children,
+        } => {
+            assert_eq!(
+                *existing, label,
+                "labeled counter {name} is keyed by {existing}, not {label}"
+            );
+            children
+                .entry(value)
+                .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+                .clone()
+        }
+        _ => panic!("metric {name} is not a labeled counter"),
+    }
+}
+
+/// Snapshot every child of the labeled counter family `name` as
+/// `(label value, count)` pairs (empty if the family is unregistered).
+pub fn counter_labeled_values(name: &'static str) -> Vec<(&'static str, u64)> {
+    let reg = registry();
+    match reg.get(name) {
+        Some(Metric::CounterVec { children, .. }) => {
+            children.iter().map(|(v, c)| (*v, c.get())).collect()
+        }
+        _ => Vec::new(),
     }
 }
 
@@ -248,6 +300,12 @@ pub fn render_prometheus() -> String {
             Metric::Gauge(g) => {
                 let _ = writeln!(out, "# TYPE {name} gauge");
                 let _ = writeln!(out, "{name} {}", fmt_num(g.get()));
+            }
+            Metric::CounterVec { label, children } => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                for (value, c) in children {
+                    let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {}", c.get());
+                }
             }
             Metric::Histogram(h) => {
                 let _ = writeln!(out, "# TYPE {name} histogram");
@@ -405,5 +463,28 @@ mod tests {
     fn type_collision_panics() {
         gauge("obs_test_collision");
         counter("obs_test_collision");
+    }
+
+    #[test]
+    fn labeled_counters_render_per_value() {
+        counter_labeled("obs_test_reason_total", "reason", "size").add(3);
+        counter_labeled("obs_test_reason_total", "reason", "deadline").inc();
+        // same (name, value) returns the same cell
+        counter_labeled("obs_test_reason_total", "reason", "size").inc();
+        let dump = render_prometheus();
+        assert!(dump.contains("# TYPE obs_test_reason_total counter"));
+        assert!(dump.contains("obs_test_reason_total{reason=\"size\"} 4"));
+        assert!(dump.contains("obs_test_reason_total{reason=\"deadline\"} 1"));
+        let mut vals = counter_labeled_values("obs_test_reason_total");
+        vals.sort();
+        assert_eq!(vals, vec![("deadline", 1), ("size", 4)]);
+        assert!(counter_labeled_values("obs_test_unregistered").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "keyed by reason, not code")]
+    fn labeled_counter_label_key_is_fixed() {
+        counter_labeled("obs_test_label_fixed", "reason", "a");
+        counter_labeled("obs_test_label_fixed", "code", "b");
     }
 }

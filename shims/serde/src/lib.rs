@@ -25,8 +25,15 @@ pub enum Value {
     Null,
     /// JSON boolean.
     Bool(bool),
-    /// JSON number (all numerics travel as `f64`).
+    /// JSON number (floating-point; integral values print without `.0`).
     Number(f64),
+    /// JSON integer, kept exact at any magnitude. `f64` loses integer
+    /// precision above 2^53, which silently breaks monotone-counter
+    /// contracts (e.g. serving request ids); integers constructed through
+    /// this variant serialize digit-for-digit. The parser still produces
+    /// [`Value::Number`] for every numeric literal, so matching on
+    /// `Number` keeps working for parsed input.
+    Int(i64),
     /// JSON string.
     String(String),
     /// JSON array.
@@ -52,12 +59,33 @@ impl Value {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number. Exact integers are widened
+    /// (lossy above 2^53 — use [`Value::as_i64`] when exactness matters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            Value::Int(i) => Some(*i as f64),
             _ => None,
         }
+    }
+
+    /// The exact integer value: an [`Value::Int`] verbatim, or a
+    /// [`Value::Number`] that is integral and within `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Number(n)
+                if n.trunc() == *n && (i64::MIN as f64..=i64::MAX as f64).contains(n) =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The exact non-negative integer value (see [`Value::as_i64`]).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
     }
 
     /// The string, if this is a string.
@@ -133,7 +161,26 @@ impl Deserialize for bool {
     }
 }
 
-macro_rules! impl_num {
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Number(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn serialize_value(&self) -> Value {
@@ -144,6 +191,7 @@ macro_rules! impl_num {
             fn deserialize_value(v: &Value) -> Result<$t, Error> {
                 match v {
                     Value::Number(n) => Ok(*n as $t),
+                    Value::Int(i) => Ok(*i as $t),
                     _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
                 }
             }
@@ -151,7 +199,8 @@ macro_rules! impl_num {
     )*};
 }
 
-impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_float!(f32, f64);
 
 impl Serialize for String {
     fn serialize_value(&self) -> Value {

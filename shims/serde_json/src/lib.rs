@@ -64,6 +64,9 @@ fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String)
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Number(n) => number_into(*n, out),
+        // Exact at any magnitude — `Int` exists precisely so counters
+        // above 2^53 don't round through f64.
+        Value::Int(i) => out.push_str(&format!("{i}")),
         Value::String(s) => escape_into(s, out),
         Value::Array(vs) => {
             if vs.is_empty() {
@@ -376,6 +379,21 @@ mod tests {
     #[test]
     fn integers_print_without_exponent() {
         assert_eq!(to_string(&vec![1usize, 42, 1_000_000]).unwrap(), "[1,42,1000000]");
+    }
+
+    #[test]
+    fn int_values_are_exact_beyond_2_pow_53() {
+        // 2^53 + 1 is unrepresentable in f64 — the whole reason Int exists.
+        let exact = (1i64 << 53) + 1;
+        assert_eq!(to_string(&Value::Int(exact)).unwrap(), "9007199254740993");
+        assert_eq!(to_string(&exact).unwrap(), "9007199254740993");
+        assert_eq!(to_string(&u64::MAX.to_string()).unwrap(), "\"18446744073709551615\"");
+        // An f64 of the same magnitude rounds: the two paths really differ.
+        assert_eq!(to_string(&Value::Number(exact as f64)).unwrap(), "9007199254740992");
+        // Parsed numbers still come back as Number; as_i64 recovers small ints.
+        let v: Value = from_str("7").unwrap();
+        assert_eq!(v.as_i64(), Some(7));
+        assert!(matches!(v, Value::Number(_)));
     }
 
     #[test]
