@@ -5,7 +5,8 @@
 //! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
 //!             [--flush-us N] [--thread-per-conn]
 //!             [--max-line-bytes N] [--timeout-ms N] [--max-conns N]
-//!             [--metrics-addr ADDR] [--quiet] [--verbose]
+//!             [--metrics-addr ADDR] [--trace FILE] [--trace-sample N]
+//!             [--quiet] [--verbose]
 //! ```
 //!
 //! By default requests are read from stdin and answered on stdout, one
@@ -38,18 +39,33 @@
 //! connections run to completion, the metrics summary is printed, and the
 //! process exits 0.
 //!
-//! `--metrics-addr 127.0.0.1:0` starts a metrics endpoint on a second
-//! socket: each TCP connection receives one Prometheus-style text dump of
-//! every registered metric (request-latency percentiles, batch-size
-//! distribution, error counters) and is closed — readable with
-//! `curl --http0.9` or `nc`. The bound address is announced on stderr; the same dump
-//! is printed as a summary when the stdin stream ends.
+//! `--metrics-addr 127.0.0.1:0` starts a status endpoint on a second
+//! socket speaking minimal HTTP/1.0: `GET /metrics` returns the
+//! Prometheus text of every registered metric with the sliding-window
+//! latency p50/p99 appended, `GET /status` returns one JSON object
+//! (uptime, live/total connections, queue depth, windowed p50/p99 and
+//! rate, batch occupancy, model version, worker panics). A connection
+//! that sends no request line still gets the bare metrics dump (the old
+//! `nc` scrape contract). The bound address is announced on stderr; the
+//! same dump is printed as a summary when the stream ends. The in-band
+//! `{"mode": "status"}` request returns the same snapshot on any serving
+//! connection.
+//!
+//! `--trace trace.json` (or `DADER_TRACE=trace.json`) turns on
+//! request-scoped tracing: every `--trace-sample`-th request (default:
+//! every request) records its parse/queue/dispatch/infer/write stage
+//! spans, and the ring buffer is exported as Chrome `trace_event` JSON at
+//! shutdown — load it in `chrome://tracing`, Perfetto, or feed it to
+//! `dader-trace` for per-stage totals and slowest-request tables. Clients
+//! can also send `"timings": true` on any request to get a per-response
+//! `timings` breakdown (`queue_us`, `batch_wait_us`, `infer_us`,
+//! `write_us`) with no tracing enabled at all.
 //!
 //! Malformed requests produce `{"error": ...}` responses in place; the
 //! process never exits on bad input. A missing or corrupted artifact is
 //! reported as a structured error on stderr with a non-zero exit.
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufWriter};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -64,24 +80,25 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Serve one Prometheus-style dump per TCP connection on `addr`
-/// (port 0 binds an ephemeral port). Runs until process exit; announces
-/// the bound address on stderr so test harnesses can find an ephemeral
-/// port.
-fn spawn_metrics_endpoint(addr: &str) {
-    let listener = std::net::TcpListener::bind(addr)
-        .unwrap_or_else(|e| fail(&format!("cannot bind metrics endpoint on {addr}: {e}")));
-    let bound = listener
-        .local_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| addr.to_string());
-    eprintln!("dader-serve: metrics on {bound}");
-    std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            let Ok(mut conn) = conn else { continue };
-            let _ = conn.write_all(dader_obs::render_prometheus().as_bytes());
+/// Start the HTTP status/metrics endpoint on `addr` (port 0 binds an
+/// ephemeral port) and announce the bound address on stderr so test
+/// harnesses can find it.
+fn spawn_metrics_endpoint(addr: &str, registry: Option<Arc<ModelRegistry>>) {
+    match dader_bench::spawn_status_endpoint(addr, registry) {
+        Ok(bound) => eprintln!("dader-serve: metrics on {bound}"),
+        Err(e) => fail(&format!("cannot bind metrics endpoint on {addr}: {e}")),
+    }
+}
+
+/// Export the sampled trace ring as Chrome `trace_event` JSON (shutdown).
+fn export_trace(path: &str) {
+    match dader_obs::trace::write_chrome_trace_file(path) {
+        Ok(n) => {
+            let dropped = dader_obs::trace::dropped();
+            note!("dader-serve: wrote {n} trace events to {path} ({dropped} evicted)");
         }
-    });
+        Err(e) => eprintln!("dader-serve: cannot write trace to {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -89,7 +106,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--quiet] [--verbose]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--trace FILE] [--trace-sample N] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -133,9 +150,17 @@ fn main() {
     let max_conns = positive("--max-conns", 64);
     let flush_us = positive("--flush-us", 1_000) as u64;
     let thread_per_conn = args.iter().any(|a| a == "--thread-per-conn");
+    let metrics_addr = arg_value(&args, "--metrics-addr");
 
-    if let Some(addr) = arg_value(&args, "--metrics-addr") {
-        spawn_metrics_endpoint(&addr);
+    // Tracing: `--trace FILE` wins, `DADER_TRACE=FILE` is the no-restart
+    // env idiom. `--trace-sample N` records every Nth request (default 1:
+    // every request).
+    let trace_path = arg_value(&args, "--trace")
+        .or_else(|| std::env::var("DADER_TRACE").ok().filter(|p| !p.is_empty()));
+    if trace_path.is_some() {
+        let sample = positive("--trace-sample", 1) as u64;
+        dader_obs::trace::configure(sample, dader_obs::trace::DEFAULT_CAPACITY);
+        note!("dader-serve: tracing on (1 in {sample} requests sampled)");
     }
 
     match arg_value(&args, "--listen") {
@@ -145,6 +170,11 @@ fn main() {
                 Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
             };
             note!("dader-serve: loaded {artifact} ({})", server.description);
+            if let Some(addr) = &metrics_addr {
+                // No registry on the stdin path: /status reports process
+                // metrics without a model block.
+                spawn_metrics_endpoint(addr, None);
+            }
             // Stdin has no socket timeouts; the line-size bound still
             // applies.
             let stdin_limits = ServeLimits {
@@ -160,6 +190,9 @@ fn main() {
                     // Shutdown summary: the full metrics dump, so a batch
                     // invocation leaves its latency/error profile behind.
                     note!("{}", dader_obs::render_prometheus().trim_end());
+                    if let Some(path) = &trace_path {
+                        export_trace(path);
+                    }
                 }
                 Err(e) => fail(&format!("stdin stream failed: {e}")),
             }
@@ -190,6 +223,11 @@ fn main() {
                     Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
                 }
             };
+            if let Some(addr) = &metrics_addr {
+                // Spawned with the registry so /status can name the
+                // serving model version across hot reloads.
+                spawn_metrics_endpoint(addr, registry.clone());
+            }
             // Graceful shutdown: closing stdin (or sending a "shutdown"
             // line) stops the accept loop; in-flight connections drain to
             // completion before the process exits. `reload [path]` on the
@@ -248,6 +286,9 @@ fn main() {
                 Ok(n) => {
                     note!("dader-serve: drained; scored {n} pairs total");
                     note!("{}", dader_obs::render_prometheus().trim_end());
+                    if let Some(path) = &trace_path {
+                        export_trace(path);
+                    }
                 }
                 Err(e) => fail(&format!("listener failed: {e}")),
             }

@@ -1,0 +1,231 @@
+//! `dader-trace` — offline analyzer for Chrome `trace_event` JSON exported
+//! by `dader-serve --trace` (or `DADER_TRACE=...`).
+//!
+//! ```text
+//! dader-trace <trace.json> [--top K]
+//! ```
+//!
+//! Three views of one trace file:
+//!
+//! * **Per-stage totals** — event count, total time, mean and max duration
+//!   for every pipeline stage (`parse`, `queue`, `dispatch`, `infer`,
+//!   `write`) plus the batch-level tracks (`forward`, `flush`).
+//! * **Critical-path histogram** — each traced request's end-to-end span
+//!   (first stage start → last stage end), bucketed into the serving
+//!   latency buckets with p50/p99, so the latency shape is readable
+//!   without a trace viewer.
+//! * **Slowest K** — the `--top K` (default 10) slowest requests with
+//!   their full stage breakdown and batch occupancy: the requests worth
+//!   opening in `chrome://tracing` / Perfetto first.
+
+use std::collections::HashMap;
+
+use dader_obs::metrics::{quantile_from_counts, LATENCY_US_BUCKETS};
+use dader_obs::trace::Stage;
+use serde::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dader-trace: error: {msg}");
+    std::process::exit(1);
+}
+
+/// One event pulled back out of the Chrome JSON.
+struct Event {
+    rid: u64,
+    stage: Stage,
+    ts_us: u64,
+    dur_us: u64,
+    /// Batch occupancy, where the stage carries one (queue/infer/flush).
+    occupancy: u64,
+}
+
+fn parse_events(text: &str) -> Vec<Event> {
+    let v: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("not valid JSON: {e}")),
+    };
+    let Some(events) = v.get("traceEvents").and_then(|t| t.as_array()) else {
+        fail("no `traceEvents` array (is this a Chrome trace export?)");
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        let Some(name) = ev.get("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        let Some(stage) = Stage::parse_name(name) else {
+            continue; // foreign event in a merged trace: skip
+        };
+        let num = |key: &str| ev.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        let occupancy = ev
+            .get("args")
+            .and_then(|a| a.get("occupancy"))
+            .and_then(|o| o.as_f64())
+            .unwrap_or(0.0) as u64;
+        out.push(Event {
+            rid: num("tid"),
+            stage,
+            ts_us: num("ts"),
+            dur_us: num("dur"),
+            occupancy,
+        });
+    }
+    out
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Per-request reconstruction: stage durations, end-to-end span, occupancy.
+struct Request {
+    rid: u64,
+    stage_us: [u64; Stage::REQUEST_STAGES.len()],
+    start_us: u64,
+    end_us: u64,
+    occupancy: u64,
+}
+
+impl Request {
+    fn total_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
+        eprintln!("usage: dader-trace <trace.json> [--top K]");
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+    let path = &args[0];
+    let top = match args.windows(2).find(|w| w[0] == "--top").map(|w| &w[1]) {
+        None => 10usize,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| fail(&format!("--top must be a positive integer, got {s:?}"))),
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let events = parse_events(&text);
+    if events.is_empty() {
+        fail("trace contains no serve-stage events");
+    }
+
+    // --- Per-stage totals ------------------------------------------------
+    let all_stages = [
+        Stage::Parse,
+        Stage::Queue,
+        Stage::Dispatch,
+        Stage::Infer,
+        Stage::Write,
+        Stage::Forward,
+        Stage::Flush,
+    ];
+    println!("== per-stage totals ({} events) ==", events.len());
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>10}",
+        "stage", "events", "total", "mean", "max"
+    );
+    for stage in all_stages {
+        let durs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.dur_us)
+            .collect();
+        if durs.is_empty() {
+            continue;
+        }
+        let total: u64 = durs.iter().sum();
+        println!(
+            "{:<10} {:>8} {:>12} {:>10} {:>10}",
+            stage.as_str(),
+            durs.len(),
+            fmt_us(total),
+            fmt_us(total / durs.len() as u64),
+            fmt_us(*durs.iter().max().unwrap()),
+        );
+    }
+
+    // --- Per-request reconstruction --------------------------------------
+    let mut requests: HashMap<u64, Request> = HashMap::new();
+    for ev in events.iter().filter(|e| e.rid != 0) {
+        let req = requests.entry(ev.rid).or_insert(Request {
+            rid: ev.rid,
+            stage_us: [0; Stage::REQUEST_STAGES.len()],
+            start_us: u64::MAX,
+            end_us: 0,
+            occupancy: 0,
+        });
+        if let Some(i) = Stage::REQUEST_STAGES.iter().position(|&s| s == ev.stage) {
+            req.stage_us[i] += ev.dur_us;
+        }
+        req.start_us = req.start_us.min(ev.ts_us);
+        req.end_us = req.end_us.max(ev.ts_us + ev.dur_us);
+        req.occupancy = req.occupancy.max(ev.occupancy);
+    }
+    let mut requests: Vec<Request> = requests.into_values().collect();
+    if requests.is_empty() {
+        println!("\n(no per-request events — batch-level trace only)");
+        return;
+    }
+
+    // --- Critical-path histogram -----------------------------------------
+    let mut counts = vec![0u64; LATENCY_US_BUCKETS.len() + 1];
+    for r in &requests {
+        counts[LATENCY_US_BUCKETS.partition_point(|&b| b < r.total_us() as f64)] += 1;
+    }
+    let p50 = quantile_from_counts(&LATENCY_US_BUCKETS, &counts, 0.50);
+    let p99 = quantile_from_counts(&LATENCY_US_BUCKETS, &counts, 0.99);
+    println!(
+        "\n== end-to-end critical path ({} requests, p50 {} p99 {}) ==",
+        requests.len(),
+        p50.map(|v| fmt_us(v as u64)).unwrap_or_else(|| "-".into()),
+        p99.map(|v| fmt_us(v as u64)).unwrap_or_else(|| "-".into()),
+    );
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut lo = 0.0f64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            if i < LATENCY_US_BUCKETS.len() {
+                lo = LATENCY_US_BUCKETS[i];
+            }
+            continue;
+        }
+        let hi = LATENCY_US_BUCKETS
+            .get(i)
+            .map(|&b| fmt_us(b as u64))
+            .unwrap_or_else(|| "+inf".into());
+        let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
+        println!("{:>9} .. {:<9} {:>7}  {bar}", fmt_us(lo as u64), hi, c);
+        if i < LATENCY_US_BUCKETS.len() {
+            lo = LATENCY_US_BUCKETS[i];
+        }
+    }
+
+    // --- Slowest K --------------------------------------------------------
+    requests.sort_by_key(|r| std::cmp::Reverse(r.total_us()));
+    println!("\n== slowest {} requests ==", top.min(requests.len()));
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5}",
+        "rid", "total", "parse", "queue", "dispatch", "infer", "write", "occ"
+    );
+    for r in requests.iter().take(top) {
+        println!(
+            "{:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5}",
+            r.rid,
+            fmt_us(r.total_us()),
+            fmt_us(r.stage_us[0]),
+            fmt_us(r.stage_us[1]),
+            fmt_us(r.stage_us[2]),
+            fmt_us(r.stage_us[3]),
+            fmt_us(r.stage_us[4]),
+            r.occupancy,
+        );
+    }
+}

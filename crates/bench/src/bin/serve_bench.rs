@@ -18,8 +18,12 @@
 //!
 //! Results land in `results/BENCH_serve.json`:
 //! `modes.thread_per_conn` (before) and `modes.event_loop` (after), each
-//! with exact p50/p99/mean latency and throughput; the event-loop entry
-//! adds `batch_occupancy_mean` (the cross-connection pooling proof — must
+//! with exact p50/p99/mean latency and throughput, a `queue_wait` vs
+//! `compute` breakdown taken from the server-stamped `timings` object
+//! (requests carry `"timings": true`), and the sliding-window `window`
+//! p50/p99 snapshot — the same numbers a `GET /status` probe would have
+//! reported as the phase drained. The event-loop entry adds
+//! `batch_occupancy_mean` (the cross-connection pooling proof — must
 //! exceed 1 under concurrent load) and the flush-reason breakdown.
 
 use std::io::{BufRead, BufReader, Write};
@@ -87,16 +91,29 @@ fn request_lines(client: usize, requests: usize) -> String {
         let a = words[(client + i) % words.len()];
         let b = words[(client + i + 1) % words.len()];
         lines.push_str(&format!(
-            "{{\"id\": {i}, \"a\": {{\"title\": \"{a} {client}\"}}, \"b\": {{\"title\": \"{b}\"}}}}\n"
+            "{{\"id\": {i}, \"a\": {{\"title\": \"{a} {client}\"}}, \"b\": {{\"title\": \"{b}\"}}, \
+             \"timings\": true}}\n"
         ));
     }
     lines
 }
 
+/// One response's server-stamped clocks: total latency plus the
+/// `timings` breakdown (queue-wait vs compute).
+#[derive(Clone, Copy)]
+struct Sample {
+    latency_us: u64,
+    queue_us: u64,
+    infer_us: u64,
+}
+
 struct PhaseResult {
-    latencies_us: Vec<u64>,
+    samples: Vec<Sample>,
     wall_s: f64,
     scored: usize,
+    /// Sliding-window latency snapshot taken right as the phase drained —
+    /// the same numbers `GET /status` would report at that moment.
+    window: dader_obs::window::WindowSnapshot,
 }
 
 /// Run one serving phase: spawn the server core, slam it with `clients`
@@ -128,13 +145,13 @@ fn run_phase(
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || -> Vec<u64> {
+            std::thread::spawn(move || -> Vec<Sample> {
                 let lines = request_lines(c, requests);
                 barrier.wait();
                 let mut conn = TcpStream::connect(addr).expect("connect");
                 conn.write_all(lines.as_bytes()).expect("send requests");
                 conn.shutdown(std::net::Shutdown::Write).expect("shutdown write");
-                let mut latencies = Vec::with_capacity(requests);
+                let mut samples = Vec::with_capacity(requests);
                 for line in BufReader::new(conn).lines() {
                     let line = line.expect("read response");
                     let v: Value = serde_json::from_str(&line).expect("response JSON");
@@ -142,35 +159,55 @@ fn run_phase(
                         v.get("error").is_none(),
                         "client {c}: unexpected error response: {line}"
                     );
-                    let lat = v
-                        .get("latency_us")
-                        .and_then(|l| l.as_i64())
-                        .expect("latency_us on every response");
-                    latencies.push(lat as u64);
+                    let field = |obj: &Value, key: &str| -> u64 {
+                        obj.get(key)
+                            .and_then(|x| x.as_i64())
+                            .unwrap_or_else(|| panic!("{key} on every response: {line}"))
+                            as u64
+                    };
+                    let latency_us = field(&v, "latency_us");
+                    let timings = v.get("timings").expect("timings on every response").clone();
+                    let sample = Sample {
+                        latency_us,
+                        queue_us: field(&timings, "queue_us"),
+                        infer_us: field(&timings, "infer_us"),
+                    };
+                    // The stage clocks nest inside the end-to-end clock.
+                    assert!(
+                        sample.queue_us + sample.infer_us <= latency_us,
+                        "client {c}: queue {} + infer {} exceeds latency {latency_us}: {line}",
+                        sample.queue_us,
+                        sample.infer_us
+                    );
+                    samples.push(sample);
                 }
                 assert_eq!(
-                    latencies.len(),
+                    samples.len(),
                     requests,
                     "client {c}: every request answered exactly once"
                 );
-                latencies
+                samples
             })
         })
         .collect();
-    let mut latencies_us = Vec::with_capacity(clients * requests);
+    let mut samples = Vec::with_capacity(clients * requests);
     for w in workers {
-        latencies_us.extend(w.join().expect("client thread"));
+        samples.extend(w.join().expect("client thread"));
     }
     let wall_s = t0.elapsed().as_secs_f64();
+    // Snapshot the sliding window while the phase traffic is still inside
+    // it — these are the p50/p99 a `/status` probe would see right now.
+    let window = dader_bench::latency_window_snapshot();
     stop.store(true, Ordering::Relaxed);
     let scored = server_thread
         .join()
         .expect("server thread")
         .expect("server result");
     PhaseResult {
-        latencies_us,
+        samples,
         wall_s,
         scored,
+        window,
     }
 }
 
@@ -208,14 +245,38 @@ fn main() {
         let occ_sum0 = occupancy.sum();
         let flush0 = flush_counts();
         note!("serve_bench: {core}: {clients} clients x {requests} requests...");
-        let mut phase = run_phase(core, cfg, clients, requests);
+        let phase = run_phase(core, cfg, clients, requests);
         assert_eq!(phase.scored, clients * requests, "{core}: scored total");
-        phase.latencies_us.sort_unstable();
-        let n = phase.latencies_us.len();
-        let p50 = exact_quantile(&phase.latencies_us, 0.50);
-        let p99 = exact_quantile(&phase.latencies_us, 0.99);
-        let mean = phase.latencies_us.iter().sum::<u64>() as f64 / n as f64;
+        let n = phase.samples.len();
+        let sorted = |f: fn(&Sample) -> u64| -> Vec<u64> {
+            let mut v: Vec<u64> = phase.samples.iter().map(f).collect();
+            v.sort_unstable();
+            v
+        };
+        let stage_entry = |sorted: &[u64]| -> Value {
+            Value::Object(vec![
+                (
+                    "p50_us".to_string(),
+                    Value::Int(exact_quantile(sorted, 0.50) as i64),
+                ),
+                (
+                    "p99_us".to_string(),
+                    Value::Int(exact_quantile(sorted, 0.99) as i64),
+                ),
+                (
+                    "mean_us".to_string(),
+                    Value::Number(sorted.iter().sum::<u64>() as f64 / n as f64),
+                ),
+            ])
+        };
+        let latencies = sorted(|s| s.latency_us);
+        let queue = sorted(|s| s.queue_us);
+        let infer = sorted(|s| s.infer_us);
+        let p50 = exact_quantile(&latencies, 0.50);
+        let p99 = exact_quantile(&latencies, 0.99);
+        let mean = latencies.iter().sum::<u64>() as f64 / n as f64;
         let rps = n as f64 / phase.wall_s.max(1e-9);
+        let w = &phase.window;
         let mut entry = vec![
             ("requests".to_string(), Value::Int(n as i64)),
             ("p50_us".to_string(), Value::Int(p50 as i64)),
@@ -223,6 +284,24 @@ fn main() {
             ("mean_us".to_string(), Value::Number(mean)),
             ("wall_s".to_string(), Value::Number(phase.wall_s)),
             ("requests_per_second".to_string(), Value::Number(rps)),
+            // Queue-wait vs compute: where the latency budget actually went.
+            ("queue_wait".to_string(), stage_entry(&queue)),
+            ("compute".to_string(), stage_entry(&infer)),
+            (
+                "window".to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::Int(w.count as i64)),
+                    ("rate".to_string(), Value::Number(w.rate)),
+                    (
+                        "p50_us".to_string(),
+                        w.p50.map(Value::Number).unwrap_or(Value::Null),
+                    ),
+                    (
+                        "p99_us".to_string(),
+                        w.p99.map(Value::Number).unwrap_or(Value::Null),
+                    ),
+                ]),
+            ),
         ];
         if core == "event_loop" {
             let batches = occupancy.count() - occ_count0;

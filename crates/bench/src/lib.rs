@@ -21,8 +21,8 @@ pub use report::{
 };
 pub use scale::Scale;
 pub use serve::{
-    serve_event_loop, serve_tcp, ErrorCode, MatchServer, ModelRegistry, ServeLimits,
-    TcpServeConfig, VersionedModel,
+    latency_window_snapshot, serve_event_loop, serve_tcp, spawn_status_endpoint, ErrorCode,
+    MatchServer, ModelRegistry, ServeLimits, TcpServeConfig, VersionedModel,
 };
 
 // Re-exported so the `note!`/`chat!` macros can reach the log gates from

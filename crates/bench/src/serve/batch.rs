@@ -27,7 +27,7 @@ use serde::Value;
 
 use super::registry::VersionedModel;
 use super::{
-    error_body, metrics, pair_body, panic_message, table_body, ErrorCode, TableRequest,
+    error_body, metrics, pair_body, panic_message, table_body, ErrorCode, TableRequest, Timeline,
 };
 
 /// Why a batch left the queue. The wire label of each variant feeds
@@ -75,8 +75,9 @@ pub(crate) struct WorkItem {
     pub(crate) conn: usize,
     /// Per-connection sequence number (response-order key).
     pub(crate) seq: u64,
-    /// When the request line was read (latency clock).
-    pub(crate) arrival: Instant,
+    /// Stage clock, started when the request line was read; the batcher
+    /// and worker stamp their stages onto it as the request advances.
+    pub(crate) timeline: Timeline,
     pub(crate) kind: WorkKind,
 }
 
@@ -84,7 +85,8 @@ pub(crate) struct WorkItem {
 pub(crate) struct Done {
     pub(crate) conn: usize,
     pub(crate) seq: u64,
-    pub(crate) arrival: Instant,
+    /// The request's completed stage clock (timings / trace source).
+    pub(crate) timeline: Timeline,
     /// Response body (envelope — rid/latency/version — is stamped by the
     /// connection writer so per-stream rid order holds).
     pub(crate) body: Vec<(String, Value)>,
@@ -157,7 +159,7 @@ impl Batcher {
         if self.has_table {
             return Some(FlushReason::Table);
         }
-        let oldest = self.queue.front().expect("non-empty").arrival;
+        let oldest = self.queue.front().expect("non-empty").timeline.arrival;
         if now.saturating_duration_since(oldest) >= self.flush_deadline {
             return Some(FlushReason::Deadline);
         }
@@ -166,7 +168,9 @@ impl Batcher {
 
     /// When the next deadline flush would fire, for idle-sleep bounding.
     pub(crate) fn next_deadline(&self) -> Option<Instant> {
-        self.queue.front().map(|w| w.arrival + self.flush_deadline)
+        self.queue
+            .front()
+            .map(|w| w.timeline.arrival + self.flush_deadline)
     }
 
     /// Pop up to one batch worth of items.
@@ -231,7 +235,7 @@ fn run_job(job: &BatchJob) -> Vec<Done> {
                 .map(|w| Done {
                     conn: w.conn,
                     seq: w.seq,
-                    arrival: w.arrival,
+                    timeline: w.timeline,
                     body: error_body(
                         ErrorCode::Internal,
                         "internal error while scoring this batch; retry",
@@ -264,19 +268,28 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
     if !pairs.is_empty() {
         metrics().batch_size.observe(pairs.len() as f64);
     }
+    // All pair items share the batch's forward-pass interval; each table
+    // item gets its own interval around its own match run below.
+    let infer_start = Instant::now();
     let preds = server
         .model
         .predict_pairs(&pairs, &server.encoder, job.batch_size);
+    let infer_end = Instant::now();
+    metrics().scored_pairs.add(preds.len() as u64);
     let mut preds = preds.into_iter();
     job.items
         .iter()
         .map(|w| {
+            let mut timeline = w.timeline;
             let (body, scored) = match &w.kind {
                 WorkKind::Pair { id, .. } => {
+                    timeline.infer_start = Some(infer_start);
+                    timeline.infer_end = Some(infer_end);
                     let (label, prob) = preds.next().expect("one prediction per pair item");
                     (pair_body(id.clone(), label, prob), 1)
                 }
                 WorkKind::Table(req) => {
+                    timeline.infer_start = Some(Instant::now());
                     let outcome = server.match_tables(
                         &req.left,
                         &req.right,
@@ -285,13 +298,15 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
                         job.batch_size,
                         req.threshold,
                     );
+                    timeline.infer_end = Some(Instant::now());
+                    metrics().scored_pairs.add(outcome.candidates as u64);
                     (table_body(req.id.clone(), &outcome), outcome.candidates)
                 }
             };
             Done {
                 conn: w.conn,
                 seq: w.seq,
-                arrival: w.arrival,
+                timeline,
                 body,
                 version: job.model.version.clone(),
                 scored,
@@ -306,10 +321,12 @@ mod tests {
     use super::*;
 
     fn pair_item(conn: usize, seq: u64, at: Instant) -> WorkItem {
+        let mut timeline = Timeline::start(at);
+        timeline.parsed = at; // tests drive the deadline clock via `at`
         WorkItem {
             conn,
             seq,
-            arrival: at,
+            timeline,
             kind: WorkKind::Pair {
                 id: None,
                 a: vec![("title".into(), "kodak".into())],
@@ -357,7 +374,7 @@ mod tests {
         b.push(WorkItem {
             conn: 0,
             seq: 1,
-            arrival: now,
+            timeline: Timeline::start(now),
             kind: WorkKind::Table(Box::new(TableRequest {
                 id: None,
                 left: Vec::new(),
@@ -365,6 +382,7 @@ mod tests {
                 kind: crate::matching::BlockerKind::Lsh,
                 k: 1,
                 threshold: None,
+                timings: false,
             })),
         });
         assert_eq!(b.should_flush(now, false, 0), Some(FlushReason::Table));

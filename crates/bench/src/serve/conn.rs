@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use serde::Value;
 
-use super::{finalize_response, metrics, next_rid};
+use super::{metrics, stamp_and_finalize, Timeline};
 
 /// One event out of the line assembler.
 pub(crate) enum LineEvent {
@@ -101,7 +101,8 @@ impl LineAssembler {
 /// A finished response parked until every earlier seq on its connection
 /// has drained.
 pub(crate) struct Completed {
-    pub(crate) arrival: Instant,
+    /// The request's stage clock (latency, timings, trace spans).
+    pub(crate) timeline: Timeline,
     pub(crate) body: Vec<(String, Value)>,
     /// Model version tag to echo; `None` for responses no model produced
     /// (parse errors, timeouts).
@@ -231,7 +232,8 @@ impl Conn {
 
     /// Drain every response whose turn has come into the output buffer,
     /// stamping rid (claimed here, at write-ordering time, so rids
-    /// strictly increase within the stream) and latency, and feeding the
+    /// strictly increase within the stream), latency, the optional
+    /// `timings` breakdown and this request's trace spans, and feeding the
     /// serving metrics. Returns pairs scored by the drained responses.
     pub(crate) fn drain_completed(&mut self) -> std::io::Result<usize> {
         let m = metrics();
@@ -244,10 +246,7 @@ impl Conn {
             if done.is_error {
                 m.errors.inc();
             }
-            let latency_us = done.arrival.elapsed().as_micros();
-            m.latency_us.observe(latency_us as f64);
-            let text =
-                finalize_response(done.body, next_rid(), latency_us, done.version.as_deref())?;
+            let text = stamp_and_finalize(done.body, &done.timeline, done.version.as_deref())?;
             self.out_buf.extend_from_slice(text.as_bytes());
             self.out_buf.push(b'\n');
         }

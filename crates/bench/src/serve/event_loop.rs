@@ -32,13 +32,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use dader_obs::trace::{self, Stage};
 use serde::Value;
 
 use super::batch::{spawn_inference_worker, BatchJob, Batcher, WorkItem, WorkKind};
 use super::conn::{Completed, Conn, DeadlineKind, Deadlines, LineEvent};
 use super::registry::ModelRegistry;
 use super::{
-    error_body, metrics, next_rid, parse_request, ErrorCode, Parsed, TcpServeConfig,
+    error_body, metrics, next_rid, parse_request, status, ErrorCode, Parsed, TcpServeConfig,
+    Timeline,
 };
 
 /// Idle-pass sleep: long enough to keep the empty loop cold on one CPU,
@@ -99,7 +101,7 @@ pub fn serve_event_loop(
                     c.complete(
                         d.seq,
                         Completed {
-                            arrival: d.arrival,
+                            timeline: d.timeline,
                             body: d.body,
                             version: Some(d.version),
                             scored: d.scored,
@@ -117,6 +119,7 @@ pub fn serve_event_loop(
                 match listener.accept() {
                     Ok((sock, peer)) => {
                         progress = true;
+                        metrics().conns_total.inc();
                         sock.set_nonblocking(true)?;
                         let id = next_conn_id;
                         next_conn_id += 1;
@@ -196,7 +199,7 @@ pub fn serve_event_loop(
                             c.complete(
                                 seq,
                                 Completed {
-                                    arrival,
+                                    timeline: Timeline::start(arrival),
                                     body: error_body(
                                         ErrorCode::LineTooLong,
                                         &format!(
@@ -215,14 +218,21 @@ pub fn serve_event_loop(
                             if line.trim().is_empty() {
                                 continue;
                             }
-                            match parse_request(&line, lineno) {
-                                Parsed::Ok((pair_id, a, b)) => {
+                            let parsed = parse_request(&line, lineno);
+                            let mut timeline = Timeline::start(arrival);
+                            timeline.want_timings = parsed.wants_timings();
+                            match parsed {
+                                Parsed::Ok(req) => {
                                     let seq = c.alloc_seq();
                                     batcher.push(WorkItem {
                                         conn: id,
                                         seq,
-                                        arrival,
-                                        kind: WorkKind::Pair { id: pair_id, a, b },
+                                        timeline,
+                                        kind: WorkKind::Pair {
+                                            id: req.id,
+                                            a: req.a,
+                                            b: req.b,
+                                        },
                                     });
                                 }
                                 Parsed::Table(req) => {
@@ -230,7 +240,7 @@ pub fn serve_event_loop(
                                     batcher.push(WorkItem {
                                         conn: id,
                                         seq,
-                                        arrival,
+                                        timeline,
                                         kind: WorkKind::Table(req),
                                     });
                                 }
@@ -247,7 +257,7 @@ pub fn serve_event_loop(
                                                 "dader-serve: hot reload -> {version}"
                                             );
                                             Completed {
-                                                arrival,
+                                                timeline,
                                                 body: vec![(
                                                     "reloaded".to_string(),
                                                     Value::Bool(true),
@@ -258,7 +268,7 @@ pub fn serve_event_loop(
                                             }
                                         }
                                         Err(msg) => Completed {
-                                            arrival,
+                                            timeline,
                                             body: error_body(
                                                 ErrorCode::Internal,
                                                 &format!("line {lineno}: reload failed: {msg}"),
@@ -271,12 +281,31 @@ pub fn serve_event_loop(
                                     };
                                     c.complete(seq, done);
                                 }
+                                Parsed::Status => {
+                                    // Answered inline from the live metrics:
+                                    // a status probe never waits on a batch.
+                                    let seq = c.alloc_seq();
+                                    let current = registry.current();
+                                    c.complete(
+                                        seq,
+                                        Completed {
+                                            timeline,
+                                            body: vec![(
+                                                "status".to_string(),
+                                                status::status_snapshot(Some(&registry)),
+                                            )],
+                                            version: Some(current.version.clone()),
+                                            scored: 0,
+                                            is_error: false,
+                                        },
+                                    );
+                                }
                                 Parsed::Err(code, msg) => {
                                     let seq = c.alloc_seq();
                                     c.complete(
                                         seq,
                                         Completed {
-                                            arrival,
+                                            timeline,
                                             body: error_body(code, &msg, Some(lineno)),
                                             version: None,
                                             scored: 0,
@@ -317,7 +346,7 @@ pub fn serve_event_loop(
                     c.complete(
                         seq,
                         Completed {
-                            arrival: now,
+                            timeline: Timeline::start(now),
                             body: error_body(
                                 ErrorCode::Timeout,
                                 &format!(
@@ -346,7 +375,26 @@ pub fn serve_event_loop(
 
         // 5. Flush decision: submit batches while the policy says go.
         while let Some(reason) = batcher.should_flush(now, draining, jobs_in_flight) {
-            let items = batcher.take();
+            let mut items = batcher.take();
+            let flushed_at = Instant::now();
+            let occupancy = items.len() as u32;
+            for w in &mut items {
+                w.timeline.flushed = Some(flushed_at);
+                w.timeline.occupancy = occupancy;
+                w.timeline.reason = Some(reason);
+            }
+            if trace::enabled() {
+                // Batch-level marker (rid 0): one per flush, so the Chrome
+                // trace shows when batches left the queue and why.
+                trace::record(
+                    0,
+                    Stage::Flush,
+                    flushed_at,
+                    flushed_at,
+                    occupancy as u64,
+                    reason as u64,
+                );
+            }
             let job = BatchJob {
                 items,
                 model: registry.current(),
@@ -361,7 +409,7 @@ pub fn serve_event_loop(
                         c.complete(
                             w.seq,
                             Completed {
-                                arrival: w.arrival,
+                                timeline: w.timeline,
                                 body: error_body(
                                     ErrorCode::Internal,
                                     "inference worker unavailable; retry",
@@ -423,6 +471,7 @@ pub fn serve_event_loop(
                 // last buffered response it chose to read.
             }
         }
+        metrics().conns_live.set(serving as f64);
 
         // 8. Exit once draining and truly empty.
         if draining && conns.is_empty() && batcher.is_empty() && jobs_in_flight == 0 {

@@ -59,9 +59,11 @@ pub mod batch;
 pub mod conn;
 pub mod event_loop;
 pub mod registry;
+pub mod status;
 
 pub use event_loop::serve_event_loop;
 pub use registry::{ModelRegistry, VersionedModel};
+pub use status::spawn_status_endpoint;
 
 use std::io::{BufRead, ErrorKind, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -70,7 +72,8 @@ use std::time::{Duration, Instant};
 
 use dader_core::artifact::{ArtifactError, ModelArtifact};
 use dader_core::{DaderModel, InferenceModel};
-use dader_obs::{Counter, Gauge, Histogram};
+use dader_obs::trace::{self, Stage};
+use dader_obs::{Counter, Gauge, Histogram, WindowedHistogram};
 use dader_text::PairEncoder;
 use serde::Value;
 
@@ -104,7 +107,19 @@ pub(crate) struct ServeMetrics {
     pub(crate) worker_panics: Counter,
     /// Successful hot artifact reloads.
     pub(crate) reloads: Counter,
+    /// Connections accepted over the process lifetime (rejects included).
+    pub(crate) conns_total: Counter,
+    /// Connections currently open.
+    pub(crate) conns_live: Gauge,
+    /// Pairs scored (candidate pairs for table requests included).
+    pub(crate) scored_pairs: Counter,
+    /// Sliding-window request latency: p50/p99 and rate over the last
+    /// [`WINDOW_SECS`] seconds, for the `/status` snapshot.
+    pub(crate) latency_window: WindowedHistogram,
 }
+
+/// Length of the sliding SLO window, seconds.
+pub(crate) const WINDOW_SECS: u64 = 10;
 
 pub(crate) fn metrics() -> &'static ServeMetrics {
     static M: OnceLock<ServeMetrics> = OnceLock::new();
@@ -128,13 +143,186 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
         queue_depth: dader_obs::gauge("serve_queue_depth"),
         worker_panics: dader_obs::counter("serve_worker_panics_total"),
         reloads: dader_obs::counter("serve_reloads_total"),
+        conns_total: dader_obs::counter("serve_conns_total"),
+        conns_live: dader_obs::gauge("serve_conns_live"),
+        scored_pairs: dader_obs::counter("serve_scored_pairs_total"),
+        latency_window: dader_obs::windowed(
+            "serve_request_latency_us_window",
+            &dader_obs::metrics::LATENCY_US_BUCKETS,
+            WINDOW_SECS,
+        ),
     })
+}
+
+/// Snapshot of the sliding-window request-latency SLO (p50/p99 and rate
+/// over the last [`WINDOW_SECS`] seconds). Public so benchmarks can record
+/// the same windowed quantiles the `/status` endpoint reports.
+pub fn latency_window_snapshot() -> dader_obs::window::WindowSnapshot {
+    metrics().latency_window.snapshot()
 }
 
 /// Count one batch flush under its trigger
 /// (`serve_flush_reason_total{reason=…}`).
 pub(crate) fn count_flush(reason: batch::FlushReason) {
     dader_obs::counter_labeled("serve_flush_reason_total", "reason", reason.as_str()).inc();
+}
+
+/// Per-request stage clock, carried with the request through parse →
+/// batch queue → inference worker → ordered write. Stages that a request
+/// never enters (an error answered at parse time has no batch) stay
+/// `None`; the derived `timings` breakdown and trace spans report only the
+/// stages that happened.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Timeline {
+    /// Request line fully read off the socket.
+    pub(crate) arrival: Instant,
+    /// Parse finished (the request entered the pipeline).
+    pub(crate) parsed: Instant,
+    /// Left the batch queue in a flushed batch.
+    pub(crate) flushed: Option<Instant>,
+    /// Inference worker started scoring its batch.
+    pub(crate) infer_start: Option<Instant>,
+    /// Inference worker finished scoring.
+    pub(crate) infer_end: Option<Instant>,
+    /// Occupancy of the batch this request rode in.
+    pub(crate) occupancy: u32,
+    /// Why that batch flushed.
+    pub(crate) reason: Option<batch::FlushReason>,
+    /// Whether this request was picked by the trace sampler (decided once
+    /// at parse time, so a sampled request's stage set is complete).
+    pub(crate) traced: bool,
+    /// Whether the client asked for a `timings` object on the response.
+    pub(crate) want_timings: bool,
+}
+
+impl Timeline {
+    /// Start the clock for a request whose line arrived at `arrival`;
+    /// stamps the parse as finishing now and consults the trace sampler.
+    pub(crate) fn start(arrival: Instant) -> Timeline {
+        Timeline {
+            arrival,
+            parsed: Instant::now(),
+            flushed: None,
+            infer_start: None,
+            infer_end: None,
+            occupancy: 0,
+            reason: None,
+            traced: trace::sample_request(),
+            want_timings: false,
+        }
+    }
+
+    /// Microseconds from `a` to `b` (0 when either is missing or inverted).
+    fn span_us(a: Option<Instant>, b: Option<Instant>) -> u64 {
+        match (a, b) {
+            (Some(a), Some(b)) => b.saturating_duration_since(a).as_micros() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Time spent waiting in the batch queue (parse → flush).
+    pub(crate) fn queue_us(&self) -> u64 {
+        Timeline::span_us(Some(self.parsed), self.flushed)
+    }
+
+    /// Time the flushed batch waited for the inference worker.
+    pub(crate) fn batch_wait_us(&self) -> u64 {
+        Timeline::span_us(self.flushed, self.infer_start)
+    }
+
+    /// Time inside the inference worker.
+    pub(crate) fn infer_us(&self) -> u64 {
+        Timeline::span_us(self.infer_start, self.infer_end)
+    }
+
+    /// Where the write stage starts: after inference when the request was
+    /// scored, otherwise straight after parse.
+    fn write_start(&self) -> Instant {
+        self.infer_end.or(self.flushed).unwrap_or(self.parsed)
+    }
+}
+
+/// Numeric tag of the serving model's version (`"v7"` → 7) for trace
+/// event args; 0 when absent or unparseable.
+fn version_generation(version: Option<&str>) -> u64 {
+    version
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Finish one response: claim its `rid`, observe the lifetime and
+/// windowed latency histograms, append the `timings` breakdown when the
+/// client asked for one, emit this request's trace spans (the rid exists
+/// only from here on), and serialize the response line. Shared by the
+/// event loop's ordered drain and the blocking stdin/legacy path, so both
+/// serving cores report identical envelopes.
+pub(crate) fn stamp_and_finalize(
+    mut body: Vec<(String, Value)>,
+    timeline: &Timeline,
+    version: Option<&str>,
+) -> std::io::Result<String> {
+    let m = metrics();
+    let now = Instant::now();
+    let latency_us = now.saturating_duration_since(timeline.arrival).as_micros();
+    m.latency_us.observe(latency_us as f64);
+    m.latency_window.observe_at(latency_us as f64, now);
+    let rid = next_rid();
+    if timeline.want_timings {
+        body.push((
+            "timings".to_string(),
+            Value::Object(vec![
+                (
+                    "queue_us".to_string(),
+                    Value::Int(timeline.queue_us() as i64),
+                ),
+                (
+                    "batch_wait_us".to_string(),
+                    Value::Int(timeline.batch_wait_us() as i64),
+                ),
+                (
+                    "infer_us".to_string(),
+                    Value::Int(timeline.infer_us() as i64),
+                ),
+                (
+                    "write_us".to_string(),
+                    Value::Int(
+                        now.saturating_duration_since(timeline.write_start()).as_micros() as i64,
+                    ),
+                ),
+            ]),
+        ));
+    }
+    if timeline.traced && trace::enabled() {
+        let t = timeline;
+        let reason_idx = t.reason.map(|r| r as u64).unwrap_or(0);
+        trace::record(rid, Stage::Parse, t.arrival, t.parsed, 0, 0);
+        if let Some(flushed) = t.flushed {
+            trace::record(
+                rid,
+                Stage::Queue,
+                t.parsed,
+                flushed,
+                t.occupancy as u64,
+                reason_idx,
+            );
+        }
+        if let (Some(flushed), Some(infer_start)) = (t.flushed, t.infer_start) {
+            trace::record(rid, Stage::Dispatch, flushed, infer_start, 0, 0);
+        }
+        if let (Some(infer_start), Some(infer_end)) = (t.infer_start, t.infer_end) {
+            trace::record(
+                rid,
+                Stage::Infer,
+                infer_start,
+                infer_end,
+                t.occupancy as u64,
+                version_generation(version),
+            );
+        }
+        trace::record(rid, Stage::Write, t.write_start(), now, 0, 0);
+    }
+    finalize_response(body, rid, latency_us, version)
 }
 
 /// Typed error taxonomy for the line protocol. Every error object carries
@@ -216,8 +404,14 @@ pub struct MatchServer {
     pub description: String,
 }
 
-/// One parsed request: echoed id plus the two entities.
-pub(crate) type Request = (Option<Value>, Vec<(String, String)>, Vec<(String, String)>);
+/// One parsed pair-match request: echoed id, the two entities, and
+/// whether the client asked for a `timings` breakdown on the response.
+pub(crate) struct PairRequest {
+    pub(crate) id: Option<Value>,
+    pub(crate) a: Vec<(String, String)>,
+    pub(crate) b: Vec<(String, String)>,
+    pub(crate) timings: bool,
+}
 
 /// A `match_table` request: two whole tables to block and score.
 pub(crate) struct TableRequest {
@@ -227,19 +421,41 @@ pub(crate) struct TableRequest {
     pub(crate) kind: crate::matching::BlockerKind,
     pub(crate) k: usize,
     pub(crate) threshold: Option<f32>,
+    pub(crate) timings: bool,
 }
 
 /// Outcome of one input line: a request to score, a whole-table match
-/// request, a hot-reload control request, or an error to echo.
+/// request, a hot-reload control request, a status snapshot request, or
+/// an error to echo.
 pub(crate) enum Parsed {
-    Ok(Request),
+    Ok(PairRequest),
     Table(Box<TableRequest>),
     /// `{"mode": "reload"}` — swap the served artifact (optionally naming
     /// a new artifact path). Only meaningful where a [`ModelRegistry`] is
     /// serving (the TCP event loop); the stdin path answers it with an
     /// `invalid_request` error.
     Reload(Option<String>),
+    /// `{"mode": "status"}` — answer with the live status snapshot
+    /// (uptime, connections, queue depth, windowed latency, model
+    /// version) in place of a prediction.
+    Status,
     Err(ErrorCode, String),
+}
+
+impl Parsed {
+    /// Whether the request asked for the `timings` breakdown.
+    pub(crate) fn wants_timings(&self) -> bool {
+        match self {
+            Parsed::Ok(req) => req.timings,
+            Parsed::Table(req) => req.timings,
+            _ => false,
+        }
+    }
+}
+
+/// Read the optional boolean `timings` flag off a request object.
+fn timings_flag(v: &Value) -> bool {
+    matches!(v.get("timings"), Some(Value::Bool(true)))
 }
 
 /// One bounded read from the input stream.
@@ -484,8 +700,8 @@ impl MatchServer {
     ) -> std::io::Result<usize> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut scored = 0usize;
-        // (line number, arrival time, parse outcome) for one flush window.
-        let mut window: Vec<(usize, Instant, Parsed)> = Vec::with_capacity(batch_size);
+        // (line number, stage clock, parse outcome) for one flush window.
+        let mut window: Vec<(usize, Timeline, Parsed)> = Vec::with_capacity(batch_size);
         let mut pending = 0usize; // Ok entries in the window
         let mut lineno = 0usize;
         loop {
@@ -512,7 +728,7 @@ impl MatchServer {
                     lineno += 1;
                     window.push((
                         lineno,
-                        Instant::now(),
+                        Timeline::start(Instant::now()),
                         Parsed::Err(
                             ErrorCode::LineTooLong,
                             format!(
@@ -527,7 +743,11 @@ impl MatchServer {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    window.push((lineno, Instant::now(), parse_request(&line, lineno)));
+                    let arrival = Instant::now();
+                    let parsed = parse_request(&line, lineno);
+                    let mut timeline = Timeline::start(arrival);
+                    timeline.want_timings = parsed.wants_timings();
+                    window.push((lineno, timeline, parsed));
                     match window.last() {
                         Some((_, _, Parsed::Ok(_))) => pending += 1,
                         Some((_, _, Parsed::Table(_))) => {
@@ -570,32 +790,46 @@ impl MatchServer {
     /// and write all responses in line order.
     fn flush<W: Write>(
         &self,
-        window: &mut Vec<(usize, Instant, Parsed)>,
+        window: &mut Vec<(usize, Timeline, Parsed)>,
         output: &mut W,
         batch_size: usize,
     ) -> std::io::Result<usize> {
         let m = metrics();
+        let flushed_at = Instant::now();
         let pairs: Vec<dader_core::EntityPair> = window
             .iter()
             .filter_map(|(_, _, p)| match p {
-                Parsed::Ok((_, a, b)) => Some((a.clone(), b.clone())),
-                Parsed::Table(_) | Parsed::Reload(_) | Parsed::Err(..) => None,
+                Parsed::Ok(req) => Some((req.a.clone(), req.b.clone())),
+                Parsed::Table(_) | Parsed::Reload(_) | Parsed::Status | Parsed::Err(..) => None,
             })
             .collect();
         if !pairs.is_empty() {
             m.batch_size.observe(pairs.len() as f64);
         }
+        let occupancy = pairs.len() as u32;
+        let infer_start = Instant::now();
         let preds = self.model.predict_pairs(&pairs, &self.encoder, batch_size);
+        let infer_end = Instant::now();
         let mut scored = preds.len();
+        m.scored_pairs.add(preds.len() as u64);
         let mut preds = preds.into_iter();
-        for (lineno, arrival, parsed) in window.drain(..) {
+        for (lineno, mut timeline, parsed) in window.drain(..) {
             m.requests.inc();
             let kvs = match parsed {
-                Parsed::Ok((id, _, _)) => {
+                Parsed::Ok(req) => {
+                    timeline.flushed = Some(flushed_at);
+                    timeline.occupancy = occupancy;
+                    timeline.infer_start = Some(infer_start);
+                    timeline.infer_end = Some(infer_end);
                     let (label, prob) = preds.next().expect("one prediction per Ok line");
-                    pair_body(id, label, prob)
+                    pair_body(req.id, label, prob)
                 }
                 Parsed::Table(req) => {
+                    // A table request is its own single-occupant batch;
+                    // its inference interval is its own match run.
+                    timeline.flushed = Some(flushed_at);
+                    timeline.occupancy = 1;
+                    timeline.infer_start = Some(Instant::now());
                     let outcome = crate::matching::match_tables(
                         &self.model,
                         &self.encoder,
@@ -606,7 +840,9 @@ impl MatchServer {
                         batch_size,
                         req.threshold,
                     );
+                    timeline.infer_end = Some(Instant::now());
                     scored += outcome.candidates;
+                    m.scored_pairs.add(outcome.candidates as u64);
                     table_body(req.id, &outcome)
                 }
                 Parsed::Reload(_) => {
@@ -620,16 +856,18 @@ impl MatchServer {
                         Some(lineno),
                     )
                 }
+                Parsed::Status => {
+                    // Stdin / legacy path: no registry, so no model version
+                    // or live-connection gauge worth reporting — the
+                    // snapshot still answers with the process-wide metrics.
+                    vec![("status".to_string(), status::status_snapshot(None))]
+                }
                 Parsed::Err(code, msg) => {
                     m.errors.inc();
                     error_body(code, &msg, Some(lineno))
                 }
             };
-            // Latency is measured here, after any scoring the request
-            // triggered (table requests score inside the drain above).
-            let latency_us = arrival.elapsed().as_micros();
-            m.latency_us.observe(latency_us as f64);
-            let text = finalize_response(kvs, next_rid(), latency_us, None)?;
+            let text = stamp_and_finalize(kvs, &timeline, None)?;
             writeln!(output, "{text}")?;
         }
         output.flush()?;
@@ -689,11 +927,12 @@ pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
                 ),
             };
         }
+        Some(Value::String(mode)) if mode == "status" => return Parsed::Status,
         Some(mode) => {
             return Parsed::Err(
                 ErrorCode::InvalidRequest,
                 format!(
-                    "line {lineno}: unknown mode {mode:?} (expected \"match_table\" or \"reload\")"
+                    "line {lineno}: unknown mode {mode:?} (expected \"match_table\", \"reload\" or \"status\")"
                 ),
             )
         }
@@ -712,7 +951,12 @@ pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
         Ok(b) => b,
         Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
-    Parsed::Ok((v.get("id").cloned(), a, b))
+    Parsed::Ok(PairRequest {
+        id: v.get("id").cloned(),
+        a,
+        b,
+        timings: timings_flag(&v),
+    })
 }
 
 /// Parse a `match_table` request: `left` and `right` are arrays of
@@ -789,6 +1033,7 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
         kind,
         k,
         threshold,
+        timings: timings_flag(v),
     }))
 }
 
@@ -887,6 +1132,7 @@ pub fn serve_tcp(
         reap_finished_workers(&mut workers);
         match listener.accept() {
             Ok((conn, peer)) => {
+                metrics().conns_total.inc();
                 // The accepted socket may inherit the listener's
                 // non-blocking mode; per-connection I/O uses timeouts
                 // instead.
@@ -916,7 +1162,8 @@ pub fn serve_tcp(
                     crate::note!("dader-serve: {peer}: rejected (overloaded)");
                     continue;
                 }
-                active.fetch_add(1, Ordering::AcqRel);
+                let live = active.fetch_add(1, Ordering::AcqRel) + 1;
+                metrics().conns_live.set(live as f64);
                 let server = Arc::clone(&server);
                 let active = Arc::clone(&active);
                 let scored_total = Arc::clone(&scored_total);
@@ -938,7 +1185,8 @@ pub fn serve_tcp(
                         }
                         Err(e) => eprintln!("dader-serve: {peer}: connection failed: {e}"),
                     }
-                    active.fetch_sub(1, Ordering::AcqRel);
+                    let live = active.fetch_sub(1, Ordering::AcqRel) - 1;
+                    metrics().conns_live.set(live as f64);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -1121,6 +1369,51 @@ mod tests {
         let (_, more) = responses(&server, input, 2);
         let first_new = more[0].get("rid").unwrap().as_f64().unwrap() as u64;
         assert!(first_new > *rids.last().unwrap());
+    }
+
+    #[test]
+    fn timings_breakdown_is_opt_in_and_nests_inside_latency() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"id\": 1, \"a\": {\"title\": \"kodak esp\"}, \"b\": {\"title\": \"kodak\"}, \"timings\": true}\n",
+            "{\"id\": 2, \"a\": {\"title\": \"esp\"}, \"b\": {\"title\": \"hp\"}}\n",
+        );
+        let (_, vals) = responses(&server, input, 2);
+        let t = vals[0].get("timings").expect("timings were requested");
+        for key in ["queue_us", "batch_wait_us", "infer_us", "write_us"] {
+            assert!(t.get(key).is_some(), "missing {key}: {t:?}");
+        }
+        let us = |k: &str| t.get(k).unwrap().as_f64().unwrap();
+        let latency = vals[0].get("latency_us").unwrap().as_f64().unwrap();
+        assert!(
+            us("queue_us") + us("infer_us") <= latency,
+            "stage clocks nest inside the end-to-end clock: queue {} + infer {} vs latency {latency}",
+            us("queue_us"),
+            us("infer_us"),
+        );
+        assert!(
+            vals[1].get("timings").is_none(),
+            "no timings unless asked: {:?}",
+            vals[1]
+        );
+    }
+
+    #[test]
+    fn status_mode_request_answers_inline() {
+        let server = tiny_server();
+        let input = concat!(
+            "{\"mode\": \"status\"}\n",
+            "{\"id\": 1, \"a\": {\"title\": \"kodak\"}, \"b\": {\"title\": \"kodak\"}}\n",
+        );
+        let (n, vals) = responses(&server, input, 2);
+        assert_eq!(n, 1, "the status probe is not a scored pair");
+        assert_eq!(vals.len(), 2, "status gets a response in stream order");
+        let status = vals[0].get("status").expect("status body");
+        for key in ["uptime_secs", "requests_total", "queue_depth", "window"] {
+            assert!(status.get(key).is_some(), "missing {key}: {status:?}");
+        }
+        assert!(vals[0].get("rid").is_some(), "status rides the envelope");
+        assert!(vals[1].get("match").is_some(), "stream continues after status");
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl ModelRegistry {
         self.current().version.clone()
     }
 
+    /// Numeric generation of the serving model (1 for `v1`, bumped on
+    /// every install) — the `/status` and trace-arg form of [`version`]
+    /// (`Self::version`).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
     /// Install an already-built server as the next version, returning its
     /// tag. The swap is atomic: requests batched before it see the old
     /// model, requests batched after it see the new one, nothing is

@@ -349,11 +349,62 @@ fn hot_reload_swaps_version_with_zero_dropped_requests() {
     std::fs::remove_file(&p2).ok();
 }
 
+/// A client that asks for `"timings": true` gets the stage breakdown on
+/// every response, and the stage clocks nest inside the end-to-end clock.
+#[test]
+fn event_loop_timings_nest_inside_latency() {
+    let (addr, stop, handle) = start("event_loop", fast_cfg());
+    let mut conn = connect(addr);
+    let mut input = String::new();
+    for i in 0..10 {
+        let a = WORDS[i % WORDS.len()];
+        input.push_str(&format!(
+            "{{\"id\": {i}, \"a\": {{\"title\": \"{a}\"}}, \"b\": {{\"title\": \"{a}\"}}, \
+             \"timings\": true}}\n"
+        ));
+    }
+    input.push_str(&pair_line(99)); // no flag: no timings
+    conn.write_all(input.as_bytes()).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let responses: Vec<Value> = BufReader::new(conn)
+        .lines()
+        .map(|l| serde_json::from_str(&l.unwrap()).unwrap())
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap().unwrap();
+
+    assert_eq!(responses.len(), 11);
+    for v in &responses[..10] {
+        let t = v.get("timings").expect("timings were requested");
+        let us = |k: &str| -> f64 {
+            t.get(k)
+                .unwrap_or_else(|| panic!("missing {k}: {t:?}"))
+                .as_f64()
+                .unwrap()
+        };
+        let latency = v.get("latency_us").unwrap().as_f64().unwrap();
+        assert!(
+            us("queue_us") + us("infer_us") <= latency,
+            "queue {} + infer {} must nest inside latency {latency}: {v:?}",
+            us("queue_us"),
+            us("infer_us"),
+        );
+        assert!(us("batch_wait_us") >= 0.0 && us("write_us") >= 0.0);
+    }
+    assert!(
+        responses[10].get("timings").is_none(),
+        "no timings unless asked: {:?}",
+        responses[10]
+    );
+}
+
 // ---------------------------------------------------------------------
 // Property: pooling requests across connections is invisible in the
 // results — every client gets bitwise the predictions the blocking
 // per-connection path would have produced, regardless of how the
-// requests interleave into shared batches.
+// requests interleave into shared batches. With tracing armed, every
+// response's rid must also own a complete, monotonically ordered set of
+// stage spans in the trace ring.
 // ---------------------------------------------------------------------
 
 static SHARED: OnceLock<MatchServer> = OnceLock::new();
@@ -361,6 +412,47 @@ static SHARED: OnceLock<MatchServer> = OnceLock::new();
 fn title() -> impl Strategy<Value = String> {
     proptest::collection::vec(proptest::sample::select(WORDS.to_vec()), 1..4)
         .prop_map(|w| w.join(" "))
+}
+
+/// Assert that each rid in `rids` owns a complete request-stage span set
+/// (parse → queue → dispatch → infer → write) in `events`, with stage
+/// starts in pipeline order and each stage starting no earlier than the
+/// previous one ended (1µs slack: `ts` and `dur` truncate independently).
+fn assert_complete_monotone_spans(events: &[dader_obs::trace::TraceEvent], rids: &[u64]) {
+    use dader_obs::trace::Stage;
+    for &rid in rids {
+        let spans: Vec<_> = events.iter().filter(|e| e.rid == rid).collect();
+        let mut ordered = Vec::new();
+        for stage in Stage::REQUEST_STAGES {
+            let matching: Vec<_> = spans.iter().filter(|e| e.stage == stage).collect();
+            assert_eq!(
+                matching.len(),
+                1,
+                "rid {rid}: stage {} must appear exactly once, got {}",
+                stage.as_str(),
+                matching.len()
+            );
+            ordered.push(*matching[0]);
+        }
+        for pair in ordered.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            assert!(
+                next.ts_us >= prev.ts_us,
+                "rid {rid}: {} starts before {}",
+                next.stage.as_str(),
+                prev.stage.as_str()
+            );
+            assert!(
+                next.ts_us + 1 >= prev.ts_us + prev.dur_us,
+                "rid {rid}: {} (ts {}) starts before {} ended (ts {} + dur {})",
+                next.stage.as_str(),
+                next.ts_us,
+                prev.stage.as_str(),
+                prev.ts_us,
+                prev.dur_us
+            );
+        }
+    }
 }
 
 proptest! {
@@ -373,6 +465,11 @@ proptest! {
         batch_size in 1usize..10,
     ) {
         let reference = SHARED.get_or_init(|| tiny_server(3));
+
+        // Arm tracing (sample every request) so the batching property also
+        // proves stage-span completeness. Other tests in this binary may
+        // record events concurrently; filtering by rid isolates this run.
+        dader_obs::trace::configure(1, 1 << 16);
 
         // Distribute the requests round-robin over the connections.
         let mut streams: Vec<String> = vec![String::new(); conns];
@@ -400,21 +497,34 @@ proptest! {
             .iter()
             .map(|s| {
                 let s = s.clone();
-                std::thread::spawn(move || -> Vec<Value> {
+                std::thread::spawn(move || -> Vec<String> {
                     let mut conn = TcpStream::connect(addr).unwrap();
                     conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
                     conn.write_all(s.as_bytes()).unwrap();
                     conn.shutdown(Shutdown::Write).unwrap();
-                    BufReader::new(conn).lines().map(|l| stable(&l.unwrap())).collect()
+                    BufReader::new(conn).lines().map(|l| l.unwrap()).collect()
                 })
             })
             .collect();
-        let got: Vec<Vec<Value>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let raw: Vec<Vec<String>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap().unwrap();
 
-        for (c, (g, e)) in got.iter().zip(&expected).enumerate() {
-            prop_assert_eq!(g, e, "connection {} diverged from per-connection serving", c);
+        for (c, (lines, e)) in raw.iter().zip(&expected).enumerate() {
+            let g: Vec<Value> = lines.iter().map(|l| stable(l)).collect();
+            prop_assert_eq!(&g, e, "connection {} diverged from per-connection serving", c);
         }
+
+        // Every response's rid owns a complete, ordered stage-span set.
+        let rids: Vec<u64> = raw
+            .iter()
+            .flatten()
+            .map(|l| {
+                let v: Value = serde_json::from_str(l).unwrap();
+                v.get("rid").unwrap().as_i64().unwrap() as u64
+            })
+            .collect();
+        let events = dader_obs::trace::take();
+        assert_complete_monotone_spans(&events, &rids);
     }
 }

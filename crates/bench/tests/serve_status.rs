@@ -1,0 +1,151 @@
+//! Integration tests for the live status surface: the minimal HTTP/1.0
+//! endpoint (`GET /metrics`, `GET /status`), its bare-dump fallback for
+//! request-line-less scrapers, and its error responses.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use serde::Value;
+
+/// One shared endpoint for the whole test binary (the background thread
+/// never exits, so each test spawning its own would leak one thread per
+/// test for no isolation gain — all of them read the same global metrics).
+fn endpoint() -> std::net::SocketAddr {
+    static ADDR: OnceLock<std::net::SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        dader_bench::spawn_status_endpoint("127.0.0.1:0", None).expect("bind status endpoint")
+    })
+}
+
+/// Send `request` (raw bytes; empty = silent scrape) and read to EOF.
+fn exchange(request: &[u8]) -> String {
+    let mut conn = TcpStream::connect(endpoint()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    if !request.is_empty() {
+        conn.write_all(request).expect("send request");
+    }
+    conn.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// Split an HTTP response into (status line, headers, body) and check the
+/// framing contract: Content-Length matches the body, Connection closes.
+fn parse_http(response: &str) -> (String, Vec<(String, String)>, String) {
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    let mut lines = head.split("\r\n");
+    let status = lines.next().expect("status line").to_string();
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(": ").expect("header line");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    let header = |k: &str| {
+        headers
+            .iter()
+            .find(|(h, _)| h == k)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("missing header {k}: {headers:?}"))
+    };
+    assert_eq!(
+        header("Content-Length").parse::<usize>().unwrap(),
+        body.len(),
+        "Content-Length must frame the body exactly"
+    );
+    assert_eq!(header("Connection"), "close");
+    (status, headers, body.to_string())
+}
+
+#[test]
+fn get_status_returns_json_snapshot() {
+    let response = exchange(b"GET /status HTTP/1.0\r\n\r\n");
+    let (status, headers, body) = parse_http(&response);
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(
+        headers.iter().any(|(k, v)| k == "Content-Type" && v == "application/json"),
+        "{headers:?}"
+    );
+    let snap: Value = serde_json::from_str(body.trim()).expect("status body is JSON");
+    for key in [
+        "uptime_secs",
+        "conns_live",
+        "conns_total",
+        "requests_total",
+        "errors_total",
+        "queue_depth",
+        "worker_panics",
+        "window",
+        "trace",
+    ] {
+        assert!(snap.get(key).is_some(), "missing {key}: {snap:?}");
+    }
+    assert!(
+        snap.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0,
+        "uptime runs forward"
+    );
+    let w = snap.get("window").unwrap();
+    for key in ["window_secs", "count", "rate", "p50_us", "p99_us"] {
+        assert!(w.get(key).is_some(), "missing window.{key}: {w:?}");
+    }
+}
+
+#[test]
+fn get_metrics_returns_prometheus_text_with_windowed_lines() {
+    for request in ["GET /metrics HTTP/1.0\r\n\r\n", "GET / HTTP/1.0\r\n\r\n"] {
+        let response = exchange(request.as_bytes());
+        let (status, headers, body) = parse_http(&response);
+        assert_eq!(status, "HTTP/1.0 200 OK", "{request}");
+        assert!(
+            headers.iter().any(|(k, v)| k == "Content-Type" && v.starts_with("text/plain")),
+            "{headers:?}"
+        );
+        for line in [
+            "serve_request_latency_us_window_p50",
+            "serve_request_latency_us_window_p99",
+            "serve_request_latency_us_window_rate",
+        ] {
+            assert!(body.contains(line), "{request}: missing {line}");
+        }
+    }
+}
+
+#[test]
+fn version_token_is_optional_in_the_request_line() {
+    let response = exchange(b"GET /metrics\r\n\r\n");
+    let (status, _, body) = parse_http(&response);
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(body.contains("serve_request_latency_us_window_p99"));
+}
+
+#[test]
+fn silent_connection_falls_back_to_bare_metrics_dump() {
+    // The pre-HTTP scrape idiom: connect, send nothing, read everything.
+    let response = exchange(b"");
+    assert!(
+        !response.starts_with("HTTP/"),
+        "bare scrape gets the raw dump, not an HTTP response: {}",
+        &response[..response.len().min(80)]
+    );
+    assert!(response.contains("serve_request_latency_us_window_p99"));
+}
+
+#[test]
+fn unknown_path_is_404_and_non_get_is_405() {
+    let response = exchange(b"GET /nope HTTP/1.0\r\n\r\n");
+    let (status, _, body) = parse_http(&response);
+    assert_eq!(status, "HTTP/1.0 404 Not Found");
+    let err: Value = serde_json::from_str(body.trim()).unwrap();
+    assert!(err.get("error").is_some(), "{body}");
+
+    let response = exchange(b"POST /status HTTP/1.0\r\n\r\n");
+    let (status, _, body) = parse_http(&response);
+    assert_eq!(status, "HTTP/1.0 405 Method Not Allowed");
+    let err: Value = serde_json::from_str(body.trim()).unwrap();
+    assert!(err.get("error").is_some(), "{body}");
+}

@@ -353,9 +353,24 @@ impl InferenceModel {
                 labels: vec![0; chunk.len()],
                 indices: (0..chunk.len()).collect(),
             };
+            // Model-level trace span (rid 0): one per forward chunk, with
+            // the row count — the compute floor under per-request Infer
+            // spans in a trace export.
+            let traced = dader_obs::trace::enabled();
+            let fwd_start = traced.then(std::time::Instant::now);
             let f = self.extract(&batch);
             let preds = self.predict(&f);
             let probs = self.match_probs(&f);
+            if let Some(start) = fwd_start {
+                dader_obs::trace::record(
+                    0,
+                    dader_obs::trace::Stage::Forward,
+                    start,
+                    std::time::Instant::now(),
+                    chunk.len() as u64,
+                    0,
+                );
+            }
             uniq_out.extend(preds.into_iter().zip(probs));
         }
         slots.into_iter().map(|s| uniq_out[s]).collect()

@@ -4,7 +4,7 @@
 //! layer every training run, bench binary and serving process reports
 //! through.
 //!
-//! Three subsystems, all std-only and thread-safe:
+//! The subsystems, all std-only and thread-safe:
 //!
 //! * [`span`] — lightweight wall-clock timers (`span!("gemm")` guards)
 //!   aggregated globally by name: call counts, total and *self* time
@@ -16,6 +16,12 @@
 //!   histograms (p50/p95/p99 extraction, Prometheus-style text dump).
 //!   Handles are lock-free `Arc<Atomic…>` cells, cheap enough to stay
 //!   always-on (pool dispatch counters, serve request histograms).
+//! * [`window`] — sliding-window companions to the lifetime histograms:
+//!   second-resolution slot rings reporting p50/p99 and rates **over the
+//!   last N seconds**, the numbers an SLO dashboard actually wants.
+//! * [`trace`] — request-scoped tracing: ring-buffered per-`rid` stage
+//!   events (parse/queue/dispatch/infer/write) with 1-in-N sampling and a
+//!   Chrome `trace_event` JSON exporter. Off by default, like spans.
 //! * [`telemetry`] — a JSONL run-telemetry sink: one self-describing
 //!   record per training epoch (losses, validation F1, GRL λ, snapshot
 //!   flag, wall time, op-level timing summary), written line-buffered so
@@ -35,10 +41,14 @@ pub mod log;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
+pub mod trace;
+pub mod window;
 
 pub use metrics::{
-    counter, counter_labeled, counter_labeled_values, gauge, histogram, render_prometheus,
-    Counter, Gauge, Histogram, CANDIDATE_SET_BUCKETS,
+    counter, counter_labeled, counter_labeled_values, gauge, histogram, quantile_from_counts,
+    render_prometheus, Counter, Gauge, Histogram, CANDIDATE_SET_BUCKETS,
 };
 pub use span::{set_enabled, span_enabled, timing_snapshot, SpanStat};
 pub use telemetry::{EpochRecord, OpSummary, TelemetrySink};
+pub use trace::{Stage, TraceEvent};
+pub use window::{windowed, WindowSnapshot, WindowedHistogram};

@@ -114,30 +114,39 @@ impl Histogram {
     /// observations. Ranks landing in the +Inf bucket clamp to the last
     /// finite bound.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let target = q.clamp(0.0, 1.0) * total as f64;
-        let mut cum = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            let prev_cum = cum;
-            cum += c;
-            if (cum as f64) < target || c == 0 {
-                continue;
-            }
-            if i >= self.0.bounds.len() {
-                // +Inf bucket: no finite upper edge to interpolate toward.
-                return Some(*self.0.bounds.last()?);
-            }
-            let lower = if i == 0 { 0.0 } else { self.0.bounds[i - 1] };
-            let upper = self.0.bounds[i];
-            let into = (target - prev_cum as f64) / c as f64;
-            return Some(lower + (upper - lower) * into.clamp(0.0, 1.0));
-        }
-        self.0.bounds.last().copied()
+        quantile_from_counts(&self.0.bounds, &self.bucket_counts(), q)
     }
+}
+
+/// The `histogram_quantile` estimator over raw bucket counts (finite
+/// buckets in `bounds` order plus a trailing +Inf overflow count): linear
+/// interpolation inside the bucket holding the target rank, clamping +Inf
+/// ranks to the last finite bound. Shared by [`Histogram::quantile`] and
+/// the windowed snapshots in [`crate::window`], so lifetime and windowed
+/// quantiles are computed by the exact same math.
+pub fn quantile_from_counts(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let prev_cum = cum;
+        cum += c;
+        if (cum as f64) < target || c == 0 {
+            continue;
+        }
+        if i >= bounds.len() {
+            // +Inf bucket: no finite upper edge to interpolate toward.
+            return Some(*bounds.last()?);
+        }
+        let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+        let upper = bounds[i];
+        let into = (target - prev_cum as f64) / c as f64;
+        return Some(lower + (upper - lower) * into.clamp(0.0, 1.0));
+    }
+    bounds.last().copied()
 }
 
 enum Metric {

@@ -96,6 +96,26 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Nanoseconds of completed child spans currently charged against the
+/// open span on this thread (0 at top level before any span completes).
+/// Thread pools read this on a worker at the end of its work list to
+/// learn how much child-span time the worker accumulated.
+pub fn thread_child_ns() -> u64 {
+    CHILD_NS.with(|c| c.get())
+}
+
+/// Credit `ns` of child-span time to the currently open span on this
+/// thread. This is the bridge for parallel regions: child spans completed
+/// on a pool worker accumulate in the *worker's* thread-local ledger,
+/// which dies with the worker — without this hand-off the spawning
+/// thread's open span would count that wall time as self time while the
+/// child span aggregate also counts it (double-counted). The pool calls
+/// this after joining its workers with the (clamped) child time they
+/// covered.
+pub fn add_child_ns(ns: u64) {
+    CHILD_NS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
 /// Open a named span guard: `let _g = span!("gemm");`.
 #[macro_export]
 macro_rules! span {

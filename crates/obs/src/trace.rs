@@ -1,0 +1,442 @@
+//! Request-scoped tracing: ring-buffered stage events keyed by `rid`.
+//!
+//! While span timers ([`crate::span`]) answer *"where does wall time go in
+//! aggregate?"*, a trace answers *"where did THIS request's latency go?"*.
+//! Every serve-path stage a request passes through — line read, parse,
+//! batch queue, dispatch to the inference worker, the model forward, the
+//! ordered write — records one [`TraceEvent`] carrying the request's `rid`,
+//! a [`Stage`] tag, a start timestamp on a process-wide monotonic epoch,
+//! and a duration. Events land in a bounded global ring buffer (oldest
+//! evicted first, evictions counted), so a long-running server traces the
+//! recent past at fixed memory cost.
+//!
+//! Tracing is **off by default**: until [`configure`] arms it, the
+//! recording path is one relaxed atomic load and [`sample_request`] always
+//! says no, so the serve hot path runs at untraced speed. Armed with a
+//! sampling period `N`, every Nth request is traced end to end (`N = 1`
+//! traces everything) — sampling is decided once per request at parse time
+//! and rides with it, so a sampled request's stage set is always complete.
+//!
+//! [`write_chrome_trace`] exports a snapshot as Chrome `trace_event` JSON
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>): each
+//! request is one track (`tid` = rid) of `ph: "X"` complete events, and
+//! batch-level events (model forwards, batch flushes) share track 0.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One pipeline stage of a traced request. The wire names are stable: the
+/// `dader-trace` analyzer and the Chrome export both key on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Request line fully read off the socket and parsed.
+    Parse,
+    /// Waiting in the shared batch queue (enqueue → flush). `arg_a` is the
+    /// batch occupancy it flushed with, `arg_b` the flush-reason index.
+    Queue,
+    /// Flushed batch in the job channel waiting for the inference worker.
+    Dispatch,
+    /// Scoring inside the inference worker (model forward included).
+    /// `arg_a` is the batch occupancy, `arg_b` the model registry
+    /// generation that scored it.
+    Infer,
+    /// Reorder wait plus response serialization and output buffering
+    /// (inference done → bytes joined the connection's write stream).
+    Write,
+    /// Batch-level: one model forward pass (`arg_a` = rows). Recorded with
+    /// rid 0 — it belongs to a batch, not to one request.
+    Forward,
+    /// Batch-level: one batch flush (`arg_a` = occupancy, `arg_b` = flush
+    /// reason index). Recorded with rid 0.
+    Flush,
+}
+
+impl Stage {
+    /// Stable wire name (Chrome event name, `dader-trace` key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Queue => "queue",
+            Stage::Dispatch => "dispatch",
+            Stage::Infer => "infer",
+            Stage::Write => "write",
+            Stage::Forward => "forward",
+            Stage::Flush => "flush",
+        }
+    }
+
+    /// Inverse of [`Stage::as_str`].
+    pub fn parse_name(name: &str) -> Option<Stage> {
+        Some(match name {
+            "parse" => Stage::Parse,
+            "queue" => Stage::Queue,
+            "dispatch" => Stage::Dispatch,
+            "infer" => Stage::Infer,
+            "write" => Stage::Write,
+            "forward" => Stage::Forward,
+            "flush" => Stage::Flush,
+            _ => return None,
+        })
+    }
+
+    /// The per-request stages, in pipeline order (batch-level stages
+    /// excluded).
+    pub const REQUEST_STAGES: [Stage; 5] = [
+        Stage::Parse,
+        Stage::Queue,
+        Stage::Dispatch,
+        Stage::Infer,
+        Stage::Write,
+    ];
+}
+
+/// One recorded stage interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Request id (0 for batch-level events).
+    pub rid: u64,
+    pub stage: Stage,
+    /// Start, microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Stage-specific argument (occupancy, rows); 0 when unused.
+    pub arg_a: u64,
+    /// Stage-specific argument (flush reason, model generation); 0 when
+    /// unused.
+    pub arg_b: u64,
+}
+
+/// Default ring capacity: ~64Ki events ≈ 13k fully-traced requests.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Process-wide switch; off costs one relaxed load per check.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Sampling period (record every Nth request); meaningful only while
+/// enabled.
+static SAMPLE: AtomicU64 = AtomicU64::new(1);
+
+/// Requests seen by [`sample_request`] since configure.
+static SEEN: AtomicU64 = AtomicU64::new(0);
+
+/// Events evicted from the ring because it was full.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next write position; wraps at capacity once full.
+    head: usize,
+    full: bool,
+    capacity: usize,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+/// The process trace epoch: every event timestamp is an offset from this
+/// instant. Pinned on first use, so timestamps from one process compare.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds from the trace epoch to `t` (0 if `t` predates it).
+pub fn to_epoch_us(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+/// Arm tracing with a 1-in-`sample` request sampling period and the given
+/// ring capacity ([`DEFAULT_CAPACITY`] fits most runs). `sample` 0 is
+/// clamped to 1 (trace everything). Resets the sample counter and clears
+/// previously buffered events.
+pub fn configure(sample: u64, capacity: usize) {
+    let capacity = capacity.max(16);
+    epoch(); // pin before any event timestamps
+    {
+        let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+        *ring = Some(Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            full: false,
+            capacity,
+        });
+    }
+    SAMPLE.store(sample.max(1), Ordering::Relaxed);
+    SEEN.store(0, Ordering::Relaxed);
+    DROPPED.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm tracing (buffered events stay readable via [`take`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// True while tracing is armed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Events evicted from the full ring so far (a non-zero value means the
+/// exported trace covers only the most recent window).
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Decide, once per request, whether it should be traced end to end.
+/// Counts the request against the sampling period; returns false instantly
+/// while tracing is off.
+pub fn sample_request() -> bool {
+    if !enabled() {
+        return false;
+    }
+    let n = SAMPLE.load(Ordering::Relaxed).max(1);
+    SEEN.fetch_add(1, Ordering::Relaxed).is_multiple_of(n)
+}
+
+/// Record one stage interval for `rid`. `start`/`end` are converted onto
+/// the trace epoch; an inverted interval clamps to zero duration. No-op
+/// while tracing is off.
+pub fn record(rid: u64, stage: Stage, start: Instant, end: Instant, arg_a: u64, arg_b: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = to_epoch_us(start);
+    let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+    push(TraceEvent {
+        rid,
+        stage,
+        ts_us,
+        dur_us,
+        arg_a,
+        arg_b,
+    });
+}
+
+fn push(ev: TraceEvent) {
+    let mut guard = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(ring) = guard.as_mut() else { return };
+    if ring.buf.len() < ring.capacity {
+        ring.buf.push(ev);
+        ring.head = ring.buf.len() % ring.capacity;
+        ring.full = ring.buf.len() == ring.capacity;
+    } else {
+        ring.buf[ring.head] = ev;
+        ring.head = (ring.head + 1) % ring.capacity;
+        ring.full = true;
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot the buffered events in recording order without clearing them.
+pub fn snapshot() -> Vec<TraceEvent> {
+    let guard = RING.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        None => Vec::new(),
+        Some(ring) => {
+            if ring.full && ring.buf.len() == ring.capacity {
+                let mut out = Vec::with_capacity(ring.buf.len());
+                out.extend_from_slice(&ring.buf[ring.head..]);
+                out.extend_from_slice(&ring.buf[..ring.head]);
+                out
+            } else {
+                ring.buf.clone()
+            }
+        }
+    }
+}
+
+/// Drain the buffered events in recording order, leaving the ring empty
+/// (and still armed, if it was).
+pub fn take() -> Vec<TraceEvent> {
+    let mut guard = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(ring) = guard.as_mut() else {
+        return Vec::new();
+    };
+    let head = ring.head;
+    let full = ring.full && ring.buf.len() == ring.capacity;
+    let buf = std::mem::take(&mut ring.buf);
+    ring.head = 0;
+    ring.full = false;
+    if full {
+        let mut out = Vec::with_capacity(buf.len());
+        out.extend_from_slice(&buf[head..]);
+        out.extend_from_slice(&buf[..head]);
+        out
+    } else {
+        buf
+    }
+}
+
+/// Write `events` as Chrome `trace_event` JSON (the object form:
+/// `{"traceEvents": [...]}`). Per-request events use `tid` = rid so each
+/// request renders as its own track; batch-level events share track 0.
+/// Stage-specific args are spelled out by name so the viewer shows
+/// occupancy / flush reason / model generation on click.
+pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[TraceEvent]) -> std::io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        let mut args = format!("\"rid\":{}", ev.rid);
+        match ev.stage {
+            Stage::Queue | Stage::Flush => {
+                args.push_str(&format!(
+                    ",\"occupancy\":{},\"flush_reason\":{}",
+                    ev.arg_a, ev.arg_b
+                ));
+            }
+            Stage::Infer => {
+                args.push_str(&format!(
+                    ",\"occupancy\":{},\"model_generation\":{}",
+                    ev.arg_a, ev.arg_b
+                ));
+            }
+            Stage::Forward => {
+                args.push_str(&format!(",\"rows\":{}", ev.arg_a));
+            }
+            _ => {}
+        }
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            ev.stage.as_str(),
+            ev.ts_us,
+            ev.dur_us,
+            ev.rid,
+            args
+        )?;
+    }
+    w.write_all(b"]}")?;
+    Ok(())
+}
+
+/// Snapshot the ring and write it to `path` as Chrome trace JSON,
+/// returning the number of events written.
+pub fn write_chrome_trace_file(path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+    let events = snapshot();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_chrome_trace(&mut w, &events)?;
+    w.flush()?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock as StdOnceLock};
+    use std::time::Duration;
+
+    /// Trace state is process-global; serialize the tests that mutate it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: StdOnceLock<StdMutex<()>> = StdOnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_never_samples() {
+        let _g = guard();
+        disable();
+        let t = Instant::now();
+        record(1, Stage::Parse, t, t, 0, 0);
+        assert!(!sample_request());
+    }
+
+    #[test]
+    fn record_take_roundtrip_in_order() {
+        let _g = guard();
+        configure(1, 64);
+        let t0 = Instant::now();
+        record(7, Stage::Parse, t0, t0 + Duration::from_micros(5), 0, 0);
+        record(7, Stage::Queue, t0 + Duration::from_micros(5), t0 + Duration::from_micros(30), 4, 1);
+        let evs = take();
+        disable();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].stage, Stage::Parse);
+        assert_eq!(evs[1].stage, Stage::Queue);
+        assert_eq!(evs[1].arg_a, 4);
+        assert!(evs[1].ts_us >= evs[0].ts_us);
+        assert!(evs[1].dur_us >= 20, "dur {}", evs[1].dur_us);
+        assert!(take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let _g = guard();
+        configure(1, 16);
+        let t = Instant::now();
+        for i in 0..40u64 {
+            record(i, Stage::Parse, t, t, 0, 0);
+        }
+        let evs = snapshot();
+        disable();
+        assert_eq!(evs.len(), 16);
+        // The survivors are the most recent 24..40, in order.
+        let rids: Vec<u64> = evs.iter().map(|e| e.rid).collect();
+        assert_eq!(rids, (24..40).collect::<Vec<_>>());
+        assert_eq!(dropped(), 24);
+    }
+
+    #[test]
+    fn sampling_period_takes_every_nth() {
+        let _g = guard();
+        configure(4, 64);
+        let taken: Vec<bool> = (0..8).map(|_| sample_request()).collect();
+        disable();
+        assert_eq!(
+            taken,
+            vec![true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_stage_names() {
+        let _g = guard();
+        configure(1, 64);
+        let t = Instant::now();
+        record(3, Stage::Infer, t, t + Duration::from_micros(100), 8, 2);
+        record(0, Stage::Flush, t, t, 8, 1);
+        let evs = take();
+        disable();
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &evs).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let tev = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(tev.len(), 2);
+        assert_eq!(tev[0].get("name").unwrap().as_str().unwrap(), "infer");
+        assert_eq!(tev[0].get("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(
+            tev[0]
+                .get("args")
+                .unwrap()
+                .get("model_generation")
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            2
+        );
+        assert_eq!(tev[1].get("tid").unwrap().as_i64().unwrap(), 0);
+    }
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for s in [
+            Stage::Parse,
+            Stage::Queue,
+            Stage::Dispatch,
+            Stage::Infer,
+            Stage::Write,
+            Stage::Forward,
+            Stage::Flush,
+        ] {
+            assert_eq!(Stage::parse_name(s.as_str()), Some(s));
+        }
+        assert_eq!(Stage::parse_name("nope"), None);
+    }
+}

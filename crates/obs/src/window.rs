@@ -1,0 +1,329 @@
+//! Time-windowed metrics: sliding-window quantiles and rates.
+//!
+//! The lifetime histograms in [`crate::metrics`] accumulate forever —
+//! after an hour of traffic, a p99 regression in the last ten seconds is
+//! invisible under the cumulative mass. A [`WindowedHistogram`] keeps the
+//! same fixed buckets but sliced into a ring of one-second slots; a
+//! snapshot merges only the slots younger than the window and reports
+//! p50/p99 and an events-per-second rate **over the last N seconds**.
+//!
+//! Slots are keyed by absolute second index since construction, so
+//! rotation is lazy: an observation or snapshot first expires any slot
+//! whose second has fallen out of the window. Everything is behind one
+//! short mutex (per observation: one lock, one bucket increment), cheap
+//! at serving rates, and the quantile math is shared with the lifetime
+//! histograms ([`crate::metrics::quantile_from_counts`]) so windowed and
+//! lifetime quantiles over the same data agree exactly.
+//!
+//! `observe_at` / `snapshot_at` take an explicit [`Instant`] so tests can
+//! drive the clock deterministically; the plain `observe` / `snapshot`
+//! wrappers use `Instant::now()`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::quantile_from_counts;
+
+/// One second-resolution slot of the ring.
+struct Slot {
+    /// Absolute second index (since the histogram's epoch) this slot
+    /// currently holds. Mismatched index ⇒ the slot is stale and is
+    /// cleared before reuse.
+    second: u64,
+    /// Finite bucket counts plus the trailing +Inf bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+struct WindowInner {
+    epoch: Instant,
+    bounds: Vec<f64>,
+    /// `window_secs` slots, indexed by `second % window_secs`.
+    slots: Vec<Slot>,
+}
+
+/// Sliding-window histogram: fixed buckets over the last `window_secs`
+/// seconds.
+#[derive(Clone)]
+pub struct WindowedHistogram {
+    inner: Arc<Mutex<WindowInner>>,
+    window_secs: u64,
+}
+
+/// Merged view of the live slots of a [`WindowedHistogram`].
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Sum of observed values inside the window.
+    pub sum: f64,
+    /// Events per second over the window length.
+    pub rate: f64,
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Interpolated p50 (`None` when the window is empty).
+    pub p50: Option<f64>,
+    /// Interpolated p99 (`None` when the window is empty).
+    pub p99: Option<f64>,
+}
+
+impl WindowSnapshot {
+    /// Mean of the windowed observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+impl WindowedHistogram {
+    /// Build a windowed histogram covering the last `window_secs` seconds
+    /// (clamped to ≥ 1) with the given finite bucket bounds (strictly
+    /// increasing; an implicit +Inf bucket follows).
+    pub fn new(bounds: &[f64], window_secs: u64) -> Self {
+        assert!(!bounds.is_empty(), "windowed histogram: no buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "windowed histogram: bounds must be strictly increasing"
+        );
+        let window_secs = window_secs.max(1);
+        let slots = (0..window_secs)
+            .map(|_| Slot {
+                second: u64::MAX, // never matches: starts empty
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0.0,
+            })
+            .collect();
+        WindowedHistogram {
+            inner: Arc::new(Mutex::new(WindowInner {
+                epoch: Instant::now(),
+                bounds: bounds.to_vec(),
+                slots,
+            })),
+            window_secs,
+        }
+    }
+
+    /// The window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Record `v` as observed at `now` (observations older than the
+    /// current second of a slot are folded into it — slot resolution is
+    /// one second).
+    pub fn observe_at(&self, v: f64, now: Instant) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let second = now.saturating_duration_since(inner.epoch).as_secs();
+        let bucket = inner.bounds.partition_point(|&b| b < v);
+        let idx = (second % self.window_secs) as usize;
+        let slot = &mut inner.slots[idx];
+        if slot.second != second {
+            slot.second = second;
+            slot.counts.iter_mut().for_each(|c| *c = 0);
+            slot.count = 0;
+            slot.sum = 0.0;
+        }
+        slot.counts[bucket] += 1;
+        slot.count += 1;
+        slot.sum += v;
+    }
+
+    /// Record `v` as observed now.
+    pub fn observe(&self, v: f64) {
+        self.observe_at(v, Instant::now());
+    }
+
+    /// Merge the slots still inside the window ending at `now` and report
+    /// count, rate and interpolated p50/p99.
+    pub fn snapshot_at(&self, now: Instant) -> WindowSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let second = now.saturating_duration_since(inner.epoch).as_secs();
+        let oldest_live = second.saturating_sub(self.window_secs - 1);
+        let mut counts = vec![0u64; inner.bounds.len() + 1];
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for slot in &inner.slots {
+            if slot.second < oldest_live || slot.second > second {
+                continue; // stale (or never written: u64::MAX sentinel)
+            }
+            for (acc, c) in counts.iter_mut().zip(&slot.counts) {
+                *acc += c;
+            }
+            count += slot.count;
+            sum += slot.sum;
+        }
+        WindowSnapshot {
+            count,
+            sum,
+            rate: count as f64 / self.window_secs as f64,
+            window_secs: self.window_secs,
+            p50: quantile_from_counts(&inner.bounds, &counts, 0.50),
+            p99: quantile_from_counts(&inner.bounds, &counts, 0.99),
+        }
+    }
+
+    /// Merge the slots still inside the window ending now.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(Instant::now())
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, WindowedHistogram>>> = OnceLock::new();
+
+/// Get or create the process-wide windowed histogram registered under
+/// `name`. `bounds` and `window_secs` apply only on first creation; later
+/// lookups return the existing instance unchanged.
+pub fn windowed(name: &'static str, bounds: &[f64], window_secs: u64) -> WindowedHistogram {
+    let mut reg = REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    reg.entry(name)
+        .or_insert_with(|| WindowedHistogram::new(bounds, window_secs))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LATENCY_US_BUCKETS;
+    use std::time::Duration;
+
+    fn at(h: &WindowedHistogram, base: Instant, secs: u64) -> Instant {
+        let _ = h;
+        base + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let h = WindowedHistogram::new(&[10.0, 100.0], 5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p99, None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn observations_expire_after_window() {
+        let h = WindowedHistogram::new(&[10.0, 100.0, 1000.0], 3);
+        let base = Instant::now();
+        h.observe_at(50.0, at(&h, base, 0));
+        h.observe_at(50.0, at(&h, base, 1));
+        let s = h.snapshot_at(at(&h, base, 2));
+        assert_eq!(s.count, 2, "both inside the 3 s window");
+        let s = h.snapshot_at(at(&h, base, 3));
+        assert_eq!(s.count, 1, "second-0 slot expired");
+        let s = h.snapshot_at(at(&h, base, 10));
+        assert_eq!(s.count, 0, "everything expired");
+    }
+
+    #[test]
+    fn slot_reuse_clears_stale_counts() {
+        let h = WindowedHistogram::new(&[10.0, 100.0], 2);
+        let base = Instant::now();
+        h.observe_at(5.0, at(&h, base, 0));
+        // Second 2 maps onto the same slot index (2 % 2 == 0): the stale
+        // second-0 data must not leak into the new second.
+        h.observe_at(500.0, at(&h, base, 2));
+        let s = h.snapshot_at(at(&h, base, 2));
+        assert_eq!(s.count, 1);
+        assert!((s.sum - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_quantiles_match_brute_force_recompute() {
+        // Brute force: keep every (second, value) pair, filter to the live
+        // window, bucket, and run the same interpolation. The windowed
+        // histogram must agree exactly.
+        let bounds = LATENCY_US_BUCKETS;
+        let h = WindowedHistogram::new(&bounds, 5);
+        let base = Instant::now();
+        let mut raw: Vec<(u64, f64)> = Vec::new();
+        // Deterministic pseudo-random spread; time only moves forward, and
+        // we check the window at several points as it advances.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut checks = 0;
+        for now_sec in 0..14u64 {
+            if now_sec < 12 {
+                for _ in 0..50 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let v = (x % 2_000_000) as f64; // up to 2 s in µs
+                    h.observe_at(v, at(&h, base, now_sec));
+                    raw.push((now_sec, v));
+                }
+            }
+            if ![4u64, 7, 11, 13].contains(&now_sec) {
+                continue;
+            }
+            checks += 1;
+            let snap = h.snapshot_at(at(&h, base, now_sec));
+            let oldest = now_sec.saturating_sub(4);
+            let live: Vec<f64> = raw
+                .iter()
+                .filter(|(s, _)| *s >= oldest && *s <= now_sec)
+                .map(|(_, v)| *v)
+                .collect();
+            let mut counts = vec![0u64; bounds.len() + 1];
+            for &v in &live {
+                counts[bounds.partition_point(|&b| b < v)] += 1;
+            }
+            assert_eq!(snap.count as usize, live.len(), "now={now_sec}");
+            for (q, got) in [(0.50, snap.p50), (0.99, snap.p99)] {
+                let want = quantile_from_counts(&bounds, &counts, q);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => {
+                        assert!((g - w).abs() < 1e-9, "q={q} now={now_sec}: {g} vs {w}")
+                    }
+                    other => panic!("q={q} now={now_sec}: mismatch {other:?}"),
+                }
+            }
+            let want_sum: f64 = live.iter().sum();
+            assert!((snap.sum - want_sum).abs() < 1e-6, "now={now_sec}");
+        }
+        assert_eq!(checks, 4, "every checkpoint exercised");
+    }
+
+    #[test]
+    fn rate_is_count_over_window() {
+        let h = WindowedHistogram::new(&[10.0], 4);
+        let base = Instant::now();
+        for i in 0..20 {
+            h.observe_at(1.0, at(&h, base, i % 4));
+        }
+        let s = h.snapshot_at(at(&h, base, 3));
+        assert_eq!(s.count, 20);
+        assert!((s.rate - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registrar_returns_same_instance() {
+        let a = windowed("obs_test_window", &[1.0, 2.0], 3);
+        a.observe_at(1.5, Instant::now());
+        let b = windowed("obs_test_window", &[9.0], 99);
+        assert_eq!(b.window_secs(), 3, "first registration wins");
+        assert_eq!(b.snapshot().count, 1, "same underlying slots");
+    }
+
+    #[test]
+    fn concurrent_observe_is_safe_and_lossless() {
+        let h = WindowedHistogram::new(&LATENCY_US_BUCKETS, 10);
+        let now = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        h.observe_at(i as f64, now);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot_at(now).count, 2000);
+    }
+}

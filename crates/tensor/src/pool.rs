@@ -22,8 +22,9 @@
 //! Workers are scoped ([`std::thread::scope`]), so shards may borrow the
 //! caller's stack freely; nothing here requires `'static` data.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use dader_obs::Counter;
 
@@ -39,6 +40,69 @@ fn count_serial() {
     static C: OnceLock<Counter> = OnceLock::new();
     C.get_or_init(|| dader_obs::counter("pool_dispatch_serial_total"))
         .inc();
+}
+
+/// Span-accounting bridge for one parallel region.
+///
+/// Child spans completed on a spawned worker accumulate in the *worker's*
+/// thread-local ledger ([`dader_obs::span::thread_child_ns`]), which dies
+/// with the scoped thread — so a span open on the spawning thread would
+/// count that wall time as self time while the child span aggregates also
+/// count it: double-counted. Each worker reports its ledger here as it
+/// finishes; after the join, the total is clamped to the wall time the
+/// region could actually have covered (minus what the caller's own inline
+/// children already claimed) and credited to the spawning thread's open
+/// span via [`dader_obs::span::add_child_ns`]. The clamp keeps a parent's
+/// self time non-negative even when workers' child spans overlap in wall
+/// time. Inert (no clock reads) while spans are disabled.
+struct SpanBridge {
+    enabled: bool,
+    start: Option<Instant>,
+    caller_child_before: u64,
+    worker_child_ns: AtomicU64,
+}
+
+impl SpanBridge {
+    fn new() -> Self {
+        let enabled = dader_obs::span_enabled();
+        SpanBridge {
+            enabled,
+            start: enabled.then(Instant::now),
+            caller_child_before: if enabled {
+                dader_obs::span::thread_child_ns()
+            } else {
+                0
+            },
+            worker_child_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Called on a spawned worker after its last shard: bank the child
+    /// time its thread-local ledger accumulated.
+    fn worker_done(&self) {
+        if self.enabled {
+            self.worker_child_ns
+                .fetch_add(dader_obs::span::thread_child_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Called on the spawning thread after the scope join: propagate the
+    /// workers' child time (clamped to the region's wall time) to the
+    /// caller's open span.
+    fn finish(self) {
+        if !self.enabled {
+            return;
+        }
+        let Some(start) = self.start else { return };
+        let wall = start.elapsed().as_nanos() as u64;
+        let caller_inline =
+            dader_obs::span::thread_child_ns().saturating_sub(self.caller_child_before);
+        let budget = wall.saturating_sub(caller_inline);
+        let extra = self.worker_child_ns.load(Ordering::Relaxed).min(budget);
+        if extra > 0 {
+            dader_obs::span::add_child_ns(extra);
+        }
+    }
 }
 
 /// Runtime override; 0 means "not set".
@@ -99,8 +163,10 @@ pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
         return;
     }
     count_parallel();
+    let bridge = SpanBridge::new();
     std::thread::scope(|scope| {
         let f = &f;
+        let bridge = &bridge;
         for worker in 1..threads {
             scope.spawn(move || {
                 let mut shard = worker;
@@ -108,6 +174,7 @@ pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
                     f(shard);
                     shard += threads;
                 }
+                bridge.worker_done();
             });
         }
         let mut shard = 0;
@@ -116,6 +183,7 @@ pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
             shard += threads;
         }
     });
+    bridge.finish();
 }
 
 /// Split `data` into consecutive `chunk_len`-sized disjoint chunks (the
@@ -148,8 +216,10 @@ pub fn for_each_chunk_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
     for (i, chunk) in chunks.into_iter().enumerate() {
         per_worker[i % threads].push((i, chunk));
     }
+    let bridge = SpanBridge::new();
     std::thread::scope(|scope| {
         let f = &f;
+        let bridge = &bridge;
         let mut workers = per_worker.into_iter();
         let mine = workers.next().expect("threads >= 2");
         for work in workers {
@@ -157,12 +227,14 @@ pub fn for_each_chunk_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
                 for (i, chunk) in work {
                     f(i, chunk);
                 }
+                bridge.worker_done();
             });
         }
         for (i, chunk) in mine {
             f(i, chunk);
         }
     });
+    bridge.finish();
 }
 
 /// Map `f` over `items` across up to `threads` workers, returning results

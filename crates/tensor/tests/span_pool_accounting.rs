@@ -1,0 +1,130 @@
+//! Regression test: span self-time accounting across pool workers.
+//!
+//! A child span opened on a spawned `dader_tensor::pool` worker completes
+//! on that worker's thread-local ledger, which dies with the scoped
+//! thread. Before the bridge fix, a parent span open on the spawning
+//! thread never learned about that child time: the parent's *self* time
+//! included the wall time it spent joined on the workers, while the child
+//! span aggregate counted the same nanoseconds again — double-counted.
+//! These tests pin the fixed behaviour: worker child time is propagated
+//! back (clamped to the region wall time) and the serial path is
+//! untouched.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use dader_obs::span::{reset_timing, span};
+use dader_obs::{set_enabled, timing_snapshot, SpanStat};
+use dader_tensor::pool::{run_sharded, set_threads};
+
+/// Span state is process-global; serialize the tests in this file.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn stat(name: &str) -> Option<SpanStat> {
+    timing_snapshot().into_iter().find(|s| s.name == name)
+}
+
+const SLACK_NS: u64 = 5_000_000; // 5 ms of scheduling noise
+
+/// The double-counting scenario: shard 1 runs on a spawned worker and
+/// spends its time inside a child span; shard 0 (the caller) does
+/// span-free work. The parent's self time must exclude the worker's
+/// child-span time.
+#[test]
+fn worker_child_spans_are_not_double_counted() {
+    let _g = guard();
+    reset_timing();
+    let prev_threads = set_threads(Some(2));
+    let prev = set_enabled(true);
+    {
+        let _parent = span("pool_acct_parent");
+        run_sharded(2, 2, |shard| {
+            if shard == 1 {
+                // On the spawned worker: all time inside a child span.
+                let _child = span("pool_acct_child");
+                std::thread::sleep(Duration::from_millis(25));
+            } else {
+                // On the caller: span-free work.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+    }
+    set_enabled(prev);
+    set_threads(prev_threads);
+    let parent = stat("pool_acct_parent").expect("parent recorded");
+    let child = stat("pool_acct_child").expect("child recorded");
+    assert_eq!(parent.calls, 1);
+    assert_eq!(child.calls, 1);
+    assert!(child.total_ns >= 20_000_000, "child slept ~25 ms");
+    // The heart of the regression: parent self + child total must not
+    // exceed the parent's wall time (they did before the fix — the child's
+    // ~25 ms was counted in both).
+    assert!(
+        parent.self_ns + child.total_ns <= parent.total_ns + SLACK_NS,
+        "double-counted: parent self {} + child total {} > parent total {}",
+        parent.self_ns,
+        child.total_ns,
+        parent.total_ns
+    );
+    reset_timing();
+}
+
+/// The propagated worker child time is clamped to the region's wall time:
+/// two workers sleeping in child spans concurrently must not push the
+/// parent's accounted child time past what the wall clock can cover
+/// (self time saturates at 0, never wraps).
+#[test]
+fn overlapping_worker_spans_clamp_to_wall_time() {
+    let _g = guard();
+    reset_timing();
+    let prev_threads = set_threads(Some(3));
+    let prev = set_enabled(true);
+    {
+        let _parent = span("pool_acct_clamp_parent");
+        run_sharded(3, 3, |shard| {
+            if shard > 0 {
+                let _child = span("pool_acct_clamp_child");
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        });
+    }
+    set_enabled(prev);
+    set_threads(prev_threads);
+    let parent = stat("pool_acct_clamp_parent").expect("parent recorded");
+    let child = stat("pool_acct_clamp_child").expect("child recorded");
+    assert_eq!(child.calls, 2);
+    assert!(parent.self_ns <= parent.total_ns, "self is a share of total");
+}
+
+/// threads = 1 runs inline on the caller: the pre-existing same-thread
+/// nesting already splits self time, and the bridge must not disturb it.
+#[test]
+fn serial_path_nesting_is_unchanged() {
+    let _g = guard();
+    reset_timing();
+    let prev_threads = set_threads(Some(1));
+    let prev = set_enabled(true);
+    {
+        let _parent = span("pool_acct_serial_parent");
+        run_sharded(2, 1, |shard| {
+            if shard == 1 {
+                let _child = span("pool_acct_serial_child");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+    }
+    set_enabled(prev);
+    set_threads(prev_threads);
+    let parent = stat("pool_acct_serial_parent").expect("parent recorded");
+    let child = stat("pool_acct_serial_child").expect("child recorded");
+    assert!(
+        parent.self_ns + child.total_ns <= parent.total_ns + SLACK_NS,
+        "inline nesting must keep excluding child time"
+    );
+    reset_timing();
+}
