@@ -5,6 +5,7 @@
 //! dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR]
 //!             [--flush-us N] [--thread-per-conn]
 //!             [--max-line-bytes N] [--timeout-ms N] [--max-conns N]
+//!             [--max-queue N] [--default-deadline-ms N]
 //!             [--metrics-addr ADDR] [--trace FILE] [--trace-sample N]
 //!             [--quiet] [--verbose]
 //! ```
@@ -34,10 +35,23 @@
 //! closed; connections over the cap receive an `overloaded` error. All
 //! error objects carry `code` and `retryable` fields.
 //!
-//! In `--listen` mode the process drains gracefully: when stdin closes or
-//! receives a `shutdown` line, the listener stops accepting, in-flight
-//! connections run to completion, the metrics summary is printed, and the
-//! process exits 0.
+//! Overload safety: the pending-request queue is bounded at `--max-queue`
+//! (default 256). Past the high-water mark the event loop stops reading
+//! sockets (TCP backpressure slows the senders); requests parsed while
+//! the queue is already full are shed immediately with a retryable
+//! `overloaded` error. `--default-deadline-ms N` gives every request a
+//! deadline (a request's own `deadline_ms` field overrides it); a request
+//! whose deadline passes while it queues is shed with `deadline_exceeded`
+//! instead of scored. `GET /healthz` on the metrics endpoint answers 200
+//! while accepting and 503 while shedding or while the reload circuit
+//! breaker is open (3+ consecutive reload failures back off before the
+//! next attempt).
+//!
+//! In `--listen` mode the process drains gracefully: when stdin closes,
+//! receives a `shutdown` line, or the process gets SIGTERM/SIGINT, the
+//! listener stops accepting, in-flight connections run to completion, the
+//! metrics summary is printed (and the trace exported, if tracing), and
+//! the process exits 0.
 //!
 //! `--metrics-addr 127.0.0.1:0` starts a status endpoint on a second
 //! socket speaking minimal HTTP/1.0: `GET /metrics` returns the
@@ -70,6 +84,35 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dader_bench::{note, MatchServer, ModelRegistry, ServeLimits, TcpServeConfig};
+
+/// Raised by the SIGTERM/SIGINT handler; a watcher thread folds it into
+/// the serve stop flag so `--listen` mode drains gracefully (stop
+/// accepting, finish in-flight work, print the summary, exit 0) instead
+/// of dying mid-response.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // One atomic store: the only thing that is async-signal-safe here.
+    SIGNALED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Raw signal(2) binding — no libc crate in the workspace, and the
+    // two-argument form is all the drain path needs.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
@@ -106,7 +149,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--metrics-addr ADDR] [--trace FILE] [--trace-sample N] [--quiet] [--verbose]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--max-queue N] [--default-deadline-ms N] [--metrics-addr ADDR] [--trace FILE] [--trace-sample N] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -138,6 +181,17 @@ fn main() {
             None => default,
         }
     };
+    let default_deadline = arg_value(&args, "--default-deadline-ms").map(|s| {
+        s.parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(std::time::Duration::from_millis)
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "--default-deadline-ms must be a positive integer, got {s:?}"
+                ))
+            })
+    });
     let limits = ServeLimits {
         max_line_bytes: positive("--max-line-bytes", 1 << 20),
         read_timeout: Some(std::time::Duration::from_millis(
@@ -146,8 +200,10 @@ fn main() {
         write_timeout: Some(std::time::Duration::from_millis(
             positive("--timeout-ms", 30_000) as u64,
         )),
+        default_deadline,
     };
     let max_conns = positive("--max-conns", 64);
+    let max_queue = positive("--max-queue", 256);
     let flush_us = positive("--flush-us", 1_000) as u64;
     let thread_per_conn = args.iter().any(|a| a == "--thread-per-conn");
     let metrics_addr = arg_value(&args, "--metrics-addr");
@@ -212,6 +268,7 @@ fn main() {
                 batch_size,
                 max_conns,
                 flush_us,
+                max_queue,
             };
             // The registry is the hot-reload point; the legacy path has
             // none (its model is fixed for the process lifetime).
@@ -233,6 +290,24 @@ fn main() {
             // completion before the process exits. `reload [path]` on the
             // same stream hot-swaps the served artifact (event loop only).
             let stop = Arc::new(AtomicBool::new(false));
+            install_signal_handlers();
+            {
+                // Signal watcher: folds SIGTERM/SIGINT into the same stop
+                // flag the stdin controller uses, so both trigger the one
+                // graceful-drain path.
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    if SIGNALED.load(Ordering::Relaxed) {
+                        eprintln!("dader-serve: signal received; draining");
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break; // shut down some other way; watcher done
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                });
+            }
             {
                 let stop = Arc::clone(&stop);
                 let registry = registry.clone();

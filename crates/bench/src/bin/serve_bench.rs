@@ -216,6 +216,106 @@ fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
+/// What the overload phase saw: the latency of every request that was
+/// actually scored, plus how many were shed with a typed error.
+struct OverloadOutcome {
+    served_latencies: Vec<u64>,
+    shed: usize,
+    wall_s: f64,
+}
+
+/// Slam the event loop with far more pipelined requests than its bounded
+/// queue admits and verify graceful degradation: every request is
+/// answered exactly once — scored, or shed with a retryable
+/// `overloaded`/`deadline_exceeded` error — and the requests that *are*
+/// served keep their latency close to the at-capacity profile.
+fn run_overload_phase(cfg: TcpServeConfig, clients: usize, requests: usize) -> OverloadOutcome {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind overload listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let registry = Arc::new(ModelRegistry::new(bench_server()));
+            serve_event_loop(registry, listener, cfg, stop)
+        })
+    };
+    let barrier = Arc::new(Barrier::new(clients));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> (Vec<u64>, usize) {
+                // No `timings` here: the overload clients only need the
+                // latency stamp and the error code.
+                let words = ["kodak esp", "hp laserjet", "canon pixma", "epson workforce"];
+                let mut lines = String::new();
+                for i in 0..requests {
+                    let a = words[(c + i) % words.len()];
+                    let b = words[(c + i + 1) % words.len()];
+                    lines.push_str(&format!(
+                        "{{\"id\": {i}, \"a\": {{\"title\": \"{a} {c}\"}}, \
+                         \"b\": {{\"title\": \"{b}\"}}}}\n"
+                    ));
+                }
+                barrier.wait();
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                conn.write_all(lines.as_bytes()).expect("send requests");
+                conn.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+                let mut served = Vec::new();
+                let mut shed = 0usize;
+                let mut answered = 0usize;
+                for line in BufReader::new(conn).lines() {
+                    let line = line.expect("read response");
+                    let v: Value = serde_json::from_str(&line).expect("response JSON");
+                    answered += 1;
+                    if v.get("error").is_none() {
+                        let latency = v
+                            .get("latency_us")
+                            .and_then(|x| x.as_i64())
+                            .expect("latency_us on every response");
+                        served.push(latency as u64);
+                    } else {
+                        let is_shed = matches!(
+                            v.get("code"),
+                            Some(Value::String(code))
+                                if code == "overloaded" || code == "deadline_exceeded"
+                        );
+                        assert!(
+                            is_shed,
+                            "client {c}: only shed errors expected under overload, got {line}"
+                        );
+                        shed += 1;
+                    }
+                }
+                assert_eq!(
+                    answered, requests,
+                    "client {c}: every request answered exactly once, shed or served"
+                );
+                (served, shed)
+            })
+        })
+        .collect();
+    let mut served_latencies = Vec::new();
+    let mut shed = 0usize;
+    for w in workers {
+        let (served, s) = w.join().expect("overload client thread");
+        served_latencies.extend(served);
+        shed += s;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server result");
+    OverloadOutcome {
+        served_latencies,
+        shed,
+        wall_s,
+    }
+}
+
 fn main() {
     dader_bench::init_cli();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -229,6 +329,9 @@ fn main() {
         // Every bench client must be admitted: the cap is not under test.
         max_conns: clients * 2,
         flush_us,
+        // Roomy enough that the capacity phases never shed — the queue
+        // bound gets its own dedicated overload phase below.
+        max_queue: clients * requests + 16,
     };
 
     let occupancy = dader_obs::histogram(
@@ -240,6 +343,7 @@ fn main() {
     };
 
     let mut modes: Vec<(String, Value)> = Vec::new();
+    let mut at_capacity_p99 = 0u64;
     for core in ["thread_per_conn", "event_loop"] {
         let occ_count0 = occupancy.count();
         let occ_sum0 = occupancy.sum();
@@ -304,6 +408,7 @@ fn main() {
             ),
         ];
         if core == "event_loop" {
+            at_capacity_p99 = p99;
             let batches = occupancy.count() - occ_count0;
             let pooled = occupancy.sum() - occ_sum0;
             let occ_mean = pooled / (batches as f64).max(1.0);
@@ -334,6 +439,58 @@ fn main() {
         modes.push((core.to_string(), Value::Object(entry)));
     }
 
+    // Overload phase: a handful of clients each pipeline their whole
+    // corpus at once against a queue bounded at two batches — sustained
+    // offered load several times what the queue admits. The contract
+    // under test: nothing is lost (every request shed or served), the
+    // shed come back instantly with retryable errors, and the served keep
+    // an at-capacity latency profile.
+    let overload_clients = 8usize;
+    let overload_requests = 64usize;
+    let overload_queue = (batch_size * 2).max(8);
+    let overload_cfg = TcpServeConfig {
+        limits: ServeLimits::default(),
+        batch_size,
+        max_conns: overload_clients * 2,
+        flush_us,
+        max_queue: overload_queue,
+    };
+    note!(
+        "serve_bench: overload: {overload_clients} clients x {overload_requests} requests, queue {overload_queue}..."
+    );
+    let overload = run_overload_phase(overload_cfg, overload_clients, overload_requests);
+    let offered = overload_clients * overload_requests;
+    let served = overload.served_latencies.len();
+    assert_eq!(
+        served + overload.shed,
+        offered,
+        "overload: every request must be served or shed"
+    );
+    assert!(served > 0, "overload: some requests must still be served");
+    let mut served_sorted = overload.served_latencies.clone();
+    served_sorted.sort_unstable();
+    let served_p99 = exact_quantile(&served_sorted, 0.99);
+    let shed_rate = overload.shed as f64 / offered as f64;
+    let goodput_rps = served as f64 / overload.wall_s.max(1e-9);
+    note!(
+        "serve_bench: overload: {served}/{offered} served (shed rate {:.2}), served p99 {served_p99}us (at capacity {at_capacity_p99}us), goodput {goodput_rps:.0} req/s",
+        shed_rate
+    );
+    let overload_entry = Value::Object(vec![
+        ("offered".to_string(), Value::Int(offered as i64)),
+        ("served".to_string(), Value::Int(served as i64)),
+        ("shed".to_string(), Value::Int(overload.shed as i64)),
+        ("shed_rate".to_string(), Value::Number(shed_rate)),
+        ("goodput_rps".to_string(), Value::Number(goodput_rps)),
+        ("served_p99_us".to_string(), Value::Int(served_p99 as i64)),
+        (
+            "at_capacity_p99_us".to_string(),
+            Value::Int(at_capacity_p99 as i64),
+        ),
+        ("max_queue".to_string(), Value::Int(overload_queue as i64)),
+        ("wall_s".to_string(), Value::Number(overload.wall_s)),
+    ]);
+
     let report = Value::Object(vec![
         ("name".to_string(), Value::String("serve".to_string())),
         ("clients".to_string(), Value::Int(clients as i64)),
@@ -344,6 +501,7 @@ fn main() {
         ("batch_size".to_string(), Value::Int(batch_size as i64)),
         ("flush_us".to_string(), Value::Int(flush_us as i64)),
         ("modes".to_string(), Value::Object(modes)),
+        ("overload".to_string(), overload_entry),
     ]);
     dader_bench::write_json("BENCH_serve", &report);
     println!("serve_bench: wrote results/BENCH_serve.json");

@@ -1,0 +1,136 @@
+//! Admission control and load shedding: the bounded-queue policy that
+//! keeps the serving cores overload-safe.
+//!
+//! Two mechanisms compose. **Backpressure**: when the pending-request
+//! queue crosses its high-water mark (`max_queue`), the event loop stops
+//! reading sockets entirely, so TCP flow control pushes the wait back
+//! into the senders' buffers instead of the server's memory; reads
+//! resume below the low-water mark (half the cap) so the gate doesn't
+//! flap on every batch flush. **Shedding**: a request parsed while the
+//! queue is already full is answered immediately with the retryable
+//! `overloaded` error (a pass can assemble many lines after the gate
+//! check — those over the cap are shed, never queued), and a request
+//! whose deadline has already passed at dispatch time is shed with
+//! `deadline_exceeded` instead of spending GEMM cycles on an answer the
+//! client has stopped waiting for.
+//!
+//! Every shed is counted under its reason in
+//! `serve_shed_total{reason=queue_full|deadline}`, and the paused/
+//! accepting state feeds the `GET /healthz` probe (503 while shedding).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Whether the serving loop is currently refusing socket reads (the
+/// queue is past its high-water mark). `GET /healthz` reports 503 while
+/// this is set, so a load balancer stops routing to an overloaded node.
+static SHEDDING: AtomicBool = AtomicBool::new(false);
+
+/// Whether the event loop is currently paused on reads / shedding.
+pub(crate) fn is_shedding() -> bool {
+    SHEDDING.load(Ordering::Relaxed)
+}
+
+/// Count one shed request under its reason
+/// (`serve_shed_total{reason=queue_full|deadline}`).
+pub(crate) fn count_shed(reason: &'static str) {
+    dader_obs::counter_labeled("serve_shed_total", "reason", reason).inc();
+}
+
+/// Per-reason shed totals for the status snapshot.
+pub(crate) fn shed_counts() -> Vec<(&'static str, u64)> {
+    dader_obs::counter_labeled_values("serve_shed_total")
+}
+
+/// The watermark state machine gating socket reads on queue depth.
+pub(crate) struct Admission {
+    max_queue: usize,
+    paused: bool,
+}
+
+impl Admission {
+    pub(crate) fn new(max_queue: usize) -> Admission {
+        assert!(max_queue > 0, "admission queue bound must be positive");
+        Admission {
+            max_queue,
+            paused: false,
+        }
+    }
+
+    /// Hysteresis gate, consulted once per loop pass: pause reads when
+    /// the queue reaches `max_queue`, resume below `max_queue / 2`.
+    /// Returns whether sockets may be read this pass; the paused state
+    /// is published for `/healthz` and the `serve_reads_paused` gauge.
+    pub(crate) fn reads_allowed(&mut self, queue_len: usize) -> bool {
+        if self.paused {
+            if queue_len < self.max_queue / 2 {
+                self.paused = false;
+            }
+        } else if queue_len >= self.max_queue {
+            self.paused = true;
+        }
+        SHEDDING.store(self.paused, Ordering::Relaxed);
+        dader_obs::gauge("serve_reads_paused").set(if self.paused { 1.0 } else { 0.0 });
+        !self.paused
+    }
+
+    /// Whether a request parsed right now must be shed instead of queued
+    /// (the queue is already at its bound — backpressure alone cannot
+    /// stop lines that were assembled in the same read pass).
+    pub(crate) fn must_shed(&self, queue_len: usize) -> bool {
+        queue_len >= self.max_queue
+    }
+}
+
+/// Resolve the deadline for a request that arrived at `arrival`: the
+/// request's own `deadline_ms` field wins, the server default applies
+/// otherwise, and `None` means the request waits forever (the pre-
+/// deadline contract).
+pub(crate) fn resolve_deadline(
+    arrival: Instant,
+    request_ms: Option<u64>,
+    default: Option<Duration>,
+) -> Option<Instant> {
+    match request_ms {
+        Some(ms) => Some(arrival + Duration::from_millis(ms)),
+        None => default.map(|d| arrival + d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_have_hysteresis() {
+        let mut a = Admission::new(8);
+        assert!(a.reads_allowed(0));
+        assert!(a.reads_allowed(7), "below the cap reads flow");
+        assert!(!a.reads_allowed(8), "at the cap reads pause");
+        assert!(!a.reads_allowed(5), "still paused above the low-water mark");
+        assert!(!a.must_shed(5));
+        assert!(a.must_shed(8));
+        assert!(a.reads_allowed(3), "below max_queue/2 reads resume");
+        assert!(a.reads_allowed(7), "and stay resumed until the cap again");
+    }
+
+    #[test]
+    fn deadline_resolution_prefers_the_request_field() {
+        let now = Instant::now();
+        assert_eq!(resolve_deadline(now, None, None), None);
+        assert_eq!(
+            resolve_deadline(now, None, Some(Duration::from_millis(100))),
+            Some(now + Duration::from_millis(100))
+        );
+        assert_eq!(
+            resolve_deadline(now, Some(5), Some(Duration::from_millis(100))),
+            Some(now + Duration::from_millis(5)),
+            "the per-request field overrides the server default"
+        );
+        assert_eq!(
+            resolve_deadline(now, Some(0), None),
+            Some(now),
+            "deadline_ms 0 is already due"
+        );
+    }
+}

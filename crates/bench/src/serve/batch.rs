@@ -20,14 +20,15 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Value;
 
 use super::registry::VersionedModel;
 use super::{
-    error_body, metrics, pair_body, panic_message, table_body, ErrorCode, TableRequest, Timeline,
+    admission, error_body, metrics, pair_body, panic_message, predict_contained, table_body,
+    ErrorCode, TableRequest, Timeline,
 };
 
 /// Why a batch left the queue. The wire label of each variant feeds
@@ -197,18 +198,34 @@ pub(crate) struct BatchJob {
 
 /// Spawn the inference worker thread. It scores jobs until the job sender
 /// is dropped, sending one `Vec<Done>` per job (same order as the items).
+///
+/// The job receiver is shared behind a mutex so the event loop can
+/// respawn a replacement worker after a panic without losing queued jobs:
+/// a dying worker holds no job (the `serve.worker` kill-point fires
+/// before `recv`), so anything still in the channel is picked up by its
+/// successor. With a single live worker the lock is uncontended; a
+/// poisoned lock (the previous incarnation died mid-hold) is recovered
+/// because the receiver itself carries no torn state.
 pub(crate) fn spawn_inference_worker(
-    jobs: Receiver<BatchJob>,
+    jobs: Arc<Mutex<Receiver<BatchJob>>>,
     results: Sender<Vec<Done>>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name("dader-serve-infer".to_string())
-        .spawn(move || {
-            for job in jobs {
-                let dones = run_job(&job);
-                if results.send(dones).is_err() {
-                    break; // event loop gone; nothing left to serve
+        .spawn(move || loop {
+            // Chaos kill-point: dies *between* jobs, never while holding
+            // one — respawn must not lose a request.
+            dader_obs::fault::maybe_crash("serve.worker");
+            let job = {
+                let rx = jobs.lock().unwrap_or_else(|e| e.into_inner());
+                match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // event loop dropped the sender: drain done
                 }
+            };
+            let dones = run_job(&job);
+            if results.send(dones).is_err() {
+                break; // event loop gone; nothing left to serve
             }
         })
         .expect("spawn inference worker")
@@ -251,15 +268,22 @@ fn run_job(job: &BatchJob) -> Vec<Done> {
 }
 
 /// The actual scoring: all pair items of the batch go through one
-/// [`predict_pairs`](dader_core::InferenceModel::predict_pairs) call
+/// contained [`predict_contained`](super::predict_contained) call
 /// (batch-composition-invariant, so pooling across connections cannot
-/// change results), table items through
-/// [`match_tables`](super::MatchServer::match_tables).
+/// change results; a panicking pair is bisected down to a single typed
+/// `internal` error), table items through
+/// [`match_tables`](super::MatchServer::match_tables). A request whose
+/// deadline passed while it sat in the queue is shed here — answered
+/// with `deadline_exceeded` instead of scored.
 fn score_items(job: &BatchJob) -> Vec<Done> {
     let server = &job.model.server;
+    let now = Instant::now();
+    let expired =
+        |w: &WorkItem| w.timeline.deadline.map(|d| d < now).unwrap_or(false);
     let pairs: Vec<dader_core::EntityPair> = job
         .items
         .iter()
+        .filter(|w| !expired(w))
         .filter_map(|w| match &w.kind {
             WorkKind::Pair { a, b, .. } => Some((a.clone(), b.clone())),
             WorkKind::Table(_) => None,
@@ -271,36 +295,80 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
     // All pair items share the batch's forward-pass interval; each table
     // item gets its own interval around its own match run below.
     let infer_start = Instant::now();
-    let preds = server
-        .model
-        .predict_pairs(&pairs, &server.encoder, job.batch_size);
+    let preds = predict_contained(&server.model, &server.encoder, &pairs, job.batch_size);
     let infer_end = Instant::now();
-    metrics().scored_pairs.add(preds.len() as u64);
+    metrics().scored_pairs.add(preds.iter().filter(|p| p.is_some()).count() as u64);
     let mut preds = preds.into_iter();
     job.items
         .iter()
         .map(|w| {
             let mut timeline = w.timeline;
-            let (body, scored) = match &w.kind {
-                WorkKind::Pair { id, .. } => {
-                    timeline.infer_start = Some(infer_start);
-                    timeline.infer_end = Some(infer_end);
-                    let (label, prob) = preds.next().expect("one prediction per pair item");
-                    (pair_body(id.clone(), label, prob), 1)
-                }
-                WorkKind::Table(req) => {
-                    timeline.infer_start = Some(Instant::now());
-                    let outcome = server.match_tables(
-                        &req.left,
-                        &req.right,
-                        req.kind,
-                        req.k,
-                        job.batch_size,
-                        req.threshold,
-                    );
-                    timeline.infer_end = Some(Instant::now());
-                    metrics().scored_pairs.add(outcome.candidates as u64);
-                    (table_body(req.id.clone(), &outcome), outcome.candidates)
+            let (body, scored, is_error) = if expired(w) {
+                admission::count_shed("deadline");
+                (
+                    error_body(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline exceeded before dispatch; request shed",
+                        None,
+                    ),
+                    0,
+                    true,
+                )
+            } else {
+                match &w.kind {
+                    WorkKind::Pair { id, .. } => {
+                        timeline.infer_start = Some(infer_start);
+                        timeline.infer_end = Some(infer_end);
+                        match preds.next().expect("one prediction slot per pair item") {
+                            Some((label, prob)) => (pair_body(id.clone(), label, prob), 1, false),
+                            None => (
+                                error_body(
+                                    ErrorCode::Internal,
+                                    "inference failed for this request; retry",
+                                    None,
+                                ),
+                                0,
+                                true,
+                            ),
+                        }
+                    }
+                    WorkKind::Table(req) => {
+                        timeline.infer_start = Some(Instant::now());
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            dader_obs::fault::maybe_crash("serve.infer");
+                            server.match_tables(
+                                &req.left,
+                                &req.right,
+                                req.kind,
+                                req.k,
+                                job.batch_size,
+                                req.threshold,
+                            )
+                        }));
+                        timeline.infer_end = Some(Instant::now());
+                        match attempt {
+                            Ok(outcome) => {
+                                metrics().scored_pairs.add(outcome.candidates as u64);
+                                (
+                                    table_body(req.id.clone(), &outcome),
+                                    outcome.candidates,
+                                    false,
+                                )
+                            }
+                            Err(_) => {
+                                metrics().worker_panics.inc();
+                                (
+                                    error_body(
+                                        ErrorCode::Internal,
+                                        "inference failed for this request; retry",
+                                        None,
+                                    ),
+                                    0,
+                                    true,
+                                )
+                            }
+                        }
+                    }
                 }
             };
             Done {
@@ -310,7 +378,7 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
                 body,
                 version: job.model.version.clone(),
                 scored,
-                is_error: false,
+                is_error,
             }
         })
         .collect()
@@ -383,6 +451,7 @@ mod tests {
                 k: 1,
                 threshold: None,
                 timings: false,
+                deadline_ms: None,
             })),
         });
         assert_eq!(b.should_flush(now, false, 0), Some(FlushReason::Table));

@@ -269,6 +269,13 @@ impl Conn {
     /// `Ok(true)` if any bytes moved. `WouldBlock` is not an error — the
     /// caller arms the write deadline instead.
     pub(crate) fn flush_writes(&mut self) -> std::io::Result<bool> {
+        // Chaos failpoint: any armed `serve.write` action surfaces as an
+        // I/O error on this connection (dropped like a real peer failure
+        // — the client reconnects and retries). Never a panic: writes run
+        // on the poller thread.
+        if self.has_output() && dader_obs::fault::check("serve.write").is_some() {
+            return Err(std::io::Error::other("fault injected: serve.write"));
+        }
         let mut progressed = false;
         while self.out_pos < self.out_buf.len() {
             match self.stream.write(&self.out_buf[self.out_pos..]) {

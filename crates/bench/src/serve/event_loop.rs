@@ -29,12 +29,13 @@ use std::io::ErrorKind;
 use std::net::TcpListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dader_obs::trace::{self, Stage};
 use serde::Value;
 
+use super::admission::{self, Admission};
 use super::batch::{spawn_inference_worker, BatchJob, Batcher, WorkItem, WorkKind};
 use super::conn::{Completed, Conn, DeadlineKind, Deadlines, LineEvent};
 use super::registry::ModelRegistry;
@@ -46,11 +47,6 @@ use super::{
 /// Idle-pass sleep: long enough to keep the empty loop cold on one CPU,
 /// short enough that accept latency stays sub-millisecond.
 const IDLE_SLEEP: Duration = Duration::from_micros(200);
-
-/// Read high-water mark, in multiples of the batch size: past this many
-/// queued requests the loop stops reading sockets and lets TCP backpressure
-/// slow the senders, instead of buffering without bound.
-const QUEUE_HIGH_WATER_BATCHES: usize = 8;
 
 /// Serve the line protocol on `listener` until `stop` is raised, pooling
 /// requests from all connections into shared inference batches (flushed on
@@ -73,7 +69,11 @@ pub fn serve_event_loop(
     listener.set_nonblocking(true)?;
     let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
     let (done_tx, done_rx) = mpsc::channel();
-    let worker = spawn_inference_worker(job_rx, done_tx);
+    // The receiver is shared so a respawned worker (after an uncontained
+    // panic) picks up queued jobs where its predecessor left off.
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let mut worker = spawn_inference_worker(Arc::clone(&job_rx), done_tx.clone());
+    let mut admission = Admission::new(cfg.max_queue);
 
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_conn_id = 0usize;
@@ -110,6 +110,22 @@ pub fn serve_event_loop(
                     );
                 }
             }
+        }
+
+        // 1b. Self-heal: a worker that died mid-service (an uncontained
+        // panic — e.g. the `serve.worker` chaos kill-point) is replaced
+        // before any more batches are submitted. Queued jobs survive in
+        // the shared channel; any job it held died with it and its
+        // requests are answered by the send-failure fallback below.
+        if worker.is_finished() {
+            let fresh = spawn_inference_worker(Arc::clone(&job_rx), done_tx.clone());
+            let old = std::mem::replace(&mut worker, fresh);
+            if old.join().is_err() {
+                metrics().worker_panics.inc();
+            }
+            dader_obs::counter("serve_worker_respawns_total").inc();
+            crate::note!("dader-serve: inference worker died; respawned");
+            progress = true;
         }
 
         // 2. Accept — never past `stop`, never blocking, reject never writes.
@@ -166,10 +182,11 @@ pub fn serve_event_loop(
             }
         }
 
-        // 3. Read and parse — unless the queue is past the high-water mark,
-        // in which case TCP backpressure does the flow control.
+        // 3. Read and parse — unless the queue is past its high-water
+        // mark (`cfg.max_queue`), in which case TCP backpressure does the
+        // flow control; reads resume below the low-water mark.
         let mut dead: Vec<usize> = Vec::new();
-        if batcher.len() < cfg.batch_size * QUEUE_HIGH_WATER_BATCHES {
+        if admission.reads_allowed(batcher.len()) {
             let ids: Vec<usize> = conns.keys().copied().collect();
             for id in ids {
                 let c = conns.get_mut(&id).expect("conn present");
@@ -224,25 +241,80 @@ pub fn serve_event_loop(
                             match parsed {
                                 Parsed::Ok(req) => {
                                     let seq = c.alloc_seq();
-                                    batcher.push(WorkItem {
-                                        conn: id,
-                                        seq,
-                                        timeline,
-                                        kind: WorkKind::Pair {
-                                            id: req.id,
-                                            a: req.a,
-                                            b: req.b,
-                                        },
-                                    });
+                                    // One read pass can assemble many lines
+                                    // after the watermark check — those over
+                                    // the cap are shed, never queued.
+                                    if admission.must_shed(batcher.len()) {
+                                        admission::count_shed("queue_full");
+                                        c.complete(
+                                            seq,
+                                            Completed {
+                                                timeline,
+                                                body: error_body(
+                                                    ErrorCode::Overloaded,
+                                                    &format!(
+                                                        "server queue full ({}); retry later",
+                                                        cfg.max_queue
+                                                    ),
+                                                    Some(lineno),
+                                                ),
+                                                version: None,
+                                                scored: 0,
+                                                is_error: true,
+                                            },
+                                        );
+                                    } else {
+                                        timeline.deadline = admission::resolve_deadline(
+                                            arrival,
+                                            req.deadline_ms,
+                                            cfg.limits.default_deadline,
+                                        );
+                                        batcher.push(WorkItem {
+                                            conn: id,
+                                            seq,
+                                            timeline,
+                                            kind: WorkKind::Pair {
+                                                id: req.id,
+                                                a: req.a,
+                                                b: req.b,
+                                            },
+                                        });
+                                    }
                                 }
                                 Parsed::Table(req) => {
                                     let seq = c.alloc_seq();
-                                    batcher.push(WorkItem {
-                                        conn: id,
-                                        seq,
-                                        timeline,
-                                        kind: WorkKind::Table(req),
-                                    });
+                                    if admission.must_shed(batcher.len()) {
+                                        admission::count_shed("queue_full");
+                                        c.complete(
+                                            seq,
+                                            Completed {
+                                                timeline,
+                                                body: error_body(
+                                                    ErrorCode::Overloaded,
+                                                    &format!(
+                                                        "server queue full ({}); retry later",
+                                                        cfg.max_queue
+                                                    ),
+                                                    Some(lineno),
+                                                ),
+                                                version: None,
+                                                scored: 0,
+                                                is_error: true,
+                                            },
+                                        );
+                                    } else {
+                                        timeline.deadline = admission::resolve_deadline(
+                                            arrival,
+                                            req.deadline_ms,
+                                            cfg.limits.default_deadline,
+                                        );
+                                        batcher.push(WorkItem {
+                                            conn: id,
+                                            seq,
+                                            timeline,
+                                            kind: WorkKind::Table(req),
+                                        });
+                                    }
                                 }
                                 Parsed::Reload(path) => {
                                     // Swap happens inline: the new artifact

@@ -55,6 +55,7 @@
 //! (`serve_request_latency_us`, `serve_batch_size`, `serve_requests_total`,
 //! `serve_errors_total`) that `dader-serve --metrics-addr` exposes.
 
+pub mod admission;
 pub mod batch;
 pub mod conn;
 pub mod event_loop;
@@ -66,6 +67,7 @@ pub use registry::{ModelRegistry, VersionedModel};
 pub use status::spawn_status_endpoint;
 
 use std::io::{BufRead, ErrorKind, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -116,6 +118,10 @@ pub(crate) struct ServeMetrics {
     /// Sliding-window request latency: p50/p99 and rate over the last
     /// [`WINDOW_SECS`] seconds, for the `/status` snapshot.
     pub(crate) latency_window: WindowedHistogram,
+    /// Sliding-window goodput: only successful (non-error) responses are
+    /// observed, so its rate is useful work per second while shed and
+    /// failed requests are excluded — the overload-behavior headline.
+    pub(crate) goodput_window: WindowedHistogram,
 }
 
 /// Length of the sliding SLO window, seconds.
@@ -148,6 +154,11 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
         scored_pairs: dader_obs::counter("serve_scored_pairs_total"),
         latency_window: dader_obs::windowed(
             "serve_request_latency_us_window",
+            &dader_obs::metrics::LATENCY_US_BUCKETS,
+            WINDOW_SECS,
+        ),
+        goodput_window: dader_obs::windowed(
+            "serve_goodput_window",
             &dader_obs::metrics::LATENCY_US_BUCKETS,
             WINDOW_SECS,
         ),
@@ -184,6 +195,9 @@ pub(crate) struct Timeline {
     pub(crate) infer_start: Option<Instant>,
     /// Inference worker finished scoring.
     pub(crate) infer_end: Option<Instant>,
+    /// When this request stops being worth answering: past this instant
+    /// it is shed with `deadline_exceeded` at dispatch instead of scored.
+    pub(crate) deadline: Option<Instant>,
     /// Occupancy of the batch this request rode in.
     pub(crate) occupancy: u32,
     /// Why that batch flushed.
@@ -205,6 +219,7 @@ impl Timeline {
             flushed: None,
             infer_start: None,
             infer_end: None,
+            deadline: None,
             occupancy: 0,
             reason: None,
             traced: trace::sample_request(),
@@ -267,6 +282,9 @@ pub(crate) fn stamp_and_finalize(
     let latency_us = now.saturating_duration_since(timeline.arrival).as_micros();
     m.latency_us.observe(latency_us as f64);
     m.latency_window.observe_at(latency_us as f64, now);
+    if !body.iter().any(|(k, _)| k == "error") {
+        m.goodput_window.observe_at(latency_us as f64, now);
+    }
     let rid = next_rid();
     if timeline.want_timings {
         body.push((
@@ -338,8 +356,13 @@ pub enum ErrorCode {
     LineTooLong,
     /// The connection idled past the read timeout.
     Timeout,
-    /// The server is at its connection cap.
+    /// The server is at its connection cap, or its admission queue is
+    /// full (load shedding) — back off and retry.
     Overloaded,
+    /// The request's deadline (its `deadline_ms` field, or the server's
+    /// `--default-deadline-ms`) passed before it could be scored; it was
+    /// shed instead of wasting inference cycles on a stale answer.
+    DeadlineExceeded,
     /// A server-side failure unrelated to the request.
     Internal,
 }
@@ -353,6 +376,7 @@ impl ErrorCode {
             ErrorCode::LineTooLong => "line_too_long",
             ErrorCode::Timeout => "timeout",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -362,7 +386,10 @@ impl ErrorCode {
     pub fn retryable(self) -> bool {
         matches!(
             self,
-            ErrorCode::Timeout | ErrorCode::Overloaded | ErrorCode::Internal
+            ErrorCode::Timeout
+                | ErrorCode::Overloaded
+                | ErrorCode::DeadlineExceeded
+                | ErrorCode::Internal
         )
     }
 }
@@ -381,6 +408,11 @@ pub struct ServeLimits {
     /// Socket write timeout (TCP mode): a client that stops draining
     /// responses has its connection dropped. `None` waits forever.
     pub write_timeout: Option<Duration>,
+    /// Default per-request deadline: a request still waiting past this
+    /// at dispatch is shed with a retryable `deadline_exceeded` error
+    /// instead of scored. A request's own `deadline_ms` field overrides
+    /// it; `None` (the default) never sheds on time.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServeLimits {
@@ -389,6 +421,7 @@ impl Default for ServeLimits {
             max_line_bytes: 1 << 20, // 1 MiB
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            default_deadline: None,
         }
     }
 }
@@ -411,6 +444,9 @@ pub(crate) struct PairRequest {
     pub(crate) a: Vec<(String, String)>,
     pub(crate) b: Vec<(String, String)>,
     pub(crate) timings: bool,
+    /// Client-supplied latency budget in milliseconds (overrides the
+    /// server's default deadline for this request).
+    pub(crate) deadline_ms: Option<u64>,
 }
 
 /// A `match_table` request: two whole tables to block and score.
@@ -422,6 +458,8 @@ pub(crate) struct TableRequest {
     pub(crate) k: usize,
     pub(crate) threshold: Option<f32>,
     pub(crate) timings: bool,
+    /// Client-supplied latency budget in milliseconds.
+    pub(crate) deadline_ms: Option<u64>,
 }
 
 /// Outcome of one input line: a request to score, a whole-table match
@@ -451,11 +489,31 @@ impl Parsed {
             _ => false,
         }
     }
+
+    /// The request's own latency budget, where it stated one.
+    pub(crate) fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            Parsed::Ok(req) => req.deadline_ms,
+            Parsed::Table(req) => req.deadline_ms,
+            _ => None,
+        }
+    }
 }
 
 /// Read the optional boolean `timings` flag off a request object.
 fn timings_flag(v: &Value) -> bool {
     matches!(v.get("timings"), Some(Value::Bool(true)))
+}
+
+/// Read the optional `deadline_ms` latency budget off a request object.
+fn deadline_field(v: &Value, lineno: usize) -> Result<Option<u64>, String> {
+    match v.get("deadline_ms") {
+        None => Ok(None),
+        Some(Value::Number(n)) if *n >= 0.0 && n.trunc() == *n => Ok(Some(*n as u64)),
+        Some(_) => Err(format!(
+            "line {lineno}: `deadline_ms` must be a non-negative integer"
+        )),
+    }
 }
 
 /// One bounded read from the input stream.
@@ -747,6 +805,8 @@ impl MatchServer {
                     let parsed = parse_request(&line, lineno);
                     let mut timeline = Timeline::start(arrival);
                     timeline.want_timings = parsed.wants_timings();
+                    timeline.deadline =
+                        admission::resolve_deadline(arrival, parsed.deadline_ms(), limits.default_deadline);
                     window.push((lineno, timeline, parsed));
                     match window.last() {
                         Some((_, _, Parsed::Ok(_))) => pending += 1,
@@ -796,6 +856,21 @@ impl MatchServer {
     ) -> std::io::Result<usize> {
         let m = metrics();
         let flushed_at = Instant::now();
+        // Deadline shed: a request whose deadline passed while it waited
+        // in the window never reaches the model — it is answered with the
+        // retryable `deadline_exceeded` error instead (the client has
+        // already stopped waiting; scoring it would only steal capacity
+        // from requests that can still make their deadlines).
+        for (_, timeline, parsed) in window.iter_mut() {
+            let expired = timeline.deadline.map(|d| d < flushed_at).unwrap_or(false);
+            if expired && matches!(parsed, Parsed::Ok(_) | Parsed::Table(_)) {
+                admission::count_shed("deadline");
+                *parsed = Parsed::Err(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline exceeded before dispatch; request shed".to_string(),
+                );
+            }
+        }
         let pairs: Vec<dader_core::EntityPair> = window
             .iter()
             .filter_map(|(_, _, p)| match p {
@@ -808,10 +883,10 @@ impl MatchServer {
         }
         let occupancy = pairs.len() as u32;
         let infer_start = Instant::now();
-        let preds = self.model.predict_pairs(&pairs, &self.encoder, batch_size);
+        let preds = predict_contained(&self.model, &self.encoder, &pairs, batch_size);
         let infer_end = Instant::now();
-        let mut scored = preds.len();
-        m.scored_pairs.add(preds.len() as u64);
+        let mut scored = preds.iter().filter(|p| p.is_some()).count();
+        m.scored_pairs.add(scored as u64);
         let mut preds = preds.into_iter();
         for (lineno, mut timeline, parsed) in window.drain(..) {
             m.requests.inc();
@@ -821,8 +896,17 @@ impl MatchServer {
                     timeline.occupancy = occupancy;
                     timeline.infer_start = Some(infer_start);
                     timeline.infer_end = Some(infer_end);
-                    let (label, prob) = preds.next().expect("one prediction per Ok line");
-                    pair_body(req.id, label, prob)
+                    match preds.next().expect("one prediction slot per Ok line") {
+                        Some((label, prob)) => pair_body(req.id, label, prob),
+                        None => {
+                            m.errors.inc();
+                            error_body(
+                                ErrorCode::Internal,
+                                &format!("line {lineno}: inference failed for this request"),
+                                Some(lineno),
+                            )
+                        }
+                    }
                 }
                 Parsed::Table(req) => {
                     // A table request is its own single-occupant batch;
@@ -830,20 +914,36 @@ impl MatchServer {
                     timeline.flushed = Some(flushed_at);
                     timeline.occupancy = 1;
                     timeline.infer_start = Some(Instant::now());
-                    let outcome = crate::matching::match_tables(
-                        &self.model,
-                        &self.encoder,
-                        &req.left,
-                        &req.right,
-                        req.kind,
-                        req.k,
-                        batch_size,
-                        req.threshold,
-                    );
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        dader_obs::fault::maybe_crash("serve.infer");
+                        crate::matching::match_tables(
+                            &self.model,
+                            &self.encoder,
+                            &req.left,
+                            &req.right,
+                            req.kind,
+                            req.k,
+                            batch_size,
+                            req.threshold,
+                        )
+                    }));
                     timeline.infer_end = Some(Instant::now());
-                    scored += outcome.candidates;
-                    m.scored_pairs.add(outcome.candidates as u64);
-                    table_body(req.id, &outcome)
+                    match attempt {
+                        Ok(outcome) => {
+                            scored += outcome.candidates;
+                            m.scored_pairs.add(outcome.candidates as u64);
+                            table_body(req.id, &outcome)
+                        }
+                        Err(_) => {
+                            m.worker_panics.inc();
+                            m.errors.inc();
+                            error_body(
+                                ErrorCode::Internal,
+                                &format!("line {lineno}: inference failed for this request"),
+                                Some(lineno),
+                            )
+                        }
+                    }
                 }
                 Parsed::Reload(_) => {
                     m.errors.inc();
@@ -897,6 +997,15 @@ fn scalar_attrs(val: &Value, what: &str, lineno: usize) -> Result<Vec<(String, S
 /// Parse one request line; every failure becomes an error message naming
 /// the line, so the caller can keep serving.
 pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
+    // Chaos failpoint: any armed `serve.parse` action becomes a typed
+    // `internal` error response (never a panic — parsing runs on the
+    // poller thread, which must survive whatever the harness injects).
+    if dader_obs::fault::check("serve.parse").is_some() {
+        return Parsed::Err(
+            ErrorCode::Internal,
+            format!("line {lineno}: fault injected: serve.parse"),
+        );
+    }
     let v: Value = match serde_json::from_str(line) {
         Ok(v) => v,
         Err(e) => {
@@ -951,11 +1060,16 @@ pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
         Ok(b) => b,
         Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
+    let deadline_ms = match deadline_field(&v, lineno) {
+        Ok(d) => d,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
     Parsed::Ok(PairRequest {
         id: v.get("id").cloned(),
         a,
         b,
         timings: timings_flag(&v),
+        deadline_ms,
     })
 }
 
@@ -1026,6 +1140,10 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
             )
         }
     };
+    let deadline_ms = match deadline_field(v, lineno) {
+        Ok(d) => d,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
     Parsed::Table(Box::new(TableRequest {
         id: v.get("id").cloned(),
         left,
@@ -1034,6 +1152,7 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
         k,
         threshold,
         timings: timings_flag(v),
+        deadline_ms,
     }))
 }
 
@@ -1059,6 +1178,13 @@ pub struct TcpServeConfig {
     /// request is never held longer than this waiting for the batch to
     /// fill. Trades p50 latency for GEMM batch occupancy.
     pub flush_us: u64,
+    /// Admission bound on the pending-request queue (event loop only).
+    /// At this depth socket reads pause (TCP backpressure) and resume
+    /// below half of it; a request parsed while the queue is already
+    /// full is shed with a retryable `overloaded` error instead of
+    /// queued — the server's memory stays bounded under any offered
+    /// load.
+    pub max_queue: usize,
 }
 
 impl Default for TcpServeConfig {
@@ -1068,6 +1194,41 @@ impl Default for TcpServeConfig {
             batch_size: 32,
             max_conns: 64,
             flush_us: 1_000,
+            max_queue: 256,
+        }
+    }
+}
+
+/// Score `pairs` with panic containment: a forward pass that panics (a
+/// poisoned request, or an injected `serve.infer` fault) is bisected so
+/// only the offending pair loses its prediction — `None` in its slot,
+/// which the caller answers with a typed retryable `internal` error —
+/// while every other request in the batch still gets scored. Each panic
+/// is counted in `serve_worker_panics_total`.
+pub(crate) fn predict_contained(
+    model: &InferenceModel,
+    encoder: &PairEncoder,
+    pairs: &[dader_core::EntityPair],
+    batch_size: usize,
+) -> Vec<Option<(usize, f32)>> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        dader_obs::fault::maybe_crash("serve.infer");
+        model.predict_pairs(pairs, encoder, batch_size)
+    }));
+    match attempt {
+        Ok(preds) => preds.into_iter().map(Some).collect(),
+        Err(_) => {
+            metrics().worker_panics.inc();
+            if pairs.len() == 1 {
+                return vec![None];
+            }
+            let mid = pairs.len() / 2;
+            let mut out = predict_contained(model, encoder, &pairs[..mid], batch_size);
+            out.extend(predict_contained(model, encoder, &pairs[mid..], batch_size));
+            out
         }
     }
 }
@@ -1502,6 +1663,7 @@ mod tests {
             (ErrorCode::LineTooLong, "line_too_long", false),
             (ErrorCode::Timeout, "timeout", true),
             (ErrorCode::Overloaded, "overloaded", true),
+            (ErrorCode::DeadlineExceeded, "deadline_exceeded", true),
             (ErrorCode::Internal, "internal", true),
         ] {
             assert_eq!(code.as_str(), name);

@@ -17,8 +17,26 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use super::{metrics, MatchServer};
+
+/// Consecutive reload failures before the breaker opens.
+const BREAKER_THRESHOLD: u32 = 3;
+/// Backoff after the breaker first opens; doubles per further failure.
+const BREAKER_BASE_BACKOFF: Duration = Duration::from_millis(500);
+/// Backoff ceiling — a broken artifact path should retry every half
+/// minute, not never.
+const BREAKER_MAX_BACKOFF: Duration = Duration::from_secs(30);
+
+/// Reload circuit breaker: consecutive failures open it, and while open
+/// reloads fast-fail without touching the filesystem. A successful
+/// install closes it.
+#[derive(Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
 
 /// One served model plus its registry version tag.
 pub struct VersionedModel {
@@ -34,6 +52,7 @@ pub struct ModelRegistry {
     current: Mutex<Arc<VersionedModel>>,
     artifact_path: Mutex<Option<PathBuf>>,
     generation: AtomicU64,
+    breaker: Mutex<BreakerState>,
 }
 
 impl ModelRegistry {
@@ -47,6 +66,7 @@ impl ModelRegistry {
             })),
             artifact_path: Mutex::new(None),
             generation: AtomicU64::new(1),
+            breaker: Mutex::new(BreakerState::default()),
         }
     }
 
@@ -92,7 +112,37 @@ impl ModelRegistry {
             version: version.clone(),
         });
         metrics().reloads.inc();
+        // A working model closes the breaker: the failure streak is over.
+        *self.breaker.lock().unwrap() = BreakerState::default();
+        dader_obs::gauge("serve_reload_breaker_open").set(0.0);
         version
+    }
+
+    /// Whether the reload circuit breaker is currently open (reloads
+    /// fast-fail). Feeds `GET /healthz` and the status snapshot.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker
+            .lock()
+            .unwrap()
+            .open_until
+            .map(|t| Instant::now() < t)
+            .unwrap_or(false)
+    }
+
+    /// Record one reload failure: after [`BREAKER_THRESHOLD`] consecutive
+    /// failures the breaker opens with exponential backoff (doubling per
+    /// further failure, capped at [`BREAKER_MAX_BACKOFF`]).
+    fn record_reload_failure(&self) {
+        let mut b = self.breaker.lock().unwrap();
+        b.consecutive_failures += 1;
+        dader_obs::counter("serve_reload_failures_total").inc();
+        if b.consecutive_failures >= BREAKER_THRESHOLD {
+            let doublings = (b.consecutive_failures - BREAKER_THRESHOLD).min(16);
+            let backoff =
+                (BREAKER_BASE_BACKOFF * 2u32.pow(doublings)).min(BREAKER_MAX_BACKOFF);
+            b.open_until = Some(Instant::now() + backoff);
+            dader_obs::gauge("serve_reload_breaker_open").set(1.0);
+        }
     }
 
     /// Reload from `path_override`, or from the path on file. The new
@@ -100,7 +150,42 @@ impl ModelRegistry {
     /// failure leaves the current model serving untouched. On success the
     /// override (if any) becomes the new path on file, and the new version
     /// tag is returned.
+    /// [`try_reload`](Self::try_reload) behind the circuit breaker: while
+    /// the breaker is open the reload fast-fails without touching the
+    /// filesystem (the cause of the streak is still being fixed — load
+    /// attempts would only burn serving-thread time), and fast-fails do
+    /// not extend the backoff. A successful reload closes the breaker.
     pub fn reload(&self, path_override: Option<&Path>) -> Result<String, String> {
+        {
+            let b = self.breaker.lock().unwrap();
+            if let Some(until) = b.open_until {
+                let now = Instant::now();
+                if now < until {
+                    return Err(format!(
+                        "reload breaker open after {} consecutive failures; retry in {:.1}s",
+                        b.consecutive_failures,
+                        (until - now).as_secs_f64()
+                    ));
+                }
+                // Half-open: the backoff elapsed, let this attempt through.
+            }
+        }
+        match self.try_reload(path_override) {
+            Ok(version) => Ok(version),
+            Err(msg) => {
+                self.record_reload_failure();
+                Err(msg)
+            }
+        }
+    }
+
+    /// One reload attempt, breaker not consulted.
+    fn try_reload(&self, path_override: Option<&Path>) -> Result<String, String> {
+        // Chaos failpoint: any armed `serve.reload` action becomes a
+        // reload failure routed through the breaker accounting.
+        if dader_obs::fault::check("serve.reload").is_some() {
+            return Err("fault injected: serve.reload".to_string());
+        }
         let path = match path_override {
             Some(p) => p.to_path_buf(),
             None => self
@@ -181,5 +266,43 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("cannot load artifact"), "{err}");
         assert_eq!(reg.version(), "v1");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_fast_fails() {
+        let reg = ModelRegistry::new(tiny_server(5));
+        let missing = Path::new("/definitely/not/here.dma");
+        for _ in 0..BREAKER_THRESHOLD {
+            let err = reg.reload(Some(missing)).unwrap_err();
+            assert!(err.contains("cannot load artifact"), "{err}");
+        }
+        assert!(reg.breaker_open(), "threshold reached: breaker must open");
+        // While open, reloads fast-fail without a load attempt — the
+        // message names the breaker, not the artifact.
+        let err = reg.reload(Some(missing)).unwrap_err();
+        assert!(err.contains("reload breaker open"), "{err}");
+        assert_eq!(reg.version(), "v1", "nothing swapped through the streak");
+        // Fast-fails do not extend the backoff: the breaker half-opens
+        // once the base backoff elapses.
+        std::thread::sleep(BREAKER_BASE_BACKOFF + Duration::from_millis(100));
+        let err = reg.reload(Some(missing)).unwrap_err();
+        assert!(
+            err.contains("cannot load artifact"),
+            "half-open must attempt a real reload, got: {err}"
+        );
+        assert!(reg.breaker_open(), "the failed retry re-opens the breaker");
+    }
+
+    #[test]
+    fn successful_install_closes_the_breaker() {
+        let reg = ModelRegistry::new(tiny_server(6));
+        let missing = Path::new("/definitely/not/here.dma");
+        for _ in 0..BREAKER_THRESHOLD {
+            let _ = reg.reload(Some(missing)).unwrap_err();
+        }
+        assert!(reg.breaker_open());
+        let v2 = reg.install(tiny_server(7));
+        assert_eq!(v2, "v2");
+        assert!(!reg.breaker_open(), "a working model closes the breaker");
     }
 }

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use serde::Value;
 
 use super::registry::ModelRegistry;
-use super::{metrics, WINDOW_SECS};
+use super::{admission, metrics, WINDOW_SECS};
 
 /// How long a connection may stay silent before it is treated as a bare
 /// (request-line-less) scrape and answered with the raw metrics dump.
@@ -84,6 +84,19 @@ pub(crate) fn status_snapshot(registry: Option<&ModelRegistry>) -> Value {
             "worker_panics".to_string(),
             Value::Int(m.worker_panics.get() as i64),
         ),
+        (
+            "worker_respawns".to_string(),
+            Value::Int(dader_obs::counter("serve_worker_respawns_total").get() as i64),
+        ),
+        (
+            "shed".to_string(),
+            Value::Object(
+                admission::shed_counts()
+                    .into_iter()
+                    .map(|(reason, n)| (reason.to_string(), Value::Int(n as i64)))
+                    .collect(),
+            ),
+        ),
         ("reloads".to_string(), Value::Int(m.reloads.get() as i64)),
         (
             "window".to_string(),
@@ -98,6 +111,17 @@ pub(crate) fn status_snapshot(registry: Option<&ModelRegistry>) -> Value {
                 ("p99_us".to_string(), opt(w.p99)),
             ]),
         ),
+        ("goodput".to_string(), {
+            let g = m.goodput_window.snapshot();
+            Value::Object(vec![
+                (
+                    "window_secs".to_string(),
+                    Value::Int(WINDOW_SECS as i64),
+                ),
+                ("count".to_string(), Value::Int(g.count as i64)),
+                ("rate".to_string(), Value::Number(g.rate)),
+            ])
+        }),
         (
             "trace".to_string(),
             Value::Object(vec![
@@ -120,6 +144,10 @@ pub(crate) fn status_snapshot(registry: Option<&ModelRegistry>) -> Value {
                 (
                     "generation".to_string(),
                     Value::Int(reg.generation() as i64),
+                ),
+                (
+                    "reload_breaker_open".to_string(),
+                    Value::Bool(reg.breaker_open()),
                 ),
             ]),
         ));
@@ -149,7 +177,34 @@ pub(crate) fn metrics_text() -> String {
         "serve_request_latency_us_window_p99 {}\n",
         w.p99.unwrap_or(f64::NAN)
     ));
+    let g = metrics().goodput_window.snapshot();
+    text.push_str(&format!("serve_goodput_window_count {}\n", g.count));
+    text.push_str(&format!("serve_goodput_window_rate {}\n", g.rate));
     text
+}
+
+/// The `GET /healthz` body + status: 200 while the server is accepting
+/// work, 503 (with a machine-readable reason) while it is shedding load
+/// or the reload breaker is open — the signal a load balancer uses to
+/// route around an overloaded or degraded node.
+fn healthz(registry: Option<&ModelRegistry>) -> (u16, &'static str, String) {
+    let breaker = registry.map(|r| r.breaker_open()).unwrap_or(false);
+    let shedding = admission::is_shedding();
+    if breaker {
+        (
+            503,
+            "Service Unavailable",
+            "{\"ok\": false, \"reason\": \"reload_breaker_open\"}\n".to_string(),
+        )
+    } else if shedding {
+        (
+            503,
+            "Service Unavailable",
+            "{\"ok\": false, \"reason\": \"shedding\"}\n".to_string(),
+        )
+    } else {
+        (200, "OK", "{\"ok\": true}\n".to_string())
+    }
 }
 
 /// Parse one HTTP request line (`GET /path HTTP/1.0`; the version token
@@ -238,9 +293,19 @@ fn handle_conn(stream: TcpStream, registry: Option<&ModelRegistry>) -> std::io::
             body.push('\n');
             write_http(&mut stream, 200, "OK", "application/json", body.as_bytes())
         }
+        "/healthz" => {
+            let (status, reason, body) = healthz(registry);
+            write_http(
+                &mut stream,
+                status,
+                reason,
+                "application/json",
+                body.as_bytes(),
+            )
+        }
         _ => {
             let body = format!(
-                "{{\"error\": \"unknown path {path}; try /metrics or /status\"}}\n"
+                "{{\"error\": \"unknown path {path}; try /metrics, /status or /healthz\"}}\n"
             );
             write_http(
                 &mut stream,
@@ -316,7 +381,10 @@ mod tests {
             "scored_pairs_total",
             "queue_depth",
             "worker_panics",
+            "worker_respawns",
+            "shed",
             "window",
+            "goodput",
             "trace",
         ] {
             assert!(snap.get(key).is_some(), "missing {key}: {snap:?}");
@@ -341,8 +409,25 @@ mod tests {
             "serve_request_latency_us_window_rate",
             "serve_request_latency_us_window_p50",
             "serve_request_latency_us_window_p99",
+            "serve_goodput_window_count",
+            "serve_goodput_window_rate",
         ] {
             assert!(text.contains(line), "missing {line}");
+        }
+    }
+
+    #[test]
+    fn healthz_reports_ok_without_a_registry() {
+        // No registry and (in this process state) no sustained shedding:
+        // the probe shape is {ok: true} / 200. The 503 paths are covered
+        // by the admission and registry unit tests driving their inputs.
+        let (status, _, body) = healthz(None);
+        if admission::is_shedding() {
+            assert_eq!(status, 503);
+            assert!(body.contains("shedding"), "{body}");
+        } else {
+            assert_eq!(status, 200);
+            assert!(body.contains("\"ok\": true"), "{body}");
         }
     }
 }

@@ -61,6 +61,7 @@ fn fast_cfg() -> TcpServeConfig {
         batch_size: 8,
         max_conns: 64,
         flush_us: 500,
+        ..TcpServeConfig::default()
     }
 }
 

@@ -211,6 +211,7 @@ fn unrecoverable_nan_storm_aborts_with_best_so_far() {
             action: FaultAction::Nan,
             first_hit: 4,
             times: 0,
+            probability: None,
         },
     );
     let out = run(AlignerKind::Mmd, &base_cfg());

@@ -10,21 +10,27 @@
 //!
 //! Arming is programmatic ([`arm`]) or environmental ([`arm_from_env`],
 //! reading `DADER_FAULTS`). The env grammar is a comma-separated list of
-//! `name=action[@nth][xCount]` clauses:
+//! `name=action[@nth|@pPROB][xCount]` clauses:
 //!
 //! ```text
 //! DADER_FAULTS="train.epoch_end=exit@2"        # exit(86) at the 2nd hit
 //! DADER_FAULTS="train.loss=nan@5x1,serve.read=io_error"
+//! DADER_FAULTS="serve.infer=panic@p0.05"      # each hit fires with P=0.05
 //! ```
 //!
 //! `@nth` (default 1) is the 1-based hit at which the fault first fires;
 //! `xCount` (default 1) is how many consecutive hits fire, with `x0`
-//! meaning "every hit from `@nth` on". Every firing increments the
-//! `fault_injections_total` counter so telemetry shows exactly what a
-//! test injected.
+//! meaning "every hit from `@nth` on". `@pPROB` instead makes *every* hit
+//! an independent Bernoulli trial with probability `PROB` ∈ [0, 1] —
+//! the chaos-test mode, where failures should be scattered rather than
+//! scheduled. The coin flips come from a per-point splitmix64 stream
+//! seeded from `DADER_FAULT_SEED` (or [`set_seed`]) xor the point name,
+//! so a chaos run is exactly reproducible under a fixed seed. Every
+//! firing increments the `fault_injections_total` counter so telemetry
+//! shows exactly what a test injected.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// What an armed fault point does when it fires.
@@ -53,28 +59,46 @@ pub struct FaultSpec {
     pub first_hit: u64,
     /// Number of consecutive hits that fire (0 = unbounded).
     pub times: u64,
+    /// Per-hit firing probability. `None` (the default) fires
+    /// deterministically on every hit inside the window; `Some(p)` makes
+    /// each in-window hit an independent seeded Bernoulli trial.
+    pub probability: Option<f64>,
 }
 
 impl FaultSpec {
     /// Fire once, on the very first hit.
     pub fn once(action: FaultAction) -> FaultSpec {
-        FaultSpec { action, first_hit: 1, times: 1 }
+        FaultSpec { action, first_hit: 1, times: 1, probability: None }
     }
 
     /// Fire once, at the `nth` (1-based) hit.
     pub fn at(action: FaultAction, nth: u64) -> FaultSpec {
-        FaultSpec { action, first_hit: nth.max(1), times: 1 }
+        FaultSpec { action, first_hit: nth.max(1), times: 1, probability: None }
     }
 
     /// Fire on every hit from the first.
     pub fn always(action: FaultAction) -> FaultSpec {
-        FaultSpec { action, first_hit: 1, times: 0 }
+        FaultSpec { action, first_hit: 1, times: 0, probability: None }
+    }
+
+    /// Fire each hit independently with probability `p` (clamped to
+    /// [0, 1]) — the chaos-harness mode, `@pP` in the env grammar.
+    pub fn with_probability(action: FaultAction, p: f64) -> FaultSpec {
+        FaultSpec {
+            action,
+            first_hit: 1,
+            times: 0,
+            probability: Some(p.clamp(0.0, 1.0)),
+        }
     }
 }
 
 struct Armed {
     spec: FaultSpec,
     hits: u64,
+    /// splitmix64 state for the probabilistic coin, seeded from the
+    /// global fault seed xor a hash of the point name at arm time.
+    rng: u64,
 }
 
 /// Fast-path gate: false ⇒ every fault point returns `None` after one
@@ -90,10 +114,52 @@ fn registry() -> std::sync::MutexGuard<'static, HashMap<String, Armed>> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
+/// Seed override for probabilistic firing, applied at `arm` time.
+static SEED: AtomicU64 = AtomicU64::new(0);
+static SEED_SET: AtomicBool = AtomicBool::new(false);
+
+/// Fix the seed for probabilistic (`@pP`) fault points armed after this
+/// call. Without it, the seed comes from `DADER_FAULT_SEED` when set and
+/// a fixed default otherwise — chaos runs are reproducible either way.
+pub fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+    SEED_SET.store(true, Ordering::Relaxed);
+}
+
+fn base_seed() -> u64 {
+    if SEED_SET.load(Ordering::Relaxed) {
+        return SEED.load(Ordering::Relaxed);
+    }
+    std::env::var("DADER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15)
+}
+
+/// FNV-1a, so each point name gets its own deterministic coin stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One splitmix64 step: advances the state and returns a uniform u64.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Arm a fault point. Replaces any existing spec (and resets its hit
-/// count) under the same name.
+/// count and coin stream) under the same name.
 pub fn arm(name: &str, spec: FaultSpec) {
-    registry().insert(name.to_string(), Armed { spec, hits: 0 });
+    let rng = base_seed() ^ hash_name(name);
+    registry().insert(name.to_string(), Armed { spec, hits: 0, rng });
     ANY_ARMED.store(true, Ordering::Release);
 }
 
@@ -140,30 +206,52 @@ pub fn arm_from_env() -> usize {
     }
 }
 
-/// Parse `name=action[@nth][xCount]`.
+/// Parse `name=action[@nth|@pPROB][xCount]`.
 fn parse_clause(clause: &str) -> Option<(String, FaultSpec)> {
     let (name, rest) = clause.split_once('=')?;
     let name = name.trim();
     if name.is_empty() {
         return None;
     }
-    // Strip the optional `@nth` / `xCount` suffixes right-to-left (the
-    // action token itself may contain these letters — `exit`,
+    // Strip the optional `@nth`/`@pPROB` / `xCount` suffixes right-to-left
+    // (the action token itself may contain these letters — `exit`,
     // `delay_ms:250`), leaving the bare action.
     let mut action_str = rest.trim();
     let mut first_hit = 1u64;
     let mut times = 1u64;
+    let mut times_explicit = false;
+    let mut probability = None;
     loop {
         match action_str.rfind(['@', 'x']) {
             Some(i) if i > 0 => {
-                let digits = &action_str[i + 1..];
-                if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                let suffix = &action_str[i + 1..];
+                if action_str.as_bytes()[i] == b'@' {
+                    if let Some(p) = suffix.strip_prefix('p') {
+                        // `@pPROB`: a malformed probability fails the whole
+                        // clause — rounding `@p0.o5` down to "never fire"
+                        // would silently disarm a chaos test.
+                        let p: f64 = p.parse().ok()?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return None;
+                        }
+                        probability = Some(p);
+                        if !times_explicit {
+                            times = 0; // every in-window hit flips the coin
+                        }
+                        action_str = &action_str[..i];
+                        continue;
+                    }
+                }
+                if suffix.is_empty() || !suffix.bytes().all(|b| b.is_ascii_digit()) {
                     break;
                 }
-                let num: u64 = digits.parse().ok()?;
+                let num: u64 = suffix.parse().ok()?;
                 match action_str.as_bytes()[i] {
                     b'@' => first_hit = num.max(1),
-                    _ => times = num,
+                    _ => {
+                        times = num;
+                        times_explicit = true;
+                    }
                 }
                 action_str = &action_str[..i];
             }
@@ -180,7 +268,7 @@ fn parse_clause(clause: &str) -> Option<(String, FaultSpec)> {
         }
         _ => return None,
     };
-    Some((name.to_string(), FaultSpec { action, first_hit, times }))
+    Some((name.to_string(), FaultSpec { action, first_hit, times, probability }))
 }
 
 /// Record a hit on `name`; returns the armed action when this hit falls
@@ -194,8 +282,15 @@ pub fn check(name: &str) -> Option<FaultAction> {
     let armed = reg.get_mut(name)?;
     armed.hits += 1;
     let first = armed.spec.first_hit;
-    let fires = armed.hits >= first
+    let mut fires = armed.hits >= first
         && (armed.spec.times == 0 || armed.hits < first + armed.spec.times);
+    if fires {
+        if let Some(p) = armed.spec.probability {
+            // Seeded Bernoulli trial: 53 uniform mantissa bits → [0, 1).
+            let roll = (splitmix64(&mut armed.rng) >> 11) as f64 / (1u64 << 53) as f64;
+            fires = roll < p;
+        }
+    }
     if !fires {
         return None;
     }
@@ -269,7 +364,10 @@ mod tests {
     fn fires_at_nth_hit_for_count() {
         let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         clear();
-        arm("t.point", FaultSpec { action: FaultAction::Nan, first_hit: 3, times: 2 });
+        arm(
+            "t.point",
+            FaultSpec { action: FaultAction::Nan, first_hit: 3, times: 2, probability: None },
+        );
         assert_eq!(check("t.point"), None);
         assert_eq!(check("t.point"), None);
         assert_eq!(check("t.point"), Some(FaultAction::Nan));
@@ -313,6 +411,70 @@ mod tests {
         assert!(parse_clause("x=unknown_action").is_none());
         assert!(parse_clause("=panic").is_none());
         assert!(parse_clause("x=panic@notanum").is_none());
+    }
+
+    #[test]
+    fn probability_grammar_parses() {
+        let (name, spec) = parse_clause("serve.infer=panic@p0.05").unwrap();
+        assert_eq!(name, "serve.infer");
+        assert_eq!(spec.action, FaultAction::Panic);
+        assert_eq!(spec.probability, Some(0.05));
+        assert_eq!(spec.times, 0, "@p covers every hit by default");
+        assert_eq!(spec.first_hit, 1);
+
+        let (_, spec) = parse_clause("serve.write=io_error@p0.5").unwrap();
+        assert_eq!(spec.probability, Some(0.5));
+
+        // Degenerate but legal endpoints.
+        assert_eq!(parse_clause("a=nan@p0").unwrap().1.probability, Some(0.0));
+        assert_eq!(parse_clause("a=nan@p1").unwrap().1.probability, Some(1.0));
+
+        // `@pP` composes with an explicit firing-count window.
+        let (_, spec) = parse_clause("a=delay_ms:5@p0.25x3").unwrap();
+        assert_eq!(spec.action, FaultAction::DelayMs(5));
+        assert_eq!(spec.probability, Some(0.25));
+        assert_eq!(spec.times, 3);
+
+        // Malformed probabilities fail the whole clause — silently arming
+        // a never-firing chaos point would be worse than a parse error.
+        assert!(parse_clause("a=panic@p1.5").is_none());
+        assert!(parse_clause("a=panic@p-0.1").is_none());
+        assert!(parse_clause("a=panic@pnope").is_none());
+    }
+
+    #[test]
+    fn probabilistic_firing_is_seed_deterministic() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        let pattern = |seed: u64| -> Vec<bool> {
+            set_seed(seed);
+            arm("t.coin", FaultSpec::with_probability(FaultAction::Nan, 0.3));
+            let fired = (0..256).map(|_| check("t.coin").is_some()).collect();
+            clear();
+            fired
+        };
+        let a = pattern(42);
+        let b = pattern(42);
+        assert_eq!(a, b, "same seed ⇒ identical firing pattern");
+        let c = pattern(43);
+        assert_ne!(a, c, "different seed ⇒ different pattern");
+        // The empirical rate lands near p (binomial, n=256, p=0.3:
+        // ±0.15 is > 5 sigma — this cannot flake under a fixed seed).
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((rate - 0.3).abs() < 0.15, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn probability_endpoints_never_and_always_fire() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        arm("t.never", FaultSpec::with_probability(FaultAction::Nan, 0.0));
+        arm("t.always", FaultSpec::with_probability(FaultAction::Nan, 1.0));
+        for _ in 0..64 {
+            assert_eq!(check("t.never"), None);
+            assert_eq!(check("t.always"), Some(FaultAction::Nan));
+        }
+        clear();
     }
 
     #[test]

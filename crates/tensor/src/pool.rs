@@ -21,9 +21,21 @@
 //!
 //! Workers are scoped ([`std::thread::scope`]), so shards may borrow the
 //! caller's stack freely; nothing here requires `'static` data.
+//!
+//! Panic containment: a panic inside one shard must not take the other
+//! workers down with it (a scoped thread that unwinds aborts the join with
+//! a generic "a scoped thread panicked" message, losing the payload and
+//! any still-running shards' work). Every shard body runs under a
+//! [`PanicTrap`]: the first panic payload is captured, the remaining
+//! shards on every worker still run, `pool_worker_panics_total` counts the
+//! event, and the original payload is re-raised on the *calling* thread
+//! after the join — so callers (e.g. the serve batcher's bisection) see
+//! exactly the panic the kernel threw, and the pool is whole for the next
+//! dispatch.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use dader_obs::Counter;
@@ -40,6 +52,42 @@ fn count_serial() {
     static C: OnceLock<Counter> = OnceLock::new();
     C.get_or_init(|| dader_obs::counter("pool_dispatch_serial_total"))
         .inc();
+}
+
+/// Count a contained worker-shard panic.
+fn count_worker_panic() {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| dader_obs::counter("pool_worker_panics_total"))
+        .inc();
+}
+
+/// First-panic capture for one parallel region: shards run through
+/// [`PanicTrap::shard`], which contains the unwind so sibling shards keep
+/// computing; [`PanicTrap::rethrow`] re-raises the first captured payload
+/// on the calling thread after the scope joins.
+struct PanicTrap {
+    first: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl PanicTrap {
+    fn new() -> Self {
+        PanicTrap { first: Mutex::new(None) }
+    }
+
+    fn shard(&self, f: impl FnOnce()) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            count_worker_panic();
+            let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+    }
+
+    fn rethrow(self) {
+        let payload = self.first.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
 }
 
 /// Span-accounting bridge for one parallel region.
@@ -164,14 +212,16 @@ pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
     }
     count_parallel();
     let bridge = SpanBridge::new();
+    let trap = PanicTrap::new();
     std::thread::scope(|scope| {
         let f = &f;
         let bridge = &bridge;
+        let trap = &trap;
         for worker in 1..threads {
             scope.spawn(move || {
                 let mut shard = worker;
                 while shard < n_shards {
-                    f(shard);
+                    trap.shard(|| f(shard));
                     shard += threads;
                 }
                 bridge.worker_done();
@@ -179,11 +229,12 @@ pub fn run_sharded<F: Fn(usize) + Sync>(n_shards: usize, threads: usize, f: F) {
         }
         let mut shard = 0;
         while shard < n_shards {
-            f(shard);
+            trap.shard(|| f(shard));
             shard += threads;
         }
     });
     bridge.finish();
+    trap.rethrow();
 }
 
 /// Split `data` into consecutive `chunk_len`-sized disjoint chunks (the
@@ -217,24 +268,27 @@ pub fn for_each_chunk_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
         per_worker[i % threads].push((i, chunk));
     }
     let bridge = SpanBridge::new();
+    let trap = PanicTrap::new();
     std::thread::scope(|scope| {
         let f = &f;
         let bridge = &bridge;
+        let trap = &trap;
         let mut workers = per_worker.into_iter();
         let mine = workers.next().expect("threads >= 2");
         for work in workers {
             scope.spawn(move || {
                 for (i, chunk) in work {
-                    f(i, chunk);
+                    trap.shard(|| f(i, chunk));
                 }
                 bridge.worker_done();
             });
         }
         for (i, chunk) in mine {
-            f(i, chunk);
+            trap.shard(|| f(i, chunk));
         }
     });
     bridge.finish();
+    trap.rethrow();
 }
 
 /// Map `f` over `items` across up to `threads` workers, returning results
@@ -320,5 +374,61 @@ mod tests {
             let out = par_map(&items, threads, |&x| x * 3);
             assert_eq!(out, (0..57).map(|x| x * 3).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_payload_and_siblings_complete() {
+        // Shard 5 panics; every other shard must still run exactly once,
+        // and the caller sees the *original* payload, not the scoped
+        // thread's generic join panic.
+        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_sharded(16, 4, |s| {
+                if s == 5 {
+                    panic!("poisoned shard 5");
+                }
+                hits[s].fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("the shard panic must propagate to the caller");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "poisoned shard 5", "original payload preserved");
+        for (s, h) in hits.iter().enumerate() {
+            let want = usize::from(s != 5);
+            assert_eq!(h.load(Ordering::Relaxed), want, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn pool_recovers_after_a_panicked_dispatch() {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            run_sharded(8, 4, |s| {
+                if s % 2 == 0 {
+                    panic!("flaky");
+                }
+            });
+        }));
+        // The very next dispatch works at full width: scoped workers are
+        // per-dispatch, so a panicked one is "respawned" by construction.
+        let hits: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        run_sharded(8, 4, |s| {
+            hits[s].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_panic_propagates_with_payload() {
+        let mut data = vec![0u8; 12];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            for_each_chunk_mut(&mut data, 2, 3, |i, chunk| {
+                if i == 2 {
+                    panic!("bad chunk");
+                }
+                chunk.iter_mut().for_each(|v| *v = 1);
+            });
+        }))
+        .expect_err("chunk panic must reach the caller");
+        assert_eq!(err.downcast_ref::<&str>().copied().unwrap_or_default(), "bad chunk");
     }
 }

@@ -1,0 +1,174 @@
+//! A resilient `dader-serve` client: reconnecting JSONL with capped
+//! exponential backoff and jitter.
+//!
+//! The server sheds load instead of falling over — a full queue answers
+//! `overloaded`, a missed deadline answers `deadline_exceeded`, a poisoned
+//! batch answers `internal`, and an injected write fault drops the
+//! connection outright. Every one of those carries `"retryable": true` (or
+//! is a transport error), and this client shows the loop that turns them
+//! into eventual successes: resend the same request after a backoff,
+//! reconnecting when the socket dies, until it is answered for real or the
+//! attempt budget runs out.
+//!
+//! Run a server, then point the client at it:
+//!
+//! ```text
+//! cargo run --release -p dader-bench --bin dader-serve -- model.dma \
+//!     --listen 127.0.0.1:7878 --max-queue 64 --default-deadline-ms 2000
+//! cargo run --release -p dader-bench --example retry_client -- 127.0.0.1:7878
+//! ```
+//!
+//! An optional second argument sets the number of requests (default 32).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+/// Backoff schedule: base doubles per consecutive failure, capped, with
+/// up to 50% random jitter added so a fleet of retrying clients does not
+/// stampede the server in lockstep.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+const MAX_ATTEMPTS: u32 = 8;
+
+fn backoff(consecutive_failures: u32, rng: &mut StdRng) -> Duration {
+    let exp = BACKOFF_BASE * 2u32.pow(consecutive_failures.min(16));
+    let capped = exp.min(BACKOFF_CAP);
+    capped + capped.mul_f64(rng.random::<f64>() * 0.5)
+}
+
+/// One stop-and-wait exchange on an open connection: send the line, read
+/// the one response it owes us.
+fn exchange(conn: &mut TcpStream, line: &str) -> std::io::Result<String> {
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-exchange",
+        ));
+    }
+    Ok(response)
+}
+
+/// Outcome of one attempt: answered (terminally), or retry after backoff.
+enum Attempt {
+    Answered(String),
+    Retry(String),
+}
+
+fn classify(response: String) -> Attempt {
+    let Ok(v) = serde_json::from_str::<Value>(response.trim()) else {
+        return Attempt::Retry(format!("unparseable response: {}", response.trim()));
+    };
+    if v.get("error").is_none() {
+        return Attempt::Answered(response);
+    }
+    let retryable = matches!(v.get("retryable"), Some(Value::Bool(true)));
+    if retryable {
+        let code = match v.get("code") {
+            Some(Value::String(c)) => c.clone(),
+            _ => "unknown".to_string(),
+        };
+        Attempt::Retry(format!("retryable error: {code}"))
+    } else {
+        // A non-retryable error (bad request, oversized line) is the
+        // request's final answer: retrying the same bytes cannot help.
+        Attempt::Answered(response)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().cloned() else {
+        eprintln!("usage: retry_client <addr> [requests]");
+        std::process::exit(1);
+    };
+    let requests: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("requests must be an integer"))
+        .unwrap_or(32);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let words = ["kodak esp", "hp laserjet", "canon pixma", "epson workforce"];
+    let mut conn: Option<TcpStream> = None;
+    let mut answered = 0usize;
+    let mut retries = 0usize;
+    for i in 0..requests {
+        let a = words[i % words.len()];
+        let b = words[(i + 1) % words.len()];
+        let line = format!(
+            "{{\"id\": {i}, \"a\": {{\"title\": \"{a}\"}}, \"b\": {{\"title\": \"{b}\"}}}}"
+        );
+        let mut failures = 0u32;
+        loop {
+            if failures >= MAX_ATTEMPTS {
+                eprintln!("retry_client: request {i}: gave up after {failures} attempts");
+                break;
+            }
+            // (Re)connect lazily: the previous attempt may have lost the
+            // socket, and the first attempt has none yet.
+            let stream = match conn.as_mut() {
+                Some(s) => s,
+                None => match TcpStream::connect(&addr) {
+                    Ok(s) => {
+                        s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                        conn.insert(s)
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        retries += 1;
+                        let wait = backoff(failures, &mut rng);
+                        eprintln!(
+                            "retry_client: connect failed ({e}); retrying in {wait:?}"
+                        );
+                        std::thread::sleep(wait);
+                        continue;
+                    }
+                },
+            };
+            match exchange(stream, &line) {
+                Ok(response) => match classify(response) {
+                    Attempt::Answered(response) => {
+                        answered += 1;
+                        print!("{response}");
+                        break;
+                    }
+                    Attempt::Retry(why) => {
+                        failures += 1;
+                        retries += 1;
+                        let wait = backoff(failures, &mut rng);
+                        eprintln!("retry_client: request {i}: {why}; retrying in {wait:?}");
+                        std::thread::sleep(wait);
+                    }
+                },
+                Err(e) => {
+                    // Transport failure: the connection is unusable —
+                    // drop it and resend the same request on a fresh one.
+                    conn = None;
+                    failures += 1;
+                    retries += 1;
+                    let wait = backoff(failures, &mut rng);
+                    eprintln!(
+                        "retry_client: request {i}: connection lost ({e}); \
+                         reconnecting in {wait:?}"
+                    );
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "retry_client: {answered}/{requests} answered ({retries} retries along the way)"
+    );
+    if answered < requests {
+        std::process::exit(1);
+    }
+}
