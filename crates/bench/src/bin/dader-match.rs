@@ -5,7 +5,14 @@
 //! dader-match --model model.dma --left a.csv --right b.csv
 //!             [--blocker topk|lsh] [--k N] [--batch-size N]
 //!             [--threshold P] [--threads N] [--quiet] [--verbose]
+//!             [--save-index idx.ddri]      # persist the blocking index
+//! dader-match --model model.dma --left a.csv --load-index idx.ddri
 //! ```
+//!
+//! `--save-index` writes the blocking index built over the right table as
+//! a `.ddri` artifact, so later runs (or `dader-serve --index`) can skip
+//! the rebuild; `--load-index` replaces `--right` entirely — the right
+//! records and the index both come from the artifact.
 //!
 //! Each CSV needs a header row; a column named `id` (case-insensitive)
 //! becomes the record id, every other column an attribute. A blocker
@@ -81,7 +88,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: dader-match --model model.dma --left a.csv --right b.csv [--blocker topk|lsh] [--k N] [--batch-size N] [--threshold P] [--threads N] [--quiet] [--verbose]"
+            "usage: dader-match --model model.dma --left a.csv (--right b.csv | --load-index idx.ddri) [--blocker topk|lsh] [--k N] [--batch-size N] [--threshold P] [--save-index idx.ddri] [--threads N] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -90,7 +97,22 @@ fn main() {
     };
     let model_path = required("--model");
     let left_path = required("--left");
-    let right_path = required("--right");
+    let load_index = arg_value(&args, "--load-index");
+    let save_index = arg_value(&args, "--save-index");
+    let right_path = arg_value(&args, "--right");
+    match (&right_path, &load_index) {
+        (Some(_), Some(_)) => {
+            fail("--right and --load-index are exclusive: the index artifact carries the right table")
+        }
+        (None, None) => fail("one of --right or --load-index is required"),
+        _ => {}
+    }
+    if load_index.is_some() && arg_value(&args, "--blocker").is_some() {
+        fail("--blocker conflicts with --load-index: the artifact records its blocker kind");
+    }
+    if load_index.is_some() && save_index.is_some() {
+        fail("--save-index needs --right (there is nothing new to save when loading an index)");
+    }
     let kind = match arg_value(&args, "--blocker") {
         None => BlockerKind::Lsh,
         Some(s) => BlockerKind::parse(&s)
@@ -122,13 +144,39 @@ fn main() {
     note!("dader-match: loaded {model_path} ({})", server.description);
 
     let left = load_table(&left_path, "left");
-    let right = load_table(&right_path, "right");
+    // The right side is either a CSV table (optionally persisted as an
+    // index artifact via --save-index) or a previously saved artifact.
+    let (right, index) = match (&right_path, &load_index) {
+        (Some(path), _) => {
+            let right = load_table(path, "right");
+            let index = save_index.as_ref().map(|_| {
+                let stream_kind = dader_block::StreamKind::parse(kind.as_str())
+                    .expect("BlockerKind names are valid StreamKind names");
+                dader_block::StreamingIndex::build(stream_kind, &right.rows)
+            });
+            (Some(right), index)
+        }
+        (None, Some(path)) => match dader_block::StreamingIndex::load_file(path) {
+            Ok(idx) => (None, Some(idx)),
+            Err(e) => fail(&format!("cannot load index {path}: {e}")),
+        },
+        (None, None) => unreachable!("guarded above"),
+    };
+    let right_rows = right
+        .as_ref()
+        .map(|t| t.rows.len())
+        .or_else(|| index.as_ref().map(|i| i.len()))
+        .unwrap_or(0);
     note!(
-        "dader-match: left {} rows ({} rejected), right {} rows ({} rejected)",
+        "dader-match: left {} rows ({} rejected), right {} rows{}",
         left.rows.len(),
         left.errors.len(),
-        right.rows.len(),
-        right.errors.len()
+        right_rows,
+        match (&right, &load_index) {
+            (Some(t), _) => format!(" ({} rejected)", t.errors.len()),
+            (None, Some(path)) => format!(" (from index {path})"),
+            _ => String::new(),
+        }
     );
 
     let stdout = std::io::stdout();
@@ -141,13 +189,36 @@ fn main() {
             std::process::exit(0);
         }
     };
-    for (table, errors) in [("left", &left.errors), ("right", &right.errors)] {
-        for e in errors {
-            emit(&mut out, &error_object(table, e));
+    for e in &left.errors {
+        emit(&mut out, &error_object("left", e));
+    }
+    if let Some(right) = &right {
+        for e in &right.errors {
+            emit(&mut out, &error_object("right", e));
         }
     }
 
-    let outcome = server.match_tables(&left.rows, &right.rows, kind, k, batch_size, threshold);
+    // When an index exists (loaded or freshly built for --save-index),
+    // score through it — identical candidates to the batch blockers, and
+    // with --load-index there is no right table to rebuild from anyway.
+    let outcome = match (&index, &right) {
+        (Some(idx), _) => server.match_tables_indexed(&left.rows, idx, k, batch_size, threshold),
+        (None, Some(right)) => {
+            server.match_tables(&left.rows, &right.rows, kind, k, batch_size, threshold)
+        }
+        (None, None) => unreachable!("guarded above"),
+    };
+    let right_id = |rank: usize| -> String {
+        match (&right, &index) {
+            (Some(t), _) => t.rows[rank].id.clone(),
+            (None, Some(idx)) => idx
+                .get(rank)
+                .expect("match ranks come from the index")
+                .id
+                .clone(),
+            (None, None) => unreachable!("guarded above"),
+        }
+    };
     for m in &outcome.matches {
         emit(
             &mut out,
@@ -156,10 +227,7 @@ fn main() {
                     "left".to_string(),
                     Value::String(left.rows[m.left].id.clone()),
                 ),
-                (
-                    "right".to_string(),
-                    Value::String(right.rows[m.right].id.clone()),
-                ),
+                ("right".to_string(), Value::String(right_id(m.right))),
                 ("left_row".to_string(), Value::Number(m.left as f64)),
                 ("right_row".to_string(), Value::Number(m.right as f64)),
                 (
@@ -176,10 +244,24 @@ fn main() {
     use std::io::Write as _;
     let _ = out.flush();
 
-    let rr = reduction_ratio(outcome.candidates, left.rows.len(), right.rows.len());
+    if let (Some(path), Some(idx)) = (&save_index, &index) {
+        match idx.save_file(path) {
+            Ok(()) => note!(
+                "dader-match: saved {} index ({} records) to {path}",
+                idx.kind().as_str(),
+                idx.len()
+            ),
+            Err(e) => fail(&format!("cannot save index {path}: {e}")),
+        }
+    }
+
+    let blocker_name = index
+        .as_ref()
+        .map(|i| i.kind().as_str())
+        .unwrap_or(kind.as_str());
+    let rr = reduction_ratio(outcome.candidates, left.rows.len(), right_rows);
     note!(
-        "dader-match: blocker={} k={k}: {} candidate pairs (reduction ratio {rr:.4}), {} matches",
-        kind.as_str(),
+        "dader-match: blocker={blocker_name} k={k}: {} candidate pairs (reduction ratio {rr:.4}), {} matches",
         outcome.candidates,
         outcome.matches.len()
     );

@@ -149,7 +149,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|a| a == "--help" || a == "-h").unwrap_or(true) {
         eprintln!(
-            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--max-queue N] [--default-deadline-ms N] [--metrics-addr ADDR] [--trace FILE] [--trace-sample N] [--quiet] [--verbose]"
+            "usage: dader-serve <artifact> [--batch-size N] [--threads N] [--listen ADDR] [--index FILE] [--flush-us N] [--thread-per-conn] [--max-line-bytes N] [--timeout-ms N] [--max-conns N] [--max-queue N] [--default-deadline-ms N] [--metrics-addr ADDR] [--trace FILE] [--trace-sample N] [--quiet] [--verbose]"
         );
         std::process::exit(if args.is_empty() { 1 } else { 0 });
     }
@@ -219,8 +219,13 @@ fn main() {
         note!("dader-serve: tracing on (1 in {sample} requests sampled)");
     }
 
+    let index_path = arg_value(&args, "--index");
+
     match arg_value(&args, "--listen") {
         None => {
+            if index_path.is_some() {
+                fail("--index needs the TCP event loop: add --listen ADDR (and drop --thread-per-conn)");
+            }
             let server = match MatchServer::from_artifact_file(&artifact) {
                 Ok(s) => s,
                 Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
@@ -273,6 +278,9 @@ fn main() {
             // The registry is the hot-reload point; the legacy path has
             // none (its model is fixed for the process lifetime).
             let registry = if thread_per_conn {
+                if index_path.is_some() {
+                    fail("--index needs the event loop (drop --thread-per-conn)");
+                }
                 None
             } else {
                 match ModelRegistry::from_artifact_file(&artifact) {
@@ -280,6 +288,18 @@ fn main() {
                     Err(e) => fail(&format!("cannot load artifact {artifact}: {e}")),
                 }
             };
+            if let (Some(path), Some(reg)) = (&index_path, &registry) {
+                match reg.load_index_file(path) {
+                    Ok(stats) => note!(
+                        "dader-serve: loaded index {path} ({} kind, {} records, {} tombstones, generation {})",
+                        stats.kind,
+                        stats.records,
+                        stats.tombstones,
+                        stats.generation
+                    ),
+                    Err(e) => fail(&format!("cannot load index {path}: {e}")),
+                }
+            }
             if let Some(addr) = &metrics_addr {
                 // Spawned with the registry so /status can name the
                 // serving model version across hot reloads.

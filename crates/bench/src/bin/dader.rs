@@ -26,6 +26,14 @@
 //! dader distance --target AB      # rank all sources by MMD (Finding 2)
 //! dader quantize in.dma out.dma   # int8-quantize a saved artifact (v2)
 //! ```
+//!
+//! Streaming-ER index artifacts (`.ddri`, served by `dader-serve --index`):
+//!
+//! ```text
+//! dader index build --csv b.csv --out idx.ddri [--blocker topk|lsh]
+//! dader index upsert --index idx.ddri --csv delta.csv [--delete ID]... [--compact]
+//! dader index info idx.ddri
+//! ```
 
 use dader_bench::report::{
     write_bench_snapshot_with_eval, BenchEvalComparison, BenchEvalDataset, BenchPhase,
@@ -59,7 +67,7 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--checkpoint <path>] [--checkpoint-every N] [--resume <path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader quantize <in.dma> <out.dma>\n  dader list"
+        "usage:\n  dader run --source <ID> --target <ID> [--method <m>] [--rnn] \\\n             [--seed N] [--beta B] [--lr L] [--scale quick|tiny|paper] \\\n             [--save <artifact path>] [--telemetry <jsonl path>] \\\n             [--checkpoint <path>] [--checkpoint-every N] [--resume <path>] \\\n             [--verbose] [--quiet]\n  dader distance --target <ID> [--scale ...]\n  dader quantize <in.dma> <out.dma>\n  dader index build --csv <b.csv> --out <idx.ddri> [--blocker topk|lsh]\n  dader index upsert --index <idx.ddri> --csv <delta.csv> [--delete <ID>]... [--compact]\n  dader index info <idx.ddri>\n  dader list"
     );
     std::process::exit(2);
 }
@@ -101,6 +109,127 @@ fn cmd_quantize(args: &[String]) {
         size(&input),
         size(&output),
     );
+}
+
+/// Load a CSV table for `dader index`, rejecting nothing silently: any
+/// malformed row is fatal here, because an index built from a partial
+/// table would quietly answer queries with records missing.
+fn index_csv(path: &str) -> Vec<dader_datagen::Entity> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("dader index: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let table = match dader_block::parse_csv(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dader index: {path} has no usable header: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(e) = table.errors.first() {
+        eprintln!(
+            "dader index: {path} line {}: {} ({} bad rows total; fix the CSV before indexing)",
+            e.line,
+            e.message,
+            table.errors.len()
+        );
+        std::process::exit(1);
+    }
+    table.rows
+}
+
+fn index_stats_line(path: &str, idx: &dader_block::StreamingIndex) -> String {
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    format!(
+        "{path}: kind {}, {} records, {} tombstones, generation {}, ~{} bytes resident, {} bytes on disk",
+        idx.kind().as_str(),
+        idx.len(),
+        idx.tombstones(),
+        idx.generation(),
+        idx.approx_bytes(),
+        file_bytes
+    )
+}
+
+/// `dader index build|upsert|info`: create, mutate, and inspect the
+/// persistent blocking-index artifacts that `dader-serve --index` loads.
+fn cmd_index(args: &[String]) {
+    let die = |msg: &str| -> ! {
+        eprintln!("dader index: {msg}");
+        std::process::exit(1);
+    };
+    match args.get(1).map(|s| s.as_str()) {
+        Some("build") => {
+            let csv = arg_value(args, "--csv").unwrap_or_else(|| usage());
+            let out = arg_value(args, "--out").unwrap_or_else(|| usage());
+            let kind = match arg_value(args, "--blocker") {
+                None => dader_block::StreamKind::Lsh(dader_block::LshParams::default()),
+                Some(s) => dader_block::StreamKind::parse(&s)
+                    .unwrap_or_else(|| die(&format!("unknown blocker {s:?} (expected topk or lsh)"))),
+            };
+            let rows = index_csv(&csv);
+            let t0 = std::time::Instant::now();
+            let idx = dader_block::StreamingIndex::build(kind, &rows);
+            if let Err(e) = idx.save_file(&out) {
+                die(&format!("cannot write {out}: {e}"));
+            }
+            println!(
+                "built {} ({:.2}s from {} rows)",
+                index_stats_line(&out, &idx),
+                t0.elapsed().as_secs_f64(),
+                rows.len()
+            );
+        }
+        Some("upsert") => {
+            let path = arg_value(args, "--index").unwrap_or_else(|| usage());
+            let mut idx = match dader_block::StreamingIndex::load_file(&path) {
+                Ok(i) => i,
+                Err(e) => die(&format!("cannot load {path}: {e}")),
+            };
+            let deletes: Vec<String> = args
+                .windows(2)
+                .filter(|w| w[0] == "--delete")
+                .map(|w| w[1].clone())
+                .collect();
+            let csv = arg_value(args, "--csv");
+            if csv.is_none() && deletes.is_empty() {
+                die("nothing to do: pass --csv <file> and/or --delete <ID>");
+            }
+            let mut upserts = 0usize;
+            if let Some(csv) = csv {
+                for row in index_csv(&csv) {
+                    idx.upsert(row);
+                    upserts += 1;
+                }
+            }
+            let mut deleted = 0usize;
+            for id in &deletes {
+                if idx.delete(id) {
+                    deleted += 1;
+                } else {
+                    eprintln!("dader index: --delete {id}: no such record (ignored)");
+                }
+            }
+            if args.iter().any(|a| a == "--compact") {
+                idx.compact();
+            }
+            if let Err(e) = idx.save_file(&path) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            println!(
+                "upserted {upserts}, deleted {deleted}: {}",
+                index_stats_line(&path, &idx)
+            );
+        }
+        Some("info") => {
+            let path = args.get(2).cloned().unwrap_or_else(|| usage());
+            match dader_block::StreamingIndex::load_file(&path) {
+                Ok(idx) => println!("{}", index_stats_line(&path, &idx)),
+                Err(e) => die(&format!("cannot load {path}: {e}")),
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn cmd_list() {
@@ -293,6 +422,7 @@ fn main() {
         Some("run") => cmd_run(&args),
         Some("distance") => cmd_distance(&args),
         Some("quantize") => cmd_quantize(&args),
+        Some("index") => cmd_index(&args),
         Some("list") => cmd_list(),
         _ => usage(),
     }

@@ -14,12 +14,15 @@ pub mod scale;
 pub mod serve;
 
 pub use context::{apply_log_args, Context, TargetSplits};
-pub use matching::{build_blocker, match_tables, BlockerKind, MatchOutcome, TableMatch};
+pub use matching::{
+    build_blocker, match_tables, match_tables_indexed, BlockerKind, MatchOutcome, TableMatch,
+};
 pub use report::{
     write_bench_snapshot, write_bench_snapshot_with_eval, write_json, BenchEvalComparison,
     BenchEvalDataset, Cell, Table,
 };
 pub use scale::Scale;
+pub use serve::registry::{IndexStats, SharedIndex};
 pub use serve::{
     latency_window_snapshot, serve_event_loop, serve_tcp, spawn_status_endpoint, ErrorCode,
     MatchServer, ModelRegistry, ServeLimits, TcpServeConfig, VersionedModel,

@@ -8,7 +8,7 @@
 //! `match_table` request mode of `dader-serve`, and the
 //! `blocking_quality` bench.
 
-use dader_block::{Blocker, LshParams, MinHashLshBlocker, TfIdfBlocker};
+use dader_block::{Blocker, Candidate, LshParams, MinHashLshBlocker, StreamingIndex, TfIdfBlocker};
 use dader_core::{EntityPair, InferenceModel};
 use dader_datagen::Entity;
 use dader_text::PairEncoder;
@@ -89,12 +89,50 @@ pub fn match_tables(
 ) -> MatchOutcome {
     let blocker = build_blocker(kind, right);
     let blocked = blocker.block(left, k);
+    score_blocked(model, encoder, left, &blocked, batch_size, threshold, |r| {
+        &right[r].attrs
+    })
+}
 
+/// [`match_tables`] against an already-built [`StreamingIndex`]: the
+/// per-call blocker build is skipped — the index *is* the blocker, kept
+/// current by upserts/deletes. The streaming equivalence contract makes
+/// this bitwise-identical to `match_tables` over the index's live records
+/// with the same blocker family. Candidate `right` indices are index
+/// ranks (resolve ids through [`StreamingIndex::get`]).
+pub fn match_tables_indexed(
+    model: &InferenceModel,
+    encoder: &PairEncoder,
+    left: &[Entity],
+    index: &StreamingIndex,
+    k: usize,
+    batch_size: usize,
+    threshold: Option<f32>,
+) -> MatchOutcome {
+    let blocked = index.block(left, k);
+    score_blocked(model, encoder, left, &blocked, batch_size, threshold, |r| {
+        &index.get(r).expect("candidate ranks are live").attrs
+    })
+}
+
+/// The shared scoring tail: assemble candidate pairs in (left row,
+/// candidate rank) order, score them in one pass, keep the matches.
+/// `right_attrs` resolves a candidate's right-side attributes — a table
+/// row for batch matching, an index rank for streaming.
+fn score_blocked<'a>(
+    model: &InferenceModel,
+    encoder: &PairEncoder,
+    left: &[Entity],
+    blocked: &[Vec<Candidate>],
+    batch_size: usize,
+    threshold: Option<f32>,
+    right_attrs: impl Fn(usize) -> &'a Vec<(String, String)>,
+) -> MatchOutcome {
     let mut pairs: Vec<EntityPair> = Vec::new();
     let mut meta: Vec<(usize, usize, f32)> = Vec::new();
     for (i, cands) in blocked.iter().enumerate() {
         for c in cands {
-            pairs.push((left[i].attrs.clone(), right[c.right].attrs.clone()));
+            pairs.push((left[i].attrs.clone(), right_attrs(c.right).clone()));
             meta.push((i, c.right, c.score));
         }
     }

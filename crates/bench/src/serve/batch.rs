@@ -23,12 +23,13 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dader_block::Blocker;
 use serde::Value;
 
-use super::registry::VersionedModel;
+use super::registry::{SharedIndex, VersionedModel};
 use super::{
-    admission, error_body, metrics, pair_body, panic_message, predict_contained, table_body,
-    ErrorCode, TableRequest, Timeline,
+    admission, error_body, metrics, pair_body, panic_message, predict_contained, record_body,
+    table_body, ErrorCode, RecordMatch, RecordRequest, TableRequest, Timeline,
 };
 
 /// Why a batch left the queue. The wire label of each variant feeds
@@ -67,6 +68,10 @@ pub(crate) enum WorkKind {
     },
     /// A whole-table `match_table` request.
     Table(Box<TableRequest>),
+    /// A single-record `match_record` probe against the shared index. Its
+    /// candidate pairs ride the batch's shared forward pass alongside the
+    /// pair items — no dedicated inference interval.
+    Record(Box<RecordRequest>),
 }
 
 /// One parsed request waiting for (or riding in) an inference batch,
@@ -192,6 +197,11 @@ impl Batcher {
 pub(crate) struct BatchJob {
     pub(crate) items: Vec<WorkItem>,
     pub(crate) model: Arc<VersionedModel>,
+    /// The live corpus index, snapshotted at flush. Unlike the model this
+    /// is deliberately *not* an immutable snapshot — `match_record` probes
+    /// observe concurrent upserts, and each response's `generation` says
+    /// which state it saw.
+    pub(crate) index: Option<Arc<SharedIndex>>,
     pub(crate) batch_size: usize,
     pub(crate) reason: FlushReason,
 }
@@ -267,12 +277,25 @@ fn run_job(job: &BatchJob) -> Vec<Done> {
     }
 }
 
-/// The actual scoring: all pair items of the batch go through one
-/// contained [`predict_contained`](super::predict_contained) call
+/// One blocking candidate for a `match_record` item:
+/// `(rank, right_id, block_score, right_attrs)`.
+type RecordCand = (usize, String, f32, Vec<(String, String)>);
+
+/// Candidates for one `match_record` item, generated before the shared
+/// forward pass, plus the index generation that produced them.
+struct RecordPrep {
+    cands: Vec<RecordCand>,
+    generation: u64,
+}
+
+/// The actual scoring: all pair items of the batch — and the candidate
+/// pairs of every `match_record` item — go through one contained
+/// [`predict_contained`](super::predict_contained) call
 /// (batch-composition-invariant, so pooling across connections cannot
 /// change results; a panicking pair is bisected down to a single typed
 /// `internal` error), table items through
-/// [`match_tables`](super::MatchServer::match_tables). A request whose
+/// [`match_tables`](super::MatchServer::match_tables) (or the shared
+/// index when the request omitted its `right` table). A request whose
 /// deadline passed while it sat in the queue is shed here — answered
 /// with `deadline_exceeded` instead of scored.
 fn score_items(job: &BatchJob) -> Vec<Done> {
@@ -280,15 +303,47 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
     let now = Instant::now();
     let expired =
         |w: &WorkItem| w.timeline.deadline.map(|d| d < now).unwrap_or(false);
-    let pairs: Vec<dader_core::EntityPair> = job
-        .items
-        .iter()
-        .filter(|w| !expired(w))
-        .filter_map(|w| match &w.kind {
-            WorkKind::Pair { a, b, .. } => Some((a.clone(), b.clone())),
-            WorkKind::Table(_) => None,
-        })
-        .collect();
+    // Candidate generation for record probes happens up front, under one
+    // short read hold per item, so their pairs can ride the *same* shared
+    // forward pass as the pair items (slot i of `record_preps` aligns
+    // with item i; non-record items hold `None`).
+    let mut record_preps: Vec<Option<RecordPrep>> = Vec::with_capacity(job.items.len());
+    let mut pairs: Vec<dader_core::EntityPair> = Vec::new();
+    for w in &job.items {
+        let prep = match &w.kind {
+            WorkKind::Record(req) if !expired(w) => job.index.as_ref().map(|idx| {
+                metrics().index_hits.inc();
+                let probe = dader_datagen::Entity {
+                    id: String::new(),
+                    attrs: req.record.clone(),
+                };
+                idx.with(|i| RecordPrep {
+                    cands: i
+                        .candidates(&probe, req.k)
+                        .into_iter()
+                        .map(|c| {
+                            let ent = i.get(c.right).expect("candidate ranks are live");
+                            (c.right, ent.id.clone(), c.score, ent.attrs.clone())
+                        })
+                        .collect(),
+                    generation: i.generation(),
+                })
+            }),
+            _ => None,
+        };
+        match (&w.kind, &prep) {
+            (WorkKind::Pair { a, b, .. }, _) if !expired(w) => {
+                pairs.push((a.clone(), b.clone()));
+            }
+            (WorkKind::Record(req), Some(p)) => {
+                for (_, _, _, attrs) in &p.cands {
+                    pairs.push((req.record.clone(), attrs.clone()));
+                }
+            }
+            _ => {}
+        }
+        record_preps.push(prep);
+    }
     if !pairs.is_empty() {
         metrics().batch_size.observe(pairs.len() as f64);
     }
@@ -301,7 +356,8 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
     let mut preds = preds.into_iter();
     job.items
         .iter()
-        .map(|w| {
+        .zip(record_preps)
+        .map(|(w, prep)| {
             let mut timeline = w.timeline;
             let (body, scored, is_error) = if expired(w) {
                 admission::count_shed("deadline");
@@ -332,22 +388,100 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
                             ),
                         }
                     }
+                    WorkKind::Record(req) => {
+                        timeline.infer_start = Some(infer_start);
+                        timeline.infer_end = Some(infer_end);
+                        let out = match prep {
+                            None => (
+                                error_body(
+                                    ErrorCode::InvalidRequest,
+                                    "no index loaded; start dader-serve with --index \
+                                     or reload one",
+                                    None,
+                                ),
+                                0,
+                                true,
+                            ),
+                            Some(p) => {
+                                // Consume this record's slice of the shared
+                                // predictions; a bisected-out candidate
+                                // (`None`) is dropped from the matches but
+                                // still counted as a candidate.
+                                let mut matches = Vec::new();
+                                let mut ok = 0usize;
+                                for (rank, right_id, block_score, _) in p.cands.iter() {
+                                    let slot = preds
+                                        .next()
+                                        .expect("one prediction slot per candidate");
+                                    if let Some((label, prob)) = slot {
+                                        ok += 1;
+                                        let keep = match req.threshold {
+                                            Some(t) => prob >= t,
+                                            None => label == 1,
+                                        };
+                                        if keep {
+                                            matches.push(RecordMatch {
+                                                right: *rank,
+                                                right_id: right_id.clone(),
+                                                probability: prob,
+                                                block_score: *block_score,
+                                            });
+                                        }
+                                    }
+                                }
+                                (
+                                    record_body(
+                                        req.id.clone(),
+                                        &matches,
+                                        p.cands.len(),
+                                        p.generation,
+                                    ),
+                                    ok,
+                                    false,
+                                )
+                            }
+                        };
+                        metrics().match_record_latency_us.observe(
+                            Instant::now()
+                                .saturating_duration_since(w.timeline.arrival)
+                                .as_micros() as f64,
+                        );
+                        out
+                    }
                     WorkKind::Table(req) => {
                         timeline.infer_start = Some(Instant::now());
                         let attempt = catch_unwind(AssertUnwindSafe(|| {
                             dader_obs::fault::maybe_crash("serve.infer");
-                            server.match_tables(
-                                &req.left,
-                                &req.right,
-                                req.kind,
-                                req.k,
-                                job.batch_size,
-                                req.threshold,
-                            )
+                            match (&req.right, &job.index) {
+                                (Some(right), _) => {
+                                    metrics().index_rebuilds.inc();
+                                    Some(server.match_tables(
+                                        &req.left,
+                                        right,
+                                        req.kind,
+                                        req.k,
+                                        job.batch_size,
+                                        req.threshold,
+                                    ))
+                                }
+                                (None, Some(idx)) => {
+                                    metrics().index_hits.inc();
+                                    Some(idx.with(|i| {
+                                        server.match_tables_indexed(
+                                            &req.left,
+                                            i,
+                                            req.k,
+                                            job.batch_size,
+                                            req.threshold,
+                                        )
+                                    }))
+                                }
+                                (None, None) => None,
+                            }
                         }));
                         timeline.infer_end = Some(Instant::now());
                         match attempt {
-                            Ok(outcome) => {
+                            Ok(Some(outcome)) => {
                                 metrics().scored_pairs.add(outcome.candidates as u64);
                                 (
                                     table_body(req.id.clone(), &outcome),
@@ -355,6 +489,16 @@ fn score_items(job: &BatchJob) -> Vec<Done> {
                                     false,
                                 )
                             }
+                            Ok(None) => (
+                                error_body(
+                                    ErrorCode::InvalidRequest,
+                                    "match_table without `right` needs a loaded index; \
+                                     start dader-serve with --index or reload one",
+                                    None,
+                                ),
+                                0,
+                                true,
+                            ),
                             Err(_) => {
                                 metrics().worker_panics.inc();
                                 (
@@ -446,7 +590,7 @@ mod tests {
             kind: WorkKind::Table(Box::new(TableRequest {
                 id: None,
                 left: Vec::new(),
-                right: Vec::new(),
+                right: Some(Vec::new()),
                 kind: crate::matching::BlockerKind::Lsh,
                 k: 1,
                 threshold: None,

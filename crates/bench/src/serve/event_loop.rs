@@ -239,7 +239,9 @@ pub fn serve_event_loop(
                             let mut timeline = Timeline::start(arrival);
                             timeline.want_timings = parsed.wants_timings();
                             match parsed {
-                                Parsed::Ok(req) => {
+                                parsed @ (Parsed::Ok(_)
+                                | Parsed::Table(_)
+                                | Parsed::Record(_)) => {
                                     let seq = c.alloc_seq();
                                     // One read pass can assemble many lines
                                     // after the watermark check — those over
@@ -266,79 +268,191 @@ pub fn serve_event_loop(
                                     } else {
                                         timeline.deadline = admission::resolve_deadline(
                                             arrival,
-                                            req.deadline_ms,
+                                            parsed.deadline_ms(),
                                             cfg.limits.default_deadline,
                                         );
-                                        batcher.push(WorkItem {
-                                            conn: id,
-                                            seq,
-                                            timeline,
-                                            kind: WorkKind::Pair {
+                                        let kind = match parsed {
+                                            Parsed::Ok(req) => WorkKind::Pair {
                                                 id: req.id,
                                                 a: req.a,
                                                 b: req.b,
                                             },
-                                        });
-                                    }
-                                }
-                                Parsed::Table(req) => {
-                                    let seq = c.alloc_seq();
-                                    if admission.must_shed(batcher.len()) {
-                                        admission::count_shed("queue_full");
-                                        c.complete(
-                                            seq,
-                                            Completed {
-                                                timeline,
-                                                body: error_body(
-                                                    ErrorCode::Overloaded,
-                                                    &format!(
-                                                        "server queue full ({}); retry later",
-                                                        cfg.max_queue
-                                                    ),
-                                                    Some(lineno),
-                                                ),
-                                                version: None,
-                                                scored: 0,
-                                                is_error: true,
-                                            },
-                                        );
-                                    } else {
-                                        timeline.deadline = admission::resolve_deadline(
-                                            arrival,
-                                            req.deadline_ms,
-                                            cfg.limits.default_deadline,
-                                        );
+                                            Parsed::Table(req) => WorkKind::Table(req),
+                                            Parsed::Record(req) => WorkKind::Record(req),
+                                            _ => unreachable!("guarded by the arm pattern"),
+                                        };
                                         batcher.push(WorkItem {
                                             conn: id,
                                             seq,
                                             timeline,
-                                            kind: WorkKind::Table(req),
+                                            kind,
                                         });
                                     }
                                 }
-                                Parsed::Reload(path) => {
-                                    // Swap happens inline: the new artifact
-                                    // loads before any further intake, and
-                                    // in-flight batches keep their snapshot.
+                                Parsed::IndexUpsert {
+                                    id: req_id,
+                                    record_id,
+                                    record,
+                                } => {
+                                    // Mutations answer inline on the poller:
+                                    // the write lock is held only for the
+                                    // O(record) slot append, and the bumped
+                                    // generation is echoed so the client can
+                                    // correlate later probes.
                                     let seq = c.alloc_seq();
-                                    let done = match registry
-                                        .reload(path.as_deref().map(Path::new))
-                                    {
-                                        Ok(version) => {
-                                            crate::note!(
-                                                "dader-serve: hot reload -> {version}"
-                                            );
+                                    let done = match registry.index() {
+                                        Some(idx) => {
+                                            let (replaced, generation, records) =
+                                                idx.upsert(dader_datagen::Entity {
+                                                    id: record_id.clone(),
+                                                    attrs: record,
+                                                });
+                                            let mut body = Vec::with_capacity(5);
+                                            if let Some(v) = req_id {
+                                                body.push(("id".to_string(), v));
+                                            }
+                                            body.push((
+                                                "upserted".to_string(),
+                                                Value::String(record_id),
+                                            ));
+                                            body.push((
+                                                "replaced".to_string(),
+                                                Value::Bool(replaced),
+                                            ));
+                                            body.push((
+                                                "records".to_string(),
+                                                Value::Int(records as i64),
+                                            ));
+                                            body.push((
+                                                "generation".to_string(),
+                                                Value::Int(generation as i64),
+                                            ));
                                             Completed {
                                                 timeline,
-                                                body: vec![(
-                                                    "reloaded".to_string(),
-                                                    Value::Bool(true),
-                                                )],
-                                                version: Some(version),
+                                                body,
+                                                version: Some(registry.version()),
                                                 scored: 0,
                                                 is_error: false,
                                             }
                                         }
+                                        None => Completed {
+                                            timeline,
+                                            body: error_body(
+                                                ErrorCode::InvalidRequest,
+                                                &format!(
+                                                    "line {lineno}: no index loaded; start \
+                                                     dader-serve with --index or reload one"
+                                                ),
+                                                Some(lineno),
+                                            ),
+                                            version: None,
+                                            scored: 0,
+                                            is_error: true,
+                                        },
+                                    };
+                                    c.complete(seq, done);
+                                }
+                                Parsed::IndexDelete { id: req_id, record_id } => {
+                                    let seq = c.alloc_seq();
+                                    let done = match registry.index() {
+                                        Some(idx) => {
+                                            let (deleted, generation, records) =
+                                                idx.delete(&record_id);
+                                            let mut body = Vec::with_capacity(5);
+                                            if let Some(v) = req_id {
+                                                body.push(("id".to_string(), v));
+                                            }
+                                            body.push((
+                                                "deleted".to_string(),
+                                                Value::Bool(deleted),
+                                            ));
+                                            body.push((
+                                                "record_id".to_string(),
+                                                Value::String(record_id),
+                                            ));
+                                            body.push((
+                                                "records".to_string(),
+                                                Value::Int(records as i64),
+                                            ));
+                                            body.push((
+                                                "generation".to_string(),
+                                                Value::Int(generation as i64),
+                                            ));
+                                            Completed {
+                                                timeline,
+                                                body,
+                                                version: Some(registry.version()),
+                                                scored: 0,
+                                                is_error: false,
+                                            }
+                                        }
+                                        None => Completed {
+                                            timeline,
+                                            body: error_body(
+                                                ErrorCode::InvalidRequest,
+                                                &format!(
+                                                    "line {lineno}: no index loaded; start \
+                                                     dader-serve with --index or reload one"
+                                                ),
+                                                Some(lineno),
+                                            ),
+                                            version: None,
+                                            scored: 0,
+                                            is_error: true,
+                                        },
+                                    };
+                                    c.complete(seq, done);
+                                }
+                                Parsed::Reload(target) => {
+                                    // Swap happens inline: the new artifact
+                                    // loads before any further intake, and
+                                    // in-flight batches keep their snapshot.
+                                    let seq = c.alloc_seq();
+                                    let outcome = match target {
+                                        super::ReloadTarget::Model(path) => registry
+                                            .reload(path.as_deref().map(Path::new))
+                                            .map(|version| {
+                                                crate::note!(
+                                                    "dader-serve: hot reload -> {version}"
+                                                );
+                                                vec![(
+                                                    "reloaded".to_string(),
+                                                    Value::Bool(true),
+                                                )]
+                                            }),
+                                        super::ReloadTarget::Index(path) => registry
+                                            .reload_index(path.as_deref().map(Path::new))
+                                            .map(|stats| {
+                                                crate::note!(
+                                                    "dader-serve: index reload -> {} records, \
+                                                     generation {}",
+                                                    stats.records,
+                                                    stats.generation
+                                                );
+                                                vec![
+                                                    (
+                                                        "reloaded".to_string(),
+                                                        Value::Bool(true),
+                                                    ),
+                                                    (
+                                                        "index_records".to_string(),
+                                                        Value::Int(stats.records as i64),
+                                                    ),
+                                                    (
+                                                        "generation".to_string(),
+                                                        Value::Int(stats.generation as i64),
+                                                    ),
+                                                ]
+                                            }),
+                                    };
+                                    let done = match outcome {
+                                        Ok(body) => Completed {
+                                            timeline,
+                                            body,
+                                            version: Some(registry.version()),
+                                            scored: 0,
+                                            is_error: false,
+                                        },
                                         Err(msg) => Completed {
                                             timeline,
                                             body: error_body(
@@ -470,6 +584,7 @@ pub fn serve_event_loop(
             let job = BatchJob {
                 items,
                 model: registry.current(),
+                index: registry.index(),
                 batch_size: cfg.batch_size,
                 reason,
             };

@@ -115,6 +115,16 @@ pub(crate) struct ServeMetrics {
     pub(crate) conns_live: Gauge,
     /// Pairs scored (candidate pairs for table requests included).
     pub(crate) scored_pairs: Counter,
+    /// Requests answered through the shared streaming index
+    /// (`match_record`, and `match_table` with the `right` table omitted).
+    pub(crate) index_hits: Counter,
+    /// `match_table` requests that shipped their own `right` table and so
+    /// built a fresh throwaway blocker. A high rebuild:hit ratio on a
+    /// fixed corpus means clients should switch to the loaded index.
+    pub(crate) index_rebuilds: Counter,
+    /// End-to-end `match_record` latency (read → scored), the streaming-ER
+    /// SLO signal.
+    pub(crate) match_record_latency_us: Histogram,
     /// Sliding-window request latency: p50/p99 and rate over the last
     /// [`WINDOW_SECS`] seconds, for the `/status` snapshot.
     pub(crate) latency_window: WindowedHistogram,
@@ -152,6 +162,12 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
         conns_total: dader_obs::counter("serve_conns_total"),
         conns_live: dader_obs::gauge("serve_conns_live"),
         scored_pairs: dader_obs::counter("serve_scored_pairs_total"),
+        index_hits: dader_obs::counter("serve_index_hits_total"),
+        index_rebuilds: dader_obs::counter("serve_index_rebuilds_total"),
+        match_record_latency_us: dader_obs::histogram(
+            "serve_match_record_latency_us",
+            &dader_obs::metrics::LATENCY_US_BUCKETS,
+        ),
         latency_window: dader_obs::windowed(
             "serve_request_latency_us_window",
             &dader_obs::metrics::LATENCY_US_BUCKETS,
@@ -449,11 +465,16 @@ pub(crate) struct PairRequest {
     pub(crate) deadline_ms: Option<u64>,
 }
 
-/// A `match_table` request: two whole tables to block and score.
+/// A `match_table` request: a `left` table to block and score, against
+/// either an inline `right` table (a throwaway blocker is built for this
+/// one request) or — when `right` is omitted — the server's loaded
+/// streaming index.
 pub(crate) struct TableRequest {
     pub(crate) id: Option<Value>,
     pub(crate) left: Vec<dader_datagen::Entity>,
-    pub(crate) right: Vec<dader_datagen::Entity>,
+    /// The corpus table. `None` routes the request through the shared
+    /// [`registry::SharedIndex`] instead of building a per-request blocker.
+    pub(crate) right: Option<Vec<dader_datagen::Entity>>,
     pub(crate) kind: crate::matching::BlockerKind,
     pub(crate) k: usize,
     pub(crate) threshold: Option<f32>,
@@ -462,17 +483,52 @@ pub(crate) struct TableRequest {
     pub(crate) deadline_ms: Option<u64>,
 }
 
+/// A `match_record` request: one record probed against the loaded
+/// streaming index — the steady-state operation of streaming ER. Rides
+/// the shared cross-connection inference batches like pair requests do.
+pub(crate) struct RecordRequest {
+    pub(crate) id: Option<Value>,
+    pub(crate) record: Vec<(String, String)>,
+    pub(crate) k: usize,
+    pub(crate) threshold: Option<f32>,
+    pub(crate) timings: bool,
+    /// Client-supplied latency budget in milliseconds.
+    pub(crate) deadline_ms: Option<u64>,
+}
+
+/// What a `{"mode": "reload"}` line asks to swap: the model artifact or
+/// the corpus index, each optionally naming a new path.
+pub(crate) enum ReloadTarget {
+    Model(Option<String>),
+    Index(Option<String>),
+}
+
 /// Outcome of one input line: a request to score, a whole-table match
-/// request, a hot-reload control request, a status snapshot request, or
-/// an error to echo.
+/// request, a single-record index probe, an index mutation, a hot-reload
+/// control request, a status snapshot request, or an error to echo.
 pub(crate) enum Parsed {
     Ok(PairRequest),
     Table(Box<TableRequest>),
-    /// `{"mode": "reload"}` — swap the served artifact (optionally naming
-    /// a new artifact path). Only meaningful where a [`ModelRegistry`] is
-    /// serving (the TCP event loop); the stdin path answers it with an
-    /// `invalid_request` error.
-    Reload(Option<String>),
+    /// `{"mode": "match_record"}` — top-k matches for one record against
+    /// the loaded index. Event-loop only (needs the shared index).
+    Record(Box<RecordRequest>),
+    /// `{"mode": "index_upsert"}` — insert or overwrite one corpus record
+    /// in the live index. Answered inline on the event loop.
+    IndexUpsert {
+        id: Option<Value>,
+        record_id: String,
+        record: Vec<(String, String)>,
+    },
+    /// `{"mode": "index_delete"}` — tombstone one corpus record by id.
+    IndexDelete {
+        id: Option<Value>,
+        record_id: String,
+    },
+    /// `{"mode": "reload"}` — swap the served artifact or the corpus
+    /// index (see [`ReloadTarget`]). Only meaningful where a
+    /// [`ModelRegistry`] is serving (the TCP event loop); the stdin path
+    /// answers it with an `invalid_request` error.
+    Reload(ReloadTarget),
     /// `{"mode": "status"}` — answer with the live status snapshot
     /// (uptime, connections, queue depth, windowed latency, model
     /// version) in place of a prediction.
@@ -486,6 +542,7 @@ impl Parsed {
         match self {
             Parsed::Ok(req) => req.timings,
             Parsed::Table(req) => req.timings,
+            Parsed::Record(req) => req.timings,
             _ => false,
         }
     }
@@ -495,6 +552,7 @@ impl Parsed {
         match self {
             Parsed::Ok(req) => req.deadline_ms,
             Parsed::Table(req) => req.deadline_ms,
+            Parsed::Record(req) => req.deadline_ms,
             _ => None,
         }
     }
@@ -625,6 +683,51 @@ pub(crate) fn table_body(
     kvs
 }
 
+/// One scored `match_record` candidate: the index rank plus the record's
+/// own id (ranks shift under compaction, ids do not).
+pub(crate) struct RecordMatch {
+    pub(crate) right: usize,
+    pub(crate) right_id: String,
+    pub(crate) probability: f32,
+    pub(crate) block_score: f32,
+}
+
+/// Response body for one `match_record` outcome. `generation` tells the
+/// client exactly which index state answered — comparable against the
+/// generation echoed by its own `index_upsert`/`index_delete` calls.
+pub(crate) fn record_body(
+    id: Option<Value>,
+    matches: &[RecordMatch],
+    candidates: usize,
+    generation: u64,
+) -> Vec<(String, Value)> {
+    let matches: Vec<Value> = matches
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("right".to_string(), Value::Int(m.right as i64)),
+                ("right_id".to_string(), Value::String(m.right_id.clone())),
+                (
+                    "probability".to_string(),
+                    Value::Number(m.probability as f64),
+                ),
+                (
+                    "block_score".to_string(),
+                    Value::Number(m.block_score as f64),
+                ),
+            ])
+        })
+        .collect();
+    let mut kvs = Vec::with_capacity(5);
+    if let Some(id) = id {
+        kvs.push(("id".to_string(), id));
+    }
+    kvs.push(("matches".to_string(), Value::Array(matches)));
+    kvs.push(("candidates".to_string(), Value::Int(candidates as i64)));
+    kvs.push(("generation".to_string(), Value::Int(generation as i64)));
+    kvs
+}
+
 /// Response body for one error object. `lineno` is present for per-line
 /// errors and absent for stream-level conditions (timeout, overloaded).
 pub(crate) fn error_body(
@@ -724,6 +827,30 @@ impl MatchServer {
             left,
             right,
             kind,
+            k,
+            batch_size,
+            threshold,
+        )
+    }
+
+    /// [`match_tables`](MatchServer::match_tables) against an
+    /// already-built [`StreamingIndex`](dader_block::StreamingIndex)
+    /// instead of an inline right table: the blocker build is skipped
+    /// entirely. Candidate `right` indices are index ranks; resolve ids
+    /// through [`dader_block::StreamingIndex::get`].
+    pub fn match_tables_indexed(
+        &self,
+        left: &[dader_datagen::Entity],
+        index: &dader_block::StreamingIndex,
+        k: usize,
+        batch_size: usize,
+        threshold: Option<f32>,
+    ) -> crate::matching::MatchOutcome {
+        crate::matching::match_tables_indexed(
+            &self.model,
+            &self.encoder,
+            left,
+            index,
             k,
             batch_size,
             threshold,
@@ -863,7 +990,7 @@ impl MatchServer {
         // from requests that can still make their deadlines).
         for (_, timeline, parsed) in window.iter_mut() {
             let expired = timeline.deadline.map(|d| d < flushed_at).unwrap_or(false);
-            if expired && matches!(parsed, Parsed::Ok(_) | Parsed::Table(_)) {
+            if expired && matches!(parsed, Parsed::Ok(_) | Parsed::Table(_) | Parsed::Record(_)) {
                 admission::count_shed("deadline");
                 *parsed = Parsed::Err(
                     ErrorCode::DeadlineExceeded,
@@ -875,7 +1002,7 @@ impl MatchServer {
             .iter()
             .filter_map(|(_, _, p)| match p {
                 Parsed::Ok(req) => Some((req.a.clone(), req.b.clone())),
-                Parsed::Table(_) | Parsed::Reload(_) | Parsed::Status | Parsed::Err(..) => None,
+                _ => None,
             })
             .collect();
         if !pairs.is_empty() {
@@ -908,19 +1035,21 @@ impl MatchServer {
                         }
                     }
                 }
-                Parsed::Table(req) => {
+                Parsed::Table(req) if req.right.is_some() => {
                     // A table request is its own single-occupant batch;
                     // its inference interval is its own match run.
                     timeline.flushed = Some(flushed_at);
                     timeline.occupancy = 1;
                     timeline.infer_start = Some(Instant::now());
+                    let right = req.right.as_deref().expect("guarded by the match arm");
+                    m.index_rebuilds.inc();
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         dader_obs::fault::maybe_crash("serve.infer");
                         crate::matching::match_tables(
                             &self.model,
                             &self.encoder,
                             &req.left,
-                            &req.right,
+                            right,
                             req.kind,
                             req.k,
                             batch_size,
@@ -944,6 +1073,22 @@ impl MatchServer {
                             )
                         }
                     }
+                }
+                Parsed::Table(_)
+                | Parsed::Record(_)
+                | Parsed::IndexUpsert { .. }
+                | Parsed::IndexDelete { .. } => {
+                    // Index-backed modes need the shared streaming index,
+                    // which only the TCP event loop carries.
+                    m.errors.inc();
+                    error_body(
+                        ErrorCode::InvalidRequest,
+                        &format!(
+                            "line {lineno}: this mode needs a loaded index — serve with \
+                             --listen and --index (the stdin stream has no index)"
+                        ),
+                        Some(lineno),
+                    )
                 }
                 Parsed::Reload(_) => {
                     m.errors.inc();
@@ -1026,22 +1171,26 @@ pub(crate) fn parse_request(line: &str, lineno: usize) -> Parsed {
         Some(Value::String(mode)) if mode == "match_table" => {
             return parse_table_request(&v, lineno)
         }
+        Some(Value::String(mode)) if mode == "match_record" => {
+            return parse_record_request(&v, lineno)
+        }
+        Some(Value::String(mode)) if mode == "index_upsert" => {
+            return parse_index_upsert(&v, lineno)
+        }
+        Some(Value::String(mode)) if mode == "index_delete" => {
+            return parse_index_delete(&v, lineno)
+        }
         Some(Value::String(mode)) if mode == "reload" => {
-            return match v.get("artifact") {
-                None => Parsed::Reload(None),
-                Some(Value::String(path)) => Parsed::Reload(Some(path.clone())),
-                Some(_) => Parsed::Err(
-                    ErrorCode::InvalidRequest,
-                    format!("line {lineno}: `artifact` must be a path string"),
-                ),
-            };
+            return parse_reload_request(&v, lineno)
         }
         Some(Value::String(mode)) if mode == "status" => return Parsed::Status,
         Some(mode) => {
             return Parsed::Err(
                 ErrorCode::InvalidRequest,
                 format!(
-                    "line {lineno}: unknown mode {mode:?} (expected \"match_table\", \"reload\" or \"status\")"
+                    "line {lineno}: unknown mode {mode:?} (expected \"match_table\", \
+                     \"match_record\", \"index_upsert\", \"index_delete\", \"reload\" or \
+                     \"status\")"
                 ),
             )
         }
@@ -1098,9 +1247,15 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
         Ok(t) => t,
         Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
     };
-    let right = match table("right") {
-        Ok(t) => t,
-        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    // `right` is optional: omitted means "match against the loaded
+    // streaming index" (the blocker the server already holds), present
+    // means "build a throwaway blocker over this inline table".
+    let right = match v.get("right") {
+        None | Some(Value::Null) => None,
+        Some(_) => match table("right") {
+            Ok(t) => Some(t),
+            Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+        },
     };
     let kind = match v.get("blocker") {
         None => crate::matching::BlockerKind::Lsh,
@@ -1154,6 +1309,142 @@ fn parse_table_request(v: &Value, lineno: usize) -> Parsed {
         timings: timings_flag(v),
         deadline_ms,
     }))
+}
+
+/// Parse a `match_record` request: `record` is one attribute object to
+/// probe against the loaded index; `k` (default 10) and `threshold` tune
+/// candidate generation and match acceptance like `match_table`.
+fn parse_record_request(v: &Value, lineno: usize) -> Parsed {
+    let record = match v.get("record") {
+        Some(val) => match scalar_attrs(val, "`record`", lineno) {
+            Ok(attrs) => attrs,
+            Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+        },
+        None => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `record` must be an object of string attributes"),
+            )
+        }
+    };
+    let k = match v.get("k") {
+        None => 10,
+        Some(Value::Number(n)) if *n >= 1.0 && n.trunc() == *n => *n as usize,
+        Some(_) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `k` must be a positive integer"),
+            )
+        }
+    };
+    let threshold = match v.get("threshold") {
+        None => None,
+        Some(Value::Number(n)) if (0.0..=1.0).contains(n) => Some(*n as f32),
+        Some(_) => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `threshold` must be a number in [0, 1]"),
+            )
+        }
+    };
+    let deadline_ms = match deadline_field(v, lineno) {
+        Ok(d) => d,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
+    Parsed::Record(Box::new(RecordRequest {
+        id: v.get("id").cloned(),
+        record,
+        k,
+        threshold,
+        timings: timings_flag(v),
+        deadline_ms,
+    }))
+}
+
+/// Read the required `record_id` string off an index-mutation request.
+fn record_id_field(v: &Value, lineno: usize) -> Result<String, String> {
+    match v.get("record_id") {
+        Some(Value::String(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(_) => Err(format!(
+            "line {lineno}: `record_id` must be a non-empty string"
+        )),
+        None => Err(format!(
+            "line {lineno}: index mutations need a `record_id` string"
+        )),
+    }
+}
+
+/// Parse an `index_upsert` request: `record_id` names the corpus record,
+/// `record` carries its attributes.
+fn parse_index_upsert(v: &Value, lineno: usize) -> Parsed {
+    let record_id = match record_id_field(v, lineno) {
+        Ok(id) => id,
+        Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+    };
+    let record = match v.get("record") {
+        Some(val) => match scalar_attrs(val, "`record`", lineno) {
+            Ok(attrs) => attrs,
+            Err(e) => return Parsed::Err(ErrorCode::InvalidRequest, e),
+        },
+        None => {
+            return Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!("line {lineno}: `record` must be an object of string attributes"),
+            )
+        }
+    };
+    Parsed::IndexUpsert {
+        id: v.get("id").cloned(),
+        record_id,
+        record,
+    }
+}
+
+/// Parse an `index_delete` request: just the `record_id` to tombstone.
+fn parse_index_delete(v: &Value, lineno: usize) -> Parsed {
+    match record_id_field(v, lineno) {
+        Ok(record_id) => Parsed::IndexDelete {
+            id: v.get("id").cloned(),
+            record_id,
+        },
+        Err(e) => Parsed::Err(ErrorCode::InvalidRequest, e),
+    }
+}
+
+/// Parse a `reload` request. `artifact` targets the model, `index` the
+/// corpus index; each takes a path string (or, for `index`, `true` to
+/// re-read the path on file). Asking for both in one line is rejected —
+/// the two swaps are separate failure domains.
+fn parse_reload_request(v: &Value, lineno: usize) -> Parsed {
+    if v.get("artifact").is_some() && v.get("index").is_some() {
+        return Parsed::Err(
+            ErrorCode::InvalidRequest,
+            format!(
+                "line {lineno}: reload either the `artifact` or the `index` per request, not both"
+            ),
+        );
+    }
+    if let Some(idx) = v.get("index") {
+        return match idx {
+            Value::String(path) => Parsed::Reload(ReloadTarget::Index(Some(path.clone()))),
+            Value::Bool(true) => Parsed::Reload(ReloadTarget::Index(None)),
+            _ => Parsed::Err(
+                ErrorCode::InvalidRequest,
+                format!(
+                    "line {lineno}: `index` must be a path string (or `true` to re-read \
+                     the loaded file)"
+                ),
+            ),
+        };
+    }
+    match v.get("artifact") {
+        None => Parsed::Reload(ReloadTarget::Model(None)),
+        Some(Value::String(path)) => Parsed::Reload(ReloadTarget::Model(Some(path.clone()))),
+        Some(_) => Parsed::Err(
+            ErrorCode::InvalidRequest,
+            format!("line {lineno}: `artifact` must be a path string"),
+        ),
+    }
 }
 
 /// Options for TCP serving ([`serve_event_loop`] and the legacy

@@ -16,8 +16,11 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+use dader_block::StreamingIndex;
+use dader_datagen::Entity;
 
 use super::{metrics, MatchServer};
 
@@ -38,6 +41,82 @@ struct BreakerState {
     open_until: Option<Instant>,
 }
 
+/// Summary of the live index, as reported by `/status` and the
+/// `dader index info` CLI.
+#[derive(Debug)]
+pub struct IndexStats {
+    /// Blocker family (`"topk"` or `"lsh"`).
+    pub kind: &'static str,
+    /// Live records (tombstones excluded).
+    pub records: usize,
+    /// Dead slots awaiting compaction.
+    pub tombstones: usize,
+    /// Mutation counter; bumps on every upsert/delete/compact/reload.
+    pub generation: u64,
+    /// Rough in-memory footprint of the slot log.
+    pub approx_bytes: usize,
+}
+
+/// The live corpus index shared between the event loop (mutations answer
+/// inline) and batch workers (`match_record` / index-backed `match_table`
+/// probes). A single `RwLock` keeps the streaming index's mutation
+/// contract: queries take the read side concurrently, mutations and
+/// hot-reloads take the write side, and the generation tag in responses
+/// tells clients exactly which state they observed.
+pub struct SharedIndex {
+    inner: RwLock<StreamingIndex>,
+}
+
+impl SharedIndex {
+    fn new(index: StreamingIndex) -> SharedIndex {
+        SharedIndex {
+            inner: RwLock::new(index),
+        }
+    }
+
+    /// Run `f` against the index under the read lock. Batch workers use
+    /// this for candidate generation; keep `f` free of blocking calls so
+    /// inline mutations on the event loop are not starved.
+    pub fn with<R>(&self, f: impl FnOnce(&StreamingIndex) -> R) -> R {
+        f(&self.inner.read().unwrap())
+    }
+
+    /// Insert or overwrite one record. Returns `(replaced, generation,
+    /// live_records)` after the mutation.
+    pub fn upsert(&self, record: Entity) -> (bool, u64, usize) {
+        let mut idx = self.inner.write().unwrap();
+        let replaced = idx.contains(&record.id);
+        idx.upsert(record);
+        (replaced, idx.generation(), idx.len())
+    }
+
+    /// Tombstone one record by id. Returns `(deleted, generation,
+    /// live_records)`; a miss leaves the generation untouched.
+    pub fn delete(&self, id: &str) -> (bool, u64, usize) {
+        let mut idx = self.inner.write().unwrap();
+        let deleted = idx.delete(id);
+        (deleted, idx.generation(), idx.len())
+    }
+
+    /// Swap in a freshly loaded index (hot reload). The old state is
+    /// dropped; queries already holding the read lock finish first.
+    fn replace(&self, index: StreamingIndex) {
+        *self.inner.write().unwrap() = index;
+    }
+
+    /// Snapshot the stats `/status` reports.
+    pub fn stats(&self) -> IndexStats {
+        let idx = self.inner.read().unwrap();
+        IndexStats {
+            kind: idx.kind().as_str(),
+            records: idx.len(),
+            tombstones: idx.tombstones(),
+            generation: idx.generation(),
+            approx_bytes: idx.approx_bytes(),
+        }
+    }
+}
+
 /// One served model plus its registry version tag.
 pub struct VersionedModel {
     /// The model + encoder answering requests.
@@ -53,6 +132,8 @@ pub struct ModelRegistry {
     artifact_path: Mutex<Option<PathBuf>>,
     generation: AtomicU64,
     breaker: Mutex<BreakerState>,
+    index: Mutex<Option<Arc<SharedIndex>>>,
+    index_path: Mutex<Option<PathBuf>>,
 }
 
 impl ModelRegistry {
@@ -67,6 +148,8 @@ impl ModelRegistry {
             artifact_path: Mutex::new(None),
             generation: AtomicU64::new(1),
             breaker: Mutex::new(BreakerState::default()),
+            index: Mutex::new(None),
+            index_path: Mutex::new(None),
         }
     }
 
@@ -205,6 +288,95 @@ impl ModelRegistry {
         *self.artifact_path.lock().unwrap() = Some(path);
         Ok(version)
     }
+
+    /// The live corpus index, if one is loaded. Batch jobs snapshot this
+    /// `Arc` at flush time; mutations through it are visible to every
+    /// holder immediately (the index is deliberately live, unlike the
+    /// immutable model snapshot).
+    pub fn index(&self) -> Option<Arc<SharedIndex>> {
+        self.index.lock().unwrap().clone()
+    }
+
+    /// Install an already-built index, remembering `path` (if any) so a
+    /// bare index reload re-reads the same file. If an index is already
+    /// live its contents are swapped in place, so `Arc` holders see the
+    /// new state.
+    pub fn install_index(&self, index: StreamingIndex, path: Option<PathBuf>) {
+        {
+            let mut slot = self.index.lock().unwrap();
+            match slot.as_ref() {
+                Some(shared) => shared.replace(index),
+                None => *slot = Some(Arc::new(SharedIndex::new(index))),
+            }
+        }
+        if path.is_some() {
+            *self.index_path.lock().unwrap() = path;
+        }
+    }
+
+    /// Load an [`IndexArtifact`](dader_block::artifact) from disk and
+    /// install it, remembering the path for bare reloads. Used by
+    /// `dader-serve --index` at startup.
+    pub fn load_index_file(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<IndexStats, dader_block::ArtifactError> {
+        let index = StreamingIndex::load_file(&path)?;
+        self.install_index(index, Some(path.as_ref().to_path_buf()));
+        Ok(self.index().expect("just installed").stats())
+    }
+
+    /// Hot-reload the index from `path_override`, or from the path on
+    /// file. Shares the model reload's circuit breaker: a streak of bad
+    /// index files opens it just like a streak of bad model artifacts,
+    /// and a success closes it. The new index is fully loaded and
+    /// validated before the swap — failures leave the live index serving
+    /// untouched.
+    pub fn reload_index(&self, path_override: Option<&Path>) -> Result<IndexStats, String> {
+        {
+            let b = self.breaker.lock().unwrap();
+            if let Some(until) = b.open_until {
+                let now = Instant::now();
+                if now < until {
+                    return Err(format!(
+                        "reload breaker open after {} consecutive failures; retry in {:.1}s",
+                        b.consecutive_failures,
+                        (until - now).as_secs_f64()
+                    ));
+                }
+            }
+        }
+        match self.try_reload_index(path_override) {
+            Ok(stats) => Ok(stats),
+            Err(msg) => {
+                self.record_reload_failure();
+                Err(msg)
+            }
+        }
+    }
+
+    /// One index-reload attempt, breaker not consulted.
+    fn try_reload_index(&self, path_override: Option<&Path>) -> Result<IndexStats, String> {
+        if dader_obs::fault::check("serve.reload").is_some() {
+            return Err("fault injected: serve.reload".to_string());
+        }
+        let path = match path_override {
+            Some(p) => p.to_path_buf(),
+            None => self.index_path.lock().unwrap().clone().ok_or_else(|| {
+                "no index path on file; pass one: \
+                 {\"mode\": \"reload\", \"index\": \"<path>\"}"
+                    .to_string()
+            })?,
+        };
+        let index = StreamingIndex::load_file(&path)
+            .map_err(|e| format!("cannot load index {}: {e}", path.display()))?;
+        self.install_index(index, Some(path));
+        dader_obs::counter("serve_index_reloads_total").inc();
+        // A working index closes the breaker, same as a working model.
+        *self.breaker.lock().unwrap() = BreakerState::default();
+        dader_obs::gauge("serve_reload_breaker_open").set(0.0);
+        Ok(self.index().expect("just installed").stats())
+    }
 }
 
 #[cfg(test)]
@@ -304,5 +476,73 @@ mod tests {
         let v2 = reg.install(tiny_server(7));
         assert_eq!(v2, "v2");
         assert!(!reg.breaker_open(), "a working model closes the breaker");
+    }
+
+    use dader_block::StreamKind;
+
+    fn rec(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    #[test]
+    fn index_slot_starts_empty_and_mutates_in_place() {
+        let reg = ModelRegistry::new(tiny_server(8));
+        assert!(reg.index().is_none());
+        reg.install_index(
+            StreamingIndex::build(StreamKind::TfIdf, &[rec("b0", "kodak esp")]),
+            None,
+        );
+        let idx = reg.index().expect("installed");
+        let (replaced, g1, n1) = idx.upsert(rec("b1", "sony bravia"));
+        assert!(!replaced);
+        assert_eq!(n1, 2);
+        let (replaced, g2, n2) = idx.upsert(rec("b1", "sony bravia tv"));
+        assert!(replaced, "same id again is an overwrite");
+        assert_eq!((n2, g2), (2, g1 + 1));
+        let (deleted, g3, n3) = idx.delete("b0");
+        assert!(deleted);
+        assert_eq!((n3, g3), (1, g2 + 1));
+        let (deleted, g4, _) = idx.delete("b0");
+        assert!(!deleted, "double delete is a miss");
+        assert_eq!(g4, g3, "a miss must not bump the generation");
+        // Mutations are visible through every Arc holder — the slot is
+        // live, not snapshotted.
+        assert_eq!(reg.index().unwrap().stats().records, 1);
+        assert_eq!(idx.stats().tombstones, 2);
+    }
+
+    #[test]
+    fn index_reload_swaps_in_place_and_failures_keep_serving() {
+        let reg = ModelRegistry::new(tiny_server(9));
+        let err = reg.reload_index(None).unwrap_err();
+        assert!(err.contains("no index path on file"), "{err}");
+
+        let path = std::env::temp_dir()
+            .join(format!("dader_registry_idx_{}.ddi", std::process::id()));
+        StreamingIndex::build(StreamKind::TfIdf, &[rec("b0", "kodak esp")])
+            .save_file(&path)
+            .unwrap();
+        let stats = reg.reload_index(Some(&path)).unwrap();
+        assert_eq!(stats.records, 1);
+        let held = reg.index().expect("loaded");
+
+        // Re-save a bigger index and bare-reload from the stored path:
+        // the Arc held across the swap sees the new contents.
+        StreamingIndex::build(
+            StreamKind::TfIdf,
+            &[rec("b0", "kodak esp"), rec("b1", "hp laserjet")],
+        )
+        .save_file(&path)
+        .unwrap();
+        let stats = reg.reload_index(None).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(held.stats().records, 2, "swap must be in place");
+
+        // A bad file fails typed and leaves the live index untouched.
+        std::fs::write(&path, b"garbage").unwrap();
+        let err = reg.reload_index(None).unwrap_err();
+        assert!(err.contains("cannot load index"), "{err}");
+        assert_eq!(held.stats().records, 2);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -151,6 +151,39 @@ pub(crate) fn status_snapshot(registry: Option<&ModelRegistry>) -> Value {
                 ),
             ]),
         ));
+        if let Some(idx) = reg.index() {
+            let s = idx.stats();
+            kvs.push((
+                "index".to_string(),
+                Value::Object(vec![
+                    (
+                        "kind".to_string(),
+                        Value::String(s.kind.to_string()),
+                    ),
+                    ("records".to_string(), Value::Int(s.records as i64)),
+                    (
+                        "tombstones".to_string(),
+                        Value::Int(s.tombstones as i64),
+                    ),
+                    (
+                        "generation".to_string(),
+                        Value::Int(s.generation as i64),
+                    ),
+                    (
+                        "approx_bytes".to_string(),
+                        Value::Int(s.approx_bytes as i64),
+                    ),
+                    (
+                        "hits_total".to_string(),
+                        Value::Int(m.index_hits.get() as i64),
+                    ),
+                    (
+                        "rebuilds_total".to_string(),
+                        Value::Int(m.index_rebuilds.get() as i64),
+                    ),
+                ]),
+            ));
+        }
     }
     Value::Object(kvs)
 }

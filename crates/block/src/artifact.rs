@@ -1,0 +1,406 @@
+//! Durable blocking indexes: the `IndexArtifact` on-disk format.
+//!
+//! A [`StreamingIndex`] is built once over a corpus and then reopened in
+//! milliseconds — the load path deserializes the cached per-record term
+//! counts / MinHash signatures and rehashes the cheap LSH band keys, but
+//! never re-tokenizes or re-MinHashes a record.
+//!
+//! ## Wire format
+//!
+//! Index files share the exact frame discipline of model artifacts
+//! (`dader_core::artifact`): magic, version, declared body length, IEEE
+//! CRC-32 over the body, atomic write-via-rename, and typed
+//! [`ArtifactError`]s for every corruption mode.
+//!
+//! ```text
+//! magic    "DDRI"
+//! version  u32 LE, 1; greater rejected
+//! body_len u64 LE
+//! body     (below)
+//! crc32    u32 LE over the body
+//! ```
+//!
+//! Body layout (all integers LE; strings are u64 length + UTF-8):
+//!
+//! ```text
+//! kind         u8: 0 = tfidf, 1 = lsh
+//! [lsh only]   bands u64, rows u64, q u64, seed u64
+//! generation   u64
+//! n_slots      u64
+//! per slot     alive u8, id str, n_attrs u64, (key str, value str)*
+//! tfidf section:
+//!   n_tokens   u64, then n_tokens strings, strictly ascending
+//!   offsets    (n_slots + 1) u64 prefix offsets into the pair array
+//!   n_pairs    u64 (= offsets[n_slots])
+//!   pairs      n_pairs × (token_id u32, count u32), contiguous
+//! lsh section:
+//!   n_words    u64 (= n_slots × bands × rows)
+//!   sigs       n_words u64 signature words, contiguous
+//! ```
+//!
+//! Tombstoned slots persist (`alive = 0`), so save → load is an exact
+//! round trip of the index state including its compaction debt. The
+//! kind-specific sections are single contiguous arrays over a shared
+//! string table — postings reconstruct by a linear scan, and the layout
+//! maps straight into an mmap-style reader if one is ever wanted.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use dader_core::artifact::{read_framed, write_framed, ArtifactError, ByteReader, ByteWriter};
+use dader_datagen::Entity;
+
+use crate::lsh::LshParams;
+use crate::stream::{Slot, SlotPayload, StreamKind, StreamingIndex};
+
+/// Magic bytes of an index-artifact file.
+pub const INDEX_MAGIC: [u8; 4] = *b"DDRI";
+/// Current (and maximum readable) index format version.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+
+const KIND_TAG_TFIDF: u8 = 0;
+const KIND_TAG_LSH: u8 = 1;
+
+impl StreamingIndex {
+    /// Save to `path` in the versioned binary format (atomic
+    /// write-via-rename; see the module docs for the layout).
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let _g = dader_obs::span!("block.index.save");
+        let mut w = ByteWriter::new();
+        match self.kind() {
+            StreamKind::TfIdf => w.put_u8(KIND_TAG_TFIDF),
+            StreamKind::Lsh(p) => {
+                w.put_u8(KIND_TAG_LSH);
+                for v in [p.bands as u64, p.rows as u64, p.q as u64, p.seed] {
+                    w.put_u64(v);
+                }
+            }
+        }
+        w.put_u64(self.generation());
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_u8(s.alive as u8);
+            w.put_str(&s.entity.id);
+            w.put_usize(s.entity.attrs.len());
+            for (k, v) in &s.entity.attrs {
+                w.put_str(k);
+                w.put_str(v);
+            }
+        }
+        match self.kind() {
+            StreamKind::TfIdf => encode_tfidf_section(&mut w, &self.slots),
+            StreamKind::Lsh(_) => encode_lsh_section(&mut w, &self.slots),
+        }
+        write_framed(path.as_ref(), INDEX_MAGIC, INDEX_FORMAT_VERSION, &w.buf)
+    }
+
+    /// Load an index saved by [`StreamingIndex::save_file`], validating
+    /// magic, version, CRC and the structural integrity of every section.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<StreamingIndex, ArtifactError> {
+        let _g = dader_obs::span!("block.index.load");
+        let (_version, body) = read_framed(path.as_ref(), INDEX_MAGIC, INDEX_FORMAT_VERSION)?;
+        let mut r = ByteReader::new(&body);
+        let kind = match r.take_u8()? {
+            KIND_TAG_TFIDF => StreamKind::TfIdf,
+            KIND_TAG_LSH => {
+                let bands = r.take_len(0)?;
+                let rows = r.take_len(0)?;
+                let q = r.take_len(0)?;
+                let seed = r.take_u64()?;
+                if bands == 0 || rows == 0 {
+                    return Err(ArtifactError::Malformed(format!(
+                        "lsh index needs at least one band and row, got {bands}x{rows}"
+                    )));
+                }
+                if bands.checked_mul(rows).is_none() {
+                    return Err(ArtifactError::Malformed(format!(
+                        "lsh signature length {bands}x{rows} overflows"
+                    )));
+                }
+                StreamKind::Lsh(LshParams { bands, rows, q, seed })
+            }
+            tag => {
+                return Err(ArtifactError::Malformed(format!("unknown index kind tag {tag}")));
+            }
+        };
+        let generation = r.take_u64()?;
+        let n_slots = r.take_len(0)?;
+        let mut records = Vec::with_capacity(n_slots.min(1 << 20));
+        for slot in 0..n_slots {
+            let alive = match r.take_u8()? {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "slot {slot}: alive flag must be 0 or 1, got {b}"
+                    )));
+                }
+            };
+            let id = r.take_str()?;
+            let n_attrs = r.take_len(0)?;
+            let mut attrs = Vec::with_capacity(n_attrs.min(1 << 16));
+            for _ in 0..n_attrs {
+                let k = r.take_str()?;
+                let v = r.take_str()?;
+                attrs.push((k, v));
+            }
+            records.push((alive, Entity { id, attrs }));
+        }
+        let payloads = match kind {
+            StreamKind::TfIdf => decode_tfidf_section(&mut r, n_slots)?,
+            StreamKind::Lsh(p) => decode_lsh_section(&mut r, n_slots, p.bands * p.rows)?,
+        };
+        r.expect_end()?;
+        let mut seen_live: HashMap<&str, usize> = HashMap::new();
+        for (slot, (alive, e)) in records.iter().enumerate() {
+            if *alive {
+                if let Some(prev) = seen_live.insert(e.id.as_str(), slot) {
+                    return Err(ArtifactError::Malformed(format!(
+                        "live id {:?} appears in slots {prev} and {slot}",
+                        e.id
+                    )));
+                }
+            }
+        }
+        let slots: Vec<Slot> = records
+            .into_iter()
+            .zip(payloads)
+            .map(|((alive, entity), payload)| Slot { entity, alive, payload })
+            .collect();
+        Ok(StreamingIndex::from_parts(kind, slots, generation))
+    }
+}
+
+/// TF-IDF: shared sorted string table plus one contiguous `(token_id,
+/// count)` pair array addressed by per-slot prefix offsets.
+fn encode_tfidf_section(w: &mut ByteWriter, slots: &[Slot]) {
+    let mut tokens: Vec<&str> = slots
+        .iter()
+        .flat_map(|s| match &s.payload {
+            SlotPayload::TfIdf(counts) => counts.keys().map(String::as_str).collect::<Vec<_>>(),
+            SlotPayload::Lsh(_) => Vec::new(),
+        })
+        .collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    let token_id: HashMap<&str, u32> =
+        tokens.iter().enumerate().map(|(i, &t)| (t, i as u32)).collect();
+    w.put_usize(tokens.len());
+    for t in &tokens {
+        w.put_str(t);
+    }
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut offsets: Vec<u64> = Vec::with_capacity(slots.len() + 1);
+    offsets.push(0);
+    for s in slots {
+        if let SlotPayload::TfIdf(counts) = &s.payload {
+            let mut terms: Vec<(&String, &usize)> = counts.iter().collect();
+            terms.sort_by(|a, b| a.0.cmp(b.0));
+            for (t, &c) in terms {
+                pairs.push((token_id[t.as_str()], c.min(u32::MAX as usize) as u32));
+            }
+        }
+        offsets.push(pairs.len() as u64);
+    }
+    for off in &offsets {
+        w.put_u64(*off);
+    }
+    w.put_usize(pairs.len());
+    for (id, count) in &pairs {
+        w.put_u32(*id);
+        w.put_u32(*count);
+    }
+}
+
+fn decode_tfidf_section(
+    r: &mut ByteReader<'_>,
+    n_slots: usize,
+) -> Result<Vec<SlotPayload>, ArtifactError> {
+    let n_tokens = r.take_len(1)?;
+    let mut tokens = Vec::with_capacity(n_tokens.min(1 << 20));
+    for i in 0..n_tokens {
+        let t = r.take_str()?;
+        if let Some(prev) = tokens.last() {
+            if *prev >= t {
+                return Err(ArtifactError::Malformed(format!(
+                    "token table not strictly ascending at entry {i}"
+                )));
+            }
+        }
+        tokens.push(t);
+    }
+    let mut offsets = Vec::with_capacity(n_slots + 1);
+    for i in 0..=n_slots {
+        let off = r.take_u64()?;
+        if let Some(&prev) = offsets.last() {
+            if off < prev {
+                return Err(ArtifactError::Malformed(format!(
+                    "pair offsets decrease at slot {i}: {prev} -> {off}"
+                )));
+            }
+        } else if off != 0 {
+            return Err(ArtifactError::Malformed(format!("first pair offset is {off}, not 0")));
+        }
+        offsets.push(off);
+    }
+    let n_pairs = r.take_len(8)?;
+    if offsets[n_slots] != n_pairs as u64 {
+        return Err(ArtifactError::Malformed(format!(
+            "final offset {} disagrees with pair count {n_pairs}",
+            offsets[n_slots]
+        )));
+    }
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let id = r.take_u32()?;
+        let count = r.take_u32()?;
+        if id as usize >= tokens.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "token id {id} out of range ({} tokens)",
+                tokens.len()
+            )));
+        }
+        if count == 0 {
+            return Err(ArtifactError::Malformed("zero term count in pair array".to_string()));
+        }
+        pairs.push((id, count));
+    }
+    let mut payloads = Vec::with_capacity(n_slots);
+    for slot in 0..n_slots {
+        let (a, b) = (offsets[slot] as usize, offsets[slot + 1] as usize);
+        let mut counts = HashMap::with_capacity(b - a);
+        for &(id, count) in &pairs[a..b] {
+            if counts.insert(tokens[id as usize].clone(), count as usize).is_some() {
+                return Err(ArtifactError::Malformed(format!(
+                    "slot {slot}: duplicate token id {id} in pair range"
+                )));
+            }
+        }
+        payloads.push(SlotPayload::TfIdf(counts));
+    }
+    Ok(payloads)
+}
+
+/// LSH: one contiguous u64 array of `n_slots × sig_len` signature words.
+fn encode_lsh_section(w: &mut ByteWriter, slots: &[Slot]) {
+    let total: usize = slots
+        .iter()
+        .map(|s| match &s.payload {
+            SlotPayload::Lsh(sig) => sig.len(),
+            SlotPayload::TfIdf(_) => 0,
+        })
+        .sum();
+    w.put_usize(total);
+    for s in slots {
+        if let SlotPayload::Lsh(sig) = &s.payload {
+            for &v in sig {
+                w.put_u64(v);
+            }
+        }
+    }
+}
+
+fn decode_lsh_section(
+    r: &mut ByteReader<'_>,
+    n_slots: usize,
+    sig_len: usize,
+) -> Result<Vec<SlotPayload>, ArtifactError> {
+    let n_words = r.take_len(8)?;
+    let expected = n_slots.checked_mul(sig_len).ok_or_else(|| {
+        ArtifactError::Malformed(format!("{n_slots} signatures of {sig_len} words overflow"))
+    })?;
+    if n_words != expected {
+        return Err(ArtifactError::Malformed(format!(
+            "signature array holds {n_words} words, expected {n_slots} x {sig_len} = {expected}"
+        )));
+    }
+    // One bounds check for the whole array, then straight-line LE decode.
+    let bytes = r.take(n_words * 8)?;
+    let mut words = bytes.chunks_exact(8);
+    let mut payloads = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        let mut sig = Vec::with_capacity(sig_len);
+        for _ in 0..sig_len {
+            let chunk = words.next().expect("sized by the n_words check");
+            sig.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        payloads.push(SlotPayload::Lsh(sig));
+    }
+    Ok(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Blocker, Candidate};
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    fn bits(cands: &[Candidate]) -> Vec<(usize, u32)> {
+        cands.iter().map(|c| (c.right, c.score.to_bits())).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dader_idx_{}_{name}.ddi", std::process::id()))
+    }
+
+    #[test]
+    fn tfidf_round_trip_preserves_candidates_and_state() {
+        let mut idx = StreamingIndex::build(
+            StreamKind::TfIdf,
+            &[
+                entity("b0", "kodak esp 7250 printer"),
+                entity("b1", "sony bravia television"),
+                entity("b2", "kodak esp printer ink"),
+            ],
+        );
+        idx.delete("b1");
+        let path = tmp("tfidf_rt");
+        idx.save_file(&path).unwrap();
+        let loaded = StreamingIndex::load_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.kind(), StreamKind::TfIdf);
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.tombstones(), idx.tombstones());
+        assert_eq!(loaded.generation(), idx.generation());
+        let probe = entity("a", "kodak esp printer");
+        assert_eq!(bits(&loaded.candidates(&probe, 5)), bits(&idx.candidates(&probe, 5)));
+    }
+
+    #[test]
+    fn lsh_round_trip_preserves_candidates_and_state() {
+        let params = LshParams { bands: 16, rows: 2, q: 3, seed: 42 };
+        let mut idx = StreamingIndex::build(
+            StreamKind::Lsh(params),
+            &[
+                entity("b0", "kodak easyshare esp inkjet printer"),
+                entity("b1", "romantic italian restaurant"),
+            ],
+        );
+        idx.upsert(entity("b2", "kodak easyshare printer"));
+        let path = tmp("lsh_rt");
+        idx.save_file(&path).unwrap();
+        let loaded = StreamingIndex::load_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.kind(), StreamKind::Lsh(params));
+        let probe = entity("a", "kodak easyshare esp printer");
+        assert_eq!(bits(&loaded.candidates(&probe, 5)), bits(&idx.candidates(&probe, 5)));
+        // A loaded index stays mutable.
+        let mut loaded = loaded;
+        loaded.upsert(entity("b3", "kodak easyshare esp inkjet"));
+        assert_eq!(loaded.len(), 4);
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = StreamingIndex::new(StreamKind::TfIdf);
+        let path = tmp("empty");
+        idx.save_file(&path).unwrap();
+        let loaded = StreamingIndex::load_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(loaded.is_empty());
+        assert!(loaded.candidates(&entity("a", "kodak"), 5).is_empty());
+    }
+}

@@ -24,6 +24,12 @@
 //! [`reduction_ratio`] (how much of the cross product was avoided).
 //! [`table`] parses raw CSV tables into records with typed,
 //! line-numbered row errors so one malformed row never aborts a run.
+//!
+//! For long-lived deployments, [`stream::StreamingIndex`] wraps either
+//! blocker family behind `upsert`/`delete`/`compact` mutations that stay
+//! equivalent to a from-scratch rebuild, and [`artifact`] persists an
+//! index to disk (`IndexArtifact`, magic `DDRI`) so it is built once and
+//! reopened in milliseconds.
 
 use std::sync::OnceLock;
 
@@ -31,12 +37,17 @@ use dader_datagen::Entity;
 use dader_obs::{Counter, Histogram, CANDIDATE_SET_BUCKETS};
 use dader_tensor::pool;
 
+pub mod artifact;
 pub mod lsh;
+pub mod stream;
 pub mod table;
 pub mod tfidf;
 pub mod topk;
 
+pub use artifact::{INDEX_FORMAT_VERSION, INDEX_MAGIC};
+pub use dader_core::artifact::ArtifactError;
 pub use lsh::{LshParams, MinHashLshBlocker};
+pub use stream::{StreamKind, StreamingIndex};
 pub use table::{parse_csv, RecordTable, RowError, TableErrorCode};
 pub use tfidf::TfIdfBlocker;
 pub use topk::TopK;

@@ -30,7 +30,7 @@ use crate::{Blocker, Candidate};
 
 /// Tuning knobs for the MinHash-LSH index. Signature length is
 /// `bands * rows`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LshParams {
     /// Number of bands (OR-amplification: more bands → higher recall).
     pub bands: usize,
@@ -147,7 +147,7 @@ impl MinHashLshBlocker {
     }
 
     /// One bucket key per band: FNV over the band's row slice.
-    fn band_keys(&self, sig: &[u64]) -> Vec<u64> {
+    pub(crate) fn band_keys(&self, sig: &[u64]) -> Vec<u64> {
         (0..self.params.bands)
             .map(|band| {
                 let mut bytes = Vec::with_capacity(8 * (self.params.rows + 1));
@@ -162,7 +162,7 @@ impl MinHashLshBlocker {
 
     /// Estimated Jaccard similarity between two signatures: the fraction
     /// of agreeing positions.
-    fn estimate(&self, a: &[u64], b: &[u64]) -> f32 {
+    pub(crate) fn estimate(&self, a: &[u64], b: &[u64]) -> f32 {
         let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
         eq as f32 / a.len() as f32
     }

@@ -1,0 +1,588 @@
+//! Streaming (mutable) blocking indexes for long-lived ER deployments.
+//!
+//! The batch blockers ([`TfIdfBlocker`], [`crate::MinHashLshBlocker`])
+//! are build-once: any change to the corpus means a full rebuild. A
+//! [`StreamingIndex`] wraps either family behind `upsert` / `delete` /
+//! `compact` mutations while staying **provably equivalent** to a
+//! from-scratch rebuild over the live records at every point
+//! (`stream_proptest.rs` locks candidate sets and top-k order together
+//! bitwise):
+//!
+//! - Records live in append-only *slots*. An upsert tokenizes (TF-IDF
+//!   term counts) or MinHashes (LSH signature) the record exactly once
+//!   and appends a slot; upserting an existing id tombstones the old
+//!   slot, so the record moves to the end of the live order. A delete
+//!   tombstones the slot in place. Tombstones are filtered at query
+//!   time; `compact` drops them and renumbers.
+//! - LSH is truly incremental: the per-band buckets are append-only
+//!   maps of slot ids, and a query unions bucket mates, filters the
+//!   dead, and ranks by full-signature agreement — bit-identical to the
+//!   batch blocker because signatures and estimates are pure functions
+//!   of `(params, record)`.
+//! - TF-IDF has *global* coupling (every weight depends on the live
+//!   document frequencies and corpus size), so its postings are derived
+//!   **lazily**: the first query after a mutation rebuilds them from the
+//!   cached per-slot term counts through the exact same
+//!   [`TfIdfBlocker::from_term_counts`] path the batch build uses — the
+//!   expensive text processing is never repeated, and score bits match
+//!   by construction.
+//!
+//! Candidate `right` indices refer to *live rank*: position in the live
+//! record order (slot order with tombstones skipped), i.e. exactly the
+//! index a from-scratch build over [`StreamingIndex::live_entities`]
+//! would report.
+//!
+//! Every mutation bumps a monotonic `generation`, echoed by the serving
+//! protocol so clients can observe index churn. Persistence (the
+//! `IndexArtifact` binary format) lives in [`crate::artifact`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+use dader_datagen::Entity;
+
+use crate::lsh::{LshParams, MinHashLshBlocker};
+use crate::tfidf::{term_counts, TfIdfBlocker};
+use crate::topk::TopK;
+use crate::{Blocker, Candidate};
+
+/// LSH band-bucket keys are already FNV-mixed 64-bit hashes, so the
+/// bucket maps skip SipHash for a single multiply by a odd constant
+/// (Fibonacci hashing) — measurably faster across bulk loads and
+/// rebuilds, and candidate sets cannot depend on map iteration order
+/// (queries only ever look keys up).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct PremixedKey(u64);
+
+impl std::hash::Hasher for PremixedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by u64 keys; FNV keeps any other caller correct.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+}
+
+impl std::hash::BuildHasher for PremixedKey {
+    type Hasher = PremixedKey;
+
+    fn build_hasher(&self) -> PremixedKey {
+        PremixedKey(0)
+    }
+}
+
+/// One band's bucket map: FNV band key → slot ids ascending.
+pub(crate) type BucketMap = HashMap<u64, Vec<usize>, PremixedKey>;
+
+/// Which blocker family a [`StreamingIndex`] maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// TF-IDF inverted index (`topk` on the CLI).
+    TfIdf,
+    /// MinHash-LSH over character q-grams (`lsh` on the CLI).
+    Lsh(LshParams),
+}
+
+impl StreamKind {
+    /// Parse a CLI/protocol name (`topk`, `tfidf`, or `lsh`); LSH gets
+    /// the default reproducible parameters.
+    pub fn parse(s: &str) -> Option<StreamKind> {
+        match s {
+            "topk" | "tfidf" => Some(StreamKind::TfIdf),
+            "lsh" => Some(StreamKind::Lsh(LshParams::default())),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StreamKind::TfIdf => "topk",
+            StreamKind::Lsh(_) => "lsh",
+        }
+    }
+}
+
+/// The text-processing work an upsert performs exactly once, cached in
+/// the slot so neither queries nor derived rebuilds repeat it.
+pub(crate) enum SlotPayload {
+    /// TF-IDF: the record's term frequencies.
+    TfIdf(HashMap<String, usize>),
+    /// LSH: the record's MinHash signature (`bands * rows` positions).
+    Lsh(Vec<u64>),
+}
+
+/// One record in the append-only slot log.
+pub(crate) struct Slot {
+    pub(crate) entity: Entity,
+    pub(crate) alive: bool,
+    pub(crate) payload: SlotPayload,
+}
+
+/// State recomputed lazily after a mutation: the live-rank mapping, plus
+/// (TF-IDF only) the inverted index over the live records.
+struct Derived {
+    /// Live rank → slot id, in slot order.
+    live: Vec<usize>,
+    /// Slot id → live rank (`usize::MAX` for tombstones).
+    rank: Vec<usize>,
+    /// TF-IDF postings over the live records (`None` for LSH).
+    tfidf: Option<TfIdfBlocker>,
+}
+
+/// A mutable blocking index equivalent to a from-scratch rebuild over
+/// its live records at every mutation point. See the module docs for
+/// the design; see [`crate::artifact`] for on-disk persistence.
+pub struct StreamingIndex {
+    kind: StreamKind,
+    pub(crate) slots: Vec<Slot>,
+    /// Live record id → slot id (tombstoned ids are absent).
+    pub(crate) by_id: HashMap<String, usize>,
+    pub(crate) tombstones: usize,
+    pub(crate) generation: u64,
+    /// LSH only: an empty batch blocker carrying the seeded hash family
+    /// (signatures and band keys are pure functions of it).
+    hasher: Option<MinHashLshBlocker>,
+    /// LSH only: per band, bucket key → slot ids ascending. Append-only
+    /// between compactions; tombstoned slots are filtered at query time.
+    lsh_buckets: Vec<BucketMap>,
+    /// Lazily rebuilt after mutations; interior mutability so queries
+    /// work through `&self` (the [`Blocker`] contract).
+    derived: RwLock<Option<Arc<Derived>>>,
+}
+
+impl std::fmt::Debug for StreamingIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingIndex")
+            .field("kind", &self.kind)
+            .field("live", &self.len())
+            .field("tombstones", &self.tombstones)
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl StreamingIndex {
+    /// An empty index of the given family, at generation 1.
+    pub fn new(kind: StreamKind) -> StreamingIndex {
+        let (hasher, lsh_buckets) = match kind {
+            StreamKind::TfIdf => (None, Vec::new()),
+            StreamKind::Lsh(params) => (
+                Some(MinHashLshBlocker::build(&[], params)),
+                (0..params.bands).map(|_| BucketMap::default()).collect(),
+            ),
+        };
+        StreamingIndex {
+            kind,
+            slots: Vec::new(),
+            by_id: HashMap::new(),
+            tombstones: 0,
+            generation: 1,
+            hasher,
+            lsh_buckets,
+            derived: RwLock::new(None),
+        }
+    }
+
+    /// Build an index by upserting every record in order (later records
+    /// win on duplicate ids, exactly like a stream would).
+    pub fn build(kind: StreamKind, records: &[Entity]) -> StreamingIndex {
+        let _g = dader_obs::span!("block.stream.build");
+        let mut index = StreamingIndex::new(kind);
+        for r in records {
+            index.upsert(r.clone());
+        }
+        index
+    }
+
+    /// Rebuild the index from already-validated parts (the artifact load
+    /// path): derives `by_id`, tombstone count and the LSH buckets from
+    /// the slot log.
+    pub(crate) fn from_parts(
+        kind: StreamKind,
+        slots: Vec<Slot>,
+        generation: u64,
+    ) -> StreamingIndex {
+        let mut index = StreamingIndex::new(kind);
+        index.tombstones = slots.iter().filter(|s| !s.alive).count();
+        for (i, s) in slots.iter().enumerate() {
+            if s.alive {
+                index.by_id.insert(s.entity.id.clone(), i);
+            }
+        }
+        index.slots = slots;
+        index.generation = generation;
+        index.rebuild_lsh_buckets();
+        index
+    }
+
+    /// Which blocker family this index maintains.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.tombstones
+    }
+
+    /// True when no live records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Monotonic mutation counter (starts at 1, bumped by every upsert,
+    /// delete and compaction) — echoed in serving responses.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether a live record with this id exists.
+    pub fn contains(&self, id: &str) -> bool {
+        self.by_id.contains_key(id)
+    }
+
+    /// The live record at `rank` (the `right` index candidates report).
+    pub fn get(&self, rank: usize) -> Option<&Entity> {
+        let d = self.derived();
+        d.live.get(rank).map(|&slot| &self.slots[slot].entity)
+    }
+
+    /// All live records in live-rank order — the table a from-scratch
+    /// rebuild would index.
+    pub fn live_entities(&self) -> Vec<Entity> {
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.entity.clone())
+            .collect()
+    }
+
+    /// Rough in-memory footprint in bytes (strings, payloads, buckets);
+    /// an observability number, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = self.slots.len() * std::mem::size_of::<Slot>();
+        for s in &self.slots {
+            bytes += s.entity.id.len();
+            for (k, v) in &s.entity.attrs {
+                bytes += k.len() + v.len() + 2 * std::mem::size_of::<String>();
+            }
+            bytes += match &s.payload {
+                SlotPayload::TfIdf(counts) => counts
+                    .keys()
+                    .map(|t| t.len() + std::mem::size_of::<String>() + 8)
+                    .sum::<usize>(),
+                SlotPayload::Lsh(sig) => sig.len() * 8,
+            };
+        }
+        for band in &self.lsh_buckets {
+            bytes += band.values().map(|v| 16 + v.len() * 8).sum::<usize>();
+        }
+        bytes
+    }
+
+    /// Insert or replace the record with `entity.id`. The text is
+    /// processed exactly once here; replacing an existing id tombstones
+    /// its old slot, so the record moves to the end of the live order.
+    pub fn upsert(&mut self, entity: Entity) {
+        let payload = self.payload_for(&entity);
+        if let Some(&old) = self.by_id.get(&entity.id) {
+            if self.slots[old].alive {
+                self.slots[old].alive = false;
+                self.tombstones += 1;
+            }
+        }
+        let slot = self.slots.len();
+        self.by_id.insert(entity.id.clone(), slot);
+        if let SlotPayload::Lsh(sig) = &payload {
+            let keys = self.hasher.as_ref().expect("lsh hasher").band_keys(sig);
+            for (band, key) in keys.into_iter().enumerate() {
+                self.lsh_buckets[band].entry(key).or_default().push(slot);
+            }
+        }
+        self.slots.push(Slot { entity, alive: true, payload });
+        self.touch();
+    }
+
+    /// Tombstone the live record with this id. Returns `false` (and
+    /// leaves the generation untouched) when no such record exists.
+    pub fn delete(&mut self, id: &str) -> bool {
+        match self.by_id.get(id).copied() {
+            Some(slot) if self.slots[slot].alive => {
+                self.slots[slot].alive = false;
+                self.tombstones += 1;
+                self.by_id.remove(id);
+                self.touch();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop every tombstoned slot and renumber: afterwards slot order
+    /// equals live rank and the LSH buckets hold no dead entries. Live
+    /// order — and therefore every candidate set — is unchanged.
+    pub fn compact(&mut self) {
+        let mut slots = Vec::with_capacity(self.len());
+        for s in std::mem::take(&mut self.slots) {
+            if s.alive {
+                slots.push(s);
+            }
+        }
+        self.slots = slots;
+        self.by_id = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.entity.id.clone(), i))
+            .collect();
+        self.tombstones = 0;
+        self.rebuild_lsh_buckets();
+        self.touch();
+    }
+
+    /// The cached text-processing payload for one record.
+    fn payload_for(&self, e: &Entity) -> SlotPayload {
+        match self.kind {
+            StreamKind::TfIdf => SlotPayload::TfIdf(term_counts(e)),
+            StreamKind::Lsh(_) => {
+                SlotPayload::Lsh(self.hasher.as_ref().expect("lsh hasher").signature(e))
+            }
+        }
+    }
+
+    /// Rebuild the per-band buckets from the cached signatures (all
+    /// slots, ascending — cheap FNV hashing, no MinHash recomputation).
+    /// Used by compaction and the artifact load path.
+    fn rebuild_lsh_buckets(&mut self) {
+        let StreamKind::Lsh(params) = self.kind else { return };
+        let hasher = self.hasher.as_ref().expect("lsh hasher");
+        let mut buckets: Vec<BucketMap> =
+            (0..params.bands).map(|_| BucketMap::default()).collect();
+        for (slot, s) in self.slots.iter().enumerate() {
+            let SlotPayload::Lsh(sig) = &s.payload else { continue };
+            for (band, key) in hasher.band_keys(sig).into_iter().enumerate() {
+                buckets[band].entry(key).or_default().push(slot);
+            }
+        }
+        self.lsh_buckets = buckets;
+    }
+
+    /// A mutation happened: bump the generation and drop the derived
+    /// state so the next query rebuilds it.
+    fn touch(&mut self) {
+        self.generation += 1;
+        *self.derived.get_mut().unwrap() = None;
+    }
+
+    /// The derived state, rebuilding it if a mutation invalidated it.
+    /// Double-checked under the write lock so concurrent queries rebuild
+    /// once and share the `Arc`.
+    fn derived(&self) -> Arc<Derived> {
+        if let Some(d) = self.derived.read().unwrap().as_ref() {
+            return Arc::clone(d);
+        }
+        let mut guard = self.derived.write().unwrap();
+        if let Some(d) = guard.as_ref() {
+            return Arc::clone(d);
+        }
+        let d = Arc::new(self.build_derived());
+        *guard = Some(Arc::clone(&d));
+        d
+    }
+
+    fn build_derived(&self) -> Derived {
+        let _g = dader_obs::span!("block.stream.derive");
+        let mut live = Vec::with_capacity(self.len());
+        let mut rank = vec![usize::MAX; self.slots.len()];
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.alive {
+                rank[i] = live.len();
+                live.push(i);
+            }
+        }
+        let tfidf = match self.kind {
+            StreamKind::TfIdf => {
+                let docs: Vec<&HashMap<String, usize>> = live
+                    .iter()
+                    .map(|&i| match &self.slots[i].payload {
+                        SlotPayload::TfIdf(counts) => counts,
+                        SlotPayload::Lsh(_) => unreachable!("tfidf index holds tfidf payloads"),
+                    })
+                    .collect();
+                Some(TfIdfBlocker::from_term_counts(&docs))
+            }
+            StreamKind::Lsh(_) => None,
+        };
+        Derived { live, rank, tfidf }
+    }
+}
+
+impl Blocker for StreamingIndex {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            StreamKind::TfIdf => "tfidf",
+            StreamKind::Lsh(_) => "lsh",
+        }
+    }
+
+    fn n_right(&self) -> usize {
+        self.len()
+    }
+
+    fn candidates(&self, record: &Entity, k: usize) -> Vec<Candidate> {
+        let d = self.derived();
+        match self.kind {
+            StreamKind::TfIdf => d.tfidf.as_ref().expect("tfidf derived").candidates(record, k),
+            StreamKind::Lsh(_) => {
+                let hasher = self.hasher.as_ref().expect("lsh hasher");
+                let sig = hasher.signature(record);
+                let mut seen: HashSet<usize> = HashSet::new();
+                for (band, key) in hasher.band_keys(&sig).into_iter().enumerate() {
+                    if let Some(mates) = self.lsh_buckets[band].get(&key) {
+                        seen.extend(mates.iter().copied().filter(|&s| self.slots[s].alive));
+                    }
+                }
+                // Scores are pure in (probe, candidate signature) and
+                // TopK's order is total, so HashSet iteration order is
+                // immaterial — same guarantee as the batch blocker.
+                let mut top = TopK::new(k);
+                for slot in seen {
+                    let SlotPayload::Lsh(slot_sig) = &self.slots[slot].payload else {
+                        unreachable!("lsh index holds lsh payloads")
+                    };
+                    top.push(Candidate {
+                        right: d.rank[slot],
+                        score: hasher.estimate(&sig, slot_sig),
+                    });
+                }
+                top.into_sorted()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(id: &str, text: &str) -> Entity {
+        Entity::new(id, vec![("title", text.to_string())])
+    }
+
+    fn bits(cands: &[Candidate]) -> Vec<(usize, u32)> {
+        cands.iter().map(|c| (c.right, c.score.to_bits())).collect()
+    }
+
+    /// Upserting and deleting must keep the index equal to a from-scratch
+    /// batch build over the live records.
+    #[test]
+    fn tfidf_matches_batch_build_after_mutations() {
+        let mut idx = StreamingIndex::build(
+            StreamKind::TfIdf,
+            &[
+                entity("b0", "kodak esp 7250 printer"),
+                entity("b1", "sony bravia television"),
+                entity("b2", "kodak esp printer ink"),
+            ],
+        );
+        idx.delete("b1");
+        idx.upsert(entity("b0", "canon pixma printer")); // replace: moves to end
+        idx.upsert(entity("b3", "hp laserjet office printer"));
+        let live = idx.live_entities();
+        assert_eq!(
+            live.iter().map(|e| e.id.as_str()).collect::<Vec<_>>(),
+            vec!["b2", "b0", "b3"]
+        );
+        let batch = TfIdfBlocker::build(&live);
+        for probe in [entity("a", "kodak printer"), entity("a", "canon pixma")] {
+            assert_eq!(bits(&idx.candidates(&probe, 5)), bits(&batch.candidates(&probe, 5)));
+        }
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.tombstones(), 2);
+    }
+
+    #[test]
+    fn lsh_matches_batch_build_after_mutations() {
+        let params = LshParams::default();
+        let mut idx = StreamingIndex::build(
+            StreamKind::Lsh(params),
+            &[
+                entity("b0", "kodak easyshare esp 7250 inkjet printer"),
+                entity("b1", "romantic italian restaurant downtown"),
+            ],
+        );
+        idx.upsert(entity("b2", "kodak easyshare esp printer"));
+        idx.delete("b1");
+        let batch = MinHashLshBlocker::build(&idx.live_entities(), params);
+        let probe = entity("a", "kodak easyshare esp 7250 printer");
+        assert_eq!(bits(&idx.candidates(&probe, 5)), bits(&batch.candidates(&probe, 5)));
+    }
+
+    #[test]
+    fn compact_preserves_candidates_and_drops_tombstones() {
+        let mut idx = StreamingIndex::build(
+            StreamKind::TfIdf,
+            &(0..10)
+                .map(|i| entity(&format!("b{i}"), &format!("printer model{i}")))
+                .collect::<Vec<_>>(),
+        );
+        for i in [1usize, 4, 7] {
+            idx.delete(&format!("b{i}"));
+        }
+        let probe = entity("a", "printer model8");
+        let before = bits(&idx.candidates(&probe, 4));
+        let gen_before = idx.generation();
+        idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.generation(), gen_before + 1);
+        assert_eq!(bits(&idx.candidates(&probe, 4)), before);
+    }
+
+    #[test]
+    fn delete_of_missing_id_is_a_noop() {
+        let mut idx = StreamingIndex::build(StreamKind::TfIdf, &[entity("b0", "kodak")]);
+        let g = idx.generation();
+        assert!(!idx.delete("nope"));
+        assert_eq!(idx.generation(), g);
+        assert!(idx.delete("b0"));
+        assert!(!idx.delete("b0"), "double delete is a miss");
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut idx = StreamingIndex::new(StreamKind::TfIdf);
+        assert_eq!(idx.generation(), 1);
+        idx.upsert(entity("b0", "kodak"));
+        idx.upsert(entity("b0", "kodak esp"));
+        idx.delete("b0");
+        idx.compact();
+        assert_eq!(idx.generation(), 5);
+    }
+
+    #[test]
+    fn get_resolves_live_rank() {
+        let mut idx = StreamingIndex::build(
+            StreamKind::TfIdf,
+            &[entity("b0", "kodak"), entity("b1", "sony"), entity("b2", "canon")],
+        );
+        idx.delete("b1");
+        assert_eq!(idx.get(0).unwrap().id, "b0");
+        assert_eq!(idx.get(1).unwrap().id, "b2");
+        assert!(idx.get(2).is_none());
+    }
+}

@@ -34,7 +34,7 @@ pub struct TfIdfBlocker {
 }
 
 /// Per-record term frequencies of the record's value text.
-fn term_counts(e: &Entity) -> HashMap<String, usize> {
+pub(crate) fn term_counts(e: &Entity) -> HashMap<String, usize> {
     let mut tf = HashMap::new();
     for t in tokenize(&e.full_text()) {
         *tf.entry(t).or_insert(0usize) += 1;
@@ -45,16 +45,27 @@ fn term_counts(e: &Entity) -> HashMap<String, usize> {
 impl TfIdfBlocker {
     /// Build the index over the right-hand table.
     pub fn build(right: &[Entity]) -> TfIdfBlocker {
-        let _g = dader_obs::span!("block.tfidf.build");
         let docs: Vec<HashMap<String, usize>> = right.iter().map(term_counts).collect();
+        TfIdfBlocker::from_term_counts(&docs)
+    }
 
+    /// Build the index from precomputed per-record term counts (one map
+    /// per record, in record order). This is the *only* build path — both
+    /// [`TfIdfBlocker::build`] and the streaming index's derived rebuild
+    /// funnel through it, so the exact float-accumulation sequence (and
+    /// with it every score bit) is shared by construction.
+    pub fn from_term_counts<D>(docs: &[D]) -> TfIdfBlocker
+    where
+        D: std::borrow::Borrow<HashMap<String, usize>>,
+    {
+        let _g = dader_obs::span!("block.tfidf.build");
         let mut df: HashMap<&str, usize> = HashMap::new();
-        for doc in &docs {
-            for t in doc.keys() {
+        for doc in docs {
+            for t in doc.borrow().keys() {
                 *df.entry(t.as_str()).or_insert(0) += 1;
             }
         }
-        let n = right.len().max(1) as f32;
+        let n = docs.len().max(1) as f32;
         let idf: HashMap<String, f32> = df
             .iter()
             .map(|(t, &d)| (t.to_string(), (1.0 + n / d as f32).ln()))
@@ -64,7 +75,7 @@ impl TfIdfBlocker {
         for (j, doc) in docs.iter().enumerate() {
             // Norm over the record's full vector, accumulated in sorted
             // token order so the value is insertion-order independent.
-            let mut terms: Vec<(&String, &usize)> = doc.iter().collect();
+            let mut terms: Vec<(&String, &usize)> = doc.borrow().iter().collect();
             terms.sort_by(|a, b| a.0.cmp(b.0));
             let mut sq = 0.0f32;
             for (t, &tf) in &terms {
@@ -85,7 +96,7 @@ impl TfIdfBlocker {
         TfIdfBlocker {
             postings,
             idf,
-            n_right: right.len(),
+            n_right: docs.len(),
         }
     }
 

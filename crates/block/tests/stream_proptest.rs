@@ -1,0 +1,194 @@
+//! Property tests pinning the streaming-index equivalence contract:
+//! **any** interleaving of upsert / delete / compact leaves a
+//! [`StreamingIndex`] with bitwise the same candidate sets and top-k
+//! order as a from-scratch batch build over its live records — for both
+//! blocker families, at every intermediate mutation point, and at any
+//! thread count.
+
+use dader_block::{
+    Blocker, Candidate, LshParams, MinHashLshBlocker, StreamKind, StreamingIndex, TfIdfBlocker,
+};
+use dader_datagen::Entity;
+use dader_tensor::pool;
+use proptest::prelude::*;
+
+/// A small shared vocabulary so random records actually overlap.
+const VOCAB: [&str; 12] = [
+    "kodak", "esp", "printer", "hp", "laserjet", "sony", "bravia", "tv",
+    "inkjet", "7250", "deskjet", "office",
+];
+
+/// One step of a random mutation stream. Record ids are drawn from a
+/// small pool (`r0`..`r7`) so upserts overwrite and deletes hit.
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert { id: usize, tokens: Vec<usize> },
+    Delete { id: usize },
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted choice by selector range: 4/7 upsert, 2/7 delete, 1/7
+    // compact (the shim has no `prop_oneof`).
+    (0usize..7, 0usize..8, proptest::collection::vec(0..VOCAB.len(), 0..8)).prop_map(
+        |(sel, id, tokens)| match sel {
+            0..=3 => Op::Upsert { id, tokens },
+            4 | 5 => Op::Delete { id },
+            _ => Op::Compact,
+        },
+    )
+}
+
+fn record(id: usize, tokens: &[usize]) -> Entity {
+    let text = tokens.iter().map(|&t| VOCAB[t]).collect::<Vec<_>>().join(" ");
+    Entity::new(format!("r{id}"), vec![("title", text)])
+}
+
+fn probes() -> Vec<Entity> {
+    vec![
+        record(100, &[0, 1, 2]),
+        record(101, &[3, 4]),
+        record(102, &[5, 6, 7, 8]),
+        record(103, &[]),
+    ]
+}
+
+fn bits(cands: &[Candidate]) -> Vec<(usize, u32)> {
+    cands.iter().map(|c| (c.right, c.score.to_bits())).collect()
+}
+
+/// Apply one op to both the streaming index and the shadow live table the
+/// batch reference rebuilds from.
+fn apply(idx: &mut StreamingIndex, shadow: &mut Vec<Entity>, op: &Op) {
+    match op {
+        Op::Upsert { id, tokens } => {
+            let e = record(*id, tokens);
+            shadow.retain(|s| s.id != e.id);
+            shadow.push(e.clone());
+            idx.upsert(e);
+        }
+        Op::Delete { id } => {
+            let full = format!("r{id}");
+            let existed = shadow.iter().any(|s| s.id == full);
+            shadow.retain(|s| s.id != full);
+            assert_eq!(idx.delete(&full), existed, "delete hit/miss must track liveness");
+        }
+        Op::Compact => idx.compact(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TF-IDF: after every single mutation the streaming index answers
+    /// bitwise-identically to `TfIdfBlocker::build` over the live records.
+    #[test]
+    fn tfidf_interleavings_equal_rebuild(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        k in 1usize..6,
+    ) {
+        let mut idx = StreamingIndex::new(StreamKind::TfIdf);
+        let mut shadow: Vec<Entity> = Vec::new();
+        for op in &ops {
+            apply(&mut idx, &mut shadow, op);
+            prop_assert_eq!(idx.len(), shadow.len());
+            let batch = TfIdfBlocker::build(&shadow);
+            for probe in &probes() {
+                prop_assert_eq!(
+                    bits(&idx.candidates(probe, k)),
+                    bits(&batch.candidates(probe, k))
+                );
+            }
+        }
+    }
+
+    /// LSH: same contract, same cadence.
+    #[test]
+    fn lsh_interleavings_equal_rebuild(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        k in 1usize..6,
+    ) {
+        let params = LshParams { bands: 8, rows: 2, q: 3, seed: 0x0da2_b10c };
+        let mut idx = StreamingIndex::new(StreamKind::Lsh(params));
+        let mut shadow: Vec<Entity> = Vec::new();
+        for op in &ops {
+            apply(&mut idx, &mut shadow, op);
+            prop_assert_eq!(idx.len(), shadow.len());
+            let batch = MinHashLshBlocker::build(&shadow, params);
+            for probe in &probes() {
+                prop_assert_eq!(
+                    bits(&idx.candidates(probe, k)),
+                    bits(&batch.candidates(probe, k))
+                );
+            }
+        }
+    }
+
+    /// The mutated index's parallel `block` fan-out is thread-count
+    /// invariant, like the batch blockers' — the lazily derived state is
+    /// shared, not re-derived per shard.
+    #[test]
+    fn mutated_index_block_is_thread_count_invariant(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        kind_lsh in proptest::bool::ANY,
+        k in 1usize..6,
+    ) {
+        let kind = if kind_lsh {
+            StreamKind::Lsh(LshParams { bands: 8, rows: 2, q: 3, seed: 7 })
+        } else {
+            StreamKind::TfIdf
+        };
+        let mut idx = StreamingIndex::new(kind);
+        let mut shadow: Vec<Entity> = Vec::new();
+        for op in &ops {
+            apply(&mut idx, &mut shadow, op);
+        }
+        let left = probes();
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            pool::set_threads(Some(threads));
+            let blocked = idx.block(&left, k);
+            runs.push(blocked.iter().map(|row| bits(row)).collect::<Vec<_>>());
+        }
+        pool::set_threads(None);
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+
+    /// Save → load round-trips the full mutation state: candidates,
+    /// live/tombstone counts and generation all survive bitwise.
+    #[test]
+    fn artifact_round_trip_after_interleaving(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        kind_lsh in proptest::bool::ANY,
+        k in 1usize..6,
+    ) {
+        let kind = if kind_lsh {
+            StreamKind::Lsh(LshParams { bands: 8, rows: 2, q: 3, seed: 7 })
+        } else {
+            StreamKind::TfIdf
+        };
+        let mut idx = StreamingIndex::new(kind);
+        let mut shadow: Vec<Entity> = Vec::new();
+        for op in &ops {
+            apply(&mut idx, &mut shadow, op);
+        }
+        let path = std::env::temp_dir().join(format!(
+            "dader_stream_pt_{}_{}.ddi",
+            std::process::id(),
+            ops.len()
+        ));
+        idx.save_file(&path).unwrap();
+        let loaded = StreamingIndex::load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded.len(), idx.len());
+        prop_assert_eq!(loaded.tombstones(), idx.tombstones());
+        prop_assert_eq!(loaded.generation(), idx.generation());
+        for probe in &probes() {
+            prop_assert_eq!(
+                bits(&loaded.candidates(probe, k)),
+                bits(&idx.candidates(probe, k))
+            );
+        }
+    }
+}

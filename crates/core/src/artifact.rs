@@ -167,64 +167,104 @@ impl From<CheckpointError> for ArtifactError {
     }
 }
 
-/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+/// IEEE CRC-32 (the zlib/PNG polynomial), slice-by-8 table-driven: eight
+/// bytes fold per step instead of one, so checksumming a multi-megabyte
+/// body (every artifact load and save pays this) runs several times
+/// faster than the classic byte-at-a-time loop, with identical output.
 pub fn crc32(data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
             *slot = c;
         }
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
         t
     });
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().unwrap());
+        crc = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = tables[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
 
 // ------------------------------------------------------------------ wire
 
-pub(crate) struct ByteWriter {
-    pub(crate) buf: Vec<u8>,
+/// Little-endian body encoder shared by every framed artifact in the
+/// workspace (checkpoints, model artifacts, blocking indexes).
+pub struct ByteWriter {
+    /// The encoded body so far; hand it to [`write_framed`] when done.
+    pub buf: Vec<u8>,
+}
+
+impl Default for ByteWriter {
+    fn default() -> ByteWriter {
+        ByteWriter::new()
+    }
 }
 
 impl ByteWriter {
-    pub(crate) fn new() -> ByteWriter {
+    /// An empty body buffer.
+    pub fn new() -> ByteWriter {
         ByteWriter { buf: Vec::new() }
     }
 
-    pub(crate) fn put_u8(&mut self, v: u8) {
+    /// Append one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn put_u32(&mut self, v: u32) {
+    /// Append a u32, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Append a u64, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_usize(&mut self, v: usize) {
+    /// Append a usize as a u64 (the wire's only integer width for counts).
+    pub fn put_usize(&mut self, v: usize) {
         self.put_u64(v as u64);
     }
 
-    pub(crate) fn put_str(&mut self, s: &str) {
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
         self.put_usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    pub(crate) fn put_f32(&mut self, v: f32) {
+    /// Append one f32, little-endian.
+    pub fn put_f32(&mut self, v: f32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_f32s(&mut self, data: &[f32]) {
+    /// Append a length-prefixed f32 slice.
+    pub fn put_f32s(&mut self, data: &[f32]) {
         self.put_usize(data.len());
         for &v in data {
             self.buf.extend_from_slice(&v.to_le_bytes());
@@ -232,13 +272,16 @@ impl ByteWriter {
     }
 }
 
-pub(crate) struct ByteReader<'a> {
+/// Bounds-checked decoder for framed artifact bodies; every failure is a
+/// typed [`ArtifactError`], never a panic or an unbounded allocation.
+pub struct ByteReader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    pub(crate) fn new(data: &'a [u8]) -> ByteReader<'a> {
+    /// Start decoding at the front of `data`.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
         ByteReader { data, pos: 0 }
     }
 
@@ -246,7 +289,8 @@ impl<'a> ByteReader<'a> {
         self.data.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
         if self.remaining() < n {
             return Err(ArtifactError::Truncated {
                 needed: self.pos + n,
@@ -258,21 +302,24 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
-    pub(crate) fn take_u8(&mut self) -> Result<u8, ArtifactError> {
+    /// Take one raw byte.
+    pub fn take_u8(&mut self) -> Result<u8, ArtifactError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn take_u32(&mut self) -> Result<u32, ArtifactError> {
+    /// Take a little-endian u32.
+    pub fn take_u32(&mut self) -> Result<u32, ArtifactError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    pub(crate) fn take_u64(&mut self) -> Result<u64, ArtifactError> {
+    /// Take a little-endian u64.
+    pub fn take_u64(&mut self) -> Result<u64, ArtifactError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// A u64 length/count field; bounded by the remaining bytes so a
     /// corrupted length cannot trigger an enormous allocation.
-    pub(crate) fn take_len(&mut self, unit: usize) -> Result<usize, ArtifactError> {
+    pub fn take_len(&mut self, unit: usize) -> Result<usize, ArtifactError> {
         let v = self.take_u64()?;
         let v = usize::try_from(v)
             .map_err(|_| ArtifactError::Malformed(format!("length {v} overflows usize")))?;
@@ -285,18 +332,21 @@ impl<'a> ByteReader<'a> {
         Ok(v)
     }
 
-    pub(crate) fn take_str(&mut self) -> Result<String, ArtifactError> {
+    /// Take a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, ArtifactError> {
         let n = self.take_len(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| ArtifactError::Malformed(format!("invalid UTF-8 string: {e}")))
     }
 
-    pub(crate) fn take_f32(&mut self) -> Result<f32, ArtifactError> {
+    /// Take one little-endian f32.
+    pub fn take_f32(&mut self) -> Result<f32, ArtifactError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    pub(crate) fn take_f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
+    /// Take a length-prefixed f32 slice.
+    pub fn take_f32s(&mut self) -> Result<Vec<f32>, ArtifactError> {
         let n = self.take_len(4)?;
         let bytes = self.take(n * 4)?;
         Ok(bytes
@@ -305,12 +355,14 @@ impl<'a> ByteReader<'a> {
             .collect())
     }
 
-    pub(crate) fn take_dims(&mut self) -> Result<Vec<usize>, ArtifactError> {
+    /// Take a length-prefixed list of u64 dimensions as usizes.
+    pub fn take_dims(&mut self) -> Result<Vec<usize>, ArtifactError> {
         let n = self.take_len(8)?;
         (0..n).map(|_| self.take_len(0)).collect()
     }
 
-    pub(crate) fn expect_end(&self) -> Result<(), ArtifactError> {
+    /// Fail unless the body has been consumed exactly.
+    pub fn expect_end(&self) -> Result<(), ArtifactError> {
         if self.remaining() != 0 {
             return Err(ArtifactError::Malformed(format!(
                 "{} trailing bytes after body",
@@ -325,7 +377,7 @@ impl<'a> ByteReader<'a> {
 
 /// Atomically write `magic + version + body + crc32(body)` to `path` via
 /// a temporary sibling file and rename.
-pub(crate) fn write_framed(
+pub fn write_framed(
     path: &Path,
     magic: [u8; 4],
     version: u32,
@@ -356,9 +408,14 @@ pub(crate) fn write_framed(
     write.map_err(ArtifactError::Io)
 }
 
-/// Read a framed file back, validating magic, version, declared length
-/// and CRC; returns the stamped format version and the body bytes.
-pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<(u32, Vec<u8>), ArtifactError> {
+/// Read a framed file back, validating magic, version (must be in
+/// `1..=max_version`), declared length and CRC; returns the stamped
+/// format version and the body bytes.
+pub fn read_framed(
+    path: &Path,
+    magic: [u8; 4],
+    max_version: u32,
+) -> Result<(u32, Vec<u8>), ArtifactError> {
     let raw = std::fs::read(path)?;
     if raw.len() < 16 {
         return Err(ArtifactError::Truncated { needed: 16, available: raw.len() });
@@ -368,10 +425,10 @@ pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<(u32, Vec<u8>),
         return Err(ArtifactError::BadMagic { expected: magic, found });
     }
     let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
-    if version == 0 || version > FORMAT_VERSION {
+    if version == 0 || version > max_version {
         return Err(ArtifactError::UnsupportedVersion {
             found: version,
-            supported: FORMAT_VERSION,
+            supported: max_version,
         });
     }
     let body_len = u64::from_le_bytes(raw[8..16].try_into().unwrap());
@@ -534,7 +591,7 @@ impl Checkpoint {
     /// Load a checkpoint saved by [`Checkpoint::save_file`], validating
     /// magic, version, CRC and every entry's shape/data consistency.
     pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, ArtifactError> {
-        let (version, body) = read_framed(path.as_ref(), CHECKPOINT_MAGIC)?;
+        let (version, body) = read_framed(path.as_ref(), CHECKPOINT_MAGIC, FORMAT_VERSION)?;
         let mut r = ByteReader::new(&body);
         let (ckpt, _) = decode_checkpoint_body(&mut r, version)?;
         r.expect_end()?;
@@ -695,7 +752,7 @@ impl ModelArtifact {
     /// Load an artifact saved by [`ModelArtifact::save_file`], validating
     /// magic, version, CRC and the structural integrity of every section.
     pub fn load_file(path: impl AsRef<Path>) -> Result<ModelArtifact, ArtifactError> {
-        let (version, body) = read_framed(path.as_ref(), ARTIFACT_MAGIC)?;
+        let (version, body) = read_framed(path.as_ref(), ARTIFACT_MAGIC, FORMAT_VERSION)?;
         let mut r = ByteReader::new(&body);
         let description = r.take_str()?;
         let extractor = match r.take_u8()? {
@@ -756,6 +813,36 @@ mod tests {
         // Standard IEEE CRC-32 check values.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise_reference() {
+        // The folded fast path must agree with the textbook loop at every
+        // alignment around the 8-byte chunk boundary.
+        let bytewise = |data: &[u8]| -> u32 {
+            let mut table = [0u32; 256];
+            for (i, slot) in table.iter_mut().enumerate() {
+                let mut c = i as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *slot = c;
+            }
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in data {
+                crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+            }
+            !crc
+        };
+        let mut data = Vec::with_capacity(4099);
+        let mut x = 0x1234_5678u32;
+        for _ in 0..4099 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            data.push((x >> 24) as u8);
+        }
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 4099] {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "length {len}");
+        }
     }
 
     #[test]

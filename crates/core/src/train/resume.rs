@@ -129,7 +129,7 @@ impl TrainCheckpoint {
     /// validating magic, version, CRC, structure, and that every stored
     /// weight is finite.
     pub fn load_file(path: impl AsRef<Path>) -> Result<TrainCheckpoint, ArtifactError> {
-        let (_version, body) = read_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC)?;
+        let (_version, body) = read_framed(path.as_ref(), TRAIN_CHECKPOINT_MAGIC, 1)?;
         let mut r = ByteReader::new(&body);
         // Plain u64 *values* (epoch numbers, shuffle indices, cursors) are
         // decoded with this, not `take_len`: `take_len` bounds the value by
